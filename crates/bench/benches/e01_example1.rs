@@ -1,0 +1,45 @@
+//! E1 — Example 1 of the paper, as a microbenchmark.
+//!
+//! The three instances (no solution / unique solution / two solutions)
+//! through the solver façade; all three run the polynomial `ExistsSolution`
+//! path, so times are microseconds and flat.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use pde_core::decide;
+use pde_workloads::paper::{example1_instances, example1_setting};
+
+fn bench(c: &mut Criterion) {
+    let setting = example1_setting();
+    let [no, unique, two] = example1_instances(&setting);
+    let mut g = c.benchmark_group("e01_example1");
+    g.bench_function("no_solution", |b| {
+        b.iter(|| decide(&setting, &no).unwrap().exists)
+    });
+    g.bench_function("unique_solution", |b| {
+        b.iter(|| decide(&setting, &unique).unwrap().exists)
+    });
+    g.bench_function("two_solutions", |b| {
+        b.iter(|| decide(&setting, &two).unwrap().exists)
+    });
+    g.finish();
+
+    let rows: Vec<(&str, String)> = [("E(a,b),E(b,c)", &no), ("E(a,a)", &unique), ("triangle", &two)]
+        .into_iter()
+        .map(|(l, i)| {
+            (
+                l,
+                format!("exists={:?}", decide(&setting, i).unwrap().exists),
+            )
+        })
+        .collect();
+    pde_bench::print_series("E1: Example 1 outcomes", ("instance", "result"), &rows);
+}
+
+// Criterion's macros expand to undocumented items.
+#[allow(missing_docs)]
+mod generated {
+    use super::*;
+    criterion_group!(benches, bench);
+}
+use generated::benches;
+criterion_main!(benches);

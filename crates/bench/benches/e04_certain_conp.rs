@@ -1,0 +1,62 @@
+//! E4 — Theorem 3 (second half): the data complexity of certain answers
+//! is coNP-complete. Uses `q = ∃x P(x,x,x,x)` over the CLIQUE reduction
+//! with elements drawn from `V`: `certain(q) = false` iff a `k`-clique
+//! exists.
+//!
+//! Refutation (clique present) stops at the first counterexample solution;
+//! confirmation (no clique ⇒ no solutions ⇒ vacuous truth) must exhaust
+//! the search space, which is where the coNP shape shows.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pde_core::{certain_answers, GenericLimits};
+use pde_workloads::clique::{certain_query, clique_instance_elements_from_v, clique_setting};
+use pde_workloads::{has_k_clique, Graph};
+
+fn bench(c: &mut Criterion) {
+    let setting = clique_setting();
+    let q = certain_query(&setting);
+    let k = 3;
+    let mut rows = Vec::new();
+    let mut g = c.benchmark_group("e04_certain_conp");
+    g.sample_size(10);
+    for n in [3u32, 4, 5, 6] {
+        let yes = Graph::planted_clique(n.max(k), 0.15, k, 3);
+        let no = Graph::complete_bipartite(n / 2 + 1, n - n / 2); // ≥ k nodes, no K3
+        for (label, graph) in [("clique_present", &yes), ("clique_absent", &no)] {
+            let input = clique_instance_elements_from_v(&setting, graph, k);
+            let expected_certain = !has_k_clique(graph, k);
+            g.bench_with_input(
+                BenchmarkId::new(label, n),
+                &input,
+                |b, input| {
+                    b.iter(|| {
+                        let out =
+                            certain_answers(&setting, input, &q, GenericLimits::default())
+                                .unwrap();
+                        assert_eq!(out.certain_bool(), expected_certain);
+                        out.certain_bool()
+                    })
+                },
+            );
+            let ms = pde_bench::time_ms(|| {
+                let _ = certain_answers(&setting, &input, &q, GenericLimits::default()).unwrap();
+            });
+            rows.push((format!("n={} {label}", graph.vertex_count()), format!("{ms:.2} ms")));
+        }
+    }
+    g.finish();
+    pde_bench::print_series(
+        "E4: certain(∃x P(x,x,x,x)) over the CLIQUE reduction (coNP shape)",
+        ("case", "time"),
+        &rows,
+    );
+}
+
+// Criterion's macros expand to undocumented items.
+#[allow(missing_docs)]
+mod generated {
+    use super::*;
+    criterion_group!(benches, bench);
+}
+use generated::benches;
+criterion_main!(benches);

@@ -1,0 +1,94 @@
+//! E12 — §2: multi-PDE settings reduce to a single PDE with the same
+//! solution space. Sweeps the number of source peers; solving the union is
+//! a single tractable call, and per-peer verification of the witness
+//! scales linearly in the number of peers.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pde_core::multi::{MultiPdeSetting, PeerConstraints};
+use pde_core::tractable;
+use pde_relational::{parse_instance, parse_schema, Instance, Schema};
+use std::sync::Arc;
+
+fn build(npeers: u32, rows_per_peer: u32) -> (MultiPdeSetting, Instance) {
+    let mut schema_src = String::from("target T/2; ");
+    for p in 0..npeers {
+        schema_src.push_str(&format!("source S{p}/2; "));
+    }
+    let schema: Arc<Schema> = Arc::new(parse_schema(&schema_src).unwrap());
+    let peers: Vec<PeerConstraints> = (0..npeers)
+        .map(|p| PeerConstraints {
+            name: format!("peer{p}"),
+            sigma_st: pde_constraints::parser::parse_tgds(
+                &schema,
+                &format!("S{p}(x, y) -> T(x, y)"),
+            )
+            .unwrap(),
+            sigma_ts: pde_constraints::parser::parse_tgds(
+                &schema,
+                &format!("T(x, x) -> S{p}(x, x)"),
+            )
+            .unwrap(),
+            sigma_t: vec![],
+        })
+        .collect();
+    let multi = MultiPdeSetting::new(schema.clone(), peers).unwrap();
+    let mut src = String::new();
+    for p in 0..npeers {
+        for r in 0..rows_per_peer {
+            src.push_str(&format!("S{p}(p{p}a{r}, p{p}b{r}). "));
+        }
+    }
+    let input = parse_instance(&schema, &src).unwrap();
+    (multi, input)
+}
+
+fn bench(c: &mut Criterion) {
+    let mut rows = Vec::new();
+    let mut g = c.benchmark_group("e12_multi_pde");
+    g.sample_size(10);
+    for npeers in [2u32, 4, 8, 16] {
+        let (multi, input) = build(npeers, 16);
+        let single = multi.to_single();
+        g.bench_with_input(
+            BenchmarkId::new("solve_union", npeers),
+            &input,
+            |b, input| {
+                b.iter(|| {
+                    let out = tractable::exists_solution(&single, input).unwrap();
+                    assert!(out.exists);
+                })
+            },
+        );
+        let out = tractable::exists_solution(&single, &input).unwrap();
+        let witness = out.witness.unwrap();
+        g.bench_with_input(
+            BenchmarkId::new("verify_per_peer", npeers),
+            &witness,
+            |b, w| {
+                b.iter(|| {
+                    multi.check_multi_solution(&input, w).unwrap();
+                })
+            },
+        );
+        rows.push((
+            npeers,
+            input.fact_count(),
+            format!("witness target facts = {}", witness.fact_count() - input.fact_count()),
+        ));
+    }
+    g.finish();
+    pde_bench::print_series3(
+        "E12: multi-PDE via the union construction",
+        ("peers", "|I| facts", "outcome"),
+        &rows,
+    );
+}
+
+// Criterion's macros expand to undocumented items.
+#[allow(missing_docs)]
+mod generated {
+    use super::*;
+    criterion_group!(benches, bench);
+}
+use generated::benches;
+criterion_main!(benches);

@@ -1,0 +1,95 @@
+//! E13 — homomorphism-search ablation: the per-attribute hash indexes and
+//! the most-constrained-first atom ordering are what make the chase's
+//! trigger checks and the block tests cheap. Turning either off must
+//! degrade gracefully on easy patterns and catastrophically on hard ones.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pde_relational::{
+    all_homs, exists_hom_with, parse_atoms, parse_instance, parse_schema, Assignment, HomConfig,
+    Instance,
+};
+use pde_workloads::Graph;
+use std::sync::Arc;
+
+fn graph_instance(schema: &Arc<pde_relational::Schema>, g: &Graph) -> Instance {
+    let mut src = String::new();
+    for (u, v) in g.edges() {
+        src.push_str(&format!("E(v{u}, v{v}). E(v{v}, v{u}). "));
+    }
+    parse_instance(schema, &src).unwrap()
+}
+
+fn bench(c: &mut Criterion) {
+    let schema = Arc::new(parse_schema("source E/2;").unwrap());
+    let configs = [
+        ("idx+reorder", HomConfig { use_index: true, reorder_atoms: true }),
+        ("idx_only", HomConfig { use_index: true, reorder_atoms: false }),
+        ("reorder_only", HomConfig { use_index: false, reorder_atoms: true }),
+        ("naive", HomConfig { use_index: false, reorder_atoms: false }),
+    ];
+    // A 5-atom path query — long joins are where ordering matters.
+    let path5 = parse_atoms(
+        &schema,
+        "E(a, b), E(b, c2), E(c2, d), E(d, e2), E(e2, f)",
+    )
+    .unwrap();
+
+    let mut rows = Vec::new();
+    let mut grp = c.benchmark_group("e13_hom_ablation");
+    grp.sample_size(10);
+    for n in [20u32, 40, 80] {
+        let g = Graph::gnp(n, 0.08, 11);
+        let inst = graph_instance(&schema, &g);
+        for (label, config) in configs {
+            grp.bench_with_input(
+                BenchmarkId::new(label, n),
+                &inst,
+                |b, inst| {
+                    b.iter(|| exists_hom_with(&path5, inst, &Assignment::new(), config))
+                },
+            );
+        }
+        let mut cells = Vec::new();
+        for (_, config) in configs {
+            let ms = pde_bench::time_ms(|| {
+                let _ = exists_hom_with(&path5, &inst, &Assignment::new(), config);
+            });
+            cells.push(format!("{ms:.3}"));
+        }
+        rows.push((format!("G({n}, .08)"), cells.join(" / "), String::new()));
+    }
+    grp.finish();
+    pde_bench::print_series3(
+        "E13: hom search ablation — ms for idx+reorder / idx / reorder / naive",
+        ("instance", "times (ms)", ""),
+        &rows,
+    );
+
+    // Sanity: all configs return identical answer sets on a fixed case.
+    let g = Graph::gnp(12, 0.2, 5);
+    let inst = graph_instance(&schema, &g);
+    let reference = all_homs(&path5, &inst, &Assignment::new()).len();
+    for (_, config) in configs {
+        let mut n = 0usize;
+        let _ = pde_relational::for_each_hom_with(
+            &path5,
+            &inst,
+            &Assignment::new(),
+            config,
+            |_| {
+                n += 1;
+                std::ops::ControlFlow::Continue(())
+            },
+        );
+        assert_eq!(n, reference);
+    }
+}
+
+// Criterion's macros expand to undocumented items.
+#[allow(missing_docs)]
+mod generated {
+    use super::*;
+    criterion_group!(benches, bench);
+}
+use generated::benches;
+criterion_main!(benches);

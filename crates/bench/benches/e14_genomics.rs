@@ -1,0 +1,62 @@
+//! E14 — the §1 motivating scenario at scale: periodic sync rounds from an
+//! authoritative protein source into a restrictive university target.
+//! LAV Σts ⇒ `ExistsSolution` ⇒ sync cost grows polynomially with the
+//! source size.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use pde_core::tractable;
+use pde_workloads::genomics::{genomics_instance, genomics_setting, GenomicsParams};
+
+fn bench(c: &mut Criterion) {
+    let setting = genomics_setting();
+    let mut rows = Vec::new();
+    let mut g = c.benchmark_group("e14_genomics");
+    g.sample_size(10);
+    for proteins in [100u32, 200, 400, 800] {
+        let params = GenomicsParams {
+            proteins,
+            annotations_per_protein: 3,
+            organisms: 10,
+            go_terms: 200,
+            preloaded: proteins / 10,
+            rogue: 0,
+            seed: 99,
+        };
+        let input = genomics_instance(&setting, &params);
+        g.throughput(Throughput::Elements(u64::from(proteins)));
+        g.bench_with_input(
+            BenchmarkId::new("sync_round", proteins),
+            &input,
+            |b, input| {
+                b.iter(|| {
+                    let out = tractable::exists_solution(&setting, input).unwrap();
+                    assert!(out.exists);
+                })
+            },
+        );
+        let out = tractable::exists_solution(&setting, &input).unwrap();
+        rows.push((
+            proteins,
+            input.fact_count(),
+            format!(
+                "target gains {} facts in {} chase steps",
+                out.stats.jcan_facts, out.stats.chase_steps
+            ),
+        ));
+    }
+    g.finish();
+    pde_bench::print_series3(
+        "E14: genomics sync rounds (LAV ⇒ polynomial)",
+        ("proteins", "|I,J| facts", "outcome"),
+        &rows,
+    );
+}
+
+// Criterion's macros expand to undocumented items.
+#[allow(missing_docs)]
+mod generated {
+    use super::*;
+    criterion_group!(benches, bench);
+}
+use generated::benches;
+criterion_main!(benches);

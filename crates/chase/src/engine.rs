@@ -1,0 +1,457 @@
+//! The chase engine: standard chase and the solution-aware chase of the
+//! paper (Definitions 6–7).
+//!
+//! Both variants share the restricted-chase loop: repeatedly find an
+//! *active trigger* — a premise homomorphism with no conclusion extension
+//! (tgd), or one separating the equated variables (egd) — and apply the
+//! corresponding step. They differ only in where a tgd step's existential
+//! witnesses come from:
+//!
+//! * **standard** ([`WitnessMode::FreshNulls`]): mint a fresh labeled null
+//!   per existential variable — the \[FKMP\] chase; results are universal.
+//! * **solution-aware** ([`WitnessMode::FromSolution`]): pick witnesses
+//!   from a supplied instance `K'` that contains the chased instance and
+//!   satisfies the tgds (paper Def. 6). The chase then stays inside `K'`,
+//!   which is how Lemma 2 extracts a polynomial-size sub-solution.
+
+use crate::result::{ChaseLimits, ChaseOutcome, ChaseResult, StepRecord};
+use crate::satisfy;
+use pde_constraints::{Dependency, Egd, Tgd};
+use pde_relational::{
+    exists_hom, find_hom, for_each_hom, Assignment, Instance, NullGen, Tuple, Value,
+};
+use std::ops::ControlFlow;
+
+/// Where tgd steps obtain witnesses for existential variables.
+#[derive(Clone, Copy)]
+pub enum WitnessMode<'a> {
+    /// Mint fresh labeled nulls from the generator.
+    FreshNulls(&'a NullGen),
+    /// Draw witnesses from a given instance that contains the chased
+    /// instance and satisfies the tgds (solution-aware chase, Def. 6).
+    FromSolution(&'a Instance),
+}
+
+/// Chase `instance` with `deps` under the given witness mode and limits.
+pub fn chase_with(
+    mut instance: Instance,
+    deps: &[Dependency],
+    mode: WitnessMode<'_>,
+    limits: ChaseLimits,
+) -> ChaseResult {
+    let mut steps = 0usize;
+    let mut tgd_steps = 0usize;
+    let mut egd_steps = 0usize;
+    let mut log: Vec<StepRecord> = Vec::new();
+
+    'outer: loop {
+        if steps >= limits.max_steps || instance.fact_count() >= limits.max_facts {
+            return ChaseResult {
+                outcome: ChaseOutcome::ResourceExceeded,
+                instance,
+                steps,
+                tgd_steps,
+                egd_steps,
+                log,
+            };
+        }
+        let mut progressed = false;
+        for (i, dep) in deps.iter().enumerate() {
+            match dep {
+                Dependency::Tgd(tgd) => {
+                    let applied =
+                        apply_tgd_round(&mut instance, i, tgd, mode, limits, &mut steps, &mut log);
+                    if applied > 0 {
+                        tgd_steps += applied;
+                        progressed = true;
+                    }
+                    if steps >= limits.max_steps || instance.fact_count() >= limits.max_facts {
+                        continue 'outer; // limit check at loop head
+                    }
+                }
+                Dependency::Egd(egd) => loop {
+                    match apply_one_egd(&mut instance, egd) {
+                        EgdStep::None => break,
+                        EgdStep::Merged { from, to } => {
+                            steps += 1;
+                            egd_steps += 1;
+                            progressed = true;
+                            log.push(StepRecord::Egd { dep_index: i, from, to });
+                            if steps >= limits.max_steps {
+                                continue 'outer;
+                            }
+                        }
+                        EgdStep::Failure => {
+                            return ChaseResult {
+                                outcome: ChaseOutcome::Failure { dep_index: i },
+                                instance,
+                                steps: steps + 1,
+                                tgd_steps,
+                                egd_steps: egd_steps + 1,
+                                log,
+                            };
+                        }
+                    }
+                },
+            }
+        }
+        if !progressed {
+            return ChaseResult {
+                outcome: ChaseOutcome::Success,
+                instance,
+                steps,
+                tgd_steps,
+                egd_steps,
+                log,
+            };
+        }
+    }
+}
+
+/// Apply every *currently active* trigger of `tgd` once (re-validating each
+/// before application, since earlier applications may have satisfied it).
+/// Returns the number of steps applied.
+#[allow(clippy::too_many_arguments)]
+fn apply_tgd_round(
+    instance: &mut Instance,
+    dep_index: usize,
+    tgd: &Tgd,
+    mode: WitnessMode<'_>,
+    limits: ChaseLimits,
+    steps: &mut usize,
+    log: &mut Vec<StepRecord>,
+) -> usize {
+    // Collect the active triggers against the current instance. Triggers
+    // stay valid under insertions (homomorphisms are monotone), so batch
+    // collection is sound in a round without egd steps.
+    let mut triggers: Vec<Assignment> = Vec::new();
+    let _ = for_each_hom(&tgd.premise.atoms, instance, &Assignment::new(), |h| {
+        if !exists_hom(&tgd.conclusion.atoms, instance, h) {
+            triggers.push(h.clone());
+        }
+        ControlFlow::Continue(())
+    });
+    let mut applied = 0usize;
+    for h in triggers {
+        if *steps >= limits.max_steps || instance.fact_count() >= limits.max_facts {
+            break;
+        }
+        // Re-check: a previous application may have satisfied this trigger.
+        if exists_hom(&tgd.conclusion.atoms, instance, &h) {
+            continue;
+        }
+        let new_facts = apply_tgd_step(instance, tgd, &h, mode);
+        log.push(StepRecord::Tgd { dep_index, new_facts });
+        *steps += 1;
+        applied += 1;
+    }
+    applied
+}
+
+/// Apply one tgd step for trigger `h`; returns the number of new facts.
+fn apply_tgd_step(
+    instance: &mut Instance,
+    tgd: &Tgd,
+    h: &Assignment,
+    mode: WitnessMode<'_>,
+) -> usize {
+    let mut ext = h.clone();
+    match mode {
+        WitnessMode::FreshNulls(gen) => {
+            for v in &tgd.existentials {
+                ext.bind(*v, Value::Null(gen.fresh()));
+            }
+        }
+        WitnessMode::FromSolution(solution) => {
+            // The premise image lies inside `solution` (it contains the
+            // chased instance), and `solution` satisfies the tgd, so an
+            // extension into `solution` exists; use its witnesses.
+            let w = find_hom(&tgd.conclusion.atoms, solution, h).expect(
+                "solution-aware chase: supplied instance does not satisfy the tgd \
+                 (violates Def. 6's precondition)",
+            );
+            for v in &tgd.existentials {
+                ext.bind(*v, w.get(*v).expect("extension binds existentials"));
+            }
+        }
+    }
+    let mut new_facts = 0usize;
+    for atom in &tgd.conclusion.atoms {
+        let vals = atom
+            .ground(&|v| ext.get(v))
+            .expect("conclusion fully bound after extension");
+        if instance.insert(atom.rel, Tuple::new(vals)) {
+            new_facts += 1;
+        }
+    }
+    new_facts
+}
+
+enum EgdStep {
+    None,
+    Merged { from: Value, to: Value },
+    Failure,
+}
+
+/// Find and apply one egd violation; substitutions invalidate other
+/// outstanding homomorphisms, so egds are applied one at a time.
+fn apply_one_egd(instance: &mut Instance, egd: &Egd) -> EgdStep {
+    let Some(h) = satisfy::find_egd_violation(instance, egd) else {
+        return EgdStep::None;
+    };
+    let l = h.get(egd.lhs).expect("bound");
+    let r = h.get(egd.rhs).expect("bound");
+    match (l, r) {
+        (Value::Const(_), Value::Const(_)) => EgdStep::Failure,
+        (Value::Null(_), _) => {
+            instance.substitute(l, r);
+            EgdStep::Merged { from: l, to: r }
+        }
+        (_, Value::Null(_)) => {
+            instance.substitute(r, l);
+            EgdStep::Merged { from: r, to: l }
+        }
+    }
+}
+
+/// Standard chase with fresh nulls and default limits.
+pub fn chase(instance: Instance, deps: &[Dependency], gen: &NullGen) -> ChaseResult {
+    chase_with(instance, deps, WitnessMode::FreshNulls(gen), ChaseLimits::default())
+}
+
+/// Chase with tgds only (no failure possible; outcome is success or
+/// resource-exceeded).
+pub fn chase_tgds(instance: Instance, tgds: &[Tgd], gen: &NullGen) -> ChaseResult {
+    let deps: Vec<Dependency> = tgds.iter().cloned().map(Dependency::Tgd).collect();
+    chase(instance, &deps, gen)
+}
+
+/// Solution-aware chase (paper Def. 7): chase `instance` with `deps`
+/// drawing tgd witnesses from `solution`. The caller must ensure `solution`
+/// contains `instance` and satisfies the tgds in `deps`.
+pub fn solution_aware_chase(
+    instance: Instance,
+    deps: &[Dependency],
+    solution: &Instance,
+    limits: ChaseLimits,
+) -> ChaseResult {
+    chase_with(instance, deps, WitnessMode::FromSolution(solution), limits)
+}
+
+/// Seed a null generator safely above every null already in `instance`.
+pub fn null_gen_for(instance: &Instance) -> NullGen {
+    NullGen::starting_at(instance.max_null_id().map_or(0, |m| m + 1))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::satisfy::{satisfies_all, satisfies_all_tgds};
+    use pde_constraints::{parse_dependencies, parse_tgds};
+    use pde_relational::{parse_instance, parse_schema, Schema};
+    use std::sync::Arc;
+
+    fn schema() -> Arc<Schema> {
+        Arc::new(parse_schema("source E/2; target H/2; target K/2;").unwrap())
+    }
+
+    #[test]
+    fn full_tgd_chase_reaches_fixpoint() {
+        let s = schema();
+        let tgds = parse_tgds(&s, "E(x, z), E(z, y) -> H(x, y)").unwrap();
+        let inst = parse_instance(&s, "E(a, b). E(b, c). E(c, d).").unwrap();
+        let gen = NullGen::new();
+        let res = chase_tgds(inst, &tgds, &gen);
+        assert!(res.is_success());
+        let out = res.instance;
+        let h = s.rel_id("H").unwrap();
+        assert_eq!(out.relation(h).len(), 2); // (a,c), (b,d)
+        assert!(satisfies_all_tgds(&out, &tgds));
+        assert!(out.is_ground());
+    }
+
+    #[test]
+    fn existential_tgd_creates_nulls() {
+        let s = schema();
+        let tgds = parse_tgds(&s, "E(x, y) -> exists z . H(x, z), K(z, y)").unwrap();
+        let inst = parse_instance(&s, "E(a, b).").unwrap();
+        let gen = NullGen::new();
+        let res = chase_tgds(inst, &tgds, &gen);
+        assert!(res.is_success());
+        let out = res.instance;
+        assert_eq!(out.fact_count(), 3);
+        assert_eq!(out.nulls().len(), 1);
+        assert!(satisfies_all_tgds(&out, &tgds));
+    }
+
+    #[test]
+    fn restricted_chase_skips_satisfied_triggers() {
+        let s = schema();
+        let tgds = parse_tgds(&s, "E(x, y) -> exists z . H(x, z)").unwrap();
+        // H(a, q) already witnesses E(a, b): no step needed.
+        let inst = parse_instance(&s, "E(a, b). H(a, q).").unwrap();
+        let gen = NullGen::new();
+        let res = chase_tgds(inst, &tgds, &gen);
+        assert!(res.is_success());
+        assert_eq!(res.steps, 0);
+        assert_eq!(res.instance.nulls().len(), 0);
+    }
+
+    #[test]
+    fn egd_merges_null_with_constant() {
+        let s = schema();
+        let deps = parse_dependencies(
+            &s,
+            "E(x, y) -> exists z . H(x, z); H(x, y), H(x, z) -> y = z",
+        )
+        .unwrap();
+        let inst = parse_instance(&s, "E(a, b). H(a, c).").unwrap();
+        let gen = NullGen::new();
+        let res = chase(inst, &deps, &gen);
+        assert!(res.is_success());
+        let out = res.instance;
+        let h = s.rel_id("H").unwrap();
+        // Either zero steps (restricted chase sees H(a,c) as witness) or
+        // the created null merges into c — both leave exactly H(a, c).
+        assert_eq!(out.relation(h).len(), 1);
+        assert!(out.is_ground());
+        assert!(satisfies_all(&out, &deps));
+    }
+
+    #[test]
+    fn egd_on_two_constants_fails() {
+        let s = schema();
+        let deps = parse_dependencies(&s, "H(x, y), H(x, z) -> y = z").unwrap();
+        let inst = parse_instance(&s, "H(a, b). H(a, c).").unwrap();
+        let gen = NullGen::new();
+        let res = chase(inst, &deps, &gen);
+        assert!(res.is_failure());
+        assert_eq!(res.outcome, ChaseOutcome::Failure { dep_index: 0 });
+    }
+
+    #[test]
+    fn egd_merges_two_nulls() {
+        let s = schema();
+        let deps = parse_dependencies(
+            &s,
+            "E(x, y) -> exists z . H(x, z); E(x, y) -> exists w . K(x, w); \
+             H(x, y), K(x, z) -> y = z",
+        )
+        .unwrap();
+        let inst = parse_instance(&s, "E(a, b).").unwrap();
+        let gen = NullGen::new();
+        let res = chase(inst, &deps, &gen);
+        assert!(res.is_success());
+        let out = res.instance;
+        assert_eq!(out.nulls().len(), 1, "the two nulls merged");
+        assert!(satisfies_all(&out, &deps));
+    }
+
+    #[test]
+    fn divergent_chase_hits_limit() {
+        let s = Arc::new(parse_schema("target A/2;").unwrap());
+        let mut a = Instance::new(s.clone());
+        a.insert_consts("A", ["x", "y"]);
+        let tgds = parse_tgds(&s, "A(x, y) -> exists z . A(y, z)").unwrap();
+        let deps: Vec<Dependency> = tgds.into_iter().map(Dependency::Tgd).collect();
+        let gen = NullGen::new();
+        let res = chase_with(a, &deps, WitnessMode::FreshNulls(&gen), ChaseLimits::tight(50));
+        assert_eq!(res.outcome, ChaseOutcome::ResourceExceeded);
+        assert!(res.steps >= 50);
+    }
+
+    #[test]
+    fn solution_aware_chase_stays_inside_solution() {
+        let s = schema();
+        let tgds = parse_tgds(&s, "E(x, y) -> exists z . H(x, z)").unwrap();
+        let deps: Vec<Dependency> = tgds.iter().cloned().map(Dependency::Tgd).collect();
+        let inst = parse_instance(&s, "E(a, b).").unwrap();
+        // A "solution" containing inst and satisfying the tgd.
+        let solution = parse_instance(&s, "E(a, b). H(a, w1). H(a, w2).").unwrap();
+        let res = solution_aware_chase(inst, &deps, &solution, ChaseLimits::default());
+        assert!(res.is_success());
+        let out = res.instance;
+        assert!(out.contained_in(&solution), "chase stayed inside K'");
+        assert!(out.is_ground(), "witnesses come from K', not fresh nulls");
+        assert!(satisfies_all_tgds(&out, &tgds));
+        // Exactly one witness used, not both (minimality of the chase).
+        let h = s.rel_id("H").unwrap();
+        assert_eq!(out.relation(h).len(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "does not satisfy the tgd")]
+    fn solution_aware_chase_validates_precondition() {
+        let s = schema();
+        let tgds = parse_tgds(&s, "E(x, y) -> exists z . H(x, z)").unwrap();
+        let deps: Vec<Dependency> = tgds.iter().cloned().map(Dependency::Tgd).collect();
+        let inst = parse_instance(&s, "E(a, b).").unwrap();
+        let bogus = parse_instance(&s, "E(a, b).").unwrap(); // no H witness
+        let _ = solution_aware_chase(inst, &deps, &bogus, ChaseLimits::default());
+    }
+
+    #[test]
+    fn provenance_log_records_every_step() {
+        let s = schema();
+        let deps = parse_dependencies(
+            &s,
+            "E(x, y) -> exists z . H(x, z); H(x, y), H(x, z) -> y = z",
+        )
+        .unwrap();
+        let inst = parse_instance(&s, "E(a, b). E(a, c). H(a, q).").unwrap();
+        let gen = NullGen::new();
+        let res = chase(inst, &deps, &gen);
+        assert!(res.is_success());
+        assert_eq!(res.log.len(), res.steps);
+        let tgd_recs = res
+            .log
+            .iter()
+            .filter(|r| matches!(r, crate::result::StepRecord::Tgd { .. }))
+            .count();
+        let egd_recs = res.log.len() - tgd_recs;
+        assert_eq!(tgd_recs, res.tgd_steps);
+        assert_eq!(egd_recs, res.egd_steps);
+        // Dependency indexes point into the chased list.
+        for r in &res.log {
+            match r {
+                crate::result::StepRecord::Tgd { dep_index, new_facts } => {
+                    assert_eq!(*dep_index, 0);
+                    assert!(*new_facts <= 1);
+                }
+                crate::result::StepRecord::Egd { dep_index, from, to } => {
+                    assert_eq!(*dep_index, 1);
+                    assert!(from.is_null() || to.is_null());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn chase_without_steps_has_empty_log() {
+        let s = schema();
+        let tgds = parse_tgds(&s, "E(x, y) -> exists z . H(x, z)").unwrap();
+        let inst = parse_instance(&s, "E(a, b). H(a, w).").unwrap();
+        let gen = NullGen::new();
+        let res = chase_tgds(inst, &tgds, &gen);
+        assert!(res.log.is_empty());
+    }
+
+    #[test]
+    fn null_gen_for_avoids_collisions() {
+        let s = schema();
+        let inst = parse_instance(&s, "H(?5, a).").unwrap();
+        let gen = null_gen_for(&inst);
+        assert_eq!(gen.fresh().0, 6);
+    }
+
+    #[test]
+    fn chase_is_idempotent_on_satisfied_instances() {
+        let s = schema();
+        let tgds = parse_tgds(&s, "E(x, z), E(z, y) -> H(x, y)").unwrap();
+        let inst = parse_instance(&s, "E(a, b). E(b, c).").unwrap();
+        let gen = NullGen::new();
+        let once = chase_tgds(inst, &tgds, &gen).into_success().unwrap();
+        let twice = chase_tgds(once.clone(), &tgds, &gen).into_success().unwrap();
+        assert!(once.same_facts(&twice));
+    }
+}

@@ -1,0 +1,178 @@
+//! Chase outcomes, limits, and step statistics.
+
+use pde_relational::Instance;
+use std::fmt;
+
+/// Resource limits guarding against non-terminating chases.
+///
+/// Weakly acyclic sets terminate within a polynomial bound, but the engine
+/// also accepts arbitrary tgd sets (e.g. in tests demonstrating
+/// divergence), so hard caps are always enforced.
+#[derive(Clone, Copy, Debug)]
+pub struct ChaseLimits {
+    /// Maximum number of applied chase steps.
+    pub max_steps: usize,
+    /// Maximum total number of facts in the chased instance.
+    pub max_facts: usize,
+}
+
+impl Default for ChaseLimits {
+    fn default() -> Self {
+        ChaseLimits {
+            max_steps: 1_000_000,
+            max_facts: 10_000_000,
+        }
+    }
+}
+
+impl ChaseLimits {
+    /// Small limits for tests that expect divergence.
+    pub fn tight(max_steps: usize) -> ChaseLimits {
+        ChaseLimits {
+            max_steps,
+            max_facts: usize::MAX,
+        }
+    }
+
+    /// Limits derived from the constructive Lemma 1 bound
+    /// ([`pde_constraints::chase_bound`]): a chase within these limits is
+    /// guaranteed to run to completion on weakly acyclic sets, and the
+    /// limits still guard against bugs.
+    pub fn from_bound(bound: pde_constraints::ChaseBound) -> ChaseLimits {
+        ChaseLimits {
+            max_steps: bound.step_bound,
+            max_facts: bound.fact_bound,
+        }
+    }
+}
+
+/// Why a chase ended.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ChaseOutcome {
+    /// No dependency is applicable: the result satisfies them all.
+    Success,
+    /// An egd equated two distinct constants — the chase *fails*
+    /// (paper Def. 6, egd case); no instance containing the input can
+    /// satisfy the dependencies.
+    Failure {
+        /// Index (into the chased dependency list) of the failing egd.
+        dep_index: usize,
+    },
+    /// A resource limit was hit before a fixpoint was reached.
+    ResourceExceeded,
+}
+
+/// What one chase step did (lightweight provenance for debugging and for
+/// the block-lemma tests).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum StepRecord {
+    /// A tgd fired: index into the chased dependency list, and the number
+    /// of new facts its conclusion contributed.
+    Tgd {
+        /// Dependency index.
+        dep_index: usize,
+        /// Facts newly inserted by this step.
+        new_facts: usize,
+    },
+    /// An egd merged two values.
+    Egd {
+        /// Dependency index.
+        dep_index: usize,
+        /// The value that was replaced.
+        from: pde_relational::Value,
+        /// The value it was replaced with.
+        to: pde_relational::Value,
+    },
+}
+
+/// The result of a chase run.
+#[derive(Clone, Debug)]
+pub struct ChaseResult {
+    /// How the run ended.
+    pub outcome: ChaseOutcome,
+    /// The instance at the end of the run (meaningful for `Success`;
+    /// best-effort snapshot otherwise).
+    pub instance: Instance,
+    /// Number of applied chase steps (tgd applications + egd merges).
+    pub steps: usize,
+    /// Number of tgd steps among `steps`.
+    pub tgd_steps: usize,
+    /// Number of egd steps among `steps`.
+    pub egd_steps: usize,
+    /// Per-step provenance, in application order.
+    pub log: Vec<StepRecord>,
+}
+
+impl ChaseResult {
+    /// The successfully chased instance, or `None` on failure/limits.
+    pub fn into_success(self) -> Option<Instance> {
+        match self.outcome {
+            ChaseOutcome::Success => Some(self.instance),
+            _ => None,
+        }
+    }
+
+    /// Did the chase succeed?
+    pub fn is_success(&self) -> bool {
+        self.outcome == ChaseOutcome::Success
+    }
+
+    /// Did the chase fail on an egd?
+    pub fn is_failure(&self) -> bool {
+        matches!(self.outcome, ChaseOutcome::Failure { .. })
+    }
+}
+
+impl fmt::Display for ChaseOutcome {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ChaseOutcome::Success => write!(f, "success"),
+            ChaseOutcome::Failure { dep_index } => {
+                write!(f, "failure (egd #{dep_index} merged two constants)")
+            }
+            ChaseOutcome::ResourceExceeded => write!(f, "resource limit exceeded"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pde_relational::{parse_schema, Instance};
+    use std::sync::Arc;
+
+    #[test]
+    fn outcome_predicates() {
+        let s = Arc::new(parse_schema("target A/1;").unwrap());
+        let inst = Instance::new(s);
+        let ok = ChaseResult {
+            outcome: ChaseOutcome::Success,
+            instance: inst.clone(),
+            steps: 0,
+            tgd_steps: 0,
+            egd_steps: 0,
+            log: Vec::new(),
+        };
+        assert!(ok.is_success());
+        assert!(ok.into_success().is_some());
+        let bad = ChaseResult {
+            outcome: ChaseOutcome::Failure { dep_index: 2 },
+            instance: inst,
+            steps: 1,
+            tgd_steps: 0,
+            egd_steps: 1,
+            log: Vec::new(),
+        };
+        assert!(bad.is_failure());
+        assert!(!bad.is_success());
+        assert!(format!("{}", bad.outcome).contains("#2"));
+    }
+
+    #[test]
+    fn default_limits_are_generous() {
+        let l = ChaseLimits::default();
+        assert!(l.max_steps >= 1_000_000);
+        let t = ChaseLimits::tight(10);
+        assert_eq!(t.max_steps, 10);
+    }
+}

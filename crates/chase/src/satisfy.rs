@@ -1,0 +1,167 @@
+//! Dependency satisfaction checks.
+//!
+//! `(I, J) ⊨ Σ` questions reduce to homomorphism searches: a tgd is
+//! satisfied when every premise homomorphism extends to a conclusion
+//! homomorphism; an egd when no premise homomorphism separates the equated
+//! variables. These checks are used to verify solutions (paper Def. 2) and
+//! as the chase's trigger tests.
+
+use pde_constraints::{Dependency, DisjunctiveTgd, Egd, Tgd};
+use pde_relational::{exists_hom, for_each_hom, Assignment, Instance};
+use std::ops::ControlFlow;
+
+/// Does `inst` satisfy the tgd?
+pub fn satisfies_tgd(inst: &Instance, tgd: &Tgd) -> bool {
+    find_tgd_violation(inst, tgd).is_none()
+}
+
+/// A premise homomorphism with no conclusion extension, if one exists.
+pub fn find_tgd_violation(inst: &Instance, tgd: &Tgd) -> Option<Assignment> {
+    let mut violation = None;
+    let _ = for_each_hom(&tgd.premise.atoms, inst, &Assignment::new(), |h| {
+        if exists_hom(&tgd.conclusion.atoms, inst, h) {
+            ControlFlow::Continue(())
+        } else {
+            violation = Some(h.clone());
+            ControlFlow::Break(())
+        }
+    });
+    violation
+}
+
+/// Does `inst` satisfy the egd?
+pub fn satisfies_egd(inst: &Instance, egd: &Egd) -> bool {
+    find_egd_violation(inst, egd).is_none()
+}
+
+/// A premise homomorphism separating the equated variables, if one exists.
+pub fn find_egd_violation(inst: &Instance, egd: &Egd) -> Option<Assignment> {
+    let mut violation = None;
+    let _ = for_each_hom(&egd.premise.atoms, inst, &Assignment::new(), |h| {
+        let l = h.get(egd.lhs).expect("egd lhs bound by premise");
+        let r = h.get(egd.rhs).expect("egd rhs bound by premise");
+        if l == r {
+            ControlFlow::Continue(())
+        } else {
+            violation = Some(h.clone());
+            ControlFlow::Break(())
+        }
+    });
+    violation
+}
+
+/// Does `inst` satisfy the dependency?
+pub fn satisfies(inst: &Instance, dep: &Dependency) -> bool {
+    match dep {
+        Dependency::Tgd(t) => satisfies_tgd(inst, t),
+        Dependency::Egd(e) => satisfies_egd(inst, e),
+    }
+}
+
+/// Does `inst` satisfy every dependency of `deps`?
+pub fn satisfies_all<'a>(
+    inst: &Instance,
+    deps: impl IntoIterator<Item = &'a Dependency>,
+) -> bool {
+    deps.into_iter().all(|d| satisfies(inst, d))
+}
+
+/// Does `inst` satisfy every tgd of `tgds`?
+pub fn satisfies_all_tgds<'a>(inst: &Instance, tgds: impl IntoIterator<Item = &'a Tgd>) -> bool {
+    tgds.into_iter().all(|t| satisfies_tgd(inst, t))
+}
+
+/// Does `inst` satisfy the disjunctive tgd (some disjunct extendable for
+/// every premise homomorphism)?
+pub fn satisfies_disjunctive(inst: &Instance, d: &DisjunctiveTgd) -> bool {
+    let mut ok = true;
+    let _ = for_each_hom(&d.premise.atoms, inst, &Assignment::new(), |h| {
+        if d.disjuncts
+            .iter()
+            .any(|dj| exists_hom(&dj.conjunction.atoms, inst, h))
+        {
+            ControlFlow::Continue(())
+        } else {
+            ok = false;
+            ControlFlow::Break(())
+        }
+    });
+    ok
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pde_constraints::{parse_disjunctive_tgd, parse_egd, parse_tgd};
+    use pde_relational::{parse_instance, parse_schema, Schema};
+    use std::sync::Arc;
+
+    fn schema() -> Arc<Schema> {
+        Arc::new(parse_schema("source E/2; target H/2; source R/1; source B/1;").unwrap())
+    }
+
+    #[test]
+    fn tgd_satisfaction() {
+        let s = schema();
+        let tgd = parse_tgd(&s, "E(x, z), E(z, y) -> H(x, y)").unwrap();
+        let sat = parse_instance(&s, "E(a, b). E(b, c). H(a, c).").unwrap();
+        assert!(satisfies_tgd(&sat, &tgd));
+        let unsat = parse_instance(&s, "E(a, b). E(b, c).").unwrap();
+        assert!(!satisfies_tgd(&unsat, &tgd));
+        let v = find_tgd_violation(&unsat, &tgd).unwrap();
+        assert_eq!(v.get("x".into()), Some(pde_relational::Value::constant("a")));
+    }
+
+    #[test]
+    fn tgd_with_existential() {
+        let s = schema();
+        let tgd = parse_tgd(&s, "H(x, y) -> exists z . E(x, z), E(z, y)").unwrap();
+        let sat = parse_instance(&s, "H(a, c). E(a, b). E(b, c).").unwrap();
+        assert!(satisfies_tgd(&sat, &tgd));
+        let unsat = parse_instance(&s, "H(a, c). E(a, b).").unwrap();
+        assert!(!satisfies_tgd(&unsat, &tgd));
+    }
+
+    #[test]
+    fn egd_satisfaction() {
+        let s = schema();
+        let egd = parse_egd(&s, "H(x, y), H(x, z) -> y = z").unwrap();
+        let sat = parse_instance(&s, "H(a, b). H(c, b).").unwrap();
+        assert!(satisfies_egd(&sat, &egd));
+        let unsat = parse_instance(&s, "H(a, b). H(a, c).").unwrap();
+        assert!(!satisfies_egd(&unsat, &egd));
+        assert!(find_egd_violation(&unsat, &egd).is_some());
+    }
+
+    #[test]
+    fn vacuous_satisfaction() {
+        let s = schema();
+        let tgd = parse_tgd(&s, "E(x, z), E(z, y) -> H(x, y)").unwrap();
+        let empty = pde_relational::Instance::new(s.clone());
+        assert!(satisfies_tgd(&empty, &tgd));
+    }
+
+    #[test]
+    fn satisfies_all_mixed() {
+        let s = schema();
+        let deps = pde_constraints::parse_dependencies(
+            &s,
+            "E(x, y) -> H(x, y); H(x, y), H(x, z) -> y = z",
+        )
+        .unwrap();
+        let good = parse_instance(&s, "E(a, b). H(a, b).").unwrap();
+        assert!(satisfies_all(&good, &deps));
+        let bad = parse_instance(&s, "E(a, b). H(a, b). H(a, c).").unwrap();
+        assert!(!satisfies_all(&bad, &deps));
+    }
+
+    #[test]
+    fn disjunctive_satisfaction() {
+        let s = schema();
+        let d = parse_disjunctive_tgd(&s, "H(x, y) -> R(x) | B(x)").unwrap();
+        let sat = parse_instance(&s, "H(a, b). B(a).").unwrap();
+        assert!(satisfies_disjunctive(&sat, &d));
+        let unsat = parse_instance(&s, "H(a, b). R(c).").unwrap();
+        assert!(!satisfies_disjunctive(&unsat, &d));
+    }
+}

@@ -1,0 +1,334 @@
+//! The `C_tract` classifier (paper Def. 9).
+//!
+//! A PDE setting with no target constraints belongs to `C_tract` when
+//!
+//! 1. in every target-to-source tgd `D`, every marked variable of `D`
+//!    occurs at most once in the left-hand side of `D`; **and**
+//! 2. either
+//!    * **(2.1)** the left-hand side of every tgd in Σts is a single
+//!      literal, or
+//!    * **(2.2)** for every tgd `D` in Σts and every pair of marked
+//!      variables `x`, `y` occurring together in some conjunct of the
+//!      right-hand side of `D`: `x` and `y` occur together in some conjunct
+//!      of the left-hand side, or neither occurs in the left-hand side at
+//!      all.
+//!
+//! Membership in `C_tract` guarantees that `ExistsSolution` (paper Fig. 3)
+//! runs in polynomial time (Theorem 4); the classifier also produces the
+//! diagnostics used by the boundary examples to explain *why* a setting
+//! falls outside the class.
+
+use crate::marking::Marking;
+use crate::tgd::Tgd;
+use pde_relational::{Schema, Term, Var};
+use std::collections::BTreeSet;
+use std::fmt;
+
+/// Why a setting violates one of the `C_tract` conditions.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum CtractViolation {
+    /// Condition 1: a marked variable occurs more than once in the LHS of a
+    /// ts-tgd.
+    RepeatedMarkedVariable {
+        /// Index of the offending tgd within Σts.
+        tgd_index: usize,
+        /// The repeated marked variable.
+        var: Var,
+        /// Number of LHS occurrences.
+        occurrences: usize,
+    },
+    /// Condition 2.1: a ts-tgd has more than one LHS literal.
+    MultiLiteralLhs {
+        /// Index of the offending tgd within Σts.
+        tgd_index: usize,
+        /// Number of LHS literals.
+        literals: usize,
+    },
+    /// Condition 2.2: two marked variables co-occur in an RHS conjunct but
+    /// neither clause (a) nor (b) of condition 2.2 holds.
+    BadMarkedPair {
+        /// Index of the offending tgd within Σts.
+        tgd_index: usize,
+        /// First variable of the pair.
+        x: Var,
+        /// Second variable of the pair.
+        y: Var,
+    },
+}
+
+impl fmt::Display for CtractViolation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CtractViolation::RepeatedMarkedVariable {
+                tgd_index,
+                var,
+                occurrences,
+            } => write!(
+                f,
+                "ts-tgd #{tgd_index}: marked variable {var} occurs {occurrences} times in the LHS"
+            ),
+            CtractViolation::MultiLiteralLhs { tgd_index, literals } => write!(
+                f,
+                "ts-tgd #{tgd_index}: LHS has {literals} literals (condition 2.1 needs exactly 1)"
+            ),
+            CtractViolation::BadMarkedPair { tgd_index, x, y } => write!(
+                f,
+                "ts-tgd #{tgd_index}: marked variables {x}, {y} co-occur in an RHS conjunct \
+                 but neither co-occur in an LHS conjunct nor are both absent from the LHS"
+            ),
+        }
+    }
+}
+
+/// Outcome of classifying a pair (Σst, Σts).
+#[derive(Clone, Debug)]
+pub struct CtractReport {
+    /// Violations of condition 1 (empty = condition 1 holds).
+    pub condition1: Vec<CtractViolation>,
+    /// Violations of condition 2.1 (empty = condition 2.1 holds).
+    pub condition2_1: Vec<CtractViolation>,
+    /// Violations of condition 2.2 (empty = condition 2.2 holds).
+    pub condition2_2: Vec<CtractViolation>,
+    /// Is every source-to-target tgd full? (Sufficient for 2.2; Corollary 1.)
+    pub st_all_full: bool,
+    /// Is every target-to-source tgd LAV? (Implies 1 and 2.1; Corollary 2.)
+    pub ts_all_lav: bool,
+}
+
+impl CtractReport {
+    /// Does condition 1 hold?
+    pub fn holds1(&self) -> bool {
+        self.condition1.is_empty()
+    }
+
+    /// Does condition 2.1 hold?
+    pub fn holds2_1(&self) -> bool {
+        self.condition2_1.is_empty()
+    }
+
+    /// Does condition 2.2 hold?
+    pub fn holds2_2(&self) -> bool {
+        self.condition2_2.is_empty()
+    }
+
+    /// Is the setting in `C_tract`: condition 1 and (2.1 or 2.2)?
+    pub fn in_ctract(&self) -> bool {
+        self.holds1() && (self.holds2_1() || self.holds2_2())
+    }
+
+    /// Every violation, for diagnostics.
+    pub fn violations(&self) -> impl Iterator<Item = &CtractViolation> {
+        self.condition1
+            .iter()
+            .chain(&self.condition2_1)
+            .chain(&self.condition2_2)
+    }
+}
+
+/// Classify the constraints of a PDE setting with no target constraints.
+pub fn classify(schema: &Schema, sigma_st: &[Tgd], sigma_ts: &[Tgd]) -> CtractReport {
+    let _ = schema; // names only needed for diagnostics rendered elsewhere
+    let marking = Marking::of_st_tgds(sigma_st);
+    let mut condition1 = Vec::new();
+    let mut condition2_1 = Vec::new();
+    let mut condition2_2 = Vec::new();
+
+    for (i, d) in sigma_ts.iter().enumerate() {
+        let marked = marking.marked_variables(d);
+
+        // Condition 1: marked variables occur at most once in the LHS.
+        for v in &marked {
+            let occ = d.premise.occurrences_of(*v);
+            if occ > 1 {
+                condition1.push(CtractViolation::RepeatedMarkedVariable {
+                    tgd_index: i,
+                    var: *v,
+                    occurrences: occ,
+                });
+            }
+        }
+
+        // Condition 2.1: single-literal LHS.
+        if d.premise.len() != 1 {
+            condition2_1.push(CtractViolation::MultiLiteralLhs {
+                tgd_index: i,
+                literals: d.premise.len(),
+            });
+        }
+
+        // Condition 2.2: co-occurring marked RHS pairs must co-occur in an
+        // LHS conjunct or both be absent from the LHS.
+        let lhs_vars = d.premise.variables();
+        for atom in &d.conclusion.atoms {
+            let atom_marked: Vec<Var> = atom
+                .terms
+                .iter()
+                .filter_map(|t| match t {
+                    Term::Var(v) if marked.contains(v) => Some(*v),
+                    _ => None,
+                })
+                .collect();
+            let distinct: BTreeSet<Var> = atom_marked.iter().copied().collect();
+            let distinct: Vec<Var> = distinct.into_iter().collect();
+            for a in 0..distinct.len() {
+                for b in (a + 1)..distinct.len() {
+                    let (x, y) = (distinct[a], distinct[b]);
+                    let both_absent = !lhs_vars.contains(&x) && !lhs_vars.contains(&y);
+                    let co_occur_lhs = d
+                        .premise
+                        .atoms
+                        .iter()
+                        .any(|p| {
+                            let vs = p.variables();
+                            vs.contains(&x) && vs.contains(&y)
+                        });
+                    if !both_absent && !co_occur_lhs {
+                        let viol = CtractViolation::BadMarkedPair { tgd_index: i, x, y };
+                        if !condition2_2.contains(&viol) {
+                            condition2_2.push(viol);
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    CtractReport {
+        condition1,
+        condition2_1,
+        condition2_2,
+        st_all_full: sigma_st.iter().all(Tgd::is_full),
+        ts_all_lav: sigma_ts.iter().all(Tgd::is_lav),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_tgds;
+    use pde_relational::parse_schema;
+
+    fn clique_schema() -> Schema {
+        parse_schema("source D/2; source S/2; source E/2; target P/4;").unwrap()
+    }
+
+    #[test]
+    fn clique_setting_is_not_tractable() {
+        // Theorem 3's setting violates both 2.1 and 2.2 (minimally).
+        let s = clique_schema();
+        let st = parse_tgds(&s, "D(x, y) -> exists z, w . P(x, z, y, w)").unwrap();
+        let ts = parse_tgds(
+            &s,
+            "P(x, z, y, w) -> E(z, w);
+             P(x, z, y, w), P(x, z2, y2, w2) -> S(z, z2)",
+        )
+        .unwrap();
+        let r = classify(&s, &st, &ts);
+        assert!(r.holds1(), "condition 1 holds for the clique setting");
+        assert!(!r.holds2_1(), "second ts-tgd has two LHS literals");
+        assert!(!r.holds2_2(), "z and z2 co-occur in RHS but not in an LHS conjunct");
+        assert!(!r.in_ctract());
+        // The 2.2 violation is exactly the pair the paper names (z, z').
+        assert!(r.condition2_2.iter().any(|v| matches!(
+            v,
+            CtractViolation::BadMarkedPair { x, y, .. }
+            if (*x == Var::new("z") && *y == Var::new("z2"))
+                || (*x == Var::new("z2") && *y == Var::new("z"))
+        )));
+    }
+
+    #[test]
+    fn lav_ts_is_tractable() {
+        // Corollary 2: LAV Σts ⇒ conditions 1 and 2.1 hold.
+        let s = parse_schema("source E/2; target H/2;").unwrap();
+        let st = parse_tgds(&s, "E(x, z), E(z, y) -> H(x, y)").unwrap();
+        let ts = parse_tgds(&s, "H(x, y) -> exists z . E(x, z), E(z, y)").unwrap();
+        let r = classify(&s, &st, &ts);
+        assert!(r.ts_all_lav);
+        assert!(r.in_ctract());
+        assert!(r.holds1() && r.holds2_1());
+    }
+
+    #[test]
+    fn full_st_is_tractable() {
+        // Corollary 1: full Σst ⇒ only existentials are marked, and any two
+        // existentials co-occurring in the RHS are both absent from the LHS.
+        let s = parse_schema("source E/2; source F/2; target H/2; target K/2;").unwrap();
+        let st = parse_tgds(&s, "E(x, y) -> H(x, y); E(x, y) -> K(y, x)").unwrap();
+        let ts = parse_tgds(
+            &s,
+            "H(x, y), K(y, z) -> exists u, v . F(u, v), E(x, u)",
+        )
+        .unwrap();
+        let r = classify(&s, &st, &ts);
+        assert!(r.st_all_full);
+        assert!(r.holds1());
+        assert!(!r.holds2_1(), "two LHS literals");
+        assert!(r.holds2_2(), "full st-tgds satisfy 2.2");
+        assert!(r.in_ctract());
+    }
+
+    #[test]
+    fn repeated_marked_variable_violates_condition1() {
+        // Marked variable x (at the marked position T.1 twice) in the LHS.
+        let s = parse_schema("source A/1; source B/2; target T/2;").unwrap();
+        let st = parse_tgds(&s, "A(x) -> exists y . T(x, y)").unwrap();
+        let ts = parse_tgds(&s, "T(u, m), T(v, m) -> B(u, v)").unwrap();
+        let r = classify(&s, &st, &ts);
+        assert!(!r.holds1());
+        assert!(matches!(
+            r.condition1[0],
+            CtractViolation::RepeatedMarkedVariable {
+                var, occurrences: 2, ..
+            } if var == Var::new("m")
+        ));
+        assert!(!r.in_ctract());
+    }
+
+    #[test]
+    fn unmarked_repetition_is_allowed() {
+        // Repeating an UNMARKED variable in the LHS does not violate 1.
+        let s = parse_schema("source A/1; source B/2; target T/2;").unwrap();
+        let st = parse_tgds(&s, "A(x) -> exists y . T(x, y)").unwrap();
+        // u is at unmarked position T.0 twice.
+        let ts = parse_tgds(&s, "T(u, m), T(u, m2) -> B(m, m2)").unwrap();
+        let r = classify(&s, &st, &ts);
+        assert!(r.holds1());
+        // But m, m2 co-occur in the RHS without co-occurring in an LHS
+        // conjunct → 2.2 fails; and LHS has 2 literals → 2.1 fails.
+        assert!(!r.holds2_2());
+        assert!(!r.in_ctract());
+    }
+
+    #[test]
+    fn marked_pair_cooccurring_in_lhs_satisfies_2_2() {
+        let s = parse_schema("source A/1; source B/2; target T/2;").unwrap();
+        let st = parse_tgds(&s, "A(x) -> exists y, z . T(y, z)").unwrap();
+        // y, z marked (both positions marked); they co-occur in the single
+        // LHS conjunct, so (a) of 2.2 holds.
+        let ts = parse_tgds(&s, "T(u, v) -> B(u, v)").unwrap();
+        let r = classify(&s, &st, &ts);
+        assert!(r.in_ctract());
+        assert!(r.holds2_1() && r.holds2_2());
+    }
+
+    #[test]
+    fn empty_ts_is_trivially_tractable() {
+        let s = parse_schema("source E/2; target H/2;").unwrap();
+        let st = parse_tgds(&s, "E(x, y) -> exists z . H(x, z)").unwrap();
+        let r = classify(&s, &st, &[]);
+        assert!(r.in_ctract());
+    }
+
+    #[test]
+    fn boundary_distance_two_pair_fails() {
+        // The paper's point that "connected via a path of length two" is
+        // not enough: z and z2 are connected through x in the LHS but do
+        // not co-occur in one conjunct.
+        let s = clique_schema();
+        let st = parse_tgds(&s, "D(x, y) -> exists z, w . P(x, z, y, w)").unwrap();
+        let ts = parse_tgds(&s, "P(x, z, y, w), P(x, z2, y2, w2) -> S(z, z2)").unwrap();
+        let r = classify(&s, &st, &ts);
+        assert!(!r.holds2_2());
+    }
+}

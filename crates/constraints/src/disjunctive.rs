@@ -1,0 +1,183 @@
+//! Disjunctive tgds: the §4 extension that crosses the tractability line.
+//!
+//! The paper's last boundary example allows a *disjunction* of conjunctions
+//! on the right-hand side of a target-to-source dependency and shows that
+//! 3-COLORABILITY then reduces to the existence-of-solutions problem even
+//! when conditions (1) and (2.2) of `C_tract` hold. We support these
+//! dependencies as an explicit extension type so the reduction is executable
+//! (experiment E9); they are *not* members of the plain tgd sets a PDE
+//! setting is defined over.
+
+use crate::tgd::{DependencyError, Orientation, Tgd};
+use pde_relational::{Conjunction, Schema, Var};
+use std::collections::BTreeSet;
+use std::fmt;
+
+/// One disjunct of a disjunctive tgd's right-hand side: an optionally
+/// existentially quantified conjunction.
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+pub struct Disjunct {
+    /// Existential variables local to this disjunct.
+    pub existentials: BTreeSet<Var>,
+    /// The disjunct's conjunction.
+    pub conjunction: Conjunction,
+}
+
+/// A disjunctive tgd `∀x̄ (premise → D1 ∨ … ∨ Dk)`.
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+pub struct DisjunctiveTgd {
+    /// The premise conjunction.
+    pub premise: Conjunction,
+    /// The disjuncts of the conclusion (at least one).
+    pub disjuncts: Vec<Disjunct>,
+}
+
+impl DisjunctiveTgd {
+    /// Build a disjunctive tgd.
+    pub fn new(premise: Conjunction, disjuncts: Vec<Disjunct>) -> DisjunctiveTgd {
+        DisjunctiveTgd { premise, disjuncts }
+    }
+
+    /// A plain tgd viewed as the single-disjunct case.
+    pub fn from_tgd(t: &Tgd) -> DisjunctiveTgd {
+        DisjunctiveTgd {
+            premise: t.premise.clone(),
+            disjuncts: vec![Disjunct {
+                existentials: t.existentials.clone(),
+                conjunction: t.conclusion.clone(),
+            }],
+        }
+    }
+
+    /// If this dependency has exactly one disjunct, view it as a plain tgd.
+    pub fn as_tgd(&self) -> Option<Tgd> {
+        if self.disjuncts.len() == 1 {
+            let d = &self.disjuncts[0];
+            Some(Tgd::new(
+                self.premise.clone(),
+                d.existentials.iter().copied(),
+                d.conjunction.clone(),
+            ))
+        } else {
+            None
+        }
+    }
+
+    /// Validate every disjunct as if it were a tgd of the given orientation.
+    pub fn validate(
+        &self,
+        schema: &Schema,
+        orientation: Orientation,
+    ) -> Result<(), DependencyError> {
+        if self.disjuncts.is_empty() {
+            return Err(DependencyError::EmptyConclusion);
+        }
+        for d in &self.disjuncts {
+            let t = Tgd::new(
+                self.premise.clone(),
+                d.existentials.iter().copied(),
+                d.conjunction.clone(),
+            );
+            t.validate(schema, orientation)?;
+        }
+        Ok(())
+    }
+
+    /// Render with relation names resolved against `schema`.
+    pub fn display<'a>(&'a self, schema: &'a Schema) -> impl fmt::Display + 'a {
+        struct D<'a>(&'a DisjunctiveTgd, &'a Schema);
+        impl fmt::Display for D<'_> {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, "{} -> ", self.0.premise.display(self.1))?;
+                for (i, d) in self.0.disjuncts.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, " | ")?;
+                    }
+                    if !d.existentials.is_empty() {
+                        write!(f, "exists ")?;
+                        for (j, v) in d.existentials.iter().enumerate() {
+                            if j > 0 {
+                                write!(f, ", ")?;
+                            }
+                            write!(f, "{v}")?;
+                        }
+                        write!(f, " . ")?;
+                    }
+                    write!(f, "{}", d.conjunction.display(self.1))?;
+                }
+                Ok(())
+            }
+        }
+        D(self, schema)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pde_relational::{parse_schema, Atom};
+
+    fn schema() -> Schema {
+        parse_schema("source R/1; source B/1; target C/2;").unwrap()
+    }
+
+    #[test]
+    fn roundtrip_single_disjunct() {
+        let s = schema();
+        let t = Tgd::new(
+            Conjunction::new(vec![Atom::vars(&s, "C", &["x", "u"])]),
+            [],
+            Conjunction::new(vec![Atom::vars(&s, "R", &["u"])]),
+        );
+        let d = DisjunctiveTgd::from_tgd(&t);
+        assert_eq!(d.as_tgd().unwrap(), t);
+        assert!(d.validate(&s, Orientation::TargetToSource).is_ok());
+    }
+
+    #[test]
+    fn multi_disjunct_has_no_tgd_view() {
+        let s = schema();
+        let prem = Conjunction::new(vec![Atom::vars(&s, "C", &["x", "u"])]);
+        let d = DisjunctiveTgd::new(
+            prem,
+            vec![
+                Disjunct {
+                    existentials: BTreeSet::new(),
+                    conjunction: Conjunction::new(vec![Atom::vars(&s, "R", &["u"])]),
+                },
+                Disjunct {
+                    existentials: BTreeSet::new(),
+                    conjunction: Conjunction::new(vec![Atom::vars(&s, "B", &["u"])]),
+                },
+            ],
+        );
+        assert!(d.as_tgd().is_none());
+        assert!(d.validate(&s, Orientation::TargetToSource).is_ok());
+    }
+
+    #[test]
+    fn validation_checks_each_disjunct() {
+        let s = schema();
+        let prem = Conjunction::new(vec![Atom::vars(&s, "C", &["x", "u"])]);
+        let d = DisjunctiveTgd::new(
+            prem,
+            vec![Disjunct {
+                existentials: BTreeSet::new(),
+                // `w` is unbound.
+                conjunction: Conjunction::new(vec![Atom::vars(&s, "R", &["w"])]),
+            }],
+        );
+        assert!(d.validate(&s, Orientation::TargetToSource).is_err());
+    }
+
+    #[test]
+    fn empty_disjunction_rejected() {
+        let s = schema();
+        let prem = Conjunction::new(vec![Atom::vars(&s, "C", &["x", "u"])]);
+        let d = DisjunctiveTgd::new(prem, vec![]);
+        assert_eq!(
+            d.validate(&s, Orientation::TargetToSource),
+            Err(DependencyError::EmptyConclusion)
+        );
+    }
+}

@@ -1,0 +1,195 @@
+//! Equality-generating dependencies (egds).
+//!
+//! An egd is a formula `∀x̄ (φ(x̄) → z1 = z2)` with `z1, z2` among `x̄`
+//! (paper §2). In PDE settings egds appear only among the target
+//! constraints Σt; functional dependencies are the standard special case.
+
+use crate::tgd::DependencyError;
+use pde_relational::{Conjunction, Peer, Schema, Var};
+use std::fmt;
+
+/// An equality-generating dependency `∀x̄ (premise → lhs = rhs)`.
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub struct Egd {
+    /// The premise conjunction (over the target schema).
+    pub premise: Conjunction,
+    /// Left side of the equated pair.
+    pub lhs: Var,
+    /// Right side of the equated pair.
+    pub rhs: Var,
+}
+
+impl Egd {
+    /// Build an egd.
+    pub fn new(premise: Conjunction, lhs: Var, rhs: Var) -> Egd {
+        Egd { premise, lhs, rhs }
+    }
+
+    /// Structural well-formedness: equated variables must occur in the
+    /// premise, and every premise atom must be a target relation.
+    pub fn validate(&self, schema: &Schema) -> Result<(), DependencyError> {
+        if self.premise.is_empty() {
+            return Err(DependencyError::EmptyPremise);
+        }
+        let vars = self.premise.variables();
+        for v in [self.lhs, self.rhs] {
+            if !vars.contains(&v) {
+                return Err(DependencyError::EgdVarNotInPremise(v));
+            }
+        }
+        for atom in &self.premise.atoms {
+            if schema.peer(atom.rel) != Peer::Target {
+                return Err(DependencyError::WrongPeer {
+                    relation: schema.name(atom.rel).as_str(),
+                    expected: Peer::Target,
+                });
+            }
+        }
+        Ok(())
+    }
+
+    /// Is this egd trivial (`x = x`)?
+    pub fn is_trivial(&self) -> bool {
+        self.lhs == self.rhs
+    }
+
+    /// Render with relation names resolved against `schema`.
+    pub fn display<'a>(&'a self, schema: &'a Schema) -> impl fmt::Display + 'a {
+        struct D<'a>(&'a Egd, &'a Schema);
+        impl fmt::Display for D<'_> {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(
+                    f,
+                    "{} -> {} = {}",
+                    self.0.premise.display(self.1),
+                    self.0.lhs,
+                    self.0.rhs
+                )
+            }
+        }
+        D(self, schema)
+    }
+}
+
+impl fmt::Debug for Egd {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:?} -> {} = {}", self.premise, self.lhs, self.rhs)
+    }
+}
+
+/// Build the functional dependency `R: determinant → dependent` as an egd.
+///
+/// Example: `functional_dependency(&schema, "P", &[0], 1)` states that the
+/// first attribute of `P` determines the second.
+///
+/// # Panics
+/// Panics if the relation is unknown or an attribute index is out of range.
+pub fn functional_dependency(schema: &Schema, rel: &str, determinant: &[u16], dependent: u16) -> Egd {
+    use pde_relational::{Atom, Term};
+    let id = schema
+        .rel_id(rel)
+        .unwrap_or_else(|| panic!("unknown relation {rel}"));
+    let arity = schema.arity(id);
+    assert!(dependent < arity, "dependent attribute out of range");
+    for d in determinant {
+        assert!(*d < arity, "determinant attribute out of range");
+    }
+    // Two copies of R sharing the determinant attributes; all other
+    // attributes get distinct variables, and the two copies of the
+    // dependent attribute are equated.
+    let var_for = |copy: usize, attr: u16| -> Var {
+        if determinant.contains(&attr) {
+            Var::new(format!("k{attr}"))
+        } else {
+            Var::new(format!("v{copy}_{attr}"))
+        }
+    };
+    let atom = |copy: usize| -> Atom {
+        Atom::new(
+            schema,
+            id,
+            (0..arity).map(|a| Term::Var(var_for(copy, a))).collect(),
+        )
+    };
+    Egd::new(
+        Conjunction::new(vec![atom(0), atom(1)]),
+        var_for(0, dependent),
+        var_for(1, dependent),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pde_relational::{parse_schema, Atom};
+
+    fn schema() -> Schema {
+        parse_schema("source E/2; target P/4; target H/2;").unwrap()
+    }
+
+    #[test]
+    fn valid_egd() {
+        let s = schema();
+        let e = Egd::new(
+            Conjunction::new(vec![
+                Atom::vars(&s, "P", &["x", "z", "y", "w"]),
+                Atom::vars(&s, "P", &["x", "z2", "y2", "w2"]),
+            ]),
+            Var::new("z"),
+            Var::new("z2"),
+        );
+        assert!(e.validate(&s).is_ok());
+        assert!(!e.is_trivial());
+    }
+
+    #[test]
+    fn egd_var_must_be_in_premise() {
+        let s = schema();
+        let e = Egd::new(
+            Conjunction::new(vec![Atom::vars(&s, "H", &["x", "y"])]),
+            Var::new("x"),
+            Var::new("q"),
+        );
+        assert_eq!(
+            e.validate(&s),
+            Err(DependencyError::EgdVarNotInPremise(Var::new("q")))
+        );
+    }
+
+    #[test]
+    fn egd_premise_must_be_target() {
+        let s = schema();
+        let e = Egd::new(
+            Conjunction::new(vec![Atom::vars(&s, "E", &["x", "y"])]),
+            Var::new("x"),
+            Var::new("y"),
+        );
+        assert!(matches!(e.validate(&s), Err(DependencyError::WrongPeer { .. })));
+    }
+
+    #[test]
+    fn functional_dependency_builder() {
+        let s = schema();
+        let fd = functional_dependency(&s, "H", &[0], 1);
+        assert!(fd.validate(&s).is_ok());
+        assert_eq!(fd.premise.len(), 2);
+        assert_ne!(fd.lhs, fd.rhs);
+        // Key attribute shared between the two atoms.
+        let a0 = &fd.premise.atoms[0];
+        let a1 = &fd.premise.atoms[1];
+        assert_eq!(a0.terms[0], a1.terms[0]);
+        assert_ne!(a0.terms[1], a1.terms[1]);
+    }
+
+    #[test]
+    fn trivial_egd_detected() {
+        let s = schema();
+        let e = Egd::new(
+            Conjunction::new(vec![Atom::vars(&s, "H", &["x", "y"])]),
+            Var::new("x"),
+            Var::new("x"),
+        );
+        assert!(e.is_trivial());
+        assert!(e.validate(&s).is_ok());
+    }
+}

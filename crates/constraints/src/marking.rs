@@ -1,0 +1,171 @@
+//! Marked positions and marked variables (paper Def. 8).
+//!
+//! *Marked positions* are target positions that can receive a labeled null
+//! during the chase of Σst: position `i` of target relation `T` is marked
+//! when some source-to-target tgd has a conclusion conjunct
+//! `T(z1, …, zi, …, zn)` with `zi` existentially quantified.
+//!
+//! A variable `z` of a target-to-source tgd is *marked* when it can bind a
+//! null at chase time: either it appears at a marked position of a premise
+//! conjunct, or it is itself existentially quantified. (The two cases are
+//! mutually exclusive: existentials never occur in the premise.)
+
+use crate::tgd::Tgd;
+use pde_relational::{Position, Term, Var};
+use std::collections::{BTreeSet, HashSet};
+
+/// The marked target positions induced by a set of source-to-target tgds.
+#[derive(Clone, Debug, Default)]
+pub struct Marking {
+    marked: HashSet<Position>,
+}
+
+impl Marking {
+    /// Compute the marking for `sigma_st`.
+    pub fn of_st_tgds<'a>(sigma_st: impl IntoIterator<Item = &'a Tgd>) -> Marking {
+        let mut marked = HashSet::new();
+        for tgd in sigma_st {
+            for atom in &tgd.conclusion.atoms {
+                for (i, t) in atom.terms.iter().enumerate() {
+                    if let Term::Var(v) = t {
+                        if tgd.existentials.contains(v) {
+                            marked.insert(Position {
+                                rel: atom.rel,
+                                attr: i as u16,
+                            });
+                        }
+                    }
+                }
+            }
+        }
+        Marking { marked }
+    }
+
+    /// Is `pos` marked?
+    pub fn is_marked(&self, pos: Position) -> bool {
+        self.marked.contains(&pos)
+    }
+
+    /// All marked positions.
+    pub fn positions(&self) -> impl Iterator<Item = Position> + '_ {
+        self.marked.iter().copied()
+    }
+
+    /// Number of marked positions.
+    pub fn len(&self) -> usize {
+        self.marked.len()
+    }
+
+    /// Is nothing marked?
+    pub fn is_empty(&self) -> bool {
+        self.marked.is_empty()
+    }
+
+    /// The marked variables of a target-to-source tgd `d` (paper Def. 8):
+    /// variables at marked premise positions, plus the existentials of `d`.
+    pub fn marked_variables(&self, d: &Tgd) -> BTreeSet<Var> {
+        let mut out: BTreeSet<Var> = d.existentials.iter().copied().collect();
+        for atom in &d.premise.atoms {
+            for (i, t) in atom.terms.iter().enumerate() {
+                if let Term::Var(v) = t {
+                    if self.is_marked(Position {
+                        rel: atom.rel,
+                        attr: i as u16,
+                    }) {
+                        out.insert(*v);
+                    }
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_tgds;
+    use pde_relational::{parse_schema, Schema};
+
+    fn paper_example_schema() -> Schema {
+        parse_schema("source S/2; target T/2;").unwrap()
+    }
+
+    #[test]
+    fn paper_marked_position_example() {
+        // Σst: S(x1, x2) -> exists y . T(x1, y)
+        // Σts: T(x1, x2) -> exists w . S(w, x2)
+        // Marked position: T.1 (second of T); marked variables of the ts
+        // tgd: x2 and w (paper §4 example).
+        let s = paper_example_schema();
+        let st = parse_tgds(&s, "S(x1, x2) -> exists y . T(x1, y)").unwrap();
+        let ts = parse_tgds(&s, "T(x1, x2) -> exists w . S(w, x2)").unwrap();
+        let m = Marking::of_st_tgds(&st);
+        let t = s.rel_id("T").unwrap();
+        assert_eq!(m.len(), 1);
+        assert!(m.is_marked(Position { rel: t, attr: 1 }));
+        assert!(!m.is_marked(Position { rel: t, attr: 0 }));
+        let mv = m.marked_variables(&ts[0]);
+        assert_eq!(
+            mv,
+            [Var::new("x2"), Var::new("w")].into_iter().collect()
+        );
+    }
+
+    #[test]
+    fn clique_reduction_marking() {
+        // The Theorem 3 setting: D(x,y) -> exists z,w . P(x,z,y,w).
+        // Marked positions: P.1 and P.3; marked variables of the ts tgds:
+        // {z,w} and {z,w,z',w'}.
+        let s = parse_schema("source D/2; source S/2; source E/2; target P/4;").unwrap();
+        let st = parse_tgds(&s, "D(x, y) -> exists z, w . P(x, z, y, w)").unwrap();
+        let ts = parse_tgds(
+            &s,
+            "P(x, z, y, w) -> E(z, w);
+             P(x, z, y, w), P(x, z2, y2, w2) -> S(z, z2)",
+        )
+        .unwrap();
+        let m = Marking::of_st_tgds(&st);
+        let p = s.rel_id("P").unwrap();
+        assert!(m.is_marked(Position { rel: p, attr: 1 }));
+        assert!(m.is_marked(Position { rel: p, attr: 3 }));
+        assert!(!m.is_marked(Position { rel: p, attr: 0 }));
+        assert!(!m.is_marked(Position { rel: p, attr: 2 }));
+        let mv1 = m.marked_variables(&ts[0]);
+        assert_eq!(mv1, [Var::new("z"), Var::new("w")].into_iter().collect());
+        let mv2 = m.marked_variables(&ts[1]);
+        assert_eq!(
+            mv2,
+            [Var::new("z"), Var::new("w"), Var::new("z2"), Var::new("w2")]
+                .into_iter()
+                .collect()
+        );
+    }
+
+    #[test]
+    fn full_st_tgds_mark_nothing() {
+        let s = paper_example_schema();
+        let st = parse_tgds(&s, "S(x, y) -> T(x, y)").unwrap();
+        let m = Marking::of_st_tgds(&st);
+        assert!(m.is_empty());
+        // Marked variables of a ts tgd are then exactly its existentials.
+        let ts = parse_tgds(&s, "T(x, y) -> exists w . S(x, w)").unwrap();
+        assert_eq!(
+            m.marked_variables(&ts[0]),
+            [Var::new("w")].into_iter().collect()
+        );
+    }
+
+    #[test]
+    fn marking_unions_over_tgds() {
+        let s = parse_schema("source A/1; source B/1; target T/2;").unwrap();
+        let st = parse_tgds(
+            &s,
+            "A(x) -> exists y . T(x, y); B(x) -> exists y . T(y, x)",
+        )
+        .unwrap();
+        let m = Marking::of_st_tgds(&st);
+        assert_eq!(m.len(), 2);
+        assert_eq!(m.positions().count(), 2);
+    }
+}

@@ -1,0 +1,388 @@
+//! Tuple-generating dependencies (tgds).
+//!
+//! A tgd is a formula `∀x̄ (φ(x̄) → ∃ȳ ψ(x̄, ȳ))` where `φ` and `ψ` are
+//! conjunctions of atoms (paper §2). The three orientations used in a PDE
+//! setting — source-to-target (Σst), target-to-source (Σts), and target
+//! (Σt) — share this representation; [`Orientation`] records which schema
+//! sides the premise and conclusion must live on, and
+//! [`Tgd::validate`] enforces it.
+
+use pde_relational::{Conjunction, Peer, Schema, Term, Var};
+use std::collections::BTreeSet;
+use std::fmt;
+
+/// Which peer's relations the premise and conclusion of a tgd range over.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum Orientation {
+    /// Σst: premise over **S**, conclusion over **T**.
+    SourceToTarget,
+    /// Σts: premise over **T**, conclusion over **S**.
+    TargetToSource,
+    /// Σt (tgd part): premise and conclusion over **T**.
+    TargetTarget,
+}
+
+impl Orientation {
+    /// Peer of the premise.
+    pub fn premise_peer(&self) -> Peer {
+        match self {
+            Orientation::SourceToTarget => Peer::Source,
+            Orientation::TargetToSource | Orientation::TargetTarget => Peer::Target,
+        }
+    }
+
+    /// Peer of the conclusion.
+    pub fn conclusion_peer(&self) -> Peer {
+        match self {
+            Orientation::SourceToTarget | Orientation::TargetTarget => Peer::Target,
+            Orientation::TargetToSource => Peer::Source,
+        }
+    }
+}
+
+impl fmt::Display for Orientation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Orientation::SourceToTarget => write!(f, "source-to-target"),
+            Orientation::TargetToSource => write!(f, "target-to-source"),
+            Orientation::TargetTarget => write!(f, "target"),
+        }
+    }
+}
+
+/// Errors raised by dependency validation.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum DependencyError {
+    /// A conclusion variable is neither universal nor declared existential.
+    UnboundConclusionVar(Var),
+    /// A declared existential also occurs in the premise.
+    ExistentialInPremise(Var),
+    /// A declared existential does not occur in the conclusion.
+    UnusedExistential(Var),
+    /// An atom mentions a relation of the wrong peer for the orientation.
+    WrongPeer {
+        /// Name of the offending relation.
+        relation: String,
+        /// Peer the orientation requires.
+        expected: Peer,
+    },
+    /// The premise is empty (tgds must have at least one premise atom).
+    EmptyPremise,
+    /// The conclusion is empty.
+    EmptyConclusion,
+    /// An egd equated variable does not occur in the premise.
+    EgdVarNotInPremise(Var),
+}
+
+impl fmt::Display for DependencyError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DependencyError::UnboundConclusionVar(v) => {
+                write!(f, "conclusion variable {v} is neither universal nor existential")
+            }
+            DependencyError::ExistentialInPremise(v) => {
+                write!(f, "existential variable {v} also occurs in the premise")
+            }
+            DependencyError::UnusedExistential(v) => {
+                write!(f, "declared existential {v} does not occur in the conclusion")
+            }
+            DependencyError::WrongPeer { relation, expected } => {
+                write!(f, "relation {relation} must belong to the {expected} peer")
+            }
+            DependencyError::EmptyPremise => write!(f, "empty premise"),
+            DependencyError::EmptyConclusion => write!(f, "empty conclusion"),
+            DependencyError::EgdVarNotInPremise(v) => {
+                write!(f, "equated variable {v} does not occur in the premise")
+            }
+        }
+    }
+}
+
+impl std::error::Error for DependencyError {}
+
+/// A tuple-generating dependency `∀x̄ (premise → ∃ existentials . conclusion)`.
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub struct Tgd {
+    /// The premise (left-hand side) conjunction.
+    pub premise: Conjunction,
+    /// The conclusion (right-hand side) conjunction.
+    pub conclusion: Conjunction,
+    /// The existentially quantified variables of the conclusion.
+    pub existentials: BTreeSet<Var>,
+}
+
+impl Tgd {
+    /// Build a tgd, deriving nothing: callers declare existentials
+    /// explicitly (the parser does this from the `exists` clause).
+    pub fn new(
+        premise: Conjunction,
+        existentials: impl IntoIterator<Item = Var>,
+        conclusion: Conjunction,
+    ) -> Tgd {
+        Tgd {
+            premise,
+            conclusion,
+            existentials: existentials.into_iter().collect(),
+        }
+    }
+
+    /// Build a *full* tgd (no existentials).
+    pub fn full(premise: Conjunction, conclusion: Conjunction) -> Tgd {
+        Tgd::new(premise, [], conclusion)
+    }
+
+    /// The universal variables: premise variables (whether or not they
+    /// reappear in the conclusion).
+    pub fn universals(&self) -> BTreeSet<Var> {
+        self.premise.variables()
+    }
+
+    /// The *frontier*: universal variables that occur in the conclusion.
+    pub fn frontier(&self) -> BTreeSet<Var> {
+        let prem = self.premise.variables();
+        self.conclusion
+            .variables()
+            .into_iter()
+            .filter(|v| prem.contains(v))
+            .collect()
+    }
+
+    /// Is this a full tgd (no existential variables)?
+    pub fn is_full(&self) -> bool {
+        self.existentials.is_empty()
+    }
+
+    /// Is this a LAV dependency: exactly one premise atom with no repeated
+    /// variables? (The class of Corollary 2 / condition 2.1 of `C_tract`.)
+    pub fn is_lav(&self) -> bool {
+        self.premise.len() == 1 && !self.premise.atoms[0].has_any_repeated_var()
+    }
+
+    /// Is this a GAV dependency: single conclusion atom, no existentials?
+    pub fn is_gav(&self) -> bool {
+        self.conclusion.len() == 1 && self.is_full()
+    }
+
+    /// Structural well-formedness + orientation check against `schema`.
+    pub fn validate(
+        &self,
+        schema: &Schema,
+        orientation: Orientation,
+    ) -> Result<(), DependencyError> {
+        if self.premise.is_empty() {
+            return Err(DependencyError::EmptyPremise);
+        }
+        if self.conclusion.is_empty() {
+            return Err(DependencyError::EmptyConclusion);
+        }
+        let prem_vars = self.premise.variables();
+        for v in &self.existentials {
+            if prem_vars.contains(v) {
+                return Err(DependencyError::ExistentialInPremise(*v));
+            }
+            if !self.conclusion.variables().contains(v) {
+                return Err(DependencyError::UnusedExistential(*v));
+            }
+        }
+        for v in self.conclusion.variables() {
+            if !prem_vars.contains(&v) && !self.existentials.contains(&v) {
+                return Err(DependencyError::UnboundConclusionVar(v));
+            }
+        }
+        for atom in &self.premise.atoms {
+            if schema.peer(atom.rel) != orientation.premise_peer() {
+                return Err(DependencyError::WrongPeer {
+                    relation: schema.name(atom.rel).as_str(),
+                    expected: orientation.premise_peer(),
+                });
+            }
+        }
+        for atom in &self.conclusion.atoms {
+            if schema.peer(atom.rel) != orientation.conclusion_peer() {
+                return Err(DependencyError::WrongPeer {
+                    relation: schema.name(atom.rel).as_str(),
+                    expected: orientation.conclusion_peer(),
+                });
+            }
+        }
+        Ok(())
+    }
+
+    /// Do any terms of this tgd contain constants? (The paper's theory is
+    /// constant-free; solvers that rely on that assumption check this.)
+    pub fn has_constants(&self) -> bool {
+        self.premise
+            .atoms
+            .iter()
+            .chain(self.conclusion.atoms.iter())
+            .any(|a| a.terms.iter().any(|t| matches!(t, Term::Const(_))))
+    }
+
+    /// Render with relation names resolved against `schema`.
+    pub fn display<'a>(&'a self, schema: &'a Schema) -> impl fmt::Display + 'a {
+        struct D<'a>(&'a Tgd, &'a Schema);
+        impl fmt::Display for D<'_> {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, "{} -> ", self.0.premise.display(self.1))?;
+                if !self.0.existentials.is_empty() {
+                    write!(f, "exists ")?;
+                    for (i, v) in self.0.existentials.iter().enumerate() {
+                        if i > 0 {
+                            write!(f, ", ")?;
+                        }
+                        write!(f, "{v}")?;
+                    }
+                    write!(f, " . ")?;
+                }
+                write!(f, "{}", self.0.conclusion.display(self.1))
+            }
+        }
+        D(self, schema)
+    }
+}
+
+impl fmt::Debug for Tgd {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:?} -> ", self.premise)?;
+        if !self.existentials.is_empty() {
+            write!(f, "∃{:?} . ", self.existentials)?;
+        }
+        write!(f, "{:?}", self.conclusion)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pde_relational::{parse_schema, Atom};
+
+    fn schema() -> Schema {
+        parse_schema("source E/2; source D/2; target H/2; target P/4;").unwrap()
+    }
+
+    fn conj(s: &Schema, atoms: &[(&str, &[&str])]) -> Conjunction {
+        Conjunction::new(
+            atoms
+                .iter()
+                .map(|(r, vs)| Atom::vars(s, r, vs))
+                .collect(),
+        )
+    }
+
+    #[test]
+    fn full_tgd_recognized() {
+        let s = schema();
+        let t = Tgd::full(
+            conj(&s, &[("E", &["x", "z"]), ("E", &["z", "y"])]),
+            conj(&s, &[("H", &["x", "y"])]),
+        );
+        assert!(t.is_full());
+        assert!(t.is_gav());
+        assert!(!t.is_lav());
+        assert!(t.validate(&s, Orientation::SourceToTarget).is_ok());
+    }
+
+    #[test]
+    fn lav_recognized() {
+        let s = schema();
+        let t = Tgd::new(
+            conj(&s, &[("H", &["x", "y"])]),
+            [Var::new("z")],
+            conj(&s, &[("E", &["x", "z"]), ("E", &["z", "y"])]),
+        );
+        assert!(t.is_lav());
+        assert!(!t.is_full());
+        assert!(t.validate(&s, Orientation::TargetToSource).is_ok());
+        // Repeated variables break LAV-ness.
+        let t2 = Tgd::full(conj(&s, &[("H", &["x", "x"])]), conj(&s, &[("E", &["x", "x"])]));
+        assert!(!t2.is_lav());
+    }
+
+    #[test]
+    fn frontier_and_universals() {
+        let s = schema();
+        let t = Tgd::new(
+            conj(&s, &[("D", &["x", "y"])]),
+            [Var::new("z"), Var::new("w")],
+            conj(&s, &[("P", &["x", "z", "y", "w"])]),
+        );
+        assert_eq!(t.universals().len(), 2);
+        assert_eq!(t.frontier().len(), 2);
+        assert_eq!(t.existentials.len(), 2);
+    }
+
+    #[test]
+    fn validate_rejects_unbound_conclusion_var() {
+        let s = schema();
+        let t = Tgd::full(
+            conj(&s, &[("E", &["x", "y"])]),
+            conj(&s, &[("H", &["x", "w"])]),
+        );
+        assert_eq!(
+            t.validate(&s, Orientation::SourceToTarget),
+            Err(DependencyError::UnboundConclusionVar(Var::new("w")))
+        );
+    }
+
+    #[test]
+    fn validate_rejects_existential_in_premise() {
+        let s = schema();
+        let t = Tgd::new(
+            conj(&s, &[("E", &["x", "y"])]),
+            [Var::new("y")],
+            conj(&s, &[("H", &["x", "y"])]),
+        );
+        assert_eq!(
+            t.validate(&s, Orientation::SourceToTarget),
+            Err(DependencyError::ExistentialInPremise(Var::new("y")))
+        );
+    }
+
+    #[test]
+    fn validate_rejects_wrong_peer() {
+        let s = schema();
+        let t = Tgd::full(
+            conj(&s, &[("H", &["x", "y"])]),
+            conj(&s, &[("E", &["x", "y"])]),
+        );
+        assert!(matches!(
+            t.validate(&s, Orientation::SourceToTarget),
+            Err(DependencyError::WrongPeer { .. })
+        ));
+        assert!(t.validate(&s, Orientation::TargetToSource).is_ok());
+    }
+
+    #[test]
+    fn validate_rejects_unused_existential() {
+        let s = schema();
+        let t = Tgd::new(
+            conj(&s, &[("E", &["x", "y"])]),
+            [Var::new("q")],
+            conj(&s, &[("H", &["x", "y"])]),
+        );
+        assert_eq!(
+            t.validate(&s, Orientation::SourceToTarget),
+            Err(DependencyError::UnusedExistential(Var::new("q")))
+        );
+    }
+
+    #[test]
+    fn constants_detected() {
+        let s = schema();
+        let e = s.rel_id("E").unwrap();
+        let h = s.rel_id("H").unwrap();
+        let t = Tgd::full(
+            Conjunction::new(vec![Atom::new(
+                &s,
+                e,
+                vec![
+                    Term::Const(pde_relational::Symbol::intern("a")),
+                    Term::Var(Var::new("y")),
+                ],
+            )]),
+            Conjunction::new(vec![Atom::vars(&s, "H", &["y", "y"])]),
+        );
+        let _ = h;
+        assert!(t.has_constants());
+    }
+}

@@ -1,0 +1,338 @@
+//! Block decomposition of instances with nulls (paper Def. 10, Prop. 1).
+//!
+//! The *graph of the nulls* of an instance `K` joins two nulls when they
+//! co-occur in a tuple. A **block** is either (a) the set of tuples carrying
+//! nulls from one connected component, or (b) the set of all null-free
+//! tuples. Proposition 1: a homomorphism `K → I` exists iff each block maps
+//! into `I` independently — nulls in different blocks never constrain each
+//! other. Theorem 6 shows that for `C_tract` settings every block of
+//! `I_can` has a constant number of nulls, which is what makes the
+//! per-block homomorphism checks of `ExistsSolution` polynomial.
+
+use pde_relational::{Instance, NullId, RelId, Tuple};
+use std::collections::HashMap;
+
+/// A block of tuples, with its null inventory.
+#[derive(Clone, Debug)]
+pub struct Block {
+    /// The facts of the block.
+    pub facts: Vec<(RelId, Tuple)>,
+    /// The distinct nulls occurring in the block (empty for the ground
+    /// block).
+    pub nulls: Vec<NullId>,
+}
+
+impl Block {
+    /// Number of facts.
+    pub fn len(&self) -> usize {
+        self.facts.len()
+    }
+
+    /// Is the block empty?
+    pub fn is_empty(&self) -> bool {
+        self.facts.is_empty()
+    }
+
+    /// Is this the null-free (ground) block?
+    pub fn is_ground(&self) -> bool {
+        self.nulls.is_empty()
+    }
+
+    /// Materialize this block as an instance over `schema`.
+    pub fn to_instance(&self, schema: &std::sync::Arc<pde_relational::Schema>) -> Instance {
+        let mut out = Instance::new(schema.clone());
+        for (rel, t) in &self.facts {
+            out.insert(*rel, t.clone());
+        }
+        out
+    }
+}
+
+/// Union-find over null ids.
+struct UnionFind {
+    parent: HashMap<NullId, NullId>,
+}
+
+impl UnionFind {
+    fn new() -> UnionFind {
+        UnionFind {
+            parent: HashMap::new(),
+        }
+    }
+
+    fn find(&mut self, x: NullId) -> NullId {
+        let p = *self.parent.entry(x).or_insert(x);
+        if p == x {
+            return x;
+        }
+        let root = self.find(p);
+        self.parent.insert(x, root);
+        root
+    }
+
+    fn union(&mut self, a: NullId, b: NullId) {
+        let ra = self.find(a);
+        let rb = self.find(b);
+        if ra != rb {
+            self.parent.insert(ra, rb);
+        }
+    }
+}
+
+/// Decompose `inst` into its blocks. The ground block (if non-empty) comes
+/// first, followed by one block per connected component of the null graph,
+/// in ascending order of their smallest null id.
+pub fn blocks(inst: &Instance) -> Vec<Block> {
+    let mut uf = UnionFind::new();
+    for (_, t) in inst.facts() {
+        let nulls: Vec<NullId> = t.nulls().collect();
+        for w in nulls.windows(2) {
+            uf.union(w[0], w[1]);
+        }
+        if let Some(first) = nulls.first() {
+            uf.find(*first); // ensure singleton components are registered
+        }
+    }
+    let mut ground = Block {
+        facts: Vec::new(),
+        nulls: Vec::new(),
+    };
+    let mut by_root: HashMap<NullId, Block> = HashMap::new();
+    for (rel, t) in inst.facts() {
+        match t.nulls().next() {
+            None => ground.facts.push((rel, t.clone())),
+            Some(n) => {
+                let root = uf.find(n);
+                by_root
+                    .entry(root)
+                    .or_insert_with(|| Block {
+                        facts: Vec::new(),
+                        nulls: Vec::new(),
+                    })
+                    .facts
+                    .push((rel, t.clone()));
+            }
+        }
+    }
+    // Record each block's distinct nulls.
+    let mut out = Vec::new();
+    if !ground.facts.is_empty() {
+        out.push(ground);
+    }
+    let mut keyed: Vec<(NullId, Block)> = by_root.into_iter().collect();
+    for (_, b) in &mut keyed {
+        let mut ns: Vec<NullId> = b
+            .facts
+            .iter()
+            .flat_map(|(_, t)| t.nulls().collect::<Vec<_>>())
+            .collect();
+        ns.sort_unstable();
+        ns.dedup();
+        b.nulls = ns;
+    }
+    keyed.sort_by_key(|(_, b)| b.nulls[0]);
+    out.extend(keyed.into_iter().map(|(_, b)| b));
+    out
+}
+
+/// Proposition 1, used by `ExistsSolution`: there is a homomorphism from
+/// `from` to `to` iff each block of `from` maps into `to` independently.
+/// Returns the per-block results; the conjunction is the overall answer.
+pub fn blockwise_hom_exists(from: &Instance, to: &Instance) -> bool {
+    let schema = from.schema().clone();
+    blocks(from).iter().all(|b| {
+        let bi = b.to_instance(&schema);
+        pde_relational::instance_hom_exists(&bi, to)
+    })
+}
+
+/// The maximum number of nulls in any block (0 for ground instances) —
+/// the quantity Theorem 6 bounds by a constant for `C_tract` settings.
+pub fn max_block_nulls(inst: &Instance) -> usize {
+    blocks(inst).iter().map(|b| b.nulls.len()).max().unwrap_or(0)
+}
+
+/// Find a per-block homomorphism map for every block of `from` into `to`,
+/// or `None` if some block has none. Blocks are mutually independent
+/// (Prop. 1), so above `parallel_threshold` blocks the checks fan out over
+/// `std::thread::scope`; any failing block cancels the rest.
+pub fn collect_block_homs(
+    from: &Instance,
+    to: &Instance,
+    parallel_threshold: usize,
+) -> Option<std::collections::HashMap<pde_relational::NullId, pde_relational::Value>> {
+    use std::sync::atomic::{AtomicBool, Ordering};
+    let schema = from.schema().clone();
+    let bs = blocks(from);
+    if bs.len() < parallel_threshold {
+        let mut out = std::collections::HashMap::new();
+        for b in &bs {
+            let bi = b.to_instance(&schema);
+            out.extend(pde_relational::instance_hom(&bi, to)?);
+        }
+        return Some(out);
+    }
+    let threads = std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(4)
+        .min(bs.len());
+    let failed = AtomicBool::new(false);
+    let chunk = bs.len().div_ceil(threads);
+    let results: Vec<Option<Vec<std::collections::HashMap<_, _>>>> =
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = bs
+                .chunks(chunk)
+                .map(|part| {
+                    let schema = &schema;
+                    let failed = &failed;
+                    scope.spawn(move || {
+                        let mut maps = Vec::with_capacity(part.len());
+                        for b in part {
+                            if failed.load(Ordering::Relaxed) {
+                                return None;
+                            }
+                            let bi = b.to_instance(schema);
+                            match pde_relational::instance_hom(&bi, to) {
+                                Some(m) => maps.push(m),
+                                None => {
+                                    failed.store(true, Ordering::Relaxed);
+                                    return None;
+                                }
+                            }
+                        }
+                        Some(maps)
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().expect("no panic")).collect()
+        });
+    let mut out = std::collections::HashMap::new();
+    for r in results {
+        out.extend(r?.into_iter().flatten());
+    }
+    Some(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pde_relational::{instance_hom_exists, parse_instance, parse_schema, Schema};
+    use std::sync::Arc;
+
+    fn schema() -> Arc<Schema> {
+        Arc::new(parse_schema("source E/2;").unwrap())
+    }
+
+    #[test]
+    fn ground_instance_is_one_block() {
+        let s = schema();
+        let i = parse_instance(&s, "E(a, b). E(b, c).").unwrap();
+        let bs = blocks(&i);
+        assert_eq!(bs.len(), 1);
+        assert!(bs[0].is_ground());
+        assert_eq!(bs[0].len(), 2);
+    }
+
+    #[test]
+    fn connected_nulls_share_a_block() {
+        let s = schema();
+        // ?0-?1 linked via a tuple; ?2 separate; (a, b) ground.
+        let i = parse_instance(&s, "E(?0, ?1). E(?1, a). E(?2, b). E(a, b).").unwrap();
+        let bs = blocks(&i);
+        assert_eq!(bs.len(), 3);
+        assert!(bs[0].is_ground());
+        assert_eq!(bs[1].nulls, vec![pde_relational::NullId(0), pde_relational::NullId(1)]);
+        assert_eq!(bs[1].len(), 2);
+        assert_eq!(bs[2].nulls, vec![pde_relational::NullId(2)]);
+        assert_eq!(max_block_nulls(&i), 2);
+    }
+
+    #[test]
+    fn transitive_connection_through_tuples() {
+        let s = schema();
+        // ?0-?1 in one tuple, ?1-?2 in another: all three connected.
+        let i = parse_instance(&s, "E(?0, ?1). E(?1, ?2).").unwrap();
+        let bs = blocks(&i);
+        assert_eq!(bs.len(), 1);
+        assert_eq!(bs[0].nulls.len(), 3);
+    }
+
+    #[test]
+    fn blocks_partition_the_facts() {
+        let s = schema();
+        let i = parse_instance(&s, "E(?0, a). E(?1, b). E(c, d). E(?0, ?1).").unwrap();
+        let bs = blocks(&i);
+        let total: usize = bs.iter().map(Block::len).sum();
+        assert_eq!(total, i.fact_count());
+    }
+
+    #[test]
+    fn proposition1_agrees_with_direct_hom() {
+        let s = schema();
+        let ground = parse_instance(&s, "E(a, b). E(b, a). E(c, c).").unwrap();
+        for pat_src in [
+            "E(?0, ?1). E(?1, ?0).",        // maps onto the 2-cycle
+            "E(?0, ?0).",                   // needs the self-loop
+            "E(?0, ?1). E(?1, ?2).",        // path of length 2
+            "E(?0, a).",                    // anchored at constant a
+            "E(a, c).",                     // absent ground fact
+            "E(?0, ?1). E(?2, ?2). E(a, b).", // mixed blocks
+        ] {
+            let pat = parse_instance(&s, pat_src).unwrap();
+            assert_eq!(
+                blockwise_hom_exists(&pat, &ground),
+                instance_hom_exists(&pat, &ground),
+                "{pat_src}"
+            );
+        }
+    }
+
+    #[test]
+    fn collect_block_homs_sequential_and_parallel_agree() {
+        let s = schema();
+        let ground = parse_instance(&s, "E(a, b). E(b, a). E(c, c).").unwrap();
+        // Many independent 1-null blocks plus a ground block.
+        let mut src = String::from("E(a, b). ");
+        for i in 0..100 {
+            src.push_str(&format!("E(?{i}, a). "));
+        }
+        let pat = parse_instance(&s, &src).unwrap();
+        let seq = super::collect_block_homs(&pat, &ground, usize::MAX).unwrap();
+        let par = super::collect_block_homs(&pat, &ground, 1).unwrap();
+        assert_eq!(seq.len(), par.len());
+        // Both maps must induce valid homomorphisms.
+        for h in [seq, par] {
+            let img = pat.map_values(|v| match v {
+                pde_relational::Value::Null(n) => h.get(&n).copied().unwrap_or(v),
+                c => c,
+            });
+            assert!(img.contained_in(&ground));
+        }
+    }
+
+    #[test]
+    fn collect_block_homs_fails_fast_in_parallel() {
+        let s = schema();
+        let ground = parse_instance(&s, "E(a, b).").unwrap();
+        let mut src = String::new();
+        for i in 0..80 {
+            src.push_str(&format!("E(?{i}, a). ")); // unsatisfiable: no (_, a)
+        }
+        let pat = parse_instance(&s, &src).unwrap();
+        assert!(super::collect_block_homs(&pat, &ground, 1).is_none());
+        assert!(super::collect_block_homs(&pat, &ground, usize::MAX).is_none());
+    }
+
+    #[test]
+    fn block_instances_roundtrip() {
+        let s = schema();
+        let i = parse_instance(&s, "E(?0, a). E(b, c).").unwrap();
+        let bs = blocks(&i);
+        let mut union = pde_relational::Instance::new(s.clone());
+        for b in &bs {
+            let bi = b.to_instance(&s);
+            union = union.union(&bi);
+        }
+        assert!(union.same_facts(&i));
+    }
+}

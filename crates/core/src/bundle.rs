@@ -1,0 +1,269 @@
+//! The `.pde` bundle format: a whole problem — setting plus input
+//! instance — in one self-describing text file.
+//!
+//! ```text
+//! # comments and blank lines are allowed anywhere
+//! %schema
+//! source E/2; target H/2
+//! %st
+//! E(x, z), E(z, y) -> H(x, y)
+//! %ts
+//! H(x, y) -> E(x, y)
+//! %t
+//! # (empty: no target constraints)
+//! %instance
+//! E(a, b). E(b, c).
+//! ```
+//!
+//! Sections may appear in any order; `%schema` is mandatory, the others
+//! default to empty. The CLI (`pde`) consumes bundles; programmatic users
+//! get [`Bundle::parse`] / [`Bundle::render`].
+
+use crate::setting::{PdeSetting, SettingError};
+use pde_relational::{parse_instance, Instance, ParseError, Peer};
+use std::fmt;
+
+/// A parsed bundle: the setting and the input pair `(I, J)`.
+#[derive(Clone)]
+pub struct Bundle {
+    /// The PDE setting.
+    pub setting: PdeSetting,
+    /// The combined input instance.
+    pub input: Instance,
+}
+
+/// Bundle parse errors, with the offending section.
+#[derive(Debug)]
+pub enum BundleError {
+    /// The `%schema` section is missing.
+    MissingSchema,
+    /// A line outside any section.
+    ContentOutsideSection {
+        /// 1-based line number.
+        line: usize,
+    },
+    /// An unknown `%section` marker.
+    UnknownSection {
+        /// The marker as written.
+        name: String,
+        /// 1-based line number.
+        line: usize,
+    },
+    /// A section appeared twice.
+    DuplicateSection {
+        /// The duplicated marker.
+        name: String,
+        /// 1-based line number.
+        line: usize,
+    },
+    /// The setting failed to build.
+    Setting(SettingError),
+    /// The instance failed to parse.
+    Instance(ParseError),
+}
+
+impl fmt::Display for BundleError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BundleError::MissingSchema => write!(f, "bundle has no %schema section"),
+            BundleError::ContentOutsideSection { line } => {
+                write!(f, "line {line}: content before the first %section marker")
+            }
+            BundleError::UnknownSection { name, line } => {
+                write!(f, "line {line}: unknown section %{name}")
+            }
+            BundleError::DuplicateSection { name, line } => {
+                write!(f, "line {line}: duplicate section %{name}")
+            }
+            BundleError::Setting(e) => write!(f, "{e}"),
+            BundleError::Instance(e) => write!(f, "instance: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for BundleError {}
+
+impl From<SettingError> for BundleError {
+    fn from(e: SettingError) -> Self {
+        BundleError::Setting(e)
+    }
+}
+
+impl Bundle {
+    /// Parse a bundle from text.
+    pub fn parse(src: &str) -> Result<Bundle, BundleError> {
+        let mut sections: [(&str, Option<String>); 5] = [
+            ("schema", None),
+            ("st", None),
+            ("ts", None),
+            ("t", None),
+            ("instance", None),
+        ];
+        let mut current: Option<usize> = None;
+        for (i, raw) in src.lines().enumerate() {
+            let line = raw.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            if let Some(name) = line.strip_prefix('%') {
+                let name = name.trim();
+                let idx = sections
+                    .iter()
+                    .position(|(n, _)| *n == name)
+                    .ok_or_else(|| BundleError::UnknownSection {
+                        name: name.to_owned(),
+                        line: i + 1,
+                    })?;
+                if sections[idx].1.is_some() {
+                    return Err(BundleError::DuplicateSection {
+                        name: name.to_owned(),
+                        line: i + 1,
+                    });
+                }
+                sections[idx].1 = Some(String::new());
+                current = Some(idx);
+                continue;
+            }
+            let Some(cur) = current else {
+                return Err(BundleError::ContentOutsideSection { line: i + 1 });
+            };
+            let buf = sections[cur].1.as_mut().expect("initialized on entry");
+            buf.push_str(raw);
+            buf.push('\n');
+        }
+        let get = |idx: usize| sections[idx].1.clone().unwrap_or_default();
+        if sections[0].1.is_none() {
+            return Err(BundleError::MissingSchema);
+        }
+        let setting = PdeSetting::parse(&get(0), &get(1), &get(2), &get(3))?;
+        let input =
+            parse_instance(setting.schema(), &get(4)).map_err(BundleError::Instance)?;
+        Ok(Bundle { setting, input })
+    }
+
+    /// Render this bundle back to the text format (parse∘render = id up to
+    /// formatting).
+    pub fn render(&self) -> String {
+        let schema = self.setting.schema();
+        let mut out = String::new();
+        out.push_str("%schema\n");
+        for rel in schema.rel_ids() {
+            out.push_str(&format!(
+                "{} {}/{};\n",
+                schema.peer(rel),
+                schema.name(rel),
+                schema.arity(rel)
+            ));
+        }
+        out.push_str("%st\n");
+        for t in self.setting.sigma_st() {
+            out.push_str(&format!("{};\n", t.display(schema)));
+        }
+        out.push_str("%ts\n");
+        for t in self.setting.sigma_ts() {
+            out.push_str(&format!("{};\n", t.display(schema)));
+        }
+        out.push_str("%t\n");
+        for d in self.setting.sigma_t() {
+            out.push_str(&format!("{};\n", d.display(schema)));
+        }
+        out.push_str("%instance\n");
+        for (rel, t) in self.input.facts() {
+            out.push_str(&format!("{}{}.\n", schema.name(rel), t));
+        }
+        out
+    }
+
+    /// Short one-line summary (for CLI headers).
+    pub fn summary(&self) -> String {
+        format!(
+            "|Σst|={} |Σts|={} |Σt|={} |I|={} |J|={}",
+            self.setting.sigma_st().len(),
+            self.setting.sigma_ts().len(),
+            self.setting.sigma_t().len(),
+            self.input.fact_count_of(Peer::Source),
+            self.input.fact_count_of(Peer::Target),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const EXAMPLE: &str = "
+# Example 1 of the paper
+%schema
+source E/2; target H/2
+%st
+E(x, z), E(z, y) -> H(x, y)
+%ts
+H(x, y) -> E(x, y)
+%t
+%instance
+E(a, b). E(b, c).
+";
+
+    #[test]
+    fn parse_happy_path() {
+        let b = Bundle::parse(EXAMPLE).unwrap();
+        assert_eq!(b.setting.sigma_st().len(), 1);
+        assert_eq!(b.setting.sigma_ts().len(), 1);
+        assert!(b.setting.has_no_target_constraints());
+        assert_eq!(b.input.fact_count(), 2);
+        assert!(b.summary().contains("|I|=2"));
+    }
+
+    #[test]
+    fn sections_in_any_order_and_optional() {
+        let src = "%instance\n%schema\nsource A/1; target B/1\n%st\nA(x) -> B(x)";
+        let b = Bundle::parse(src).unwrap();
+        assert_eq!(b.setting.sigma_st().len(), 1);
+        assert_eq!(b.input.fact_count(), 0);
+    }
+
+    #[test]
+    fn errors_are_specific() {
+        assert!(matches!(
+            Bundle::parse("source E/2"),
+            Err(BundleError::ContentOutsideSection { line: 1 })
+        ));
+        assert!(matches!(
+            Bundle::parse("%bogus\n"),
+            Err(BundleError::UnknownSection { .. })
+        ));
+        assert!(matches!(
+            Bundle::parse("%st\n%st\n"),
+            Err(BundleError::DuplicateSection { .. })
+        ));
+        assert!(matches!(
+            Bundle::parse("%st\n"),
+            Err(BundleError::MissingSchema)
+        ));
+        assert!(matches!(
+            Bundle::parse("%schema\nsource E/2\n%st\nE(x, y) -> E(x, y)"),
+            Err(BundleError::Setting(_))
+        ));
+        assert!(matches!(
+            Bundle::parse("%schema\nsource E/2\n%instance\nE(a)."),
+            Err(BundleError::Instance(_))
+        ));
+    }
+
+    #[test]
+    fn render_roundtrips() {
+        let b = Bundle::parse(EXAMPLE).unwrap();
+        let rendered = b.render();
+        let again = Bundle::parse(&rendered).unwrap();
+        assert_eq!(again.setting.sigma_st(), b.setting.sigma_st());
+        assert_eq!(again.setting.sigma_ts(), b.setting.sigma_ts());
+        assert!(again.input.same_facts(&b.input));
+    }
+
+    #[test]
+    fn comments_and_blanks_ignored() {
+        let src = "# top\n\n%schema\n# inner\nsource A/1; target B/1\n\n%instance\nA(q).";
+        let b = Bundle::parse(src).unwrap();
+        assert_eq!(b.input.fact_count(), 1);
+    }
+}

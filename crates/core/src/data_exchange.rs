@@ -1,0 +1,264 @@
+//! Classic data exchange (Σts = ∅) — the \[FKMP\] baseline the paper
+//! contrasts against in §3.
+//!
+//! When there are no target-to-source constraints, the chase of `(I, J)`
+//! with Σst ∪ Σt decides everything in polynomial time (for weakly acyclic
+//! Σt): it fails iff no solution exists, and on success its result is a
+//! *universal* solution — it maps homomorphically into every solution, so
+//! the ground answers of a union of conjunctive queries evaluated on it
+//! are exactly the certain answers.
+
+use crate::setting::PdeSetting;
+use pde_chase::{chase, null_gen_for, ChaseLimits, ChaseOutcome};
+use pde_constraints::Dependency;
+use pde_relational::{Instance, Peer, UnionQuery, Value};
+use std::collections::BTreeSet;
+use std::fmt;
+
+/// Why the data-exchange solver refused to run.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum DataExchangeError {
+    /// The setting has target-to-source constraints: not a data exchange
+    /// setting.
+    HasTargetToSource,
+    /// The input instance contains labeled nulls.
+    InputNotGround,
+    /// The chase hit its resource limits (target tgds not weakly acyclic).
+    ChaseDidNotTerminate,
+    /// The query mentions non-target relations.
+    QueryNotOverTarget,
+}
+
+impl fmt::Display for DataExchangeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DataExchangeError::HasTargetToSource => {
+                write!(f, "setting has target-to-source constraints; not data exchange")
+            }
+            DataExchangeError::InputNotGround => write!(f, "input instance contains nulls"),
+            DataExchangeError::ChaseDidNotTerminate => {
+                write!(f, "chase resource limit exceeded (weak acyclicity violated?)")
+            }
+            DataExchangeError::QueryNotOverTarget => {
+                write!(f, "certain answers are defined for queries over the target schema")
+            }
+        }
+    }
+}
+
+impl std::error::Error for DataExchangeError {}
+
+/// Outcome of the data-exchange chase.
+#[derive(Clone, Debug)]
+pub struct DataExchangeOutcome {
+    /// Does a solution exist (the chase did not fail)?
+    pub exists: bool,
+    /// On success: the canonical universal solution (combined instance;
+    /// its target part may contain nulls).
+    pub canonical: Option<Instance>,
+    /// Chase steps taken.
+    pub chase_steps: usize,
+}
+
+/// Chase-based existence test and canonical-solution construction.
+pub fn solve_data_exchange(
+    setting: &PdeSetting,
+    input: &Instance,
+) -> Result<DataExchangeOutcome, DataExchangeError> {
+    if !setting.is_data_exchange() {
+        return Err(DataExchangeError::HasTargetToSource);
+    }
+    if !input.is_ground() {
+        return Err(DataExchangeError::InputNotGround);
+    }
+    let gen = null_gen_for(input);
+    let deps: Vec<Dependency> = setting
+        .sigma_st()
+        .iter()
+        .cloned()
+        .map(Dependency::Tgd)
+        .chain(setting.sigma_t().iter().cloned())
+        .collect();
+    let res = chase(input.clone(), &deps, &gen);
+    match res.outcome {
+        ChaseOutcome::Success => Ok(DataExchangeOutcome {
+            exists: true,
+            canonical: Some(res.instance),
+            chase_steps: res.steps,
+        }),
+        ChaseOutcome::Failure { .. } => Ok(DataExchangeOutcome {
+            exists: false,
+            canonical: None,
+            chase_steps: res.steps,
+        }),
+        ChaseOutcome::ResourceExceeded => Err(DataExchangeError::ChaseDidNotTerminate),
+    }
+}
+
+/// Chase with explicit limits (for experiments that measure divergence).
+pub fn solve_data_exchange_with_limits(
+    setting: &PdeSetting,
+    input: &Instance,
+    limits: ChaseLimits,
+) -> Result<DataExchangeOutcome, DataExchangeError> {
+    if !setting.is_data_exchange() {
+        return Err(DataExchangeError::HasTargetToSource);
+    }
+    let gen = null_gen_for(input);
+    let deps: Vec<Dependency> = setting
+        .sigma_st()
+        .iter()
+        .cloned()
+        .map(Dependency::Tgd)
+        .chain(setting.sigma_t().iter().cloned())
+        .collect();
+    let res = pde_chase::chase_with(
+        input.clone(),
+        &deps,
+        pde_chase::WitnessMode::FreshNulls(&gen),
+        limits,
+    );
+    match res.outcome {
+        ChaseOutcome::Success => Ok(DataExchangeOutcome {
+            exists: true,
+            canonical: Some(res.instance),
+            chase_steps: res.steps,
+        }),
+        ChaseOutcome::Failure { .. } => Ok(DataExchangeOutcome {
+            exists: false,
+            canonical: None,
+            chase_steps: res.steps,
+        }),
+        ChaseOutcome::ResourceExceeded => Err(DataExchangeError::ChaseDidNotTerminate),
+    }
+}
+
+/// Certain answers in data exchange: ground answers of the UCQ on the
+/// canonical universal solution (\[FKMP\] Theorem 4.2). Returns `None` when
+/// no solution exists (vacuous certainty).
+pub fn certain_answers_data_exchange(
+    setting: &PdeSetting,
+    input: &Instance,
+    query: &UnionQuery,
+) -> Result<Option<BTreeSet<Vec<Value>>>, DataExchangeError> {
+    if !query
+        .disjuncts
+        .iter()
+        .all(|q| q.over_peer(setting.schema(), Peer::Target))
+    {
+        return Err(DataExchangeError::QueryNotOverTarget);
+    }
+    let out = solve_data_exchange(setting, input)?;
+    Ok(out.canonical.map(|c| {
+        query
+            .eval(&c)
+            .into_iter()
+            .filter(|t| t.iter().all(Value::is_const))
+            .collect()
+    }))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pde_relational::{parse_instance, parse_query};
+
+    fn de_setting() -> PdeSetting {
+        PdeSetting::parse(
+            "source E/2; target H/2;",
+            "E(x, y) -> exists z . H(x, z), H(z, y)",
+            "",
+            "",
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn solutions_always_exist_without_target_constraints() {
+        // The §3 contrast: data exchange with Σt = ∅ is trivial.
+        let p = de_setting();
+        for src in ["E(a, b).", "E(a, b). E(b, c).", ""] {
+            let input = parse_instance(p.schema(), src).unwrap();
+            let out = solve_data_exchange(&p, &input).unwrap();
+            assert!(out.exists, "{src}");
+        }
+    }
+
+    #[test]
+    fn canonical_solution_is_a_solution() {
+        let p = de_setting();
+        let input = parse_instance(p.schema(), "E(a, b).").unwrap();
+        let out = solve_data_exchange(&p, &input).unwrap();
+        let canon = out.canonical.unwrap();
+        assert!(crate::solution::is_solution(&p, &input, &canon));
+        assert_eq!(canon.nulls().len(), 1);
+    }
+
+    #[test]
+    fn egd_failure_means_no_solution() {
+        let p = PdeSetting::parse(
+            "source E/2; target H/2;",
+            "E(x, y) -> H(x, y)",
+            "",
+            "H(x, y), H(x, z) -> y = z",
+        )
+        .unwrap();
+        let input = parse_instance(p.schema(), "E(a, b). E(a, c).").unwrap();
+        let out = solve_data_exchange(&p, &input).unwrap();
+        assert!(!out.exists);
+        // Cross-check against the generic search solver.
+        let gen = crate::generic::solve(&p, &input, crate::generic::GenericLimits::default())
+            .unwrap();
+        assert_eq!(gen.decided(), Some(false));
+    }
+
+    #[test]
+    fn certain_answers_via_canonical_solution() {
+        let p = PdeSetting::parse(
+            "source E/2; target H/2;",
+            "E(x, y) -> exists z . H(x, z), H(z, y)",
+            "",
+            "",
+        )
+        .unwrap();
+        let input = parse_instance(p.schema(), "E(a, b).").unwrap();
+        let q = parse_query(p.schema(), "q(x, y) :- H(x, z), H(z, y)").unwrap().into();
+        let ans = certain_answers_data_exchange(&p, &input, &q)
+            .unwrap()
+            .unwrap();
+        assert!(ans.contains(&vec![Value::constant("a"), Value::constant("b")]));
+        // Answers through the null are not ground, hence not certain.
+        assert_eq!(ans.len(), 1);
+    }
+
+    #[test]
+    fn rejects_pde_settings() {
+        let p = PdeSetting::parse(
+            "source E/2; target H/2;",
+            "E(x, y) -> H(x, y)",
+            "H(x, y) -> E(x, y)",
+            "",
+        )
+        .unwrap();
+        let input = parse_instance(p.schema(), "E(a, a).").unwrap();
+        assert_eq!(
+            solve_data_exchange(&p, &input).unwrap_err(),
+            DataExchangeError::HasTargetToSource
+        );
+    }
+
+    #[test]
+    fn weak_acyclicity_guard() {
+        let p = PdeSetting::parse(
+            "source E/2; target H/2;",
+            "E(x, y) -> H(x, y)",
+            "",
+            "H(x, y) -> exists z . H(y, z)",
+        )
+        .unwrap();
+        let input = parse_instance(p.schema(), "E(a, b).").unwrap();
+        let err = solve_data_exchange_with_limits(&p, &input, ChaseLimits::tight(100))
+            .unwrap_err();
+        assert_eq!(err, DataExchangeError::ChaseDidNotTerminate);
+    }
+}

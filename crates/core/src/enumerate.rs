@@ -1,0 +1,284 @@
+//! Solution enumeration: list distinct (minimal-family) solutions.
+//!
+//! Both complete solvers internally enumerate a family of solutions with
+//! the covering property (every solution contains a homomorphic image of a
+//! family member). This module exposes that stream as a first-class API —
+//! deduplicated up to null renaming, optionally cored, capped at a limit —
+//! for exploration, debugging, and the `solution_space` example.
+
+use crate::assignment::{self, AssignmentError, DisjunctiveProblem};
+use crate::generic::{self, GenericError, GenericLimits};
+use crate::setting::PdeSetting;
+use pde_relational::{core_of, Instance};
+use std::collections::HashSet;
+use std::fmt;
+use std::ops::ControlFlow;
+
+/// Options for [`enumerate_solutions`].
+#[derive(Clone, Copy, Debug)]
+pub struct EnumerateOptions {
+    /// Stop after this many distinct solutions.
+    pub max_solutions: usize,
+    /// Replace each solution by its core before deduplication (only
+    /// applied when Σt contains no tgds; see
+    /// [`crate::solution::core_solution`]).
+    pub core: bool,
+    /// Node limits for the generic search (settings with Σt ≠ ∅).
+    pub limits: GenericLimits,
+}
+
+impl Default for EnumerateOptions {
+    fn default() -> Self {
+        EnumerateOptions {
+            max_solutions: 100,
+            core: false,
+            limits: GenericLimits::default(),
+        }
+    }
+}
+
+/// Enumeration errors.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum EnumerateError {
+    /// Underlying assignment-solver error.
+    Assignment(AssignmentError),
+    /// Underlying generic-solver error.
+    Generic(GenericError),
+}
+
+impl fmt::Display for EnumerateError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EnumerateError::Assignment(e) => write!(f, "{e}"),
+            EnumerateError::Generic(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for EnumerateError {}
+
+impl From<AssignmentError> for EnumerateError {
+    fn from(e: AssignmentError) -> Self {
+        EnumerateError::Assignment(e)
+    }
+}
+
+impl From<GenericError> for EnumerateError {
+    fn from(e: GenericError) -> Self {
+        EnumerateError::Generic(e)
+    }
+}
+
+/// The outcome: the distinct solutions found (sorted smallest-first) and
+/// whether the family was exhausted within the limits.
+#[derive(Clone, Debug)]
+pub struct SolutionFamily {
+    /// Distinct solutions, ascending by fact count.
+    pub solutions: Vec<Instance>,
+    /// Was the enumeration exhaustive (no limit cut it short)?
+    pub exhaustive: bool,
+}
+
+/// A rename-invariant key for deduplication: sorted fact strings with
+/// nulls renumbered by first appearance.
+fn dedup_key(k: &Instance) -> String {
+    let mut lines: Vec<String> = k.facts().map(|(rel, t)| format!("{}{t:?}", rel.0)).collect();
+    lines.sort();
+    let joined = lines.join(";");
+    let mut ranks: std::collections::HashMap<String, usize> = std::collections::HashMap::new();
+    let mut out = String::with_capacity(joined.len());
+    let bytes = joined.as_bytes();
+    let mut i = 0;
+    while i < bytes.len() {
+        if joined[i..].starts_with('⊥') {
+            let start = i + '⊥'.len_utf8();
+            let mut j = start;
+            while j < bytes.len() && bytes[j].is_ascii_digit() {
+                j += 1;
+            }
+            let id = joined[start..j].to_owned();
+            let next = ranks.len();
+            let rank = *ranks.entry(id).or_insert(next);
+            out.push_str(&format!("¤{rank}¤"));
+            i = j;
+        } else {
+            let ch = joined[i..].chars().next().expect("in bounds");
+            out.push(ch);
+            i += ch.len_utf8();
+        }
+    }
+    out
+}
+
+/// Enumerate distinct solutions of the minimal family for `input` in
+/// `setting`.
+pub fn enumerate_solutions(
+    setting: &PdeSetting,
+    input: &Instance,
+    options: EnumerateOptions,
+) -> Result<SolutionFamily, EnumerateError> {
+    let mut seen: HashSet<String> = HashSet::new();
+    let mut solutions: Vec<Instance> = Vec::new();
+    let core_allowed = options.core && setting.target_tgds().next().is_none();
+    let mut truncated = false;
+    let mut sink = |sol: &Instance| -> ControlFlow<()> {
+        let candidate = if core_allowed { core_of(sol) } else { sol.clone() };
+        if seen.insert(dedup_key(&candidate)) {
+            solutions.push(candidate);
+        }
+        if solutions.len() >= options.max_solutions {
+            truncated = true;
+            ControlFlow::Break(())
+        } else {
+            ControlFlow::Continue(())
+        }
+    };
+
+    let exhausted = if setting.has_no_target_constraints() {
+        let problem = DisjunctiveProblem::from_setting(setting)?;
+        assignment::for_each_solution(&problem, input, &mut sink)?;
+        !truncated
+    } else {
+        let (_, ex) = generic::for_each_solution(setting, input, options.limits, &mut sink)?;
+        ex && !truncated
+    };
+
+    solutions.sort_by_key(Instance::fact_count);
+    Ok(SolutionFamily {
+        solutions,
+        exhaustive: exhausted,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::solution::is_solution;
+    use pde_relational::parse_instance;
+
+    fn marked_example() -> PdeSetting {
+        PdeSetting::parse(
+            "source S/2; target T/2;",
+            "S(x1, x2) -> exists y . T(x1, y)",
+            "T(x1, x2) -> exists w . S(w, x2)",
+            "",
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn enumerates_distinct_solutions() {
+        let p = marked_example();
+        // S(a, b), S(c, b): T(a, ?) and T(c, ?) must map into column 2 of
+        // S, i.e. both nulls go to b — plus Keep is never viable here.
+        let input = parse_instance(p.schema(), "S(a, b). S(c, b).").unwrap();
+        let fam = enumerate_solutions(&p, &input, EnumerateOptions::default()).unwrap();
+        assert!(fam.exhaustive);
+        assert!(!fam.solutions.is_empty());
+        for s in &fam.solutions {
+            assert!(is_solution(&p, &input, s));
+        }
+        // Sorted ascending by size.
+        for w in fam.solutions.windows(2) {
+            assert!(w[0].fact_count() <= w[1].fact_count());
+        }
+    }
+
+    #[test]
+    fn dedup_collapses_null_renamings() {
+        let p = PdeSetting::parse(
+            "source S/1; source W/1; target T/2;",
+            "S(x) -> exists y . T(x, y)",
+            "T(x, y) -> W(x)",
+            "",
+        )
+        .unwrap();
+        let input = parse_instance(p.schema(), "S(a). W(a).").unwrap();
+        let fam = enumerate_solutions(&p, &input, EnumerateOptions::default()).unwrap();
+        // Solutions: T(a, kept-null) and T(a, a). Exactly two distinct.
+        assert_eq!(fam.solutions.len(), 2);
+    }
+
+    #[test]
+    fn cap_truncates_and_reports() {
+        let p = marked_example();
+        let input = parse_instance(p.schema(), "S(a, b). S(a, c). S(d, b).").unwrap();
+        let all = enumerate_solutions(&p, &input, EnumerateOptions::default()).unwrap();
+        assert!(all.exhaustive);
+        if all.solutions.len() > 1 {
+            let capped = enumerate_solutions(
+                &p,
+                &input,
+                EnumerateOptions {
+                    max_solutions: 1,
+                    ..EnumerateOptions::default()
+                },
+            )
+            .unwrap();
+            assert_eq!(capped.solutions.len(), 1);
+            assert!(!capped.exhaustive);
+        }
+    }
+
+    #[test]
+    fn coring_shrinks_family_members() {
+        let p = PdeSetting::parse(
+            "source S/1; target T/2;",
+            "S(x) -> exists y . T(x, y); S(x) -> T(x, x)",
+            "",
+            "",
+        )
+        .unwrap();
+        let input = parse_instance(p.schema(), "S(a).").unwrap();
+        let plain = enumerate_solutions(&p, &input, EnumerateOptions::default()).unwrap();
+        let cored = enumerate_solutions(
+            &p,
+            &input,
+            EnumerateOptions {
+                core: true,
+                ..EnumerateOptions::default()
+            },
+        )
+        .unwrap();
+        let min_plain = plain.solutions.iter().map(Instance::fact_count).min();
+        let min_cored = cored.solutions.iter().map(Instance::fact_count).min();
+        assert!(min_cored <= min_plain);
+        for s in &cored.solutions {
+            assert!(is_solution(&p, &input, s));
+        }
+    }
+
+    #[test]
+    fn with_target_constraints_uses_generic_enumeration() {
+        let p = PdeSetting::parse(
+            "source E/2; source W/2; target H/2;",
+            "E(x, y) -> exists z . H(x, z)",
+            "H(x, y) -> W(x, y)",
+            "H(x, y), H(x, z) -> y = z",
+        )
+        .unwrap();
+        let input = parse_instance(p.schema(), "E(a, q). W(a, b). W(a, c).").unwrap();
+        let fam = enumerate_solutions(&p, &input, EnumerateOptions::default()).unwrap();
+        assert!(fam.exhaustive);
+        // H(a,b) and H(a,c) are both viable (but not together: egd).
+        assert!(fam.solutions.len() >= 2);
+        for s in &fam.solutions {
+            assert!(is_solution(&p, &input, s));
+        }
+    }
+
+    #[test]
+    fn no_solutions_yields_empty_family() {
+        let p = PdeSetting::parse(
+            "source E/2; target H/2;",
+            "E(x, z), E(z, y) -> H(x, y)",
+            "H(x, y) -> E(x, y)",
+            "",
+        )
+        .unwrap();
+        let input = parse_instance(p.schema(), "E(a, b). E(b, c).").unwrap();
+        let fam = enumerate_solutions(&p, &input, EnumerateOptions::default()).unwrap();
+        assert!(fam.exhaustive);
+        assert!(fam.solutions.is_empty());
+    }
+}

@@ -1,0 +1,54 @@
+//! Peer data exchange (PODS 2005): the paper's primary contribution.
+//!
+//! This crate defines PDE settings and implements all the paper's
+//! algorithms:
+//!
+//! * [`setting`]: `P = (S, T, Σst, Σts, Σt)` with validation and static
+//!   classification (Def. 1, Def. 9);
+//! * [`solution`]: solution checking (Def. 2);
+//! * [`blocks`](mod@blocks): block decomposition and Prop. 1;
+//! * [`tractable`]: the polynomial `ExistsSolution` of Fig. 3 (Thms. 4–6);
+//! * [`assignment`]: complete solver for Σt = ∅ (the Theorem 1 NP
+//!   procedure, specialized to no target constraints), including the §4
+//!   disjunctive extension;
+//! * placeholder for further modules.
+
+pub mod assignment;
+pub mod blocks;
+pub mod setting;
+pub mod solution;
+pub mod tractable;
+
+pub use assignment::{
+    solve as assignment_solve, AssignmentError, AssignmentOutcome, DisjunctiveProblem,
+    SearchStats,
+};
+pub use blocks::{blocks, blockwise_hom_exists, max_block_nulls, Block};
+pub use setting::{PdeSetting, SettingClass, SettingError};
+pub use solution::{check_solution, core_solution, is_solution, SolutionViolation};
+pub use tractable::{
+    exists_solution, exists_solution_unchecked, TractableError, TractableOutcome, TractableStats,
+};
+
+pub mod generic;
+pub use generic::{GenericError, GenericLimits, GenericOutcome, GenericStats};
+
+pub mod certain;
+pub use certain::{brute_force_certain_superset, certain_answers, CertainError, CertainOutcome};
+
+pub mod bundle;
+pub mod data_exchange;
+pub mod enumerate;
+pub mod multi;
+pub mod pdms;
+pub mod small;
+pub mod solver;
+pub use bundle::{Bundle, BundleError};
+pub use data_exchange::{
+    certain_answers_data_exchange, solve_data_exchange, DataExchangeError, DataExchangeOutcome,
+};
+pub use enumerate::{enumerate_solutions, EnumerateError, EnumerateOptions, SolutionFamily};
+pub use multi::{MultiPdeError, MultiPdeSetting, PeerConstraints};
+pub use pdms::{Pdms, StorageDescription};
+pub use small::{shrink_solution, ShrinkError};
+pub use solver::{decide, decide_with_limits, SolveError, SolveReport, SolverKind};

@@ -1,0 +1,185 @@
+//! The embedding of PDE settings into peer data management systems
+//! (paper §2, "Relationship to PDMS").
+//!
+//! A PDMS in the sense of Halevy et al. has peers with visible schemas,
+//! *storage descriptions* relating each peer's schema to its private local
+//! sources (`R* = Q` equality, or `R* ⊆ Q` containment), and *peer
+//! mappings* between peers. The paper shows every PDE setting `P` is the
+//! PDMS `N(P)` with:
+//!
+//! * one local replica relation per peer relation;
+//! * **equality** storage descriptions `S_i* = S_i` for the source peer —
+//!   the source's data can never change;
+//! * **containment** storage descriptions `T_j* ⊆ T_j` for the target
+//!   peer — the target may be augmented;
+//! * the dependencies of Σst ∪ Σts ∪ Σt as (inclusion) peer mappings.
+//!
+//! A *data instance* assigns the local replicas (here: the input `(I, J)`),
+//! and a *consistent data instance* additionally assigns the visible peer
+//! relations so that all storage descriptions and peer mappings hold. The
+//! correspondence tested here is the paper's: `K` is a solution for
+//! `(I, J)` in `P` iff assigning the visible relations from `K` yields a
+//! consistent data instance of `N(P)` over locals `(I, J)`.
+
+use crate::setting::PdeSetting;
+use pde_chase::satisfies;
+use pde_constraints::Dependency;
+use pde_relational::{Instance, Peer, RelId};
+
+/// A storage description relating a visible relation to its local replica.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum StorageDescription {
+    /// `R* = R`: the visible relation equals the local one.
+    Equality(RelId),
+    /// `R* ⊆ R`: the local relation is contained in the visible one.
+    Containment(RelId),
+}
+
+impl StorageDescription {
+    /// The relation this description governs.
+    pub fn relation(&self) -> RelId {
+        match self {
+            StorageDescription::Equality(r) | StorageDescription::Containment(r) => *r,
+        }
+    }
+}
+
+/// A (two-peer) PDMS: storage descriptions plus peer mappings. The local
+/// replicas share the visible schema, so local data and visible data are
+/// both plain [`Instance`]s.
+#[derive(Clone)]
+pub struct Pdms {
+    /// Storage descriptions, one per relation.
+    pub storage: Vec<StorageDescription>,
+    /// Peer mappings (inclusion mappings given as dependencies).
+    pub peer_mappings: Vec<Dependency>,
+}
+
+impl Pdms {
+    /// The §2 embedding `N(P)` of a PDE setting.
+    pub fn embed(setting: &PdeSetting) -> Pdms {
+        let schema = setting.schema();
+        let storage = schema
+            .rel_ids()
+            .map(|r| match schema.peer(r) {
+                Peer::Source => StorageDescription::Equality(r),
+                Peer::Target => StorageDescription::Containment(r),
+            })
+            .collect();
+        let peer_mappings = setting
+            .sigma_st()
+            .iter()
+            .cloned()
+            .map(Dependency::Tgd)
+            .chain(setting.sigma_ts().iter().cloned().map(Dependency::Tgd))
+            .chain(setting.sigma_t().iter().cloned())
+            .collect();
+        Pdms {
+            storage,
+            peer_mappings,
+        }
+    }
+
+    /// Is `visible` a consistent data instance for local data `locals`?
+    ///
+    /// Checks every storage description (`=` or `⊆` per relation) and every
+    /// peer mapping against the visible instance.
+    pub fn is_consistent(&self, locals: &Instance, visible: &Instance) -> bool {
+        for sd in &self.storage {
+            let r = sd.relation();
+            let local_rel = locals.relation(r);
+            let vis_rel = visible.relation(r);
+            match sd {
+                StorageDescription::Equality(_) => {
+                    if local_rel != vis_rel {
+                        return false;
+                    }
+                }
+                StorageDescription::Containment(_) => {
+                    if !local_rel.iter().all(|t| vis_rel.contains(t)) {
+                        return false;
+                    }
+                }
+            }
+        }
+        self.peer_mappings.iter().all(|d| satisfies(visible, d))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::solution::is_solution;
+    use pde_relational::parse_instance;
+
+    fn example1() -> PdeSetting {
+        PdeSetting::parse(
+            "source E/2; target H/2;",
+            "E(x, z), E(z, y) -> H(x, y)",
+            "H(x, y) -> E(x, y)",
+            "",
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn embedding_builds_expected_storage_descriptions() {
+        let p = example1();
+        let n = Pdms::embed(&p);
+        let e = p.schema().rel_id("E").unwrap();
+        let h = p.schema().rel_id("H").unwrap();
+        assert!(n.storage.contains(&StorageDescription::Equality(e)));
+        assert!(n.storage.contains(&StorageDescription::Containment(h)));
+        assert_eq!(n.peer_mappings.len(), 2);
+    }
+
+    #[test]
+    fn solutions_correspond_to_consistent_data_instances() {
+        // The paper's correspondence, exercised over a small candidate
+        // universe: K is a solution for (I, J) iff K is consistent for the
+        // locals (I, J) in N(P).
+        let p = example1();
+        let n = Pdms::embed(&p);
+        let input = parse_instance(p.schema(), "E(a, a). E(a, b).").unwrap();
+        let h_universe = ["H(a, a).", "H(a, b).", "H(b, a)."];
+        for mask in 0u8..8 {
+            let mut src = String::from("E(a, a). E(a, b). ");
+            for (i, f) in h_universe.iter().enumerate() {
+                if mask & (1 << i) != 0 {
+                    src.push_str(f);
+                }
+            }
+            let cand = parse_instance(p.schema(), &src).unwrap();
+            assert_eq!(
+                is_solution(&p, &input, &cand),
+                n.is_consistent(&input, &cand),
+                "mask {mask}"
+            );
+        }
+    }
+
+    #[test]
+    fn source_equality_is_strict() {
+        let p = example1();
+        let n = Pdms::embed(&p);
+        let locals = parse_instance(p.schema(), "E(a, a).").unwrap();
+        // Growing the source violates the equality storage description —
+        // this is exactly what distinguishes PDE from a containment-only
+        // PDMS (the paper's explanation for the complexity jump).
+        let grown = parse_instance(p.schema(), "E(a, a). E(b, b). H(a, a). H(b, b).").unwrap();
+        assert!(!n.is_consistent(&locals, &grown));
+        let ok = parse_instance(p.schema(), "E(a, a). H(a, a).").unwrap();
+        assert!(n.is_consistent(&locals, &ok));
+    }
+
+    #[test]
+    fn target_containment_allows_augmentation() {
+        let p = example1();
+        let n = Pdms::embed(&p);
+        let locals = parse_instance(p.schema(), "E(a, a). H(a, a).").unwrap();
+        // Dropping a local target fact from the visible instance violates
+        // containment.
+        let dropped = parse_instance(p.schema(), "E(a, a).").unwrap();
+        assert!(!n.is_consistent(&locals, &dropped));
+    }
+}

@@ -1,0 +1,328 @@
+//! Peer data exchange settings (paper Def. 1).
+//!
+//! A PDE setting is a quintuple `P = (S, T, Σst, Σts, Σt)`. The combined
+//! schema `(S, T)` is a single [`Schema`] whose relations carry peer tags;
+//! construction-time validation checks every dependency's orientation, and
+//! [`PdeSetting::classification`] runs the static analyses (weak acyclicity
+//! of the Σt tgds, `C_tract` membership of (Σst, Σts)).
+
+use pde_constraints::{
+    classify, is_weakly_acyclic, CtractReport, Dependency, DependencyError, Orientation, Tgd,
+};
+use pde_relational::{parse_schema, ParseError, Schema};
+use std::fmt;
+use std::sync::Arc;
+
+/// A peer data exchange setting `(S, T, Σst, Σts, Σt)`.
+#[derive(Clone)]
+pub struct PdeSetting {
+    schema: Arc<Schema>,
+    sigma_st: Vec<Tgd>,
+    sigma_ts: Vec<Tgd>,
+    sigma_t: Vec<Dependency>,
+}
+
+/// Errors constructing or validating a setting.
+#[derive(Clone, Debug)]
+pub enum SettingError {
+    /// A dependency failed structural/orientation validation.
+    Dependency {
+        /// Which constraint set the dependency belongs to.
+        group: &'static str,
+        /// Index within that set.
+        index: usize,
+        /// The underlying error.
+        error: DependencyError,
+    },
+    /// A text source failed to parse.
+    Parse(ParseError),
+}
+
+impl fmt::Display for SettingError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SettingError::Dependency { group, index, error } => {
+                write!(f, "{group}[{index}]: {error}")
+            }
+            SettingError::Parse(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for SettingError {}
+
+impl From<ParseError> for SettingError {
+    fn from(e: ParseError) -> Self {
+        SettingError::Parse(e)
+    }
+}
+
+impl PdeSetting {
+    /// Build and validate a setting.
+    pub fn new(
+        schema: Arc<Schema>,
+        sigma_st: Vec<Tgd>,
+        sigma_ts: Vec<Tgd>,
+        sigma_t: Vec<Dependency>,
+    ) -> Result<PdeSetting, SettingError> {
+        let s = PdeSetting {
+            schema,
+            sigma_st,
+            sigma_ts,
+            sigma_t,
+        };
+        s.validate()?;
+        Ok(s)
+    }
+
+    /// Parse a setting from text sources: a schema declaration, and
+    /// `;`-separated dependency lists for Σst, Σts, and Σt (the last may mix
+    /// tgds and egds; any may be empty).
+    pub fn parse(
+        schema_src: &str,
+        st_src: &str,
+        ts_src: &str,
+        t_src: &str,
+    ) -> Result<PdeSetting, SettingError> {
+        let schema = Arc::new(parse_schema(schema_src)?);
+        let sigma_st = pde_constraints::parser::parse_tgds(&schema, st_src)?;
+        let sigma_ts = pde_constraints::parser::parse_tgds(&schema, ts_src)?;
+        let sigma_t = pde_constraints::parse_dependencies(&schema, t_src)?;
+        PdeSetting::new(schema, sigma_st, sigma_ts, sigma_t)
+    }
+
+    fn validate(&self) -> Result<(), SettingError> {
+        let wrap = |group: &'static str, index: usize, error: DependencyError| {
+            SettingError::Dependency { group, index, error }
+        };
+        for (i, t) in self.sigma_st.iter().enumerate() {
+            t.validate(&self.schema, Orientation::SourceToTarget)
+                .map_err(|e| wrap("sigma_st", i, e))?;
+        }
+        for (i, t) in self.sigma_ts.iter().enumerate() {
+            t.validate(&self.schema, Orientation::TargetToSource)
+                .map_err(|e| wrap("sigma_ts", i, e))?;
+        }
+        for (i, d) in self.sigma_t.iter().enumerate() {
+            match d {
+                Dependency::Tgd(t) => t
+                    .validate(&self.schema, Orientation::TargetTarget)
+                    .map_err(|e| wrap("sigma_t", i, e))?,
+                Dependency::Egd(e) => e
+                    .validate(&self.schema)
+                    .map_err(|er| wrap("sigma_t", i, er))?,
+            }
+        }
+        Ok(())
+    }
+
+    /// The combined schema.
+    pub fn schema(&self) -> &Arc<Schema> {
+        &self.schema
+    }
+
+    /// The source-to-target tgds Σst.
+    pub fn sigma_st(&self) -> &[Tgd] {
+        &self.sigma_st
+    }
+
+    /// The target-to-source tgds Σts.
+    pub fn sigma_ts(&self) -> &[Tgd] {
+        &self.sigma_ts
+    }
+
+    /// The target constraints Σt (tgds and egds).
+    pub fn sigma_t(&self) -> &[Dependency] {
+        &self.sigma_t
+    }
+
+    /// The target tgds of Σt.
+    pub fn target_tgds(&self) -> impl Iterator<Item = &Tgd> {
+        self.sigma_t.iter().filter_map(Dependency::as_tgd)
+    }
+
+    /// The target egds of Σt.
+    pub fn target_egds(&self) -> impl Iterator<Item = &pde_constraints::Egd> {
+        self.sigma_t.iter().filter_map(Dependency::as_egd)
+    }
+
+    /// Is this a plain data exchange setting (Σts = ∅)?
+    pub fn is_data_exchange(&self) -> bool {
+        self.sigma_ts.is_empty()
+    }
+
+    /// Are there no target constraints?
+    pub fn has_no_target_constraints(&self) -> bool {
+        self.sigma_t.is_empty()
+    }
+
+    /// Run the static analyses.
+    pub fn classification(&self) -> SettingClass {
+        let tgds: Vec<&Tgd> = self.target_tgds().collect();
+        SettingClass {
+            ctract: classify(&self.schema, &self.sigma_st, &self.sigma_ts),
+            target_tgds_weakly_acyclic: is_weakly_acyclic(
+                &self.schema,
+                tgds.iter().copied(),
+            ),
+            has_target_constraints: !self.sigma_t.is_empty(),
+            is_data_exchange: self.is_data_exchange(),
+        }
+    }
+}
+
+impl fmt::Debug for PdeSetting {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "PdeSetting {{")?;
+        writeln!(f, "  schema: {}", self.schema)?;
+        for t in &self.sigma_st {
+            writeln!(f, "  st: {}", t.display(&self.schema))?;
+        }
+        for t in &self.sigma_ts {
+            writeln!(f, "  ts: {}", t.display(&self.schema))?;
+        }
+        for d in &self.sigma_t {
+            writeln!(f, "  t:  {}", d.display(&self.schema))?;
+        }
+        write!(f, "}}")
+    }
+}
+
+/// Static classification of a setting, driving solver selection.
+#[derive(Clone, Debug)]
+pub struct SettingClass {
+    /// The `C_tract` report for (Σst, Σts).
+    pub ctract: CtractReport,
+    /// Are the target tgds weakly acyclic (NP membership requirement of
+    /// Theorem 1)?
+    pub target_tgds_weakly_acyclic: bool,
+    /// Does the setting have target constraints?
+    pub has_target_constraints: bool,
+    /// Is Σts empty (plain data exchange)?
+    pub is_data_exchange: bool,
+}
+
+impl SettingClass {
+    /// Is the polynomial `ExistsSolution` algorithm (Theorem 4) applicable:
+    /// no target constraints and (Σst, Σts) ∈ `C_tract`?
+    pub fn tractable(&self) -> bool {
+        !self.has_target_constraints && self.ctract.in_ctract()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The Example 1 setting of the paper.
+    pub(crate) fn example1() -> PdeSetting {
+        PdeSetting::parse(
+            "source E/2; target H/2;",
+            "E(x, z), E(z, y) -> H(x, y)",
+            "H(x, y) -> E(x, y)",
+            "",
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn example1_parses_and_validates() {
+        let p = example1();
+        assert_eq!(p.sigma_st().len(), 1);
+        assert_eq!(p.sigma_ts().len(), 1);
+        assert!(p.has_no_target_constraints());
+        assert!(!p.is_data_exchange());
+    }
+
+    #[test]
+    fn example1_is_tractable() {
+        // Σts is H(x,y) -> E(x,y): LAV, no existentials ⇒ C_tract.
+        let c = example1().classification();
+        assert!(c.ctract.in_ctract());
+        assert!(c.tractable());
+        assert!(c.target_tgds_weakly_acyclic);
+    }
+
+    #[test]
+    fn orientation_violations_rejected() {
+        // An st-tgd with a target-relation premise must be rejected.
+        let err = PdeSetting::parse(
+            "source E/2; target H/2;",
+            "H(x, y) -> H(x, y)",
+            "",
+            "",
+        )
+        .unwrap_err();
+        assert!(format!("{err}").contains("sigma_st[0]"));
+    }
+
+    #[test]
+    fn target_constraints_validated() {
+        // Σt may not mention source relations.
+        let err = PdeSetting::parse(
+            "source E/2; target H/2;",
+            "",
+            "",
+            "H(x, y) -> E(x, y)",
+        )
+        .unwrap_err();
+        assert!(format!("{err}").contains("sigma_t[0]"));
+    }
+
+    #[test]
+    fn mixed_target_constraints() {
+        let p = PdeSetting::parse(
+            "source E/2; target H/2; target K/2;",
+            "E(x, y) -> H(x, y)",
+            "",
+            "H(x, y) -> K(x, y); H(x, y), H(x, z) -> y = z",
+        )
+        .unwrap();
+        assert_eq!(p.target_tgds().count(), 1);
+        assert_eq!(p.target_egds().count(), 1);
+        let c = p.classification();
+        assert!(c.target_tgds_weakly_acyclic);
+        assert!(!c.tractable(), "target constraints disable C_tract");
+    }
+
+    #[test]
+    fn weak_acyclicity_detected() {
+        let p = PdeSetting::parse(
+            "source E/2; target H/2;",
+            "",
+            "",
+            "H(x, y) -> exists z . H(y, z)",
+        )
+        .unwrap();
+        assert!(!p.classification().target_tgds_weakly_acyclic);
+    }
+
+    #[test]
+    fn data_exchange_special_case() {
+        let p = PdeSetting::parse(
+            "source E/2; target H/2;",
+            "E(x, y) -> H(x, y)",
+            "",
+            "",
+        )
+        .unwrap();
+        assert!(p.is_data_exchange());
+        assert!(p.classification().is_data_exchange);
+    }
+
+    #[test]
+    fn clique_setting_classification() {
+        let p = PdeSetting::parse(
+            "source D/2; source S/2; source E/2; target P/4;",
+            "D(x, y) -> exists z, w . P(x, z, y, w)",
+            "P(x, z, y, w) -> E(z, w); P(x, z, y, w), P(x, z2, y2, w2) -> S(z, z2)",
+            "",
+        )
+        .unwrap();
+        let c = p.classification();
+        assert!(!c.tractable());
+        assert!(c.ctract.holds1());
+        assert!(!c.ctract.holds2_1());
+        assert!(!c.ctract.holds2_2());
+    }
+}

@@ -1,0 +1,256 @@
+//! Solutions and solution checking (paper Def. 2).
+//!
+//! Given a setting `P` and an input pair `(I, J)` — represented as one
+//! combined instance — a target instance `J'` is a **solution** when
+//! `J ⊆ J'`, `(I, J') ⊨ Σst ∪ Σts`, and `J' ⊨ Σt`. Candidates are passed
+//! as combined instances too; the checker additionally insists the source
+//! part is untouched, the defining invariant of peer data exchange.
+
+use crate::setting::PdeSetting;
+use pde_chase::{satisfies, satisfies_tgd};
+use pde_constraints::Dependency;
+use pde_relational::{Instance, Peer};
+use std::fmt;
+
+/// Why a candidate is not a solution.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum SolutionViolation {
+    /// The candidate's source part differs from the input's.
+    SourceChanged,
+    /// Some fact of `J` is missing from the candidate (`J ⊄ J'`).
+    TargetNotContained,
+    /// A Σst tgd is violated.
+    SigmaSt(usize),
+    /// A Σts tgd is violated.
+    SigmaTs(usize),
+    /// A Σt dependency is violated.
+    SigmaT(usize),
+}
+
+impl fmt::Display for SolutionViolation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SolutionViolation::SourceChanged => {
+                write!(f, "the source instance was modified")
+            }
+            SolutionViolation::TargetNotContained => {
+                write!(f, "the candidate does not contain the input target instance")
+            }
+            SolutionViolation::SigmaSt(i) => write!(f, "sigma_st[{i}] is violated"),
+            SolutionViolation::SigmaTs(i) => write!(f, "sigma_ts[{i}] is violated"),
+            SolutionViolation::SigmaT(i) => write!(f, "sigma_t[{i}] is violated"),
+        }
+    }
+}
+
+/// Check whether `candidate` (a combined instance) is a solution for
+/// `input` (a combined instance `(I, J)`) in `setting`.
+pub fn check_solution(
+    setting: &PdeSetting,
+    input: &Instance,
+    candidate: &Instance,
+) -> Result<(), SolutionViolation> {
+    // Source unchanged, in both directions.
+    if !input.peer_contained_in(candidate, Peer::Source)
+        || !candidate.peer_contained_in(input, Peer::Source)
+    {
+        return Err(SolutionViolation::SourceChanged);
+    }
+    // J ⊆ J'.
+    if !input.peer_contained_in(candidate, Peer::Target) {
+        return Err(SolutionViolation::TargetNotContained);
+    }
+    for (i, t) in setting.sigma_st().iter().enumerate() {
+        if !satisfies_tgd(candidate, t) {
+            return Err(SolutionViolation::SigmaSt(i));
+        }
+    }
+    for (i, t) in setting.sigma_ts().iter().enumerate() {
+        if !satisfies_tgd(candidate, t) {
+            return Err(SolutionViolation::SigmaTs(i));
+        }
+    }
+    for (i, d) in setting.sigma_t().iter().enumerate() {
+        let ok = match d {
+            // Σt ranges over the target only; the combined instance is fine
+            // to check against because its premises mention only target
+            // relations.
+            Dependency::Tgd(_) | Dependency::Egd(_) => satisfies(candidate, d),
+        };
+        if !ok {
+            return Err(SolutionViolation::SigmaT(i));
+        }
+    }
+    Ok(())
+}
+
+/// Is `candidate` a solution for `input` in `setting`?
+pub fn is_solution(setting: &PdeSetting, input: &Instance, candidate: &Instance) -> bool {
+    check_solution(setting, input, candidate).is_ok()
+}
+
+/// Shrink a solution to its core (minimal retract).
+///
+/// For settings with no target constraints, the core of a solution is
+/// again a solution: the retraction fixes all ground facts (so `J` and the
+/// source stay put), homomorphic images preserve Σst, and the core is a
+/// subinstance so it fires no Σts premise the original didn't. With target
+/// tgds present this does **not** hold in general (tgd conclusions can be
+/// lost), so the function refuses.
+pub fn core_solution(
+    setting: &PdeSetting,
+    input: &Instance,
+    solution: &Instance,
+) -> Option<Instance> {
+    if setting.target_tgds().next().is_some() {
+        return None;
+    }
+    let cored = pde_relational::core_of(solution);
+    debug_assert!(
+        is_solution(setting, input, &cored),
+        "core of a solution must be a solution when Σt has no tgds"
+    );
+    Some(cored)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pde_relational::parse_instance;
+
+    fn example1() -> PdeSetting {
+        PdeSetting::parse(
+            "source E/2; target H/2;",
+            "E(x, z), E(z, y) -> H(x, y)",
+            "H(x, y) -> E(x, y)",
+            "",
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn example1_no_solution_case() {
+        // I = {E(a,b), E(b,c)}, J = ∅: H(a,c) is forced but E(a,c) absent.
+        let p = example1();
+        let input = parse_instance(p.schema(), "E(a, b). E(b, c).").unwrap();
+        let candidate = parse_instance(p.schema(), "E(a, b). E(b, c). H(a, c).").unwrap();
+        assert_eq!(
+            check_solution(&p, &input, &candidate),
+            Err(SolutionViolation::SigmaTs(0))
+        );
+        // Leaving H empty violates Σst instead.
+        assert_eq!(
+            check_solution(&p, &input, &input),
+            Err(SolutionViolation::SigmaSt(0))
+        );
+    }
+
+    #[test]
+    fn example1_unique_solution_case() {
+        // I = {E(a,a)}: J' = {H(a,a)} is the only solution.
+        let p = example1();
+        let input = parse_instance(p.schema(), "E(a, a).").unwrap();
+        let good = parse_instance(p.schema(), "E(a, a). H(a, a).").unwrap();
+        assert!(is_solution(&p, &input, &good));
+    }
+
+    #[test]
+    fn example1_two_solutions_case() {
+        // I = {E(a,b), E(b,c), E(a,c)}: both {H(a,c)} and
+        // {H(a,b), H(b,c), H(a,c)} are solutions.
+        let p = example1();
+        let input = parse_instance(p.schema(), "E(a, b). E(b, c). E(a, c).").unwrap();
+        let s1 = parse_instance(p.schema(), "E(a, b). E(b, c). E(a, c). H(a, c).").unwrap();
+        let s2 = parse_instance(
+            p.schema(),
+            "E(a, b). E(b, c). E(a, c). H(a, b). H(b, c). H(a, c).",
+        )
+        .unwrap();
+        assert!(is_solution(&p, &input, &s1));
+        assert!(is_solution(&p, &input, &s2));
+        // But {H(a,b)} alone is not (missing H(a,c) for Σst).
+        let bad = parse_instance(p.schema(), "E(a, b). E(b, c). E(a, c). H(a, b).").unwrap();
+        assert!(!is_solution(&p, &input, &bad));
+    }
+
+    #[test]
+    fn source_must_not_change() {
+        let p = example1();
+        let input = parse_instance(p.schema(), "E(a, a).").unwrap();
+        let grown = parse_instance(p.schema(), "E(a, a). E(b, b). H(a, a).").unwrap();
+        assert_eq!(
+            check_solution(&p, &input, &grown),
+            Err(SolutionViolation::SourceChanged)
+        );
+        let shrunk = parse_instance(p.schema(), "H(a, a).").unwrap();
+        assert_eq!(
+            check_solution(&p, &input, &shrunk),
+            Err(SolutionViolation::SourceChanged)
+        );
+    }
+
+    #[test]
+    fn j_must_be_contained() {
+        let p = example1();
+        let input = parse_instance(p.schema(), "E(a, a). H(q, q).").unwrap();
+        // Candidate drops H(q, q).
+        let cand = parse_instance(p.schema(), "E(a, a). H(a, a).").unwrap();
+        assert_eq!(
+            check_solution(&p, &input, &cand),
+            Err(SolutionViolation::TargetNotContained)
+        );
+    }
+
+    #[test]
+    fn core_solution_shrinks_redundant_witnesses() {
+        // A bloated solution with a redundant null fact cores down.
+        let p = PdeSetting::parse(
+            "source E/2; target H/2;",
+            "E(x, y) -> exists z . H(x, z)",
+            "H(x, y) -> E(x, x)",
+            "",
+        )
+        .unwrap();
+        let input = parse_instance(p.schema(), "E(a, b). E(a, a).").unwrap();
+        // Solution with both a ground fact and a subsumed null fact.
+        let bloated = parse_instance(p.schema(), "E(a, b). E(a, a). H(a, b). H(a, ?0).").unwrap();
+        assert!(is_solution(&p, &input, &bloated));
+        let cored = core_solution(&p, &input, &bloated).unwrap();
+        assert!(is_solution(&p, &input, &cored));
+        assert!(cored.fact_count() < bloated.fact_count());
+        assert!(cored.is_ground());
+    }
+
+    #[test]
+    fn core_solution_refuses_target_tgds() {
+        let p = PdeSetting::parse(
+            "source E/2; target H/2; target K/2;",
+            "E(x, y) -> H(x, y)",
+            "",
+            "H(x, y) -> K(x, y)",
+        )
+        .unwrap();
+        let input = parse_instance(p.schema(), "E(a, b).").unwrap();
+        let sol = parse_instance(p.schema(), "E(a, b). H(a, b). K(a, b).").unwrap();
+        assert!(core_solution(&p, &input, &sol).is_none());
+    }
+
+    #[test]
+    fn target_egd_checked() {
+        let p = PdeSetting::parse(
+            "source E/2; target H/2;",
+            "E(x, y) -> H(x, y)",
+            "",
+            "H(x, y), H(x, z) -> y = z",
+        )
+        .unwrap();
+        let input = parse_instance(p.schema(), "E(a, b).").unwrap();
+        let bad = parse_instance(p.schema(), "E(a, b). H(a, b). H(a, c).").unwrap();
+        assert_eq!(
+            check_solution(&p, &input, &bad),
+            Err(SolutionViolation::SigmaT(0))
+        );
+        let good = parse_instance(p.schema(), "E(a, b). H(a, b).").unwrap();
+        assert!(is_solution(&p, &input, &good));
+    }
+}

@@ -1,0 +1,225 @@
+//! Solver façade: pick the right algorithm from the setting's
+//! classification and report what ran.
+//!
+//! | Setting shape                           | Algorithm (module)          |
+//! |-----------------------------------------|-----------------------------|
+//! | Σts = ∅ (data exchange)                 | chase ([`crate::data_exchange`]) |
+//! | Σt = ∅, (Σst, Σts) ∈ `C_tract`          | Fig. 3 ([`crate::tractable`])    |
+//! | Σt = ∅, outside `C_tract`               | null-assignment search ([`crate::assignment`]) |
+//! | Σt ≠ ∅                                  | witness-chase search ([`crate::generic`]) |
+//!
+//! The first two are polynomial; the last two are complete exponential
+//! searches, matching the NP-completeness results of §3.
+
+use crate::assignment;
+use crate::data_exchange;
+use crate::generic::{self, GenericLimits, GenericOutcome};
+use crate::setting::PdeSetting;
+use crate::tractable;
+use pde_relational::Instance;
+use std::fmt;
+use std::time::{Duration, Instant};
+
+/// Which algorithm the façade selected.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum SolverKind {
+    /// Plain data-exchange chase (Σts = ∅).
+    DataExchange,
+    /// The polynomial `ExistsSolution` of Fig. 3.
+    Tractable,
+    /// Complete null-assignment search (Σt = ∅, outside `C_tract`).
+    AssignmentSearch,
+    /// Complete nondeterministic-witness chase search (Σt ≠ ∅).
+    GenericSearch,
+}
+
+impl fmt::Display for SolverKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SolverKind::DataExchange => write!(f, "data-exchange chase"),
+            SolverKind::Tractable => write!(f, "ExistsSolution (C_tract)"),
+            SolverKind::AssignmentSearch => write!(f, "null-assignment search"),
+            SolverKind::GenericSearch => write!(f, "witness-chase search"),
+        }
+    }
+}
+
+/// Result of [`decide`].
+#[derive(Clone, Debug)]
+pub struct SolveReport {
+    /// The algorithm that ran.
+    pub kind: SolverKind,
+    /// `Some(answer)` when decided; `None` when a resource limit stopped
+    /// the complete search early.
+    pub exists: Option<bool>,
+    /// A materialized solution, when one was found.
+    pub witness: Option<Instance>,
+    /// Wall-clock time of the solve call.
+    pub elapsed: Duration,
+}
+
+/// Errors from the façade (the per-solver errors, unified).
+#[derive(Clone, Debug)]
+pub enum SolveError {
+    /// Input contains nulls or another per-solver precondition failed.
+    Precondition(String),
+}
+
+impl fmt::Display for SolveError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SolveError::Precondition(m) => write!(f, "{m}"),
+        }
+    }
+}
+
+impl std::error::Error for SolveError {}
+
+/// Decide `SOL(P)` for `input`, automatically selecting the algorithm.
+pub fn decide(setting: &PdeSetting, input: &Instance) -> Result<SolveReport, SolveError> {
+    decide_with_limits(setting, input, GenericLimits::default())
+}
+
+/// [`decide`] with explicit limits for the complete searches.
+pub fn decide_with_limits(
+    setting: &PdeSetting,
+    input: &Instance,
+    limits: GenericLimits,
+) -> Result<SolveReport, SolveError> {
+    let start = Instant::now();
+    let wrap = |e: &dyn fmt::Display| SolveError::Precondition(e.to_string());
+
+    if setting.is_data_exchange() {
+        let out = data_exchange::solve_data_exchange(setting, input).map_err(|e| wrap(&e))?;
+        return Ok(SolveReport {
+            kind: SolverKind::DataExchange,
+            exists: Some(out.exists),
+            witness: out.canonical,
+            elapsed: start.elapsed(),
+        });
+    }
+    let class = setting.classification();
+    if class.tractable() {
+        let out = tractable::exists_solution(setting, input).map_err(|e| wrap(&e))?;
+        return Ok(SolveReport {
+            kind: SolverKind::Tractable,
+            exists: Some(out.exists),
+            witness: out.witness,
+            elapsed: start.elapsed(),
+        });
+    }
+    if setting.has_no_target_constraints() {
+        let out = assignment::solve(setting, input).map_err(|e| wrap(&e))?;
+        return Ok(SolveReport {
+            kind: SolverKind::AssignmentSearch,
+            exists: Some(out.exists),
+            witness: out.witness,
+            elapsed: start.elapsed(),
+        });
+    }
+    let out = generic::solve(setting, input, limits).map_err(|e| wrap(&e))?;
+    let (exists, witness) = match out {
+        GenericOutcome::Solved { witness, .. } => (Some(true), Some(witness)),
+        GenericOutcome::NoSolution { .. } => (Some(false), None),
+        GenericOutcome::Unknown { .. } => (None, None),
+    };
+    Ok(SolveReport {
+        kind: SolverKind::GenericSearch,
+        exists,
+        witness,
+        elapsed: start.elapsed(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::solution::is_solution;
+    use pde_relational::parse_instance;
+
+    #[test]
+    fn selects_data_exchange() {
+        let p = PdeSetting::parse(
+            "source E/2; target H/2;",
+            "E(x, y) -> H(x, y)",
+            "",
+            "",
+        )
+        .unwrap();
+        let input = parse_instance(p.schema(), "E(a, b).").unwrap();
+        let r = decide(&p, &input).unwrap();
+        assert_eq!(r.kind, SolverKind::DataExchange);
+        assert_eq!(r.exists, Some(true));
+    }
+
+    #[test]
+    fn selects_tractable() {
+        let p = PdeSetting::parse(
+            "source E/2; target H/2;",
+            "E(x, z), E(z, y) -> H(x, y)",
+            "H(x, y) -> E(x, y)",
+            "",
+        )
+        .unwrap();
+        let input = parse_instance(p.schema(), "E(a, a).").unwrap();
+        let r = decide(&p, &input).unwrap();
+        assert_eq!(r.kind, SolverKind::Tractable);
+        assert_eq!(r.exists, Some(true));
+        assert!(is_solution(&p, &input, &r.witness.unwrap()));
+    }
+
+    #[test]
+    fn selects_assignment_search() {
+        let p = PdeSetting::parse(
+            "source D/2; source S/2; source E/2; target P/4;",
+            "D(x, y) -> exists z, w . P(x, z, y, w)",
+            "P(x, z, y, w) -> E(z, w); P(x, z, y, w), P(x, z2, y2, w2) -> S(z, z2)",
+            "",
+        )
+        .unwrap();
+        let input = parse_instance(p.schema(), "D(a1, a2). S(u, u). E(u, u).").unwrap();
+        let r = decide(&p, &input).unwrap();
+        assert_eq!(r.kind, SolverKind::AssignmentSearch);
+        assert_eq!(r.exists, Some(true));
+    }
+
+    #[test]
+    fn selects_generic_search() {
+        let p = PdeSetting::parse(
+            "source E/2; target H/2;",
+            "E(x, y) -> H(x, y)",
+            "H(x, y) -> E(x, y)",
+            "H(x, y), H(x, z) -> y = z",
+        )
+        .unwrap();
+        let input = parse_instance(p.schema(), "E(a, b).").unwrap();
+        let r = decide(&p, &input).unwrap();
+        assert_eq!(r.kind, SolverKind::GenericSearch);
+        assert_eq!(r.exists, Some(true));
+    }
+
+    #[test]
+    fn all_kinds_display() {
+        for k in [
+            SolverKind::DataExchange,
+            SolverKind::Tractable,
+            SolverKind::AssignmentSearch,
+            SolverKind::GenericSearch,
+        ] {
+            assert!(!format!("{k}").is_empty());
+        }
+    }
+
+    #[test]
+    fn precondition_errors_surface() {
+        let p = PdeSetting::parse(
+            "source E/2; target H/2;",
+            "E(x, y) -> H(x, y)",
+            "",
+            "",
+        )
+        .unwrap();
+        let input = parse_instance(p.schema(), "E(?0, a).").unwrap();
+        assert!(decide(&p, &input).is_err());
+    }
+}

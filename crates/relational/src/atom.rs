@@ -1,0 +1,336 @@
+//! First-order syntax: variables, terms, atoms, and conjunctions.
+//!
+//! These are the building blocks of conjunctive queries and of the premises
+//! and conclusions of tgds/egds. Atoms refer to relations by [`RelId`], so
+//! they are always bound to a concrete [`Schema`].
+
+use crate::schema::{RelId, Schema};
+use crate::symbol::Symbol;
+use crate::value::Value;
+use std::collections::BTreeSet;
+use std::fmt;
+
+/// A variable (interned name).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Var(pub Symbol);
+
+impl Var {
+    /// Make a variable from a name.
+    pub fn new(name: impl Into<Symbol>) -> Var {
+        Var(name.into())
+    }
+}
+
+impl fmt::Debug for Var {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl fmt::Display for Var {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl From<&str> for Var {
+    fn from(s: &str) -> Var {
+        Var::new(s)
+    }
+}
+
+/// A term: a variable or a constant.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Term {
+    /// A variable.
+    Var(Var),
+    /// A constant.
+    Const(Symbol),
+}
+
+impl Term {
+    /// The variable, if this term is one.
+    pub fn as_var(&self) -> Option<Var> {
+        match self {
+            Term::Var(v) => Some(*v),
+            Term::Const(_) => None,
+        }
+    }
+
+    /// Is this term a variable?
+    pub fn is_var(&self) -> bool {
+        matches!(self, Term::Var(_))
+    }
+}
+
+impl fmt::Debug for Term {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Term::Var(v) => write!(f, "{v}"),
+            Term::Const(c) => write!(f, "'{c}'"),
+        }
+    }
+}
+
+impl fmt::Display for Term {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{self:?}")
+    }
+}
+
+impl From<Var> for Term {
+    fn from(v: Var) -> Term {
+        Term::Var(v)
+    }
+}
+
+/// An atomic formula `R(t1, …, tk)`.
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub struct Atom {
+    /// The relation symbol.
+    pub rel: RelId,
+    /// The terms, one per attribute.
+    pub terms: Vec<Term>,
+}
+
+impl Atom {
+    /// Build an atom; validates arity against `schema`.
+    ///
+    /// # Panics
+    /// Panics on arity mismatch.
+    pub fn new(schema: &Schema, rel: RelId, terms: Vec<Term>) -> Atom {
+        assert_eq!(
+            terms.len(),
+            schema.arity(rel) as usize,
+            "arity mismatch building atom over {}",
+            schema.name(rel)
+        );
+        Atom { rel, terms }
+    }
+
+    /// Build an atom with all-variable terms from names (test convenience).
+    pub fn vars(schema: &Schema, rel: &str, names: &[&str]) -> Atom {
+        let id = schema
+            .rel_id(rel)
+            .unwrap_or_else(|| panic!("unknown relation {rel}"));
+        Atom::new(
+            schema,
+            id,
+            names.iter().map(|n| Term::Var(Var::new(*n))).collect(),
+        )
+    }
+
+    /// The variables occurring in this atom, with duplicates, in order.
+    pub fn var_occurrences(&self) -> impl Iterator<Item = Var> + '_ {
+        self.terms.iter().filter_map(Term::as_var)
+    }
+
+    /// The distinct variables of this atom.
+    pub fn variables(&self) -> BTreeSet<Var> {
+        self.var_occurrences().collect()
+    }
+
+    /// Does variable `v` occur more than once?
+    pub fn has_repeated_var(&self, v: Var) -> bool {
+        self.var_occurrences().filter(|x| *x == v).count() > 1
+    }
+
+    /// Does any variable occur more than once?
+    pub fn has_any_repeated_var(&self) -> bool {
+        let vars: Vec<Var> = self.var_occurrences().collect();
+        let set: BTreeSet<Var> = vars.iter().copied().collect();
+        vars.len() != set.len()
+    }
+
+    /// Ground this atom under a total assignment, producing the values of a
+    /// fact. Returns `None` if some variable is unassigned.
+    pub fn ground(&self, assign: &dyn Fn(Var) -> Option<Value>) -> Option<Vec<Value>> {
+        self.terms
+            .iter()
+            .map(|t| match t {
+                Term::Const(c) => Some(Value::Const(*c)),
+                Term::Var(v) => assign(*v),
+            })
+            .collect()
+    }
+
+    /// Render with relation names resolved against `schema`.
+    pub fn display<'a>(&'a self, schema: &'a Schema) -> impl fmt::Display + 'a {
+        struct D<'a>(&'a Atom, &'a Schema);
+        impl fmt::Display for D<'_> {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, "{}(", self.1.name(self.0.rel))?;
+                for (i, t) in self.0.terms.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{t}")?;
+                }
+                write!(f, ")")
+            }
+        }
+        D(self, schema)
+    }
+}
+
+impl fmt::Debug for Atom {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:?}(", self.rel)?;
+        for (i, t) in self.terms.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{t}")?;
+        }
+        write!(f, ")")
+    }
+}
+
+/// A conjunction of atoms.
+#[derive(Clone, PartialEq, Eq, Hash, Default)]
+pub struct Conjunction {
+    /// The conjuncts.
+    pub atoms: Vec<Atom>,
+}
+
+impl Conjunction {
+    /// Build from atoms.
+    pub fn new(atoms: Vec<Atom>) -> Conjunction {
+        Conjunction { atoms }
+    }
+
+    /// The distinct variables across all conjuncts.
+    pub fn variables(&self) -> BTreeSet<Var> {
+        self.atoms.iter().flat_map(Atom::variables).collect()
+    }
+
+    /// Total number of occurrences of variable `v`.
+    pub fn occurrences_of(&self, v: Var) -> usize {
+        self.atoms
+            .iter()
+            .flat_map(Atom::var_occurrences)
+            .filter(|x| *x == v)
+            .count()
+    }
+
+    /// Number of conjuncts.
+    pub fn len(&self) -> usize {
+        self.atoms.len()
+    }
+
+    /// Is the conjunction empty (trivially true)?
+    pub fn is_empty(&self) -> bool {
+        self.atoms.is_empty()
+    }
+
+    /// Render with relation names resolved against `schema`.
+    pub fn display<'a>(&'a self, schema: &'a Schema) -> impl fmt::Display + 'a {
+        struct D<'a>(&'a Conjunction, &'a Schema);
+        impl fmt::Display for D<'_> {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                for (i, a) in self.0.atoms.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{}", a.display(self.1))?;
+                }
+                Ok(())
+            }
+        }
+        D(self, schema)
+    }
+}
+
+impl fmt::Debug for Conjunction {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (i, a) in self.atoms.iter().enumerate() {
+            if i > 0 {
+                write!(f, " ∧ ")?;
+            }
+            write!(f, "{a:?}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::Peer;
+
+    fn schema() -> Schema {
+        let mut s = Schema::new();
+        s.add_relation("E", 2, Peer::Source);
+        s.add_relation("P", 4, Peer::Target);
+        s
+    }
+
+    #[test]
+    fn atom_variables() {
+        let s = schema();
+        let a = Atom::vars(&s, "P", &["x", "z", "y", "z"]);
+        assert_eq!(a.variables().len(), 3);
+        assert!(a.has_repeated_var(Var::new("z")));
+        assert!(!a.has_repeated_var(Var::new("x")));
+        assert!(a.has_any_repeated_var());
+    }
+
+    #[test]
+    #[should_panic(expected = "arity mismatch")]
+    fn atom_arity_checked() {
+        let s = schema();
+        Atom::vars(&s, "E", &["x"]);
+    }
+
+    #[test]
+    fn ground_requires_total_assignment() {
+        let s = schema();
+        let a = Atom::vars(&s, "E", &["x", "y"]);
+        let only_x = |v: Var| {
+            if v == Var::new("x") {
+                Some(Value::constant("a"))
+            } else {
+                None
+            }
+        };
+        assert!(a.ground(&only_x).is_none());
+        let both = |_v: Var| Some(Value::constant("a"));
+        assert_eq!(
+            a.ground(&both).unwrap(),
+            vec![Value::constant("a"), Value::constant("a")]
+        );
+    }
+
+    #[test]
+    fn ground_keeps_constants() {
+        let s = schema();
+        let e = s.rel_id("E").unwrap();
+        let a = Atom::new(
+            &s,
+            e,
+            vec![Term::Const(Symbol::intern("k")), Term::Var(Var::new("y"))],
+        );
+        let vals = a.ground(&|_| Some(Value::constant("w"))).unwrap();
+        assert_eq!(vals, vec![Value::constant("k"), Value::constant("w")]);
+    }
+
+    #[test]
+    fn conjunction_bookkeeping() {
+        let s = schema();
+        let c = Conjunction::new(vec![
+            Atom::vars(&s, "E", &["x", "y"]),
+            Atom::vars(&s, "E", &["y", "z"]),
+        ]);
+        assert_eq!(c.len(), 2);
+        assert_eq!(c.variables().len(), 3);
+        assert_eq!(c.occurrences_of(Var::new("y")), 2);
+        assert_eq!(c.occurrences_of(Var::new("w")), 0);
+    }
+
+    #[test]
+    fn display_resolves_names() {
+        let s = schema();
+        let a = Atom::vars(&s, "E", &["x", "y"]);
+        assert_eq!(format!("{}", a.display(&s)), "E(x, y)");
+    }
+}

@@ -1,0 +1,595 @@
+//! Homomorphism search.
+//!
+//! Two flavours are needed by the paper's algorithms:
+//!
+//! 1. **Formula → instance**: find assignments of the variables of a
+//!    conjunction of atoms to values of an instance such that every ground
+//!    conjunct is a fact. This drives chase trigger enumeration, conjunctive
+//!    query evaluation, and dependency satisfaction checks.
+//! 2. **Instance → instance**: find a constant-preserving map on the nulls
+//!    of one instance sending every fact into another instance. This is the
+//!    test at the heart of `ExistsSolution` (paper Fig. 3): a homomorphism
+//!    from (each block of) `I_can` to `I`.
+//!
+//! The search is backtracking with two optimizations that can be switched
+//! off for the ablation experiment (EXPERIMENTS.md E13): *dynamic atom
+//! ordering* (always expand the atom with the fewest estimated candidate
+//! tuples next) and *index-driven candidate enumeration* (scan only the rows
+//! sharing a bound value via the per-attribute hash indexes, instead of the
+//! whole relation).
+
+use crate::atom::{Atom, Term, Var};
+use crate::instance::Instance;
+use crate::value::{NullId, Value};
+use std::collections::HashMap;
+use std::ops::ControlFlow;
+
+/// A (partial) assignment of variables to values.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Assignment {
+    map: HashMap<Var, Value>,
+}
+
+impl Assignment {
+    /// The empty assignment.
+    pub fn new() -> Assignment {
+        Assignment::default()
+    }
+
+    /// Build from pairs.
+    pub fn from_pairs(pairs: impl IntoIterator<Item = (Var, Value)>) -> Assignment {
+        Assignment {
+            map: pairs.into_iter().collect(),
+        }
+    }
+
+    /// The value of `v`, if bound.
+    pub fn get(&self, v: Var) -> Option<Value> {
+        self.map.get(&v).copied()
+    }
+
+    /// Bind `v` to `val` (overwrites).
+    pub fn bind(&mut self, v: Var, val: Value) {
+        self.map.insert(v, val);
+    }
+
+    /// Remove the binding of `v`.
+    pub fn unbind(&mut self, v: Var) {
+        self.map.remove(&v);
+    }
+
+    /// Number of bound variables.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Is nothing bound?
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// Iterate over bindings.
+    pub fn iter(&self) -> impl Iterator<Item = (Var, Value)> + '_ {
+        self.map.iter().map(|(v, val)| (*v, *val))
+    }
+
+    /// Evaluate a term under this assignment.
+    pub fn eval(&self, t: &Term) -> Option<Value> {
+        match t {
+            Term::Const(c) => Some(Value::Const(*c)),
+            Term::Var(v) => self.get(*v),
+        }
+    }
+}
+
+impl FromIterator<(Var, Value)> for Assignment {
+    fn from_iter<T: IntoIterator<Item = (Var, Value)>>(iter: T) -> Self {
+        Assignment::from_pairs(iter)
+    }
+}
+
+/// Tuning switches for the search; the defaults enable everything.
+#[derive(Clone, Copy, Debug)]
+pub struct HomConfig {
+    /// Use per-attribute indexes to enumerate candidate rows.
+    pub use_index: bool,
+    /// Pick the most constrained atom next instead of textual order.
+    pub reorder_atoms: bool,
+}
+
+impl Default for HomConfig {
+    fn default() -> Self {
+        HomConfig {
+            use_index: true,
+            reorder_atoms: true,
+        }
+    }
+}
+
+struct Search<'a, F> {
+    atoms: &'a [Atom],
+    inst: &'a Instance,
+    config: HomConfig,
+    sink: F,
+}
+
+impl<F: FnMut(&Assignment) -> ControlFlow<()>> Search<'_, F> {
+    fn run(&mut self, assign: &mut Assignment) -> ControlFlow<()> {
+        let mut remaining: Vec<usize> = (0..self.atoms.len()).collect();
+        self.step(assign, &mut remaining)
+    }
+
+    /// Estimated number of candidate tuples for `atom` under `assign`:
+    /// the count at the most selective bound position, or the relation size
+    /// when nothing is bound.
+    fn estimate(&self, atom: &Atom, assign: &Assignment) -> usize {
+        let rel = self.inst.relation(atom.rel);
+        let mut best = rel.len();
+        for (i, t) in atom.terms.iter().enumerate() {
+            if let Some(v) = assign.eval(t) {
+                best = best.min(rel.count_with(i as u16, v));
+            }
+        }
+        best
+    }
+
+    fn step(&mut self, assign: &mut Assignment, remaining: &mut Vec<usize>) -> ControlFlow<()> {
+        let Some(slot) = self.pick(assign, remaining) else {
+            return (self.sink)(assign);
+        };
+        let atom_idx = remaining.swap_remove(slot);
+        // Clone the (small) atom so its borrow does not overlap the
+        // recursive `&mut self` call below.
+        let atom = self.atoms[atom_idx].clone();
+        let rel = self.inst.relation(atom.rel);
+
+        // Candidate rows: via the best bound-position index, or a full scan.
+        // Tuples are Arc-backed, so cloning candidates out keeps the borrow
+        // of the relation from overlapping the recursive call.
+        let mut anchor: Option<(u16, Value, usize)> = None;
+        if self.config.use_index {
+            for (i, t) in atom.terms.iter().enumerate() {
+                if let Some(v) = assign.eval(t) {
+                    let c = rel.count_with(i as u16, v);
+                    if anchor.as_ref().is_none_or(|(_, _, best)| c < *best) {
+                        anchor = Some((i as u16, v, c));
+                    }
+                }
+            }
+        }
+        let tuples: Vec<crate::tuple::Tuple> = match anchor {
+            Some((attr, v, _)) => {
+                let rows: Vec<u32> = rel.rows_with(attr, v).collect();
+                rows.iter().filter_map(|r| rel.row(*r)).cloned().collect()
+            }
+            None => rel.iter().cloned().collect(),
+        };
+
+        for t in tuples {
+            let mut bound_here: Vec<Var> = Vec::new();
+            let mut ok = true;
+            for (i, term) in atom.terms.iter().enumerate() {
+                let tv = t.get(i);
+                match term {
+                    Term::Const(c) => {
+                        if Value::Const(*c) != tv {
+                            ok = false;
+                            break;
+                        }
+                    }
+                    Term::Var(v) => match assign.get(*v) {
+                        Some(bound) => {
+                            if bound != tv {
+                                ok = false;
+                                break;
+                            }
+                        }
+                        None => {
+                            assign.bind(*v, tv);
+                            bound_here.push(*v);
+                        }
+                    },
+                }
+            }
+            if ok {
+                if let ControlFlow::Break(()) = self.step(assign, remaining) {
+                    for v in bound_here {
+                        assign.unbind(v);
+                    }
+                    remaining.push(atom_idx);
+                    return ControlFlow::Break(());
+                }
+            }
+            for v in bound_here {
+                assign.unbind(v);
+            }
+        }
+        remaining.push(atom_idx);
+        ControlFlow::Continue(())
+    }
+
+    /// Index *into `remaining`* of the atom to expand next.
+    fn pick(&self, assign: &Assignment, remaining: &[usize]) -> Option<usize> {
+        if remaining.is_empty() {
+            return None;
+        }
+        if !self.config.reorder_atoms {
+            return Some(0);
+        }
+        let mut best = 0usize;
+        let mut best_est = usize::MAX;
+        for (slot, &ai) in remaining.iter().enumerate() {
+            let est = self.estimate(&self.atoms[ai], assign);
+            if est < best_est {
+                best_est = est;
+                best = slot;
+            }
+        }
+        Some(best)
+    }
+}
+
+/// Enumerate every homomorphism extending `partial` from `atoms` into
+/// `inst`, invoking `f` on each. `f` may break to stop early.
+pub fn for_each_hom_with(
+    atoms: &[Atom],
+    inst: &Instance,
+    partial: &Assignment,
+    config: HomConfig,
+    f: impl FnMut(&Assignment) -> ControlFlow<()>,
+) -> ControlFlow<()> {
+    let mut search = Search {
+        atoms,
+        inst,
+        config,
+        sink: f,
+    };
+    let mut assign = partial.clone();
+    search.run(&mut assign)
+}
+
+/// [`for_each_hom_with`] with the default configuration.
+pub fn for_each_hom(
+    atoms: &[Atom],
+    inst: &Instance,
+    partial: &Assignment,
+    f: impl FnMut(&Assignment) -> ControlFlow<()>,
+) -> ControlFlow<()> {
+    for_each_hom_with(atoms, inst, partial, HomConfig::default(), f)
+}
+
+/// Is there a homomorphism extending `partial`?
+pub fn exists_hom(atoms: &[Atom], inst: &Instance, partial: &Assignment) -> bool {
+    exists_hom_with(atoms, inst, partial, HomConfig::default())
+}
+
+/// [`exists_hom`] with an explicit configuration (ablation hook).
+pub fn exists_hom_with(
+    atoms: &[Atom],
+    inst: &Instance,
+    partial: &Assignment,
+    config: HomConfig,
+) -> bool {
+    for_each_hom_with(atoms, inst, partial, config, |_| ControlFlow::Break(())).is_break()
+}
+
+/// The first homomorphism extending `partial`, if any.
+pub fn find_hom(atoms: &[Atom], inst: &Instance, partial: &Assignment) -> Option<Assignment> {
+    let mut found = None;
+    let _ = for_each_hom(atoms, inst, partial, |a| {
+        found = Some(a.clone());
+        ControlFlow::Break(())
+    });
+    found
+}
+
+/// All homomorphisms extending `partial` (use only when the count is known
+/// to be manageable; prefer [`for_each_hom`] otherwise).
+pub fn all_homs(atoms: &[Atom], inst: &Instance, partial: &Assignment) -> Vec<Assignment> {
+    let mut out = Vec::new();
+    let _ = for_each_hom(atoms, inst, partial, |a| {
+        out.push(a.clone());
+        ControlFlow::Continue(())
+    });
+    out
+}
+
+/// Internal variable namespace for nulls when casting an instance to a
+/// conjunction. The prefix cannot collide with parsed variable names because
+/// the parser rejects identifiers starting with `__pde`.
+fn null_var(n: NullId) -> Var {
+    Var::new(format!("__pde_null_{}", n.0))
+}
+
+/// Cast the facts of `from` into a conjunction: constants stay constants,
+/// each null becomes a (shared) variable. A homomorphism of this conjunction
+/// into `to` is exactly a constant-preserving map `from → to`.
+pub fn instance_as_atoms(from: &Instance) -> Vec<Atom> {
+    from.facts()
+        .map(|(rel, t)| Atom {
+            rel,
+            terms: t
+                .values()
+                .iter()
+                .map(|v| match v {
+                    Value::Const(c) => Term::Const(*c),
+                    Value::Null(n) => Term::Var(null_var(*n)),
+                })
+                .collect(),
+        })
+        .collect()
+}
+
+/// Find a constant-preserving homomorphism from `from` to `to`, returned as
+/// a map on the nulls of `from`. Constants of `from` must appear verbatim in
+/// `to` wherever required; nulls may map to any value.
+pub fn instance_hom(from: &Instance, to: &Instance) -> Option<HashMap<NullId, Value>> {
+    instance_hom_with(from, to, HomConfig::default())
+}
+
+/// [`instance_hom`] with an explicit configuration (ablation hook).
+pub fn instance_hom_with(
+    from: &Instance,
+    to: &Instance,
+    config: HomConfig,
+) -> Option<HashMap<NullId, Value>> {
+    let atoms = instance_as_atoms(from);
+    let mut found = None;
+    let _ = for_each_hom_with(&atoms, to, &Assignment::new(), config, |a| {
+        found = Some(a.clone());
+        ControlFlow::Break(())
+    });
+    let assign = found?;
+    Some(
+        from.nulls()
+            .into_iter()
+            .map(|n| {
+                let v = assign
+                    .get(null_var(n))
+                    .expect("every null occurs in some atom");
+                (n, v)
+            })
+            .collect(),
+    )
+}
+
+/// Does a constant-preserving homomorphism `from → to` exist?
+pub fn instance_hom_exists(from: &Instance, to: &Instance) -> bool {
+    let atoms = instance_as_atoms(from);
+    exists_hom(&atoms, to, &Assignment::new())
+}
+
+/// Are the two instances isomorphic: equal up to a renaming (bijection) of
+/// their labeled nulls? Ground instances are isomorphic iff they hold the
+/// same facts.
+pub fn instances_isomorphic(a: &Instance, b: &Instance) -> bool {
+    if a.fact_count() != b.fact_count() {
+        return false;
+    }
+    let a_nulls = a.nulls();
+    let b_nulls = b.nulls();
+    if a_nulls.len() != b_nulls.len() {
+        return false;
+    }
+    if a_nulls.is_empty() {
+        return a.same_facts(b);
+    }
+    // Search for a null-bijective homomorphism a → b whose image is all of
+    // b. Since fact counts match and the map is injective on nulls (and
+    // the identity on constants), image = b suffices for isomorphism.
+    let atoms = instance_as_atoms(a);
+    let mut found = false;
+    let _ = for_each_hom(&atoms, b, &Assignment::new(), |h| {
+        // Injective on nulls, mapping nulls to nulls?
+        let mut images = std::collections::HashSet::new();
+        let injective_on_nulls = a_nulls.iter().all(|n| match h.get(null_var(*n)) {
+            Some(Value::Null(m)) => images.insert(m),
+            _ => false,
+        });
+        if !injective_on_nulls {
+            return ControlFlow::Continue(());
+        }
+        let img = a.map_values(|v| match v {
+            Value::Null(n) => h.get(null_var(n)).expect("null bound"),
+            c => c,
+        });
+        if img.same_facts(b) {
+            found = true;
+            ControlFlow::Break(())
+        } else {
+            ControlFlow::Continue(())
+        }
+    });
+    found
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::{Peer, Schema};
+    use crate::tuple::Tuple;
+    use std::sync::Arc;
+
+    fn path_instance(edges: &[(&str, &str)]) -> (Arc<Schema>, Instance) {
+        let mut s = Schema::new();
+        s.add_relation("E", 2, Peer::Source);
+        let s = Arc::new(s);
+        let mut i = Instance::new(s.clone());
+        for (a, b) in edges {
+            i.insert_consts("E", [*a, *b]);
+        }
+        (s, i)
+    }
+
+    #[test]
+    fn finds_path_of_length_two() {
+        let (s, i) = path_instance(&[("a", "b"), ("b", "c")]);
+        let atoms = vec![
+            Atom::vars(&s, "E", &["x", "y"]),
+            Atom::vars(&s, "E", &["y", "z"]),
+        ];
+        let h = find_hom(&atoms, &i, &Assignment::new()).unwrap();
+        assert_eq!(h.get(Var::new("x")), Some(Value::constant("a")));
+        assert_eq!(h.get(Var::new("y")), Some(Value::constant("b")));
+        assert_eq!(h.get(Var::new("z")), Some(Value::constant("c")));
+    }
+
+    #[test]
+    fn no_hom_when_pattern_absent() {
+        let (s, i) = path_instance(&[("a", "b"), ("c", "d")]);
+        let atoms = vec![
+            Atom::vars(&s, "E", &["x", "y"]),
+            Atom::vars(&s, "E", &["y", "z"]),
+        ];
+        assert!(!exists_hom(&atoms, &i, &Assignment::new()));
+    }
+
+    #[test]
+    fn repeated_variable_forces_equal_values() {
+        let (s, i) = path_instance(&[("a", "b"), ("c", "c")]);
+        let atoms = vec![Atom::vars(&s, "E", &["x", "x"])];
+        let homs = all_homs(&atoms, &i, &Assignment::new());
+        assert_eq!(homs.len(), 1);
+        assert_eq!(homs[0].get(Var::new("x")), Some(Value::constant("c")));
+    }
+
+    #[test]
+    fn partial_assignment_restricts_search() {
+        let (s, i) = path_instance(&[("a", "b"), ("a", "c")]);
+        let atoms = vec![Atom::vars(&s, "E", &["x", "y"])];
+        let partial = Assignment::from_pairs([(Var::new("y"), Value::constant("c"))]);
+        let homs = all_homs(&atoms, &i, &partial);
+        assert_eq!(homs.len(), 1);
+        assert_eq!(homs[0].get(Var::new("x")), Some(Value::constant("a")));
+    }
+
+    #[test]
+    fn constants_in_atoms_must_match() {
+        let (s, i) = path_instance(&[("a", "b")]);
+        let e = s.rel_id("E").unwrap();
+        let atom_ok = Atom::new(
+            &s,
+            e,
+            vec![
+                Term::Const(crate::symbol::Symbol::intern("a")),
+                Term::Var(Var::new("y")),
+            ],
+        );
+        let atom_bad = Atom::new(
+            &s,
+            e,
+            vec![
+                Term::Const(crate::symbol::Symbol::intern("zz")),
+                Term::Var(Var::new("y")),
+            ],
+        );
+        assert!(exists_hom(std::slice::from_ref(&atom_ok), &i, &Assignment::new()));
+        assert!(!exists_hom(std::slice::from_ref(&atom_bad), &i, &Assignment::new()));
+    }
+
+    #[test]
+    fn all_homs_counts_matches() {
+        let (s, i) = path_instance(&[("a", "b"), ("b", "c"), ("c", "d")]);
+        let atoms = vec![
+            Atom::vars(&s, "E", &["x", "y"]),
+            Atom::vars(&s, "E", &["y", "z"]),
+        ];
+        // paths of length 2: a-b-c, b-c-d
+        assert_eq!(all_homs(&atoms, &i, &Assignment::new()).len(), 2);
+    }
+
+    #[test]
+    fn config_variants_agree() {
+        let (s, i) = path_instance(&[("a", "b"), ("b", "c"), ("c", "a"), ("b", "a")]);
+        let atoms = vec![
+            Atom::vars(&s, "E", &["x", "y"]),
+            Atom::vars(&s, "E", &["y", "x"]),
+        ];
+        let configs = [
+            HomConfig { use_index: true, reorder_atoms: true },
+            HomConfig { use_index: false, reorder_atoms: true },
+            HomConfig { use_index: true, reorder_atoms: false },
+            HomConfig { use_index: false, reorder_atoms: false },
+        ];
+        let mut counts = Vec::new();
+        for c in configs {
+            let mut n = 0usize;
+            let _ = for_each_hom_with(&atoms, &i, &Assignment::new(), c, |_| {
+                n += 1;
+                ControlFlow::Continue(())
+            });
+            counts.push(n);
+        }
+        assert!(counts.windows(2).all(|w| w[0] == w[1]), "{counts:?}");
+        assert_eq!(counts[0], 2); // (a,b)-(b,a) and (b,a)-(a,b)
+    }
+
+    #[test]
+    fn instance_hom_maps_nulls() {
+        let (s, ground) = path_instance(&[("a", "b"), ("b", "a")]);
+        let mut pat = Instance::new(s.clone());
+        let e = s.rel_id("E").unwrap();
+        let n0 = Value::Null(NullId(0));
+        let n1 = Value::Null(NullId(1));
+        pat.insert(e, Tuple::new(vec![n0, n1]));
+        pat.insert(e, Tuple::new(vec![n1, n0]));
+        let h = instance_hom(&pat, &ground).unwrap();
+        assert_eq!(h.len(), 2);
+        // The map must send the 2-cycle onto the 2-cycle.
+        let img0 = h[&NullId(0)];
+        let img1 = h[&NullId(1)];
+        assert!(ground.contains(e, &Tuple::new(vec![img0, img1])));
+        assert!(ground.contains(e, &Tuple::new(vec![img1, img0])));
+    }
+
+    #[test]
+    fn instance_hom_preserves_constants() {
+        let (s, ground) = path_instance(&[("a", "b")]);
+        let mut pat = Instance::new(s.clone());
+        let e = s.rel_id("E").unwrap();
+        pat.insert(e, Tuple::consts(["b", "a"]));
+        assert!(!instance_hom_exists(&pat, &ground));
+        let mut pat2 = Instance::new(s.clone());
+        pat2.insert(e, Tuple::consts(["a", "b"]));
+        assert!(instance_hom_exists(&pat2, &ground));
+    }
+
+    #[test]
+    fn isomorphism_detects_null_renamings() {
+        let (s, _) = path_instance(&[]);
+        let a = crate::parser::parse_instance(&s, "E(?0, a). E(?0, ?1).").unwrap();
+        let b = crate::parser::parse_instance(&s, "E(?7, a). E(?7, ?3).").unwrap();
+        let c = crate::parser::parse_instance(&s, "E(?7, a). E(?3, ?3).").unwrap();
+        assert!(instances_isomorphic(&a, &b));
+        assert!(!instances_isomorphic(&a, &c));
+        assert!(instances_isomorphic(&a, &a));
+    }
+
+    #[test]
+    fn isomorphism_on_ground_instances_is_equality() {
+        let (_, x) = path_instance(&[("a", "b")]);
+        let (_, y) = path_instance(&[("a", "b")]);
+        let (_, z) = path_instance(&[("b", "a")]);
+        assert!(instances_isomorphic(&x, &y));
+        assert!(!instances_isomorphic(&x, &z));
+    }
+
+    #[test]
+    fn isomorphism_rejects_non_bijective_foldings() {
+        let (s, _) = path_instance(&[]);
+        // a has two distinct nulls; b collapses them: hom exists a→b, but
+        // no bijection.
+        let a = crate::parser::parse_instance(&s, "E(?0, x). E(?1, x).").unwrap();
+        let b = crate::parser::parse_instance(&s, "E(?5, x).").unwrap();
+        assert!(instance_hom_exists(&a, &b));
+        assert!(!instances_isomorphic(&a, &b));
+    }
+
+    #[test]
+    fn empty_conjunction_has_the_empty_hom() {
+        let (_, i) = path_instance(&[]);
+        let homs = all_homs(&[], &i, &Assignment::new());
+        assert_eq!(homs.len(), 1);
+        assert!(homs[0].is_empty());
+    }
+}

@@ -1,0 +1,331 @@
+//! Instances over a schema, including the pair instance `(I, J)`.
+//!
+//! An [`Instance`] stores one [`Relation`] per relation symbol of its
+//! [`Schema`]. Because a peer data exchange schema tags every relation with
+//! its [`Peer`], the pair `(I, J)` of the paper is a *single* instance here;
+//! helpers expose per-peer views (restriction, containment, active domain).
+
+use crate::relation::Relation;
+use crate::schema::{Peer, RelId, Schema};
+use crate::tuple::Tuple;
+use crate::value::{NullId, Value};
+use std::collections::BTreeSet;
+use std::fmt;
+use std::sync::Arc;
+
+/// A database instance over a fixed schema.
+#[derive(Clone)]
+pub struct Instance {
+    schema: Arc<Schema>,
+    relations: Vec<Relation>,
+}
+
+impl Instance {
+    /// An empty instance over `schema`.
+    pub fn new(schema: Arc<Schema>) -> Instance {
+        let relations = schema
+            .rel_ids()
+            .map(|id| Relation::new(schema.arity(id)))
+            .collect();
+        Instance { schema, relations }
+    }
+
+    /// The instance's schema.
+    pub fn schema(&self) -> &Arc<Schema> {
+        &self.schema
+    }
+
+    /// Insert a fact `R(t)`; returns `true` if new.
+    pub fn insert(&mut self, rel: RelId, t: Tuple) -> bool {
+        self.relations[rel.index()].insert(t)
+    }
+
+    /// Insert a fact given the relation name and constant strings
+    /// (fixture convenience).
+    ///
+    /// # Panics
+    /// Panics if the relation is unknown.
+    pub fn insert_consts<S: AsRef<str>>(
+        &mut self,
+        rel: &str,
+        values: impl IntoIterator<Item = S>,
+    ) -> bool {
+        let id = self
+            .schema
+            .rel_id(rel)
+            .unwrap_or_else(|| panic!("unknown relation {rel}"));
+        self.insert(id, Tuple::consts(values))
+    }
+
+    /// Membership test for a fact.
+    pub fn contains(&self, rel: RelId, t: &Tuple) -> bool {
+        self.relations[rel.index()].contains(t)
+    }
+
+    /// Remove a fact `R(t)`; returns `true` if it was present.
+    pub fn remove(&mut self, rel: RelId, t: &Tuple) -> bool {
+        self.relations[rel.index()].remove(t)
+    }
+
+    /// The stored relation for `rel`.
+    pub fn relation(&self, rel: RelId) -> &Relation {
+        &self.relations[rel.index()]
+    }
+
+    /// Total number of facts.
+    pub fn fact_count(&self) -> usize {
+        self.relations.iter().map(Relation::len).sum()
+    }
+
+    /// Number of facts belonging to `peer`.
+    pub fn fact_count_of(&self, peer: Peer) -> usize {
+        self.schema
+            .rels_of(peer)
+            .map(|id| self.relations[id.index()].len())
+            .sum()
+    }
+
+    /// Iterate over all facts as `(rel, tuple)` pairs.
+    pub fn facts(&self) -> impl Iterator<Item = (RelId, &Tuple)> {
+        self.schema
+            .rel_ids()
+            .flat_map(move |id| self.relations[id.index()].iter().map(move |t| (id, t)))
+    }
+
+    /// Iterate over the facts of one peer.
+    pub fn facts_of(&self, peer: Peer) -> impl Iterator<Item = (RelId, &Tuple)> {
+        self.facts()
+            .filter(move |(id, _)| self.schema.peer(*id) == peer)
+    }
+
+    /// Copy of this instance keeping only `peer`'s facts (other relations
+    /// are emptied, the schema is unchanged).
+    pub fn restrict(&self, peer: Peer) -> Instance {
+        let mut out = Instance::new(self.schema.clone());
+        for (rel, t) in self.facts_of(peer) {
+            out.insert(rel, t.clone());
+        }
+        out
+    }
+
+    /// Union of this instance with `other` (same schema required).
+    pub fn union(&self, other: &Instance) -> Instance {
+        assert!(
+            Arc::ptr_eq(&self.schema, &other.schema) || self.schema.len() == other.schema.len(),
+            "schema mismatch in union"
+        );
+        let mut out = self.clone();
+        for (rel, t) in other.facts() {
+            out.insert(rel, t.clone());
+        }
+        out
+    }
+
+    /// Is every fact of `self` a fact of `other`?
+    pub fn contained_in(&self, other: &Instance) -> bool {
+        self.facts().all(|(rel, t)| other.contains(rel, t))
+    }
+
+    /// Is every fact of `self` belonging to `peer` also in `other`?
+    pub fn peer_contained_in(&self, other: &Instance, peer: Peer) -> bool {
+        self.facts_of(peer).all(|(rel, t)| other.contains(rel, t))
+    }
+
+    /// Set equality of the stored facts (insertion order ignored).
+    pub fn same_facts(&self, other: &Instance) -> bool {
+        self.fact_count() == other.fact_count() && self.contained_in(other)
+    }
+
+    /// The active domain: every value occurring in some fact.
+    pub fn active_domain(&self) -> BTreeSet<Value> {
+        self.facts()
+            .flat_map(|(_, t)| t.values().iter().copied())
+            .collect()
+    }
+
+    /// The active domain restricted to one peer's relations.
+    pub fn active_domain_of(&self, peer: Peer) -> BTreeSet<Value> {
+        self.facts_of(peer)
+            .flat_map(|(_, t)| t.values().iter().copied())
+            .collect()
+    }
+
+    /// The distinct labeled nulls occurring anywhere.
+    pub fn nulls(&self) -> BTreeSet<NullId> {
+        self.facts()
+            .flat_map(|(_, t)| t.nulls().collect::<Vec<_>>())
+            .collect()
+    }
+
+    /// Does the instance contain no nulls (a *ground* instance)?
+    pub fn is_ground(&self) -> bool {
+        self.facts().all(|(_, t)| !t.has_null())
+    }
+
+    /// Largest null id present, for seeding a
+    /// [`crate::value::NullGen`] that must avoid collisions.
+    pub fn max_null_id(&self) -> Option<u32> {
+        self.nulls().iter().map(|n| n.0).max()
+    }
+
+    /// Replace every occurrence of `from` by `to`, in all relations.
+    pub fn substitute(&mut self, from: Value, to: Value) {
+        for r in &mut self.relations {
+            r.substitute(from, to);
+        }
+    }
+
+    /// Apply a value mapping to every fact, producing a new instance
+    /// (the homomorphic image `h(K)` used throughout §5 of the paper).
+    pub fn map_values(&self, mut f: impl FnMut(Value) -> Value) -> Instance {
+        let mut out = Instance::new(self.schema.clone());
+        for (rel, t) in self.facts() {
+            out.insert(rel, t.map(&mut f));
+        }
+        out
+    }
+}
+
+impl PartialEq for Instance {
+    fn eq(&self, other: &Self) -> bool {
+        self.relations == other.relations
+    }
+}
+
+impl Eq for Instance {}
+
+impl fmt::Debug for Instance {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "Instance {{")?;
+        for rel in self.schema.rel_ids() {
+            let r = self.relation(rel);
+            if r.is_empty() {
+                continue;
+            }
+            let mut tuples: Vec<String> = r.iter().map(|t| format!("{t}")).collect();
+            tuples.sort();
+            writeln!(f, "  {}: {}", self.schema.name(rel), tuples.join(" "))?;
+        }
+        write!(f, "}}")
+    }
+}
+
+impl fmt::Display for Instance {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut first = true;
+        for rel in self.schema.rel_ids() {
+            for t in self.relation(rel).iter() {
+                if !first {
+                    write!(f, " ")?;
+                }
+                first = false;
+                write!(f, "{}{}.", self.schema.name(rel), t)?;
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn schema() -> Arc<Schema> {
+        let mut s = Schema::new();
+        s.source("E", 2);
+        s.target("H", 2);
+        Arc::new(s)
+    }
+
+    #[test]
+    fn insert_and_query() {
+        let mut i = Instance::new(schema());
+        assert!(i.insert_consts("E", ["a", "b"]));
+        assert!(!i.insert_consts("E", ["a", "b"]));
+        assert_eq!(i.fact_count(), 1);
+        assert_eq!(i.fact_count_of(Peer::Source), 1);
+        assert_eq!(i.fact_count_of(Peer::Target), 0);
+    }
+
+    #[test]
+    fn restrict_keeps_one_peer() {
+        let mut i = Instance::new(schema());
+        i.insert_consts("E", ["a", "b"]);
+        i.insert_consts("H", ["a", "b"]);
+        let src = i.restrict(Peer::Source);
+        assert_eq!(src.fact_count(), 1);
+        assert_eq!(src.fact_count_of(Peer::Target), 0);
+    }
+
+    #[test]
+    fn union_and_containment() {
+        let mut i = Instance::new(schema());
+        i.insert_consts("E", ["a", "b"]);
+        let mut j = Instance::new(schema());
+        j.insert_consts("H", ["a", "b"]);
+        let u = i.union(&j);
+        assert_eq!(u.fact_count(), 2);
+        assert!(i.contained_in(&u));
+        assert!(j.contained_in(&u));
+        assert!(!u.contained_in(&i));
+        assert!(j.peer_contained_in(&u, Peer::Target));
+    }
+
+    #[test]
+    fn active_domain_collects_values() {
+        let mut i = Instance::new(schema());
+        i.insert_consts("E", ["a", "b"]);
+        i.insert_consts("H", ["b", "c"]);
+        let adom = i.active_domain();
+        assert_eq!(adom.len(), 3);
+        assert!(adom.contains(&Value::constant("c")));
+        let src = i.active_domain_of(Peer::Source);
+        assert_eq!(src.len(), 2);
+        assert!(!src.contains(&Value::constant("c")));
+    }
+
+    #[test]
+    fn nulls_and_groundness() {
+        let s = schema();
+        let mut i = Instance::new(s.clone());
+        let h = s.rel_id("H").unwrap();
+        i.insert(h, Tuple::new(vec![Value::Null(NullId(3)), Value::constant("a")]));
+        assert!(!i.is_ground());
+        assert_eq!(i.nulls().len(), 1);
+        assert_eq!(i.max_null_id(), Some(3));
+        i.substitute(Value::Null(NullId(3)), Value::constant("z"));
+        assert!(i.is_ground());
+        assert!(i.contains(h, &Tuple::consts(["z", "a"])));
+    }
+
+    #[test]
+    fn map_values_builds_homomorphic_image() {
+        let s = schema();
+        let mut i = Instance::new(s.clone());
+        let h = s.rel_id("H").unwrap();
+        i.insert(h, Tuple::new(vec![Value::Null(NullId(0)), Value::Null(NullId(1))]));
+        let img = i.map_values(|v| {
+            if v.is_null() {
+                Value::constant("c")
+            } else {
+                v
+            }
+        });
+        assert!(img.contains(h, &Tuple::consts(["c", "c"])));
+        assert_eq!(img.fact_count(), 1);
+    }
+
+    #[test]
+    fn same_facts_is_order_insensitive() {
+        let mut a = Instance::new(schema());
+        a.insert_consts("E", ["a", "b"]);
+        a.insert_consts("E", ["b", "c"]);
+        let mut b = Instance::new(schema());
+        b.insert_consts("E", ["b", "c"]);
+        b.insert_consts("E", ["a", "b"]);
+        assert!(a.same_facts(&b));
+        assert_eq!(a, b);
+        b.insert_consts("E", ["c", "d"]);
+        assert!(!a.same_facts(&b));
+    }
+}

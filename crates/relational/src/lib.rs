@@ -1,0 +1,47 @@
+//! Relational substrate for peer data exchange (PODS 2005).
+//!
+//! This crate provides the model-theoretic ground floor the rest of the
+//! workspace stands on:
+//!
+//! * two-sorted values — constants and labeled nulls ([`value`]);
+//! * schemas with source/target peer tags ([`schema`]);
+//! * indexed instances over a schema ([`instance`], [`relation`], [`tuple`]);
+//! * first-order syntax: variables, terms, atoms, conjunctions ([`atom`]);
+//! * homomorphism search, formula→instance and instance→instance ([`hom`]);
+//! * conjunctive queries and unions thereof ([`query`]);
+//! * cores / minimal retracts of instances with nulls ([`retract`]);
+//! * a small text syntax for all of the above ([`parser`]).
+//!
+//! Everything is deterministic and single-threaded except the global string
+//! interner, which is shared and thread-safe.
+
+pub mod atom;
+pub mod hom;
+pub mod instance;
+pub mod parser;
+pub mod query;
+pub mod relation;
+pub mod retract;
+pub mod schema;
+pub mod symbol;
+pub mod tuple;
+pub mod value;
+
+pub use atom::{Atom, Conjunction, Term, Var};
+pub use hom::{
+    all_homs, exists_hom, exists_hom_with, find_hom, for_each_hom, for_each_hom_with,
+    instance_as_atoms, instance_hom, instance_hom_exists, instance_hom_with,
+    instances_isomorphic, Assignment, HomConfig,
+};
+pub use instance::Instance;
+pub use parser::{
+    parse_atom, parse_atom_list, parse_atoms, parse_instance, parse_query, parse_schema,
+    parse_term, Lexer, ParseError, Token,
+};
+pub use query::{ConjunctiveQuery, UnionQuery};
+pub use relation::Relation;
+pub use retract::{core_of, fold_null, is_core};
+pub use schema::{Peer, Position, RelId, RelationInfo, Schema};
+pub use symbol::Symbol;
+pub use tuple::Tuple;
+pub use value::{NullGen, NullId, Value};

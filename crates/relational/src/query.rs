@@ -1,0 +1,477 @@
+//! Conjunctive queries and unions of conjunctive queries.
+//!
+//! Certain answers in peer data exchange are defined for queries over the
+//! target schema (paper Def. 4); the coNP upper bound (Theorem 2) holds for
+//! all *monotone* queries. CQs and UCQs are monotone by construction, which
+//! the evaluation here relies on: answers only ever grow as facts are added.
+
+use crate::atom::{Atom, Var};
+use crate::hom::{for_each_hom, Assignment};
+use crate::instance::Instance;
+use crate::schema::{Peer, Schema};
+use crate::value::Value;
+use std::collections::BTreeSet;
+use std::fmt;
+use std::ops::ControlFlow;
+use std::sync::Arc;
+
+/// A conjunctive query `q(x̄) :- body`.
+#[derive(Clone, PartialEq, Eq)]
+pub struct ConjunctiveQuery {
+    /// Head (answer) variables; empty for a Boolean query.
+    pub head: Vec<Var>,
+    /// The body atoms.
+    pub body: Vec<Atom>,
+}
+
+impl ConjunctiveQuery {
+    /// Build a query, checking safety: every head variable must occur in
+    /// the body.
+    ///
+    /// # Panics
+    /// Panics when a head variable does not occur in the body.
+    pub fn new(head: Vec<Var>, body: Vec<Atom>) -> ConjunctiveQuery {
+        let body_vars: BTreeSet<Var> = body.iter().flat_map(Atom::variables).collect();
+        for v in &head {
+            assert!(
+                body_vars.contains(v),
+                "unsafe query: head variable {v} not in body"
+            );
+        }
+        ConjunctiveQuery { head, body }
+    }
+
+    /// A Boolean (closed) query.
+    pub fn boolean(body: Vec<Atom>) -> ConjunctiveQuery {
+        ConjunctiveQuery::new(Vec::new(), body)
+    }
+
+    /// Is this a Boolean query?
+    pub fn is_boolean(&self) -> bool {
+        self.head.is_empty()
+    }
+
+    /// Does every body atom mention only relations of `peer`?
+    pub fn over_peer(&self, schema: &Schema, peer: Peer) -> bool {
+        self.body.iter().all(|a| schema.peer(a.rel) == peer)
+    }
+
+    /// Evaluate over `inst`: the set of head-variable images, including
+    /// answers that contain labeled nulls (callers computing certain answers
+    /// typically filter to ground answers).
+    pub fn eval(&self, inst: &Instance) -> BTreeSet<Vec<Value>> {
+        let mut out = BTreeSet::new();
+        let _ = for_each_hom(&self.body, inst, &Assignment::new(), |h| {
+            let row: Vec<Value> = self
+                .head
+                .iter()
+                .map(|v| h.get(*v).expect("safe query: head var bound"))
+                .collect();
+            out.insert(row);
+            ControlFlow::Continue(())
+        });
+        out
+    }
+
+    /// Evaluate a Boolean query.
+    pub fn eval_bool(&self, inst: &Instance) -> bool {
+        debug_assert!(self.is_boolean());
+        crate::hom::exists_hom(&self.body, inst, &Assignment::new())
+    }
+
+    /// Does the fixed tuple `t` belong to `q(inst)`?
+    pub fn contains_answer(&self, inst: &Instance, t: &[Value]) -> bool {
+        if t.len() != self.head.len() {
+            return false;
+        }
+        // Seed the search with the head binding; conflicting repeated head
+        // variables are rejected up front.
+        let mut partial = Assignment::new();
+        for (v, val) in self.head.iter().zip(t) {
+            match partial.get(*v) {
+                Some(prev) if prev != *val => return false,
+                _ => partial.bind(*v, *val),
+            }
+        }
+        crate::hom::exists_hom(&self.body, inst, &partial)
+    }
+
+    /// The canonical ("frozen") instance of this query: head variables
+    /// become reserved constants, other variables become labeled nulls,
+    /// and every body atom becomes a fact. Returns the instance and the
+    /// frozen head tuple. This is the classical tableau used for
+    /// containment and minimization.
+    fn freeze(&self, schema: &Arc<Schema>) -> (Instance, Vec<Value>) {
+        use crate::value::NullId;
+        let mut inst = Instance::new(schema.clone());
+        let mut var_value: std::collections::HashMap<Var, Value> =
+            std::collections::HashMap::new();
+        for (i, v) in self.head.iter().enumerate() {
+            var_value
+                .entry(*v)
+                .or_insert_with(|| Value::constant(format!("__pde_frozen_{i}")));
+        }
+        let mut next_null = 0u32;
+        for atom in &self.body {
+            let vals: Vec<Value> = atom
+                .terms
+                .iter()
+                .map(|t| match t {
+                    crate::atom::Term::Const(c) => Value::Const(*c),
+                    crate::atom::Term::Var(v) => *var_value.entry(*v).or_insert_with(|| {
+                        let n = NullId(next_null);
+                        next_null += 1;
+                        Value::Null(n)
+                    }),
+                })
+                .collect();
+            inst.insert(atom.rel, crate::tuple::Tuple::new(vals));
+        }
+        let head: Vec<Value> = self
+            .head
+            .iter()
+            .map(|v| var_value[v])
+            .collect();
+        (inst, head)
+    }
+
+    /// Is this query contained in `other` (`q ⊆ q'`: every answer of `q`
+    /// on every instance is an answer of `q'`)? Chandra–Merlin: `q ⊆ q'`
+    /// iff the frozen head of `q` is an answer of `q'` on `q`'s canonical
+    /// instance. Queries must share head arity and a schema.
+    pub fn contained_in(&self, other: &ConjunctiveQuery, schema: &Arc<Schema>) -> bool {
+        if self.head.len() != other.head.len() {
+            return false;
+        }
+        let (canonical, frozen_head) = self.freeze(schema);
+        other.contains_answer(&canonical, &frozen_head)
+    }
+
+    /// Are the two queries equivalent?
+    pub fn equivalent_to(&self, other: &ConjunctiveQuery, schema: &Arc<Schema>) -> bool {
+        self.contained_in(other, schema) && other.contained_in(self, schema)
+    }
+
+    /// Minimize this query: the core of its canonical instance, read back
+    /// as a body (Chandra–Merlin minimization). The result is equivalent
+    /// to `self` and has a minimal number of atoms.
+    pub fn minimize(&self, schema: &Arc<Schema>) -> ConjunctiveQuery {
+        let (canonical, _) = self.freeze(schema);
+        let cored = crate::retract::core_of(&canonical);
+        // Read facts back as atoms: frozen constants → head variables,
+        // nulls → fresh variables, other constants stay.
+        let frozen_of = |v: Value| -> Option<Var> {
+            let Value::Const(c) = v else { return None };
+            let name = c.as_str();
+            let idx: usize = name.strip_prefix("__pde_frozen_")?.parse().ok()?;
+            Some(self.head[idx])
+        };
+        let body: Vec<Atom> = cored
+            .facts()
+            .map(|(rel, t)| Atom {
+                rel,
+                terms: t
+                    .values()
+                    .iter()
+                    .map(|v| match v {
+                        Value::Null(n) => {
+                            crate::atom::Term::Var(Var::new(format!("m{}", n.0)))
+                        }
+                        Value::Const(_) => match frozen_of(*v) {
+                            Some(hv) => crate::atom::Term::Var(hv),
+                            None => crate::atom::Term::Const(v.as_const().expect("const")),
+                        },
+                    })
+                    .collect(),
+            })
+            .collect();
+        ConjunctiveQuery::new(self.head.clone(), body)
+    }
+
+    /// Render with relation names resolved against `schema`.
+    pub fn display<'a>(&'a self, schema: &'a Schema) -> impl fmt::Display + 'a {
+        struct D<'a>(&'a ConjunctiveQuery, &'a Schema);
+        impl fmt::Display for D<'_> {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, "q(")?;
+                for (i, v) in self.0.head.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{v}")?;
+                }
+                write!(f, ") :- ")?;
+                for (i, a) in self.0.body.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{}", a.display(self.1))?;
+                }
+                Ok(())
+            }
+        }
+        D(self, schema)
+    }
+}
+
+impl fmt::Debug for ConjunctiveQuery {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "q{:?} :- ", self.head)?;
+        for (i, a) in self.body.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{a:?}")?;
+        }
+        Ok(())
+    }
+}
+
+/// A union of conjunctive queries, all with the same head arity.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct UnionQuery {
+    /// The disjuncts.
+    pub disjuncts: Vec<ConjunctiveQuery>,
+}
+
+impl UnionQuery {
+    /// Build a union; all disjuncts must share the head arity.
+    ///
+    /// # Panics
+    /// Panics on empty unions or mixed arities.
+    pub fn new(disjuncts: Vec<ConjunctiveQuery>) -> UnionQuery {
+        assert!(!disjuncts.is_empty(), "empty union query");
+        let arity = disjuncts[0].head.len();
+        assert!(
+            disjuncts.iter().all(|q| q.head.len() == arity),
+            "mixed arities in union query"
+        );
+        UnionQuery { disjuncts }
+    }
+
+    /// Head arity.
+    pub fn arity(&self) -> usize {
+        self.disjuncts[0].head.len()
+    }
+
+    /// Is this a Boolean UCQ?
+    pub fn is_boolean(&self) -> bool {
+        self.arity() == 0
+    }
+
+    /// Evaluate: union of the disjuncts' answers.
+    pub fn eval(&self, inst: &Instance) -> BTreeSet<Vec<Value>> {
+        let mut out = BTreeSet::new();
+        for q in &self.disjuncts {
+            out.extend(q.eval(inst));
+        }
+        out
+    }
+
+    /// Evaluate as a Boolean query.
+    pub fn eval_bool(&self, inst: &Instance) -> bool {
+        self.disjuncts.iter().any(|q| q.eval_bool(inst))
+    }
+
+    /// Does `t` belong to the union's answers?
+    pub fn contains_answer(&self, inst: &Instance, t: &[Value]) -> bool {
+        self.disjuncts.iter().any(|q| q.contains_answer(inst, t))
+    }
+}
+
+impl From<ConjunctiveQuery> for UnionQuery {
+    fn from(q: ConjunctiveQuery) -> UnionQuery {
+        UnionQuery::new(vec![q])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::Schema;
+    use std::sync::Arc;
+
+    fn setup() -> (Arc<Schema>, Instance) {
+        let mut s = Schema::new();
+        s.target("H", 2);
+        let s = Arc::new(s);
+        let mut j = Instance::new(s.clone());
+        j.insert_consts("H", ["a", "b"]);
+        j.insert_consts("H", ["b", "c"]);
+        (s, j)
+    }
+
+    #[test]
+    fn eval_binary_query() {
+        let (s, j) = setup();
+        let q = ConjunctiveQuery::new(
+            vec![Var::new("x"), Var::new("z")],
+            vec![
+                Atom::vars(&s, "H", &["x", "y"]),
+                Atom::vars(&s, "H", &["y", "z"]),
+            ],
+        );
+        let ans = q.eval(&j);
+        assert_eq!(ans.len(), 1);
+        assert!(ans.contains(&vec![Value::constant("a"), Value::constant("c")]));
+        assert!(q.contains_answer(&j, &[Value::constant("a"), Value::constant("c")]));
+        assert!(!q.contains_answer(&j, &[Value::constant("a"), Value::constant("b")]));
+    }
+
+    #[test]
+    fn boolean_query() {
+        let (s, j) = setup();
+        let q = ConjunctiveQuery::boolean(vec![
+            Atom::vars(&s, "H", &["x", "y"]),
+            Atom::vars(&s, "H", &["y", "x"]),
+        ]);
+        assert!(q.is_boolean());
+        assert!(!q.eval_bool(&j));
+        let mut j2 = j.clone();
+        j2.insert_consts("H", ["b", "a"]);
+        assert!(q.eval_bool(&j2));
+    }
+
+    #[test]
+    #[should_panic(expected = "unsafe query")]
+    fn unsafe_head_rejected() {
+        let (s, _) = setup();
+        ConjunctiveQuery::new(vec![Var::new("w")], vec![Atom::vars(&s, "H", &["x", "y"])]);
+    }
+
+    #[test]
+    fn monotone_under_fact_addition() {
+        let (s, j) = setup();
+        let q = ConjunctiveQuery::new(
+            vec![Var::new("x")],
+            vec![Atom::vars(&s, "H", &["x", "y"])],
+        );
+        let before = q.eval(&j);
+        let mut bigger = j.clone();
+        bigger.insert_consts("H", ["z", "w"]);
+        let after = q.eval(&bigger);
+        assert!(before.is_subset(&after));
+        assert!(after.len() > before.len());
+    }
+
+    #[test]
+    fn union_query_unions_answers() {
+        let (s, j) = setup();
+        let q1 = ConjunctiveQuery::new(
+            vec![Var::new("x")],
+            vec![Atom::vars(&s, "H", &["x", "y"])],
+        );
+        let q2 = ConjunctiveQuery::new(
+            vec![Var::new("y")],
+            vec![Atom::vars(&s, "H", &["x", "y"])],
+        );
+        let u = UnionQuery::new(vec![q1, q2]);
+        let ans = u.eval(&j);
+        // sources {a,b} ∪ sinks {b,c}
+        assert_eq!(ans.len(), 3);
+        assert!(u.contains_answer(&j, &[Value::constant("c")]));
+    }
+
+    #[test]
+    #[should_panic(expected = "mixed arities")]
+    fn union_arity_mismatch_rejected() {
+        let (s, _) = setup();
+        let q1 = ConjunctiveQuery::boolean(vec![Atom::vars(&s, "H", &["x", "y"])]);
+        let q2 = ConjunctiveQuery::new(
+            vec![Var::new("x")],
+            vec![Atom::vars(&s, "H", &["x", "y"])],
+        );
+        UnionQuery::new(vec![q1, q2]);
+    }
+
+    #[test]
+    fn containment_classic_examples() {
+        let mut s = Schema::new();
+        s.target("H", 2);
+        let s = Arc::new(s);
+        // q1(x) :- H(x,y), H(y,z)   (2-path from x)
+        // q2(x) :- H(x,y)           (1-step from x)
+        let q1 = ConjunctiveQuery::new(
+            vec![Var::new("x")],
+            vec![Atom::vars(&s, "H", &["x", "y"]), Atom::vars(&s, "H", &["y", "z"])],
+        );
+        let q2 = ConjunctiveQuery::new(
+            vec![Var::new("x")],
+            vec![Atom::vars(&s, "H", &["x", "y"])],
+        );
+        // Having a 2-path implies having a 1-step, not vice versa.
+        assert!(q1.contained_in(&q2, &s));
+        assert!(!q2.contained_in(&q1, &s));
+        assert!(!q1.equivalent_to(&q2, &s));
+        // Self containment.
+        assert!(q1.contained_in(&q1, &s));
+    }
+
+    #[test]
+    fn containment_detects_equivalence_up_to_renaming() {
+        let mut s = Schema::new();
+        s.target("H", 2);
+        let s = Arc::new(s);
+        let q1 = ConjunctiveQuery::new(
+            vec![Var::new("x")],
+            vec![Atom::vars(&s, "H", &["x", "y"])],
+        );
+        let q2 = ConjunctiveQuery::new(
+            vec![Var::new("a")],
+            vec![Atom::vars(&s, "H", &["a", "b"])],
+        );
+        assert!(q1.equivalent_to(&q2, &s));
+    }
+
+    #[test]
+    fn minimize_removes_redundant_atoms() {
+        let mut s = Schema::new();
+        s.target("H", 2);
+        let s = Arc::new(s);
+        // q(x) :- H(x,y), H(x,z): the second atom is redundant.
+        let q = ConjunctiveQuery::new(
+            vec![Var::new("x")],
+            vec![Atom::vars(&s, "H", &["x", "y"]), Atom::vars(&s, "H", &["x", "z"])],
+        );
+        let m = q.minimize(&s);
+        assert_eq!(m.body.len(), 1);
+        assert!(m.equivalent_to(&q, &s));
+    }
+
+    #[test]
+    fn minimize_keeps_necessary_atoms() {
+        let mut s = Schema::new();
+        s.target("H", 2);
+        let s = Arc::new(s);
+        // q(x, z) :- H(x,y), H(y,z): both atoms needed.
+        let q = ConjunctiveQuery::new(
+            vec![Var::new("x"), Var::new("z")],
+            vec![Atom::vars(&s, "H", &["x", "y"]), Atom::vars(&s, "H", &["y", "z"])],
+        );
+        let m = q.minimize(&s);
+        assert_eq!(m.body.len(), 2);
+        assert!(m.equivalent_to(&q, &s));
+    }
+
+    #[test]
+    fn boolean_query_containment() {
+        let mut s = Schema::new();
+        s.target("H", 2);
+        let s = Arc::new(s);
+        let loopq = ConjunctiveQuery::boolean(vec![Atom::vars(&s, "H", &["x", "x"])]);
+        let edgeq = ConjunctiveQuery::boolean(vec![Atom::vars(&s, "H", &["x", "y"])]);
+        // A self-loop is an edge; an edge need not be a self-loop.
+        assert!(loopq.contained_in(&edgeq, &s));
+        assert!(!edgeq.contained_in(&loopq, &s));
+    }
+
+    #[test]
+    fn over_peer_checks_relations() {
+        let mut s = Schema::new();
+        s.source("E", 2);
+        s.target("H", 2);
+        let q = ConjunctiveQuery::boolean(vec![Atom::vars(&s, "H", &["x", "y"])]);
+        assert!(q.over_peer(&s, Peer::Target));
+        assert!(!q.over_peer(&s, Peer::Source));
+    }
+}

@@ -1,0 +1,314 @@
+//! A single stored relation: a set of tuples with hash indexes.
+//!
+//! The chase and the homomorphism search spend almost all of their time
+//! asking "which tuples of `R` have value `v` at position `i`?". Every
+//! relation therefore maintains one hash index per attribute, mapping a
+//! value to the set of row ids carrying it at that position.
+
+use crate::tuple::Tuple;
+use crate::value::Value;
+use std::collections::{HashMap, HashSet};
+
+/// A set of same-arity tuples with per-attribute value indexes.
+#[derive(Clone, Debug, Default)]
+pub struct Relation {
+    arity: u16,
+    /// Insertion-ordered rows; `None` marks a deleted row (rows are only
+    /// deleted by egd-driven value substitution, which re-inserts the
+    /// rewritten tuple).
+    rows: Vec<Option<Tuple>>,
+    /// Membership set over live rows.
+    set: HashSet<Tuple>,
+    /// `index[i][v]` = row ids with value `v` at attribute `i`.
+    index: Vec<HashMap<Value, Vec<u32>>>,
+    /// Tombstoned row slots available for reuse.
+    free: Vec<u32>,
+    live: usize,
+}
+
+impl Relation {
+    /// An empty relation of the given arity.
+    pub fn new(arity: u16) -> Relation {
+        Relation {
+            arity,
+            rows: Vec::new(),
+            set: HashSet::new(),
+            index: (0..arity).map(|_| HashMap::new()).collect(),
+            free: Vec::new(),
+            live: 0,
+        }
+    }
+
+    /// The arity of this relation.
+    pub fn arity(&self) -> u16 {
+        self.arity
+    }
+
+    /// Number of (live) tuples.
+    pub fn len(&self) -> usize {
+        self.live
+    }
+
+    /// Is the relation empty?
+    pub fn is_empty(&self) -> bool {
+        self.live == 0
+    }
+
+    /// Insert a tuple; returns `true` if it was not already present.
+    ///
+    /// # Panics
+    /// Panics if the tuple's arity differs from the relation's.
+    pub fn insert(&mut self, t: Tuple) -> bool {
+        assert_eq!(
+            t.arity(),
+            self.arity as usize,
+            "arity mismatch inserting {t:?}"
+        );
+        if self.set.contains(&t) {
+            return false;
+        }
+        let row = match self.free.pop() {
+            Some(r) => r,
+            None => u32::try_from(self.rows.len()).expect("relation overflow"),
+        };
+        for (i, v) in t.values().iter().enumerate() {
+            self.index[i].entry(*v).or_default().push(row);
+        }
+        self.set.insert(t.clone());
+        if (row as usize) < self.rows.len() {
+            self.rows[row as usize] = Some(t);
+        } else {
+            self.rows.push(Some(t));
+        }
+        self.live += 1;
+        true
+    }
+
+    /// Membership test.
+    pub fn contains(&self, t: &Tuple) -> bool {
+        self.set.contains(t)
+    }
+
+    /// Remove a tuple; returns `true` if it was present. The row's index
+    /// entries are deleted eagerly so long-running insert/remove cycles
+    /// (the search solvers backtrack millions of times) do not accumulate
+    /// tombstones in the per-attribute indexes.
+    pub fn remove(&mut self, t: &Tuple) -> bool {
+        if !self.set.remove(t) {
+            return false;
+        }
+        // Locate the live row via the first attribute's index (arity-0
+        // relations hold at most one tuple; scan directly).
+        let row = if self.arity == 0 {
+            self.rows.iter().position(|r| r.as_ref() == Some(t))
+        } else {
+            self.index[0]
+                .get(&t.get(0))
+                .into_iter()
+                .flatten()
+                .copied()
+                .find(|r| self.rows[*r as usize].as_ref() == Some(t))
+                .map(|r| r as usize)
+        };
+        let row = row.expect("set and rows out of sync");
+        self.unindex_row(row as u32, t);
+        self.rows[row] = None;
+        self.free.push(row as u32);
+        self.live -= 1;
+        true
+    }
+
+    /// Delete the index entries of a row about to be tombstoned.
+    fn unindex_row(&mut self, row: u32, t: &Tuple) {
+        for (i, v) in t.values().iter().enumerate() {
+            if let Some(list) = self.index[i].get_mut(v) {
+                if let Some(pos) = list.iter().position(|r| *r == row) {
+                    list.swap_remove(pos);
+                }
+                if list.is_empty() {
+                    self.index[i].remove(v);
+                }
+            }
+        }
+    }
+
+    /// Iterate over live tuples in insertion order.
+    pub fn iter(&self) -> impl Iterator<Item = &Tuple> {
+        self.rows.iter().filter_map(Option::as_ref)
+    }
+
+    /// Row ids of live tuples having `v` at attribute `attr`. The returned
+    /// ids are valid arguments to [`Relation::row`].
+    pub fn rows_with(&self, attr: u16, v: Value) -> impl Iterator<Item = u32> + '_ {
+        self.index[attr as usize]
+            .get(&v)
+            .into_iter()
+            .flatten()
+            .copied()
+            .filter(move |r| self.rows[*r as usize].is_some())
+    }
+
+    /// Number of live rows having `v` at attribute `attr` — an upper bound
+    /// usable as a selectivity estimate (deleted rows may inflate it
+    /// slightly; we accept that for O(1) cost).
+    pub fn count_with(&self, attr: u16, v: Value) -> usize {
+        self.index[attr as usize].get(&v).map_or(0, Vec::len)
+    }
+
+    /// The tuple at row id `r`, if live.
+    pub fn row(&self, r: u32) -> Option<&Tuple> {
+        self.rows.get(r as usize).and_then(Option::as_ref)
+    }
+
+    /// Replace every occurrence of value `from` by `to` in all tuples.
+    /// Rewritten tuples that collide with existing ones are merged.
+    pub fn substitute(&mut self, from: Value, to: Value) {
+        if from == to {
+            return;
+        }
+        // Collect affected rows via the indexes rather than scanning.
+        let mut affected: Vec<u32> = Vec::new();
+        for attr in 0..self.arity {
+            for r in self.index[attr as usize].get(&from).into_iter().flatten() {
+                if self.rows[*r as usize].is_some() {
+                    affected.push(*r);
+                }
+            }
+        }
+        affected.sort_unstable();
+        affected.dedup();
+        let mut rewritten: Vec<Tuple> = Vec::with_capacity(affected.len());
+        for r in affected {
+            let old = self.rows[r as usize].take().expect("checked live");
+            self.set.remove(&old);
+            self.live -= 1;
+            if let Some(newt) = old.replaced(from, to) {
+                self.unindex_row(r, &old);
+                self.free.push(r);
+                rewritten.push(newt);
+            } else {
+                // Index said the row contained `from` but it no longer does
+                // (stale entry): keep the row.
+                self.set.insert(old.clone());
+                self.rows[r as usize] = Some(old);
+                self.live += 1;
+            }
+        }
+        for t in rewritten {
+            self.insert(t);
+        }
+    }
+
+    /// All values occurring anywhere in the relation.
+    pub fn values(&self) -> impl Iterator<Item = Value> + '_ {
+        self.iter().flat_map(|t| t.values().iter().copied())
+    }
+}
+
+impl PartialEq for Relation {
+    fn eq(&self, other: &Self) -> bool {
+        self.arity == other.arity && self.live == other.live && self.set == other.set
+    }
+}
+
+impl Eq for Relation {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::value::NullId;
+
+    #[test]
+    fn insert_deduplicates() {
+        let mut r = Relation::new(2);
+        assert!(r.insert(Tuple::consts(["a", "b"])));
+        assert!(!r.insert(Tuple::consts(["a", "b"])));
+        assert_eq!(r.len(), 1);
+        assert!(r.contains(&Tuple::consts(["a", "b"])));
+    }
+
+    #[test]
+    #[should_panic(expected = "arity mismatch")]
+    fn arity_mismatch_panics() {
+        let mut r = Relation::new(2);
+        r.insert(Tuple::consts(["a"]));
+    }
+
+    #[test]
+    fn index_finds_rows() {
+        let mut r = Relation::new(2);
+        r.insert(Tuple::consts(["a", "b"]));
+        r.insert(Tuple::consts(["a", "c"]));
+        r.insert(Tuple::consts(["d", "b"]));
+        let rows: Vec<_> = r
+            .rows_with(0, Value::constant("a"))
+            .filter_map(|i| r.row(i))
+            .cloned()
+            .collect();
+        assert_eq!(rows.len(), 2);
+        assert_eq!(r.count_with(1, Value::constant("b")), 2);
+        assert_eq!(r.count_with(1, Value::constant("zzz")), 0);
+    }
+
+    #[test]
+    fn substitute_rewrites_and_merges() {
+        let n = Value::Null(NullId(0));
+        let mut r = Relation::new(2);
+        r.insert(Tuple::new(vec![n, Value::constant("b")]));
+        r.insert(Tuple::consts(["a", "b"]));
+        assert_eq!(r.len(), 2);
+        // Substituting the null by "a" makes the two tuples collide.
+        r.substitute(n, Value::constant("a"));
+        assert_eq!(r.len(), 1);
+        assert!(r.contains(&Tuple::consts(["a", "b"])));
+    }
+
+    #[test]
+    fn remove_deletes_and_keeps_index_consistent() {
+        let mut r = Relation::new(2);
+        r.insert(Tuple::consts(["a", "b"]));
+        r.insert(Tuple::consts(["a", "c"]));
+        assert!(r.remove(&Tuple::consts(["a", "b"])));
+        assert!(!r.remove(&Tuple::consts(["a", "b"])));
+        assert_eq!(r.len(), 1);
+        assert!(!r.contains(&Tuple::consts(["a", "b"])));
+        // Index lookups skip the tombstone.
+        assert_eq!(r.rows_with(0, Value::constant("a")).count(), 1);
+        // Re-insertion works after removal.
+        assert!(r.insert(Tuple::consts(["a", "b"])));
+        assert_eq!(r.rows_with(0, Value::constant("a")).count(), 2);
+    }
+
+    #[test]
+    fn substitute_noop_when_absent() {
+        let mut r = Relation::new(1);
+        r.insert(Tuple::consts(["x"]));
+        r.substitute(Value::constant("q"), Value::constant("z"));
+        assert_eq!(r.len(), 1);
+        assert!(r.contains(&Tuple::consts(["x"])));
+    }
+
+    #[test]
+    fn substitute_handles_repeated_occurrences() {
+        let n = Value::Null(NullId(5));
+        let mut r = Relation::new(3);
+        r.insert(Tuple::new(vec![n, n, Value::constant("c")]));
+        r.substitute(n, Value::constant("z"));
+        assert!(r.contains(&Tuple::consts(["z", "z", "c"])));
+        assert_eq!(r.len(), 1);
+        // Index remains usable after substitution.
+        assert_eq!(r.rows_with(0, Value::constant("z")).count(), 1);
+        assert_eq!(r.rows_with(0, n).count(), 0);
+    }
+
+    #[test]
+    fn equality_ignores_insertion_order() {
+        let mut a = Relation::new(1);
+        a.insert(Tuple::consts(["x"]));
+        a.insert(Tuple::consts(["y"]));
+        let mut b = Relation::new(1);
+        b.insert(Tuple::consts(["y"]));
+        b.insert(Tuple::consts(["x"]));
+        assert_eq!(a, b);
+    }
+}

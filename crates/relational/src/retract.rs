@@ -1,0 +1,155 @@
+//! Cores of instances with labeled nulls.
+//!
+//! The *core* of an instance `K` is a smallest subinstance `C ⊆ K` with a
+//! homomorphism `K → C` (a retract); it is unique up to isomorphism
+//! (Fagin–Kolaitis–Popa, "Data exchange: getting to the core", cited by
+//! the paper). Cores matter in data exchange because the core of a
+//! universal solution is the smallest universal solution; here they also
+//! give minimal witnesses: the core of any materialized solution of a
+//! Σt = ∅ setting is again a solution (Σts is antitone in the target, Σst
+//! is preserved under the retraction).
+//!
+//! Algorithm: greedy null folding. A null `n` is *foldable* when `K` maps
+//! homomorphically into `K` minus all facts mentioning `n`; folding
+//! replaces `K` by that image. When no null is foldable, every
+//! endomorphism of `K` is surjective on nulls, i.e. `K` is a core.
+
+use crate::hom::instance_hom;
+use crate::instance::Instance;
+use crate::value::{NullId, Value};
+
+/// One folding step: try to eliminate a specific null. Returns the folded
+/// instance when `n` is foldable.
+pub fn fold_null(k: &Instance, n: NullId) -> Option<Instance> {
+    // Target: K without the facts mentioning n.
+    let mut without = Instance::new(k.schema().clone());
+    for (rel, t) in k.facts() {
+        if !t.nulls().any(|m| m == n) {
+            without.insert(rel, t.clone());
+        }
+    }
+    let h = instance_hom(k, &without)?;
+    Some(k.map_values(|v| match v {
+        Value::Null(m) => h.get(&m).copied().unwrap_or(v),
+        Value::Const(_) => v,
+    }))
+}
+
+/// Compute the core of `k` by greedy null folding.
+///
+/// Worst case exponential in the number of nulls per block (each fold is a
+/// homomorphism search), but linear in the number of folds: every
+/// successful fold removes at least one null.
+pub fn core_of(k: &Instance) -> Instance {
+    let mut cur = k.clone();
+    'outer: loop {
+        let nulls: Vec<NullId> = cur.nulls().into_iter().collect();
+        for n in nulls {
+            if let Some(folded) = fold_null(&cur, n) {
+                debug_assert!(folded.contained_in(&cur));
+                debug_assert!(!folded.nulls().contains(&n));
+                cur = folded;
+                continue 'outer;
+            }
+        }
+        return cur;
+    }
+}
+
+/// Is `k` its own core (no null foldable)?
+pub fn is_core(k: &Instance) -> bool {
+    k.nulls().into_iter().all(|n| fold_null(k, n).is_none())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hom::instance_hom_exists;
+    use crate::parser::{parse_instance, parse_schema};
+    use std::sync::Arc;
+
+    fn schema() -> Arc<crate::schema::Schema> {
+        Arc::new(parse_schema("target H/2;").unwrap())
+    }
+
+    #[test]
+    fn ground_instances_are_their_own_core() {
+        let s = schema();
+        let k = parse_instance(&s, "H(a, b). H(b, c).").unwrap();
+        assert!(is_core(&k));
+        assert!(core_of(&k).same_facts(&k));
+    }
+
+    #[test]
+    fn redundant_null_fact_folds_away() {
+        // H(a, ?0) is subsumed by H(a, b).
+        let s = schema();
+        let k = parse_instance(&s, "H(a, b). H(a, ?0).").unwrap();
+        let c = core_of(&k);
+        assert_eq!(c.fact_count(), 1);
+        assert!(c.is_ground());
+        assert!(is_core(&c));
+    }
+
+    #[test]
+    fn null_chain_collapses_onto_loop() {
+        // A null path folds onto a constant self-loop.
+        let s = schema();
+        let k = parse_instance(&s, "H(a, a). H(?0, ?1). H(?1, ?2).").unwrap();
+        let c = core_of(&k);
+        assert_eq!(c.fact_count(), 1);
+        assert!(c.contains(
+            s.rel_id("H").unwrap(),
+            &crate::tuple::Tuple::consts(["a", "a"])
+        ));
+    }
+
+    #[test]
+    fn non_redundant_nulls_survive() {
+        // H(a, ?0), H(?0, b): the 2-path through the null has no ground
+        // match, so the core keeps the null.
+        let s = schema();
+        let k = parse_instance(&s, "H(a, ?0). H(?0, b).").unwrap();
+        let c = core_of(&k);
+        assert_eq!(c.fact_count(), 2);
+        assert_eq!(c.nulls().len(), 1);
+        assert!(is_core(&c));
+    }
+
+    #[test]
+    fn core_is_hom_equivalent_to_original() {
+        let s = schema();
+        let k = parse_instance(&s, "H(a, b). H(a, ?0). H(?1, b). H(?2, ?3).").unwrap();
+        let c = core_of(&k);
+        assert!(instance_hom_exists(&k, &c));
+        assert!(instance_hom_exists(&c, &k));
+        assert!(c.contained_in(&k));
+        assert!(is_core(&c));
+    }
+
+    #[test]
+    fn core_is_idempotent() {
+        let s = schema();
+        let k = parse_instance(&s, "H(a, ?0). H(?0, ?1). H(?1, a). H(b, ?2).").unwrap();
+        let c1 = core_of(&k);
+        let c2 = core_of(&c1);
+        assert!(c1.same_facts(&c2));
+    }
+
+    #[test]
+    fn fold_null_reports_unfoldable() {
+        let s = schema();
+        let k = parse_instance(&s, "H(a, ?0). H(?0, b).").unwrap();
+        let n = k.nulls().into_iter().next().unwrap();
+        assert!(fold_null(&k, n).is_none());
+    }
+
+    #[test]
+    fn core_size_independent_of_rendering_order() {
+        let s = schema();
+        let a = parse_instance(&s, "H(a, ?0). H(a, b). H(?1, b).").unwrap();
+        let b = parse_instance(&s, "H(?1, b). H(a, ?0). H(a, b).").unwrap();
+        assert_eq!(core_of(&a).fact_count(), core_of(&b).fact_count());
+        assert_eq!(core_of(&a).fact_count(), 1);
+    }
+}

@@ -1,0 +1,266 @@
+//! Schemas: relation symbols with fixed arities, split between two peers.
+//!
+//! A peer data exchange setting works over the combined schema **(S, T)** of
+//! a *source* peer and a *target* peer (paper §2). We model the combination
+//! as a single [`Schema`] in which every relation carries a [`Peer`] tag;
+//! this keeps relation ids uniform across the pair instance `(I, J)` so the
+//! chase never needs to translate ids between two schema objects.
+
+use crate::symbol::Symbol;
+use std::collections::HashMap;
+use std::fmt;
+
+/// Which peer a relation belongs to.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum Peer {
+    /// The authoritative source peer (schema **S**); its data never changes.
+    Source,
+    /// The target peer (schema **T**); its data may be augmented.
+    Target,
+}
+
+impl fmt::Display for Peer {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Peer::Source => write!(f, "source"),
+            Peer::Target => write!(f, "target"),
+        }
+    }
+}
+
+/// Dense id of a relation within a [`Schema`].
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct RelId(pub u32);
+
+impl RelId {
+    /// The id as a dense index.
+    pub fn index(&self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Debug for RelId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "R#{}", self.0)
+    }
+}
+
+/// A position `(R, i)`: the `i`-th attribute of relation `R`.
+///
+/// Positions are the nodes of the dependency graph used for weak acyclicity
+/// (paper Def. 5) and the unit at which markings are recorded (Def. 8).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Debug)]
+pub struct Position {
+    /// The relation.
+    pub rel: RelId,
+    /// Zero-based attribute index.
+    pub attr: u16,
+}
+
+/// Metadata of one relation symbol.
+#[derive(Clone, Debug)]
+pub struct RelationInfo {
+    /// The relation's name.
+    pub name: Symbol,
+    /// Number of attributes.
+    pub arity: u16,
+    /// Owning peer.
+    pub peer: Peer,
+}
+
+/// A finite collection of relation symbols, each with a fixed arity and an
+/// owning peer.
+#[derive(Clone, Debug, Default)]
+pub struct Schema {
+    relations: Vec<RelationInfo>,
+    by_name: HashMap<Symbol, RelId>,
+}
+
+impl Schema {
+    /// An empty schema.
+    pub fn new() -> Schema {
+        Schema::default()
+    }
+
+    /// Add a relation; returns its id.
+    ///
+    /// # Panics
+    /// Panics if a relation with the same name already exists (schemas of the
+    /// two peers are disjoint by definition, so a duplicate is a caller bug).
+    pub fn add_relation(&mut self, name: impl Into<Symbol>, arity: u16, peer: Peer) -> RelId {
+        let name = name.into();
+        assert!(
+            !self.by_name.contains_key(&name),
+            "duplicate relation {name}"
+        );
+        let id = RelId(u32::try_from(self.relations.len()).expect("schema overflow"));
+        self.relations.push(RelationInfo { name, arity, peer });
+        self.by_name.insert(name, id);
+        id
+    }
+
+    /// Convenience: add a source relation.
+    pub fn source(&mut self, name: impl Into<Symbol>, arity: u16) -> RelId {
+        self.add_relation(name, arity, Peer::Source)
+    }
+
+    /// Convenience: add a target relation.
+    pub fn target(&mut self, name: impl Into<Symbol>, arity: u16) -> RelId {
+        self.add_relation(name, arity, Peer::Target)
+    }
+
+    /// Number of relations.
+    pub fn len(&self) -> usize {
+        self.relations.len()
+    }
+
+    /// Is the schema empty?
+    pub fn is_empty(&self) -> bool {
+        self.relations.is_empty()
+    }
+
+    /// Look up a relation by name.
+    pub fn rel_id(&self, name: impl Into<Symbol>) -> Option<RelId> {
+        self.by_name.get(&name.into()).copied()
+    }
+
+    /// Metadata of relation `id`.
+    pub fn info(&self, id: RelId) -> &RelationInfo {
+        &self.relations[id.index()]
+    }
+
+    /// Arity of relation `id`.
+    pub fn arity(&self, id: RelId) -> u16 {
+        self.info(id).arity
+    }
+
+    /// Name of relation `id`.
+    pub fn name(&self, id: RelId) -> Symbol {
+        self.info(id).name
+    }
+
+    /// Peer owning relation `id`.
+    pub fn peer(&self, id: RelId) -> Peer {
+        self.info(id).peer
+    }
+
+    /// Iterate over all relation ids.
+    pub fn rel_ids(&self) -> impl Iterator<Item = RelId> + '_ {
+        (0..self.relations.len() as u32).map(RelId)
+    }
+
+    /// Iterate over the relation ids belonging to `peer`.
+    pub fn rels_of(&self, peer: Peer) -> impl Iterator<Item = RelId> + '_ {
+        self.rel_ids().filter(move |id| self.peer(*id) == peer)
+    }
+
+    /// All positions `(R, i)` of the schema, in relation order.
+    pub fn positions(&self) -> impl Iterator<Item = Position> + '_ {
+        self.rel_ids().flat_map(move |rel| {
+            (0..self.arity(rel)).map(move |attr| Position { rel, attr })
+        })
+    }
+
+    /// Total number of positions.
+    pub fn position_count(&self) -> usize {
+        self.relations.iter().map(|r| r.arity as usize).sum()
+    }
+
+    /// A dense index for `pos` in `0..self.position_count()`, or `None` if
+    /// the position is out of range.
+    pub fn position_index(&self, pos: Position) -> Option<usize> {
+        if pos.rel.index() >= self.relations.len() || pos.attr >= self.arity(pos.rel) {
+            return None;
+        }
+        let mut base = 0usize;
+        for id in 0..pos.rel.0 {
+            base += self.relations[id as usize].arity as usize;
+        }
+        Some(base + pos.attr as usize)
+    }
+}
+
+impl fmt::Display for Schema {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (i, r) in self.relations.iter().enumerate() {
+            if i > 0 {
+                write!(f, "; ")?;
+            }
+            write!(f, "{} {}/{}", r.peer, r.name, r.arity)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Schema {
+        let mut s = Schema::new();
+        s.source("E", 2);
+        s.target("H", 2);
+        s.target("P", 4);
+        s
+    }
+
+    #[test]
+    fn lookup_by_name() {
+        let s = sample();
+        let e = s.rel_id("E").unwrap();
+        assert_eq!(s.arity(e), 2);
+        assert_eq!(s.peer(e), Peer::Source);
+        assert_eq!(s.name(e).as_str(), "E");
+        assert!(s.rel_id("Q").is_none());
+    }
+
+    #[test]
+    fn peers_partition_relations() {
+        let s = sample();
+        let src: Vec<_> = s.rels_of(Peer::Source).collect();
+        let tgt: Vec<_> = s.rels_of(Peer::Target).collect();
+        assert_eq!(src.len(), 1);
+        assert_eq!(tgt.len(), 2);
+        assert_eq!(src.len() + tgt.len(), s.len());
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate relation")]
+    fn duplicate_names_panic() {
+        let mut s = sample();
+        s.source("E", 3);
+    }
+
+    #[test]
+    fn positions_enumerate_all_attributes() {
+        let s = sample();
+        let positions: Vec<_> = s.positions().collect();
+        assert_eq!(positions.len(), 8);
+        assert_eq!(s.position_count(), 8);
+        for (i, p) in positions.iter().enumerate() {
+            assert_eq!(s.position_index(*p), Some(i));
+        }
+    }
+
+    #[test]
+    fn position_index_rejects_out_of_range() {
+        let s = sample();
+        let e = s.rel_id("E").unwrap();
+        assert_eq!(s.position_index(Position { rel: e, attr: 2 }), None);
+        assert_eq!(
+            s.position_index(Position {
+                rel: RelId(99),
+                attr: 0
+            }),
+            None
+        );
+    }
+
+    #[test]
+    fn display_lists_relations() {
+        let s = sample();
+        let d = format!("{s}");
+        assert!(d.contains("source E/2"));
+        assert!(d.contains("target P/4"));
+    }
+}

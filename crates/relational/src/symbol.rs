@@ -1,0 +1,151 @@
+//! Global string interner.
+//!
+//! Constants, relation names, and variable names are interned once into a
+//! process-wide table and referred to by a compact [`Symbol`] id everywhere
+//! else. This keeps [`crate::value::Value`] `Copy` (two words) so tuples are
+//! flat arrays of ids, and makes equality/hashing of values integer-cheap,
+//! which matters in the chase's inner homomorphism loops.
+
+use parking_lot::RwLock;
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::OnceLock;
+
+/// An interned string.
+///
+/// Two `Symbol`s are equal iff the strings they intern are equal. The id is
+/// stable for the lifetime of the process.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Symbol(u32);
+
+impl Symbol {
+    /// Intern `s`, returning its symbol.
+    pub fn intern(s: &str) -> Symbol {
+        interner().intern(s)
+    }
+
+    /// The string this symbol interns.
+    pub fn as_str(&self) -> String {
+        interner().resolve(*self)
+    }
+
+    /// Raw id, for use as a dense index where helpful.
+    pub fn index(&self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Debug for Symbol {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.as_str())
+    }
+}
+
+impl fmt::Display for Symbol {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.as_str())
+    }
+}
+
+impl From<&str> for Symbol {
+    fn from(s: &str) -> Symbol {
+        Symbol::intern(s)
+    }
+}
+
+impl From<String> for Symbol {
+    fn from(s: String) -> Symbol {
+        Symbol::intern(&s)
+    }
+}
+
+struct Interner {
+    map: RwLock<HashMap<String, u32>>,
+    strings: RwLock<Vec<String>>,
+}
+
+impl Interner {
+    fn intern(&self, s: &str) -> Symbol {
+        if let Some(&id) = self.map.read().get(s) {
+            return Symbol(id);
+        }
+        let mut map = self.map.write();
+        // Re-check: another thread may have interned between lock drops.
+        if let Some(&id) = map.get(s) {
+            return Symbol(id);
+        }
+        let mut strings = self.strings.write();
+        let id = u32::try_from(strings.len()).expect("interner overflow");
+        strings.push(s.to_owned());
+        map.insert(s.to_owned(), id);
+        Symbol(id)
+    }
+
+    fn resolve(&self, sym: Symbol) -> String {
+        self.strings.read()[sym.0 as usize].clone()
+    }
+}
+
+fn interner() -> &'static Interner {
+    static INTERNER: OnceLock<Interner> = OnceLock::new();
+    INTERNER.get_or_init(|| Interner {
+        map: RwLock::new(HashMap::new()),
+        strings: RwLock::new(Vec::new()),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn intern_is_idempotent() {
+        let a = Symbol::intern("alpha");
+        let b = Symbol::intern("alpha");
+        assert_eq!(a, b);
+        assert_eq!(a.as_str(), "alpha");
+    }
+
+    #[test]
+    fn distinct_strings_get_distinct_symbols() {
+        let a = Symbol::intern("x1");
+        let b = Symbol::intern("x2");
+        assert_ne!(a, b);
+        assert_eq!(a.as_str(), "x1");
+        assert_eq!(b.as_str(), "x2");
+    }
+
+    #[test]
+    fn display_matches_interned_string() {
+        let a = Symbol::intern("E");
+        assert_eq!(format!("{a}"), "E");
+        assert_eq!(format!("{a:?}"), "E");
+    }
+
+    #[test]
+    fn from_impls() {
+        let a: Symbol = "hello".into();
+        let b: Symbol = String::from("hello").into();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn interning_is_thread_safe() {
+        let handles: Vec<_> = (0..8)
+            .map(|i| {
+                std::thread::spawn(move || {
+                    (0..100)
+                        .map(|j| Symbol::intern(&format!("t{}", (i + j) % 50)))
+                        .collect::<Vec<_>>()
+                })
+            })
+            .collect();
+        let all: Vec<Vec<Symbol>> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+        for syms in &all {
+            for s in syms {
+                let name = s.as_str();
+                assert_eq!(Symbol::intern(&name), *s);
+            }
+        }
+    }
+}

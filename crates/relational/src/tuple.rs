@@ -1,0 +1,159 @@
+//! Tuples: flat, immutable arrays of [`Value`]s.
+
+use crate::value::{NullId, Value};
+use std::fmt;
+use std::sync::Arc;
+
+/// An immutable tuple of values.
+///
+/// Tuples are reference-counted so they can sit in both the insertion-order
+/// list and the membership set of a relation without copying, and be shared
+/// into chase provenance records.
+#[derive(Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Tuple(Arc<[Value]>);
+
+impl Tuple {
+    /// Build a tuple from values.
+    pub fn new(values: impl Into<Vec<Value>>) -> Tuple {
+        Tuple(values.into().into())
+    }
+
+    /// Build a tuple of constants from strings (test/fixture convenience).
+    pub fn consts<S: AsRef<str>>(names: impl IntoIterator<Item = S>) -> Tuple {
+        Tuple::new(
+            names
+                .into_iter()
+                .map(|s| Value::constant(s.as_ref()))
+                .collect::<Vec<_>>(),
+        )
+    }
+
+    /// The tuple's arity.
+    pub fn arity(&self) -> usize {
+        self.0.len()
+    }
+
+    /// The values, as a slice.
+    pub fn values(&self) -> &[Value] {
+        &self.0
+    }
+
+    /// Value at position `i`.
+    pub fn get(&self, i: usize) -> Value {
+        self.0[i]
+    }
+
+    /// Does any position hold a labeled null?
+    pub fn has_null(&self) -> bool {
+        self.0.iter().any(Value::is_null)
+    }
+
+    /// Iterate over the distinct nulls occurring in this tuple.
+    pub fn nulls(&self) -> impl Iterator<Item = NullId> + '_ {
+        self.0.iter().filter_map(Value::as_null)
+    }
+
+    /// A copy of this tuple with every occurrence of `from` replaced by `to`.
+    /// Returns `None` when `from` does not occur (no allocation).
+    pub fn replaced(&self, from: Value, to: Value) -> Option<Tuple> {
+        if !self.0.contains(&from) {
+            return None;
+        }
+        let vals: Vec<Value> = self
+            .0
+            .iter()
+            .map(|v| if *v == from { to } else { *v })
+            .collect();
+        Some(Tuple::new(vals))
+    }
+
+    /// Apply `f` to every value, producing a new tuple.
+    pub fn map(&self, mut f: impl FnMut(Value) -> Value) -> Tuple {
+        Tuple::new(self.0.iter().map(|v| f(*v)).collect::<Vec<_>>())
+    }
+}
+
+impl fmt::Debug for Tuple {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "(")?;
+        for (i, v) in self.0.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{v:?}")?;
+        }
+        write!(f, ")")
+    }
+}
+
+impl fmt::Display for Tuple {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "(")?;
+        for (i, v) in self.0.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{v}")?;
+        }
+        write!(f, ")")
+    }
+}
+
+impl From<Vec<Value>> for Tuple {
+    fn from(v: Vec<Value>) -> Tuple {
+        Tuple::new(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn consts_builder() {
+        let t = Tuple::consts(["a", "b"]);
+        assert_eq!(t.arity(), 2);
+        assert!(!t.has_null());
+        assert_eq!(t.get(0), Value::constant("a"));
+    }
+
+    #[test]
+    fn equality_is_structural() {
+        assert_eq!(Tuple::consts(["a", "b"]), Tuple::consts(["a", "b"]));
+        assert_ne!(Tuple::consts(["a", "b"]), Tuple::consts(["b", "a"]));
+    }
+
+    #[test]
+    fn replaced_substitutes_all_occurrences() {
+        let n = Value::Null(NullId(0));
+        let t = Tuple::new(vec![n, Value::constant("c"), n]);
+        let r = t.replaced(n, Value::constant("d")).unwrap();
+        assert_eq!(r, Tuple::consts(["d", "c", "d"]));
+        assert!(t.replaced(Value::constant("zz"), n).is_none());
+    }
+
+    #[test]
+    fn nulls_iterator() {
+        let t = Tuple::new(vec![
+            Value::Null(NullId(1)),
+            Value::constant("c"),
+            Value::Null(NullId(2)),
+        ]);
+        let ns: Vec<_> = t.nulls().collect();
+        assert_eq!(ns, vec![NullId(1), NullId(2)]);
+        assert!(t.has_null());
+    }
+
+    #[test]
+    fn map_applies_per_value() {
+        let t = Tuple::new(vec![Value::Null(NullId(7)), Value::constant("k")]);
+        let mapped = t.map(|v| {
+            if v.is_null() {
+                Value::constant("filled")
+            } else {
+                v
+            }
+        });
+        assert_eq!(mapped, Tuple::consts(["filled", "k"]));
+    }
+}

@@ -1,0 +1,197 @@
+//! The two-sorted domain of data exchange: constants and labeled nulls.
+//!
+//! Instances in (peer) data exchange draw values from two disjoint infinite
+//! sets: `Const`, the ordinary constants, and `Var` (here [`Value::Null`]),
+//! the labeled nulls created by chase steps to witness existential
+//! quantifiers. Homomorphisms must preserve constants but may map nulls
+//! anywhere — this asymmetry is what makes chase results *universal*.
+
+use crate::symbol::Symbol;
+use std::fmt;
+use std::sync::atomic::{AtomicU32, Ordering};
+
+/// Identifier of a labeled null.
+///
+/// Nulls are compared by identity: two nulls are the same value iff their
+/// ids are equal. Fresh ids are minted by [`NullGen`].
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct NullId(pub u32);
+
+impl fmt::Debug for NullId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "⊥{}", self.0)
+    }
+}
+
+impl fmt::Display for NullId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "_N{}", self.0)
+    }
+}
+
+/// A value occurring in an instance: a constant or a labeled null.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Value {
+    /// An ordinary constant (interned string).
+    Const(Symbol),
+    /// A labeled null, created to witness an existential quantifier.
+    Null(NullId),
+}
+
+impl Value {
+    /// Build a constant value from anything interning to a symbol.
+    pub fn constant(s: impl Into<Symbol>) -> Value {
+        Value::Const(s.into())
+    }
+
+    /// Is this a constant?
+    pub fn is_const(&self) -> bool {
+        matches!(self, Value::Const(_))
+    }
+
+    /// Is this a labeled null?
+    pub fn is_null(&self) -> bool {
+        matches!(self, Value::Null(_))
+    }
+
+    /// The underlying symbol, if this is a constant.
+    pub fn as_const(&self) -> Option<Symbol> {
+        match self {
+            Value::Const(s) => Some(*s),
+            Value::Null(_) => None,
+        }
+    }
+
+    /// The underlying null id, if this is a null.
+    pub fn as_null(&self) -> Option<NullId> {
+        match self {
+            Value::Const(_) => None,
+            Value::Null(n) => Some(*n),
+        }
+    }
+}
+
+impl fmt::Debug for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Const(s) => write!(f, "{s}"),
+            Value::Null(n) => write!(f, "{n:?}"),
+        }
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Const(s) => write!(f, "{s}"),
+            Value::Null(n) => write!(f, "{n}"),
+        }
+    }
+}
+
+impl From<Symbol> for Value {
+    fn from(s: Symbol) -> Value {
+        Value::Const(s)
+    }
+}
+
+impl From<NullId> for Value {
+    fn from(n: NullId) -> Value {
+        Value::Null(n)
+    }
+}
+
+/// Generator of fresh labeled nulls.
+///
+/// Each chase run owns a generator so null ids are dense and deterministic
+/// per run; the generator is thread-safe so parallel trigger evaluation can
+/// share it.
+#[derive(Debug)]
+pub struct NullGen {
+    next: AtomicU32,
+}
+
+impl NullGen {
+    /// A generator starting at id 0.
+    pub fn new() -> NullGen {
+        NullGen::starting_at(0)
+    }
+
+    /// A generator whose first null has id `start` — used to continue a
+    /// chase over an instance that already contains nulls.
+    pub fn starting_at(start: u32) -> NullGen {
+        NullGen {
+            next: AtomicU32::new(start),
+        }
+    }
+
+    /// Mint a fresh null.
+    pub fn fresh(&self) -> NullId {
+        let id = self.next.fetch_add(1, Ordering::Relaxed);
+        assert!(id != u32::MAX, "null id overflow");
+        NullId(id)
+    }
+
+    /// The number of ids handed out so far (relative to 0).
+    pub fn high_water(&self) -> u32 {
+        self.next.load(Ordering::Relaxed)
+    }
+}
+
+impl Default for NullGen {
+    fn default() -> Self {
+        NullGen::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constants_compare_by_symbol() {
+        assert_eq!(Value::constant("a"), Value::constant("a"));
+        assert_ne!(Value::constant("a"), Value::constant("b"));
+    }
+
+    #[test]
+    fn nulls_compare_by_id() {
+        assert_eq!(Value::Null(NullId(3)), Value::Null(NullId(3)));
+        assert_ne!(Value::Null(NullId(3)), Value::Null(NullId(4)));
+    }
+
+    #[test]
+    fn constants_and_nulls_are_disjoint() {
+        let c = Value::constant("7");
+        let n = Value::Null(NullId(7));
+        assert_ne!(c, n);
+        assert!(c.is_const() && !c.is_null());
+        assert!(n.is_null() && !n.is_const());
+        assert_eq!(c.as_const().unwrap().as_str(), "7");
+        assert_eq!(n.as_null(), Some(NullId(7)));
+        assert_eq!(c.as_null(), None);
+        assert_eq!(n.as_const(), None);
+    }
+
+    #[test]
+    fn nullgen_mints_distinct_ids() {
+        let g = NullGen::new();
+        let a = g.fresh();
+        let b = g.fresh();
+        assert_ne!(a, b);
+        assert_eq!(g.high_water(), 2);
+    }
+
+    #[test]
+    fn nullgen_starting_at_continues() {
+        let g = NullGen::starting_at(10);
+        assert_eq!(g.fresh(), NullId(10));
+        assert_eq!(g.fresh(), NullId(11));
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(format!("{}", Value::constant("abc")), "abc");
+        assert_eq!(format!("{}", Value::Null(NullId(2))), "_N2");
+    }
+}

@@ -1,0 +1,191 @@
+//! The §1 motivating scenario: an authoritative protein database
+//! (Swiss-Prot) feeding a university database under a different schema.
+//!
+//! The university (target) periodically receives new data but cannot write
+//! back, and restricts what it accepts with target-to-source constraints:
+//! it only stores proteins it can trace to an accession in the source, and
+//! only annotations the source actually asserts. All Σts dependencies are
+//! LAV, so the setting sits in `C_tract` and syncs run in polynomial time
+//! (experiment E14).
+//!
+//! The generator is synthetic (Swiss-Prot itself is not redistributable
+//! here) but shape-faithful: accession-keyed protein records with organism
+//! and GO-term annotations, plus a configurable fraction of "rogue" target
+//! facts that make a sync round unsolvable — the case where the university
+//! already holds claims the authority does not back.
+
+use pde_core::PdeSetting;
+use pde_relational::{parse_instance, Instance};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// The genomics sync setting.
+///
+/// ```text
+/// source sp_protein(acc, name, organism)
+/// source sp_annotation(acc, go_term)
+/// target u_protein(acc, organism)
+/// target u_annotation(acc, go_term)
+///
+/// Σst: sp_protein(a, n, o) → u_protein(a, o)
+///      sp_protein(a, n, o) ∧ sp_annotation(a, g) → u_annotation(a, g)
+/// Σts: u_protein(a, o) → ∃n . sp_protein(a, n, o)
+///      u_annotation(a, g) → sp_annotation(a, g)
+/// ```
+pub fn genomics_setting() -> PdeSetting {
+    PdeSetting::parse(
+        "source sp_protein/3; source sp_annotation/2; \
+         target u_protein/2; target u_annotation/2;",
+        "sp_protein(a, n, o) -> u_protein(a, o);
+         sp_protein(a, n, o), sp_annotation(a, g) -> u_annotation(a, g)",
+        "u_protein(a, o) -> exists n . sp_protein(a, n, o);
+         u_annotation(a, g) -> sp_annotation(a, g)",
+        "",
+    )
+    .expect("genomics setting is well-formed")
+}
+
+/// Parameters of a synthetic sync round.
+#[derive(Clone, Copy, Debug)]
+pub struct GenomicsParams {
+    /// Number of source protein records.
+    pub proteins: u32,
+    /// Annotations per protein (on average).
+    pub annotations_per_protein: u32,
+    /// Number of distinct organisms.
+    pub organisms: u32,
+    /// Number of distinct GO terms.
+    pub go_terms: u32,
+    /// Pre-existing (consistent) target records.
+    pub preloaded: u32,
+    /// Rogue target facts with no source backing (each makes the round
+    /// unsolvable).
+    pub rogue: u32,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for GenomicsParams {
+    fn default() -> Self {
+        GenomicsParams {
+            proteins: 50,
+            annotations_per_protein: 3,
+            organisms: 5,
+            go_terms: 40,
+            preloaded: 10,
+            rogue: 0,
+            seed: 42,
+        }
+    }
+}
+
+/// Generate a sync-round input `(I, J)` for the genomics setting.
+pub fn genomics_instance(setting: &PdeSetting, params: &GenomicsParams) -> Instance {
+    let mut rng = StdRng::seed_from_u64(params.seed);
+    let mut src = String::new();
+    let organism = |i: u32| format!("org{i}");
+    for p in 0..params.proteins {
+        let o = rng.gen_range(0..params.organisms.max(1));
+        src.push_str(&format!(
+            "sp_protein(P{p:05}, protname{p}, {}). ",
+            organism(o)
+        ));
+        for _ in 0..params.annotations_per_protein {
+            let g = rng.gen_range(0..params.go_terms.max(1));
+            src.push_str(&format!("sp_annotation(P{p:05}, GO{g:07}). "));
+        }
+    }
+    // Rogue target facts: accessions the source has never heard of.
+    for r in 0..params.rogue {
+        src.push_str(&format!("u_protein(ROGUE{r}, orgx). "));
+    }
+    let mut inst = parse_instance(setting.schema(), &src).expect("generated instance parses");
+    // Preload: copy the first `preloaded` proteins into the target with
+    // their true organisms (read back from the parsed source).
+    let spp = setting.schema().rel_id("sp_protein").unwrap();
+    let upp = setting.schema().rel_id("u_protein").unwrap();
+    let copies: Vec<pde_relational::Tuple> = inst
+        .relation(spp)
+        .iter()
+        .take(params.preloaded as usize)
+        .map(|t| pde_relational::Tuple::new(vec![t.get(0), t.get(2)]))
+        .collect();
+    for t in copies {
+        inst.insert(upp, t);
+    }
+    inst
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pde_core::{solver, tractable, SolverKind};
+
+    #[test]
+    fn setting_is_tractable_lav() {
+        let p = genomics_setting();
+        let c = p.classification();
+        assert!(c.ctract.ts_all_lav);
+        assert!(c.tractable());
+    }
+
+    #[test]
+    fn clean_sync_round_solves() {
+        let p = genomics_setting();
+        let input = genomics_instance(&p, &GenomicsParams::default());
+        let out = tractable::exists_solution(&p, &input).unwrap();
+        assert!(out.exists);
+        let w = out.witness.unwrap();
+        assert!(pde_core::is_solution(&p, &input, &w));
+        // Every source protein arrived in the target.
+        let upp = p.schema().rel_id("u_protein").unwrap();
+        assert!(w.relation(upp).len() >= 50);
+    }
+
+    #[test]
+    fn rogue_facts_block_the_round() {
+        let p = genomics_setting();
+        let params = GenomicsParams {
+            rogue: 1,
+            ..GenomicsParams::default()
+        };
+        let input = genomics_instance(&p, &params);
+        let out = tractable::exists_solution(&p, &input).unwrap();
+        assert!(!out.exists, "an unbacked u_protein fact has no solution");
+    }
+
+    #[test]
+    fn facade_selects_the_tractable_path() {
+        let p = genomics_setting();
+        let input = genomics_instance(&p, &GenomicsParams::default());
+        let r = solver::decide(&p, &input).unwrap();
+        assert_eq!(r.kind, SolverKind::Tractable);
+        assert_eq!(r.exists, Some(true));
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let p = genomics_setting();
+        let a = genomics_instance(&p, &GenomicsParams::default());
+        let b = genomics_instance(&p, &GenomicsParams::default());
+        assert!(a.same_facts(&b));
+    }
+
+    #[test]
+    fn preloaded_facts_are_in_every_solution() {
+        let p = genomics_setting();
+        let params = GenomicsParams {
+            proteins: 5,
+            preloaded: 3,
+            ..GenomicsParams::default()
+        };
+        let input = genomics_instance(&p, &params);
+        let upp = p.schema().rel_id("u_protein").unwrap();
+        assert!(input.relation(upp).len() >= 3);
+        let out = tractable::exists_solution(&p, &input).unwrap();
+        let w = out.witness.unwrap();
+        for t in input.relation(upp).iter() {
+            assert!(w.contains(upp, t));
+        }
+    }
+}

@@ -1,0 +1,24 @@
+//! Workload generators and hardness reductions for the peer data exchange
+//! experiments (see `EXPERIMENTS.md` at the workspace root).
+//!
+//! * [`graphs`]: graph type, generators, and direct CLIQUE / 3-COL
+//!   baselines;
+//! * [`clique`]: the Theorem 3 reduction (with the documented correction);
+//! * [`threecol`]: the §4 disjunctive boundary reduction;
+//! * [`boundary`]: the §4 target-egd and full-target-tgd boundary settings;
+//! * [`lav`] / [`full`]: scalable `C_tract` workloads (Corollaries 2 / 1);
+//! * [`genomics`]: the §1 Swiss-Prot-style motivating scenario;
+//! * [`paper`]: every worked example of the paper as a fixture;
+//! * [`random`]: random settings/instances for differential solver testing.
+
+pub mod boundary;
+pub mod clique;
+pub mod full;
+pub mod genomics;
+pub mod graphs;
+pub mod lav;
+pub mod paper;
+pub mod random;
+pub mod threecol;
+
+pub use graphs::{has_k_clique, is_three_colorable, k_coloring, Graph};

@@ -1,0 +1,257 @@
+//! `pde` — command-line front end for the peer data exchange library.
+//!
+//! ```text
+//! pde classify <bundle.pde>             static analysis of the setting
+//! pde solve    <bundle.pde>             decide SOL(P), print a witness
+//! pde certain  <bundle.pde> <query>     certain answers of a target UCQ
+//! pde chase    <bundle.pde>             show the canonical chase artifacts
+//! pde check    <bundle.pde> <candidate> verify a candidate solution file
+//! pde enumerate <bundle.pde> [limit]    list distinct minimal-family solutions
+//! pde shrink   <bundle.pde> <candidate> Lemma 2: extract a small sub-solution
+//! pde format   <bundle.pde>             parse and re-render the bundle
+//! ```
+//!
+//! Bundles are the `.pde` text format of `pde_core::bundle`; `<candidate>`
+//! is a plain instance file over the bundle's schema. Exit code 0 on
+//! "yes"/success outcomes, 1 on "no" outcomes, 2 on usage or input errors.
+
+use pde_chase::chase_tgds;
+use pde_core::bundle::Bundle;
+use pde_core::{certain_answers, check_solution, decide, GenericLimits};
+use pde_relational::{parse_instance, parse_query, Peer, UnionQuery};
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match run(&args) {
+        Ok(yes) => {
+            if yes {
+                ExitCode::SUCCESS
+            } else {
+                ExitCode::from(1)
+            }
+        }
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            eprintln!();
+            eprintln!("{USAGE}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+const USAGE: &str = "usage:
+  pde classify  <bundle.pde>
+  pde solve     <bundle.pde>
+  pde certain   <bundle.pde> <query>
+  pde chase     <bundle.pde>
+  pde check     <bundle.pde> <candidate-instance>
+  pde enumerate <bundle.pde> [limit]
+  pde shrink    <bundle.pde> <candidate-instance>
+  pde format    <bundle.pde>";
+
+fn load_bundle(path: &str) -> Result<Bundle, String> {
+    let src = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+    Bundle::parse(&src).map_err(|e| format!("{path}: {e}"))
+}
+
+fn run(args: &[String]) -> Result<bool, String> {
+    let cmd = args.first().ok_or("missing command")?;
+    match cmd.as_str() {
+        "classify" => {
+            let bundle = load_bundle(args.get(1).ok_or("missing bundle path")?)?;
+            let class = bundle.setting.classification();
+            println!("{}", bundle.summary());
+            println!("data exchange (Σts = ∅):        {}", class.is_data_exchange);
+            println!("target constraints present:     {}", class.has_target_constraints);
+            println!("target tgds weakly acyclic:     {}", class.target_tgds_weakly_acyclic);
+            println!("C_tract condition 1:            {}", class.ctract.holds1());
+            println!("C_tract condition 2.1:          {}", class.ctract.holds2_1());
+            println!("C_tract condition 2.2:          {}", class.ctract.holds2_2());
+            println!("Σts all LAV (Cor. 2):           {}", class.ctract.ts_all_lav);
+            println!("Σst all full (Cor. 1):          {}", class.ctract.st_all_full);
+            println!("in C_tract:                     {}", class.ctract.in_ctract());
+            println!("polynomial algorithm applies:   {}", class.tractable());
+            for v in class.ctract.violations() {
+                println!("  violation: {v}");
+            }
+            Ok(true)
+        }
+        "solve" => {
+            let bundle = load_bundle(args.get(1).ok_or("missing bundle path")?)?;
+            let report = decide(&bundle.setting, &bundle.input).map_err(|e| e.to_string())?;
+            println!("{}", bundle.summary());
+            println!("solver:   {}", report.kind);
+            println!("elapsed:  {:?}", report.elapsed);
+            match report.exists {
+                Some(true) => {
+                    println!("result:   solution exists");
+                    if let Some(w) = report.witness {
+                        println!("witness target facts:");
+                        for (rel, t) in w.facts_of(Peer::Target) {
+                            println!("  {}{}", bundle.setting.schema().name(rel), t);
+                        }
+                    }
+                    Ok(true)
+                }
+                Some(false) => {
+                    println!("result:   no solution");
+                    // For the tractable path, explain the failure.
+                    if report.kind == pde_core::SolverKind::Tractable {
+                        if let Ok(out) =
+                            pde_core::exists_solution(&bundle.setting, &bundle.input)
+                        {
+                            if let Some(demand) = out.unsatisfiable_demand {
+                                println!("unsatisfiable source demand:");
+                                for (rel, t) in demand {
+                                    println!(
+                                        "  {}{}  (nulls match any value)",
+                                        bundle.setting.schema().name(rel),
+                                        t
+                                    );
+                                }
+                            }
+                        }
+                    }
+                    Ok(false)
+                }
+                None => {
+                    println!("result:   undecided (node limit reached)");
+                    Ok(false)
+                }
+            }
+        }
+        "certain" => {
+            let bundle = load_bundle(args.get(1).ok_or("missing bundle path")?)?;
+            let qsrc = args.get(2).ok_or("missing query")?;
+            let q: UnionQuery = parse_query(bundle.setting.schema(), qsrc)
+                .map_err(|e| e.to_string())?
+                .into();
+            let out = certain_answers(&bundle.setting, &bundle.input, &q, GenericLimits::default())
+                .map_err(|e| e.to_string())?;
+            if !out.solution_exists {
+                println!("no solutions: every tuple is vacuously certain");
+                return Ok(true);
+            }
+            println!(
+                "solutions examined: {}; certain answers: {}",
+                out.solutions_examined,
+                out.answers.len()
+            );
+            if q.is_boolean() {
+                println!("certain = {}", out.certain_bool());
+                return Ok(out.certain_bool());
+            }
+            for t in &out.answers {
+                let row: Vec<String> = t.iter().map(|v| v.to_string()).collect();
+                println!("  ({})", row.join(", "));
+            }
+            Ok(true)
+        }
+        "chase" => {
+            let bundle = load_bundle(args.get(1).ok_or("missing bundle path")?)?;
+            let schema = bundle.setting.schema();
+            let gen = pde_chase::null_gen_for(&bundle.input);
+            let st = chase_tgds(bundle.input.clone(), bundle.setting.sigma_st(), &gen);
+            if !st.is_success() {
+                return Err("Σst chase did not terminate".into());
+            }
+            println!("J_can (after Σst chase, {} steps):", st.steps);
+            for (rel, t) in st.instance.facts_of(Peer::Target) {
+                println!("  {}{}", schema.name(rel), t);
+            }
+            let jcan = st.instance.restrict(Peer::Target);
+            let ts = chase_tgds(jcan, bundle.setting.sigma_ts(), &gen);
+            if !ts.is_success() {
+                return Err("Σts chase did not terminate".into());
+            }
+            println!("I_can (after Σts chase, {} steps):", ts.steps);
+            for (rel, t) in ts.instance.facts_of(Peer::Source) {
+                println!("  {}{}", schema.name(rel), t);
+            }
+            let ican = ts.instance.restrict(Peer::Source);
+            let blocks = pde_core::blocks::blocks(&ican);
+            println!(
+                "I_can blocks: {} (max nulls per block: {})",
+                blocks.len(),
+                blocks.iter().map(|b| b.nulls.len()).max().unwrap_or(0)
+            );
+            Ok(true)
+        }
+        "check" => {
+            let bundle = load_bundle(args.get(1).ok_or("missing bundle path")?)?;
+            let cand_path = args.get(2).ok_or("missing candidate path")?;
+            let cand_src =
+                std::fs::read_to_string(cand_path).map_err(|e| format!("{cand_path}: {e}"))?;
+            let cand = parse_instance(bundle.setting.schema(), &cand_src)
+                .map_err(|e| format!("{cand_path}: {e}"))?;
+            // Candidates are target-only files; graft the source part on.
+            let combined = bundle.input.restrict(Peer::Source).union(&cand);
+            match check_solution(&bundle.setting, &bundle.input, &combined) {
+                Ok(()) => {
+                    println!("candidate IS a solution");
+                    Ok(true)
+                }
+                Err(v) => {
+                    println!("candidate is NOT a solution: {v}");
+                    Ok(false)
+                }
+            }
+        }
+        "enumerate" => {
+            let bundle = load_bundle(args.get(1).ok_or("missing bundle path")?)?;
+            let limit: usize = match args.get(2) {
+                Some(s) => s.parse().map_err(|_| format!("bad limit '{s}'"))?,
+                None => 20,
+            };
+            let fam = pde_core::enumerate_solutions(
+                &bundle.setting,
+                &bundle.input,
+                pde_core::EnumerateOptions {
+                    max_solutions: limit,
+                    core: true,
+                    ..Default::default()
+                },
+            )
+            .map_err(|e| e.to_string())?;
+            println!(
+                "{} distinct solution(s){}:",
+                fam.solutions.len(),
+                if fam.exhaustive { "" } else { " (truncated)" }
+            );
+            for (i, sol) in fam.solutions.iter().enumerate() {
+                println!("--- solution {i} ---");
+                for (rel, t) in sol.facts_of(Peer::Target) {
+                    println!("  {}{}", bundle.setting.schema().name(rel), t);
+                }
+            }
+            Ok(!fam.solutions.is_empty())
+        }
+        "shrink" => {
+            let bundle = load_bundle(args.get(1).ok_or("missing bundle path")?)?;
+            let cand_path = args.get(2).ok_or("missing candidate path")?;
+            let cand_src =
+                std::fs::read_to_string(cand_path).map_err(|e| format!("{cand_path}: {e}"))?;
+            let cand = parse_instance(bundle.setting.schema(), &cand_src)
+                .map_err(|e| format!("{cand_path}: {e}"))?;
+            let combined = bundle.input.restrict(Peer::Source).union(&cand);
+            let small = pde_core::shrink_solution(&bundle.setting, &bundle.input, &combined)
+                .map_err(|e| e.to_string())?;
+            println!(
+                "shrunk {} target facts to {}:",
+                combined.fact_count_of(Peer::Target),
+                small.fact_count_of(Peer::Target)
+            );
+            for (rel, t) in small.facts_of(Peer::Target) {
+                println!("  {}{}", bundle.setting.schema().name(rel), t);
+            }
+            Ok(true)
+        }
+        "format" => {
+            let bundle = load_bundle(args.get(1).ok_or("missing bundle path")?)?;
+            print!("{}", bundle.render());
+            Ok(true)
+        }
+        other => Err(format!("unknown command '{other}'")),
+    }
+}

@@ -1,0 +1,157 @@
+//! Integration tests for the `pde` command-line binary, driving it as a
+//! real subprocess on temp files.
+
+use std::path::PathBuf;
+use std::process::{Command, Output};
+
+fn bin() -> &'static str {
+    env!("CARGO_BIN_EXE_pde")
+}
+
+fn write_temp(name: &str, content: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("pde-cli-tests-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join(name);
+    std::fs::write(&path, content).unwrap();
+    path
+}
+
+fn run(args: &[&str]) -> Output {
+    Command::new(bin()).args(args).output().expect("binary runs")
+}
+
+const EX1_TRIANGLE: &str = "
+%schema
+source E/2; target H/2
+%st
+E(x, z), E(z, y) -> H(x, y)
+%ts
+H(x, y) -> E(x, y)
+%instance
+E(a, b). E(b, c). E(a, c).
+";
+
+const EX1_NOSOL: &str = "
+%schema
+source E/2; target H/2
+%st
+E(x, z), E(z, y) -> H(x, y)
+%ts
+H(x, y) -> E(x, y)
+%instance
+E(a, b). E(b, c).
+";
+
+#[test]
+fn classify_reports_ctract() {
+    let p = write_temp("tri.pde", EX1_TRIANGLE);
+    let out = run(&["classify", p.to_str().unwrap()]);
+    assert!(out.status.success());
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    assert!(stdout.contains("in C_tract:                     true"));
+    assert!(stdout.contains("polynomial algorithm applies:   true"));
+}
+
+#[test]
+fn solve_yes_and_no_exit_codes() {
+    let yes = write_temp("tri2.pde", EX1_TRIANGLE);
+    let out = run(&["solve", yes.to_str().unwrap()]);
+    assert!(out.status.success());
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    assert!(stdout.contains("solution exists"));
+    assert!(stdout.contains("H(a, c)"));
+
+    let no = write_temp("nosol.pde", EX1_NOSOL);
+    let out = run(&["solve", no.to_str().unwrap()]);
+    assert_eq!(out.status.code(), Some(1));
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    assert!(stdout.contains("no solution"));
+}
+
+#[test]
+fn certain_boolean_query() {
+    let p = write_temp("tri3.pde", EX1_TRIANGLE);
+    let out = run(&["certain", p.to_str().unwrap(), "H(x, y), H(y, z)"]);
+    // certain = false on the triangle (the minimal solution has only H(a,c)).
+    assert_eq!(out.status.code(), Some(1));
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    assert!(stdout.contains("certain = false"));
+}
+
+#[test]
+fn certain_with_head_lists_answers() {
+    let p = write_temp("tri4.pde", EX1_TRIANGLE);
+    let out = run(&["certain", p.to_str().unwrap(), "q(x, y) :- H(x, y)"]);
+    assert!(out.status.success());
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    assert!(stdout.contains("(a, c)"));
+}
+
+#[test]
+fn chase_prints_canonical_artifacts() {
+    let p = write_temp("nosol2.pde", EX1_NOSOL);
+    let out = run(&["chase", p.to_str().unwrap()]);
+    assert!(out.status.success());
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    assert!(stdout.contains("J_can"));
+    assert!(stdout.contains("H(a, c)"));
+    assert!(stdout.contains("I_can"));
+    assert!(stdout.contains("E(a, c)"));
+}
+
+#[test]
+fn check_validates_candidates() {
+    let p = write_temp("tri5.pde", EX1_TRIANGLE);
+    let good = write_temp("good.inst", "H(a, c).");
+    let out = run(&["check", p.to_str().unwrap(), good.to_str().unwrap()]);
+    assert!(out.status.success());
+    assert!(String::from_utf8(out.stdout).unwrap().contains("IS a solution"));
+
+    let bad = write_temp("bad.inst", "H(a, b).");
+    let out = run(&["check", p.to_str().unwrap(), bad.to_str().unwrap()]);
+    assert_eq!(out.status.code(), Some(1));
+    assert!(String::from_utf8(out.stdout).unwrap().contains("NOT a solution"));
+}
+
+#[test]
+fn format_roundtrips() {
+    let p = write_temp("tri6.pde", EX1_TRIANGLE);
+    let out = run(&["format", p.to_str().unwrap()]);
+    assert!(out.status.success());
+    let rendered = String::from_utf8(out.stdout).unwrap();
+    let p2 = write_temp("tri6b.pde", &rendered);
+    let out2 = run(&["solve", p2.to_str().unwrap()]);
+    assert!(out2.status.success());
+}
+
+#[test]
+fn enumerate_lists_solutions() {
+    let p = write_temp("tri7.pde", EX1_TRIANGLE);
+    let out = run(&["enumerate", p.to_str().unwrap(), "5"]);
+    assert!(out.status.success());
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    assert!(stdout.contains("distinct solution"));
+    assert!(stdout.contains("H(a, c)"));
+}
+
+#[test]
+fn shrink_extracts_small_solution() {
+    let p = write_temp("tri8.pde", EX1_TRIANGLE);
+    let bloated = write_temp("bloat.inst", "H(a, c). H(a, b). H(b, c).");
+    let out = run(&["shrink", p.to_str().unwrap(), bloated.to_str().unwrap()]);
+    assert!(out.status.success());
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    assert!(stdout.contains("shrunk 3 target facts to 1"));
+    assert!(stdout.contains("H(a, c)"));
+}
+
+#[test]
+fn usage_errors_exit_2() {
+    let out = run(&[]);
+    assert_eq!(out.status.code(), Some(2));
+    let out = run(&["bogus"]);
+    assert_eq!(out.status.code(), Some(2));
+    let out = run(&["solve", "/nonexistent/x.pde"]);
+    assert_eq!(out.status.code(), Some(2));
+    assert!(String::from_utf8(out.stderr).unwrap().contains("usage:"));
+}

@@ -1,0 +1,326 @@
+//! Property-based tests (proptest) over the core invariants:
+//!
+//! * chase postconditions (result satisfies the chased tgds; inputs are
+//!   preserved);
+//! * solution-aware chase stays inside the supplied solution and within
+//!   the polynomial bound of Lemma 1;
+//! * block decomposition is a partition and Prop. 1 agrees with the direct
+//!   homomorphism test;
+//! * the four homomorphism-search configurations agree;
+//! * the CLIQUE and 3-COL reductions agree with the direct graph
+//!   algorithms on random graphs;
+//! * `ExistsSolution` agrees with the complete assignment search on random
+//!   instances of `C_tract` settings;
+//! * certain answers hold in every enumerated solution.
+
+use peer_data_exchange::core::{
+    assignment, blocks, certain_answers, solution::is_solution, tractable, GenericLimits,
+};
+use peer_data_exchange::prelude::*;
+use peer_data_exchange::workloads::{clique, graphs, paper, threecol};
+use proptest::prelude::*;
+use std::ops::ControlFlow;
+
+/// A random ground instance over `E/2` with vertices `v0..vn`.
+fn arb_edge_instance(n: u32, max_edges: usize) -> impl Strategy<Value = Vec<(u32, u32)>> {
+    prop::collection::vec((0..n, 0..n), 0..=max_edges)
+}
+
+fn edges_to_instance(setting: &PdeSetting, rel: &str, edges: &[(u32, u32)]) -> Instance {
+    let mut src = String::new();
+    for (a, b) in edges {
+        src.push_str(&format!("{rel}(v{a}, v{b}). "));
+    }
+    parse_instance(setting.schema(), &src).unwrap()
+}
+
+/// A random graph from edge pairs (self-pairs dropped).
+fn pairs_to_graph(n: u32, pairs: &[(u32, u32)]) -> graphs::Graph {
+    let mut g = graphs::Graph::empty(n);
+    for (a, b) in pairs {
+        if a != b {
+            g.add_edge(*a, *b);
+        }
+    }
+    g
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn chase_result_satisfies_chased_tgds(edges in arb_edge_instance(4, 8)) {
+        let p = paper::exact_view_setting();
+        let input = edges_to_instance(&p, "E", &edges);
+        let gen = pde_relational::NullGen::new();
+        let res = pde_chase::chase_tgds(input.clone(), p.sigma_st(), &gen);
+        prop_assert!(res.is_success());
+        let out = res.instance;
+        prop_assert!(input.contained_in(&out));
+        for t in p.sigma_st() {
+            prop_assert!(pde_chase::satisfies_tgd(&out, t));
+        }
+    }
+
+    #[test]
+    fn solution_aware_chase_stays_inside_and_small(edges in arb_edge_instance(4, 6)) {
+        // Build a known solution first (if one exists), then chase with it.
+        let p = paper::exact_view_setting();
+        let input = edges_to_instance(&p, "E", &edges);
+        let out = assignment::solve(&p, &input).unwrap();
+        if let Some(solution) = out.witness {
+            let deps: Vec<Dependency> = p
+                .sigma_st()
+                .iter()
+                .cloned()
+                .map(Dependency::Tgd)
+                .collect();
+            let res = pde_chase::solution_aware_chase(
+                input.clone(),
+                &deps,
+                &solution,
+                ChaseLimits::default(),
+            );
+            prop_assert!(res.is_success());
+            let sub = res.instance;
+            prop_assert!(sub.contained_in(&solution), "chase stays inside K'");
+            // Lemma 1: the chase length is polynomially bounded; for this
+            // single full-premise Σst, each trigger fires at most once.
+            let triggers = input.fact_count() * input.fact_count();
+            prop_assert!(res.steps <= triggers + 1);
+        }
+    }
+
+    #[test]
+    fn blocks_partition_and_prop1(edges in arb_edge_instance(4, 6), nulls in 0u32..4) {
+        // An instance with some nulls sprinkled in.
+        let p = paper::example1_setting();
+        let mut src = String::new();
+        for (a, b) in &edges {
+            src.push_str(&format!("E(v{a}, v{b}). "));
+        }
+        for i in 0..nulls {
+            src.push_str(&format!("E(?{i}, v0). "));
+        }
+        let inst = parse_instance(p.schema(), &src).unwrap();
+        let bs = blocks::blocks(&inst);
+        let total: usize = bs.iter().map(|b| b.len()).sum();
+        prop_assert_eq!(total, inst.fact_count(), "blocks partition the facts");
+        // Prop. 1 agreement.
+        let ground = edges_to_instance(&p, "E", &edges);
+        prop_assert_eq!(
+            blocks::blockwise_hom_exists(&inst, &ground),
+            pde_relational::instance_hom_exists(&inst, &ground)
+        );
+    }
+
+    #[test]
+    fn hom_configs_agree(edges in arb_edge_instance(4, 8)) {
+        let p = paper::example1_setting();
+        let inst = edges_to_instance(&p, "E", &edges);
+        let atoms = pde_relational::parse_atoms(p.schema(), "E(x, y), E(y, z), E(z, x)").unwrap();
+        let mut counts = Vec::new();
+        for use_index in [false, true] {
+            for reorder_atoms in [false, true] {
+                let mut n = 0usize;
+                let _ = pde_relational::for_each_hom_with(
+                    &atoms,
+                    &inst,
+                    &pde_relational::Assignment::new(),
+                    pde_relational::HomConfig { use_index, reorder_atoms },
+                    |_| {
+                        n += 1;
+                        ControlFlow::Continue(())
+                    },
+                );
+                counts.push(n);
+            }
+        }
+        prop_assert!(counts.windows(2).all(|w| w[0] == w[1]), "{:?}", counts);
+    }
+
+    #[test]
+    fn clique_reduction_matches_baseline(pairs in arb_edge_instance(4, 6)) {
+        let g = pairs_to_graph(4, &pairs);
+        let k = 3;
+        let p = clique::clique_setting();
+        let input = clique::clique_instance(&p, &g, k);
+        let out = assignment::solve(&p, &input).unwrap();
+        prop_assert_eq!(out.exists, graphs::has_k_clique(&g, k));
+    }
+
+    #[test]
+    fn threecol_reduction_matches_baseline(pairs in arb_edge_instance(5, 7)) {
+        let g = pairs_to_graph(5, &pairs);
+        let p = threecol::threecol_problem();
+        let input = threecol::threecol_instance(&p, &g);
+        let out = assignment::solve_disjunctive(&p, &input).unwrap();
+        prop_assert_eq!(out.exists, graphs::is_three_colorable(&g));
+    }
+
+    #[test]
+    fn tractable_agrees_with_assignment_on_random_instances(
+        edges in arb_edge_instance(4, 7)
+    ) {
+        for p in [paper::example1_setting(), paper::exact_view_setting()] {
+            let input = edges_to_instance(&p, "E", &edges);
+            let fast = tractable::exists_solution(&p, &input).unwrap();
+            let slow = assignment::solve(&p, &input).unwrap();
+            prop_assert_eq!(fast.exists, slow.exists);
+            if let Some(w) = fast.witness {
+                prop_assert!(is_solution(&p, &input, &w));
+            }
+            if let Some(w) = slow.witness {
+                prop_assert!(is_solution(&p, &input, &w));
+            }
+        }
+    }
+
+    #[test]
+    fn certain_answers_hold_in_every_enumerated_solution(
+        edges in arb_edge_instance(3, 5)
+    ) {
+        let p = paper::example1_setting();
+        let input = edges_to_instance(&p, "E", &edges);
+        let q: UnionQuery = parse_query(p.schema(), "q(x, y) :- H(x, y)").unwrap().into();
+        let out = certain_answers(&p, &input, &q, GenericLimits::default()).unwrap();
+        if out.solution_exists {
+            // Re-enumerate and verify each certain answer in each solution.
+            let problem =
+                assignment::DisjunctiveProblem::from_setting(&p).unwrap();
+            assignment::for_each_solution(&problem, &input, |sol| {
+                for ans in &out.answers {
+                    assert!(
+                        q.contains_answer(sol, ans),
+                        "certain answer {ans:?} missing from a solution"
+                    );
+                }
+                ControlFlow::Continue(())
+            })
+            .unwrap();
+        }
+    }
+
+    #[test]
+    fn weak_acyclicity_of_random_full_tgd_sets(
+        arities in prop::collection::vec(0u8..3, 1..4)
+    ) {
+        // Full tgds never create special edges, so any set of them is
+        // weakly acyclic.
+        let schema = parse_schema("target A/2; target B/2; target C/2;").unwrap();
+        let names = ["A", "B", "C"];
+        let mut tgds = Vec::new();
+        for (i, a) in arities.iter().enumerate() {
+            let from = names[i % 3];
+            let to = names[(*a as usize) % 3];
+            tgds.push(
+                parse_tgd(&schema, &format!("{from}(x, y) -> {to}(y, x)")).unwrap(),
+            );
+        }
+        prop_assert!(pde_constraints::is_weakly_acyclic(&schema, &tgds));
+    }
+
+    #[test]
+    fn chase_respects_the_constructive_lemma1_bound(
+        edges in arb_edge_instance(4, 6)
+    ) {
+        // The explicit chase_bound must dominate actual chase behavior on
+        // random inputs for a weakly acyclic mixed set.
+        let schema = std::sync::Arc::new(
+            parse_schema("target A/2; target B/2; target C/2;").unwrap(),
+        );
+        let tgds = parse_tgds(
+            &schema,
+            "A(x, y) -> exists z . B(y, z); B(x, y) -> C(x, y)",
+        )
+        .unwrap();
+        let mut src = String::new();
+        for (a, b) in &edges {
+            src.push_str(&format!("A(v{a}, v{b}). "));
+        }
+        let inst = parse_instance(&schema, &src).unwrap();
+        let bound = pde_constraints::chase_bound(
+            &schema,
+            &tgds,
+            inst.active_domain().len().max(1),
+        )
+        .expect("weakly acyclic");
+        let gen = pde_relational::NullGen::new();
+        let res = pde_chase::chase_tgds(inst, &tgds, &gen);
+        prop_assert!(res.is_success());
+        prop_assert!(res.steps <= bound.step_bound);
+        prop_assert!(res.instance.fact_count() <= bound.fact_bound);
+        prop_assert!(res.instance.active_domain().len() <= bound.value_bound);
+    }
+
+    #[test]
+    fn shrink_solution_yields_contained_solutions(edges in arb_edge_instance(4, 6)) {
+        let p = paper::example1_setting();
+        let input = edges_to_instance(&p, "E", &edges);
+        if let Some(w) = assignment::solve(&p, &input).unwrap().witness {
+            let small = pde_core::shrink_solution(&p, &input, &w).unwrap();
+            prop_assert!(small.contained_in(&w));
+            prop_assert!(is_solution(&p, &input, &small));
+        }
+    }
+
+    #[test]
+    fn core_of_solution_is_solution(edges in arb_edge_instance(4, 6)) {
+        let p = paper::exact_view_setting();
+        let input = edges_to_instance(&p, "E", &edges);
+        if let Some(w) = assignment::solve(&p, &input).unwrap().witness {
+            let cored = pde_core::core_solution(&p, &input, &w).unwrap();
+            prop_assert!(is_solution(&p, &input, &cored));
+            prop_assert!(cored.fact_count() <= w.fact_count());
+        }
+    }
+
+    #[test]
+    fn isomorphism_is_reflexive_and_rename_invariant(
+        edges in arb_edge_instance(3, 5), shift in 0u32..50
+    ) {
+        let p = paper::example1_setting();
+        let mut src = String::new();
+        for (i, (a, _)) in edges.iter().enumerate() {
+            src.push_str(&format!("E(v{a}, ?{i}). "));
+        }
+        let x = parse_instance(p.schema(), &src).unwrap();
+        let mut src2 = String::new();
+        for (i, (a, _)) in edges.iter().enumerate() {
+            src2.push_str(&format!("E(v{a}, ?{}). ", i as u32 + shift));
+        }
+        let y = parse_instance(p.schema(), &src2).unwrap();
+        prop_assert!(pde_relational::instances_isomorphic(&x, &x));
+        prop_assert!(pde_relational::instances_isomorphic(&x, &y));
+    }
+
+    #[test]
+    fn parser_roundtrips_random_dependencies(
+        n_prem in 1usize..3, n_conc in 1usize..3, n_ex in 0usize..2
+    ) {
+        let schema = parse_schema("source E/2; target H/2;").unwrap();
+        let prem: Vec<String> = (0..n_prem)
+            .map(|i| format!("E(x{i}, x{})", i + 1))
+            .collect();
+        let exvars: Vec<String> = (0..n_ex).map(|i| format!("z{i}")).collect();
+        let conc: Vec<String> = (0..n_conc)
+            .map(|i| {
+                if i < n_ex {
+                    format!("H(x0, z{i})")
+                } else {
+                    "H(x0, x1)".to_string()
+                }
+            })
+            .collect();
+        let mut src = prem.join(", ");
+        src.push_str(" -> ");
+        if !exvars.is_empty() {
+            src.push_str(&format!("exists {} . ", exvars.join(", ")));
+        }
+        src.push_str(&conc.join(", "));
+        let parsed = parse_tgd(&schema, &src).unwrap();
+        let rendered = format!("{}", parsed.display(&schema));
+        let reparsed = parse_tgd(&schema, &rendered).unwrap();
+        prop_assert_eq!(parsed, reparsed);
+    }
+}

@@ -1,0 +1,280 @@
+//! Diagnostic vocabulary: stable codes, severities, and the [`Diagnostic`]
+//! record every lint pass produces.
+//!
+//! Codes are grouped by theme and never renumbered:
+//!
+//! * `PDE00x` — complexity-boundary lints (weak acyclicity, `C_tract`, the
+//!   §4 intractability boundaries);
+//! * `PDE01x` — well-formedness of individual dependencies;
+//! * `PDE02x` — redundancy (duplicates, subsumption);
+//! * `PDE03x` — reachability over the schema (unpopulatable / unused
+//!   relations).
+
+use pde_relational::Span;
+use std::fmt;
+
+/// How serious a diagnostic is.
+///
+/// Ordered: `Note < Warning < Error`. Notes are purely informational and
+/// never affect exit codes, even under `--deny warnings`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Severity {
+    /// Informational; never denies.
+    Note,
+    /// Suspicious but not definitely wrong; denies under `--deny warnings`.
+    Warning,
+    /// Definitely wrong or outside every tractability guarantee; denies by
+    /// default.
+    Error,
+}
+
+impl fmt::Display for Severity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Severity::Note => write!(f, "note"),
+            Severity::Warning => write!(f, "warning"),
+            Severity::Error => write!(f, "error"),
+        }
+    }
+}
+
+/// Which constraint group a diagnostic points into.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Group {
+    /// Σst, the source-to-target tgds.
+    St,
+    /// Σts, the target-to-source tgds.
+    Ts,
+    /// Σt, the target constraints (tgds and egds).
+    T,
+}
+
+impl Group {
+    /// The bundle section marker for this group.
+    pub fn section_name(&self) -> &'static str {
+        match self {
+            Group::St => "st",
+            Group::Ts => "ts",
+            Group::T => "t",
+        }
+    }
+}
+
+impl fmt::Display for Group {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Group::St => write!(f, "Σst"),
+            Group::Ts => write!(f, "Σts"),
+            Group::T => write!(f, "Σt"),
+        }
+    }
+}
+
+/// A reference to one dependency within the setting.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct ConstraintRef {
+    /// The constraint group.
+    pub group: Group,
+    /// 0-based index within the group.
+    pub index: usize,
+}
+
+/// Stable lint codes. The numeric part is permanent; see `docs/LINTS.md`
+/// for the catalog with examples.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Code {
+    /// PDE001: Σt's tgds are not weakly acyclic.
+    WeakAcyclicityViolation,
+    /// PDE002: the setting falls outside `C_tract` (Def. 9).
+    OutsideCtract,
+    /// PDE003: a target egd alongside a nonempty Σts (§4 boundary).
+    TargetEgdBoundary,
+    /// PDE004: a full target tgd alongside a nonempty Σts (§4 boundary).
+    FullTargetTgdBoundary,
+    /// PDE005: a genuinely disjunctive ts-tgd (§4 boundary).
+    DisjunctiveTsBoundary,
+    /// PDE010: a conclusion variable is neither universal nor existential.
+    UnboundConclusionVar,
+    /// PDE011: a declared existential also occurs in the premise.
+    ExistentialInPremise,
+    /// PDE012: a declared existential does not occur in the conclusion.
+    UnusedExistential,
+    /// PDE013: a relation of the wrong peer for the group's orientation.
+    WrongPeer,
+    /// PDE014: empty premise.
+    EmptyPremise,
+    /// PDE015: empty conclusion.
+    EmptyConclusion,
+    /// PDE016: an egd equates a variable missing from its premise.
+    EgdVarNotInPremise,
+    /// PDE017: an atom's term count differs from its relation's arity.
+    ArityMismatch,
+    /// PDE018: a universal variable used once and never constrained.
+    WildcardUniversal,
+    /// PDE019: an egd that equates a variable with itself.
+    TrivialEgd,
+    /// PDE020: an exact duplicate of an earlier dependency in its group.
+    DuplicateDependency,
+    /// PDE021: a tgd implied by another tgd in the same group.
+    SubsumedTgd,
+    /// PDE030: a target relation read by a premise that no tgd populates.
+    UnpopulatedTargetRelation,
+    /// PDE031: a relation mentioned by no dependency at all.
+    UnusedRelation,
+}
+
+impl Code {
+    /// The stable code string, e.g. `"PDE001"`.
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            Code::WeakAcyclicityViolation => "PDE001",
+            Code::OutsideCtract => "PDE002",
+            Code::TargetEgdBoundary => "PDE003",
+            Code::FullTargetTgdBoundary => "PDE004",
+            Code::DisjunctiveTsBoundary => "PDE005",
+            Code::UnboundConclusionVar => "PDE010",
+            Code::ExistentialInPremise => "PDE011",
+            Code::UnusedExistential => "PDE012",
+            Code::WrongPeer => "PDE013",
+            Code::EmptyPremise => "PDE014",
+            Code::EmptyConclusion => "PDE015",
+            Code::EgdVarNotInPremise => "PDE016",
+            Code::ArityMismatch => "PDE017",
+            Code::WildcardUniversal => "PDE018",
+            Code::TrivialEgd => "PDE019",
+            Code::DuplicateDependency => "PDE020",
+            Code::SubsumedTgd => "PDE021",
+            Code::UnpopulatedTargetRelation => "PDE030",
+            Code::UnusedRelation => "PDE031",
+        }
+    }
+
+    /// The severity this code carries.
+    pub fn severity(&self) -> Severity {
+        match self {
+            Code::WeakAcyclicityViolation
+            | Code::UnboundConclusionVar
+            | Code::ExistentialInPremise
+            | Code::UnusedExistential
+            | Code::WrongPeer
+            | Code::EmptyPremise
+            | Code::EmptyConclusion
+            | Code::EgdVarNotInPremise
+            | Code::ArityMismatch => Severity::Error,
+            Code::OutsideCtract
+            | Code::TargetEgdBoundary
+            | Code::FullTargetTgdBoundary
+            | Code::DisjunctiveTsBoundary
+            | Code::TrivialEgd
+            | Code::DuplicateDependency
+            | Code::SubsumedTgd
+            | Code::UnpopulatedTargetRelation => Severity::Warning,
+            Code::WildcardUniversal | Code::UnusedRelation => Severity::Note,
+        }
+    }
+}
+
+impl fmt::Display for Code {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.as_str())
+    }
+}
+
+/// One finding of the analyzer.
+#[derive(Clone, Debug)]
+pub struct Diagnostic {
+    /// The stable code.
+    pub code: Code,
+    /// Severity (always `code.severity()` today; stored so a future
+    /// per-code override can't change renderers).
+    pub severity: Severity,
+    /// Human-readable, single-sentence message.
+    pub message: String,
+    /// The dependency this is about, when it is about exactly one.
+    pub constraint: Option<ConstraintRef>,
+    /// Byte span within the dependency's bundle section, when the input
+    /// came from text.
+    pub span: Option<Span>,
+    /// Supplementary lines (witnesses, cross-references).
+    pub notes: Vec<String>,
+    /// A concrete way to fix or silence the finding.
+    pub suggestion: Option<String>,
+}
+
+impl Diagnostic {
+    /// Build a diagnostic with the code's default severity and no
+    /// location, notes, or suggestion.
+    pub fn new(code: Code, message: impl Into<String>) -> Diagnostic {
+        Diagnostic {
+            code,
+            severity: code.severity(),
+            message: message.into(),
+            constraint: None,
+            span: None,
+            notes: Vec::new(),
+            suggestion: None,
+        }
+    }
+
+    /// Attach a constraint reference.
+    pub fn on(mut self, group: Group, index: usize) -> Diagnostic {
+        self.constraint = Some(ConstraintRef { group, index });
+        self
+    }
+
+    /// Attach a source span.
+    pub fn with_span(mut self, span: Option<Span>) -> Diagnostic {
+        self.span = span;
+        self
+    }
+
+    /// Append a note line.
+    pub fn note(mut self, note: impl Into<String>) -> Diagnostic {
+        self.notes.push(note.into());
+        self
+    }
+
+    /// Attach a suggestion.
+    pub fn suggest(mut self, s: impl Into<String>) -> Diagnostic {
+        self.suggestion = Some(s.into());
+        self
+    }
+}
+
+/// Does `diags` contain anything at or above `deny`? (The exit-code
+/// question. Notes never count.)
+pub fn any_denied(diags: &[Diagnostic], deny: Severity) -> bool {
+    let floor = deny.max(Severity::Warning);
+    diags.iter().any(|d| d.severity >= floor)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn severity_ordering() {
+        assert!(Severity::Note < Severity::Warning);
+        assert!(Severity::Warning < Severity::Error);
+    }
+
+    #[test]
+    fn codes_are_stable_strings() {
+        assert_eq!(Code::WeakAcyclicityViolation.as_str(), "PDE001");
+        assert_eq!(Code::EgdVarNotInPremise.as_str(), "PDE016");
+        assert_eq!(Code::SubsumedTgd.as_str(), "PDE021");
+        assert_eq!(Code::UnusedRelation.as_str(), "PDE031");
+    }
+
+    #[test]
+    fn notes_never_deny() {
+        let d = vec![Diagnostic::new(Code::WildcardUniversal, "x")];
+        assert!(!any_denied(&d, Severity::Note));
+        assert!(!any_denied(&d, Severity::Warning));
+        let w = vec![Diagnostic::new(Code::TrivialEgd, "x")];
+        assert!(!any_denied(&w, Severity::Error));
+        assert!(any_denied(&w, Severity::Warning));
+        let e = vec![Diagnostic::new(Code::EmptyPremise, "x")];
+        assert!(any_denied(&e, Severity::Error));
+    }
+}

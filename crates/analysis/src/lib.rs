@@ -1,0 +1,31 @@
+//! Static analysis for peer data exchange settings: `pde lint`.
+//!
+//! A multi-pass analyzer over a setting `P = (S, T, Σst, Σts, Σt)` that
+//! produces [`Diagnostic`]s with **stable codes**:
+//!
+//! | range    | theme                                                    |
+//! |----------|----------------------------------------------------------|
+//! | `PDE00x` | complexity boundaries (weak acyclicity, `C_tract`, §4)   |
+//! | `PDE01x` | per-dependency well-formedness                           |
+//! | `PDE02x` | redundancy (duplicates, subsumption)                     |
+//! | `PDE03x` | schema reachability (unpopulatable / unused relations)   |
+//!
+//! Inputs come either from an already-validated [`PdeSetting`]
+//! (`AnalysisInput::from_setting`, no source positions) or from split
+//! bundle sections (`AnalysisInput::from_sources`), in which case every
+//! diagnostic carries a span that the renderers translate back to file
+//! line/column through the sections' line maps.
+//!
+//! See `docs/LINTS.md` for the full catalog with triggering examples.
+//!
+//! [`PdeSetting`]: pde_core::setting::PdeSetting
+
+pub mod analyzer;
+pub mod diag;
+pub mod render;
+
+pub use analyzer::{
+    analyze_disjunctive, analyze_setting, AnalysisInput, LintSection, SourceParseError,
+};
+pub use diag::{any_denied, Code, ConstraintRef, Diagnostic, Group, Severity};
+pub use render::{render_json, render_text, RenderContext};

@@ -13,25 +13,29 @@ fn bench(c: &mut Criterion) {
     let [no, unique, two] = example1_instances(&setting);
     let mut g = c.benchmark_group("e01_example1");
     g.bench_function("no_solution", |b| {
-        b.iter(|| decide(&setting, &no).unwrap().exists)
+        b.iter(|| decide(&setting, &no).unwrap().exists);
     });
     g.bench_function("unique_solution", |b| {
-        b.iter(|| decide(&setting, &unique).unwrap().exists)
+        b.iter(|| decide(&setting, &unique).unwrap().exists);
     });
     g.bench_function("two_solutions", |b| {
-        b.iter(|| decide(&setting, &two).unwrap().exists)
+        b.iter(|| decide(&setting, &two).unwrap().exists);
     });
     g.finish();
 
-    let rows: Vec<(&str, String)> = [("E(a,b),E(b,c)", &no), ("E(a,a)", &unique), ("triangle", &two)]
-        .into_iter()
-        .map(|(l, i)| {
-            (
-                l,
-                format!("exists={:?}", decide(&setting, i).unwrap().exists),
-            )
-        })
-        .collect();
+    let rows: Vec<(&str, String)> = [
+        ("E(a,b),E(b,c)", &no),
+        ("E(a,a)", &unique),
+        ("triangle", &two),
+    ]
+    .into_iter()
+    .map(|(l, i)| {
+        (
+            l,
+            format!("exists={:?}", decide(&setting, i).unwrap().exists),
+        )
+    })
+    .collect();
     pde_bench::print_series("E1: Example 1 outcomes", ("instance", "result"), &rows);
 }
 

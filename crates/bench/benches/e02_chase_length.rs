@@ -45,7 +45,7 @@ fn bench(c: &mut Criterion) {
             b.iter(|| {
                 let gen = NullGen::new();
                 chase(inst.clone(), &d, &gen).steps
-            })
+            });
         });
         let gen = NullGen::new();
         let res = chase(inst.clone(), &d, &gen);

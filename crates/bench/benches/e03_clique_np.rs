@@ -31,7 +31,7 @@ fn bench(c: &mut Criterion) {
                         let out = assignment::solve(&setting, input).unwrap();
                         assert_eq!(out.exists, expected);
                         out.exists
-                    })
+                    });
                 },
             );
             g.bench_with_input(

@@ -25,23 +25,21 @@ fn bench(c: &mut Criterion) {
         for (label, graph) in [("clique_present", &yes), ("clique_absent", &no)] {
             let input = clique_instance_elements_from_v(&setting, graph, k);
             let expected_certain = !has_k_clique(graph, k);
-            g.bench_with_input(
-                BenchmarkId::new(label, n),
-                &input,
-                |b, input| {
-                    b.iter(|| {
-                        let out =
-                            certain_answers(&setting, input, &q, GenericLimits::default())
-                                .unwrap();
-                        assert_eq!(out.certain_bool(), expected_certain);
-                        out.certain_bool()
-                    })
-                },
-            );
+            g.bench_with_input(BenchmarkId::new(label, n), &input, |b, input| {
+                b.iter(|| {
+                    let out =
+                        certain_answers(&setting, input, &q, GenericLimits::default()).unwrap();
+                    assert_eq!(out.certain_bool(), expected_certain);
+                    out.certain_bool()
+                });
+            });
             let ms = pde_bench::time_ms(|| {
                 let _ = certain_answers(&setting, &input, &q, GenericLimits::default()).unwrap();
             });
-            rows.push((format!("n={} {label}", graph.vertex_count()), format!("{ms:.2} ms")));
+            rows.push((
+                format!("n={} {label}", graph.vertex_count()),
+                format!("{ms:.2} ms"),
+            ));
         }
     }
     g.finish();

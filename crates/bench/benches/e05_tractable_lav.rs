@@ -23,13 +23,13 @@ fn bench(c: &mut Criterion) {
             b.iter(|| {
                 let out = tractable::exists_solution(&setting, input).unwrap();
                 assert!(out.exists);
-            })
+            });
         });
         g.bench_with_input(BenchmarkId::new("unsolvable", size), &no, |b, input| {
             b.iter(|| {
                 let out = tractable::exists_solution(&setting, input).unwrap();
                 assert!(!out.exists);
-            })
+            });
         });
         let out = tractable::exists_solution(&setting, &yes).unwrap();
         rows.push((

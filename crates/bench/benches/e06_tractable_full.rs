@@ -17,12 +17,16 @@ fn bench(c: &mut Criterion) {
     g.sample_size(10);
     for size in [3u32, 4, 6, 8, 10] {
         let input = full_solvable_instance(&setting, 2, size);
-        g.bench_with_input(BenchmarkId::new("exists_solution", size), &input, |b, input| {
-            b.iter(|| {
-                let out = tractable::exists_solution(&setting, input).unwrap();
-                assert!(out.exists);
-            })
-        });
+        g.bench_with_input(
+            BenchmarkId::new("exists_solution", size),
+            &input,
+            |b, input| {
+                b.iter(|| {
+                    let out = tractable::exists_solution(&setting, input).unwrap();
+                    assert!(out.exists);
+                });
+            },
+        );
         let fast_ms = pde_bench::time_ms(|| {
             let _ = tractable::exists_solution(&setting, &input).unwrap();
         });

@@ -22,7 +22,7 @@ fn bench(c: &mut Criterion) {
             b.iter(|| {
                 let out = generic::solve(&setting, input, GenericLimits::default()).unwrap();
                 assert_eq!(out.decided(), Some(expected));
-            })
+            });
         });
         let out = generic::solve(&setting, &input, GenericLimits::default()).unwrap();
         rows.push((

@@ -26,7 +26,7 @@ fn bench(c: &mut Criterion) {
             b.iter(|| {
                 let out = solve_disjunctive(&problem, input).unwrap();
                 assert_eq!(out.exists, expected);
-            })
+            });
         });
         let pde_ms = pde_bench::time_ms(|| {
             let _ = solve_disjunctive(&problem, &input).unwrap();
@@ -35,7 +35,11 @@ fn bench(c: &mut Criterion) {
             let _ = is_three_colorable(&graph);
         });
         rows.push((
-            format!("{label} (n={}, m={})", graph.vertex_count(), graph.edge_count()),
+            format!(
+                "{label} (n={}, m={})",
+                graph.vertex_count(),
+                graph.edge_count()
+            ),
             format!("{pde_ms:.2} ms"),
             format!("{direct_ms:.4} ms"),
         ));

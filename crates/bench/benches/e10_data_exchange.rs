@@ -35,7 +35,7 @@ fn bench(c: &mut Criterion) {
                 let out = data_exchange::solve_data_exchange(&p, input).unwrap();
                 assert!(out.exists, "DE with weakly acyclic Σt always solvable here");
                 out.chase_steps
-            })
+            });
         });
         let out = data_exchange::solve_data_exchange(&p, &input).unwrap();
         rows.push((n, out.chase_steps, out.canonical.unwrap().fact_count()));

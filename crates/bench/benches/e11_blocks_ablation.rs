@@ -11,8 +11,8 @@
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use pde_core::blocks::blockwise_hom_exists;
 use pde_relational::{
-    instance_as_atoms, instance_hom_exists, parse_instance, parse_schema, Assignment,
-    HomConfig, Instance,
+    instance_as_atoms, instance_hom_exists, parse_instance, parse_schema, Assignment, HomConfig,
+    Instance,
 };
 use std::ops::ControlFlow;
 use std::sync::Arc;
@@ -63,14 +63,14 @@ fn bench(c: &mut Criterion) {
         g.bench_with_input(BenchmarkId::new("blockwise", b), &pat, |bch, pat| {
             bch.iter(|| {
                 assert!(!blockwise_hom_exists(pat, &tgt));
-            })
+            });
         });
         // The whole-instance search is exponential in b on this family
         // (that is the experiment's point) — keep its sizes small.
         g.bench_with_input(BenchmarkId::new("whole_instance", b), &pat, |bch, pat| {
             bch.iter(|| {
                 assert!(!instance_hom_exists(pat, &tgt));
-            })
+            });
         });
         g.bench_with_input(
             BenchmarkId::new("whole_instance_no_reorder", b),
@@ -85,7 +85,7 @@ fn bench(c: &mut Criterion) {
                             reorder_atoms: false
                         }
                     ));
-                })
+                });
             },
         );
         let block_ms = pde_bench::time_ms(|| {

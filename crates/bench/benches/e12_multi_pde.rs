@@ -56,7 +56,7 @@ fn bench(c: &mut Criterion) {
                 b.iter(|| {
                     let out = tractable::exists_solution(&single, input).unwrap();
                     assert!(out.exists);
-                })
+                });
             },
         );
         let out = tractable::exists_solution(&single, &input).unwrap();
@@ -67,13 +67,16 @@ fn bench(c: &mut Criterion) {
             |b, w| {
                 b.iter(|| {
                     multi.check_multi_solution(&input, w).unwrap();
-                })
+                });
             },
         );
         rows.push((
             npeers,
             input.fact_count(),
-            format!("witness target facts = {}", witness.fact_count() - input.fact_count()),
+            format!(
+                "witness target facts = {}",
+                witness.fact_count() - input.fact_count()
+            ),
         ));
     }
     g.finish();

@@ -22,17 +22,37 @@ fn graph_instance(schema: &Arc<pde_relational::Schema>, g: &Graph) -> Instance {
 fn bench(c: &mut Criterion) {
     let schema = Arc::new(parse_schema("source E/2;").unwrap());
     let configs = [
-        ("idx+reorder", HomConfig { use_index: true, reorder_atoms: true }),
-        ("idx_only", HomConfig { use_index: true, reorder_atoms: false }),
-        ("reorder_only", HomConfig { use_index: false, reorder_atoms: true }),
-        ("naive", HomConfig { use_index: false, reorder_atoms: false }),
+        (
+            "idx+reorder",
+            HomConfig {
+                use_index: true,
+                reorder_atoms: true,
+            },
+        ),
+        (
+            "idx_only",
+            HomConfig {
+                use_index: true,
+                reorder_atoms: false,
+            },
+        ),
+        (
+            "reorder_only",
+            HomConfig {
+                use_index: false,
+                reorder_atoms: true,
+            },
+        ),
+        (
+            "naive",
+            HomConfig {
+                use_index: false,
+                reorder_atoms: false,
+            },
+        ),
     ];
     // A 5-atom path query — long joins are where ordering matters.
-    let path5 = parse_atoms(
-        &schema,
-        "E(a, b), E(b, c2), E(c2, d), E(d, e2), E(e2, f)",
-    )
-    .unwrap();
+    let path5 = parse_atoms(&schema, "E(a, b), E(b, c2), E(c2, d), E(d, e2), E(e2, f)").unwrap();
 
     let mut rows = Vec::new();
     let mut grp = c.benchmark_group("e13_hom_ablation");
@@ -41,13 +61,9 @@ fn bench(c: &mut Criterion) {
         let g = Graph::gnp(n, 0.08, 11);
         let inst = graph_instance(&schema, &g);
         for (label, config) in configs {
-            grp.bench_with_input(
-                BenchmarkId::new(label, n),
-                &inst,
-                |b, inst| {
-                    b.iter(|| exists_hom_with(&path5, inst, &Assignment::new(), config))
-                },
-            );
+            grp.bench_with_input(BenchmarkId::new(label, n), &inst, |b, inst| {
+                b.iter(|| exists_hom_with(&path5, inst, &Assignment::new(), config));
+            });
         }
         let mut cells = Vec::new();
         for (_, config) in configs {
@@ -71,16 +87,11 @@ fn bench(c: &mut Criterion) {
     let reference = all_homs(&path5, &inst, &Assignment::new()).len();
     for (_, config) in configs {
         let mut n = 0usize;
-        let _ = pde_relational::for_each_hom_with(
-            &path5,
-            &inst,
-            &Assignment::new(),
-            config,
-            |_| {
+        let _ =
+            pde_relational::for_each_hom_with(&path5, &inst, &Assignment::new(), config, |_| {
                 n += 1;
                 std::ops::ControlFlow::Continue(())
-            },
-        );
+            });
         assert_eq!(n, reference);
     }
 }

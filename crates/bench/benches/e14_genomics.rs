@@ -31,7 +31,7 @@ fn bench(c: &mut Criterion) {
                 b.iter(|| {
                     let out = tractable::exists_solution(&setting, input).unwrap();
                     assert!(out.exists);
-                })
+                });
             },
         );
         let out = tractable::exists_solution(&setting, &input).unwrap();

@@ -10,7 +10,11 @@
 use std::fmt::Display;
 
 /// Print a labeled series table to stderr (Criterion owns stdout).
-pub fn print_series<A: Display, B: Display>(experiment: &str, header: (&str, &str), rows: &[(A, B)]) {
+pub fn print_series<A: Display, B: Display>(
+    experiment: &str,
+    header: (&str, &str),
+    rows: &[(A, B)],
+) {
     eprintln!("\n=== {experiment} ===");
     eprintln!("{:>16} {:>20}", header.0, header.1);
     for (a, b) in rows {

@@ -76,7 +76,11 @@ pub fn chase_with(
                             steps += 1;
                             egd_steps += 1;
                             progressed = true;
-                            log.push(StepRecord::Egd { dep_index: i, from, to });
+                            log.push(StepRecord::Egd {
+                                dep_index: i,
+                                from,
+                                to,
+                            });
                             if steps >= limits.max_steps {
                                 continue 'outer;
                             }
@@ -141,7 +145,10 @@ fn apply_tgd_round(
             continue;
         }
         let new_facts = apply_tgd_step(instance, tgd, &h, mode);
-        log.push(StepRecord::Tgd { dep_index, new_facts });
+        log.push(StepRecord::Tgd {
+            dep_index,
+            new_facts,
+        });
         *steps += 1;
         applied += 1;
     }
@@ -216,7 +223,12 @@ fn apply_one_egd(instance: &mut Instance, egd: &Egd) -> EgdStep {
 
 /// Standard chase with fresh nulls and default limits.
 pub fn chase(instance: Instance, deps: &[Dependency], gen: &NullGen) -> ChaseResult {
-    chase_with(instance, deps, WitnessMode::FreshNulls(gen), ChaseLimits::default())
+    chase_with(
+        instance,
+        deps,
+        WitnessMode::FreshNulls(gen),
+        ChaseLimits::default(),
+    )
 }
 
 /// Chase with tgds only (no failure possible; outcome is success or
@@ -355,7 +367,12 @@ mod tests {
         let tgds = parse_tgds(&s, "A(x, y) -> exists z . A(y, z)").unwrap();
         let deps: Vec<Dependency> = tgds.into_iter().map(Dependency::Tgd).collect();
         let gen = NullGen::new();
-        let res = chase_with(a, &deps, WitnessMode::FreshNulls(&gen), ChaseLimits::tight(50));
+        let res = chase_with(
+            a,
+            &deps,
+            WitnessMode::FreshNulls(&gen),
+            ChaseLimits::tight(50),
+        );
         assert_eq!(res.outcome, ChaseOutcome::ResourceExceeded);
         assert!(res.steps >= 50);
     }
@@ -414,11 +431,18 @@ mod tests {
         // Dependency indexes point into the chased list.
         for r in &res.log {
             match r {
-                crate::result::StepRecord::Tgd { dep_index, new_facts } => {
+                crate::result::StepRecord::Tgd {
+                    dep_index,
+                    new_facts,
+                } => {
                     assert_eq!(*dep_index, 0);
                     assert!(*new_facts <= 1);
                 }
-                crate::result::StepRecord::Egd { dep_index, from, to } => {
+                crate::result::StepRecord::Egd {
+                    dep_index,
+                    from,
+                    to,
+                } => {
                     assert_eq!(*dep_index, 1);
                     assert!(from.is_null() || to.is_null());
                 }
@@ -451,7 +475,9 @@ mod tests {
         let inst = parse_instance(&s, "E(a, b). E(b, c).").unwrap();
         let gen = NullGen::new();
         let once = chase_tgds(inst, &tgds, &gen).into_success().unwrap();
-        let twice = chase_tgds(once.clone(), &tgds, &gen).into_success().unwrap();
+        let twice = chase_tgds(once.clone(), &tgds, &gen)
+            .into_success()
+            .unwrap();
         assert!(once.same_facts(&twice));
     }
 }

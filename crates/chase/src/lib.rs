@@ -15,9 +15,7 @@ pub mod engine;
 pub mod result;
 pub mod satisfy;
 
-pub use engine::{
-    chase, chase_tgds, chase_with, null_gen_for, solution_aware_chase, WitnessMode,
-};
+pub use engine::{chase, chase_tgds, chase_with, null_gen_for, solution_aware_chase, WitnessMode};
 pub use result::{ChaseLimits, ChaseOutcome, ChaseResult, StepRecord};
 pub use satisfy::{
     find_egd_violation, find_tgd_violation, satisfies, satisfies_all, satisfies_all_tgds,

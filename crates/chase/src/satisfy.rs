@@ -59,10 +59,7 @@ pub fn satisfies(inst: &Instance, dep: &Dependency) -> bool {
 }
 
 /// Does `inst` satisfy every dependency of `deps`?
-pub fn satisfies_all<'a>(
-    inst: &Instance,
-    deps: impl IntoIterator<Item = &'a Dependency>,
-) -> bool {
+pub fn satisfies_all<'a>(inst: &Instance, deps: impl IntoIterator<Item = &'a Dependency>) -> bool {
     deps.into_iter().all(|d| satisfies(inst, d))
 }
 
@@ -109,7 +106,10 @@ mod tests {
         let unsat = parse_instance(&s, "E(a, b). E(b, c).").unwrap();
         assert!(!satisfies_tgd(&unsat, &tgd));
         let v = find_tgd_violation(&unsat, &tgd).unwrap();
-        assert_eq!(v.get("x".into()), Some(pde_relational::Value::constant("a")));
+        assert_eq!(
+            v.get("x".into()),
+            Some(pde_relational::Value::constant("a"))
+        );
     }
 
     #[test]

@@ -67,7 +67,10 @@ impl fmt::Display for CtractViolation {
                 f,
                 "ts-tgd #{tgd_index}: marked variable {var} occurs {occurrences} times in the LHS"
             ),
-            CtractViolation::MultiLiteralLhs { tgd_index, literals } => write!(
+            CtractViolation::MultiLiteralLhs {
+                tgd_index,
+                literals,
+            } => write!(
                 f,
                 "ts-tgd #{tgd_index}: LHS has {literals} literals (condition 2.1 needs exactly 1)"
             ),
@@ -174,14 +177,10 @@ pub fn classify(schema: &Schema, sigma_st: &[Tgd], sigma_ts: &[Tgd]) -> CtractRe
                 for b in (a + 1)..distinct.len() {
                     let (x, y) = (distinct[a], distinct[b]);
                     let both_absent = !lhs_vars.contains(&x) && !lhs_vars.contains(&y);
-                    let co_occur_lhs = d
-                        .premise
-                        .atoms
-                        .iter()
-                        .any(|p| {
-                            let vs = p.variables();
-                            vs.contains(&x) && vs.contains(&y)
-                        });
+                    let co_occur_lhs = d.premise.atoms.iter().any(|p| {
+                        let vs = p.variables();
+                        vs.contains(&x) && vs.contains(&y)
+                    });
                     if !both_absent && !co_occur_lhs {
                         let viol = CtractViolation::BadMarkedPair { tgd_index: i, x, y };
                         if !condition2_2.contains(&viol) {
@@ -226,7 +225,10 @@ mod tests {
         let r = classify(&s, &st, &ts);
         assert!(r.holds1(), "condition 1 holds for the clique setting");
         assert!(!r.holds2_1(), "second ts-tgd has two LHS literals");
-        assert!(!r.holds2_2(), "z and z2 co-occur in RHS but not in an LHS conjunct");
+        assert!(
+            !r.holds2_2(),
+            "z and z2 co-occur in RHS but not in an LHS conjunct"
+        );
         assert!(!r.in_ctract());
         // The 2.2 violation is exactly the pair the paper names (z, z').
         assert!(r.condition2_2.iter().any(|v| matches!(
@@ -255,11 +257,7 @@ mod tests {
         // existentials co-occurring in the RHS are both absent from the LHS.
         let s = parse_schema("source E/2; source F/2; target H/2; target K/2;").unwrap();
         let st = parse_tgds(&s, "E(x, y) -> H(x, y); E(x, y) -> K(y, x)").unwrap();
-        let ts = parse_tgds(
-            &s,
-            "H(x, y), K(y, z) -> exists u, v . F(u, v), E(x, u)",
-        )
-        .unwrap();
+        let ts = parse_tgds(&s, "H(x, y), K(y, z) -> exists u, v . F(u, v), E(x, u)").unwrap();
         let r = classify(&s, &st, &ts);
         assert!(r.st_all_full);
         assert!(r.holds1());

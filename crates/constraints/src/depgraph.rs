@@ -48,15 +48,14 @@ impl DependencyGraph {
         let mut edges = HashSet::new();
         for tgd in tgds {
             // Premise occurrences of each universal variable.
-            let mut premise_positions: HashMap<pde_relational::Var, Vec<Position>> =
-                HashMap::new();
+            let mut premise_positions: HashMap<pde_relational::Var, Vec<Position>> = HashMap::new();
             for atom in &tgd.premise.atoms {
                 for (i, t) in atom.terms.iter().enumerate() {
                     if let Term::Var(v) = t {
-                        premise_positions.entry(*v).or_default().push(Position {
-                            rel: atom.rel,
-                            attr: i as u16,
-                        });
+                        premise_positions
+                            .entry(*v)
+                            .or_default()
+                            .push(Position::at(atom.rel, i));
                     }
                 }
             }
@@ -66,10 +65,7 @@ impl DependencyGraph {
             for atom in &tgd.conclusion.atoms {
                 for (i, t) in atom.terms.iter().enumerate() {
                     if let Term::Var(v) = t {
-                        let pos = Position {
-                            rel: atom.rel,
-                            attr: i as u16,
-                        };
+                        let pos = Position::at(atom.rel, i);
                         if tgd.existentials.contains(v) {
                             concl_existential.push(pos);
                         } else {
@@ -186,12 +182,61 @@ impl DependencyGraph {
     /// messages).
     pub fn find_special_cycle_edge(&self) -> Option<Edge> {
         let comp = self.sccs();
-        self.edges
+        let mut witnesses: Vec<&Edge> = self
+            .edges
             .iter()
-            .find(|e| {
-                e.special && comp[self.node_index[&e.from]] == comp[self.node_index[&e.to]]
-            })
-            .copied()
+            .filter(|e| e.special && comp[self.node_index[&e.from]] == comp[self.node_index[&e.to]])
+            .collect();
+        // Deterministic pick (HashSet iteration order varies run to run).
+        witnesses.sort_by_key(|e| (e.from, e.to));
+        witnesses.first().copied().copied()
+    }
+
+    /// A full cycle through a special edge, if one exists: the edges of a
+    /// closed walk `e, e₁, …, eₖ` where `e` is special, each edge's `to`
+    /// is the next one's `from`, and the last returns to `e.from`. This is
+    /// the witness a weak-acyclicity diagnostic can print. Returns `None`
+    /// iff the set is weakly acyclic.
+    pub fn find_special_cycle(&self) -> Option<Vec<Edge>> {
+        let e = self.find_special_cycle_edge()?;
+        if e.to == e.from {
+            return Some(vec![e]);
+        }
+        // Shortest path e.to → e.from staying inside the shared SCC (BFS
+        // over sorted adjacency for determinism).
+        let comp = self.sccs();
+        let scc = comp[self.node_index[&e.from]];
+        let mut adj: HashMap<Position, Vec<Edge>> = HashMap::new();
+        for edge in &self.edges {
+            if comp[self.node_index[&edge.from]] == scc && comp[self.node_index[&edge.to]] == scc {
+                adj.entry(edge.from).or_default().push(*edge);
+            }
+        }
+        for out in adj.values_mut() {
+            out.sort_by_key(|e| (e.to, e.special));
+        }
+        let mut prev: HashMap<Position, Edge> = HashMap::new();
+        let mut queue = std::collections::VecDeque::from([e.to]);
+        while let Some(p) = queue.pop_front() {
+            if p == e.from {
+                break;
+            }
+            for edge in adj.get(&p).into_iter().flatten() {
+                if edge.to != e.to && !prev.contains_key(&edge.to) {
+                    prev.insert(edge.to, *edge);
+                    queue.push_back(edge.to);
+                }
+            }
+        }
+        let mut path = vec![e];
+        let mut at = e.from;
+        while at != e.to {
+            let step = prev[&at];
+            path.push(step);
+            at = step.from;
+        }
+        path[1..].reverse();
+        Some(path)
     }
 
     /// The *rank* of every position: the maximum number of special edges on
@@ -247,10 +292,7 @@ impl DependencyGraph {
 }
 
 /// Is `tgds` weakly acyclic over `schema`?
-pub fn is_weakly_acyclic<'a>(
-    schema: &Schema,
-    tgds: impl IntoIterator<Item = &'a Tgd>,
-) -> bool {
+pub fn is_weakly_acyclic<'a>(schema: &Schema, tgds: impl IntoIterator<Item = &'a Tgd>) -> bool {
     DependencyGraph::new(schema, tgds).is_weakly_acyclic()
 }
 
@@ -376,14 +418,51 @@ mod tests {
         // sends attr 0 ordinarily and creates special edge into B.1; then
         // B(u,v) -> A(v,u) sends B.1 to A.0, and A.0 feeds the special edge
         // source again? Build a genuine special cycle:
-        let tgds = parse_tgds(
-            &s,
-            "A(x, y) -> exists z . B(y, z); B(x, y) -> A(x, y)",
-        )
-        .unwrap();
+        let tgds = parse_tgds(&s, "A(x, y) -> exists z . B(y, z); B(x, y) -> A(x, y)").unwrap();
         // Path: A.1 -(special)-> B.1 -(ordinary)-> A.1 : special cycle.
         let g = DependencyGraph::new(&s, &tgds);
         assert!(!g.is_weakly_acyclic());
+    }
+
+    #[test]
+    fn special_cycle_witness_is_a_closed_walk() {
+        let s = parse_schema("target A/2; target B/2;").unwrap();
+        // A.1 -(special)-> B.1 -(ordinary)-> A.1 is the witness cycle.
+        let tgds = parse_tgds(&s, "A(x, y) -> exists z . B(y, z); B(x, y) -> A(x, y)").unwrap();
+        let g = DependencyGraph::new(&s, &tgds);
+        let cycle = g.find_special_cycle().expect("not weakly acyclic");
+        assert!(cycle[0].special);
+        assert!(cycle.len() >= 2);
+        for (e, f) in cycle.iter().zip(cycle.iter().cycle().skip(1)) {
+            assert_eq!(e.to, f.from, "consecutive edges must chain");
+        }
+    }
+
+    #[test]
+    fn self_loop_special_cycle_witness() {
+        let s = parse_schema("target A/2;").unwrap();
+        let tgds = parse_tgds(&s, "A(x, y) -> exists z . A(x, z)").unwrap();
+        let g = DependencyGraph::new(&s, &tgds);
+        // A.0 -(special)-> A.1? No: special edge is A.0 -> A.1, and A.0 -> A.0
+        // ordinary. The cycle is A.0's self-loop via the ordinary edge? A.1
+        // never flows back, so this IS weakly acyclic. Use the classic one:
+        assert!(g.is_weakly_acyclic());
+        let tgds = parse_tgds(&s, "A(x, y) -> exists z . A(y, z)").unwrap();
+        let g = DependencyGraph::new(&s, &tgds);
+        let cycle = g.find_special_cycle().expect("not weakly acyclic");
+        // A.1 -(special)-> A.1 is a one-edge cycle.
+        assert_eq!(cycle.len(), 1);
+        assert!(cycle[0].special);
+        assert_eq!(cycle[0].from, cycle[0].to);
+    }
+
+    #[test]
+    fn weakly_acyclic_sets_have_no_cycle_witness() {
+        let s = parse_schema("target A/2; target B/2;").unwrap();
+        let tgds = parse_tgds(&s, "A(x, y) -> exists z . B(y, z)").unwrap();
+        assert!(DependencyGraph::new(&s, &tgds)
+            .find_special_cycle()
+            .is_none());
     }
 
     #[test]
@@ -412,11 +491,7 @@ mod tests {
     #[test]
     fn chase_bound_saturates_instead_of_overflowing() {
         let s = parse_schema("target A/4;").unwrap();
-        let tgds = parse_tgds(
-            &s,
-            "A(x, y, z, w) -> exists u . A(y, z, w, u)",
-        )
-        .unwrap();
+        let tgds = parse_tgds(&s, "A(x, y, z, w) -> exists u . A(y, z, w, u)").unwrap();
         // Not weakly acyclic: no bound.
         assert!(chase_bound(&s, &tgds, usize::MAX / 2).is_none());
         // A weakly acyclic set with a huge adom must not panic.

@@ -84,7 +84,12 @@ impl fmt::Debug for Egd {
 ///
 /// # Panics
 /// Panics if the relation is unknown or an attribute index is out of range.
-pub fn functional_dependency(schema: &Schema, rel: &str, determinant: &[u16], dependent: u16) -> Egd {
+pub fn functional_dependency(
+    schema: &Schema,
+    rel: &str,
+    determinant: &[u16],
+    dependent: u16,
+) -> Egd {
     use pde_relational::{Atom, Term};
     let id = schema
         .rel_id(rel)
@@ -164,7 +169,10 @@ mod tests {
             Var::new("x"),
             Var::new("y"),
         );
-        assert!(matches!(e.validate(&s), Err(DependencyError::WrongPeer { .. })));
+        assert!(matches!(
+            e.validate(&s),
+            Err(DependencyError::WrongPeer { .. })
+        ));
     }
 
     #[test]

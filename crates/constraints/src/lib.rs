@@ -23,7 +23,8 @@ pub use disjunctive::{Disjunct, DisjunctiveTgd};
 pub use egd::{functional_dependency, Egd};
 pub use marking::Marking;
 pub use parser::{
-    parse_dependencies, parse_dependency, parse_disjunctive_tgd, parse_egd, parse_tgd, parse_tgds,
+    parse_dependencies, parse_dependencies_spanned, parse_dependency,
+    parse_dependency_spanned_from, parse_disjunctive_tgd, parse_egd, parse_tgd, parse_tgds,
 };
 pub use tgd::{DependencyError, Orientation, Tgd};
 

@@ -29,10 +29,7 @@ impl Marking {
                 for (i, t) in atom.terms.iter().enumerate() {
                     if let Term::Var(v) = t {
                         if tgd.existentials.contains(v) {
-                            marked.insert(Position {
-                                rel: atom.rel,
-                                attr: i as u16,
-                            });
+                            marked.insert(Position::at(atom.rel, i));
                         }
                     }
                 }
@@ -68,10 +65,7 @@ impl Marking {
         for atom in &d.premise.atoms {
             for (i, t) in atom.terms.iter().enumerate() {
                 if let Term::Var(v) = t {
-                    if self.is_marked(Position {
-                        rel: atom.rel,
-                        attr: i as u16,
-                    }) {
+                    if self.is_marked(Position::at(atom.rel, i)) {
                         out.insert(*v);
                     }
                 }
@@ -106,10 +100,7 @@ mod tests {
         assert!(m.is_marked(Position { rel: t, attr: 1 }));
         assert!(!m.is_marked(Position { rel: t, attr: 0 }));
         let mv = m.marked_variables(&ts[0]);
-        assert_eq!(
-            mv,
-            [Var::new("x2"), Var::new("w")].into_iter().collect()
-        );
+        assert_eq!(mv, [Var::new("x2"), Var::new("w")].into_iter().collect());
     }
 
     #[test]
@@ -159,11 +150,7 @@ mod tests {
     #[test]
     fn marking_unions_over_tgds() {
         let s = parse_schema("source A/1; source B/1; target T/2;").unwrap();
-        let st = parse_tgds(
-            &s,
-            "A(x) -> exists y . T(x, y); B(x) -> exists y . T(y, x)",
-        )
-        .unwrap();
+        let st = parse_tgds(&s, "A(x) -> exists y . T(x, y); B(x) -> exists y . T(y, x)").unwrap();
         let m = Marking::of_st_tgds(&st);
         assert_eq!(m.len(), 2);
         assert_eq!(m.positions().count(), 2);

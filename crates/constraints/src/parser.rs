@@ -14,7 +14,7 @@ use crate::disjunctive::{Disjunct, DisjunctiveTgd};
 use crate::egd::Egd;
 use crate::tgd::Tgd;
 use crate::Dependency;
-use pde_relational::parser::{parse_atom_list, parse_term, Lexer, ParseError, Token};
+use pde_relational::parser::{parse_atom_list, parse_term, Lexer, ParseError, Span, Token};
 use pde_relational::{Atom, Conjunction, Schema, Term, Var};
 use std::collections::BTreeSet;
 
@@ -26,12 +26,12 @@ fn parse_exists_prefix(lex: &mut Lexer<'_>) -> Result<BTreeSet<Var>, ParseError>
         if id == "exists" {
             lex.next()?;
             loop {
-                let (name, off) = lex.expect_ident()?;
+                let (name, span) = lex.expect_ident()?;
                 if name.starts_with("__pde") {
-                    return Err(ParseError {
-                        message: "identifiers starting with __pde are reserved".into(),
-                        offset: off,
-                    });
+                    return Err(ParseError::at(
+                        "identifiers starting with __pde are reserved",
+                        span,
+                    ));
                 }
                 vars.insert(Var::new(name.as_str()));
                 match lex.peek()? {
@@ -49,7 +49,11 @@ fn parse_exists_prefix(lex: &mut Lexer<'_>) -> Result<BTreeSet<Var>, ParseError>
 
 /// Parse the right-hand side of a dependency whose premise and arrow have
 /// been consumed. Distinguishes egds (`x = y`) from tgd conclusions.
-fn parse_rhs(schema: &Schema, lex: &mut Lexer<'_>, premise: Conjunction) -> Result<Dependency, ParseError> {
+fn parse_rhs(
+    schema: &Schema,
+    lex: &mut Lexer<'_>,
+    premise: Conjunction,
+) -> Result<Dependency, ParseError> {
     // `exists` unambiguously starts a tgd conclusion.
     let existentials = parse_exists_prefix(lex)?;
     if !existentials.is_empty() {
@@ -58,23 +62,28 @@ fn parse_rhs(schema: &Schema, lex: &mut Lexer<'_>, premise: Conjunction) -> Resu
     }
     // Otherwise: an identifier followed by `=` means an egd; followed by
     // `(` it is the first conclusion atom.
-    let (name, off) = lex.expect_ident()?;
+    let (name, name_span) = lex.expect_ident()?;
     match lex.peek()? {
         Some(Token::Eq) => {
             lex.next()?;
+            let rhs_span = lex.peek_span()?;
             let rhs = match parse_term(lex)? {
                 Term::Var(v) => v,
                 Term::Const(_) => {
-                    return Err(ParseError {
-                        message: "egds equate variables, not constants".into(),
-                        offset: lex.offset(),
-                    })
+                    return Err(ParseError::at(
+                        "egds equate variables, not constants",
+                        rhs_span,
+                    ))
                 }
             };
-            Ok(Dependency::Egd(Egd::new(premise, Var::new(name.as_str()), rhs)))
+            Ok(Dependency::Egd(Egd::new(
+                premise,
+                Var::new(name.as_str()),
+                rhs,
+            )))
         }
         Some(Token::LParen) => {
-            let first = parse_rest_of_atom(schema, lex, &name, off)?;
+            let first = parse_rest_of_atom(schema, lex, &name, name_span)?;
             let mut atoms = vec![first];
             while let Some(Token::Comma | Token::Amp) = lex.peek()? {
                 lex.next()?;
@@ -86,13 +95,13 @@ fn parse_rhs(schema: &Schema, lex: &mut Lexer<'_>, premise: Conjunction) -> Resu
                 Conjunction::new(atoms),
             )))
         }
-        other => Err(ParseError {
-            message: format!(
+        other => Err(ParseError::at(
+            format!(
                 "expected '=' or '(' after {name}, found {}",
-                other.map_or("end of input".to_owned(), |t| t.to_string())
+                other.map_or("end of input".to_owned(), std::string::ToString::to_string)
             ),
-            offset: lex.offset(),
-        }),
+            name_span,
+        )),
     }
 }
 
@@ -101,12 +110,11 @@ fn parse_rest_of_atom(
     schema: &Schema,
     lex: &mut Lexer<'_>,
     name: &str,
-    off: usize,
+    name_span: Span,
 ) -> Result<Atom, ParseError> {
-    let rel = schema.rel_id(name).ok_or_else(|| ParseError {
-        message: format!("unknown relation {name}"),
-        offset: off,
-    })?;
+    let rel = schema
+        .rel_id(name)
+        .ok_or_else(|| ParseError::at(format!("unknown relation {name}"), name_span))?;
     lex.expect(&Token::LParen)?;
     let mut terms = Vec::new();
     if !matches!(lex.peek()?, Some(Token::RParen)) {
@@ -122,14 +130,14 @@ fn parse_rest_of_atom(
     }
     lex.expect(&Token::RParen)?;
     if terms.len() != schema.arity(rel) as usize {
-        return Err(ParseError {
-            message: format!(
+        return Err(ParseError::at(
+            format!(
                 "relation {name} has arity {}, got {} terms",
                 schema.arity(rel),
                 terms.len()
             ),
-            offset: off,
-        });
+            Span::new(name_span.start, lex.last_end()),
+        ));
     }
     Ok(Atom { rel, terms })
 }
@@ -139,9 +147,21 @@ pub fn parse_dependency_from(
     schema: &Schema,
     lex: &mut Lexer<'_>,
 ) -> Result<Dependency, ParseError> {
+    Ok(parse_dependency_spanned_from(schema, lex)?.0)
+}
+
+/// Like [`parse_dependency_from`], also returning the span of the
+/// dependency's text (first premise token through last conclusion token,
+/// excluding any trailing `;`).
+pub fn parse_dependency_spanned_from(
+    schema: &Schema,
+    lex: &mut Lexer<'_>,
+) -> Result<(Dependency, Span), ParseError> {
+    let start = lex.peek_span()?.start;
     let premise = Conjunction::new(parse_atom_list(schema, lex)?);
     lex.expect(&Token::Arrow)?;
-    parse_rhs(schema, lex, premise)
+    let d = parse_rhs(schema, lex, premise)?;
+    Ok((d, Span::new(start, lex.last_end())))
 }
 
 /// Parse a single dependency from a string (must consume all input).
@@ -152,20 +172,33 @@ pub fn parse_dependency(schema: &Schema, src: &str) -> Result<Dependency, ParseE
         lex.next()?;
     }
     if !lex.at_end()? {
-        return Err(ParseError {
-            message: "trailing input after dependency".into(),
-            offset: lex.offset(),
-        });
+        return Err(ParseError::at(
+            "trailing input after dependency",
+            lex.peek_span()?,
+        ));
     }
     Ok(d)
 }
 
 /// Parse a `;`-separated list of dependencies.
 pub fn parse_dependencies(schema: &Schema, src: &str) -> Result<Vec<Dependency>, ParseError> {
+    Ok(parse_dependencies_spanned(schema, src)?
+        .into_iter()
+        .map(|(d, _)| d)
+        .collect())
+}
+
+/// Parse a `;`-separated list of dependencies, returning each with the
+/// span of its text within `src`. This is the entry point for analyses
+/// that want to point diagnostics at the offending constraint.
+pub fn parse_dependencies_spanned(
+    schema: &Schema,
+    src: &str,
+) -> Result<Vec<(Dependency, Span)>, ParseError> {
     let mut lex = Lexer::new(src);
     let mut out = Vec::new();
     while !lex.at_end()? {
-        out.push(parse_dependency_from(schema, &mut lex)?);
+        out.push(parse_dependency_spanned_from(schema, &mut lex)?);
         if matches!(lex.peek()?, Some(Token::Semi)) {
             lex.next()?;
         }
@@ -176,14 +209,11 @@ pub fn parse_dependencies(schema: &Schema, src: &str) -> Result<Vec<Dependency>,
 /// Parse a `;`-separated list of dependencies, requiring every one to be a
 /// tgd.
 pub fn parse_tgds(schema: &Schema, src: &str) -> Result<Vec<Tgd>, ParseError> {
-    parse_dependencies(schema, src)?
+    parse_dependencies_spanned(schema, src)?
         .into_iter()
-        .map(|d| match d {
+        .map(|(d, span)| match d {
             Dependency::Tgd(t) => Ok(t),
-            Dependency::Egd(_) => Err(ParseError {
-                message: "expected a tgd, found an egd".into(),
-                offset: 0,
-            }),
+            Dependency::Egd(_) => Err(ParseError::at("expected a tgd, found an egd", span)),
         })
         .collect()
 }
@@ -192,10 +222,7 @@ pub fn parse_tgds(schema: &Schema, src: &str) -> Result<Vec<Tgd>, ParseError> {
 pub fn parse_tgd(schema: &Schema, src: &str) -> Result<Tgd, ParseError> {
     match parse_dependency(schema, src)? {
         Dependency::Tgd(t) => Ok(t),
-        Dependency::Egd(_) => Err(ParseError {
-            message: "expected a tgd, found an egd".into(),
-            offset: 0,
-        }),
+        Dependency::Egd(_) => Err(ParseError::new("expected a tgd, found an egd", 0)),
     }
 }
 
@@ -203,10 +230,7 @@ pub fn parse_tgd(schema: &Schema, src: &str) -> Result<Tgd, ParseError> {
 pub fn parse_egd(schema: &Schema, src: &str) -> Result<Egd, ParseError> {
     match parse_dependency(schema, src)? {
         Dependency::Egd(e) => Ok(e),
-        Dependency::Tgd(_) => Err(ParseError {
-            message: "expected an egd, found a tgd".into(),
-            offset: 0,
-        }),
+        Dependency::Tgd(_) => Err(ParseError::new("expected an egd, found a tgd", 0)),
     }
 }
 
@@ -232,10 +256,10 @@ pub fn parse_disjunctive_tgd(schema: &Schema, src: &str) -> Result<DisjunctiveTg
         }
     }
     if !lex.at_end()? {
-        return Err(ParseError {
-            message: "trailing input after disjunctive tgd".into(),
-            offset: lex.offset(),
-        });
+        return Err(ParseError::at(
+            "trailing input after disjunctive tgd",
+            lex.peek_span()?,
+        ));
     }
     Ok(DisjunctiveTgd::new(premise, disjuncts))
 }
@@ -307,8 +331,11 @@ mod tests {
     #[test]
     fn parse_disjunctive() {
         let s = schema();
-        let d = parse_disjunctive_tgd(&s, "C(x, u), C(y, v) -> R(u), B(v) | B(u), G(v) | G(u), R(v)")
-            .unwrap();
+        let d = parse_disjunctive_tgd(
+            &s,
+            "C(x, u), C(y, v) -> R(u), B(v) | B(u), G(v) | G(u), R(v)",
+        )
+        .unwrap();
         assert_eq!(d.disjuncts.len(), 3);
         assert_eq!(d.disjuncts[0].conjunction.len(), 2);
         assert!(d.validate(&s, Orientation::TargetToSource).is_ok());

@@ -78,13 +78,19 @@ impl fmt::Display for DependencyError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             DependencyError::UnboundConclusionVar(v) => {
-                write!(f, "conclusion variable {v} is neither universal nor existential")
+                write!(
+                    f,
+                    "conclusion variable {v} is neither universal nor existential"
+                )
             }
             DependencyError::ExistentialInPremise(v) => {
                 write!(f, "existential variable {v} also occurs in the premise")
             }
             DependencyError::UnusedExistential(v) => {
-                write!(f, "declared existential {v} does not occur in the conclusion")
+                write!(
+                    f,
+                    "declared existential {v} does not occur in the conclusion"
+                )
             }
             DependencyError::WrongPeer { relation, expected } => {
                 write!(f, "relation {relation} must belong to the {expected} peer")
@@ -261,12 +267,7 @@ mod tests {
     }
 
     fn conj(s: &Schema, atoms: &[(&str, &[&str])]) -> Conjunction {
-        Conjunction::new(
-            atoms
-                .iter()
-                .map(|(r, vs)| Atom::vars(s, r, vs))
-                .collect(),
-        )
+        Conjunction::new(atoms.iter().map(|(r, vs)| Atom::vars(s, r, vs)).collect())
     }
 
     #[test]
@@ -294,7 +295,10 @@ mod tests {
         assert!(!t.is_full());
         assert!(t.validate(&s, Orientation::TargetToSource).is_ok());
         // Repeated variables break LAV-ness.
-        let t2 = Tgd::full(conj(&s, &[("H", &["x", "x"])]), conj(&s, &[("E", &["x", "x"])]));
+        let t2 = Tgd::full(
+            conj(&s, &[("H", &["x", "x"])]),
+            conj(&s, &[("E", &["x", "x"])]),
+        );
         assert!(!t2.is_lav());
     }
 

@@ -32,8 +32,7 @@ use crate::setting::PdeSetting;
 use pde_chase::{chase_tgds, null_gen_for};
 use pde_constraints::{DisjunctiveTgd, Orientation, Tgd};
 use pde_relational::{
-    exists_hom, for_each_hom, Assignment, Instance, NullId, Peer, RelId, Schema, Term, Tuple,
-    Value,
+    exists_hom, for_each_hom, Assignment, Instance, NullId, Peer, RelId, Schema, Term, Tuple, Value,
 };
 use std::collections::{BTreeSet, HashMap};
 use std::fmt;
@@ -58,7 +57,10 @@ impl fmt::Display for AssignmentError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             AssignmentError::HasTargetConstraints => {
-                write!(f, "assignment solver requires a setting with no target constraints")
+                write!(
+                    f,
+                    "assignment solver requires a setting with no target constraints"
+                )
             }
             AssignmentError::InputNotGround => write!(f, "input instance contains nulls"),
             AssignmentError::ChaseDidNotTerminate => write!(f, "chase resource limit exceeded"),
@@ -533,7 +535,9 @@ mod tests {
             "",
         ] {
             let input = parse_instance(p.schema(), src).unwrap();
-            let fast = crate::tractable::exists_solution(&p, &input).unwrap().exists;
+            let fast = crate::tractable::exists_solution(&p, &input)
+                .unwrap()
+                .exists;
             let slow = solve(&p, &input).unwrap().exists;
             assert_eq!(fast, slow, "disagreement on {src:?}");
         }
@@ -636,9 +640,12 @@ mod tests {
     #[test]
     fn disjunctive_ts_dependencies() {
         // C(x, u) -> R(u) | B(u): every "color" value used must be r or b.
-        let schema =
-            Arc::new(pde_relational::parse_schema("source V/1; source R/1; source B/1; target C/2;").unwrap());
-        let st = pde_constraints::parser::parse_tgds(&schema, "V(x) -> exists u . C(x, u)").unwrap();
+        let schema = Arc::new(
+            pde_relational::parse_schema("source V/1; source R/1; source B/1; target C/2;")
+                .unwrap(),
+        );
+        let st =
+            pde_constraints::parser::parse_tgds(&schema, "V(x) -> exists u . C(x, u)").unwrap();
         let ts = vec![parse_disjunctive_tgd(&schema, "C(x, u) -> R(u) | B(u)").unwrap()];
         let problem = DisjunctiveProblem::new(schema.clone(), st, ts).unwrap();
         let input = parse_instance(&schema, "V(n1). V(n2). R(r). B(b).").unwrap();

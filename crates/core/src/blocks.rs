@@ -149,7 +149,11 @@ pub fn blockwise_hom_exists(from: &Instance, to: &Instance) -> bool {
 /// The maximum number of nulls in any block (0 for ground instances) —
 /// the quantity Theorem 6 bounds by a constant for `C_tract` settings.
 pub fn max_block_nulls(inst: &Instance) -> usize {
-    blocks(inst).iter().map(|b| b.nulls.len()).max().unwrap_or(0)
+    blocks(inst)
+        .iter()
+        .map(|b| b.nulls.len())
+        .max()
+        .unwrap_or(0)
 }
 
 /// Find a per-block homomorphism map for every block of `from` into `to`,
@@ -178,34 +182,36 @@ pub fn collect_block_homs(
         .min(bs.len());
     let failed = AtomicBool::new(false);
     let chunk = bs.len().div_ceil(threads);
-    let results: Vec<Option<Vec<std::collections::HashMap<_, _>>>> =
-        std::thread::scope(|scope| {
-            let handles: Vec<_> = bs
-                .chunks(chunk)
-                .map(|part| {
-                    let schema = &schema;
-                    let failed = &failed;
-                    scope.spawn(move || {
-                        let mut maps = Vec::with_capacity(part.len());
-                        for b in part {
-                            if failed.load(Ordering::Relaxed) {
+    let results: Vec<Option<Vec<std::collections::HashMap<_, _>>>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = bs
+            .chunks(chunk)
+            .map(|part| {
+                let schema = &schema;
+                let failed = &failed;
+                scope.spawn(move || {
+                    let mut maps = Vec::with_capacity(part.len());
+                    for b in part {
+                        if failed.load(Ordering::Relaxed) {
+                            return None;
+                        }
+                        let bi = b.to_instance(schema);
+                        match pde_relational::instance_hom(&bi, to) {
+                            Some(m) => maps.push(m),
+                            None => {
+                                failed.store(true, Ordering::Relaxed);
                                 return None;
                             }
-                            let bi = b.to_instance(schema);
-                            match pde_relational::instance_hom(&bi, to) {
-                                Some(m) => maps.push(m),
-                                None => {
-                                    failed.store(true, Ordering::Relaxed);
-                                    return None;
-                                }
-                            }
                         }
-                        Some(maps)
-                    })
+                    }
+                    Some(maps)
                 })
-                .collect();
-            handles.into_iter().map(|h| h.join().expect("no panic")).collect()
-        });
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("no panic"))
+            .collect()
+    });
     let mut out = std::collections::HashMap::new();
     for r in results {
         out.extend(r?.into_iter().flatten());
@@ -241,7 +247,10 @@ mod tests {
         let bs = blocks(&i);
         assert_eq!(bs.len(), 3);
         assert!(bs[0].is_ground());
-        assert_eq!(bs[1].nulls, vec![pde_relational::NullId(0), pde_relational::NullId(1)]);
+        assert_eq!(
+            bs[1].nulls,
+            vec![pde_relational::NullId(0), pde_relational::NullId(1)]
+        );
         assert_eq!(bs[1].len(), 2);
         assert_eq!(bs[2].nulls, vec![pde_relational::NullId(2)]);
         assert_eq!(max_block_nulls(&i), 2);
@@ -271,11 +280,11 @@ mod tests {
         let s = schema();
         let ground = parse_instance(&s, "E(a, b). E(b, a). E(c, c).").unwrap();
         for pat_src in [
-            "E(?0, ?1). E(?1, ?0).",        // maps onto the 2-cycle
-            "E(?0, ?0).",                   // needs the self-loop
-            "E(?0, ?1). E(?1, ?2).",        // path of length 2
-            "E(?0, a).",                    // anchored at constant a
-            "E(a, c).",                     // absent ground fact
+            "E(?0, ?1). E(?1, ?0).",          // maps onto the 2-cycle
+            "E(?0, ?0).",                     // needs the self-loop
+            "E(?0, ?1). E(?1, ?2).",          // path of length 2
+            "E(?0, a).",                      // anchored at constant a
+            "E(a, c).",                       // absent ground fact
             "E(?0, ?1). E(?2, ?2). E(a, b).", // mixed blocks
         ] {
             let pat = parse_instance(&s, pat_src).unwrap();

@@ -89,55 +89,131 @@ impl From<SettingError> for BundleError {
     }
 }
 
+/// One section's text plus provenance: `line_map[i]` is the 1-based file
+/// line that section line `i` came from. The map is needed because blank
+/// and comment lines are dropped, so a section offset alone cannot be
+/// translated back to a file position.
+#[derive(Clone, Debug, Default)]
+pub struct Section {
+    /// The section's text with comments and blank lines removed.
+    pub text: String,
+    /// 1-based file line of each line of `text`.
+    pub line_map: Vec<usize>,
+}
+
+impl Section {
+    /// Translate a byte offset into `text` to a `(file_line, col)` pair,
+    /// both 1-based. Offsets past the end map to the last line.
+    pub fn file_line_col(&self, offset: usize) -> (usize, usize) {
+        let mut line = 0usize;
+        let mut col = 1usize;
+        for (i, b) in self.text.bytes().enumerate() {
+            if i >= offset {
+                break;
+            }
+            if b == b'\n' {
+                line += 1;
+                col = 1;
+            } else {
+                col += 1;
+            }
+        }
+        let file_line = self
+            .line_map
+            .get(line.min(self.line_map.len().saturating_sub(1)))
+            .copied()
+            .unwrap_or(line + 1);
+        (file_line, col)
+    }
+}
+
+/// The raw text of a bundle's five sections, before any parsing of their
+/// contents. This is the substrate the lint driver works from: it parses
+/// each section leniently and reports diagnostics with file positions via
+/// each [`Section`]'s line map.
+#[derive(Clone, Debug, Default)]
+pub struct BundleSources {
+    /// `%schema` section.
+    pub schema: Section,
+    /// `%st` section.
+    pub st: Section,
+    /// `%ts` section.
+    pub ts: Section,
+    /// `%t` section.
+    pub t: Section,
+    /// `%instance` section.
+    pub instance: Section,
+}
+
+/// Split a bundle into its sections without parsing their contents.
+/// Enforces the structural rules (known markers, no duplicates, no content
+/// before the first marker, `%schema` present).
+pub fn split_sections(src: &str) -> Result<BundleSources, BundleError> {
+    let mut sections: [(&str, Option<Section>); 5] = [
+        ("schema", None),
+        ("st", None),
+        ("ts", None),
+        ("t", None),
+        ("instance", None),
+    ];
+    let mut current: Option<usize> = None;
+    for (i, raw) in src.lines().enumerate() {
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        if let Some(name) = line.strip_prefix('%') {
+            let name = name.trim();
+            let idx = sections
+                .iter()
+                .position(|(n, _)| *n == name)
+                .ok_or_else(|| BundleError::UnknownSection {
+                    name: name.to_owned(),
+                    line: i + 1,
+                })?;
+            if sections[idx].1.is_some() {
+                return Err(BundleError::DuplicateSection {
+                    name: name.to_owned(),
+                    line: i + 1,
+                });
+            }
+            sections[idx].1 = Some(Section::default());
+            current = Some(idx);
+            continue;
+        }
+        let Some(cur) = current else {
+            return Err(BundleError::ContentOutsideSection { line: i + 1 });
+        };
+        let sec = sections[cur].1.as_mut().expect("initialized on entry");
+        sec.text.push_str(raw);
+        sec.text.push('\n');
+        sec.line_map.push(i + 1);
+    }
+    if sections[0].1.is_none() {
+        return Err(BundleError::MissingSchema);
+    }
+    let mut it = sections.into_iter().map(|(_, s)| s.unwrap_or_default());
+    Ok(BundleSources {
+        schema: it.next().expect("five sections"),
+        st: it.next().expect("five sections"),
+        ts: it.next().expect("five sections"),
+        t: it.next().expect("five sections"),
+        instance: it.next().expect("five sections"),
+    })
+}
+
 impl Bundle {
     /// Parse a bundle from text.
     pub fn parse(src: &str) -> Result<Bundle, BundleError> {
-        let mut sections: [(&str, Option<String>); 5] = [
-            ("schema", None),
-            ("st", None),
-            ("ts", None),
-            ("t", None),
-            ("instance", None),
-        ];
-        let mut current: Option<usize> = None;
-        for (i, raw) in src.lines().enumerate() {
-            let line = raw.trim();
-            if line.is_empty() || line.starts_with('#') {
-                continue;
-            }
-            if let Some(name) = line.strip_prefix('%') {
-                let name = name.trim();
-                let idx = sections
-                    .iter()
-                    .position(|(n, _)| *n == name)
-                    .ok_or_else(|| BundleError::UnknownSection {
-                        name: name.to_owned(),
-                        line: i + 1,
-                    })?;
-                if sections[idx].1.is_some() {
-                    return Err(BundleError::DuplicateSection {
-                        name: name.to_owned(),
-                        line: i + 1,
-                    });
-                }
-                sections[idx].1 = Some(String::new());
-                current = Some(idx);
-                continue;
-            }
-            let Some(cur) = current else {
-                return Err(BundleError::ContentOutsideSection { line: i + 1 });
-            };
-            let buf = sections[cur].1.as_mut().expect("initialized on entry");
-            buf.push_str(raw);
-            buf.push('\n');
-        }
-        let get = |idx: usize| sections[idx].1.clone().unwrap_or_default();
-        if sections[0].1.is_none() {
-            return Err(BundleError::MissingSchema);
-        }
-        let setting = PdeSetting::parse(&get(0), &get(1), &get(2), &get(3))?;
-        let input =
-            parse_instance(setting.schema(), &get(4)).map_err(BundleError::Instance)?;
+        let sources = split_sections(src)?;
+        let setting = PdeSetting::parse(
+            &sources.schema.text,
+            &sources.st.text,
+            &sources.ts.text,
+            &sources.t.text,
+        )?;
+        let input = parse_instance(setting.schema(), &sources.instance.text)
+            .map_err(BundleError::Instance)?;
         Ok(Bundle { setting, input })
     }
 
@@ -265,5 +341,23 @@ E(a, b). E(b, c).
         let src = "# top\n\n%schema\n# inner\nsource A/1; target B/1\n\n%instance\nA(q).";
         let b = Bundle::parse(src).unwrap();
         assert_eq!(b.input.fact_count(), 1);
+    }
+
+    #[test]
+    fn split_sections_tracks_file_lines() {
+        let src = "# header\n%schema\nsource A/1; target B/1\n%st\n# comment\n\nA(x) -> B(x)\nA(x) -> B(x)\n";
+        let s = split_sections(src).unwrap();
+        assert_eq!(s.schema.text, "source A/1; target B/1\n");
+        assert_eq!(s.schema.line_map, vec![3]);
+        // Comment (line 5) and blank (line 6) are skipped, so the two st
+        // lines come from file lines 7 and 8.
+        assert_eq!(s.st.line_map, vec![7, 8]);
+        // Offset into the second st line maps to file line 8.
+        let second_line_start = s.st.text.find('\n').unwrap() + 1;
+        assert_eq!(s.st.file_line_col(second_line_start + 5), (8, 6));
+        assert_eq!(s.st.file_line_col(0), (7, 1));
+        // Missing sections come back empty.
+        assert!(s.t.text.is_empty());
+        assert!(s.instance.line_map.is_empty());
     }
 }

@@ -43,7 +43,10 @@ impl fmt::Display for CertainError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             CertainError::QueryNotOverTarget => {
-                write!(f, "certain answers are defined for queries over the target schema")
+                write!(
+                    f,
+                    "certain answers are defined for queries over the target schema"
+                )
             }
             CertainError::Assignment(e) => write!(f, "{e}"),
             CertainError::Generic(e) => write!(f, "{e}"),
@@ -271,7 +274,10 @@ mod tests {
         let tri = parse_instance(p.schema(), "E(a, b). E(b, c). E(a, c).").unwrap();
         let out = certain_answers(&p, &tri, &q, GenericLimits::default()).unwrap();
         assert!(out.solution_exists);
-        assert!(!out.certain_bool(), "the solution {{H(a,c)}} has no H-path of length 2");
+        assert!(
+            !out.certain_bool(),
+            "the solution {{H(a,c)}} has no H-path of length 2"
+        );
     }
 
     #[test]
@@ -293,7 +299,9 @@ mod tests {
         let tri = parse_instance(p.schema(), "E(a, b). E(b, c). E(a, c).").unwrap();
         let out = certain_answers(&p, &tri, &q, GenericLimits::default()).unwrap();
         assert!(out.solution_exists);
-        assert!(out.answers.contains(&vec![Value::constant("a"), Value::constant("c")]));
+        assert!(out
+            .answers
+            .contains(&vec![Value::constant("a"), Value::constant("c")]));
         // H(a, b) holds in some solutions but not the minimal one.
         assert!(!out.is_certain(&[Value::constant("a"), Value::constant("b")]));
     }
@@ -302,11 +310,14 @@ mod tests {
     fn brute_force_oracle_agrees_on_tiny_inputs() {
         let p = example1();
         let q = uq(&p, "q(x, y) :- H(x, y)");
-        for src in ["E(a, a).", "E(a, b). E(b, a).", "E(a, b). E(b, c). E(a, c)."] {
+        for src in [
+            "E(a, a).",
+            "E(a, b). E(b, a).",
+            "E(a, b). E(b, c). E(a, c).",
+        ] {
             let input = parse_instance(p.schema(), src).unwrap();
             let fast = certain_answers(&p, &input, &q, GenericLimits::default()).unwrap();
-            let (bf_exists, bf_superset) =
-                brute_force_certain_superset(&p, &input, &q, 16);
+            let (bf_exists, bf_superset) = brute_force_certain_superset(&p, &input, &q, 16);
             assert_eq!(fast.solution_exists, bf_exists, "{src}");
             if fast.solution_exists {
                 assert!(
@@ -336,7 +347,9 @@ mod tests {
         let q = uq(&p, "q(x, y) :- H(x, y)");
         let out = certain_answers(&p, &input, &q, GenericLimits::default()).unwrap();
         assert!(out.solution_exists);
-        assert!(out.answers.contains(&vec![Value::constant("a"), Value::constant("b")]));
+        assert!(out
+            .answers
+            .contains(&vec![Value::constant("a"), Value::constant("b")]));
     }
 
     #[test]

@@ -33,14 +33,23 @@ impl fmt::Display for DataExchangeError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             DataExchangeError::HasTargetToSource => {
-                write!(f, "setting has target-to-source constraints; not data exchange")
+                write!(
+                    f,
+                    "setting has target-to-source constraints; not data exchange"
+                )
             }
             DataExchangeError::InputNotGround => write!(f, "input instance contains nulls"),
             DataExchangeError::ChaseDidNotTerminate => {
-                write!(f, "chase resource limit exceeded (weak acyclicity violated?)")
+                write!(
+                    f,
+                    "chase resource limit exceeded (weak acyclicity violated?)"
+                )
             }
             DataExchangeError::QueryNotOverTarget => {
-                write!(f, "certain answers are defined for queries over the target schema")
+                write!(
+                    f,
+                    "certain answers are defined for queries over the target schema"
+                )
             }
         }
     }
@@ -207,8 +216,8 @@ mod tests {
         let out = solve_data_exchange(&p, &input).unwrap();
         assert!(!out.exists);
         // Cross-check against the generic search solver.
-        let gen = crate::generic::solve(&p, &input, crate::generic::GenericLimits::default())
-            .unwrap();
+        let gen =
+            crate::generic::solve(&p, &input, crate::generic::GenericLimits::default()).unwrap();
         assert_eq!(gen.decided(), Some(false));
     }
 
@@ -222,7 +231,9 @@ mod tests {
         )
         .unwrap();
         let input = parse_instance(p.schema(), "E(a, b).").unwrap();
-        let q = parse_query(p.schema(), "q(x, y) :- H(x, z), H(z, y)").unwrap().into();
+        let q = parse_query(p.schema(), "q(x, y) :- H(x, z), H(z, y)")
+            .unwrap()
+            .into();
         let ans = certain_answers_data_exchange(&p, &input, &q)
             .unwrap()
             .unwrap();
@@ -257,8 +268,7 @@ mod tests {
         )
         .unwrap();
         let input = parse_instance(p.schema(), "E(a, b).").unwrap();
-        let err = solve_data_exchange_with_limits(&p, &input, ChaseLimits::tight(100))
-            .unwrap_err();
+        let err = solve_data_exchange_with_limits(&p, &input, ChaseLimits::tight(100)).unwrap_err();
         assert_eq!(err, DataExchangeError::ChaseDidNotTerminate);
     }
 }

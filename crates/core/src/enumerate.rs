@@ -82,7 +82,10 @@ pub struct SolutionFamily {
 /// A rename-invariant key for deduplication: sorted fact strings with
 /// nulls renumbered by first appearance.
 fn dedup_key(k: &Instance) -> String {
-    let mut lines: Vec<String> = k.facts().map(|(rel, t)| format!("{}{t:?}", rel.0)).collect();
+    let mut lines: Vec<String> = k
+        .facts()
+        .map(|(rel, t)| format!("{}{t:?}", rel.0))
+        .collect();
     lines.sort();
     let joined = lines.join(";");
     let mut ranks: std::collections::HashMap<String, usize> = std::collections::HashMap::new();
@@ -122,7 +125,11 @@ pub fn enumerate_solutions(
     let core_allowed = options.core && setting.target_tgds().next().is_none();
     let mut truncated = false;
     let mut sink = |sol: &Instance| -> ControlFlow<()> {
-        let candidate = if core_allowed { core_of(sol) } else { sol.clone() };
+        let candidate = if core_allowed {
+            core_of(sol)
+        } else {
+            sol.clone()
+        };
         if seen.insert(dedup_key(&candidate)) {
             solutions.push(candidate);
         }

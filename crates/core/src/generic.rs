@@ -24,9 +24,7 @@
 use crate::setting::PdeSetting;
 use pde_chase::{find_egd_violation, find_tgd_violation, null_gen_for};
 use pde_constraints::{Egd, Tgd};
-use pde_relational::{
-    exists_hom, for_each_hom, Assignment, Instance, NullGen, Tuple, Value, Var,
-};
+use pde_relational::{exists_hom, for_each_hom, Assignment, Instance, NullGen, Tuple, Value, Var};
 use std::collections::{HashMap, HashSet};
 use std::fmt;
 use std::ops::ControlFlow;
@@ -40,7 +38,9 @@ pub struct GenericLimits {
 
 impl Default for GenericLimits {
     fn default() -> Self {
-        GenericLimits { max_nodes: 1_000_000 }
+        GenericLimits {
+            max_nodes: 1_000_000,
+        }
     }
 }
 
@@ -295,7 +295,10 @@ impl<F: FnMut(&Instance) -> ControlFlow<()>> Ctx<'_, F> {
         // takes any active-domain value or a fresh null.
         let exvars: Vec<Var> = tgd.existentials.iter().copied().collect();
         let adom: Vec<Value> = k.active_domain().into_iter().collect();
-        let fresh: Vec<Value> = exvars.iter().map(|_| Value::Null(self.gen.fresh())).collect();
+        let fresh: Vec<Value> = exvars
+            .iter()
+            .map(|_| Value::Null(self.gen.fresh()))
+            .collect();
         let mut truncated = false;
         let mut choice = vec![0usize; exvars.len()];
         loop {
@@ -545,11 +548,7 @@ mod tests {
             "P(x, z, y, w), P(x, z2, y2, w2) -> z = z2",
         )
         .unwrap();
-        let input = parse_instance(
-            p.schema(),
-            "D(a1, a2). D(a2, a1). E(u, v). E(v, u).",
-        )
-        .unwrap();
+        let input = parse_instance(p.schema(), "D(a1, a2). D(a2, a1). E(u, v). E(v, u).").unwrap();
         let out = solve(&p, &input, GenericLimits { max_nodes: 1 }).unwrap();
         assert!(out.decided().is_none() || out.decided() == Some(true));
     }

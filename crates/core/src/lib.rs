@@ -20,8 +20,7 @@ pub mod solution;
 pub mod tractable;
 
 pub use assignment::{
-    solve as assignment_solve, AssignmentError, AssignmentOutcome, DisjunctiveProblem,
-    SearchStats,
+    solve as assignment_solve, AssignmentError, AssignmentOutcome, DisjunctiveProblem, SearchStats,
 };
 pub use blocks::{blocks, blockwise_hom_exists, max_block_nulls, Block};
 pub use setting::{PdeSetting, SettingClass, SettingError};
@@ -43,7 +42,7 @@ pub mod multi;
 pub mod pdms;
 pub mod small;
 pub mod solver;
-pub use bundle::{Bundle, BundleError};
+pub use bundle::{split_sections, Bundle, BundleError, BundleSources, Section};
 pub use data_exchange::{
     certain_answers_data_exchange, solve_data_exchange, DataExchangeError, DataExchangeOutcome,
 };

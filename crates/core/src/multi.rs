@@ -123,10 +123,7 @@ impl MultiPdeSetting {
 }
 
 /// The source relations mentioned by a peer's constraints.
-fn source_rels_of(
-    st: &[pde_constraints::Tgd],
-    ts: &[pde_constraints::Tgd],
-) -> BTreeSet<RelId> {
+fn source_rels_of(st: &[pde_constraints::Tgd], ts: &[pde_constraints::Tgd]) -> BTreeSet<RelId> {
     let mut out = BTreeSet::new();
     for t in st {
         out.extend(t.premise.atoms.iter().map(|a| a.rel));
@@ -178,9 +175,7 @@ mod tests {
     use pde_relational::{parse_instance, parse_schema};
 
     fn two_peer_setting() -> MultiPdeSetting {
-        let schema = Arc::new(
-            parse_schema("source A/2; source B/2; target H/2;").unwrap(),
-        );
+        let schema = Arc::new(parse_schema("source A/2; source B/2; target H/2;").unwrap());
         let p1 = PeerConstraints {
             name: "alpha".into(),
             sigma_st: parse_tgds(&schema, "A(x, y) -> H(x, y)").unwrap(),

@@ -41,7 +41,11 @@ pub enum SettingError {
 impl fmt::Display for SettingError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            SettingError::Dependency { group, index, error } => {
+            SettingError::Dependency {
+                group,
+                index,
+                error,
+            } => {
                 write!(f, "{group}[{index}]: {error}")
             }
             SettingError::Parse(e) => write!(f, "{e}"),
@@ -92,9 +96,12 @@ impl PdeSetting {
     }
 
     fn validate(&self) -> Result<(), SettingError> {
-        let wrap = |group: &'static str, index: usize, error: DependencyError| {
-            SettingError::Dependency { group, index, error }
-        };
+        let wrap =
+            |group: &'static str, index: usize, error: DependencyError| SettingError::Dependency {
+                group,
+                index,
+                error,
+            };
         for (i, t) in self.sigma_st.iter().enumerate() {
             t.validate(&self.schema, Orientation::SourceToTarget)
                 .map_err(|e| wrap("sigma_st", i, e))?;
@@ -161,10 +168,7 @@ impl PdeSetting {
         let tgds: Vec<&Tgd> = self.target_tgds().collect();
         SettingClass {
             ctract: classify(&self.schema, &self.sigma_st, &self.sigma_ts),
-            target_tgds_weakly_acyclic: is_weakly_acyclic(
-                &self.schema,
-                tgds.iter().copied(),
-            ),
+            target_tgds_weakly_acyclic: is_weakly_acyclic(&self.schema, tgds.iter().copied()),
             has_target_constraints: !self.sigma_t.is_empty(),
             is_data_exchange: self.is_data_exchange(),
         }
@@ -246,26 +250,16 @@ mod tests {
     #[test]
     fn orientation_violations_rejected() {
         // An st-tgd with a target-relation premise must be rejected.
-        let err = PdeSetting::parse(
-            "source E/2; target H/2;",
-            "H(x, y) -> H(x, y)",
-            "",
-            "",
-        )
-        .unwrap_err();
+        let err =
+            PdeSetting::parse("source E/2; target H/2;", "H(x, y) -> H(x, y)", "", "").unwrap_err();
         assert!(format!("{err}").contains("sigma_st[0]"));
     }
 
     #[test]
     fn target_constraints_validated() {
         // Σt may not mention source relations.
-        let err = PdeSetting::parse(
-            "source E/2; target H/2;",
-            "",
-            "",
-            "H(x, y) -> E(x, y)",
-        )
-        .unwrap_err();
+        let err =
+            PdeSetting::parse("source E/2; target H/2;", "", "", "H(x, y) -> E(x, y)").unwrap_err();
         assert!(format!("{err}").contains("sigma_t[0]"));
     }
 
@@ -299,13 +293,7 @@ mod tests {
 
     #[test]
     fn data_exchange_special_case() {
-        let p = PdeSetting::parse(
-            "source E/2; target H/2;",
-            "E(x, y) -> H(x, y)",
-            "",
-            "",
-        )
-        .unwrap();
+        let p = PdeSetting::parse("source E/2; target H/2;", "E(x, y) -> H(x, y)", "", "").unwrap();
         assert!(p.is_data_exchange());
         assert!(p.classification().is_data_exchange);
     }

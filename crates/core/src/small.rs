@@ -103,7 +103,11 @@ mod tests {
         assert!(small.contained_in(&big));
         assert!(is_solution(&p, &input, &small));
         let h = p.schema().rel_id("H").unwrap();
-        assert_eq!(small.relation(h).len(), 1, "only the forced H(a, c) remains");
+        assert_eq!(
+            small.relation(h).len(),
+            1,
+            "only the forced H(a, c) remains"
+        );
     }
 
     #[test]
@@ -111,18 +115,18 @@ mod tests {
         // Facts of J always survive (the chase starts from (I, J)).
         let p = example1();
         let input = parse_instance(p.schema(), "E(a, a). E(b, b). H(b, b).").unwrap();
-        let big = parse_instance(
-            p.schema(),
-            "E(a, a). E(b, b). H(a, a). H(b, b). H(a, b).",
-        )
-        .unwrap();
+        let big =
+            parse_instance(p.schema(), "E(a, a). E(b, b). H(a, a). H(b, b). H(a, b).").unwrap();
         // H(a,b) is junk (but supported: E(a,b)? no — E(a,b) ∉ I, so big
         // isn't a solution with it). Use a supported bloat instead.
         assert!(!is_solution(&p, &input, &big));
         let big_ok = parse_instance(p.schema(), "E(a, a). E(b, b). H(a, a). H(b, b).").unwrap();
         let small = shrink_solution(&p, &input, &big_ok).unwrap();
         let h = p.schema().rel_id("H").unwrap();
-        assert!(small.contains(h, &pde_relational::Tuple::consts(["b", "b"])), "J ⊆ J*");
+        assert!(
+            small.contains(h, &pde_relational::Tuple::consts(["b", "b"])),
+            "J ⊆ J*"
+        );
     }
 
     #[test]
@@ -171,12 +175,9 @@ mod tests {
                 None => return, // no solution for this input: nothing to test
             }
         } {
-            let bound = pde_constraints::chase_bound(
-                p.schema(),
-                p.sigma_st(),
-                input.active_domain().len(),
-            )
-            .unwrap();
+            let bound =
+                pde_constraints::chase_bound(p.schema(), p.sigma_st(), input.active_domain().len())
+                    .unwrap();
             assert!(small.fact_count() <= bound.fact_bound);
         }
     }

@@ -34,7 +34,10 @@ impl fmt::Display for SolutionViolation {
                 write!(f, "the source instance was modified")
             }
             SolutionViolation::TargetNotContained => {
-                write!(f, "the candidate does not contain the input target instance")
+                write!(
+                    f,
+                    "the candidate does not contain the input target instance"
+                )
             }
             SolutionViolation::SigmaSt(i) => write!(f, "sigma_st[{i}] is violated"),
             SolutionViolation::SigmaTs(i) => write!(f, "sigma_ts[{i}] is violated"),

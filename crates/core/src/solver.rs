@@ -139,13 +139,7 @@ mod tests {
 
     #[test]
     fn selects_data_exchange() {
-        let p = PdeSetting::parse(
-            "source E/2; target H/2;",
-            "E(x, y) -> H(x, y)",
-            "",
-            "",
-        )
-        .unwrap();
+        let p = PdeSetting::parse("source E/2; target H/2;", "E(x, y) -> H(x, y)", "", "").unwrap();
         let input = parse_instance(p.schema(), "E(a, b).").unwrap();
         let r = decide(&p, &input).unwrap();
         assert_eq!(r.kind, SolverKind::DataExchange);
@@ -212,13 +206,7 @@ mod tests {
 
     #[test]
     fn precondition_errors_surface() {
-        let p = PdeSetting::parse(
-            "source E/2; target H/2;",
-            "E(x, y) -> H(x, y)",
-            "",
-            "",
-        )
-        .unwrap();
+        let p = PdeSetting::parse("source E/2; target H/2;", "E(x, y) -> H(x, y)", "", "").unwrap();
         let input = parse_instance(p.schema(), "E(?0, a).").unwrap();
         assert!(decide(&p, &input).is_err());
     }

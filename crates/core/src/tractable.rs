@@ -48,10 +48,16 @@ impl fmt::Display for TractableError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             TractableError::HasTargetConstraints => {
-                write!(f, "ExistsSolution requires a setting with no target constraints")
+                write!(
+                    f,
+                    "ExistsSolution requires a setting with no target constraints"
+                )
             }
             TractableError::NotInCtract => {
-                write!(f, "setting is outside C_tract; use the complete search solver")
+                write!(
+                    f,
+                    "setting is outside C_tract; use the complete search solver"
+                )
             }
             TractableError::InputNotGround => write!(f, "input instance contains nulls"),
             TractableError::ChaseDidNotTerminate => write!(f, "chase resource limit exceeded"),
@@ -367,7 +373,10 @@ mod tests {
         assert_eq!(*t, pde_relational::Tuple::consts(["a", "c"]));
         // Successful runs have no demand.
         let ok = parse_instance(p.schema(), "E(a, a).").unwrap();
-        assert!(exists_solution(&p, &ok).unwrap().unsatisfiable_demand.is_none());
+        assert!(exists_solution(&p, &ok)
+            .unwrap()
+            .unsatisfiable_demand
+            .is_none());
     }
 
     #[test]

@@ -127,7 +127,8 @@ impl<F: FnMut(&Assignment) -> ControlFlow<()>> Search<'_, F> {
         let mut best = rel.len();
         for (i, t) in atom.terms.iter().enumerate() {
             if let Some(v) = assign.eval(t) {
-                best = best.min(rel.count_with(i as u16, v));
+                let attr = u16::try_from(i).expect("attribute index exceeds u16 arity bound");
+                best = best.min(rel.count_with(attr, v));
             }
         }
         best
@@ -150,9 +151,10 @@ impl<F: FnMut(&Assignment) -> ControlFlow<()>> Search<'_, F> {
         if self.config.use_index {
             for (i, t) in atom.terms.iter().enumerate() {
                 if let Some(v) = assign.eval(t) {
-                    let c = rel.count_with(i as u16, v);
+                    let attr = u16::try_from(i).expect("attribute index exceeds u16 arity bound");
+                    let c = rel.count_with(attr, v);
                     if anchor.as_ref().is_none_or(|(_, _, best)| c < *best) {
-                        anchor = Some((i as u16, v, c));
+                        anchor = Some((attr, v, c));
                     }
                 }
             }
@@ -483,8 +485,16 @@ mod tests {
                 Term::Var(Var::new("y")),
             ],
         );
-        assert!(exists_hom(std::slice::from_ref(&atom_ok), &i, &Assignment::new()));
-        assert!(!exists_hom(std::slice::from_ref(&atom_bad), &i, &Assignment::new()));
+        assert!(exists_hom(
+            std::slice::from_ref(&atom_ok),
+            &i,
+            &Assignment::new()
+        ));
+        assert!(!exists_hom(
+            std::slice::from_ref(&atom_bad),
+            &i,
+            &Assignment::new()
+        ));
     }
 
     #[test]
@@ -506,10 +516,22 @@ mod tests {
             Atom::vars(&s, "E", &["y", "x"]),
         ];
         let configs = [
-            HomConfig { use_index: true, reorder_atoms: true },
-            HomConfig { use_index: false, reorder_atoms: true },
-            HomConfig { use_index: true, reorder_atoms: false },
-            HomConfig { use_index: false, reorder_atoms: false },
+            HomConfig {
+                use_index: true,
+                reorder_atoms: true,
+            },
+            HomConfig {
+                use_index: false,
+                reorder_atoms: true,
+            },
+            HomConfig {
+                use_index: true,
+                reorder_atoms: false,
+            },
+            HomConfig {
+                use_index: false,
+                reorder_atoms: false,
+            },
         ];
         let mut counts = Vec::new();
         for c in configs {

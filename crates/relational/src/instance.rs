@@ -289,7 +289,10 @@ mod tests {
         let s = schema();
         let mut i = Instance::new(s.clone());
         let h = s.rel_id("H").unwrap();
-        i.insert(h, Tuple::new(vec![Value::Null(NullId(3)), Value::constant("a")]));
+        i.insert(
+            h,
+            Tuple::new(vec![Value::Null(NullId(3)), Value::constant("a")]),
+        );
         assert!(!i.is_ground());
         assert_eq!(i.nulls().len(), 1);
         assert_eq!(i.max_null_id(), Some(3));
@@ -303,14 +306,11 @@ mod tests {
         let s = schema();
         let mut i = Instance::new(s.clone());
         let h = s.rel_id("H").unwrap();
-        i.insert(h, Tuple::new(vec![Value::Null(NullId(0)), Value::Null(NullId(1))]));
-        let img = i.map_values(|v| {
-            if v.is_null() {
-                Value::constant("c")
-            } else {
-                v
-            }
-        });
+        i.insert(
+            h,
+            Tuple::new(vec![Value::Null(NullId(0)), Value::Null(NullId(1))]),
+        );
+        let img = i.map_values(|v| if v.is_null() { Value::constant("c") } else { v });
         assert!(img.contains(h, &Tuple::consts(["c", "c"])));
         assert_eq!(img.fact_count(), 1);
     }

@@ -30,13 +30,13 @@ pub mod value;
 pub use atom::{Atom, Conjunction, Term, Var};
 pub use hom::{
     all_homs, exists_hom, exists_hom_with, find_hom, for_each_hom, for_each_hom_with,
-    instance_as_atoms, instance_hom, instance_hom_exists, instance_hom_with,
-    instances_isomorphic, Assignment, HomConfig,
+    instance_as_atoms, instance_hom, instance_hom_exists, instance_hom_with, instances_isomorphic,
+    Assignment, HomConfig,
 };
 pub use instance::Instance;
 pub use parser::{
     parse_atom, parse_atom_list, parse_atoms, parse_instance, parse_query, parse_schema,
-    parse_term, Lexer, ParseError, Token,
+    parse_term, Lexer, ParseError, Span, Token,
 };
 pub use query::{ConjunctiveQuery, UnionQuery};
 pub use relation::Relation;

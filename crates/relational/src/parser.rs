@@ -24,27 +24,93 @@ use crate::value::{NullId, Value};
 use std::fmt;
 use std::sync::Arc;
 
-/// A parse error with a byte offset into the input.
+/// A half-open byte range `[start, end)` into a source string.
+///
+/// Spans flow from the lexer through every parse error and (via the
+/// dependency parsers in `pde-constraints`) onto parsed constraints, so
+/// diagnostics can point at the exact offending text.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Span {
+    /// Byte offset of the first byte covered.
+    pub start: usize,
+    /// Byte offset one past the last byte covered.
+    pub end: usize,
+}
+
+impl Span {
+    /// The span `[start, end)`.
+    pub fn new(start: usize, end: usize) -> Span {
+        Span { start, end }
+    }
+
+    /// An empty span at `at` (used for end-of-input errors).
+    pub fn point(at: usize) -> Span {
+        Span { start: at, end: at }
+    }
+
+    /// The smallest span covering both `self` and `other`.
+    pub fn merge(self, other: Span) -> Span {
+        Span {
+            start: self.start.min(other.start),
+            end: self.end.max(other.end),
+        }
+    }
+
+    /// 1-based line and column of the span's start within `src`.
+    pub fn line_col(&self, src: &str) -> (usize, usize) {
+        let upto = &src[..self.start.min(src.len())];
+        let line = upto.bytes().filter(|b| *b == b'\n').count() + 1;
+        let col = upto
+            .rfind('\n')
+            .map_or(self.start + 1, |nl| self.start - nl);
+        (line, col)
+    }
+
+    /// The text the span covers (clamped to `src`).
+    pub fn slice<'a>(&self, src: &'a str) -> &'a str {
+        &src[self.start.min(src.len())..self.end.min(src.len())]
+    }
+}
+
+/// A parse error with the span of the offending text.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct ParseError {
     /// Human-readable description.
     pub message: String,
-    /// Byte offset where the error was detected.
-    pub offset: usize,
+    /// Where in the input the error was detected.
+    pub span: Span,
 }
 
 impl ParseError {
-    fn new(message: impl Into<String>, offset: usize) -> ParseError {
+    /// An error at a single byte offset (empty span).
+    pub fn new(message: impl Into<String>, offset: usize) -> ParseError {
         ParseError {
             message: message.into(),
-            offset,
+            span: Span::point(offset),
         }
+    }
+
+    /// An error covering `span`.
+    pub fn at(message: impl Into<String>, span: Span) -> ParseError {
+        ParseError {
+            message: message.into(),
+            span,
+        }
+    }
+
+    /// Byte offset where the error was detected.
+    pub fn offset(&self) -> usize {
+        self.span.start
     }
 }
 
 impl fmt::Display for ParseError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "parse error at byte {}: {}", self.offset, self.message)
+        write!(
+            f,
+            "parse error at byte {}: {}",
+            self.span.start, self.message
+        )
     }
 }
 
@@ -115,7 +181,8 @@ pub struct Lexer<'a> {
     src: &'a str,
     bytes: &'a [u8],
     pos: usize,
-    peeked: Option<Option<(Token, usize)>>,
+    last_end: usize,
+    peeked: Option<Option<(Token, Span)>>,
 }
 
 impl<'a> Lexer<'a> {
@@ -125,6 +192,7 @@ impl<'a> Lexer<'a> {
             src,
             bytes: src.as_bytes(),
             pos: 0,
+            last_end: 0,
             peeked: None,
         }
     }
@@ -132,6 +200,12 @@ impl<'a> Lexer<'a> {
     /// Current byte offset (for error messages).
     pub fn offset(&self) -> usize {
         self.pos
+    }
+
+    /// End offset of the most recently *consumed* token (unaffected by
+    /// peeking). Used to close the span of a just-parsed production.
+    pub fn last_end(&self) -> usize {
+        self.last_end
     }
 
     fn skip_ws(&mut self) {
@@ -152,7 +226,7 @@ impl<'a> Lexer<'a> {
         }
     }
 
-    fn lex_next(&mut self) -> Result<Option<(Token, usize)>, ParseError> {
+    fn lex_next(&mut self) -> Result<Option<(Token, Span)>, ParseError> {
         self.skip_ws();
         if self.pos >= self.bytes.len() {
             return Ok(None);
@@ -265,7 +339,7 @@ impl<'a> Lexer<'a> {
                 ))
             }
         };
-        Ok(Some((tok, start)))
+        Ok(Some((tok, Span::new(start, self.pos))))
     }
 
     /// Peek the next token without consuming it.
@@ -276,20 +350,38 @@ impl<'a> Lexer<'a> {
         Ok(self.peeked.as_ref().unwrap().as_ref().map(|(t, _)| t))
     }
 
+    /// Span of the next (peeked) token; an empty span at the current
+    /// position when at end of input.
+    pub fn peek_span(&mut self) -> Result<Span, ParseError> {
+        if self.peeked.is_none() {
+            self.peeked = Some(self.lex_next()?);
+        }
+        Ok(self
+            .peeked
+            .as_ref()
+            .unwrap()
+            .as_ref()
+            .map_or(Span::point(self.pos), |(_, s)| *s))
+    }
+
     /// Consume and return the next token.
     #[allow(clippy::should_implement_trait)] // fallible lexer step, not Iterator
-    pub fn next(&mut self) -> Result<Option<(Token, usize)>, ParseError> {
-        if let Some(p) = self.peeked.take() {
-            return Ok(p);
+    pub fn next(&mut self) -> Result<Option<(Token, Span)>, ParseError> {
+        let item = match self.peeked.take() {
+            Some(p) => p,
+            None => self.lex_next()?,
+        };
+        if let Some((_, span)) = &item {
+            self.last_end = span.end;
         }
-        self.lex_next()
+        Ok(item)
     }
 
     /// Consume the next token, requiring it to equal `want`.
     pub fn expect(&mut self, want: &Token) -> Result<(), ParseError> {
         match self.next()? {
             Some((t, _)) if t == *want => Ok(()),
-            Some((t, off)) => Err(ParseError::new(format!("expected {want}, found {t}"), off)),
+            Some((t, span)) => Err(ParseError::at(format!("expected {want}, found {t}"), span)),
             None => Err(ParseError::new(
                 format!("expected {want}, found end of input"),
                 self.pos,
@@ -298,11 +390,14 @@ impl<'a> Lexer<'a> {
     }
 
     /// Consume an identifier.
-    pub fn expect_ident(&mut self) -> Result<(String, usize), ParseError> {
+    pub fn expect_ident(&mut self) -> Result<(String, Span), ParseError> {
         match self.next()? {
-            Some((Token::Ident(s), off)) => Ok((s, off)),
-            Some((t, off)) => Err(ParseError::new(format!("expected name, found {t}"), off)),
-            None => Err(ParseError::new("expected name, found end of input", self.pos)),
+            Some((Token::Ident(s), span)) => Ok((s, span)),
+            Some((t, span)) => Err(ParseError::at(format!("expected name, found {t}"), span)),
+            None => Err(ParseError::new(
+                "expected name, found end of input",
+                self.pos,
+            )),
         }
     }
 
@@ -321,26 +416,26 @@ pub fn parse_schema(src: &str) -> Result<Schema, ParseError> {
         if lex.at_end()? {
             break;
         }
-        let (kw, off) = lex.expect_ident()?;
+        let (kw, span) = lex.expect_ident()?;
         let peer = match kw.as_str() {
             "source" => Peer::Source,
             "target" => Peer::Target,
             other => {
-                return Err(ParseError::new(
+                return Err(ParseError::at(
                     format!("expected 'source' or 'target', found '{other}'"),
-                    off,
+                    span,
                 ))
             }
         };
-        let (name, noff) = lex.expect_ident()?;
+        let (name, nspan) = lex.expect_ident()?;
         if schema.rel_id(name.as_str()).is_some() {
-            return Err(ParseError::new(format!("duplicate relation {name}"), noff));
+            return Err(ParseError::at(format!("duplicate relation {name}"), nspan));
         }
         lex.expect(&Token::Slash)?;
-        let (ar, aoff) = lex.expect_ident()?;
+        let (ar, aspan) = lex.expect_ident()?;
         let arity: u16 = ar
             .parse()
-            .map_err(|_| ParseError::new(format!("bad arity '{ar}'"), aoff))?;
+            .map_err(|_| ParseError::at(format!("bad arity '{ar}'"), aspan))?;
         schema.add_relation(name.as_str(), arity, peer);
         if matches!(lex.peek()?, Some(Token::Semi)) {
             lex.next()?;
@@ -354,24 +449,30 @@ pub fn parse_schema(src: &str) -> Result<Schema, ParseError> {
 /// reserved for internal use and rejected.
 pub fn parse_term(lex: &mut Lexer<'_>) -> Result<Term, ParseError> {
     match lex.next()? {
-        Some((Token::Ident(s), off)) => {
+        Some((Token::Ident(s), span)) => {
             if s.starts_with("__pde") {
-                return Err(ParseError::new("identifiers starting with __pde are reserved", off));
+                return Err(ParseError::at(
+                    "identifiers starting with __pde are reserved",
+                    span,
+                ));
             }
             Ok(Term::Var(Var::new(s.as_str())))
         }
         Some((Token::Quoted(s), _)) => Ok(Term::Const(Symbol::intern(&s))),
-        Some((t, off)) => Err(ParseError::new(format!("expected term, found {t}"), off)),
-        None => Err(ParseError::new("expected term, found end of input", 0)),
+        Some((t, span)) => Err(ParseError::at(format!("expected term, found {t}"), span)),
+        None => Err(ParseError::new(
+            "expected term, found end of input",
+            lex.offset(),
+        )),
     }
 }
 
 /// Parse one atom `R(t1, …, tk)` in formula context.
 pub fn parse_atom(schema: &Schema, lex: &mut Lexer<'_>) -> Result<Atom, ParseError> {
-    let (name, off) = lex.expect_ident()?;
+    let (name, span) = lex.expect_ident()?;
     let rel = schema
         .rel_id(name.as_str())
-        .ok_or_else(|| ParseError::new(format!("unknown relation {name}"), off))?;
+        .ok_or_else(|| ParseError::at(format!("unknown relation {name}"), span))?;
     lex.expect(&Token::LParen)?;
     let mut terms = Vec::new();
     if !matches!(lex.peek()?, Some(Token::RParen)) {
@@ -387,13 +488,13 @@ pub fn parse_atom(schema: &Schema, lex: &mut Lexer<'_>) -> Result<Atom, ParseErr
     }
     lex.expect(&Token::RParen)?;
     if terms.len() != schema.arity(rel) as usize {
-        return Err(ParseError::new(
+        return Err(ParseError::at(
             format!(
                 "relation {name} has arity {}, got {} terms",
                 schema.arity(rel),
                 terms.len()
             ),
-            off,
+            Span::new(span.start, lex.last_end()),
         ));
     }
     Ok(Atom { rel, terms })
@@ -426,10 +527,10 @@ pub fn parse_instance(schema: &Arc<Schema>, src: &str) -> Result<Instance, Parse
     let mut lex = Lexer::new(src);
     let mut inst = Instance::new(schema.clone());
     while !lex.at_end()? {
-        let (name, off) = lex.expect_ident()?;
+        let (name, span) = lex.expect_ident()?;
         let rel = schema
             .rel_id(name.as_str())
-            .ok_or_else(|| ParseError::new(format!("unknown relation {name}"), off))?;
+            .ok_or_else(|| ParseError::at(format!("unknown relation {name}"), span))?;
         lex.expect(&Token::LParen)?;
         let mut vals: Vec<Value> = Vec::new();
         if !matches!(lex.peek()?, Some(Token::RParen)) {
@@ -439,11 +540,14 @@ pub fn parse_instance(schema: &Arc<Schema>, src: &str) -> Result<Instance, Parse
                         vals.push(Value::constant(s.as_str()));
                     }
                     Some((Token::NullLit(n), _)) => vals.push(Value::Null(NullId(n))),
-                    Some((t, o)) => {
-                        return Err(ParseError::new(format!("expected value, found {t}"), o))
+                    Some((t, s)) => {
+                        return Err(ParseError::at(format!("expected value, found {t}"), s))
                     }
                     None => {
-                        return Err(ParseError::new("expected value, found end of input", 0))
+                        return Err(ParseError::new(
+                            "expected value, found end of input",
+                            lex.offset(),
+                        ))
                     }
                 }
                 match lex.peek()? {
@@ -456,13 +560,13 @@ pub fn parse_instance(schema: &Arc<Schema>, src: &str) -> Result<Instance, Parse
         }
         lex.expect(&Token::RParen)?;
         if vals.len() != schema.arity(rel) as usize {
-            return Err(ParseError::new(
+            return Err(ParseError::at(
                 format!(
                     "relation {name} has arity {}, got {} values",
                     schema.arity(rel),
                     vals.len()
                 ),
-                off,
+                Span::new(span.start, lex.last_end()),
             ));
         }
         inst.insert(rel, Tuple::new(vals));
@@ -613,7 +717,27 @@ mod tests {
     fn error_positions_are_reported() {
         let s = schema();
         let err = parse_atoms(&s, "E(x, y) @ E(y, z)").unwrap_err();
-        assert!(err.offset > 0);
+        assert!(err.offset() > 0);
         assert!(format!("{err}").contains("byte"));
+    }
+
+    #[test]
+    fn error_spans_cover_offending_text() {
+        let s = schema();
+        let src = "E(x, y), Q(y, z)";
+        let err = parse_atoms(&s, src).unwrap_err();
+        assert_eq!(err.span.slice(src), "Q");
+        let arity_src = "E(x, y, z)";
+        let err = parse_atoms(&s, arity_src).unwrap_err();
+        assert_eq!(err.span.slice(arity_src), "E(x, y, z)");
+    }
+
+    #[test]
+    fn span_line_col() {
+        let src = "ab\ncd\nef";
+        assert_eq!(Span::new(0, 1).line_col(src), (1, 1));
+        assert_eq!(Span::new(4, 5).line_col(src), (2, 2));
+        assert_eq!(Span::new(6, 8).line_col(src), (3, 1));
+        assert_eq!(Span::new(3, 5).merge(Span::new(6, 8)), Span::new(3, 8));
     }
 }

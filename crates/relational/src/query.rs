@@ -104,8 +104,7 @@ impl ConjunctiveQuery {
     fn freeze(&self, schema: &Arc<Schema>) -> (Instance, Vec<Value>) {
         use crate::value::NullId;
         let mut inst = Instance::new(schema.clone());
-        let mut var_value: std::collections::HashMap<Var, Value> =
-            std::collections::HashMap::new();
+        let mut var_value: std::collections::HashMap<Var, Value> = std::collections::HashMap::new();
         for (i, v) in self.head.iter().enumerate() {
             var_value
                 .entry(*v)
@@ -127,11 +126,7 @@ impl ConjunctiveQuery {
                 .collect();
             inst.insert(atom.rel, crate::tuple::Tuple::new(vals));
         }
-        let head: Vec<Value> = self
-            .head
-            .iter()
-            .map(|v| var_value[v])
-            .collect();
+        let head: Vec<Value> = self.head.iter().map(|v| var_value[v]).collect();
         (inst, head)
     }
 
@@ -174,9 +169,7 @@ impl ConjunctiveQuery {
                     .values()
                     .iter()
                     .map(|v| match v {
-                        Value::Null(n) => {
-                            crate::atom::Term::Var(Var::new(format!("m{}", n.0)))
-                        }
+                        Value::Null(n) => crate::atom::Term::Var(Var::new(format!("m{}", n.0))),
                         Value::Const(_) => match frozen_of(*v) {
                             Some(hv) => crate::atom::Term::Var(hv),
                             None => crate::atom::Term::Const(v.as_const().expect("const")),
@@ -342,10 +335,7 @@ mod tests {
     #[test]
     fn monotone_under_fact_addition() {
         let (s, j) = setup();
-        let q = ConjunctiveQuery::new(
-            vec![Var::new("x")],
-            vec![Atom::vars(&s, "H", &["x", "y"])],
-        );
+        let q = ConjunctiveQuery::new(vec![Var::new("x")], vec![Atom::vars(&s, "H", &["x", "y"])]);
         let before = q.eval(&j);
         let mut bigger = j.clone();
         bigger.insert_consts("H", ["z", "w"]);
@@ -357,14 +347,8 @@ mod tests {
     #[test]
     fn union_query_unions_answers() {
         let (s, j) = setup();
-        let q1 = ConjunctiveQuery::new(
-            vec![Var::new("x")],
-            vec![Atom::vars(&s, "H", &["x", "y"])],
-        );
-        let q2 = ConjunctiveQuery::new(
-            vec![Var::new("y")],
-            vec![Atom::vars(&s, "H", &["x", "y"])],
-        );
+        let q1 = ConjunctiveQuery::new(vec![Var::new("x")], vec![Atom::vars(&s, "H", &["x", "y"])]);
+        let q2 = ConjunctiveQuery::new(vec![Var::new("y")], vec![Atom::vars(&s, "H", &["x", "y"])]);
         let u = UnionQuery::new(vec![q1, q2]);
         let ans = u.eval(&j);
         // sources {a,b} ∪ sinks {b,c}
@@ -377,10 +361,7 @@ mod tests {
     fn union_arity_mismatch_rejected() {
         let (s, _) = setup();
         let q1 = ConjunctiveQuery::boolean(vec![Atom::vars(&s, "H", &["x", "y"])]);
-        let q2 = ConjunctiveQuery::new(
-            vec![Var::new("x")],
-            vec![Atom::vars(&s, "H", &["x", "y"])],
-        );
+        let q2 = ConjunctiveQuery::new(vec![Var::new("x")], vec![Atom::vars(&s, "H", &["x", "y"])]);
         UnionQuery::new(vec![q1, q2]);
     }
 
@@ -393,12 +374,12 @@ mod tests {
         // q2(x) :- H(x,y)           (1-step from x)
         let q1 = ConjunctiveQuery::new(
             vec![Var::new("x")],
-            vec![Atom::vars(&s, "H", &["x", "y"]), Atom::vars(&s, "H", &["y", "z"])],
+            vec![
+                Atom::vars(&s, "H", &["x", "y"]),
+                Atom::vars(&s, "H", &["y", "z"]),
+            ],
         );
-        let q2 = ConjunctiveQuery::new(
-            vec![Var::new("x")],
-            vec![Atom::vars(&s, "H", &["x", "y"])],
-        );
+        let q2 = ConjunctiveQuery::new(vec![Var::new("x")], vec![Atom::vars(&s, "H", &["x", "y"])]);
         // Having a 2-path implies having a 1-step, not vice versa.
         assert!(q1.contained_in(&q2, &s));
         assert!(!q2.contained_in(&q1, &s));
@@ -412,14 +393,8 @@ mod tests {
         let mut s = Schema::new();
         s.target("H", 2);
         let s = Arc::new(s);
-        let q1 = ConjunctiveQuery::new(
-            vec![Var::new("x")],
-            vec![Atom::vars(&s, "H", &["x", "y"])],
-        );
-        let q2 = ConjunctiveQuery::new(
-            vec![Var::new("a")],
-            vec![Atom::vars(&s, "H", &["a", "b"])],
-        );
+        let q1 = ConjunctiveQuery::new(vec![Var::new("x")], vec![Atom::vars(&s, "H", &["x", "y"])]);
+        let q2 = ConjunctiveQuery::new(vec![Var::new("a")], vec![Atom::vars(&s, "H", &["a", "b"])]);
         assert!(q1.equivalent_to(&q2, &s));
     }
 
@@ -431,7 +406,10 @@ mod tests {
         // q(x) :- H(x,y), H(x,z): the second atom is redundant.
         let q = ConjunctiveQuery::new(
             vec![Var::new("x")],
-            vec![Atom::vars(&s, "H", &["x", "y"]), Atom::vars(&s, "H", &["x", "z"])],
+            vec![
+                Atom::vars(&s, "H", &["x", "y"]),
+                Atom::vars(&s, "H", &["x", "z"]),
+            ],
         );
         let m = q.minimize(&s);
         assert_eq!(m.body.len(), 1);
@@ -446,7 +424,10 @@ mod tests {
         // q(x, z) :- H(x,y), H(y,z): both atoms needed.
         let q = ConjunctiveQuery::new(
             vec![Var::new("x"), Var::new("z")],
-            vec![Atom::vars(&s, "H", &["x", "y"]), Atom::vars(&s, "H", &["y", "z"])],
+            vec![
+                Atom::vars(&s, "H", &["x", "y"]),
+                Atom::vars(&s, "H", &["y", "z"]),
+            ],
         );
         let m = q.minimize(&s);
         assert_eq!(m.body.len(), 2);

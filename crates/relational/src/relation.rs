@@ -111,9 +111,11 @@ impl Relation {
                 .map(|r| r as usize)
         };
         let row = row.expect("set and rows out of sync");
-        self.unindex_row(row as u32, t);
+        // Row ids are handed out as u32, so a live row index always fits.
+        let row32 = u32::try_from(row).expect("row index exceeds u32 id space");
+        self.unindex_row(row32, t);
         self.rows[row] = None;
-        self.free.push(row as u32);
+        self.free.push(row32);
         self.live -= 1;
         true
     }

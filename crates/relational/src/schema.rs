@@ -57,6 +57,17 @@ pub struct Position {
     pub attr: u16,
 }
 
+impl Position {
+    /// Position at a `usize` attribute index, as produced by `enumerate()`.
+    ///
+    /// Arities are declared as `u16`, so any index reached while walking a
+    /// well-formed atom fits; a larger index is a caller bug.
+    pub fn at(rel: RelId, attr: usize) -> Position {
+        let attr = u16::try_from(attr).expect("attribute index exceeds u16 arity bound");
+        Position { rel, attr }
+    }
+}
+
 /// Metadata of one relation symbol.
 #[derive(Clone, Debug)]
 pub struct RelationInfo {
@@ -146,7 +157,8 @@ impl Schema {
 
     /// Iterate over all relation ids.
     pub fn rel_ids(&self) -> impl Iterator<Item = RelId> + '_ {
-        (0..self.relations.len() as u32).map(RelId)
+        let n = u32::try_from(self.relations.len()).expect("relation count exceeds u32 id space");
+        (0..n).map(RelId)
     }
 
     /// Iterate over the relation ids belonging to `peer`.
@@ -156,9 +168,8 @@ impl Schema {
 
     /// All positions `(R, i)` of the schema, in relation order.
     pub fn positions(&self) -> impl Iterator<Item = Position> + '_ {
-        self.rel_ids().flat_map(move |rel| {
-            (0..self.arity(rel)).map(move |attr| Position { rel, attr })
-        })
+        self.rel_ids()
+            .flat_map(move |rel| (0..self.arity(rel)).map(move |attr| Position { rel, attr }))
     }
 
     /// Total number of positions.

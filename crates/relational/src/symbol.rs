@@ -6,10 +6,9 @@
 //! flat arrays of ids, and makes equality/hashing of values integer-cheap,
 //! which matters in the chase's inner homomorphism loops.
 
-use parking_lot::RwLock;
 use std::collections::HashMap;
 use std::fmt;
-use std::sync::OnceLock;
+use std::sync::{OnceLock, RwLock};
 
 /// An interned string.
 ///
@@ -66,15 +65,28 @@ struct Interner {
 
 impl Interner {
     fn intern(&self, s: &str) -> Symbol {
-        if let Some(&id) = self.map.read().get(s) {
+        // Lock poisoning cannot leave the table inconsistent (push + insert
+        // happen under the same write lock), so a poisoned lock is recovered.
+        let read = self
+            .map
+            .read()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        if let Some(&id) = read.get(s) {
             return Symbol(id);
         }
-        let mut map = self.map.write();
+        drop(read);
+        let mut map = self
+            .map
+            .write()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
         // Re-check: another thread may have interned between lock drops.
         if let Some(&id) = map.get(s) {
             return Symbol(id);
         }
-        let mut strings = self.strings.write();
+        let mut strings = self
+            .strings
+            .write()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
         let id = u32::try_from(strings.len()).expect("interner overflow");
         strings.push(s.to_owned());
         map.insert(s.to_owned(), id);
@@ -82,7 +94,10 @@ impl Interner {
     }
 
     fn resolve(&self, sym: Symbol) -> String {
-        self.strings.read()[sym.0 as usize].clone()
+        self.strings
+            .read()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)[sym.0 as usize]
+            .clone()
     }
 }
 

@@ -85,7 +85,13 @@ pub fn clique_instance(setting: &PdeSetting, g: &Graph, k: u32) -> Instance {
         src.push_str(&format!("S({}, {}). ", node(v), node(v)));
     }
     for (u, v) in g.edges() {
-        src.push_str(&format!("E({}, {}). E({}, {}). ", node(u), node(v), node(v), node(u)));
+        src.push_str(&format!(
+            "E({}, {}). E({}, {}). ",
+            node(u),
+            node(v),
+            node(v),
+            node(u)
+        ));
     }
     parse_instance(setting.schema(), &src).expect("generated instance parses")
 }
@@ -111,7 +117,13 @@ pub fn clique_instance_elements_from_v(setting: &PdeSetting, g: &Graph, k: u32) 
         src.push_str(&format!("S({}, {}). ", node(v), node(v)));
     }
     for (u, v) in g.edges() {
-        src.push_str(&format!("E({}, {}). E({}, {}). ", node(u), node(v), node(v), node(u)));
+        src.push_str(&format!(
+            "E({}, {}). E({}, {}). ",
+            node(u),
+            node(v),
+            node(v),
+            node(u)
+        ));
     }
     parse_instance(setting.schema(), &src).expect("generated instance parses")
 }
@@ -119,16 +131,14 @@ pub fn clique_instance_elements_from_v(setting: &PdeSetting, g: &Graph, k: u32) 
 /// The Boolean query `q = ∃x P(x, x, x, x)` of Theorem 3's coNP-hardness
 /// argument: `certain(q, (I(G,k), ∅)) = false` iff `G` has a `k`-clique.
 pub fn certain_query(setting: &PdeSetting) -> UnionQuery {
-    let q = pde_relational::parse_query(setting.schema(), "P(x, x, x, x)")
-        .expect("query parses");
+    let q = pde_relational::parse_query(setting.schema(), "P(x, x, x, x)").expect("query parses");
     UnionQuery::new(vec![q])
 }
 
 /// A non-Boolean probe query `q(x) :- P(x, z, y, w)` (the elements that
 /// received an assignment), used in tests.
 pub fn elements_query(setting: &PdeSetting) -> ConjunctiveQuery {
-    pde_relational::parse_query(setting.schema(), "q(x) :- P(x, z, y, w)")
-        .expect("query parses")
+    pde_relational::parse_query(setting.schema(), "q(x) :- P(x, z, y, w)").expect("query parses")
 }
 
 #[cfg(test)]

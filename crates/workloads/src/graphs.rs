@@ -206,7 +206,10 @@ pub fn k_coloring(g: &Graph, k: u32) -> Option<Vec<u32>> {
         }
         let v = order[pos];
         for c in 0..k {
-            if g.neighbors(v).iter().all(|u| colors[*u as usize] != Some(c)) {
+            if g.neighbors(v)
+                .iter()
+                .all(|u| colors[*u as usize] != Some(c))
+            {
                 colors[v as usize] = Some(c);
                 if go(g, order, pos + 1, k, colors) {
                     return true;
@@ -217,7 +220,12 @@ pub fn k_coloring(g: &Graph, k: u32) -> Option<Vec<u32>> {
         false
     }
     if go(g, &order, 0, k, &mut colors) {
-        Some(colors.into_iter().map(|c| c.expect("all colored")).collect())
+        Some(
+            colors
+                .into_iter()
+                .map(|c| c.expect("all colored"))
+                .collect(),
+        )
     } else {
         None
     }

@@ -88,8 +88,8 @@ mod tests {
         assert!(p.classification().tractable());
         // In a graph closed under 2-paths with loops, H can equal the
         // 2-path view exactly.
-        let good = parse_instance(p.schema(), "E(a, a). E(a, b). E(b, b). E(b, a).")
-            .expect("parses");
+        let good =
+            parse_instance(p.schema(), "E(a, a). E(a, b). E(b, b). E(b, a).").expect("parses");
         let r = decide(&p, &good).unwrap();
         assert_eq!(r.kind, SolverKind::Tractable);
         assert_eq!(r.exists, Some(true));

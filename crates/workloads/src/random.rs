@@ -106,19 +106,14 @@ fn random_tgd(
         conclusion.push(Atom::new(schema, rel, terms));
     }
     // Existentials that did not fit (arities too small) are dropped.
-    let used: std::collections::BTreeSet<Var> = conclusion
-        .iter()
-        .flat_map(Atom::variables)
-        .collect();
+    let used: std::collections::BTreeSet<Var> =
+        conclusion.iter().flat_map(Atom::variables).collect();
     let existentials: Vec<Var> = exvars.into_iter().filter(|v| used.contains(v)).collect();
     Tgd::new(premise, existentials, Conjunction::new(conclusion))
 }
 
 /// Generate a random PDE setting with no target constraints.
-pub fn random_setting(
-    params: &RandomSettingParams,
-    seed: u64,
-) -> Result<PdeSetting, SettingError> {
+pub fn random_setting(params: &RandomSettingParams, seed: u64) -> Result<PdeSetting, SettingError> {
     let mut rng = StdRng::seed_from_u64(seed);
     let schema = random_schema(params, &mut rng);
     let st: Vec<Tgd> = (0..params.n_st)

@@ -38,11 +38,18 @@ fn main() {
         ("K4, k=4", Graph::complete(4), 4),
         ("C5, k=3", Graph::cycle(5), 3),
         ("K3,3, k=3", Graph::complete_bipartite(3, 3), 3),
-        ("planted(8, 0.15, 4), k=4", Graph::planted_clique(8, 0.15, 4, 1), 4),
+        (
+            "planted(8, 0.15, 4), k=4",
+            Graph::planted_clique(8, 0.15, 4, 1),
+            4,
+        ),
         ("G(7, 0.3), k=3", Graph::gnp(7, 0.3, 3), 3),
     ];
 
-    println!("{:<28} {:>8} {:>8} {:>10} {:>12}", "graph", "direct", "PDE", "nodes", "time");
+    println!(
+        "{:<28} {:>8} {:>8} {:>10} {:>12}",
+        "graph", "direct", "PDE", "nodes", "time"
+    );
     for (label, g, k) in cases {
         let direct = has_k_clique(&g, k);
         let input = clique_instance(&setting, &g, k);

@@ -57,13 +57,13 @@ fn main() {
     assert!(is_solution(&setting, &input, &witness));
 
     // A round poisoned by one rogue university record.
-    let poisoned = GenomicsParams {
-        rogue: 1,
-        ..clean
-    };
+    let poisoned = GenomicsParams { rogue: 1, ..clean };
     let bad_input = genomics_instance(&setting, &poisoned);
     let out = tractable::exists_solution(&setting, &bad_input).expect("tractable path applies");
-    println!("\npoisoned round (1 rogue u_protein fact): exists = {}", out.exists);
+    println!(
+        "\npoisoned round (1 rogue u_protein fact): exists = {}",
+        out.exists
+    );
     assert!(!out.exists);
 
     // Explain: the rogue fact itself violates Σts (its accession has no

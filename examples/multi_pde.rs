@@ -44,15 +44,14 @@ fn main() {
     // employee of some department HR knows.
     let hr = PeerConstraints {
         name: "hr".into(),
-        sigma_st: parse_tgds(&schema, "employee(p, d) -> person(p, d)")
-            .expect("hr Σst parses"),
+        sigma_st: parse_tgds(&schema, "employee(p, d) -> person(p, d)").expect("hr Σst parses"),
         sigma_ts: parse_tgds(&schema, "person(p, d) -> exists q . dept(d, q)")
             .expect("hr Σts parses"),
         sigma_t: vec![],
     };
 
-    let multi = MultiPdeSetting::new(schema.clone(), vec![catalog, hr])
-        .expect("multi setting validates");
+    let multi =
+        MultiPdeSetting::new(schema.clone(), vec![catalog, hr]).expect("multi setting validates");
     let single = multi.to_single();
     println!("Union setting:\n{single:?}\n");
     println!(
@@ -90,6 +89,9 @@ fn main() {
     )
     .expect("instance parses");
     let out = tractable::exists_solution(&single, &broken).expect("tractable path applies");
-    println!("\nbroken input (unknown department): solution exists = {}", out.exists);
+    println!(
+        "\nbroken input (unknown department): solution exists = {}",
+        out.exists
+    );
     assert!(!out.exists);
 }

@@ -51,7 +51,11 @@ fn main() {
             "  #{i}: {} facts → {} facts{}",
             s.fact_count(),
             c.fact_count(),
-            if c.fact_count() < s.fact_count() { "  (shrank)" } else { "" }
+            if c.fact_count() < s.fact_count() {
+                "  (shrank)"
+            } else {
+                ""
+            }
         );
     }
 
@@ -75,7 +79,7 @@ fn main() {
         .unwrap_or_default();
     println!("\ncertain answers of q(x, y) :- T(x, y):");
     for t in &certain.answers {
-        println!("  {:?}", t);
+        println!("  {t:?}");
     }
     assert_eq!(certain.answers, by_hand, "library == hand intersection");
     println!("matches the hand-computed intersection over the family ✓");

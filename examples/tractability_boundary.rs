@@ -17,8 +17,8 @@ use peer_data_exchange::workloads::boundary::{
     full_tgd_boundary_setting,
 };
 use peer_data_exchange::workloads::clique::{clique_instance, clique_setting};
-use peer_data_exchange::workloads::lav::lav_setting;
 use peer_data_exchange::workloads::full::full_setting;
+use peer_data_exchange::workloads::lav::lav_setting;
 use peer_data_exchange::workloads::paper::marked_example_setting;
 use peer_data_exchange::workloads::threecol::{threecol_instance, threecol_problem};
 
@@ -36,7 +36,10 @@ fn classify_row(name: &str, setting: &PdeSetting) {
 
 fn main() {
     println!("== Classification gallery (Def. 9) ==");
-    classify_row("Example 1 (LAV Σts)", &peer_data_exchange::workloads::paper::example1_setting());
+    classify_row(
+        "Example 1 (LAV Σts)",
+        &peer_data_exchange::workloads::paper::example1_setting(),
+    );
     classify_row("marked-variable example", &marked_example_setting());
     classify_row("LAV workload", &lav_setting());
     classify_row("full-Σst workload", &full_setting());

@@ -1,0 +1,15 @@
+# Example 1 of the paper on a triangle: the source offers 2-paths as
+# H-edges, the target only accepts H-edges that are real E-edges.
+# `pde solve` finds the solution {H(a, c)}; `pde lint` reports it clean.
+
+%schema
+source E/2; target H/2
+
+%st
+E(x, z), E(z, y) -> H(x, y)
+
+%ts
+H(x, y) -> E(x, y)
+
+%instance
+E(a, b). E(b, c). E(a, c).

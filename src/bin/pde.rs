@@ -2,6 +2,7 @@
 //!
 //! ```text
 //! pde classify <bundle.pde>             static analysis of the setting
+//! pde lint     <bundle.pde>             diagnostics with stable PDE0xx codes
 //! pde solve    <bundle.pde>             decide SOL(P), print a witness
 //! pde certain  <bundle.pde> <query>     certain answers of a target UCQ
 //! pde chase    <bundle.pde>             show the canonical chase artifacts
@@ -13,10 +14,19 @@
 //!
 //! Bundles are the `.pde` text format of `pde_core::bundle`; `<candidate>`
 //! is a plain instance file over the bundle's schema. Exit code 0 on
-//! "yes"/success outcomes, 1 on "no" outcomes, 2 on usage or input errors.
+//! "yes"/success outcomes, 1 on "no" outcomes (for `lint`: denied
+//! diagnostics present), 2 on usage or input errors.
+//!
+//! `solve`, `certain`, and `enumerate` run the linter first and print any
+//! warnings to stderr (never changing the exit code); `--no-lint` skips
+//! that. `lint` accepts `--format text|json` and `--deny warnings`.
 
+use pde_analysis::{
+    analyze_setting, any_denied, render_json, render_text, AnalysisInput, LintSection,
+    RenderContext, Severity, SourceParseError,
+};
 use pde_chase::chase_tgds;
-use pde_core::bundle::Bundle;
+use pde_core::bundle::{split_sections, Bundle, BundleSources};
 use pde_core::{certain_answers, check_solution, decide, GenericLimits};
 use pde_relational::{parse_instance, parse_query, Peer, UnionQuery};
 use std::process::ExitCode;
@@ -42,11 +52,12 @@ fn main() -> ExitCode {
 
 const USAGE: &str = "usage:
   pde classify  <bundle.pde>
-  pde solve     <bundle.pde>
-  pde certain   <bundle.pde> <query>
+  pde lint      <bundle.pde> [--format text|json] [--deny warnings]
+  pde solve     <bundle.pde> [--no-lint]
+  pde certain   <bundle.pde> <query> [--no-lint]
   pde chase     <bundle.pde>
   pde check     <bundle.pde> <candidate-instance>
-  pde enumerate <bundle.pde> [limit]
+  pde enumerate <bundle.pde> [limit] [--no-lint]
   pde shrink    <bundle.pde> <candidate-instance>
   pde format    <bundle.pde>";
 
@@ -55,22 +66,139 @@ fn load_bundle(path: &str) -> Result<Bundle, String> {
     Bundle::parse(&src).map_err(|e| format!("{path}: {e}"))
 }
 
+/// Command-line switches (accepted after the positional arguments).
+#[derive(Default)]
+struct Flags {
+    no_lint: bool,
+    deny_warnings: bool,
+    json: bool,
+}
+
+/// Split `args` into positional arguments and recognized flags.
+fn split_flags(args: &[String]) -> Result<(Vec<String>, Flags), String> {
+    let mut pos = Vec::new();
+    let mut flags = Flags::default();
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--no-lint" => flags.no_lint = true,
+            "--deny" => match it.next().map(String::as_str) {
+                Some("warnings") => flags.deny_warnings = true,
+                other => {
+                    return Err(format!(
+                        "--deny expects 'warnings', got {}",
+                        other.map_or("nothing".into(), |o| format!("'{o}'"))
+                    ))
+                }
+            },
+            "--format" => match it.next().map(String::as_str) {
+                Some("text") => flags.json = false,
+                Some("json") => flags.json = true,
+                other => {
+                    return Err(format!(
+                        "--format expects 'text' or 'json', got {}",
+                        other.map_or("nothing".into(), |o| format!("'{o}'"))
+                    ))
+                }
+            },
+            f if f.starts_with("--") => return Err(format!("unknown flag '{f}'")),
+            _ => pos.push(a.clone()),
+        }
+    }
+    Ok((pos, flags))
+}
+
+/// Format a section-level parse error with its file position.
+fn render_source_error(path: &str, sources: &BundleSources, e: &SourceParseError) -> String {
+    let section = match e.section {
+        LintSection::Schema => &sources.schema,
+        LintSection::St => &sources.st,
+        LintSection::Ts => &sources.ts,
+        LintSection::T => &sources.t,
+    };
+    let (line, col) = section.file_line_col(e.error.offset());
+    format!("{path}:{line}:{col}: {e}")
+}
+
+/// Lint the setting before a solve-style command, printing any warning or
+/// error diagnostics to stderr. Never alters the command's outcome.
+fn auto_lint(bundle: &Bundle, flags: &Flags) {
+    if flags.no_lint {
+        return;
+    }
+    let diags: Vec<_> = analyze_setting(&bundle.setting)
+        .into_iter()
+        .filter(|d| d.severity >= Severity::Warning)
+        .collect();
+    if !diags.is_empty() {
+        eprint!("{}", render_text(&diags, None));
+        eprintln!("(lint findings do not affect this command; pass --no-lint to silence)");
+    }
+}
+
 fn run(args: &[String]) -> Result<bool, String> {
+    let (args, flags) = split_flags(args)?;
     let cmd = args.first().ok_or("missing command")?;
     match cmd.as_str() {
+        "lint" => {
+            let path = args.get(1).ok_or("missing bundle path")?;
+            let src = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+            let sources = split_sections(&src).map_err(|e| format!("{path}: {e}"))?;
+            let input = AnalysisInput::from_sources(&sources)
+                .map_err(|e| render_source_error(path, &sources, &e))?;
+            parse_instance(input.schema(), &sources.instance.text)
+                .map_err(|e| format!("{path}: %instance section: {e}"))?;
+            let diags = input.analyze();
+            let ctx = RenderContext {
+                path,
+                sources: &sources,
+            };
+            if flags.json {
+                println!("{}", render_json(&diags, Some(&ctx)));
+            } else {
+                print!("{}", render_text(&diags, Some(&ctx)));
+            }
+            let deny = if flags.deny_warnings {
+                Severity::Warning
+            } else {
+                Severity::Error
+            };
+            Ok(!any_denied(&diags, deny))
+        }
         "classify" => {
             let bundle = load_bundle(args.get(1).ok_or("missing bundle path")?)?;
             let class = bundle.setting.classification();
             println!("{}", bundle.summary());
             println!("data exchange (Σts = ∅):        {}", class.is_data_exchange);
-            println!("target constraints present:     {}", class.has_target_constraints);
-            println!("target tgds weakly acyclic:     {}", class.target_tgds_weakly_acyclic);
+            println!(
+                "target constraints present:     {}",
+                class.has_target_constraints
+            );
+            println!(
+                "target tgds weakly acyclic:     {}",
+                class.target_tgds_weakly_acyclic
+            );
             println!("C_tract condition 1:            {}", class.ctract.holds1());
-            println!("C_tract condition 2.1:          {}", class.ctract.holds2_1());
-            println!("C_tract condition 2.2:          {}", class.ctract.holds2_2());
-            println!("Σts all LAV (Cor. 2):           {}", class.ctract.ts_all_lav);
-            println!("Σst all full (Cor. 1):          {}", class.ctract.st_all_full);
-            println!("in C_tract:                     {}", class.ctract.in_ctract());
+            println!(
+                "C_tract condition 2.1:          {}",
+                class.ctract.holds2_1()
+            );
+            println!(
+                "C_tract condition 2.2:          {}",
+                class.ctract.holds2_2()
+            );
+            println!(
+                "Σts all LAV (Cor. 2):           {}",
+                class.ctract.ts_all_lav
+            );
+            println!(
+                "Σst all full (Cor. 1):          {}",
+                class.ctract.st_all_full
+            );
+            println!(
+                "in C_tract:                     {}",
+                class.ctract.in_ctract()
+            );
             println!("polynomial algorithm applies:   {}", class.tractable());
             for v in class.ctract.violations() {
                 println!("  violation: {v}");
@@ -79,6 +207,7 @@ fn run(args: &[String]) -> Result<bool, String> {
         }
         "solve" => {
             let bundle = load_bundle(args.get(1).ok_or("missing bundle path")?)?;
+            auto_lint(&bundle, &flags);
             let report = decide(&bundle.setting, &bundle.input).map_err(|e| e.to_string())?;
             println!("{}", bundle.summary());
             println!("solver:   {}", report.kind);
@@ -98,9 +227,7 @@ fn run(args: &[String]) -> Result<bool, String> {
                     println!("result:   no solution");
                     // For the tractable path, explain the failure.
                     if report.kind == pde_core::SolverKind::Tractable {
-                        if let Ok(out) =
-                            pde_core::exists_solution(&bundle.setting, &bundle.input)
-                        {
+                        if let Ok(out) = pde_core::exists_solution(&bundle.setting, &bundle.input) {
                             if let Some(demand) = out.unsatisfiable_demand {
                                 println!("unsatisfiable source demand:");
                                 for (rel, t) in demand {
@@ -123,6 +250,7 @@ fn run(args: &[String]) -> Result<bool, String> {
         }
         "certain" => {
             let bundle = load_bundle(args.get(1).ok_or("missing bundle path")?)?;
+            auto_lint(&bundle, &flags);
             let qsrc = args.get(2).ok_or("missing query")?;
             let q: UnionQuery = parse_query(bundle.setting.schema(), qsrc)
                 .map_err(|e| e.to_string())?
@@ -143,7 +271,7 @@ fn run(args: &[String]) -> Result<bool, String> {
                 return Ok(out.certain_bool());
             }
             for t in &out.answers {
-                let row: Vec<String> = t.iter().map(|v| v.to_string()).collect();
+                let row: Vec<String> = t.iter().map(std::string::ToString::to_string).collect();
                 println!("  ({})", row.join(", "));
             }
             Ok(true)
@@ -200,6 +328,7 @@ fn run(args: &[String]) -> Result<bool, String> {
         }
         "enumerate" => {
             let bundle = load_bundle(args.get(1).ok_or("missing bundle path")?)?;
+            auto_lint(&bundle, &flags);
             let limit: usize = match args.get(2) {
                 Some(s) => s.parse().map_err(|_| format!("bad limit '{s}'"))?,
                 None => 20,

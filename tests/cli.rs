@@ -17,7 +17,10 @@ fn write_temp(name: &str, content: &str) -> PathBuf {
 }
 
 fn run(args: &[&str]) -> Output {
-    Command::new(bin()).args(args).output().expect("binary runs")
+    Command::new(bin())
+        .args(args)
+        .output()
+        .expect("binary runs")
 }
 
 const EX1_TRIANGLE: &str = "
@@ -105,12 +108,16 @@ fn check_validates_candidates() {
     let good = write_temp("good.inst", "H(a, c).");
     let out = run(&["check", p.to_str().unwrap(), good.to_str().unwrap()]);
     assert!(out.status.success());
-    assert!(String::from_utf8(out.stdout).unwrap().contains("IS a solution"));
+    assert!(String::from_utf8(out.stdout)
+        .unwrap()
+        .contains("IS a solution"));
 
     let bad = write_temp("bad.inst", "H(a, b).");
     let out = run(&["check", p.to_str().unwrap(), bad.to_str().unwrap()]);
     assert_eq!(out.status.code(), Some(1));
-    assert!(String::from_utf8(out.stdout).unwrap().contains("NOT a solution"));
+    assert!(String::from_utf8(out.stdout)
+        .unwrap()
+        .contains("NOT a solution"));
 }
 
 #[test]
@@ -143,6 +150,101 @@ fn shrink_extracts_small_solution() {
     let stdout = String::from_utf8(out.stdout).unwrap();
     assert!(stdout.contains("shrunk 3 target facts to 1"));
     assert!(stdout.contains("H(a, c)"));
+}
+
+/// A bundle with a lint *warning*: the second Σst tgd duplicates the first.
+const LINT_WARN: &str = "
+%schema
+source E/2; target H/2
+%st
+E(x, y) -> H(x, y)
+E(x, y) -> H(x, y)
+%ts
+H(x, y) -> E(x, y)
+%instance
+E(a, b).
+";
+
+/// A bundle with a lint *error*: Σt is not weakly acyclic.
+const LINT_ERROR: &str = "
+%schema
+source E/2; target H/2
+%st
+E(x, y) -> H(x, y)
+%t
+H(x, y) -> exists z . H(y, z)
+";
+
+#[test]
+fn lint_clean_bundle_exits_0() {
+    let p = write_temp("lint_clean.pde", EX1_TRIANGLE);
+    let out = run(&["lint", p.to_str().unwrap()]);
+    assert_eq!(out.status.code(), Some(0));
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    assert!(
+        stdout.contains("0 error(s), 0 warning(s)"),
+        "stdout: {stdout}"
+    );
+}
+
+#[test]
+fn lint_warnings_exit_0_unless_denied() {
+    let p = write_temp("lint_warn.pde", LINT_WARN);
+    let out = run(&["lint", p.to_str().unwrap()]);
+    assert_eq!(out.status.code(), Some(0));
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    assert!(stdout.contains("warning[PDE020]"), "stdout: {stdout}");
+
+    let out = run(&["lint", "--deny", "warnings", p.to_str().unwrap()]);
+    assert_eq!(out.status.code(), Some(1));
+}
+
+#[test]
+fn lint_errors_exit_1() {
+    let p = write_temp("lint_err.pde", LINT_ERROR);
+    let out = run(&["lint", p.to_str().unwrap()]);
+    assert_eq!(out.status.code(), Some(1));
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    assert!(stdout.contains("error[PDE001]"), "stdout: {stdout}");
+    assert!(stdout.contains("witness cycle"), "stdout: {stdout}");
+}
+
+#[test]
+fn lint_parse_errors_exit_2() {
+    let p = write_temp("lint_bad.pde", "%schema\nsource E/2\n%st\nE(x y) ->\n");
+    let out = run(&["lint", p.to_str().unwrap()]);
+    assert_eq!(out.status.code(), Some(2));
+    let stderr = String::from_utf8(out.stderr).unwrap();
+    assert!(stderr.contains("usage:"), "stderr: {stderr}");
+    // Parse errors carry a file position (line 4 of the bundle).
+    assert!(stderr.contains(":4:"), "stderr: {stderr}");
+}
+
+#[test]
+fn lint_json_output() {
+    let p = write_temp("lint_json.pde", LINT_ERROR);
+    let out = run(&["lint", "--format", "json", p.to_str().unwrap()]);
+    assert_eq!(out.status.code(), Some(1));
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    assert!(stdout.starts_with("{\"diagnostics\":["), "stdout: {stdout}");
+    assert!(stdout.contains("\"code\":\"PDE001\""), "stdout: {stdout}");
+    assert!(stdout.contains("\"counts\":"), "stdout: {stdout}");
+}
+
+#[test]
+fn solve_auto_lints_to_stderr_unless_no_lint() {
+    let p = write_temp("warn_solve.pde", LINT_WARN);
+    let out = run(&["solve", p.to_str().unwrap()]);
+    // Lint findings go to stderr and never change the outcome.
+    assert_eq!(out.status.code(), Some(0));
+    let stderr = String::from_utf8(out.stderr).unwrap();
+    assert!(stderr.contains("warning[PDE020]"), "stderr: {stderr}");
+    assert!(stderr.contains("--no-lint"), "stderr: {stderr}");
+
+    let out = run(&["solve", "--no-lint", p.to_str().unwrap()]);
+    assert_eq!(out.status.code(), Some(0));
+    let stderr = String::from_utf8(out.stderr).unwrap();
+    assert!(!stderr.contains("PDE"), "stderr: {stderr}");
 }
 
 #[test]

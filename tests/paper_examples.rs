@@ -9,9 +9,7 @@ use peer_data_exchange::core::{
     PdeSetting, SolverKind,
 };
 use peer_data_exchange::prelude::*;
-use peer_data_exchange::workloads::{
-    boundary, clique, graphs, paper, threecol,
-};
+use peer_data_exchange::workloads::{boundary, clique, graphs, paper, threecol};
 use std::sync::Arc;
 
 #[test]
@@ -96,9 +94,11 @@ fn data_exchange_contrast() {
     let pde = paper::example1_setting();
     for src in ["E(a, b). E(b, c).", "E(a, a).", "E(a, b)."] {
         let input_de = parse_instance(de.schema(), src).unwrap();
-        assert!(data_exchange::solve_data_exchange(&de, &input_de)
-            .unwrap()
-            .exists);
+        assert!(
+            data_exchange::solve_data_exchange(&de, &input_de)
+                .unwrap()
+                .exists
+        );
     }
     // The same Σst with a Σts makes existence fail on the 2-path input.
     let input = parse_instance(pde.schema(), "E(a, b). E(b, c).").unwrap();
@@ -118,9 +118,15 @@ fn boundary_settings_encode_clique() {
     for (g, k) in &graphs_k {
         let expect = graphs::has_k_clique(g, *k);
         let i1 = boundary::egd_boundary_instance(&egd, g, *k);
-        assert_eq!(generic::solve(&egd, &i1, lim).unwrap().decided(), Some(expect));
+        assert_eq!(
+            generic::solve(&egd, &i1, lim).unwrap().decided(),
+            Some(expect)
+        );
         let i2 = boundary::full_tgd_boundary_instance(&ftgd, g, *k);
-        assert_eq!(generic::solve(&ftgd, &i2, lim).unwrap().decided(), Some(expect));
+        assert_eq!(
+            generic::solve(&ftgd, &i2, lim).unwrap().decided(),
+            Some(expect)
+        );
     }
 }
 
@@ -151,7 +157,10 @@ fn multi_pde_union_equivalence() {
     };
     let m = MultiPdeSetting::new(
         schema.clone(),
-        vec![mk("A(x) -> T(x)", "", "pa"), mk("B(x) -> T(x)", "T(x) -> B(x)", "pb")],
+        vec![
+            mk("A(x) -> T(x)", "", "pa"),
+            mk("B(x) -> T(x)", "T(x) -> B(x)", "pb"),
+        ],
     )
     .unwrap();
     let u = m.to_single();
@@ -223,7 +232,9 @@ fn exact_views_glav_encoding() {
     // The witness's H is exactly the 2-path view of E.
     let w = r.witness.unwrap();
     let h = p.schema().rel_id("H").unwrap();
-    assert!(w.relation(h).contains(&pde_relational::Tuple::consts(["a", "a"])));
+    assert!(w
+        .relation(h)
+        .contains(&pde_relational::Tuple::consts(["a", "a"])));
 }
 
 #[test]

@@ -104,7 +104,7 @@ proptest! {
         }
         let inst = parse_instance(p.schema(), &src).unwrap();
         let bs = blocks::blocks(&inst);
-        let total: usize = bs.iter().map(|b| b.len()).sum();
+        let total: usize = bs.iter().map(pde_core::Block::len).sum();
         prop_assert_eq!(total, inst.fact_count(), "blocks partition the facts");
         // Prop. 1 agreement.
         let ground = edges_to_instance(&p, "E", &edges);
@@ -287,7 +287,7 @@ proptest! {
         let x = parse_instance(p.schema(), &src).unwrap();
         let mut src2 = String::new();
         for (i, (a, _)) in edges.iter().enumerate() {
-            src2.push_str(&format!("E(v{a}, ?{}). ", i as u32 + shift));
+            src2.push_str(&format!("E(v{a}, ?{}). ", u32::try_from(i).unwrap() + shift));
         }
         let y = parse_instance(p.schema(), &src2).unwrap();
         prop_assert!(pde_relational::instances_isomorphic(&x, &x));

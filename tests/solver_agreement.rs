@@ -7,8 +7,7 @@
 //! same semantics.
 
 use peer_data_exchange::core::{
-    assignment, data_exchange, generic, solution::is_solution, tractable, GenericLimits,
-    PdeSetting,
+    assignment, data_exchange, generic, solution::is_solution, tractable, GenericLimits, PdeSetting,
 };
 use peer_data_exchange::prelude::*;
 use peer_data_exchange::workloads::{graphs::Graph, lav, paper};
@@ -128,7 +127,9 @@ fn data_exchange_vs_generic_on_sigma_ts_empty() {
         "",
     ] {
         let input = parse_instance(p.schema(), src).unwrap();
-        let de = data_exchange::solve_data_exchange(&p, &input).unwrap().exists;
+        let de = data_exchange::solve_data_exchange(&p, &input)
+            .unwrap()
+            .exists;
         let gen = generic::solve(&p, &input, lim).unwrap().decided();
         assert_eq!(Some(de), gen, "{src}");
     }

@@ -18,14 +18,28 @@
 //!
 //! See `docs/LINTS.md` for the full catalog with triggering examples.
 //!
+//! Beyond lints, the crate houses the `pde plan` machinery: [`plan`]
+//! derives a static complexity [`Certificate`] (position ranks, Lemma 1
+//! chase bounds, `C_tract` membership witnesses, solver routing and
+//! budgets) and [`certificate`] re-validates every witness independently
+//! of the planner. See `docs/PLAN.md`.
+//!
 //! [`PdeSetting`]: pde_core::setting::PdeSetting
 
 pub mod analyzer;
+pub mod certificate;
 pub mod diag;
+pub mod plan;
 pub mod render;
 
 pub use analyzer::{
     analyze_disjunctive, analyze_setting, AnalysisInput, LintSection, SourceParseError,
 };
+pub use certificate::{
+    verify_certificate, Budgets, Certificate, CertificateError, ChaseCertificate, ComplexityClass,
+    CycleEdge, PositionRef, RankEntry, Regime, TractCertificate, TractCounterexample,
+    CERTIFICATE_VERSION,
+};
 pub use diag::{any_denied, Code, ConstraintRef, Diagnostic, Group, Severity};
+pub use plan::{plan_setting, render_certificate_text};
 pub use render::{render_json, render_text, RenderContext};

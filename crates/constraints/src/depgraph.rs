@@ -173,15 +173,9 @@ impl DependencyGraph {
         comp
     }
 
-    /// Is the underlying tgd set weakly acyclic?
-    pub fn is_weakly_acyclic(&self) -> bool {
-        self.find_special_cycle_edge().is_none()
-    }
-
-    /// A special edge lying on a cycle, if any (diagnostic for error
-    /// messages).
-    pub fn find_special_cycle_edge(&self) -> Option<Edge> {
-        let comp = self.sccs();
+    /// The smallest special edge whose endpoints share a component, given
+    /// the component assignment — the weak-acyclicity witness.
+    fn special_in_scc(&self, comp: &[usize]) -> Option<Edge> {
         let mut witnesses: Vec<&Edge> = self
             .edges
             .iter()
@@ -192,19 +186,30 @@ impl DependencyGraph {
         witnesses.first().copied().copied()
     }
 
+    /// Is the underlying tgd set weakly acyclic?
+    pub fn is_weakly_acyclic(&self) -> bool {
+        self.find_special_cycle_edge().is_none()
+    }
+
+    /// A special edge lying on a cycle, if any (diagnostic for error
+    /// messages).
+    pub fn find_special_cycle_edge(&self) -> Option<Edge> {
+        self.special_in_scc(&self.sccs())
+    }
+
     /// A full cycle through a special edge, if one exists: the edges of a
     /// closed walk `e, e₁, …, eₖ` where `e` is special, each edge's `to`
     /// is the next one's `from`, and the last returns to `e.from`. This is
     /// the witness a weak-acyclicity diagnostic can print. Returns `None`
     /// iff the set is weakly acyclic.
     pub fn find_special_cycle(&self) -> Option<Vec<Edge>> {
-        let e = self.find_special_cycle_edge()?;
+        let comp = self.sccs();
+        let e = self.special_in_scc(&comp)?;
         if e.to == e.from {
             return Some(vec![e]);
         }
         // Shortest path e.to → e.from staying inside the shared SCC (BFS
         // over sorted adjacency for determinism).
-        let comp = self.sccs();
         let scc = comp[self.node_index[&e.from]];
         let mut adj: HashMap<Position, Vec<Edge>> = HashMap::new();
         for edge in &self.edges {
@@ -246,13 +251,16 @@ impl DependencyGraph {
     /// (\[FKMP\] Thm. 3.9), which is what makes Lemma 1's polynomial bound
     /// work.
     pub fn ranks(&self) -> Option<HashMap<Position, usize>> {
-        if !self.is_weakly_acyclic() {
+        // One traversal serves both questions: the component assignment
+        // decides weak acyclicity (special edge inside an SCC?) and then
+        // feeds the rank DP, instead of running Tarjan twice.
+        let comp = self.sccs();
+        if self.special_in_scc(&comp).is_some() {
             return None;
         }
         // Longest-path DP over the condensation. Since special cycles are
         // excluded and ordinary cycles contribute 0, iterate to fixpoint
         // over SCCs in topological order; within an SCC all ranks agree.
-        let comp = self.sccs();
         let ncomp = comp.iter().copied().max().map_or(0, |m| m + 1);
         // Component DAG edges with weights (special = 1).
         let mut cedges: HashSet<(usize, usize, usize)> = HashSet::new();

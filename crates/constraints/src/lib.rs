@@ -7,7 +7,7 @@
 //! * [`depgraph`]: the position dependency graph and weak acyclicity
 //!   (paper Def. 5);
 //! * [`marking`]: marked positions and marked variables (Def. 8);
-//! * [`classify`]: the `C_tract` membership test with diagnostics (Def. 9).
+//! * [`mod@classify`]: the `C_tract` membership test with diagnostics (Def. 9).
 
 pub mod classify;
 pub mod depgraph;

@@ -9,7 +9,7 @@
 //! are exactly the certain answers.
 
 use crate::setting::PdeSetting;
-use pde_chase::{chase, null_gen_for, ChaseLimits, ChaseOutcome};
+use pde_chase::{null_gen_for, ChaseLimits, ChaseOutcome};
 use pde_constraints::Dependency;
 use pde_relational::{Instance, Peer, UnionQuery, Value};
 use std::collections::BTreeSet;
@@ -74,37 +74,11 @@ pub fn solve_data_exchange(
     setting: &PdeSetting,
     input: &Instance,
 ) -> Result<DataExchangeOutcome, DataExchangeError> {
-    if !setting.is_data_exchange() {
-        return Err(DataExchangeError::HasTargetToSource);
-    }
-    if !input.is_ground() {
-        return Err(DataExchangeError::InputNotGround);
-    }
-    let gen = null_gen_for(input);
-    let deps: Vec<Dependency> = setting
-        .sigma_st()
-        .iter()
-        .cloned()
-        .map(Dependency::Tgd)
-        .chain(setting.sigma_t().iter().cloned())
-        .collect();
-    let res = chase(input.clone(), &deps, &gen);
-    match res.outcome {
-        ChaseOutcome::Success => Ok(DataExchangeOutcome {
-            exists: true,
-            canonical: Some(res.instance),
-            chase_steps: res.steps,
-        }),
-        ChaseOutcome::Failure { .. } => Ok(DataExchangeOutcome {
-            exists: false,
-            canonical: None,
-            chase_steps: res.steps,
-        }),
-        ChaseOutcome::ResourceExceeded => Err(DataExchangeError::ChaseDidNotTerminate),
-    }
+    solve_data_exchange_with_limits(setting, input, ChaseLimits::default())
 }
 
-/// Chase with explicit limits (for experiments that measure divergence).
+/// Chase with explicit limits (certificate-derived budgets, or tight caps
+/// for experiments that measure divergence).
 pub fn solve_data_exchange_with_limits(
     setting: &PdeSetting,
     input: &Instance,
@@ -112,6 +86,9 @@ pub fn solve_data_exchange_with_limits(
 ) -> Result<DataExchangeOutcome, DataExchangeError> {
     if !setting.is_data_exchange() {
         return Err(DataExchangeError::HasTargetToSource);
+    }
+    if !input.is_ground() {
+        return Err(DataExchangeError::InputNotGround);
     }
     let gen = null_gen_for(input);
     let deps: Vec<Dependency> = setting

@@ -30,16 +30,23 @@ use std::fmt;
 use std::ops::ControlFlow;
 
 /// Resource limits for the search.
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct GenericLimits {
     /// Maximum number of search nodes to expand.
     pub max_nodes: usize,
+    /// Maximum number of *active-domain* values tried per existential
+    /// variable when branching (the one fresh null is always tried on
+    /// top). When this truncates the branch set, an unsuccessful search
+    /// reports `Unknown` rather than `NoSolution` — completeness needs
+    /// every branch.
+    pub max_branches: usize,
 }
 
 impl Default for GenericLimits {
     fn default() -> Self {
         GenericLimits {
             max_nodes: 1_000_000,
+            max_branches: usize::MAX,
         }
     }
 }
@@ -193,7 +200,10 @@ fn run(
         ts_relevant,
         gen,
         limits,
-        visited: HashSet::new(),
+        // Pre-size the memo table from the node budget: a decided search
+        // inserts at most one key per expanded node. Capped so tiny
+        // searches under a huge budget don't over-allocate.
+        visited: HashSet::with_capacity(limits.max_nodes.min(1 << 12)),
         stats: GenericStats::default(),
         sink: f,
     };
@@ -295,17 +305,22 @@ impl<F: FnMut(&Instance) -> ControlFlow<()>> Ctx<'_, F> {
         // takes any active-domain value or a fresh null.
         let exvars: Vec<Var> = tgd.existentials.iter().copied().collect();
         let adom: Vec<Value> = k.active_domain().into_iter().collect();
+        // The branch-width budget caps how many active-domain values each
+        // existential tries; skipping any makes the subtree incomplete, so
+        // the whole search degrades to Truncated (never a false
+        // NoSolution).
+        let tried = adom.len().min(self.limits.max_branches);
         let fresh: Vec<Value> = exvars
             .iter()
             .map(|_| Value::Null(self.gen.fresh()))
             .collect();
-        let mut truncated = false;
+        let mut truncated = !exvars.is_empty() && tried < adom.len();
         let mut choice = vec![0usize; exvars.len()];
         loop {
             // Materialize this choice.
             let mut ext = h.clone();
             for (i, v) in exvars.iter().enumerate() {
-                let val = if choice[i] < adom.len() {
+                let val = if choice[i] < tried {
                     adom[choice[i]]
                 } else {
                     fresh[i]
@@ -335,7 +350,7 @@ impl<F: FnMut(&Instance) -> ControlFlow<()>> Ctx<'_, F> {
                     };
                 }
                 choice[pos] += 1;
-                if choice[pos] <= adom.len() {
+                if choice[pos] <= tried {
                     break;
                 }
                 choice[pos] = 0;
@@ -549,8 +564,46 @@ mod tests {
         )
         .unwrap();
         let input = parse_instance(p.schema(), "D(a1, a2). D(a2, a1). E(u, v). E(v, u).").unwrap();
-        let out = solve(&p, &input, GenericLimits { max_nodes: 1 }).unwrap();
+        let out = solve(
+            &p,
+            &input,
+            GenericLimits {
+                max_nodes: 1,
+                ..Default::default()
+            },
+        )
+        .unwrap();
         assert!(out.decided().is_none() || out.decided() == Some(true));
+    }
+
+    #[test]
+    fn branch_cap_degrades_to_unknown_not_no_solution() {
+        // The only solution instantiates the existential with the adom
+        // value `b` (a fresh null cannot match the ground Σts demand);
+        // with every active-domain choice cut, the search must degrade to
+        // Unknown rather than claim NoSolution.
+        let p = PdeSetting::parse(
+            "source E/2; source W/2; target H/2;",
+            "E(x, y) -> exists z . H(x, z)",
+            "H(x, y) -> W(x, y)",
+            "H(x, y), H(x, z) -> y = z",
+        )
+        .unwrap();
+        let input = parse_instance(p.schema(), "E(a, q). W(a, b).").unwrap();
+        let full = solve(&p, &input, GenericLimits::default()).unwrap();
+        assert_eq!(full.decided(), Some(true));
+        let capped = solve(
+            &p,
+            &input,
+            GenericLimits {
+                max_branches: 0,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        // Fresh-null branches alone cannot satisfy Σts here, and the
+        // skipped branches forbid a NoSolution verdict.
+        assert_eq!(capped.decided(), None);
     }
 
     #[test]

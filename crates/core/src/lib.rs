@@ -50,4 +50,6 @@ pub use enumerate::{enumerate_solutions, EnumerateError, EnumerateOptions, Solut
 pub use multi::{MultiPdeError, MultiPdeSetting, PeerConstraints};
 pub use pdms::{Pdms, StorageDescription};
 pub use small::{shrink_solution, ShrinkError};
-pub use solver::{decide, decide_with_limits, SolveError, SolveReport, SolverKind};
+pub use solver::{
+    decide, decide_with_limits, decide_with_plan, SolveError, SolvePlan, SolveReport, SolverKind,
+};

@@ -16,6 +16,7 @@ use crate::data_exchange;
 use crate::generic::{self, GenericLimits, GenericOutcome};
 use crate::setting::PdeSetting;
 use crate::tractable;
+use pde_chase::ChaseLimits;
 use pde_relational::Instance;
 use std::fmt;
 use std::time::{Duration, Instant};
@@ -75,6 +76,45 @@ impl fmt::Display for SolveError {
 
 impl std::error::Error for SolveError {}
 
+/// A precomputed routing decision plus resource budgets, so repeated
+/// solves of one setting skip the per-call classification work
+/// (`PdeSetting::classification` rebuilds the dependency graph and the
+/// `C_tract` report every time).
+///
+/// Obtain one with [`SolvePlan::for_setting`] (runs the classification
+/// once), or from a verified static complexity certificate (the
+/// `pde-analysis` planner derives the budgets from Lemma 1's chase bound).
+#[derive(Clone, Copy, Debug)]
+pub struct SolvePlan {
+    /// The algorithm to dispatch to, decided ahead of time.
+    pub kind: SolverKind,
+    /// Budgets for the complete searches.
+    pub limits: GenericLimits,
+    /// Budget/pre-sizing for the chase-based paths (the data-exchange
+    /// solver chases Σst ∪ Σt under these limits).
+    pub chase_limits: ChaseLimits,
+}
+
+impl SolvePlan {
+    /// Classify `setting` once and fix the routing, with default budgets.
+    pub fn for_setting(setting: &PdeSetting) -> SolvePlan {
+        let kind = if setting.is_data_exchange() {
+            SolverKind::DataExchange
+        } else if setting.classification().tractable() {
+            SolverKind::Tractable
+        } else if setting.has_no_target_constraints() {
+            SolverKind::AssignmentSearch
+        } else {
+            SolverKind::GenericSearch
+        };
+        SolvePlan {
+            kind,
+            limits: GenericLimits::default(),
+            chase_limits: ChaseLimits::default(),
+        }
+    }
+}
+
 /// Decide `SOL(P)` for `input`, automatically selecting the algorithm.
 pub fn decide(setting: &PdeSetting, input: &Instance) -> Result<SolveReport, SolveError> {
     decide_with_limits(setting, input, GenericLimits::default())
@@ -86,49 +126,72 @@ pub fn decide_with_limits(
     input: &Instance,
     limits: GenericLimits,
 ) -> Result<SolveReport, SolveError> {
+    let mut plan = SolvePlan::for_setting(setting);
+    plan.limits = limits;
+    decide_with_plan(setting, input, &plan)
+}
+
+/// Decide `SOL(P)` following a precomputed [`SolvePlan`]: no
+/// re-classification, chase structures bounded by the plan's chase
+/// limits, search budgets taken from the plan.
+///
+/// The caller is responsible for the plan matching the setting (pair a
+/// certificate-derived plan with `verify_certificate` first); a
+/// mismatched plan surfaces as a solver precondition error, never a wrong
+/// answer.
+pub fn decide_with_plan(
+    setting: &PdeSetting,
+    input: &Instance,
+    plan: &SolvePlan,
+) -> Result<SolveReport, SolveError> {
     let start = Instant::now();
     let wrap = |e: &dyn fmt::Display| SolveError::Precondition(e.to_string());
 
-    if setting.is_data_exchange() {
-        let out = data_exchange::solve_data_exchange(setting, input).map_err(|e| wrap(&e))?;
-        return Ok(SolveReport {
-            kind: SolverKind::DataExchange,
-            exists: Some(out.exists),
-            witness: out.canonical,
-            elapsed: start.elapsed(),
-        });
+    match plan.kind {
+        SolverKind::DataExchange => {
+            let out =
+                data_exchange::solve_data_exchange_with_limits(setting, input, plan.chase_limits)
+                    .map_err(|e| wrap(&e))?;
+            Ok(SolveReport {
+                kind: SolverKind::DataExchange,
+                exists: Some(out.exists),
+                witness: out.canonical,
+                elapsed: start.elapsed(),
+            })
+        }
+        SolverKind::Tractable => {
+            let out = tractable::exists_solution(setting, input).map_err(|e| wrap(&e))?;
+            Ok(SolveReport {
+                kind: SolverKind::Tractable,
+                exists: Some(out.exists),
+                witness: out.witness,
+                elapsed: start.elapsed(),
+            })
+        }
+        SolverKind::AssignmentSearch => {
+            let out = assignment::solve(setting, input).map_err(|e| wrap(&e))?;
+            Ok(SolveReport {
+                kind: SolverKind::AssignmentSearch,
+                exists: Some(out.exists),
+                witness: out.witness,
+                elapsed: start.elapsed(),
+            })
+        }
+        SolverKind::GenericSearch => {
+            let out = generic::solve(setting, input, plan.limits).map_err(|e| wrap(&e))?;
+            let (exists, witness) = match out {
+                GenericOutcome::Solved { witness, .. } => (Some(true), Some(witness)),
+                GenericOutcome::NoSolution { .. } => (Some(false), None),
+                GenericOutcome::Unknown { .. } => (None, None),
+            };
+            Ok(SolveReport {
+                kind: SolverKind::GenericSearch,
+                exists,
+                witness,
+                elapsed: start.elapsed(),
+            })
+        }
     }
-    let class = setting.classification();
-    if class.tractable() {
-        let out = tractable::exists_solution(setting, input).map_err(|e| wrap(&e))?;
-        return Ok(SolveReport {
-            kind: SolverKind::Tractable,
-            exists: Some(out.exists),
-            witness: out.witness,
-            elapsed: start.elapsed(),
-        });
-    }
-    if setting.has_no_target_constraints() {
-        let out = assignment::solve(setting, input).map_err(|e| wrap(&e))?;
-        return Ok(SolveReport {
-            kind: SolverKind::AssignmentSearch,
-            exists: Some(out.exists),
-            witness: out.witness,
-            elapsed: start.elapsed(),
-        });
-    }
-    let out = generic::solve(setting, input, limits).map_err(|e| wrap(&e))?;
-    let (exists, witness) = match out {
-        GenericOutcome::Solved { witness, .. } => (Some(true), Some(witness)),
-        GenericOutcome::NoSolution { .. } => (Some(false), None),
-        GenericOutcome::Unknown { .. } => (None, None),
-    };
-    Ok(SolveReport {
-        kind: SolverKind::GenericSearch,
-        exists,
-        witness,
-        elapsed: start.elapsed(),
-    })
 }
 
 #[cfg(test)]

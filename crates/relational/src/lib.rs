@@ -5,7 +5,7 @@
 //!
 //! * two-sorted values — constants and labeled nulls ([`value`]);
 //! * schemas with source/target peer tags ([`schema`]);
-//! * indexed instances over a schema ([`instance`], [`relation`], [`tuple`]);
+//! * indexed instances over a schema ([`instance`], [`relation`], [`mod@tuple`]);
 //! * first-order syntax: variables, terms, atoms, conjunctions ([`atom`]);
 //! * homomorphism search, formula→instance and instance→instance ([`hom`]);
 //! * conjunctive queries and unions thereof ([`query`]);

@@ -125,6 +125,42 @@ pub fn random_setting(params: &RandomSettingParams, seed: u64) -> Result<PdeSett
     PdeSetting::new(schema, st, ts, vec![])
 }
 
+/// Generate a random PDE setting whose Σt holds target tgds and whose
+/// chased tgd set (Σst ∪ Σt) is weakly acyclic, by rejection sampling:
+/// candidate Σt tgds that would introduce a special cycle are dropped.
+///
+/// Used by the certificate property tests — the static chase bound of
+/// `pde_constraints::chase_bound` is only defined for weakly acyclic sets,
+/// and these settings exercise nonzero position ranks (target-to-target
+/// existentials chained behind Σst existentials).
+pub fn random_weakly_acyclic_setting(
+    params: &RandomSettingParams,
+    n_target_tgds: u32,
+    seed: u64,
+) -> Result<PdeSetting, SettingError> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let schema = random_schema(params, &mut rng);
+    let st: Vec<Tgd> = (0..params.n_st)
+        .map(|_| random_tgd(&schema, Peer::Source, Peer::Target, params, &mut rng))
+        .collect();
+    let mut t: Vec<Tgd> = Vec::new();
+    for _ in 0..n_target_tgds {
+        let cand = random_tgd(&schema, Peer::Target, Peer::Target, params, &mut rng);
+        let chased: Vec<&Tgd> = st.iter().chain(&t).chain(std::iter::once(&cand)).collect();
+        if pde_constraints::is_weakly_acyclic(&schema, chased) {
+            t.push(cand);
+        }
+    }
+    let ts: Vec<Tgd> = (0..params.n_ts)
+        .map(|_| random_tgd(&schema, Peer::Target, Peer::Source, params, &mut rng))
+        .collect();
+    let t = t
+        .into_iter()
+        .map(pde_constraints::Dependency::Tgd)
+        .collect();
+    PdeSetting::new(schema, st, ts, t)
+}
+
 /// Generate a random ground instance over the setting's schema.
 ///
 /// `source_facts` and `target_facts` bound the respective fact counts;
@@ -181,7 +217,10 @@ mod tests {
     #[test]
     fn differential_assignment_vs_generic() {
         let params = RandomSettingParams::default();
-        let lim = GenericLimits { max_nodes: 200_000 };
+        let lim = GenericLimits {
+            max_nodes: 200_000,
+            ..Default::default()
+        };
         let mut decided = 0;
         for seed in 0..40u64 {
             let setting = random_setting(&params, seed).unwrap();

@@ -3,6 +3,7 @@
 //! ```text
 //! pde classify <bundle.pde>             static analysis of the setting
 //! pde lint     <bundle.pde>             diagnostics with stable PDE0xx codes
+//! pde plan     <bundle.pde>             static complexity certificate
 //! pde solve    <bundle.pde>             decide SOL(P), print a witness
 //! pde certain  <bundle.pde> <query>     certain answers of a target UCQ
 //! pde chase    <bundle.pde>             show the canonical chase artifacts
@@ -15,19 +16,32 @@
 //! Bundles are the `.pde` text format of `pde_core::bundle`; `<candidate>`
 //! is a plain instance file over the bundle's schema. Exit code 0 on
 //! "yes"/success outcomes, 1 on "no" outcomes (for `lint`: denied
-//! diagnostics present), 2 on usage or input errors.
+//! diagnostics present; for `plan --check`: certificate rejected), 2 on
+//! usage or input errors.
 //!
 //! `solve`, `certain`, and `enumerate` run the linter first and print any
 //! warnings to stderr (never changing the exit code); `--no-lint` skips
-//! that. `lint` accepts `--format text|json` and `--deny warnings`.
+//! that. `lint` and `plan` accept `--format text|json`; `lint` also takes
+//! `--deny warnings`.
+//!
+//! `plan` emits a versioned JSON certificate (ranks, chase bounds,
+//! `C_tract` witnesses, solver routing, budgets); `plan --check <cert>`
+//! re-verifies a saved certificate against the bundle with the
+//! independent checker. `solve` routes through the certificate-derived
+//! plan (`decide_with_plan`); pass `--plan <cert.json>` to reuse a saved
+//! certificate instead of planning afresh. `solve`, `certain`, and
+//! `enumerate` take `--max-steps <n>` (search node / chase step cap) and
+//! `--max-branches <n>` (active-domain values tried per existential);
+//! exceeding a cap reports "undecided", never a wrong answer.
 
 use pde_analysis::{
-    analyze_setting, any_denied, render_json, render_text, AnalysisInput, LintSection,
-    RenderContext, Severity, SourceParseError,
+    analyze_setting, any_denied, plan_setting, render_certificate_text, render_json, render_text,
+    verify_certificate, AnalysisInput, Certificate, LintSection, RenderContext, Severity,
+    SourceParseError,
 };
 use pde_chase::chase_tgds;
 use pde_core::bundle::{split_sections, Bundle, BundleSources};
-use pde_core::{certain_answers, check_solution, decide, GenericLimits};
+use pde_core::{certain_answers, check_solution, decide_with_plan, GenericLimits, SolvePlan};
 use pde_relational::{parse_instance, parse_query, Peer, UnionQuery};
 use std::process::ExitCode;
 
@@ -53,11 +67,12 @@ fn main() -> ExitCode {
 const USAGE: &str = "usage:
   pde classify  <bundle.pde>
   pde lint      <bundle.pde> [--format text|json] [--deny warnings]
-  pde solve     <bundle.pde> [--no-lint]
-  pde certain   <bundle.pde> <query> [--no-lint]
+  pde plan      <bundle.pde> [--format text|json] [--check <cert.json>]
+  pde solve     <bundle.pde> [--no-lint] [--plan <cert.json>] [--max-steps n] [--max-branches n]
+  pde certain   <bundle.pde> <query> [--no-lint] [--plan <cert.json>] [--max-steps n] [--max-branches n]
   pde chase     <bundle.pde>
   pde check     <bundle.pde> <candidate-instance>
-  pde enumerate <bundle.pde> [limit] [--no-lint]
+  pde enumerate <bundle.pde> [limit] [--no-lint] [--max-steps n] [--max-branches n]
   pde shrink    <bundle.pde> <candidate-instance>
   pde format    <bundle.pde>";
 
@@ -72,6 +87,10 @@ struct Flags {
     no_lint: bool,
     deny_warnings: bool,
     json: bool,
+    max_steps: Option<usize>,
+    max_branches: Option<usize>,
+    plan_path: Option<String>,
+    check_path: Option<String>,
 }
 
 /// Split `args` into positional arguments and recognized flags.
@@ -101,11 +120,29 @@ fn split_flags(args: &[String]) -> Result<(Vec<String>, Flags), String> {
                     ))
                 }
             },
+            "--max-steps" => flags.max_steps = Some(flag_number(&mut it, "--max-steps")?),
+            "--max-branches" => flags.max_branches = Some(flag_number(&mut it, "--max-branches")?),
+            "--plan" => flags.plan_path = Some(flag_value(&mut it, "--plan")?),
+            "--check" => flags.check_path = Some(flag_value(&mut it, "--check")?),
             f if f.starts_with("--") => return Err(format!("unknown flag '{f}'")),
             _ => pos.push(a.clone()),
         }
     }
     Ok((pos, flags))
+}
+
+/// The mandatory value of a two-token flag.
+fn flag_value<'a>(it: &mut impl Iterator<Item = &'a String>, flag: &str) -> Result<String, String> {
+    it.next()
+        .cloned()
+        .ok_or_else(|| format!("{flag} expects a value"))
+}
+
+/// The mandatory numeric value of a two-token flag.
+fn flag_number<'a>(it: &mut impl Iterator<Item = &'a String>, flag: &str) -> Result<usize, String> {
+    let v = flag_value(it, flag)?;
+    v.parse()
+        .map_err(|_| format!("{flag} expects a number, got '{v}'"))
 }
 
 /// Format a section-level parse error with its file position.
@@ -118,6 +155,29 @@ fn render_source_error(path: &str, sources: &BundleSources, e: &SourceParseError
     };
     let (line, col) = section.file_line_col(e.error.offset());
     format!("{path}:{line}:{col}: {e}")
+}
+
+/// The solve plan for a bundle: a verified saved certificate when
+/// `--plan` was given, otherwise a fresh planner run; `--max-steps` and
+/// `--max-branches` override the plan's budgets last.
+fn resolve_plan(bundle: &Bundle, flags: &Flags) -> Result<SolvePlan, String> {
+    let mut plan = match &flags.plan_path {
+        Some(path) => {
+            let src = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+            let cert = Certificate::from_json(&src).map_err(|e| format!("{path}: {e}"))?;
+            verify_certificate(&bundle.setting, &cert).map_err(|e| format!("{path}: {e}"))?;
+            cert.to_solve_plan()
+        }
+        None => plan_setting(&bundle.setting, bundle.input.active_domain().len()).to_solve_plan(),
+    };
+    if let Some(n) = flags.max_steps {
+        plan.limits.max_nodes = n;
+        plan.chase_limits.max_steps = n;
+    }
+    if let Some(n) = flags.max_branches {
+        plan.limits.max_branches = n;
+    }
+    Ok(plan)
 }
 
 /// Lint the setting before a solve-style command, printing any warning or
@@ -205,10 +265,42 @@ fn run(args: &[String]) -> Result<bool, String> {
             }
             Ok(true)
         }
+        "plan" => {
+            let bundle = load_bundle(args.get(1).ok_or("missing bundle path")?)?;
+            if let Some(cert_path) = &flags.check_path {
+                let src =
+                    std::fs::read_to_string(cert_path).map_err(|e| format!("{cert_path}: {e}"))?;
+                let cert = Certificate::from_json(&src).map_err(|e| format!("{cert_path}: {e}"))?;
+                return match verify_certificate(&bundle.setting, &cert) {
+                    Ok(()) => {
+                        println!(
+                            "certificate OK: regime {}, solver {}",
+                            cert.regime, cert.recommended_solver
+                        );
+                        Ok(true)
+                    }
+                    Err(e) => {
+                        println!("certificate REJECTED: {e}");
+                        Ok(false)
+                    }
+                };
+            }
+            let adom = bundle.input.active_domain().len();
+            let cert = plan_setting(&bundle.setting, adom);
+            if flags.json {
+                println!("{}", cert.to_json());
+            } else {
+                println!("{}", bundle.summary());
+                print!("{}", render_certificate_text(&cert));
+            }
+            Ok(true)
+        }
         "solve" => {
             let bundle = load_bundle(args.get(1).ok_or("missing bundle path")?)?;
             auto_lint(&bundle, &flags);
-            let report = decide(&bundle.setting, &bundle.input).map_err(|e| e.to_string())?;
+            let plan = resolve_plan(&bundle, &flags)?;
+            let report = decide_with_plan(&bundle.setting, &bundle.input, &plan)
+                .map_err(|e| e.to_string())?;
             println!("{}", bundle.summary());
             println!("solver:   {}", report.kind);
             println!("elapsed:  {:?}", report.elapsed);
@@ -243,7 +335,7 @@ fn run(args: &[String]) -> Result<bool, String> {
                     Ok(false)
                 }
                 None => {
-                    println!("result:   undecided (node limit reached)");
+                    println!("result:   undecided (search budget exhausted)");
                     Ok(false)
                 }
             }
@@ -255,7 +347,8 @@ fn run(args: &[String]) -> Result<bool, String> {
             let q: UnionQuery = parse_query(bundle.setting.schema(), qsrc)
                 .map_err(|e| e.to_string())?
                 .into();
-            let out = certain_answers(&bundle.setting, &bundle.input, &q, GenericLimits::default())
+            let limits = resolve_plan(&bundle, &flags)?.limits;
+            let out = certain_answers(&bundle.setting, &bundle.input, &q, limits)
                 .map_err(|e| e.to_string())?;
             if !out.solution_exists {
                 println!("no solutions: every tuple is vacuously certain");
@@ -333,13 +426,20 @@ fn run(args: &[String]) -> Result<bool, String> {
                 Some(s) => s.parse().map_err(|_| format!("bad limit '{s}'"))?,
                 None => 20,
             };
+            let mut limits = GenericLimits::default();
+            if let Some(n) = flags.max_steps {
+                limits.max_nodes = n;
+            }
+            if let Some(n) = flags.max_branches {
+                limits.max_branches = n;
+            }
             let fam = pde_core::enumerate_solutions(
                 &bundle.setting,
                 &bundle.input,
                 pde_core::EnumerateOptions {
                     max_solutions: limit,
                     core: true,
-                    ..Default::default()
+                    limits,
                 },
             )
             .map_err(|e| e.to_string())?;

@@ -46,12 +46,14 @@
 //! | [`constraints`] | tgds/egds, disjunctive tgds, weak acyclicity, marked positions, the `C_tract` classifier |
 //! | [`chase`] | the standard chase and the paper's solution-aware chase |
 //! | [`core`] | PDE settings, solution checking, blocks, the four solvers, certain answers, multi-PDE, the PDMS embedding |
+//! | [`analysis`] | `pde lint` diagnostics and `pde plan` complexity certificates with an independent checker |
 //! | [`workloads`] | graph generators, the CLIQUE / 3-COL reductions, scalable tractable workloads, paper fixtures |
 //!
 //! Benchmarks reproducing the paper's complexity landscape live in the
 //! `pde-bench` crate (one Criterion target per experiment in
 //! `EXPERIMENTS.md`).
 
+pub use pde_analysis as analysis;
 pub use pde_chase as chase;
 pub use pde_constraints as constraints;
 pub use pde_core as core;
@@ -60,6 +62,7 @@ pub use pde_workloads as workloads;
 
 /// The most commonly used items, for glob import.
 pub mod prelude {
+    pub use pde_analysis::{plan_setting, verify_certificate, Certificate, Regime};
     pub use pde_chase::{chase, chase_tgds, solution_aware_chase, ChaseLimits, ChaseOutcome};
     pub use pde_constraints::{
         classify, parse_dependencies, parse_dependency, parse_egd, parse_tgd, parse_tgds,
@@ -67,8 +70,8 @@ pub mod prelude {
     };
     pub use pde_core::{
         assignment_solve, certain_answers, check_solution, decide, decide_with_limits,
-        exists_solution, is_solution, solve_data_exchange, GenericLimits, MultiPdeSetting,
-        PdeSetting, Pdms, SolveReport, SolverKind,
+        decide_with_plan, exists_solution, is_solution, solve_data_exchange, GenericLimits,
+        MultiPdeSetting, PdeSetting, Pdms, SolvePlan, SolveReport, SolverKind,
     };
     pub use pde_relational::{
         parse_instance, parse_query, parse_schema, ConjunctiveQuery, Instance, Peer, Schema,

@@ -248,6 +248,222 @@ fn solve_auto_lints_to_stderr_unless_no_lint() {
 }
 
 #[test]
+fn plan_emits_a_versioned_certificate() {
+    let p = write_temp("plan_tri.pde", EX1_TRIANGLE);
+    let out = run(&["plan", p.to_str().unwrap()]);
+    assert_eq!(out.status.code(), Some(0));
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    assert!(stdout.contains("regime: tractable"), "stdout: {stdout}");
+    assert!(stdout.contains("weakly acyclic"), "stdout: {stdout}");
+    assert!(stdout.contains("budgets:"), "stdout: {stdout}");
+
+    let out = run(&["plan", p.to_str().unwrap(), "--format", "json"]);
+    assert_eq!(out.status.code(), Some(0));
+    let json = String::from_utf8(out.stdout).unwrap();
+    assert!(json.starts_with("{\"version\":1,"), "json: {json}");
+    assert!(json.contains("\"regime\":\"tractable\""), "json: {json}");
+    assert!(json.contains("\"step_bound\":"), "json: {json}");
+}
+
+#[test]
+fn plan_check_accepts_own_output_and_rejects_tampering() {
+    let p = write_temp("plan_chk.pde", EX1_TRIANGLE);
+    let out = run(&["plan", p.to_str().unwrap(), "--format", "json"]);
+    assert_eq!(out.status.code(), Some(0));
+    let json = String::from_utf8(out.stdout).unwrap();
+
+    let cert = write_temp("plan_chk.cert.json", &json);
+    let out = run(&[
+        "plan",
+        p.to_str().unwrap(),
+        "--check",
+        cert.to_str().unwrap(),
+    ]);
+    assert_eq!(out.status.code(), Some(0));
+    assert!(String::from_utf8(out.stdout)
+        .unwrap()
+        .contains("certificate OK"));
+
+    // Inflate one rank: the independent checker must refuse it.
+    let tampered = json.replacen("\"rank\":0", "\"rank\":1", 1);
+    assert_ne!(tampered, json, "fixture has a rank-0 entry to tamper with");
+    let bad = write_temp("plan_chk.bad.json", &tampered);
+    let out = run(&[
+        "plan",
+        p.to_str().unwrap(),
+        "--check",
+        bad.to_str().unwrap(),
+    ]);
+    assert_eq!(out.status.code(), Some(1));
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    assert!(stdout.contains("certificate REJECTED"), "stdout: {stdout}");
+
+    // A certificate for a *different* setting must also be refused.
+    let other = write_temp("plan_chk_other.pde", EX1_NOSOL_T);
+    let out = run(&[
+        "plan",
+        other.to_str().unwrap(),
+        "--check",
+        cert.to_str().unwrap(),
+    ]);
+    assert_eq!(out.status.code(), Some(1));
+
+    // Garbage is a usage-level error, not a rejection.
+    let garbage = write_temp("plan_chk.garbage.json", "{\"version\":");
+    let out = run(&[
+        "plan",
+        p.to_str().unwrap(),
+        "--check",
+        garbage.to_str().unwrap(),
+    ]);
+    assert_eq!(out.status.code(), Some(2));
+}
+
+/// A bundle routed to the generic witness-chase search: full target tgd
+/// plus nonempty Σts (the §4 boundary, PDE004).
+const EX_GENERIC: &str = "
+%schema
+source E/2; target H/2
+%st
+E(x, y) -> H(x, y)
+%ts
+H(x, y) -> E(x, y)
+%t
+H(x, y), H(y, x) -> H(x, x)
+%instance
+E(a, b). E(b, a). E(b, c).
+";
+
+/// `EX1_NOSOL` with a full target tgd, used as a structurally different
+/// setting for cross-checking certificates.
+const EX1_NOSOL_T: &str = "
+%schema
+source E/2; target H/2
+%st
+E(x, z), E(z, y) -> H(x, y)
+%ts
+H(x, y) -> E(x, y)
+%t
+H(x, y), H(y, x) -> H(x, x)
+%instance
+E(a, b). E(b, c).
+";
+
+/// Like `EX_GENERIC` but with an existential Σst tgd, so the generic
+/// search actually branches over the active domain.
+const EX_BRANCHY: &str = "
+%schema
+source S/2; target T/2
+%st
+S(x1, x2) -> exists y . T(x1, y)
+%ts
+T(x1, x2) -> S(x2, x1)
+%t
+T(x, y), T(y, x) -> T(x, x)
+%instance
+S(a, b).
+";
+
+#[test]
+fn solve_with_exhausted_budget_reports_undecided() {
+    let p = write_temp("budget.pde", EX_GENERIC);
+    // Unlimited: the search decides (no solution here — the full tgd
+    // derives H(a,a) whose Σts demand E(a,a) is absent).
+    let out = run(&["solve", "--no-lint", p.to_str().unwrap()]);
+    assert_eq!(out.status.code(), Some(1));
+    assert!(String::from_utf8(out.stdout)
+        .unwrap()
+        .contains("no solution"));
+
+    // One search node is not enough: undecided, never a wrong answer.
+    let out = run(&[
+        "solve",
+        "--no-lint",
+        "--max-steps",
+        "1",
+        p.to_str().unwrap(),
+    ]);
+    assert_eq!(out.status.code(), Some(1));
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    assert!(
+        stdout.contains("undecided (search budget exhausted)"),
+        "stdout: {stdout}"
+    );
+    assert!(!stdout.contains("no solution"), "stdout: {stdout}");
+
+    // --max-branches caps how many active-domain values an existential
+    // may try; skipped branches likewise forbid a definite "no".
+    let b = write_temp("branchy.pde", EX_BRANCHY);
+    let out = run(&["solve", "--no-lint", b.to_str().unwrap()]);
+    assert_eq!(out.status.code(), Some(1));
+    assert!(String::from_utf8(out.stdout)
+        .unwrap()
+        .contains("no solution"));
+    let out = run(&[
+        "solve",
+        "--no-lint",
+        "--max-branches",
+        "0",
+        b.to_str().unwrap(),
+    ]);
+    assert_eq!(out.status.code(), Some(1));
+    assert!(String::from_utf8(out.stdout)
+        .unwrap()
+        .contains("undecided (search budget exhausted)"));
+
+    // certain: an exhausted budget is an explicit "undecided" error (2),
+    // never a silently incomplete answer set.
+    let out = run(&[
+        "certain",
+        "--no-lint",
+        "--max-steps",
+        "1",
+        p.to_str().unwrap(),
+        "H(x, x)",
+    ]);
+    assert_eq!(out.status.code(), Some(2));
+
+    // A malformed cap value is a usage error.
+    let out = run(&["solve", "--max-steps", "lots", p.to_str().unwrap()]);
+    assert_eq!(out.status.code(), Some(2));
+}
+
+#[test]
+fn solve_accepts_a_precomputed_plan() {
+    let p = write_temp("planned.pde", EX1_TRIANGLE);
+    let out = run(&["plan", p.to_str().unwrap(), "--format", "json"]);
+    let cert = write_temp("planned.cert.json", &String::from_utf8(out.stdout).unwrap());
+    let out = run(&[
+        "solve",
+        "--no-lint",
+        "--plan",
+        cert.to_str().unwrap(),
+        p.to_str().unwrap(),
+    ]);
+    assert_eq!(out.status.code(), Some(0));
+    assert!(String::from_utf8(out.stdout)
+        .unwrap()
+        .contains("solution exists"));
+
+    // A plan for a different setting is verified against *this* bundle
+    // and refused before any solving happens.
+    let other = write_temp("planned_other.pde", EX1_NOSOL_T);
+    let out = run(&["plan", other.to_str().unwrap(), "--format", "json"]);
+    let wrong = write_temp(
+        "planned.wrong.json",
+        &String::from_utf8(out.stdout).unwrap(),
+    );
+    let out = run(&[
+        "solve",
+        "--no-lint",
+        "--plan",
+        wrong.to_str().unwrap(),
+        p.to_str().unwrap(),
+    ]);
+    assert_eq!(out.status.code(), Some(2));
+}
+
+#[test]
 fn usage_errors_exit_2() {
     let out = run(&[]);
     assert_eq!(out.status.code(), Some(2));

@@ -11,7 +11,10 @@
 //!   algorithms on random graphs;
 //! * `ExistsSolution` agrees with the complete assignment search on random
 //!   instances of `C_tract` settings;
-//! * certain answers hold in every enumerated solution.
+//! * certain answers hold in every enumerated solution;
+//! * `pde plan` certificates pass the independent checker and their
+//!   static chase bounds dominate actual chase runs on random
+//!   weakly-acyclic settings.
 
 use peer_data_exchange::core::{
     assignment, blocks, certain_answers, solution::is_solution, tractable, GenericLimits,
@@ -251,6 +254,43 @@ proptest! {
         prop_assert!(res.steps <= bound.step_bound);
         prop_assert!(res.instance.fact_count() <= bound.fact_bound);
         prop_assert!(res.instance.active_domain().len() <= bound.value_bound);
+    }
+
+    #[test]
+    fn certificate_bound_dominates_the_actual_chase(seed in 0u64..512, n_t in 0u32..3) {
+        // The planner's certificate is *static*: it sees only the setting,
+        // never the instance beyond its active-domain size. Its Lemma 1
+        // step/fact bounds must therefore dominate any actual chase of the
+        // forward tgds — on settings the planner was never written for.
+        use peer_data_exchange::workloads::random::{
+            random_instance, random_weakly_acyclic_setting, RandomSettingParams,
+        };
+        let params = RandomSettingParams::default();
+        let setting = match random_weakly_acyclic_setting(&params, n_t, seed) {
+            Ok(s) => s,
+            Err(_) => return Ok(()), // rare degenerate draw (e.g. unsafe Σts)
+        };
+        let input = random_instance(&setting, 4, 0, 3, seed ^ 0x5eed);
+        let cert = pde_analysis::plan_setting(&setting, input.active_domain().len());
+        prop_assert!(pde_analysis::verify_certificate(&setting, &cert).is_ok());
+        prop_assert!(cert.chase.weakly_acyclic, "generator guarantees weak acyclicity");
+        let forward: Vec<Tgd> = setting
+            .sigma_st()
+            .iter()
+            .cloned()
+            .chain(setting.target_tgds().cloned())
+            .collect();
+        let gen = pde_relational::NullGen::new();
+        let res = pde_chase::chase_tgds(input, &forward, &gen);
+        prop_assert!(res.is_success());
+        prop_assert!(
+            res.steps <= cert.chase.step_bound,
+            "chase took {} steps, certificate promised <= {}",
+            res.steps,
+            cert.chase.step_bound
+        );
+        prop_assert!(res.instance.fact_count() <= cert.chase.fact_bound);
+        prop_assert!(res.instance.active_domain().len() <= cert.chase.value_bound);
     }
 
     #[test]

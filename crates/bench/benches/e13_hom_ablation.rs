@@ -20,7 +20,7 @@ fn graph_instance(schema: &Arc<pde_relational::Schema>, g: &Graph) -> Instance {
 }
 
 fn bench(c: &mut Criterion) {
-    let schema = Arc::new(parse_schema("source E/2;").unwrap());
+    let schema = Arc::new(parse_schema("source E/2; source T/2;").unwrap());
     let configs = [
         (
             "idx+reorder",
@@ -78,6 +78,70 @@ fn bench(c: &mut Criterion) {
     pde_bench::print_series3(
         "E13: hom search ablation — ms for idx+reorder / idx / reorder / naive",
         ("instance", "times (ms)", ""),
+        &rows,
+    );
+
+    // Ordering stress: a tiny *disconnected* atom written mid-chain. The
+    // written order branches over T before finishing the E-chain,
+    // multiplying the remaining join work; the reorderer must keep the
+    // connected chain together and defer T to the end, even though T's
+    // cardinality estimate is the smallest on the table.
+    let mixed = parse_atoms(&schema, "E(a, b), E(b, c2), T(s, t), E(c2, d)").unwrap();
+    let mut rows = Vec::new();
+    let mut grp = c.benchmark_group("e13_hom_ablation/disconnected");
+    grp.sample_size(10);
+    for n in [20u32, 40] {
+        let g = Graph::gnp(n, 0.08, 11);
+        let mut inst = graph_instance(&schema, &g);
+        for i in 0..8 {
+            inst.insert_consts("T", [format!("t{i}").as_str(), "u"]);
+        }
+        for (label, config) in [
+            (
+                "reorder",
+                HomConfig {
+                    use_index: true,
+                    reorder_atoms: true,
+                },
+            ),
+            (
+                "written_order",
+                HomConfig {
+                    use_index: true,
+                    reorder_atoms: false,
+                },
+            ),
+        ] {
+            grp.bench_with_input(BenchmarkId::new(label, n), &inst, |b, inst| {
+                b.iter(|| {
+                    let mut count = 0usize;
+                    let _ = pde_relational::for_each_hom_with(
+                        &mixed,
+                        inst,
+                        &Assignment::new(),
+                        config,
+                        |_| {
+                            count += 1;
+                            std::ops::ControlFlow::Continue(())
+                        },
+                    );
+                    count
+                });
+            });
+        }
+        let reorder_ms = pde_bench::time_ms(|| {
+            let _ = all_homs(&mixed, &inst, &Assignment::new());
+        });
+        rows.push((
+            format!("G({n}, .08) + 8 T-rows"),
+            format!("{reorder_ms:.3}"),
+            String::new(),
+        ));
+    }
+    grp.finish();
+    pde_bench::print_series3(
+        "E13b: connected-first ordering vs written order (disconnected atom mid-chain)",
+        ("instance", "reorder ms", ""),
         &rows,
     );
 

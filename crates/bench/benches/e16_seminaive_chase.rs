@@ -1,0 +1,140 @@
+//! E16 — semi-naive vs naive chase engine. Two chase-heavy workloads:
+//!
+//! * **clique/egd**: the §4 egd-boundary dependencies (Σst ∪ Σt) chased on
+//!   complete graphs. Every `D` edge mints two nulls and the two egds
+//!   merge them per-anchor, so the naive engine pays a full violation
+//!   re-scan plus a whole-instance rewrite per merge, while the semi-naive
+//!   engine batches each round's merges in one union-find and one targeted
+//!   rewrite.
+//! * **genomics**: the §1 sync scenario's Σst chase. One productive round
+//!   followed by a fixpoint round; semi-naive skips the full re-enumeration
+//!   of already-seen triggers in the second round.
+//!
+//! The differential property tests guarantee the engines agree; this
+//! experiment measures what that agreement costs.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pde_chase::{chase_naive_with, chase_seminaive_with, ChaseLimits, ChaseResult, WitnessMode};
+use pde_constraints::Dependency;
+use pde_core::PdeSetting;
+use pde_relational::{Instance, NullGen};
+use pde_workloads::boundary::{egd_boundary_instance, egd_boundary_setting};
+use pde_workloads::genomics::{genomics_instance, genomics_setting, GenomicsParams};
+use pde_workloads::Graph;
+
+/// Σst ∪ Σt of a setting as one chaseable dependency list.
+fn forward_deps(setting: &PdeSetting) -> Vec<Dependency> {
+    setting
+        .sigma_st()
+        .iter()
+        .cloned()
+        .map(Dependency::Tgd)
+        .chain(setting.sigma_t().iter().cloned())
+        .collect()
+}
+
+fn run(engine: &str, input: &Instance, deps: &[Dependency]) -> ChaseResult {
+    let gen = NullGen::new();
+    let limits = ChaseLimits::default();
+    match engine {
+        "naive" => chase_naive_with(input.clone(), deps, WitnessMode::FreshNulls(&gen), limits),
+        _ => chase_seminaive_with(input.clone(), deps, WitnessMode::FreshNulls(&gen), limits),
+    }
+}
+
+fn bench(c: &mut Criterion) {
+    let mut rows = Vec::new();
+
+    // Workload 1: egd-heavy clique boundary chase.
+    let setting = egd_boundary_setting();
+    let deps = forward_deps(&setting);
+    let mut grp = c.benchmark_group("e16_seminaive_chase/clique");
+    grp.sample_size(10);
+    for k in [6u32, 10, 14, 18] {
+        // `D` is the k-element inequality relation, so the merge workload
+        // grows with k: Σst mints 2 nulls per D fact and the two egds
+        // collapse them per anchor.
+        let input = egd_boundary_instance(&setting, &Graph::complete(3), k);
+        for engine in ["naive", "seminaive"] {
+            grp.bench_with_input(BenchmarkId::new(engine, k), &input, |b, input| {
+                b.iter(|| {
+                    let res = run(engine, input, &deps);
+                    assert!(res.is_success());
+                });
+            });
+        }
+        let naive_ms = pde_bench::time_ms(|| {
+            let _ = run("naive", &input, &deps);
+        });
+        let semi_ms = pde_bench::time_ms(|| {
+            let _ = run("seminaive", &input, &deps);
+        });
+        let stats = run("seminaive", &input, &deps).stats;
+        rows.push((
+            format!("clique k={k}"),
+            format!("{naive_ms:.2} / {semi_ms:.2} ({:.1}x)", naive_ms / semi_ms),
+            format!(
+                "rounds={} merges={} skipped={}",
+                stats.rounds, stats.egd_merges, stats.skipped_by_delta
+            ),
+        ));
+    }
+    grp.finish();
+
+    // Workload 2: genomics Σst sync chase.
+    let setting = genomics_setting();
+    let deps = forward_deps(&setting);
+    let mut grp = c.benchmark_group("e16_seminaive_chase/genomics");
+    grp.sample_size(10);
+    for proteins in [200u32, 400, 800] {
+        let params = GenomicsParams {
+            proteins,
+            annotations_per_protein: 3,
+            organisms: 10,
+            go_terms: 200,
+            preloaded: proteins / 10,
+            rogue: 0,
+            seed: 99,
+        };
+        let input = genomics_instance(&setting, &params);
+        for engine in ["naive", "seminaive"] {
+            grp.bench_with_input(BenchmarkId::new(engine, proteins), &input, |b, input| {
+                b.iter(|| {
+                    let res = run(engine, input, &deps);
+                    assert!(res.is_success());
+                });
+            });
+        }
+        let naive_ms = pde_bench::time_ms(|| {
+            let _ = run("naive", &input, &deps);
+        });
+        let semi_ms = pde_bench::time_ms(|| {
+            let _ = run("seminaive", &input, &deps);
+        });
+        let stats = run("seminaive", &input, &deps).stats;
+        rows.push((
+            format!("genomics {proteins}p"),
+            format!("{naive_ms:.2} / {semi_ms:.2} ({:.1}x)", naive_ms / semi_ms),
+            format!(
+                "rounds={} fired={} skipped={}",
+                stats.rounds, stats.triggers_fired, stats.skipped_by_delta
+            ),
+        ));
+    }
+    grp.finish();
+
+    pde_bench::print_series3(
+        "E16: chase engines — naive / semi-naive ms (speedup)",
+        ("workload", "times (ms)", "semi-naive stats"),
+        &rows,
+    );
+}
+
+// Criterion's macros expand to undocumented items.
+#[allow(missing_docs)]
+mod generated {
+    use super::*;
+    criterion_group!(benches, bench);
+}
+use generated::benches;
+criterion_main!(benches);

@@ -1,11 +1,10 @@
-//! The chase engine: standard chase and the solution-aware chase of the
-//! paper (Definitions 6–7).
+//! The chase engines: standard chase and the solution-aware chase of the
+//! paper (Definitions 6–7), each available in two implementations.
 //!
-//! Both variants share the restricted-chase loop: repeatedly find an
-//! *active trigger* — a premise homomorphism with no conclusion extension
-//! (tgd), or one separating the equated variables (egd) — and apply the
-//! corresponding step. They differ only in where a tgd step's existential
-//! witnesses come from:
+//! Both share the restricted-chase semantics: repeatedly find an *active
+//! trigger* — a premise homomorphism with no conclusion extension (tgd), or
+//! one separating the equated variables (egd) — and apply the corresponding
+//! step. Where a tgd step's existential witnesses come from is orthogonal:
 //!
 //! * **standard** ([`WitnessMode::FreshNulls`]): mint a fresh labeled null
 //!   per existential variable — the \[FKMP\] chase; results are universal.
@@ -13,14 +12,36 @@
 //!   from a supplied instance `K'` that contains the chased instance and
 //!   satisfies the tgds (paper Def. 6). The chase then stays inside `K'`,
 //!   which is how Lemma 2 extracts a polynomial-size sub-solution.
+//!
+//! Two engines implement the loop (see `docs/CHASE.md` for the full
+//! design):
+//!
+//! * [`ChaseEngine::Seminaive`] (the default behind [`chase_with`]): rows
+//!   carry insertion epochs; each round only enumerates premise
+//!   homomorphisms touching the previous round's delta
+//!   ([`pde_relational::for_each_hom_seminaive`]), feeding a per-dependency
+//!   trigger worklist. The seed round fires everything once. Egd
+//!   violations of a round are batched in a
+//!   [`pde_relational::ValueUnionFind`] and applied as one targeted
+//!   rewrite per round.
+//! * [`ChaseEngine::Naive`] ([`chase_naive_with`]): re-enumerates every
+//!   trigger over the entire instance each round and rewrites the instance
+//!   once per egd merge. Kept as the differential-testing oracle and as the
+//!   `--chase naive` CLI escape hatch.
+//!
+//! Both produce the same `StepRecord` provenance shape, respect the same
+//! [`ChaseLimits`] semantics, and agree up to null renaming (enforced by
+//! the `naive_and_seminaive_chase_agree` property test).
 
-use crate::result::{ChaseLimits, ChaseOutcome, ChaseResult, StepRecord};
+use crate::result::{ChaseLimits, ChaseOutcome, ChaseResult, ChaseStats, StepRecord};
 use crate::satisfy;
 use pde_constraints::{Dependency, Egd, Tgd};
 use pde_relational::{
-    exists_hom, find_hom, for_each_hom, Assignment, Instance, NullGen, Tuple, Value,
+    exists_hom, find_hom, for_each_hom, for_each_hom_seminaive, Assignment, HomConfig, Instance,
+    NullGen, Tuple, Value, ValueUnionFind,
 };
 use std::ops::ControlFlow;
+use std::sync::atomic::{AtomicU8, Ordering};
 
 /// Where tgd steps obtain witnesses for existential variables.
 #[derive(Clone, Copy)]
@@ -32,17 +53,85 @@ pub enum WitnessMode<'a> {
     FromSolution(&'a Instance),
 }
 
-/// Chase `instance` with `deps` under the given witness mode and limits.
+/// Which implementation the [`chase_with`] entry point dispatches to.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ChaseEngine {
+    /// Re-enumerate every trigger over the full instance each round;
+    /// rewrite the whole instance per egd merge.
+    Naive,
+    /// Delta-driven trigger discovery over insertion epochs with
+    /// union-find egd batching (the default).
+    Seminaive,
+}
+
+const ENGINE_NAIVE: u8 = 0;
+const ENGINE_SEMINAIVE: u8 = 1;
+
+/// Process-wide default engine; the CLI's `--chase naive|seminaive` flag
+/// sets it once at startup.
+static DEFAULT_ENGINE: AtomicU8 = AtomicU8::new(ENGINE_SEMINAIVE);
+
+/// Set the engine that [`chase_with`] (and everything built on it:
+/// [`chase`], [`chase_tgds`], [`solution_aware_chase`], the solvers in
+/// `pde-core`) will use from now on.
+pub fn set_default_chase_engine(engine: ChaseEngine) {
+    let v = match engine {
+        ChaseEngine::Naive => ENGINE_NAIVE,
+        ChaseEngine::Seminaive => ENGINE_SEMINAIVE,
+    };
+    DEFAULT_ENGINE.store(v, Ordering::Relaxed);
+}
+
+/// The engine [`chase_with`] currently dispatches to.
+pub fn default_chase_engine() -> ChaseEngine {
+    match DEFAULT_ENGINE.load(Ordering::Relaxed) {
+        ENGINE_NAIVE => ChaseEngine::Naive,
+        _ => ChaseEngine::Seminaive,
+    }
+}
+
+/// Chase `instance` with `deps` under the given witness mode and limits,
+/// using the process-default engine (semi-naive unless overridden through
+/// [`set_default_chase_engine`]).
 pub fn chase_with(
+    instance: Instance,
+    deps: &[Dependency],
+    mode: WitnessMode<'_>,
+    limits: ChaseLimits,
+) -> ChaseResult {
+    match default_chase_engine() {
+        ChaseEngine::Naive => chase_naive_with(instance, deps, mode, limits),
+        ChaseEngine::Seminaive => chase_seminaive_with(instance, deps, mode, limits),
+    }
+}
+
+/// The semi-naive, delta-driven chase.
+///
+/// Each round opens a new insertion epoch; trigger discovery for round *k*
+/// only enumerates premise homomorphisms with at least one atom matched
+/// against a fact inserted in round *k−1* (the seed round's "delta" is the
+/// whole input, so every trigger fires once). Discovered triggers join a
+/// per-dependency worklist and are re-validated against the full instance
+/// before application, exactly like the naive engine's batch round. Egd
+/// violations are accumulated in a union-find and applied as a single
+/// targeted rewrite per dependency per round; rewritten facts re-enter the
+/// next round's delta.
+pub fn chase_seminaive_with(
     mut instance: Instance,
     deps: &[Dependency],
     mode: WitnessMode<'_>,
     limits: ChaseLimits,
 ) -> ChaseResult {
+    let config = HomConfig::default();
     let mut steps = 0usize;
     let mut tgd_steps = 0usize;
     let mut egd_steps = 0usize;
     let mut log: Vec<StepRecord> = Vec::new();
+    let mut stats = ChaseStats::default();
+    // Premise matches seen so far per dependency: what the naive engine
+    // would re-enumerate every subsequent round.
+    let mut seen: Vec<usize> = vec![0; deps.len()];
+    let mut since: u64 = 0;
 
     'outer: loop {
         if steps >= limits.max_steps || instance.fact_count() >= limits.max_facts {
@@ -53,14 +142,191 @@ pub fn chase_with(
                 tgd_steps,
                 egd_steps,
                 log,
+                stats,
             };
         }
+        let cur = instance.bump_epoch();
+        stats.rounds += 1;
+        let mut progressed = false;
+        for (i, dep) in deps.iter().enumerate() {
+            stats.skipped_by_delta += seen[i];
+            match dep {
+                Dependency::Tgd(tgd) => {
+                    let mut work: Vec<Assignment> = Vec::new();
+                    let mut found_now = 0usize;
+                    if tgd.premise.atoms.is_empty() {
+                        // The empty homomorphism touches no fact, so the
+                        // delta search would never surface it; check it on
+                        // the seed round, where everything fires once.
+                        if since == 0 {
+                            found_now += 1;
+                            if exists_hom(&tgd.conclusion.atoms, &instance, &Assignment::new()) {
+                                stats.triggers_satisfied += 1;
+                            } else {
+                                work.push(Assignment::new());
+                            }
+                        }
+                    } else {
+                        let _ = for_each_hom_seminaive(
+                            &tgd.premise.atoms,
+                            &instance,
+                            &Assignment::new(),
+                            config,
+                            since,
+                            cur,
+                            |h| {
+                                found_now += 1;
+                                if exists_hom(&tgd.conclusion.atoms, &instance, h) {
+                                    stats.triggers_satisfied += 1;
+                                } else {
+                                    work.push(h.clone());
+                                }
+                                ControlFlow::Continue(())
+                            },
+                        );
+                    }
+                    stats.triggers_found += found_now;
+                    seen[i] += found_now;
+                    for h in work {
+                        if steps >= limits.max_steps || instance.fact_count() >= limits.max_facts {
+                            continue 'outer; // limit check at loop head
+                        }
+                        // Re-check: an earlier application may have
+                        // satisfied this trigger.
+                        if exists_hom(&tgd.conclusion.atoms, &instance, &h) {
+                            stats.triggers_satisfied += 1;
+                            continue;
+                        }
+                        let new_facts = apply_tgd_step(&mut instance, tgd, &h, mode);
+                        log.push(StepRecord::Tgd {
+                            dep_index: i,
+                            new_facts,
+                        });
+                        steps += 1;
+                        tgd_steps += 1;
+                        stats.triggers_fired += 1;
+                        progressed = true;
+                    }
+                }
+                Dependency::Egd(egd) => {
+                    let mut uf = ValueUnionFind::new();
+                    let mut conflict = false;
+                    let mut found_now = 0usize;
+                    let _ = for_each_hom_seminaive(
+                        &egd.premise.atoms,
+                        &instance,
+                        &Assignment::new(),
+                        config,
+                        since,
+                        cur,
+                        |h| {
+                            found_now += 1;
+                            let l = h.get(egd.lhs).expect("egd lhs bound by premise");
+                            let r = h.get(egd.rhs).expect("egd rhs bound by premise");
+                            match uf.union(l, r) {
+                                Ok(Some((from, to))) => {
+                                    log.push(StepRecord::Egd {
+                                        dep_index: i,
+                                        from,
+                                        to,
+                                    });
+                                    steps += 1;
+                                    egd_steps += 1;
+                                    stats.egd_merges += 1;
+                                    progressed = true;
+                                    if steps >= limits.max_steps {
+                                        return ControlFlow::Break(());
+                                    }
+                                    ControlFlow::Continue(())
+                                }
+                                Ok(None) => ControlFlow::Continue(()),
+                                Err(_) => {
+                                    conflict = true;
+                                    ControlFlow::Break(())
+                                }
+                            }
+                        },
+                    );
+                    stats.triggers_found += found_now;
+                    seen[i] += found_now;
+                    if conflict {
+                        return ChaseResult {
+                            outcome: ChaseOutcome::Failure { dep_index: i },
+                            instance,
+                            steps: steps + 1,
+                            tgd_steps,
+                            egd_steps: egd_steps + 1,
+                            log,
+                            stats,
+                        };
+                    }
+                    // One targeted rewrite applies every merge of this
+                    // round; rewritten facts land in the next delta.
+                    instance.apply_merges(&uf);
+                    if steps >= limits.max_steps {
+                        continue 'outer;
+                    }
+                }
+            }
+        }
+        if !progressed {
+            return ChaseResult {
+                outcome: ChaseOutcome::Success,
+                instance,
+                steps,
+                tgd_steps,
+                egd_steps,
+                log,
+                stats,
+            };
+        }
+        since = cur;
+    }
+}
+
+/// The naive chase: every round re-enumerates every premise homomorphism
+/// over the entire instance, and each egd merge rewrites the instance
+/// immediately. Retained as the differential-testing oracle for
+/// [`chase_seminaive_with`] and as the CLI's `--chase naive` escape hatch.
+pub fn chase_naive_with(
+    mut instance: Instance,
+    deps: &[Dependency],
+    mode: WitnessMode<'_>,
+    limits: ChaseLimits,
+) -> ChaseResult {
+    let mut steps = 0usize;
+    let mut tgd_steps = 0usize;
+    let mut egd_steps = 0usize;
+    let mut log: Vec<StepRecord> = Vec::new();
+    let mut stats = ChaseStats::default();
+
+    'outer: loop {
+        if steps >= limits.max_steps || instance.fact_count() >= limits.max_facts {
+            return ChaseResult {
+                outcome: ChaseOutcome::ResourceExceeded,
+                instance,
+                steps,
+                tgd_steps,
+                egd_steps,
+                log,
+                stats,
+            };
+        }
+        stats.rounds += 1;
         let mut progressed = false;
         for (i, dep) in deps.iter().enumerate() {
             match dep {
                 Dependency::Tgd(tgd) => {
-                    let applied =
-                        apply_tgd_round(&mut instance, i, tgd, mode, limits, &mut steps, &mut log);
+                    let applied = apply_tgd_round(
+                        &mut instance,
+                        i,
+                        tgd,
+                        mode,
+                        limits,
+                        &mut steps,
+                        &mut log,
+                        &mut stats,
+                    );
                     if applied > 0 {
                         tgd_steps += applied;
                         progressed = true;
@@ -75,6 +341,8 @@ pub fn chase_with(
                         EgdStep::Merged { from, to } => {
                             steps += 1;
                             egd_steps += 1;
+                            stats.egd_merges += 1;
+                            stats.triggers_found += 1;
                             progressed = true;
                             log.push(StepRecord::Egd {
                                 dep_index: i,
@@ -93,6 +361,7 @@ pub fn chase_with(
                                 tgd_steps,
                                 egd_steps: egd_steps + 1,
                                 log,
+                                stats,
                             };
                         }
                     }
@@ -107,6 +376,7 @@ pub fn chase_with(
                 tgd_steps,
                 egd_steps,
                 log,
+                stats,
             };
         }
     }
@@ -114,7 +384,7 @@ pub fn chase_with(
 
 /// Apply every *currently active* trigger of `tgd` once (re-validating each
 /// before application, since earlier applications may have satisfied it).
-/// Returns the number of steps applied.
+/// Returns the number of steps applied. (Naive engine only.)
 #[allow(clippy::too_many_arguments)]
 fn apply_tgd_round(
     instance: &mut Instance,
@@ -124,13 +394,17 @@ fn apply_tgd_round(
     limits: ChaseLimits,
     steps: &mut usize,
     log: &mut Vec<StepRecord>,
+    stats: &mut ChaseStats,
 ) -> usize {
     // Collect the active triggers against the current instance. Triggers
     // stay valid under insertions (homomorphisms are monotone), so batch
     // collection is sound in a round without egd steps.
     let mut triggers: Vec<Assignment> = Vec::new();
     let _ = for_each_hom(&tgd.premise.atoms, instance, &Assignment::new(), |h| {
-        if !exists_hom(&tgd.conclusion.atoms, instance, h) {
+        stats.triggers_found += 1;
+        if exists_hom(&tgd.conclusion.atoms, instance, h) {
+            stats.triggers_satisfied += 1;
+        } else {
             triggers.push(h.clone());
         }
         ControlFlow::Continue(())
@@ -142,6 +416,7 @@ fn apply_tgd_round(
         }
         // Re-check: a previous application may have satisfied this trigger.
         if exists_hom(&tgd.conclusion.atoms, instance, &h) {
+            stats.triggers_satisfied += 1;
             continue;
         }
         let new_facts = apply_tgd_step(instance, tgd, &h, mode);
@@ -151,6 +426,7 @@ fn apply_tgd_round(
         });
         *steps += 1;
         applied += 1;
+        stats.triggers_fired += 1;
     }
     applied
 }
@@ -202,6 +478,7 @@ enum EgdStep {
 
 /// Find and apply one egd violation; substitutions invalidate other
 /// outstanding homomorphisms, so egds are applied one at a time.
+/// (Naive engine only.)
 fn apply_one_egd(instance: &mut Instance, egd: &Egd) -> EgdStep {
     let Some(h) = satisfy::find_egd_violation(instance, egd) else {
         return EgdStep::None;
@@ -221,9 +498,20 @@ fn apply_one_egd(instance: &mut Instance, egd: &Egd) -> EgdStep {
     }
 }
 
-/// Standard chase with fresh nulls and default limits.
+/// Standard chase with fresh nulls and default limits (default engine).
 pub fn chase(instance: Instance, deps: &[Dependency], gen: &NullGen) -> ChaseResult {
     chase_with(
+        instance,
+        deps,
+        WitnessMode::FreshNulls(gen),
+        ChaseLimits::default(),
+    )
+}
+
+/// [`chase`] forced onto the naive engine — the differential-testing
+/// entry point.
+pub fn chase_naive(instance: Instance, deps: &[Dependency], gen: &NullGen) -> ChaseResult {
+    chase_naive_with(
         instance,
         deps,
         WitnessMode::FreshNulls(gen),
@@ -260,7 +548,7 @@ mod tests {
     use super::*;
     use crate::satisfy::{satisfies_all, satisfies_all_tgds};
     use pde_constraints::{parse_dependencies, parse_tgds};
-    use pde_relational::{parse_instance, parse_schema, Schema};
+    use pde_relational::{instances_isomorphic, parse_instance, parse_schema, Schema};
     use std::sync::Arc;
 
     fn schema() -> Arc<Schema> {
@@ -479,5 +767,102 @@ mod tests {
             .into_success()
             .unwrap();
         assert!(once.same_facts(&twice));
+    }
+
+    #[test]
+    fn engines_agree_on_fixtures() {
+        let s = schema();
+        let cases = [
+            (
+                "E(x, z), E(z, y) -> H(x, y)",
+                "E(a, b). E(b, c). E(c, d). E(d, a).",
+            ),
+            (
+                "E(x, y) -> exists z . H(x, z), K(z, y); H(x, y), H(x, z) -> y = z",
+                "E(a, b). E(a, c). E(b, b).",
+            ),
+            (
+                "E(x, y) -> exists z . H(x, z); E(x, y) -> exists w . K(x, w); \
+                 H(x, y), K(x, z) -> y = z",
+                "E(a, b). E(c, d).",
+            ),
+        ];
+        for (deps_src, inst_src) in cases {
+            let deps = parse_dependencies(&s, deps_src).unwrap();
+            let inst = parse_instance(&s, inst_src).unwrap();
+            let naive = chase_naive_with(
+                inst.clone(),
+                &deps,
+                WitnessMode::FreshNulls(&NullGen::new()),
+                ChaseLimits::default(),
+            );
+            let semi = chase_seminaive_with(
+                inst,
+                &deps,
+                WitnessMode::FreshNulls(&NullGen::new()),
+                ChaseLimits::default(),
+            );
+            assert!(naive.is_success() && semi.is_success(), "{deps_src}");
+            assert!(
+                instances_isomorphic(&naive.instance, &semi.instance),
+                "{deps_src}: {:?} vs {:?}",
+                naive.instance,
+                semi.instance
+            );
+        }
+    }
+
+    #[test]
+    fn engines_agree_on_failing_egds() {
+        let s = schema();
+        let deps = parse_dependencies(&s, "E(x, y) -> H(x, y); H(x, y), H(x, z) -> y = z").unwrap();
+        let inst = parse_instance(&s, "E(a, b). E(a, c).").unwrap();
+        let naive = chase_naive_with(
+            inst.clone(),
+            &deps,
+            WitnessMode::FreshNulls(&NullGen::new()),
+            ChaseLimits::default(),
+        );
+        let semi = chase_seminaive_with(
+            inst,
+            &deps,
+            WitnessMode::FreshNulls(&NullGen::new()),
+            ChaseLimits::default(),
+        );
+        assert!(naive.is_failure());
+        assert!(semi.is_failure());
+        assert_eq!(semi.outcome, ChaseOutcome::Failure { dep_index: 1 });
+    }
+
+    #[test]
+    fn seminaive_stats_count_rounds_and_delta_skips() {
+        let s = schema();
+        let tgds = parse_tgds(&s, "E(x, z), E(z, y) -> H(x, y)").unwrap();
+        let deps: Vec<Dependency> = tgds.into_iter().map(Dependency::Tgd).collect();
+        let inst = parse_instance(&s, "E(a, b). E(b, c). E(c, d).").unwrap();
+        let res = chase_seminaive_with(
+            inst,
+            &deps,
+            WitnessMode::FreshNulls(&NullGen::new()),
+            ChaseLimits::default(),
+        );
+        assert!(res.is_success());
+        // Round 1 fires both path triggers; round 2's delta is H-only, so
+        // the E-only premise is never re-enumerated.
+        assert_eq!(res.stats.rounds, 2);
+        assert_eq!(res.stats.triggers_found, 2);
+        assert_eq!(res.stats.triggers_fired, 2);
+        assert_eq!(res.stats.triggers_fired, res.tgd_steps);
+        assert_eq!(res.stats.skipped_by_delta, 2);
+        assert_eq!(res.stats.egd_merges, 0);
+    }
+
+    #[test]
+    fn default_engine_is_switchable() {
+        assert_eq!(default_chase_engine(), ChaseEngine::Seminaive);
+        set_default_chase_engine(ChaseEngine::Naive);
+        assert_eq!(default_chase_engine(), ChaseEngine::Naive);
+        set_default_chase_engine(ChaseEngine::Seminaive);
+        assert_eq!(default_chase_engine(), ChaseEngine::Seminaive);
     }
 }

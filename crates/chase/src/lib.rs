@@ -2,7 +2,9 @@
 //!
 //! * [`satisfy`]: dependency satisfaction checks (`K ⊨ d`);
 //! * [`engine`]: the standard chase with fresh nulls and the paper's
-//!   solution-aware chase (Definitions 6–7);
+//!   solution-aware chase (Definitions 6–7), each in a semi-naive
+//!   delta-driven implementation (default) and a naive oracle
+//!   implementation (see `docs/CHASE.md`);
 //! * [`result`]: outcomes (success / egd failure / resource limits) and
 //!   step statistics.
 //!
@@ -15,8 +17,12 @@ pub mod engine;
 pub mod result;
 pub mod satisfy;
 
-pub use engine::{chase, chase_tgds, chase_with, null_gen_for, solution_aware_chase, WitnessMode};
-pub use result::{ChaseLimits, ChaseOutcome, ChaseResult, StepRecord};
+pub use engine::{
+    chase, chase_naive, chase_naive_with, chase_seminaive_with, chase_tgds, chase_with,
+    default_chase_engine, null_gen_for, set_default_chase_engine, solution_aware_chase,
+    ChaseEngine, WitnessMode,
+};
+pub use result::{ChaseLimits, ChaseOutcome, ChaseResult, ChaseStats, StepRecord};
 pub use satisfy::{
     find_egd_violation, find_tgd_violation, satisfies, satisfies_all, satisfies_all_tgds,
     satisfies_disjunctive, satisfies_egd, satisfies_tgd,

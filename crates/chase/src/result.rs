@@ -85,6 +85,42 @@ pub enum StepRecord {
     },
 }
 
+/// Aggregate engine counters for one chase run — what `pde solve --stats`
+/// prints. All counters are filled by both engines except
+/// `skipped_by_delta`, which is inherently semi-naive (the naive engine
+/// reports 0 there: it skips nothing).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ChaseStats {
+    /// Number of rounds (sweeps over the dependency list) until fixpoint,
+    /// failure, or a limit.
+    pub rounds: usize,
+    /// Premise matches examined as potential triggers.
+    pub triggers_found: usize,
+    /// Triggers actually applied (equals the tgd step count).
+    pub triggers_fired: usize,
+    /// Triggers whose conclusion already had an extension when (re)checked.
+    pub triggers_satisfied: usize,
+    /// Premise matches the naive engine would have re-enumerated in later
+    /// rounds but the delta windows never revisited (cumulative
+    /// previously-seen matches, summed over rounds after their discovery).
+    pub skipped_by_delta: usize,
+    /// Egd merges applied (equals the egd step count).
+    pub egd_merges: usize,
+}
+
+impl ChaseStats {
+    /// Fold another run's counters into this one (summing fields), for
+    /// callers that run several chases and report one aggregate.
+    pub fn absorb(&mut self, other: ChaseStats) {
+        self.rounds += other.rounds;
+        self.triggers_found += other.triggers_found;
+        self.triggers_fired += other.triggers_fired;
+        self.triggers_satisfied += other.triggers_satisfied;
+        self.skipped_by_delta += other.skipped_by_delta;
+        self.egd_merges += other.egd_merges;
+    }
+}
+
 /// The result of a chase run.
 #[derive(Clone, Debug)]
 pub struct ChaseResult {
@@ -101,6 +137,8 @@ pub struct ChaseResult {
     pub egd_steps: usize,
     /// Per-step provenance, in application order.
     pub log: Vec<StepRecord>,
+    /// Engine counters (rounds, trigger bookkeeping, merges).
+    pub stats: ChaseStats,
 }
 
 impl ChaseResult {
@@ -152,6 +190,7 @@ mod tests {
             tgd_steps: 0,
             egd_steps: 0,
             log: Vec::new(),
+            stats: ChaseStats::default(),
         };
         assert!(ok.is_success());
         assert!(ok.into_success().is_some());
@@ -162,6 +201,7 @@ mod tests {
             tgd_steps: 0,
             egd_steps: 1,
             log: Vec::new(),
+            stats: ChaseStats::default(),
         };
         assert!(bad.is_failure());
         assert!(!bad.is_success());

@@ -9,7 +9,7 @@
 //! are exactly the certain answers.
 
 use crate::setting::PdeSetting;
-use pde_chase::{null_gen_for, ChaseLimits, ChaseOutcome};
+use pde_chase::{null_gen_for, ChaseLimits, ChaseOutcome, ChaseStats};
 use pde_constraints::Dependency;
 use pde_relational::{Instance, Peer, UnionQuery, Value};
 use std::collections::BTreeSet;
@@ -67,6 +67,8 @@ pub struct DataExchangeOutcome {
     pub canonical: Option<Instance>,
     /// Chase steps taken.
     pub chase_steps: usize,
+    /// Engine counters from the chase (rounds, triggers, merges).
+    pub chase_stats: ChaseStats,
 }
 
 /// Chase-based existence test and canonical-solution construction.
@@ -109,11 +111,13 @@ pub fn solve_data_exchange_with_limits(
             exists: true,
             canonical: Some(res.instance),
             chase_steps: res.steps,
+            chase_stats: res.stats,
         }),
         ChaseOutcome::Failure { .. } => Ok(DataExchangeOutcome {
             exists: false,
             canonical: None,
             chase_steps: res.steps,
+            chase_stats: res.stats,
         }),
         ChaseOutcome::ResourceExceeded => Err(DataExchangeError::ChaseDidNotTerminate),
     }

@@ -16,7 +16,7 @@ use crate::data_exchange;
 use crate::generic::{self, GenericLimits, GenericOutcome};
 use crate::setting::PdeSetting;
 use crate::tractable;
-use pde_chase::ChaseLimits;
+use pde_chase::{ChaseLimits, ChaseStats};
 use pde_relational::Instance;
 use std::fmt;
 use std::time::{Duration, Instant};
@@ -57,6 +57,11 @@ pub struct SolveReport {
     pub witness: Option<Instance>,
     /// Wall-clock time of the solve call.
     pub elapsed: Duration,
+    /// Chase engine counters (rounds, triggers fired / skipped-by-delta,
+    /// egd merges) when the selected algorithm is chase-based
+    /// (data-exchange and `C_tract` paths); `None` for the complete
+    /// searches, which run many small exploratory chases.
+    pub chase_stats: Option<ChaseStats>,
 }
 
 /// Errors from the façade (the per-solver errors, unified).
@@ -157,6 +162,7 @@ pub fn decide_with_plan(
                 exists: Some(out.exists),
                 witness: out.canonical,
                 elapsed: start.elapsed(),
+                chase_stats: Some(out.chase_stats),
             })
         }
         SolverKind::Tractable => {
@@ -166,6 +172,7 @@ pub fn decide_with_plan(
                 exists: Some(out.exists),
                 witness: out.witness,
                 elapsed: start.elapsed(),
+                chase_stats: Some(out.stats.chase_stats),
             })
         }
         SolverKind::AssignmentSearch => {
@@ -175,6 +182,7 @@ pub fn decide_with_plan(
                 exists: Some(out.exists),
                 witness: out.witness,
                 elapsed: start.elapsed(),
+                chase_stats: None,
             })
         }
         SolverKind::GenericSearch => {
@@ -189,6 +197,7 @@ pub fn decide_with_plan(
                 exists,
                 witness,
                 elapsed: start.elapsed(),
+                chase_stats: None,
             })
         }
     }

@@ -81,6 +81,8 @@ pub struct TractableStats {
     pub max_block_nulls: usize,
     /// Chase steps taken by the two chases.
     pub chase_steps: usize,
+    /// Aggregate engine counters from the two chases.
+    pub chase_stats: pde_chase::ChaseStats,
 }
 
 /// Outcome of `ExistsSolution`.
@@ -141,6 +143,7 @@ pub fn exists_solution_unchecked(
         return Err(TractableError::ChaseDidNotTerminate);
     }
     stats.chase_steps += st_res.steps;
+    stats.chase_stats.absorb(st_res.stats);
     let chased_st = st_res.instance;
     stats.jcan_facts = chased_st.fact_count_of(Peer::Target);
 
@@ -151,6 +154,7 @@ pub fn exists_solution_unchecked(
         return Err(TractableError::ChaseDidNotTerminate);
     }
     stats.chase_steps += ts_res.steps;
+    stats.chase_stats.absorb(ts_res.stats);
     let chased_ts = ts_res.instance;
     let ican = chased_ts.restrict(Peer::Source);
     stats.ican_facts = ican.fact_count();

@@ -14,9 +14,14 @@
 //! The search is backtracking with two optimizations that can be switched
 //! off for the ablation experiment (EXPERIMENTS.md E13): *dynamic atom
 //! ordering* (always expand the atom with the fewest estimated candidate
-//! tuples next) and *index-driven candidate enumeration* (scan only the rows
-//! sharing a bound value via the per-attribute hash indexes, instead of the
-//! whole relation).
+//! tuples next, preferring atoms already connected to the bound prefix) and
+//! *index-driven candidate enumeration* (scan only the rows sharing a bound
+//! value via the per-attribute hash indexes, instead of the whole relation).
+//!
+//! A third, *semi-naive* entry point ([`for_each_hom_seminaive`]) restricts
+//! each atom to an insertion-epoch window so that only homomorphisms
+//! touching a delta of recently inserted facts are enumerated — the
+//! trigger-discovery mode of the semi-naive chase.
 
 use crate::atom::{Atom, Term, Var};
 use crate::instance::Instance;
@@ -106,10 +111,42 @@ impl Default for HomConfig {
     }
 }
 
+/// A half-open insertion-epoch window `[lo, hi)` constraining which rows an
+/// atom may match during a semi-naive search.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+struct EpochWindow {
+    lo: u64,
+    hi: u64,
+}
+
+impl EpochWindow {
+    /// No constraint at all.
+    const ALL: EpochWindow = EpochWindow {
+        lo: 0,
+        hi: u64::MAX,
+    };
+
+    /// Everything inserted strictly before `hi`.
+    fn before(hi: u64) -> EpochWindow {
+        EpochWindow { lo: 0, hi }
+    }
+
+    fn contains(self, epoch: u64) -> bool {
+        self.lo <= epoch && epoch < self.hi
+    }
+
+    fn is_all(self) -> bool {
+        self == EpochWindow::ALL
+    }
+}
+
 struct Search<'a, F> {
     atoms: &'a [Atom],
     inst: &'a Instance,
     config: HomConfig,
+    /// Per-atom epoch windows (parallel to `atoms`); `None` means
+    /// unconstrained.
+    windows: Option<&'a [EpochWindow]>,
     sink: F,
 }
 
@@ -119,12 +156,22 @@ impl<F: FnMut(&Assignment) -> ControlFlow<()>> Search<'_, F> {
         self.step(assign, &mut remaining)
     }
 
-    /// Estimated number of candidate tuples for `atom` under `assign`:
-    /// the count at the most selective bound position, or the relation size
-    /// when nothing is bound.
-    fn estimate(&self, atom: &Atom, assign: &Assignment) -> usize {
+    fn window(&self, atom_idx: usize) -> EpochWindow {
+        self.windows.map_or(EpochWindow::ALL, |w| w[atom_idx])
+    }
+
+    /// Estimated number of candidate tuples for atom `ai` under `assign`:
+    /// the count at the most selective bound position, or the (window)
+    /// relation size when nothing is bound.
+    fn estimate(&self, ai: usize, assign: &Assignment) -> usize {
+        let atom = &self.atoms[ai];
         let rel = self.inst.relation(atom.rel);
-        let mut best = rel.len();
+        let w = self.window(ai);
+        let mut best = if w.is_all() {
+            rel.len()
+        } else {
+            rel.window_size(w.lo, w.hi)
+        };
         for (i, t) in atom.terms.iter().enumerate() {
             if let Some(v) = assign.eval(t) {
                 let attr = u16::try_from(i).expect("attribute index exceeds u16 arity bound");
@@ -143,6 +190,7 @@ impl<F: FnMut(&Assignment) -> ControlFlow<()>> Search<'_, F> {
         // recursive `&mut self` call below.
         let atom = self.atoms[atom_idx].clone();
         let rel = self.inst.relation(atom.rel);
+        let w = self.window(atom_idx);
 
         // Candidate rows: via the best bound-position index, or a full scan.
         // Tuples are Arc-backed, so cloning candidates out keeps the borrow
@@ -160,11 +208,17 @@ impl<F: FnMut(&Assignment) -> ControlFlow<()>> Search<'_, F> {
             }
         }
         let tuples: Vec<crate::tuple::Tuple> = match anchor {
-            Some((attr, v, _)) => {
-                let rows: Vec<u32> = rel.rows_with(attr, v).collect();
-                rows.iter().filter_map(|r| rel.row(*r)).cloned().collect()
-            }
-            None => rel.iter().cloned().collect(),
+            Some((attr, v, _)) => rel
+                .rows_with(attr, v)
+                .filter(|r| w.contains(rel.epoch_of(*r)))
+                .filter_map(|r| rel.row(r))
+                .cloned()
+                .collect(),
+            None if w.is_all() => rel.iter().cloned().collect(),
+            None => rel
+                .rows_in_window(w.lo, w.hi)
+                .map(|(_, t)| t.clone())
+                .collect(),
         };
 
         for t in tuples {
@@ -210,7 +264,12 @@ impl<F: FnMut(&Assignment) -> ControlFlow<()>> Search<'_, F> {
         ControlFlow::Continue(())
     }
 
-    /// Index *into `remaining`* of the atom to expand next.
+    /// Index *into `remaining`* of the atom to expand next: the most
+    /// selective atom among those *connected* to the current assignment
+    /// (sharing a bound variable or carrying a constant). Disconnected
+    /// atoms are deferred — however small their relation, expanding one
+    /// forks the search into a cartesian product with the bound prefix,
+    /// which the per-atom estimate alone cannot see.
     fn pick(&self, assign: &Assignment, remaining: &[usize]) -> Option<usize> {
         if remaining.is_empty() {
             return None;
@@ -219,11 +278,16 @@ impl<F: FnMut(&Assignment) -> ControlFlow<()>> Search<'_, F> {
             return Some(0);
         }
         let mut best = 0usize;
-        let mut best_est = usize::MAX;
+        let mut best_key = (true, usize::MAX);
         for (slot, &ai) in remaining.iter().enumerate() {
-            let est = self.estimate(&self.atoms[ai], assign);
-            if est < best_est {
-                best_est = est;
+            let est = self.estimate(ai, assign);
+            let connected = self.atoms[ai]
+                .terms
+                .iter()
+                .any(|t| assign.eval(t).is_some());
+            let key = (!connected, est);
+            if key < best_key {
+                best_key = key;
                 best = slot;
             }
         }
@@ -244,10 +308,68 @@ pub fn for_each_hom_with(
         atoms,
         inst,
         config,
+        windows: None,
         sink: f,
     };
     let mut assign = partial.clone();
     search.run(&mut assign)
+}
+
+/// Enumerate every homomorphism extending `partial` from `atoms` into
+/// `inst` that matches *at least one* atom against a fact whose insertion
+/// epoch lies in `[delta_lo, delta_hi)` — the semi-naive delta mode. Facts
+/// stamped `>= delta_hi` are invisible (the search sees the instance as of
+/// `delta_hi`), so enumeration during a chase round is unaffected by that
+/// round's own insertions.
+///
+/// Each qualifying homomorphism is produced exactly once via the standard
+/// pivot decomposition: for each pivot position `p`, atom `p` matches
+/// inside the delta, atoms before `p` match strictly before it, and atoms
+/// after `p` match anywhere below `delta_hi` — so a homomorphism is found
+/// for exactly one pivot, the first atom it matches against the delta.
+///
+/// An empty conjunction yields nothing: its empty homomorphism touches no
+/// delta fact (callers wanting the seed-round semantics of the empty hom
+/// use [`for_each_hom_with`] directly).
+pub fn for_each_hom_seminaive(
+    atoms: &[Atom],
+    inst: &Instance,
+    partial: &Assignment,
+    config: HomConfig,
+    delta_lo: u64,
+    delta_hi: u64,
+    mut f: impl FnMut(&Assignment) -> ControlFlow<()>,
+) -> ControlFlow<()> {
+    let mut windows = vec![EpochWindow::before(delta_hi); atoms.len()];
+    for pivot in 0..atoms.len() {
+        if inst
+            .relation(atoms[pivot].rel)
+            .window_size(delta_lo, delta_hi)
+            == 0
+        {
+            continue; // this pivot's relation has no delta rows at all
+        }
+        for (j, w) in windows.iter_mut().enumerate() {
+            *w = match j.cmp(&pivot) {
+                std::cmp::Ordering::Less => EpochWindow::before(delta_lo),
+                std::cmp::Ordering::Equal => EpochWindow {
+                    lo: delta_lo,
+                    hi: delta_hi,
+                },
+                std::cmp::Ordering::Greater => EpochWindow::before(delta_hi),
+            };
+        }
+        let mut search = Search {
+            atoms,
+            inst,
+            config,
+            windows: Some(&windows),
+            sink: &mut f,
+        };
+        let mut assign = partial.clone();
+        search.run(&mut assign)?;
+    }
+    ControlFlow::Continue(())
 }
 
 /// [`for_each_hom_with`] with the default configuration.
@@ -613,5 +735,117 @@ mod tests {
         let homs = all_homs(&[], &i, &Assignment::new());
         assert_eq!(homs.len(), 1);
         assert!(homs[0].is_empty());
+    }
+
+    fn count_seminaive(atoms: &[Atom], i: &Instance, lo: u64, hi: u64) -> usize {
+        let mut n = 0usize;
+        let _ = for_each_hom_seminaive(
+            atoms,
+            i,
+            &Assignment::new(),
+            HomConfig::default(),
+            lo,
+            hi,
+            |_| {
+                n += 1;
+                ControlFlow::Continue(())
+            },
+        );
+        n
+    }
+
+    #[test]
+    fn seminaive_mode_partitions_homs_by_pivot_epoch() {
+        let (s, mut i) = path_instance(&[("a", "b"), ("b", "c")]);
+        let e1 = i.bump_epoch();
+        i.insert_consts("E", ["c", "d"]);
+        i.insert_consts("E", ["d", "d"]); // self-loop: both atoms hit one delta fact
+        let e2 = i.bump_epoch();
+        let atoms = vec![
+            Atom::vars(&s, "E", &["x", "y"]),
+            Atom::vars(&s, "E", &["y", "z"]),
+        ];
+        // All homs: a-b-c, b-c-d, c-d-d, d-d-d.
+        assert_eq!(all_homs(&atoms, &i, &Assignment::new()).len(), 4);
+        // Old-only window reproduces the epoch-0 homs.
+        assert_eq!(count_seminaive(&atoms, &i, 0, e1), 1);
+        // Delta window: exactly the homs touching an epoch-1 fact, each
+        // once — including d-d-d, where both atoms match the same delta row.
+        assert_eq!(count_seminaive(&atoms, &i, e1, e2), 3);
+        // The two windows partition the full enumeration.
+        assert_eq!(count_seminaive(&atoms, &i, 0, e2), 4);
+        // Facts at or above the high bound are invisible.
+        assert_eq!(count_seminaive(&atoms, &i, e2, u64::MAX), 0);
+    }
+
+    #[test]
+    fn seminaive_mode_ignores_the_empty_conjunction() {
+        let (_, i) = path_instance(&[("a", "b")]);
+        assert_eq!(count_seminaive(&[], &i, 0, u64::MAX), 0);
+    }
+
+    #[test]
+    fn seminaive_configs_agree() {
+        let (s, mut i) = path_instance(&[("a", "b"), ("b", "c"), ("b", "a")]);
+        let e1 = i.bump_epoch();
+        i.insert_consts("E", ["c", "a"]);
+        let e2 = i.bump_epoch();
+        let atoms = vec![
+            Atom::vars(&s, "E", &["x", "y"]),
+            Atom::vars(&s, "E", &["y", "z"]),
+        ];
+        let mut counts = Vec::new();
+        for use_index in [true, false] {
+            for reorder_atoms in [true, false] {
+                let c = HomConfig {
+                    use_index,
+                    reorder_atoms,
+                };
+                let mut n = 0usize;
+                let _ = for_each_hom_seminaive(&atoms, &i, &Assignment::new(), c, e1, e2, |_| {
+                    n += 1;
+                    ControlFlow::Continue(())
+                });
+                counts.push(n);
+            }
+        }
+        assert!(counts.windows(2).all(|w| w[0] == w[1]), "{counts:?}");
+        assert_eq!(counts[0], 2); // b-c-a and c-a-b touch the delta edge c-a
+    }
+
+    #[test]
+    fn ordering_prefers_connected_atoms_over_small_disconnected_ones() {
+        // A tiny disconnected relation next to a selective connected one:
+        // the search must still find the right answers (counts are
+        // config-independent; this guards the lexicographic pick).
+        let mut s = Schema::new();
+        s.add_relation("E", 2, Peer::Source);
+        s.add_relation("T", 1, Peer::Source);
+        let s = Arc::new(s);
+        let mut i = Instance::new(s.clone());
+        for k in 0..20 {
+            i.insert_consts("E", [format!("v{k}"), format!("v{}", k + 1)]);
+        }
+        i.insert_consts("T", ["t0"]);
+        i.insert_consts("T", ["t1"]);
+        let atoms = vec![
+            Atom::vars(&s, "E", &["x", "y"]),
+            Atom::vars(&s, "E", &["y", "z"]),
+            Atom::vars(&s, "T", &["u"]),
+        ];
+        for c in [
+            HomConfig::default(),
+            HomConfig {
+                use_index: true,
+                reorder_atoms: false,
+            },
+        ] {
+            let mut n = 0usize;
+            let _ = for_each_hom_with(&atoms, &i, &Assignment::new(), c, |_| {
+                n += 1;
+                ControlFlow::Continue(())
+            });
+            assert_eq!(n, 19 * 2); // 19 length-2 paths × 2 T-values
+        }
     }
 }

@@ -8,16 +8,23 @@
 use crate::relation::Relation;
 use crate::schema::{Peer, RelId, Schema};
 use crate::tuple::Tuple;
+use crate::unionfind::ValueUnionFind;
 use crate::value::{NullId, Value};
 use std::collections::BTreeSet;
 use std::fmt;
 use std::sync::Arc;
 
 /// A database instance over a fixed schema.
+///
+/// The instance owns a monotone *epoch counter*: every inserted fact is
+/// stamped with the current epoch, and [`Instance::bump_epoch`] opens a new
+/// one. The semi-naive chase bumps the epoch once per round and asks each
+/// relation for its rows in the window between two epochs — the delta.
 #[derive(Clone)]
 pub struct Instance {
     schema: Arc<Schema>,
     relations: Vec<Relation>,
+    epoch: u64,
 }
 
 impl Instance {
@@ -27,7 +34,11 @@ impl Instance {
             .rel_ids()
             .map(|id| Relation::new(schema.arity(id)))
             .collect();
-        Instance { schema, relations }
+        Instance {
+            schema,
+            relations,
+            epoch: 0,
+        }
     }
 
     /// The instance's schema.
@@ -35,9 +46,23 @@ impl Instance {
         &self.schema
     }
 
-    /// Insert a fact `R(t)`; returns `true` if new.
+    /// The epoch newly inserted facts are currently stamped with.
+    pub fn current_epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// Open a new insertion epoch and return it: facts inserted from now on
+    /// are distinguishable (as a delta) from everything inserted before.
+    pub fn bump_epoch(&mut self) -> u64 {
+        self.epoch += 1;
+        self.epoch
+    }
+
+    /// Insert a fact `R(t)` stamped with the current epoch; returns `true`
+    /// if new.
     pub fn insert(&mut self, rel: RelId, t: Tuple) -> bool {
-        self.relations[rel.index()].insert(t)
+        let epoch = self.epoch;
+        self.relations[rel.index()].insert_at(t, epoch)
     }
 
     /// Insert a fact given the relation name and constant strings
@@ -169,10 +194,38 @@ impl Instance {
     }
 
     /// Replace every occurrence of `from` by `to`, in all relations.
+    /// Rewritten facts are stamped with the current epoch (they count as
+    /// new for delta purposes: merged facts can enable new triggers).
     pub fn substitute(&mut self, from: Value, to: Value) {
+        let epoch = self.epoch;
         for r in &mut self.relations {
-            r.substitute(from, to);
+            r.substitute_at(from, to, epoch);
         }
+    }
+
+    /// Apply every merge recorded in a union-find at once: each fact
+    /// containing a non-canonical value is rewritten to canonical
+    /// representatives, with index repair targeted at the merged values'
+    /// buckets. Rewritten facts are stamped with the current epoch. Returns
+    /// the number of rewritten facts.
+    pub fn apply_merges(&mut self, uf: &ValueUnionFind) -> usize {
+        if uf.is_empty() {
+            return 0;
+        }
+        let touched = uf.dirty_values();
+        let epoch = self.epoch;
+        self.relations
+            .iter_mut()
+            .map(|r| r.rewrite_values(&touched, |v| uf.resolve(v), epoch))
+            .sum()
+    }
+
+    /// Do any facts carry an insertion epoch `>= since`? A cheap emptiness
+    /// test for the delta view.
+    pub fn has_facts_since(&self, since: u64) -> bool {
+        self.relations
+            .iter()
+            .any(|r| r.rows_in_window(since, u64::MAX).next().is_some())
     }
 
     /// Apply a value mapping to every fact, producing a new instance
@@ -313,6 +366,40 @@ mod tests {
         let img = i.map_values(|v| if v.is_null() { Value::constant("c") } else { v });
         assert!(img.contains(h, &Tuple::consts(["c", "c"])));
         assert_eq!(img.fact_count(), 1);
+    }
+
+    #[test]
+    fn epochs_track_insertion_rounds() {
+        let mut i = Instance::new(schema());
+        i.insert_consts("E", ["a", "b"]);
+        let e1 = i.bump_epoch();
+        i.insert_consts("E", ["b", "c"]);
+        assert_eq!(i.current_epoch(), e1);
+        let e = i.schema().rel_id("E").unwrap();
+        assert_eq!(i.relation(e).rows_in_window(e1, u64::MAX).count(), 1);
+        assert!(i.has_facts_since(e1));
+        assert!(!i.has_facts_since(e1 + 1));
+    }
+
+    #[test]
+    fn apply_merges_rewrites_through_the_union_find() {
+        use crate::unionfind::ValueUnionFind;
+        let s = schema();
+        let mut i = Instance::new(s.clone());
+        let h = s.rel_id("H").unwrap();
+        let n0 = Value::Null(NullId(0));
+        let n1 = Value::Null(NullId(1));
+        i.insert(h, Tuple::new(vec![n0, n1]));
+        i.insert(h, Tuple::new(vec![Value::constant("a"), n1]));
+        let mut uf = ValueUnionFind::new();
+        uf.union(n0, Value::constant("a")).unwrap();
+        uf.union(n1, n0).unwrap();
+        let rewritten = i.apply_merges(&uf);
+        assert_eq!(rewritten, 2);
+        // Both facts collapse to H(a, a).
+        assert_eq!(i.fact_count(), 1);
+        assert!(i.contains(h, &Tuple::consts(["a", "a"])));
+        assert!(i.is_ground());
     }
 
     #[test]

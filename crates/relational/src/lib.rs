@@ -25,13 +25,14 @@ pub mod retract;
 pub mod schema;
 pub mod symbol;
 pub mod tuple;
+pub mod unionfind;
 pub mod value;
 
 pub use atom::{Atom, Conjunction, Term, Var};
 pub use hom::{
-    all_homs, exists_hom, exists_hom_with, find_hom, for_each_hom, for_each_hom_with,
-    instance_as_atoms, instance_hom, instance_hom_exists, instance_hom_with, instances_isomorphic,
-    Assignment, HomConfig,
+    all_homs, exists_hom, exists_hom_with, find_hom, for_each_hom, for_each_hom_seminaive,
+    for_each_hom_with, instance_as_atoms, instance_hom, instance_hom_exists, instance_hom_with,
+    instances_isomorphic, Assignment, HomConfig,
 };
 pub use instance::Instance;
 pub use parser::{
@@ -44,4 +45,5 @@ pub use retract::{core_of, fold_null, is_core};
 pub use schema::{Peer, Position, RelId, RelationInfo, Schema};
 pub use symbol::Symbol;
 pub use tuple::Tuple;
+pub use unionfind::{ConstMergeConflict, ValueUnionFind};
 pub use value::{NullGen, NullId, Value};

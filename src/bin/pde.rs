@@ -33,6 +33,12 @@
 //! `enumerate` take `--max-steps <n>` (search node / chase step cap) and
 //! `--max-branches <n>` (active-domain values tried per existential);
 //! exceeding a cap reports "undecided", never a wrong answer.
+//!
+//! `--chase naive|seminaive` (any command) selects the chase engine for
+//! the whole run — semi-naive delta-driven by default, `naive` as the
+//! escape hatch (see `docs/CHASE.md`). `solve --stats` prints the chase
+//! engine counters: rounds, triggers fired vs skipped-by-delta, egd
+//! merges.
 
 use pde_analysis::{
     analyze_setting, any_denied, plan_setting, render_certificate_text, render_json, render_text,
@@ -68,13 +74,15 @@ const USAGE: &str = "usage:
   pde classify  <bundle.pde>
   pde lint      <bundle.pde> [--format text|json] [--deny warnings]
   pde plan      <bundle.pde> [--format text|json] [--check <cert.json>]
-  pde solve     <bundle.pde> [--no-lint] [--plan <cert.json>] [--max-steps n] [--max-branches n]
+  pde solve     <bundle.pde> [--no-lint] [--plan <cert.json>] [--max-steps n] [--max-branches n] [--stats]
   pde certain   <bundle.pde> <query> [--no-lint] [--plan <cert.json>] [--max-steps n] [--max-branches n]
   pde chase     <bundle.pde>
   pde check     <bundle.pde> <candidate-instance>
   pde enumerate <bundle.pde> [limit] [--no-lint] [--max-steps n] [--max-branches n]
   pde shrink    <bundle.pde> <candidate-instance>
-  pde format    <bundle.pde>";
+  pde format    <bundle.pde>
+global flags:
+  --chase naive|seminaive   chase engine (default: seminaive)";
 
 fn load_bundle(path: &str) -> Result<Bundle, String> {
     let src = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
@@ -91,6 +99,8 @@ struct Flags {
     max_branches: Option<usize>,
     plan_path: Option<String>,
     check_path: Option<String>,
+    stats: bool,
+    chase_engine: Option<pde_chase::ChaseEngine>,
 }
 
 /// Split `args` into positional arguments and recognized flags.
@@ -124,6 +134,17 @@ fn split_flags(args: &[String]) -> Result<(Vec<String>, Flags), String> {
             "--max-branches" => flags.max_branches = Some(flag_number(&mut it, "--max-branches")?),
             "--plan" => flags.plan_path = Some(flag_value(&mut it, "--plan")?),
             "--check" => flags.check_path = Some(flag_value(&mut it, "--check")?),
+            "--stats" => flags.stats = true,
+            "--chase" => match it.next().map(String::as_str) {
+                Some("naive") => flags.chase_engine = Some(pde_chase::ChaseEngine::Naive),
+                Some("seminaive") => flags.chase_engine = Some(pde_chase::ChaseEngine::Seminaive),
+                other => {
+                    return Err(format!(
+                        "--chase expects 'naive' or 'seminaive', got {}",
+                        other.map_or("nothing".into(), |o| format!("'{o}'"))
+                    ))
+                }
+            },
             f if f.starts_with("--") => return Err(format!("unknown flag '{f}'")),
             _ => pos.push(a.clone()),
         }
@@ -198,6 +219,9 @@ fn auto_lint(bundle: &Bundle, flags: &Flags) {
 
 fn run(args: &[String]) -> Result<bool, String> {
     let (args, flags) = split_flags(args)?;
+    if let Some(engine) = flags.chase_engine {
+        pde_chase::set_default_chase_engine(engine);
+    }
     let cmd = args.first().ok_or("missing command")?;
     match cmd.as_str() {
         "lint" => {
@@ -304,6 +328,19 @@ fn run(args: &[String]) -> Result<bool, String> {
             println!("{}", bundle.summary());
             println!("solver:   {}", report.kind);
             println!("elapsed:  {:?}", report.elapsed);
+            if flags.stats {
+                println!("engine:   {:?}", pde_chase::default_chase_engine());
+                match report.chase_stats {
+                    Some(s) => {
+                        println!("chase rounds:            {}", s.rounds);
+                        println!("triggers fired:          {}", s.triggers_fired);
+                        println!("triggers satisfied:      {}", s.triggers_satisfied);
+                        println!("skipped by delta:        {}", s.skipped_by_delta);
+                        println!("egd merges:              {}", s.egd_merges);
+                    }
+                    None => println!("chase stats:             n/a (search-based solver)"),
+                }
+            }
             match report.exists {
                 Some(true) => {
                     println!("result:   solution exists");

@@ -464,6 +464,42 @@ fn solve_accepts_a_precomputed_plan() {
 }
 
 #[test]
+fn solve_stats_prints_chase_counters() {
+    let p = write_temp("stats.pde", EX1_TRIANGLE);
+    let out = run(&["solve", "--no-lint", "--stats", p.to_str().unwrap()]);
+    assert!(out.status.success());
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    assert!(stdout.contains("engine:   Seminaive"), "stdout: {stdout}");
+    assert!(stdout.contains("chase rounds:"), "stdout: {stdout}");
+    assert!(stdout.contains("triggers fired:"), "stdout: {stdout}");
+    assert!(stdout.contains("skipped by delta:"), "stdout: {stdout}");
+    assert!(stdout.contains("egd merges:"), "stdout: {stdout}");
+
+    // The naive escape hatch decides the bundle identically and, by
+    // definition, skips nothing.
+    let out = run(&[
+        "solve",
+        "--no-lint",
+        "--chase",
+        "naive",
+        "--stats",
+        p.to_str().unwrap(),
+    ]);
+    assert!(out.status.success());
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    assert!(stdout.contains("engine:   Naive"), "stdout: {stdout}");
+    assert!(stdout.contains("solution exists"), "stdout: {stdout}");
+    assert!(
+        stdout.contains("skipped by delta:        0"),
+        "stdout: {stdout}"
+    );
+
+    // A bad engine name is a usage error.
+    let out = run(&["solve", "--chase", "magic", p.to_str().unwrap()]);
+    assert_eq!(out.status.code(), Some(2));
+}
+
+#[test]
 fn usage_errors_exit_2() {
     let out = run(&[]);
     assert_eq!(out.status.code(), Some(2));

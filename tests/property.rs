@@ -294,6 +294,104 @@ proptest! {
     }
 
     #[test]
+    fn naive_and_seminaive_chase_agree(seed in 0u64..512, n_t in 0u32..3) {
+        // The delta-driven engine must be indistinguishable from the naive
+        // oracle on random weakly acyclic settings: same outcome kind, and
+        // on success homomorphically equivalent results that satisfy the
+        // chased dependencies (restricted-chase results are only unique up
+        // to hom-equivalence, so we do not demand isomorphism here).
+        use peer_data_exchange::workloads::random::{
+            random_instance, random_weakly_acyclic_setting, RandomSettingParams,
+        };
+        let params = RandomSettingParams::default();
+        let setting = match random_weakly_acyclic_setting(&params, n_t, seed) {
+            Ok(s) => s,
+            Err(_) => return Ok(()),
+        };
+        let input = random_instance(&setting, 4, 0, 3, seed ^ 0xd1ff);
+        let deps: Vec<Dependency> = setting
+            .sigma_st()
+            .iter()
+            .cloned()
+            .map(Dependency::Tgd)
+            .chain(setting.sigma_t().iter().cloned())
+            .collect();
+        let naive = pde_chase::chase_naive_with(
+            input.clone(),
+            &deps,
+            pde_chase::WitnessMode::FreshNulls(&pde_relational::NullGen::new()),
+            ChaseLimits::default(),
+        );
+        let semi = pde_chase::chase_seminaive_with(
+            input,
+            &deps,
+            pde_chase::WitnessMode::FreshNulls(&pde_relational::NullGen::new()),
+            ChaseLimits::default(),
+        );
+        prop_assert_eq!(naive.is_success(), semi.is_success());
+        prop_assert_eq!(naive.is_failure(), semi.is_failure());
+        if naive.is_success() {
+            prop_assert!(pde_chase::satisfies_all(&naive.instance, &deps));
+            prop_assert!(pde_chase::satisfies_all(&semi.instance, &deps));
+            prop_assert!(
+                pde_relational::instance_hom_exists(&naive.instance, &semi.instance),
+                "naive result maps into semi-naive result"
+            );
+            prop_assert!(
+                pde_relational::instance_hom_exists(&semi.instance, &naive.instance),
+                "semi-naive result maps into naive result"
+            );
+        }
+    }
+
+    #[test]
+    fn naive_and_seminaive_agree_on_egd_heavy_chases(edges in arb_edge_instance(4, 7)) {
+        // Egd-focused differential: merge-heavy and failure-prone dep sets
+        // over random edge instances. Here both engines run the same merge
+        // discipline, so successful results must be isomorphic, not merely
+        // hom-equivalent.
+        let schema = std::sync::Arc::new(
+            parse_schema("source E/2; target H/2; target K/2;").unwrap(),
+        );
+        let dep_sets = [
+            // Two existentials forced together per source node.
+            "E(x, y) -> exists z . H(x, z); E(x, y) -> exists w . K(x, w); \
+             H(x, y), K(x, z) -> y = z",
+            // Key constraint on copied edges: fails when a node has two
+            // distinct successors.
+            "E(x, y) -> H(x, y); H(x, y), H(x, z) -> y = z",
+        ];
+        for src_deps in dep_sets {
+            let deps = parse_dependencies(&schema, src_deps).unwrap();
+            let mut src = String::new();
+            for (a, b) in &edges {
+                src.push_str(&format!("E(v{a}, v{b}). "));
+            }
+            let input = parse_instance(&schema, &src).unwrap();
+            let naive = pde_chase::chase_naive_with(
+                input.clone(),
+                &deps,
+                pde_chase::WitnessMode::FreshNulls(&pde_relational::NullGen::new()),
+                ChaseLimits::default(),
+            );
+            let semi = pde_chase::chase_seminaive_with(
+                input,
+                &deps,
+                pde_chase::WitnessMode::FreshNulls(&pde_relational::NullGen::new()),
+                ChaseLimits::default(),
+            );
+            prop_assert_eq!(naive.is_success(), semi.is_success(), "{}", src_deps);
+            if naive.is_success() {
+                prop_assert!(pde_chase::satisfies_all(&semi.instance, &deps));
+                prop_assert!(
+                    pde_relational::instances_isomorphic(&naive.instance, &semi.instance),
+                    "{src_deps}"
+                );
+            }
+        }
+    }
+
+    #[test]
     fn shrink_solution_yields_contained_solutions(edges in arb_edge_instance(4, 6)) {
         let p = paper::example1_setting();
         let input = edges_to_instance(&p, "E", &edges);
@@ -363,4 +461,48 @@ proptest! {
         let reparsed = parse_tgd(&schema, &rendered).unwrap();
         prop_assert_eq!(parsed, reparsed);
     }
+}
+
+/// The semi-naive engine's `StepRecord` log stays within the Lemma 1 step
+/// bound of a verified `pde plan` certificate: delta-driven trigger
+/// discovery changes *when* triggers are found, never how many steps the
+/// chase applies.
+#[test]
+fn seminaive_step_log_respects_verified_certificate_bound() {
+    let setting = PdeSetting::parse(
+        "source E/2; target H/2; target K/2;",
+        "E(x, y) -> exists z . H(x, z), H(z, y)",
+        "",
+        "H(x, y) -> K(x, y)",
+    )
+    .unwrap();
+    let input = parse_instance(setting.schema(), "E(a, b). E(b, c). E(c, a).").unwrap();
+    let cert = pde_analysis::plan_setting(&setting, input.active_domain().len());
+    pde_analysis::verify_certificate(&setting, &cert).expect("certificate verifies");
+    let deps: Vec<Dependency> = setting
+        .sigma_st()
+        .iter()
+        .cloned()
+        .map(Dependency::Tgd)
+        .chain(setting.sigma_t().iter().cloned())
+        .collect();
+    let res = pde_chase::chase_seminaive_with(
+        input,
+        &deps,
+        pde_chase::WitnessMode::FreshNulls(&pde_relational::NullGen::new()),
+        ChaseLimits::from_bound(pde_constraints::ChaseBound {
+            step_bound: cert.chase.step_bound,
+            fact_bound: cert.chase.fact_bound,
+            value_bound: cert.chase.value_bound,
+        }),
+    );
+    assert!(res.is_success(), "chase completes within certified budgets");
+    assert_eq!(res.log.len(), res.steps, "one record per applied step");
+    assert!(
+        res.log.len() <= cert.chase.step_bound,
+        "log length {} exceeds certified Lemma 1 bound {}",
+        res.log.len(),
+        cert.chase.step_bound
+    );
+    assert!(res.instance.fact_count() <= cert.chase.fact_bound);
 }

@@ -29,6 +29,7 @@
 use pde_constraints::{DependencyGraph, Tgd};
 use pde_core::{GenericLimits, PdeSetting, SolvePlan, SolverKind};
 use pde_relational::{Position, Schema, Term, Var};
+use pde_runtime::GovernorConfig;
 use std::collections::{BTreeMap, BTreeSet, HashMap};
 use std::fmt;
 
@@ -306,6 +307,19 @@ pub struct Certificate {
     pub budgets: Budgets,
 }
 
+/// Byte allowance per chased fact used by
+/// [`Certificate::derived_governor_config`]. Deliberately above the
+/// `Relation::approx_heap_bytes` accounting for any realistic arity
+/// (storage slot + `Arc` header + values + set entry + per-position index
+/// entries come to ~190 bytes at arity 4), so a run that stays inside the
+/// certified fact bound never trips the derived budget.
+pub const GOVERNOR_BYTES_PER_FACT: usize = 256;
+
+/// Fixed slack added on top of the per-fact allowance (1 MiB): covers the
+/// solvers' non-instance state (frontiers, homomorphism search stacks) on
+/// small inputs where the fact bound alone would be only a few KiB.
+pub const GOVERNOR_SLACK_BYTES: usize = 1 << 20;
+
 impl Certificate {
     /// Convert to a [`SolvePlan`] for `pde_core::decide_with_plan`.
     pub fn to_solve_plan(&self) -> SolvePlan {
@@ -319,6 +333,35 @@ impl Certificate {
                 max_steps: self.budgets.chase_steps,
                 max_facts: self.budgets.chase_facts,
             },
+        }
+    }
+
+    /// Derive a [`GovernorConfig`] from the certified chase bound: when the
+    /// setting is weakly acyclic, Lemma 1's `fact_bound` caps every
+    /// reachable instance, so
+    /// `fact_bound × GOVERNOR_BYTES_PER_FACT + GOVERNOR_SLACK_BYTES` is a
+    /// memory budget no well-behaved run can trip — it only fires on a bug
+    /// (runaway engine) — while still containing one. Without weak
+    /// acyclicity there is no certified bound and the memory budget is left
+    /// unset. Deadlines and cancellation are operator policy, not derivable
+    /// from the setting, so those fields stay `None`; merge them in at the
+    /// call site.
+    pub fn derived_governor_config(&self) -> GovernorConfig {
+        let memory_budget_bytes = if self.chase.weakly_acyclic {
+            let bytes = self
+                .chase
+                .fact_bound
+                .saturating_mul(GOVERNOR_BYTES_PER_FACT)
+                .saturating_add(GOVERNOR_SLACK_BYTES);
+            // A saturated bound is no bound at all.
+            (bytes != usize::MAX).then_some(bytes)
+        } else {
+            None
+        };
+        GovernorConfig {
+            deadline: None,
+            memory_budget_bytes,
+            cancel: None,
         }
     }
 }

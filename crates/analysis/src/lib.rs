@@ -38,7 +38,7 @@ pub use analyzer::{
 pub use certificate::{
     verify_certificate, Budgets, Certificate, CertificateError, ChaseCertificate, ComplexityClass,
     CycleEdge, PositionRef, RankEntry, Regime, TractCertificate, TractCounterexample,
-    CERTIFICATE_VERSION,
+    CERTIFICATE_VERSION, GOVERNOR_BYTES_PER_FACT, GOVERNOR_SLACK_BYTES,
 };
 pub use diag::{any_denied, Code, ConstraintRef, Diagnostic, Group, Severity};
 pub use plan::{plan_setting, render_certificate_text};

@@ -393,4 +393,45 @@ mod tests {
         assert!(text.contains("C_tract: in"));
         assert!(text.contains("budgets:"));
     }
+
+    #[test]
+    fn governor_config_derives_memory_budget_from_fact_bound() {
+        use crate::certificate::{GOVERNOR_BYTES_PER_FACT, GOVERNOR_SLACK_BYTES};
+        let cert = plan_setting(&example1(), 4);
+        assert!(cert.chase.weakly_acyclic);
+        let cfg = cert.derived_governor_config();
+        assert_eq!(
+            cfg.memory_budget_bytes,
+            Some(cert.chase.fact_bound * GOVERNOR_BYTES_PER_FACT + GOVERNOR_SLACK_BYTES)
+        );
+        // Static derivation never sets operator policy.
+        assert!(cfg.deadline.is_none());
+        assert!(cfg.cancel.is_none());
+    }
+
+    #[test]
+    fn governor_config_is_unbounded_without_weak_acyclicity() {
+        let cert = plan_setting(&non_terminating(), 3);
+        assert!(!cert.chase.weakly_acyclic);
+        assert_eq!(cert.derived_governor_config().memory_budget_bytes, None);
+    }
+
+    #[test]
+    fn derived_budget_admits_the_actual_chase_result() {
+        // A governed run under the plan-derived memory budget must decide,
+        // not stop: the budget is calibrated to dominate any instance the
+        // certified chase can reach.
+        use pde_runtime::Governor;
+        let setting = example1();
+        let input =
+            pde_relational::parse_instance(setting.schema(), "E(a, a). E(a, b). E(b, a).").unwrap();
+        let cert = plan_setting(&setting, input.active_domain().len());
+        let governor = Governor::new(cert.derived_governor_config());
+        let report =
+            pde_core::decide_governed(&setting, &input, &cert.to_solve_plan(), &governor).unwrap();
+        assert!(report.undecided.is_none(), "{:?}", report.undecided);
+        // E(b, b) is missing, so the forced H(b, b) has no Σts backing: a
+        // definite "no", reached without tripping the derived budget.
+        assert_eq!(report.exists, Some(false));
+    }
 }

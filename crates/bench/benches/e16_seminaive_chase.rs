@@ -12,15 +12,26 @@
 //!
 //! The differential property tests guarantee the engines agree; this
 //! experiment measures what that agreement costs.
+//!
+//! A third **governed** arm re-runs the semi-naive engine under a
+//! `Governor` with generous (never-binding) wall-clock and memory budgets,
+//! so the per-round deadline checks and byte accounting are live. The
+//! summary table reports its overhead against the ungoverned semi-naive
+//! run; the robustness acceptance bar is < 3%.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use pde_chase::{chase_naive_with, chase_seminaive_with, ChaseLimits, ChaseResult, WitnessMode};
+use pde_chase::{
+    chase_governed_with, chase_naive_with, chase_seminaive_with, ChaseEngine, ChaseLimits,
+    ChaseResult, WitnessMode,
+};
 use pde_constraints::Dependency;
 use pde_core::PdeSetting;
 use pde_relational::{Instance, NullGen};
+use pde_runtime::{Governor, GovernorConfig};
 use pde_workloads::boundary::{egd_boundary_instance, egd_boundary_setting};
 use pde_workloads::genomics::{genomics_instance, genomics_setting, GenomicsParams};
 use pde_workloads::Graph;
+use std::time::Duration;
 
 /// Σst ∪ Σt of a setting as one chaseable dependency list.
 fn forward_deps(setting: &PdeSetting) -> Vec<Dependency> {
@@ -38,6 +49,23 @@ fn run(engine: &str, input: &Instance, deps: &[Dependency]) -> ChaseResult {
     let limits = ChaseLimits::default();
     match engine {
         "naive" => chase_naive_with(input.clone(), deps, WitnessMode::FreshNulls(&gen), limits),
+        "governed" => {
+            // Generous budgets that never bind, so only the check/accounting
+            // overhead is measured.
+            let governor = Governor::new(GovernorConfig {
+                deadline: Some(Duration::from_secs(3600)),
+                memory_budget_bytes: Some(1 << 30),
+                cancel: None,
+            });
+            chase_governed_with(
+                input.clone(),
+                deps,
+                WitnessMode::FreshNulls(&gen),
+                limits,
+                ChaseEngine::Seminaive,
+                &governor,
+            )
+        }
         _ => chase_seminaive_with(input.clone(), deps, WitnessMode::FreshNulls(&gen), limits),
     }
 }
@@ -55,7 +83,7 @@ fn bench(c: &mut Criterion) {
         // grows with k: Σst mints 2 nulls per D fact and the two egds
         // collapse them per anchor.
         let input = egd_boundary_instance(&setting, &Graph::complete(3), k);
-        for engine in ["naive", "seminaive"] {
+        for engine in ["naive", "seminaive", "governed"] {
             grp.bench_with_input(BenchmarkId::new(engine, k), &input, |b, input| {
                 b.iter(|| {
                     let res = run(engine, input, &deps);
@@ -69,10 +97,17 @@ fn bench(c: &mut Criterion) {
         let semi_ms = pde_bench::time_ms(|| {
             let _ = run("seminaive", &input, &deps);
         });
+        let gov_ms = pde_bench::time_ms(|| {
+            let _ = run("governed", &input, &deps);
+        });
         let stats = run("seminaive", &input, &deps).stats;
         rows.push((
             format!("clique k={k}"),
-            format!("{naive_ms:.2} / {semi_ms:.2} ({:.1}x)", naive_ms / semi_ms),
+            format!(
+                "{naive_ms:.2} / {semi_ms:.2} ({:.1}x), gov {:+.1}%",
+                naive_ms / semi_ms,
+                (gov_ms / semi_ms - 1.0) * 100.0
+            ),
             format!(
                 "rounds={} merges={} skipped={}",
                 stats.rounds, stats.egd_merges, stats.skipped_by_delta
@@ -97,7 +132,7 @@ fn bench(c: &mut Criterion) {
             seed: 99,
         };
         let input = genomics_instance(&setting, &params);
-        for engine in ["naive", "seminaive"] {
+        for engine in ["naive", "seminaive", "governed"] {
             grp.bench_with_input(BenchmarkId::new(engine, proteins), &input, |b, input| {
                 b.iter(|| {
                     let res = run(engine, input, &deps);
@@ -111,10 +146,17 @@ fn bench(c: &mut Criterion) {
         let semi_ms = pde_bench::time_ms(|| {
             let _ = run("seminaive", &input, &deps);
         });
+        let gov_ms = pde_bench::time_ms(|| {
+            let _ = run("governed", &input, &deps);
+        });
         let stats = run("seminaive", &input, &deps).stats;
         rows.push((
             format!("genomics {proteins}p"),
-            format!("{naive_ms:.2} / {semi_ms:.2} ({:.1}x)", naive_ms / semi_ms),
+            format!(
+                "{naive_ms:.2} / {semi_ms:.2} ({:.1}x), gov {:+.1}%",
+                naive_ms / semi_ms,
+                (gov_ms / semi_ms - 1.0) * 100.0
+            ),
             format!(
                 "rounds={} fired={} skipped={}",
                 stats.rounds, stats.triggers_fired, stats.skipped_by_delta
@@ -124,7 +166,7 @@ fn bench(c: &mut Criterion) {
     grp.finish();
 
     pde_bench::print_series3(
-        "E16: chase engines — naive / semi-naive ms (speedup)",
+        "E16: chase engines — naive / semi-naive ms (speedup), governed overhead",
         ("workload", "times (ms)", "semi-naive stats"),
         &rows,
     );

@@ -40,6 +40,7 @@ use pde_relational::{
     exists_hom, find_hom, for_each_hom, for_each_hom_seminaive, Assignment, HomConfig, Instance,
     NullGen, Tuple, Value, ValueUnionFind,
 };
+use pde_runtime::{Governor, StopReason};
 use std::ops::ControlFlow;
 use std::sync::atomic::{AtomicU8, Ordering};
 
@@ -99,9 +100,55 @@ pub fn chase_with(
     mode: WitnessMode<'_>,
     limits: ChaseLimits,
 ) -> ChaseResult {
-    match default_chase_engine() {
-        ChaseEngine::Naive => chase_naive_with(instance, deps, mode, limits),
-        ChaseEngine::Seminaive => chase_seminaive_with(instance, deps, mode, limits),
+    chase_governed_with(
+        instance,
+        deps,
+        mode,
+        limits,
+        default_chase_engine(),
+        &Governor::unlimited(),
+    )
+}
+
+/// Chase under an explicit engine and runtime [`Governor`].
+///
+/// The governor is consulted at every round (deadline / memory budget /
+/// cancellation) and at every tgd application (fault-injection points);
+/// a tripped budget ends the run with [`ChaseOutcome::Stopped`] carrying
+/// the [`StopReason`]. The input `instance` is consumed — a stopped
+/// result's `instance` field is a best-effort snapshot, and callers that
+/// must not observe partial work simply keep their own copy (the solvers
+/// pass clones).
+pub fn chase_governed_with(
+    instance: Instance,
+    deps: &[Dependency],
+    mode: WitnessMode<'_>,
+    limits: ChaseLimits,
+    engine: ChaseEngine,
+    governor: &Governor,
+) -> ChaseResult {
+    let mut res = match engine {
+        ChaseEngine::Naive => chase_naive_governed(instance, deps, mode, limits, governor),
+        ChaseEngine::Seminaive => chase_seminaive_governed(instance, deps, mode, limits, governor),
+    };
+    finalize_stats(&mut res.stats, governor);
+    res
+}
+
+/// Copy the governor's run counters into the chase statistics so
+/// `pde solve --stats` can surface them.
+fn finalize_stats(stats: &mut ChaseStats, governor: &Governor) {
+    let report = governor.report();
+    stats.peak_bytes = stats.peak_bytes.max(report.peak_bytes);
+    stats.cancellations_observed = stats
+        .cancellations_observed
+        .max(report.cancellations_observed);
+    if let Some(remaining) = report.deadline_remaining {
+        let nanos = u64::try_from(remaining.as_nanos()).unwrap_or(u64::MAX);
+        stats.deadline_remaining_nanos = Some(match stats.deadline_remaining_nanos {
+            Some(prev) => prev.min(nanos),
+            None => nanos,
+        });
     }
 }
 
@@ -117,10 +164,27 @@ pub fn chase_with(
 /// targeted rewrite per dependency per round; rewritten facts re-enter the
 /// next round's delta.
 pub fn chase_seminaive_with(
+    instance: Instance,
+    deps: &[Dependency],
+    mode: WitnessMode<'_>,
+    limits: ChaseLimits,
+) -> ChaseResult {
+    let governor = Governor::unlimited();
+    let mut res = chase_seminaive_governed(instance, deps, mode, limits, &governor);
+    finalize_stats(&mut res.stats, &governor);
+    res
+}
+
+/// [`chase_seminaive_with`] under an explicit [`Governor`] (the
+/// [`chase_governed_with`] worker; callers normally go through that
+/// entry point, which also finalizes the governor counters into the
+/// statistics).
+fn chase_seminaive_governed(
     mut instance: Instance,
     deps: &[Dependency],
     mode: WitnessMode<'_>,
     limits: ChaseLimits,
+    governor: &Governor,
 ) -> ChaseResult {
     let config = HomConfig::default();
     let mut steps = 0usize;
@@ -137,6 +201,17 @@ pub fn chase_seminaive_with(
         if steps >= limits.max_steps || instance.fact_count() >= limits.max_facts {
             return ChaseResult {
                 outcome: ChaseOutcome::ResourceExceeded,
+                instance,
+                steps,
+                tgd_steps,
+                egd_steps,
+                log,
+                stats,
+            };
+        }
+        if let Err(reason) = governor.on_round(stats.rounds + 1, instance.approx_heap_bytes()) {
+            return ChaseResult {
+                outcome: ChaseOutcome::Stopped { reason },
                 instance,
                 steps,
                 tgd_steps,
@@ -196,6 +271,18 @@ pub fn chase_seminaive_with(
                         if exists_hom(&tgd.conclusion.atoms, &instance, &h) {
                             stats.triggers_satisfied += 1;
                             continue;
+                        }
+                        governor.on_trigger(steps);
+                        if let Err(reason) = governor.on_alloc(steps) {
+                            return ChaseResult {
+                                outcome: ChaseOutcome::Stopped { reason },
+                                instance,
+                                steps,
+                                tgd_steps,
+                                egd_steps,
+                                log,
+                                stats,
+                            };
                         }
                         let new_facts = apply_tgd_step(&mut instance, tgd, &h, mode);
                         log.push(StepRecord::Tgd {
@@ -289,18 +376,53 @@ pub fn chase_seminaive_with(
 /// immediately. Retained as the differential-testing oracle for
 /// [`chase_seminaive_with`] and as the CLI's `--chase naive` escape hatch.
 pub fn chase_naive_with(
+    instance: Instance,
+    deps: &[Dependency],
+    mode: WitnessMode<'_>,
+    limits: ChaseLimits,
+) -> ChaseResult {
+    let governor = Governor::unlimited();
+    let mut res = chase_naive_governed(instance, deps, mode, limits, &governor);
+    finalize_stats(&mut res.stats, &governor);
+    res
+}
+
+/// [`chase_naive_with`] under an explicit [`Governor`] (the
+/// [`chase_governed_with`] worker).
+fn chase_naive_governed(
     mut instance: Instance,
     deps: &[Dependency],
     mode: WitnessMode<'_>,
     limits: ChaseLimits,
+    governor: &Governor,
 ) -> ChaseResult {
     let mut steps = 0usize;
     let mut tgd_steps = 0usize;
     let mut egd_steps = 0usize;
     let mut log: Vec<StepRecord> = Vec::new();
     let mut stats = ChaseStats::default();
+    let mut stopped: Option<StopReason> = None;
 
     'outer: loop {
+        // A mid-round governor stop takes precedence over the counter
+        // limits: both are honest "undecided" endings, but the stop
+        // carries the reason the caller asked for.
+        if stopped.is_none() {
+            if let Err(reason) = governor.on_round(stats.rounds + 1, instance.approx_heap_bytes()) {
+                stopped = Some(reason);
+            }
+        }
+        if let Some(reason) = stopped.take() {
+            return ChaseResult {
+                outcome: ChaseOutcome::Stopped { reason },
+                instance,
+                steps,
+                tgd_steps,
+                egd_steps,
+                log,
+                stats,
+            };
+        }
         if steps >= limits.max_steps || instance.fact_count() >= limits.max_facts {
             return ChaseResult {
                 outcome: ChaseOutcome::ResourceExceeded,
@@ -323,6 +445,8 @@ pub fn chase_naive_with(
                         tgd,
                         mode,
                         limits,
+                        governor,
+                        &mut stopped,
                         &mut steps,
                         &mut log,
                         &mut stats,
@@ -330,6 +454,9 @@ pub fn chase_naive_with(
                     if applied > 0 {
                         tgd_steps += applied;
                         progressed = true;
+                    }
+                    if stopped.is_some() {
+                        continue 'outer; // surfaced by the loop-head check
                     }
                     if steps >= limits.max_steps || instance.fact_count() >= limits.max_facts {
                         continue 'outer; // limit check at loop head
@@ -384,7 +511,8 @@ pub fn chase_naive_with(
 
 /// Apply every *currently active* trigger of `tgd` once (re-validating each
 /// before application, since earlier applications may have satisfied it).
-/// Returns the number of steps applied. (Naive engine only.)
+/// Returns the number of steps applied; a governor stop is reported
+/// through `stopped` and ends the batch early. (Naive engine only.)
 #[allow(clippy::too_many_arguments)]
 fn apply_tgd_round(
     instance: &mut Instance,
@@ -392,6 +520,8 @@ fn apply_tgd_round(
     tgd: &Tgd,
     mode: WitnessMode<'_>,
     limits: ChaseLimits,
+    governor: &Governor,
+    stopped: &mut Option<StopReason>,
     steps: &mut usize,
     log: &mut Vec<StepRecord>,
     stats: &mut ChaseStats,
@@ -418,6 +548,11 @@ fn apply_tgd_round(
         if exists_hom(&tgd.conclusion.atoms, instance, &h) {
             stats.triggers_satisfied += 1;
             continue;
+        }
+        governor.on_trigger(*steps);
+        if let Err(reason) = governor.on_alloc(*steps) {
+            *stopped = Some(reason);
+            break;
         }
         let new_facts = apply_tgd_step(instance, tgd, &h, mode);
         log.push(StepRecord::Tgd {
@@ -483,8 +618,12 @@ fn apply_one_egd(instance: &mut Instance, egd: &Egd) -> EgdStep {
     let Some(h) = satisfy::find_egd_violation(instance, egd) else {
         return EgdStep::None;
     };
-    let l = h.get(egd.lhs).expect("bound");
-    let r = h.get(egd.rhs).expect("bound");
+    let l = h
+        .get(egd.lhs)
+        .expect("egd lhs bound: violation hom covers the premise");
+    let r = h
+        .get(egd.rhs)
+        .expect("egd rhs bound: violation hom covers the premise");
     match (l, r) {
         (Value::Const(_), Value::Const(_)) => EgdStep::Failure,
         (Value::Null(_), _) => {
@@ -524,6 +663,27 @@ pub fn chase_naive(instance: Instance, deps: &[Dependency], gen: &NullGen) -> Ch
 pub fn chase_tgds(instance: Instance, tgds: &[Tgd], gen: &NullGen) -> ChaseResult {
     let deps: Vec<Dependency> = tgds.iter().cloned().map(Dependency::Tgd).collect();
     chase(instance, &deps, gen)
+}
+
+/// [`chase_tgds`] under an explicit engine and runtime governor (default
+/// limits). Solvers route their internal chases through this so a single
+/// governor bounds a whole solve.
+pub fn chase_tgds_governed(
+    instance: Instance,
+    tgds: &[Tgd],
+    gen: &NullGen,
+    engine: ChaseEngine,
+    governor: &Governor,
+) -> ChaseResult {
+    let deps: Vec<Dependency> = tgds.iter().cloned().map(Dependency::Tgd).collect();
+    chase_governed_with(
+        instance,
+        &deps,
+        WitnessMode::FreshNulls(gen),
+        ChaseLimits::default(),
+        engine,
+        governor,
+    )
 }
 
 /// Solution-aware chase (paper Def. 7): chase `instance` with `deps`
@@ -855,6 +1015,127 @@ mod tests {
         assert_eq!(res.stats.triggers_fired, res.tgd_steps);
         assert_eq!(res.stats.skipped_by_delta, 2);
         assert_eq!(res.stats.egd_merges, 0);
+    }
+
+    #[test]
+    fn governed_chase_stops_on_deadline_and_keeps_input_unpoisoned() {
+        use pde_runtime::{Governor, GovernorConfig};
+        use std::time::Duration;
+        let s = Arc::new(parse_schema("target A/2;").unwrap());
+        let mut a = Instance::new(s.clone());
+        a.insert_consts("A", ["x", "y"]);
+        let tgds = parse_tgds(&s, "A(x, y) -> exists z . A(y, z)").unwrap();
+        let deps: Vec<Dependency> = tgds.into_iter().map(Dependency::Tgd).collect();
+        let gen = NullGen::new();
+        let governor = Governor::new(GovernorConfig {
+            deadline: Some(Duration::ZERO),
+            ..GovernorConfig::default()
+        });
+        for engine in [ChaseEngine::Seminaive, ChaseEngine::Naive] {
+            let res = chase_governed_with(
+                a.clone(),
+                &deps,
+                WitnessMode::FreshNulls(&gen),
+                ChaseLimits::default(),
+                engine,
+                &governor,
+            );
+            let ChaseOutcome::Stopped { reason } = &res.outcome else {
+                panic!("expected a governed stop, got {:?}", res.outcome);
+            };
+            assert!(
+                matches!(reason, pde_runtime::StopReason::DeadlineExceeded { .. }),
+                "{reason:?}"
+            );
+            // The zero deadline trips before any step is applied.
+            assert_eq!(res.steps, 0);
+            assert!(res.stats.deadline_remaining_nanos.is_some());
+        }
+        // The caller's instance is untouched (engines consume clones).
+        assert_eq!(a.fact_count(), 1);
+    }
+
+    #[test]
+    fn governed_chase_stops_on_memory_budget() {
+        use pde_runtime::{Governor, GovernorConfig, StopReason};
+        let s = Arc::new(parse_schema("target A/2;").unwrap());
+        let mut a = Instance::new(s.clone());
+        a.insert_consts("A", ["x", "y"]);
+        let tgds = parse_tgds(&s, "A(x, y) -> exists z . A(y, z)").unwrap();
+        let deps: Vec<Dependency> = tgds.into_iter().map(Dependency::Tgd).collect();
+        let gen = NullGen::new();
+        let governor = Governor::new(GovernorConfig {
+            memory_budget_bytes: Some(1),
+            ..GovernorConfig::default()
+        });
+        let res = chase_governed_with(
+            a,
+            &deps,
+            WitnessMode::FreshNulls(&gen),
+            ChaseLimits::default(),
+            ChaseEngine::Seminaive,
+            &governor,
+        );
+        let ChaseOutcome::Stopped { reason } = res.outcome else {
+            panic!("expected a governed stop, got {:?}", res.outcome);
+        };
+        assert!(matches!(reason, StopReason::MemoryExhausted { .. }));
+        assert!(res.stats.peak_bytes > 1);
+    }
+
+    #[test]
+    fn governed_chase_observes_cancellation() {
+        use pde_runtime::{CancelToken, Governor, GovernorConfig, StopReason};
+        let s = schema();
+        let tgds = parse_tgds(&s, "E(x, z), E(z, y) -> H(x, y)").unwrap();
+        let deps: Vec<Dependency> = tgds.into_iter().map(Dependency::Tgd).collect();
+        let inst = parse_instance(&s, "E(a, b). E(b, c).").unwrap();
+        let token = CancelToken::new();
+        token.cancel();
+        let governor = Governor::new(GovernorConfig {
+            cancel: Some(token),
+            ..GovernorConfig::default()
+        });
+        let res = chase_governed_with(
+            inst,
+            &deps,
+            WitnessMode::FreshNulls(&NullGen::new()),
+            ChaseLimits::default(),
+            ChaseEngine::Seminaive,
+            &governor,
+        );
+        assert_eq!(
+            res.outcome,
+            ChaseOutcome::Stopped {
+                reason: StopReason::Cancelled
+            }
+        );
+        assert!(res.stats.cancellations_observed >= 1);
+    }
+
+    #[test]
+    fn unlimited_governor_changes_nothing() {
+        let s = schema();
+        let tgds = parse_tgds(&s, "E(x, z), E(z, y) -> H(x, y)").unwrap();
+        let deps: Vec<Dependency> = tgds.into_iter().map(Dependency::Tgd).collect();
+        let inst = parse_instance(&s, "E(a, b). E(b, c). E(c, d).").unwrap();
+        let plain = chase_seminaive_with(
+            inst.clone(),
+            &deps,
+            WitnessMode::FreshNulls(&NullGen::new()),
+            ChaseLimits::default(),
+        );
+        let governed = chase_governed_with(
+            inst,
+            &deps,
+            WitnessMode::FreshNulls(&NullGen::new()),
+            ChaseLimits::default(),
+            ChaseEngine::Seminaive,
+            &pde_runtime::Governor::unlimited(),
+        );
+        assert!(plain.is_success() && governed.is_success());
+        assert!(plain.instance.same_facts(&governed.instance));
+        assert_eq!(plain.steps, governed.steps);
     }
 
     #[test]

@@ -18,9 +18,9 @@ pub mod result;
 pub mod satisfy;
 
 pub use engine::{
-    chase, chase_naive, chase_naive_with, chase_seminaive_with, chase_tgds, chase_with,
-    default_chase_engine, null_gen_for, set_default_chase_engine, solution_aware_chase,
-    ChaseEngine, WitnessMode,
+    chase, chase_governed_with, chase_naive, chase_naive_with, chase_seminaive_with, chase_tgds,
+    chase_tgds_governed, chase_with, default_chase_engine, null_gen_for, set_default_chase_engine,
+    solution_aware_chase, ChaseEngine, WitnessMode,
 };
 pub use result::{ChaseLimits, ChaseOutcome, ChaseResult, ChaseStats, StepRecord};
 pub use satisfy::{

@@ -1,6 +1,7 @@
 //! Chase outcomes, limits, and step statistics.
 
 use pde_relational::Instance;
+use pde_runtime::StopReason;
 use std::fmt;
 
 /// Resource limits guarding against non-terminating chases.
@@ -27,10 +28,17 @@ impl Default for ChaseLimits {
 
 impl ChaseLimits {
     /// Small limits for tests that expect divergence.
+    ///
+    /// The fact cap is derived from the step cap rather than left
+    /// unlimited: a tgd step inserts at most its conclusion's atom count
+    /// in facts, so `16` facts per step (plus slack for the seed
+    /// instance) dominates any realistic dependency — a divergent chase
+    /// trips the step limit first, and a buggy engine that loops without
+    /// counting steps still cannot balloon memory.
     pub fn tight(max_steps: usize) -> ChaseLimits {
         ChaseLimits {
             max_steps,
-            max_facts: usize::MAX,
+            max_facts: max_steps.saturating_mul(16).saturating_add(1024),
         }
     }
 
@@ -60,6 +68,14 @@ pub enum ChaseOutcome {
     },
     /// A resource limit was hit before a fixpoint was reached.
     ResourceExceeded,
+    /// The runtime governor stopped the run (deadline, memory budget,
+    /// cancellation, or an injected fault) before a fixpoint was reached.
+    /// Like `ResourceExceeded` this is a refusal to keep spending, not a
+    /// claim about the instance.
+    Stopped {
+        /// Why the governor stopped the run.
+        reason: StopReason,
+    },
 }
 
 /// What one chase step did (lightweight provenance for debugging and for
@@ -106,11 +122,23 @@ pub struct ChaseStats {
     pub skipped_by_delta: usize,
     /// Egd merges applied (equals the egd step count).
     pub egd_merges: usize,
+    /// Largest estimated instance footprint observed at any governor
+    /// checkpoint, in bytes (0 for ungoverned runs that never checked).
+    pub peak_bytes: usize,
+    /// Governor checkpoints that observed the cancel token set.
+    pub cancellations_observed: usize,
+    /// Wall-clock budget left when the run finished, in nanoseconds
+    /// (`None` when no deadline was configured; saturates at `u64::MAX`).
+    pub deadline_remaining_nanos: Option<u64>,
 }
 
 impl ChaseStats {
-    /// Fold another run's counters into this one (summing fields), for
-    /// callers that run several chases and report one aggregate.
+    /// Fold another run's counters into this one, for callers that run
+    /// several chases and report one aggregate. Work counters sum; the
+    /// governor-derived fields combine so that chases sharing one
+    /// governor (whose reports are cumulative) are not double-counted:
+    /// peak bytes and cancellations take the max, deadline remaining
+    /// takes the min.
     pub fn absorb(&mut self, other: ChaseStats) {
         self.rounds += other.rounds;
         self.triggers_found += other.triggers_found;
@@ -118,6 +146,17 @@ impl ChaseStats {
         self.triggers_satisfied += other.triggers_satisfied;
         self.skipped_by_delta += other.skipped_by_delta;
         self.egd_merges += other.egd_merges;
+        self.peak_bytes = self.peak_bytes.max(other.peak_bytes);
+        self.cancellations_observed = self
+            .cancellations_observed
+            .max(other.cancellations_observed);
+        self.deadline_remaining_nanos = match (
+            self.deadline_remaining_nanos,
+            other.deadline_remaining_nanos,
+        ) {
+            (Some(a), Some(b)) => Some(a.min(b)),
+            (a, b) => a.or(b),
+        };
     }
 }
 
@@ -169,6 +208,7 @@ impl fmt::Display for ChaseOutcome {
                 write!(f, "failure (egd #{dep_index} merged two constants)")
             }
             ChaseOutcome::ResourceExceeded => write!(f, "resource limit exceeded"),
+            ChaseOutcome::Stopped { reason } => write!(f, "stopped: {reason}"),
         }
     }
 }
@@ -214,5 +254,49 @@ mod tests {
         assert!(l.max_steps >= 1_000_000);
         let t = ChaseLimits::tight(10);
         assert_eq!(t.max_steps, 10);
+    }
+
+    #[test]
+    fn tight_limits_cap_facts_too() {
+        // Regression: `tight` used to leave `max_facts: usize::MAX`, so a
+        // divergence test against an engine that forgot to count steps
+        // could OOM before any limit tripped.
+        let t = ChaseLimits::tight(50);
+        assert!(t.max_facts < usize::MAX);
+        assert!(t.max_facts >= 50, "cap must not fire before the step cap");
+        // Saturates instead of overflowing for huge step caps.
+        assert_eq!(ChaseLimits::tight(usize::MAX).max_facts, usize::MAX);
+    }
+
+    #[test]
+    fn absorb_combines_governor_fields_without_double_counting() {
+        let mut a = ChaseStats {
+            rounds: 2,
+            peak_bytes: 100,
+            cancellations_observed: 1,
+            deadline_remaining_nanos: Some(500),
+            ..ChaseStats::default()
+        };
+        // A second chase on the same governor: cumulative counters.
+        let b = ChaseStats {
+            rounds: 3,
+            peak_bytes: 80,
+            cancellations_observed: 1,
+            deadline_remaining_nanos: Some(200),
+            ..ChaseStats::default()
+        };
+        a.absorb(b);
+        assert_eq!(a.rounds, 5);
+        assert_eq!(a.peak_bytes, 100);
+        assert_eq!(a.cancellations_observed, 1);
+        assert_eq!(a.deadline_remaining_nanos, Some(200));
+    }
+
+    #[test]
+    fn stopped_outcome_displays_its_reason() {
+        let o = ChaseOutcome::Stopped {
+            reason: StopReason::Cancelled,
+        };
+        assert!(o.to_string().contains("cancelled"));
     }
 }

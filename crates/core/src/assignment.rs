@@ -29,11 +29,12 @@
 //! into `I`" as the satisfaction test.
 
 use crate::setting::PdeSetting;
-use pde_chase::{chase_tgds, null_gen_for};
+use pde_chase::{chase_tgds_governed, null_gen_for, ChaseEngine, ChaseOutcome};
 use pde_constraints::{DisjunctiveTgd, Orientation, Tgd};
 use pde_relational::{
     exists_hom, for_each_hom, Assignment, Instance, NullId, Peer, RelId, Schema, Term, Tuple, Value,
 };
+use pde_runtime::{Governor, StopReason};
 use std::collections::{BTreeSet, HashMap};
 use std::fmt;
 use std::ops::ControlFlow;
@@ -51,6 +52,10 @@ pub enum AssignmentError {
     ChaseDidNotTerminate,
     /// A disjunctive dependency failed validation.
     InvalidDependency(String),
+    /// The runtime governor stopped the chase or the search (deadline,
+    /// memory budget, cancellation, or an injected fault). The question is
+    /// *undecided*, not answered.
+    Stopped(StopReason),
 }
 
 impl fmt::Display for AssignmentError {
@@ -65,6 +70,7 @@ impl fmt::Display for AssignmentError {
             AssignmentError::InputNotGround => write!(f, "input instance contains nulls"),
             AssignmentError::ChaseDidNotTerminate => write!(f, "chase resource limit exceeded"),
             AssignmentError::InvalidDependency(m) => write!(f, "invalid dependency: {m}"),
+            AssignmentError::Stopped(reason) => write!(f, "search stopped: {reason}"),
         }
     }
 }
@@ -167,13 +173,42 @@ pub fn solve(setting: &PdeSetting, input: &Instance) -> Result<AssignmentOutcome
     solve_disjunctive(&problem, input)
 }
 
+/// [`solve`] under an explicit chase engine (for the Σst chase) and
+/// runtime governor, checked at every search node. A governor stop
+/// surfaces as [`AssignmentError::Stopped`] — never as a yes/no answer.
+pub fn solve_governed(
+    setting: &PdeSetting,
+    input: &Instance,
+    engine: ChaseEngine,
+    governor: &Governor,
+) -> Result<AssignmentOutcome, AssignmentError> {
+    let problem = DisjunctiveProblem::from_setting(setting)?;
+    solve_disjunctive_governed(&problem, input, engine, governor)
+}
+
 /// [`solve`] for a disjunctive problem.
 pub fn solve_disjunctive(
     problem: &DisjunctiveProblem,
     input: &Instance,
 ) -> Result<AssignmentOutcome, AssignmentError> {
+    solve_disjunctive_governed(
+        problem,
+        input,
+        pde_chase::default_chase_engine(),
+        &Governor::unlimited(),
+    )
+}
+
+/// [`solve_disjunctive`] under an explicit chase engine and runtime
+/// governor.
+pub fn solve_disjunctive_governed(
+    problem: &DisjunctiveProblem,
+    input: &Instance,
+    engine: ChaseEngine,
+    governor: &Governor,
+) -> Result<AssignmentOutcome, AssignmentError> {
     let mut found = None;
-    let stats = search(problem, input, |sol| {
+    let stats = search(problem, input, engine, governor, |sol| {
         found = Some(sol.clone());
         ControlFlow::Break(())
     })?;
@@ -193,7 +228,13 @@ pub fn for_each_solution(
     input: &Instance,
     f: impl FnMut(&Instance) -> ControlFlow<()>,
 ) -> Result<SearchStats, AssignmentError> {
-    search(problem, input, f)
+    search(
+        problem,
+        input,
+        pde_chase::default_chase_engine(),
+        &Governor::unlimited(),
+        f,
+    )
 }
 
 struct SearchCtx<'a, F> {
@@ -214,6 +255,11 @@ struct SearchCtx<'a, F> {
     refcount: HashMap<(RelId, Tuple), usize>,
     stats: SearchStats,
     sink: F,
+    /// Resource governor, checked at every search node.
+    governor: &'a Governor,
+    /// Set when the governor stopped the search (distinguishes a governor
+    /// stop from the sink breaking early).
+    stopped: Option<StopReason>,
     /// The combined source instance (for conclusion checks the source part
     /// of `determined` is exactly `I`, so `determined` serves both roles).
     _input: &'a Instance,
@@ -227,15 +273,20 @@ enum NodeResult {
 fn search(
     problem: &DisjunctiveProblem,
     input: &Instance,
+    engine: ChaseEngine,
+    governor: &Governor,
     f: impl FnMut(&Instance) -> ControlFlow<()>,
 ) -> Result<SearchStats, AssignmentError> {
     if !input.is_ground() {
         return Err(AssignmentError::InputNotGround);
     }
     let gen = null_gen_for(input);
-    let st_res = chase_tgds(input.clone(), &problem.sigma_st, &gen);
+    let st_res = chase_tgds_governed(input.clone(), &problem.sigma_st, &gen, engine, governor);
     if !st_res.is_success() {
-        return Err(AssignmentError::ChaseDidNotTerminate);
+        return Err(match st_res.outcome {
+            ChaseOutcome::Stopped { reason } => AssignmentError::Stopped(reason),
+            _ => AssignmentError::ChaseDidNotTerminate,
+        });
     }
     let jcan_combined = st_res.instance;
 
@@ -282,6 +333,8 @@ fn search(
         refcount: HashMap::new(),
         stats: SearchStats::default(),
         sink: f,
+        governor,
+        stopped: None,
         _input: input,
     };
     ctx.stats.null_count = ctx.nulls.len();
@@ -305,6 +358,9 @@ fn search(
     }
     if ok {
         ctx.descend(0);
+    }
+    if let Some(reason) = ctx.stopped {
+        return Err(AssignmentError::Stopped(reason));
     }
     Ok(ctx.stats)
 }
@@ -346,7 +402,10 @@ impl<F: FnMut(&Instance) -> ControlFlow<()>> SearchCtx<'_, F> {
     fn remove_determined(&mut self, i: usize) {
         let (rel, img) = self.image_of(i);
         let key = (rel, img.clone());
-        let rc = self.refcount.get_mut(&key).expect("refcounted");
+        let rc = self
+            .refcount
+            .get_mut(&key)
+            .expect("remove_determined only follows a matching insert_determined");
         *rc -= 1;
         if *rc == 0 {
             self.refcount.remove(&key);
@@ -397,6 +456,15 @@ impl<F: FnMut(&Instance) -> ControlFlow<()>> SearchCtx<'_, F> {
     /// DFS over nulls from `depth`.
     fn descend(&mut self, depth: usize) -> NodeResult {
         self.stats.nodes += 1;
+        let bytes = if self.governor.tracks_memory() {
+            self.determined.approx_heap_bytes()
+        } else {
+            0
+        };
+        if let Err(reason) = self.governor.on_round(self.stats.nodes, bytes) {
+            self.stopped = Some(reason);
+            return NodeResult::Stop;
+        }
         if depth == self.nulls.len() {
             // All facts determined and checked: the determined target part
             // plus `I` is a solution. Hand it to the sink.
@@ -672,6 +740,25 @@ mod tests {
             solve(&p, &input).unwrap_err(),
             AssignmentError::HasTargetConstraints
         );
+    }
+
+    #[test]
+    fn governed_cancellation_is_undecided_not_answered() {
+        use pde_runtime::{CancelToken, GovernorConfig};
+        let p = example1();
+        let input = parse_instance(p.schema(), "E(a, a).").unwrap();
+        let token = CancelToken::new();
+        token.cancel();
+        let governor = Governor::new(GovernorConfig {
+            cancel: Some(token),
+            ..GovernorConfig::default()
+        });
+        let err =
+            solve_governed(&p, &input, pde_chase::default_chase_engine(), &governor).unwrap_err();
+        assert!(matches!(
+            err,
+            AssignmentError::Stopped(StopReason::Cancelled)
+        ));
     }
 
     #[test]

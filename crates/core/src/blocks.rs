@@ -209,7 +209,10 @@ pub fn collect_block_homs(
             .collect();
         handles
             .into_iter()
-            .map(|h| h.join().expect("no panic"))
+            .map(|h| {
+                h.join()
+                    .expect("block-check worker panicked; per-block hom search is panic-free")
+            })
             .collect()
     });
     let mut out = std::collections::HashMap::new();

@@ -184,7 +184,10 @@ pub fn split_sections(src: &str) -> Result<BundleSources, BundleError> {
         let Some(cur) = current else {
             return Err(BundleError::ContentOutsideSection { line: i + 1 });
         };
-        let sec = sections[cur].1.as_mut().expect("initialized on entry");
+        let sec = sections[cur]
+            .1
+            .as_mut()
+            .expect("current only ever set after Some(Section) is stored");
         sec.text.push_str(raw);
         sec.text.push('\n');
         sec.line_map.push(i + 1);

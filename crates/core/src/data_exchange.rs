@@ -9,9 +9,10 @@
 //! are exactly the certain answers.
 
 use crate::setting::PdeSetting;
-use pde_chase::{null_gen_for, ChaseLimits, ChaseOutcome, ChaseStats};
+use pde_chase::{null_gen_for, ChaseEngine, ChaseLimits, ChaseOutcome, ChaseStats};
 use pde_constraints::Dependency;
 use pde_relational::{Instance, Peer, UnionQuery, Value};
+use pde_runtime::{Governor, StopReason};
 use std::collections::BTreeSet;
 use std::fmt;
 
@@ -27,6 +28,10 @@ pub enum DataExchangeError {
     ChaseDidNotTerminate,
     /// The query mentions non-target relations.
     QueryNotOverTarget,
+    /// The runtime governor stopped the chase (deadline, memory budget,
+    /// cancellation, or an injected fault). The question is *undecided*,
+    /// not answered.
+    Stopped(StopReason),
 }
 
 impl fmt::Display for DataExchangeError {
@@ -51,6 +56,7 @@ impl fmt::Display for DataExchangeError {
                     "certain answers are defined for queries over the target schema"
                 )
             }
+            DataExchangeError::Stopped(reason) => write!(f, "chase stopped: {reason}"),
         }
     }
 }
@@ -86,6 +92,25 @@ pub fn solve_data_exchange_with_limits(
     input: &Instance,
     limits: ChaseLimits,
 ) -> Result<DataExchangeOutcome, DataExchangeError> {
+    solve_data_exchange_governed(
+        setting,
+        input,
+        limits,
+        pde_chase::default_chase_engine(),
+        &Governor::unlimited(),
+    )
+}
+
+/// [`solve_data_exchange_with_limits`] under an explicit chase engine and
+/// runtime governor. A governor stop surfaces as
+/// [`DataExchangeError::Stopped`] — never as a yes/no answer.
+pub fn solve_data_exchange_governed(
+    setting: &PdeSetting,
+    input: &Instance,
+    limits: ChaseLimits,
+    engine: ChaseEngine,
+    governor: &Governor,
+) -> Result<DataExchangeOutcome, DataExchangeError> {
     if !setting.is_data_exchange() {
         return Err(DataExchangeError::HasTargetToSource);
     }
@@ -100,11 +125,13 @@ pub fn solve_data_exchange_with_limits(
         .map(Dependency::Tgd)
         .chain(setting.sigma_t().iter().cloned())
         .collect();
-    let res = pde_chase::chase_with(
+    let res = pde_chase::chase_governed_with(
         input.clone(),
         &deps,
         pde_chase::WitnessMode::FreshNulls(&gen),
         limits,
+        engine,
+        governor,
     );
     match res.outcome {
         ChaseOutcome::Success => Ok(DataExchangeOutcome {
@@ -120,6 +147,7 @@ pub fn solve_data_exchange_with_limits(
             chase_stats: res.stats,
         }),
         ChaseOutcome::ResourceExceeded => Err(DataExchangeError::ChaseDidNotTerminate),
+        ChaseOutcome::Stopped { reason } => Err(DataExchangeError::Stopped(reason)),
     }
 }
 
@@ -237,6 +265,31 @@ mod tests {
             solve_data_exchange(&p, &input).unwrap_err(),
             DataExchangeError::HasTargetToSource
         );
+    }
+
+    #[test]
+    fn governed_deadline_is_undecided_not_answered() {
+        use pde_runtime::{GovernorConfig, StopReason};
+        use std::time::Duration;
+        let p = de_setting();
+        let input = parse_instance(p.schema(), "E(a, b).").unwrap();
+        let governor = Governor::new(GovernorConfig {
+            deadline: Some(Duration::ZERO),
+            ..GovernorConfig::default()
+        });
+        let err = solve_data_exchange_governed(
+            &p,
+            &input,
+            ChaseLimits::default(),
+            pde_chase::default_chase_engine(),
+            &governor,
+        )
+        .unwrap_err();
+        assert!(matches!(
+            err,
+            DataExchangeError::Stopped(StopReason::DeadlineExceeded { .. })
+        ));
+        assert!(err.to_string().contains("deadline"));
     }
 
     #[test]

@@ -105,7 +105,10 @@ fn dedup_key(k: &Instance) -> String {
             out.push_str(&format!("¤{rank}¤"));
             i = j;
         } else {
-            let ch = joined[i..].chars().next().expect("in bounds");
+            let ch = joined[i..]
+                .chars()
+                .next()
+                .expect("i < joined.len() and on a char boundary: i only advances by len_utf8");
             out.push(ch);
             i += ch.len_utf8();
         }

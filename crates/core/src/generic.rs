@@ -25,6 +25,7 @@ use crate::setting::PdeSetting;
 use pde_chase::{find_egd_violation, find_tgd_violation, null_gen_for};
 use pde_constraints::{Egd, Tgd};
 use pde_relational::{exists_hom, for_each_hom, Assignment, Instance, NullGen, Tuple, Value, Var};
+use pde_runtime::{Governor, StopReason};
 use std::collections::{HashMap, HashSet};
 use std::fmt;
 use std::ops::ControlFlow;
@@ -101,15 +102,24 @@ pub enum GenericOutcome {
         /// Search statistics.
         stats: GenericStats,
     },
+    /// The runtime governor stopped the search (deadline, memory budget,
+    /// cancellation, or an injected fault). Like `Unknown`, this is a
+    /// refusal to keep spending, never a claim about the instance.
+    Stopped {
+        /// Why the governor stopped the run.
+        reason: StopReason,
+        /// Search statistics.
+        stats: GenericStats,
+    },
 }
 
 impl GenericOutcome {
-    /// `Some(true/false)` when decided, `None` when unknown.
+    /// `Some(true/false)` when decided, `None` when unknown or stopped.
     pub fn decided(&self) -> Option<bool> {
         match self {
             GenericOutcome::Solved { .. } => Some(true),
             GenericOutcome::NoSolution { .. } => Some(false),
-            GenericOutcome::Unknown { .. } => None,
+            GenericOutcome::Unknown { .. } | GenericOutcome::Stopped { .. } => None,
         }
     }
 
@@ -126,7 +136,8 @@ impl GenericOutcome {
         match self {
             GenericOutcome::Solved { stats, .. }
             | GenericOutcome::NoSolution { stats }
-            | GenericOutcome::Unknown { stats } => stats,
+            | GenericOutcome::Unknown { stats }
+            | GenericOutcome::Stopped { stats, .. } => stats,
         }
     }
 }
@@ -137,15 +148,28 @@ pub fn solve(
     input: &Instance,
     limits: GenericLimits,
 ) -> Result<GenericOutcome, GenericError> {
+    solve_governed(setting, input, limits, &Governor::unlimited())
+}
+
+/// [`solve`] under a runtime governor, checked at every search node. A
+/// governor stop surfaces as [`GenericOutcome::Stopped`] — never as a
+/// yes/no answer.
+pub fn solve_governed(
+    setting: &PdeSetting,
+    input: &Instance,
+    limits: GenericLimits,
+    governor: &Governor,
+) -> Result<GenericOutcome, GenericError> {
     let mut found = None;
-    let (stats, exhausted) = run(setting, input, limits, |sol| {
+    let (stats, exhausted, stopped) = run(setting, input, limits, governor, |sol| {
         found = Some(sol.clone());
         ControlFlow::Break(())
     })?;
-    Ok(match found {
-        Some(witness) => GenericOutcome::Solved { witness, stats },
-        None if exhausted => GenericOutcome::NoSolution { stats },
-        None => GenericOutcome::Unknown { stats },
+    Ok(match (found, stopped) {
+        (Some(witness), _) => GenericOutcome::Solved { witness, stats },
+        (None, Some(reason)) => GenericOutcome::Stopped { reason, stats },
+        (None, None) if exhausted => GenericOutcome::NoSolution { stats },
+        (None, None) => GenericOutcome::Unknown { stats },
     })
 }
 
@@ -159,15 +183,17 @@ pub fn for_each_solution(
     limits: GenericLimits,
     f: impl FnMut(&Instance) -> ControlFlow<()>,
 ) -> Result<(GenericStats, bool), GenericError> {
-    run(setting, input, limits, f)
+    let (stats, exhausted, _stopped) = run(setting, input, limits, &Governor::unlimited(), f)?;
+    Ok((stats, exhausted))
 }
 
 fn run(
     setting: &PdeSetting,
     input: &Instance,
     limits: GenericLimits,
+    governor: &Governor,
     f: impl FnMut(&Instance) -> ControlFlow<()>,
-) -> Result<(GenericStats, bool), GenericError> {
+) -> Result<(GenericStats, bool, Option<StopReason>), GenericError> {
     if !input.is_ground() {
         return Err(GenericError::InputNotGround);
     }
@@ -206,9 +232,11 @@ fn run(
         visited: HashSet::with_capacity(limits.max_nodes.min(1 << 12)),
         stats: GenericStats::default(),
         sink: f,
+        governor,
+        stopped: None,
     };
     let exhausted = matches!(ctx.search(input.clone()), SearchFlow::Exhausted);
-    Ok((ctx.stats, exhausted))
+    Ok((ctx.stats, exhausted, ctx.stopped))
 }
 
 enum SearchFlow {
@@ -231,10 +259,28 @@ struct Ctx<'a, F> {
     visited: HashSet<String>,
     stats: GenericStats,
     sink: F,
+    /// Resource governor, checked at every search node.
+    governor: &'a Governor,
+    /// Set when the governor stopped the search (distinguishes a governor
+    /// stop from the sink breaking early).
+    stopped: Option<StopReason>,
 }
 
 impl<F: FnMut(&Instance) -> ControlFlow<()>> Ctx<'_, F> {
     fn search(&mut self, mut k: Instance) -> SearchFlow {
+        // Governor checkpoint before the node-limit check, so a governed
+        // stop is reported as such rather than as a plain truncation.
+        // Bytes are only estimated when a memory budget is set: this is
+        // the solver's hottest loop.
+        let bytes = if self.governor.tracks_memory() {
+            k.approx_heap_bytes()
+        } else {
+            0
+        };
+        if let Err(reason) = self.governor.on_round(self.stats.nodes + 1, bytes) {
+            self.stopped = Some(reason);
+            return SearchFlow::Stopped;
+        }
         if self.stats.nodes >= self.limits.max_nodes {
             return SearchFlow::Truncated;
         }
@@ -245,8 +291,12 @@ impl<F: FnMut(&Instance) -> ControlFlow<()>> Ctx<'_, F> {
             let mut stepped = false;
             for e in &self.egds {
                 if let Some(h) = find_egd_violation(&k, e) {
-                    let l = h.get(e.lhs).expect("bound");
-                    let r = h.get(e.rhs).expect("bound");
+                    let l = h
+                        .get(e.lhs)
+                        .expect("egd lhs bound: violation hom covers the premise");
+                    let r = h
+                        .get(e.rhs)
+                        .expect("egd rhs bound: violation hom covers the premise");
                     match (l, r) {
                         (Value::Const(_), Value::Const(_)) => {
                             self.stats.egd_failures += 1;
@@ -327,11 +377,18 @@ impl<F: FnMut(&Instance) -> ControlFlow<()>> Ctx<'_, F> {
                 };
                 ext.bind(*v, val);
             }
+            // Fault-injection points: firing a branch is the search's
+            // analogue of a chase trigger/allocation.
+            self.governor.on_trigger(self.stats.nodes);
+            if let Err(reason) = self.governor.on_alloc(self.stats.nodes) {
+                self.stopped = Some(reason);
+                return SearchFlow::Stopped;
+            }
             let mut k2 = k.clone();
             for atom in &tgd.conclusion.atoms {
                 let vals = atom
                     .ground(&|v| ext.get(v))
-                    .expect("conclusion fully bound");
+                    .expect("conclusion fully bound: ext extends the premise hom with witnesses for every existential");
                 k2.insert(atom.rel, Tuple::new(vals));
             }
             match self.search(k2) {
@@ -428,7 +485,10 @@ fn canonical_key(k: &Instance) -> String {
             out.push_str(&format!("¤{rank}¤"));
             i = j;
         } else {
-            let ch = joined[i..].chars().next().expect("in bounds");
+            let ch = joined[i..]
+                .chars()
+                .next()
+                .expect("i < joined.len() and on a char boundary: i only advances by len_utf8");
             out.push(ch);
             i += ch.len_utf8();
         }
@@ -604,6 +664,33 @@ mod tests {
         // Fresh-null branches alone cannot satisfy Σts here, and the
         // skipped branches forbid a NoSolution verdict.
         assert_eq!(capped.decided(), None);
+    }
+
+    #[test]
+    fn governed_deadline_yields_stopped_not_no_solution() {
+        use pde_runtime::GovernorConfig;
+        use std::time::Duration;
+        let p = PdeSetting::parse(
+            "source E/2; target H/2;",
+            "E(x, y) -> H(x, y)",
+            "H(x, y) -> E(x, y)",
+            "H(x, y), H(x, z) -> y = z",
+        )
+        .unwrap();
+        let input = parse_instance(p.schema(), "E(a, b).").unwrap();
+        let governor = Governor::new(GovernorConfig {
+            deadline: Some(Duration::ZERO),
+            ..GovernorConfig::default()
+        });
+        let out = solve_governed(&p, &input, GenericLimits::default(), &governor).unwrap();
+        assert!(matches!(
+            out,
+            GenericOutcome::Stopped {
+                reason: StopReason::DeadlineExceeded { .. },
+                ..
+            }
+        ));
+        assert_eq!(out.decided(), None);
     }
 
     #[test]

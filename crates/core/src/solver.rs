@@ -11,13 +11,14 @@
 //! The first two are polynomial; the last two are complete exponential
 //! searches, matching the NP-completeness results of §3.
 
-use crate::assignment;
-use crate::data_exchange;
+use crate::assignment::{self, AssignmentError};
+use crate::data_exchange::{self, DataExchangeError};
 use crate::generic::{self, GenericLimits, GenericOutcome};
 use crate::setting::PdeSetting;
-use crate::tractable;
-use pde_chase::{ChaseLimits, ChaseStats};
+use crate::tractable::{self, TractableError};
+use pde_chase::{ChaseEngine, ChaseLimits, ChaseStats};
 use pde_relational::Instance;
+use pde_runtime::{isolate, EngineError, Governor, GovernorReport, StopReason};
 use std::fmt;
 use std::time::{Duration, Instant};
 
@@ -50,8 +51,8 @@ impl fmt::Display for SolverKind {
 pub struct SolveReport {
     /// The algorithm that ran.
     pub kind: SolverKind,
-    /// `Some(answer)` when decided; `None` when a resource limit stopped
-    /// the complete search early.
+    /// `Some(answer)` when decided; `None` when a resource limit or the
+    /// governor stopped the run early.
     pub exists: Option<bool>,
     /// A materialized solution, when one was found.
     pub witness: Option<Instance>,
@@ -62,6 +63,17 @@ pub struct SolveReport {
     /// (data-exchange and `C_tract` paths); `None` for the complete
     /// searches, which run many small exploratory chases.
     pub chase_stats: Option<ChaseStats>,
+    /// Why the run is undecided, when the governor stopped it (`exists`
+    /// is `None` in that case). `None` for decided runs and for plain
+    /// limit truncations.
+    pub undecided: Option<StopReason>,
+    /// True when the primary engine attempt panicked or tripped an
+    /// injected fault and this report came from the retry on the naive
+    /// oracle engine.
+    pub engine_fallback: bool,
+    /// Governor counters accumulated over the whole solve (all zeros /
+    /// `None` for ungoverned runs that never checked).
+    pub governor: GovernorReport,
 }
 
 /// Errors from the façade (the per-solver errors, unified).
@@ -69,12 +81,16 @@ pub struct SolveReport {
 pub enum SolveError {
     /// Input contains nulls or another per-solver precondition failed.
     Precondition(String),
+    /// An engine attempt panicked and the panic was contained at the
+    /// solver boundary (after exhausting the engine-fallback retry).
+    Engine(EngineError),
 }
 
 impl fmt::Display for SolveError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             SolveError::Precondition(m) => write!(f, "{m}"),
+            SolveError::Engine(e) => write!(f, "{e}"),
         }
     }
 }
@@ -149,56 +165,133 @@ pub fn decide_with_plan(
     input: &Instance,
     plan: &SolvePlan,
 ) -> Result<SolveReport, SolveError> {
+    decide_governed(setting, input, plan, &Governor::unlimited())
+}
+
+/// [`decide_with_plan`] under a runtime [`Governor`]: deadlines, memory
+/// budgets, and cancellation are enforced cooperatively inside the chase
+/// engines and search solvers, and a budget exhaustion surfaces as a
+/// report with `exists: None` and `undecided: Some(reason)` — never a
+/// wrong yes/no answer and never a poisoned input (engines consume
+/// clones).
+///
+/// Every engine attempt runs behind panic isolation. When the primary
+/// (default) engine panics or trips an injected fault, the solve is
+/// retried once on the naive oracle engine (`engine_fallback` marks such
+/// reports); a panic surviving the retry becomes [`SolveError::Engine`].
+pub fn decide_governed(
+    setting: &PdeSetting,
+    input: &Instance,
+    plan: &SolvePlan,
+    governor: &Governor,
+) -> Result<SolveReport, SolveError> {
+    let start = Instant::now();
+    let primary = pde_chase::default_chase_engine();
+    let first = isolate(|| attempt(setting, input, plan, primary, governor));
+    // Retry-with-degradation: a panic or an injected fault on the primary
+    // engine gets one retry on the naive oracle engine. Precondition
+    // errors and genuine budget stops are deterministic — retrying would
+    // only spend more budget on the same outcome.
+    let retryable = match &first {
+        Err(_) => true,
+        Ok(Ok(r)) => matches!(r.undecided, Some(StopReason::FaultInjected { .. })),
+        Ok(Err(_)) => false,
+    };
+    let outcome = if retryable && primary != ChaseEngine::Naive {
+        match isolate(|| attempt(setting, input, plan, ChaseEngine::Naive, governor)) {
+            Ok(res) => res.map(|mut r| {
+                r.engine_fallback = true;
+                r
+            }),
+            Err(e) => Err(SolveError::Engine(e)),
+        }
+    } else {
+        match first {
+            Ok(res) => res,
+            Err(e) => Err(SolveError::Engine(e)),
+        }
+    };
+    outcome.map(|mut r| {
+        r.elapsed = start.elapsed();
+        r.governor = governor.report();
+        r
+    })
+}
+
+/// One engine attempt: dispatch to the governed solver for the plan's
+/// kind and normalize the outcome into a [`SolveReport`] (a governor stop
+/// becomes `undecided`, every other solver error surfaces as a
+/// precondition error).
+fn attempt(
+    setting: &PdeSetting,
+    input: &Instance,
+    plan: &SolvePlan,
+    engine: ChaseEngine,
+    governor: &Governor,
+) -> Result<SolveReport, SolveError> {
     let start = Instant::now();
     let wrap = |e: &dyn fmt::Display| SolveError::Precondition(e.to_string());
+    let report = |exists, witness, chase_stats, undecided| SolveReport {
+        kind: plan.kind,
+        exists,
+        witness,
+        elapsed: start.elapsed(),
+        chase_stats,
+        undecided,
+        engine_fallback: false,
+        governor: GovernorReport::default(),
+    };
 
     match plan.kind {
         SolverKind::DataExchange => {
-            let out =
-                data_exchange::solve_data_exchange_with_limits(setting, input, plan.chase_limits)
-                    .map_err(|e| wrap(&e))?;
-            Ok(SolveReport {
-                kind: SolverKind::DataExchange,
-                exists: Some(out.exists),
-                witness: out.canonical,
-                elapsed: start.elapsed(),
-                chase_stats: Some(out.chase_stats),
-            })
+            match data_exchange::solve_data_exchange_governed(
+                setting,
+                input,
+                plan.chase_limits,
+                engine,
+                governor,
+            ) {
+                Ok(out) => Ok(report(
+                    Some(out.exists),
+                    out.canonical,
+                    Some(out.chase_stats),
+                    None,
+                )),
+                Err(DataExchangeError::Stopped(reason)) => {
+                    Ok(report(None, None, None, Some(reason)))
+                }
+                Err(e) => Err(wrap(&e)),
+            }
         }
         SolverKind::Tractable => {
-            let out = tractable::exists_solution(setting, input).map_err(|e| wrap(&e))?;
-            Ok(SolveReport {
-                kind: SolverKind::Tractable,
-                exists: Some(out.exists),
-                witness: out.witness,
-                elapsed: start.elapsed(),
-                chase_stats: Some(out.stats.chase_stats),
-            })
+            match tractable::exists_solution_governed(setting, input, engine, governor) {
+                Ok(out) => Ok(report(
+                    Some(out.exists),
+                    out.witness,
+                    Some(out.stats.chase_stats),
+                    None,
+                )),
+                Err(TractableError::Stopped(reason)) => Ok(report(None, None, None, Some(reason))),
+                Err(e) => Err(wrap(&e)),
+            }
         }
         SolverKind::AssignmentSearch => {
-            let out = assignment::solve(setting, input).map_err(|e| wrap(&e))?;
-            Ok(SolveReport {
-                kind: SolverKind::AssignmentSearch,
-                exists: Some(out.exists),
-                witness: out.witness,
-                elapsed: start.elapsed(),
-                chase_stats: None,
-            })
+            match assignment::solve_governed(setting, input, engine, governor) {
+                Ok(out) => Ok(report(Some(out.exists), out.witness, None, None)),
+                Err(AssignmentError::Stopped(reason)) => Ok(report(None, None, None, Some(reason))),
+                Err(e) => Err(wrap(&e)),
+            }
         }
         SolverKind::GenericSearch => {
-            let out = generic::solve(setting, input, plan.limits).map_err(|e| wrap(&e))?;
-            let (exists, witness) = match out {
-                GenericOutcome::Solved { witness, .. } => (Some(true), Some(witness)),
-                GenericOutcome::NoSolution { .. } => (Some(false), None),
-                GenericOutcome::Unknown { .. } => (None, None),
+            let out = generic::solve_governed(setting, input, plan.limits, governor)
+                .map_err(|e| wrap(&e))?;
+            let (exists, witness, undecided) = match out {
+                GenericOutcome::Solved { witness, .. } => (Some(true), Some(witness), None),
+                GenericOutcome::NoSolution { .. } => (Some(false), None, None),
+                GenericOutcome::Unknown { .. } => (None, None, None),
+                GenericOutcome::Stopped { reason, .. } => (None, None, Some(reason)),
             };
-            Ok(SolveReport {
-                kind: SolverKind::GenericSearch,
-                exists,
-                witness,
-                elapsed: start.elapsed(),
-                chase_stats: None,
-            })
+            Ok(report(exists, witness, None, undecided))
         }
     }
 }
@@ -281,5 +374,146 @@ mod tests {
         let p = PdeSetting::parse("source E/2; target H/2;", "E(x, y) -> H(x, y)", "", "").unwrap();
         let input = parse_instance(p.schema(), "E(?0, a).").unwrap();
         assert!(decide(&p, &input).is_err());
+    }
+
+    #[test]
+    fn governed_deadline_reports_undecided_for_every_solver_kind() {
+        use pde_runtime::GovernorConfig;
+        let cases = [
+            // (schema, sigma_st, sigma_ts, sigma_t, input): one per kind.
+            (
+                "source E/2; target H/2;",
+                "E(x, y) -> H(x, y)",
+                "",
+                "",
+                "E(a, b).",
+            ),
+            (
+                "source E/2; target H/2;",
+                "E(x, z), E(z, y) -> H(x, y)",
+                "H(x, y) -> E(x, y)",
+                "",
+                "E(a, a).",
+            ),
+            (
+                "source D/2; source S/2; source E/2; target P/4;",
+                "D(x, y) -> exists z, w . P(x, z, y, w)",
+                "P(x, z, y, w) -> E(z, w); P(x, z, y, w), P(x, z2, y2, w2) -> S(z, z2)",
+                "",
+                "D(a1, a2). S(u, u). E(u, u).",
+            ),
+            (
+                "source E/2; target H/2;",
+                "E(x, y) -> H(x, y)",
+                "H(x, y) -> E(x, y)",
+                "H(x, y), H(x, z) -> y = z",
+                "E(a, b).",
+            ),
+        ];
+        for (schema, st, ts, t, src) in cases {
+            let p = PdeSetting::parse(schema, st, ts, t).unwrap();
+            let input = parse_instance(p.schema(), src).unwrap();
+            let plan = SolvePlan::for_setting(&p);
+            let governor = Governor::new(GovernorConfig {
+                deadline: Some(Duration::ZERO),
+                ..GovernorConfig::default()
+            });
+            let before = input.clone();
+            let r = decide_governed(&p, &input, &plan, &governor).unwrap();
+            assert_eq!(r.exists, None, "{:?} must be undecided", plan.kind);
+            assert!(
+                matches!(r.undecided, Some(StopReason::DeadlineExceeded { .. })),
+                "{:?}: {:?}",
+                plan.kind,
+                r.undecided
+            );
+            assert!(r.governor.stops >= 1);
+            assert_eq!(input, before, "input must not be poisoned");
+        }
+    }
+
+    #[test]
+    fn ungoverned_decide_still_reports_governor_zeros() {
+        let p = PdeSetting::parse("source E/2; target H/2;", "E(x, y) -> H(x, y)", "", "").unwrap();
+        let input = parse_instance(p.schema(), "E(a, b).").unwrap();
+        let r = decide(&p, &input).unwrap();
+        assert_eq!(r.exists, Some(true));
+        assert!(!r.engine_fallback);
+        assert!(r.undecided.is_none());
+        assert_eq!(r.governor.stops, 0);
+        assert_eq!(r.governor.deadline_remaining, None);
+    }
+
+    #[cfg(feature = "fault-injection")]
+    mod faults {
+        use super::*;
+        use pde_runtime::{FaultPlan, GovernorConfig};
+
+        fn chase_heavy_setting() -> (PdeSetting, Instance) {
+            let p = PdeSetting::parse(
+                "source E/2; target H/2;",
+                "E(x, y) -> H(x, y)",
+                "",
+                "H(x, y), H(y, z) -> H(x, z)",
+            )
+            .unwrap();
+            let input =
+                parse_instance(p.schema(), "E(a, b). E(b, c). E(c, d). E(d, e). E(e, a).").unwrap();
+            (p, input)
+        }
+
+        #[test]
+        fn panic_in_trigger_falls_back_to_naive_engine() {
+            let (p, input) = chase_heavy_setting();
+            let plan = SolvePlan::for_setting(&p);
+            let ungoverned = decide_with_plan(&p, &input, &plan).unwrap();
+            let governor = Governor::with_faults(
+                GovernorConfig::default(),
+                FaultPlan {
+                    panic_in_trigger_at_step: Some(1),
+                    ..FaultPlan::default()
+                },
+            );
+            let r = decide_governed(&p, &input, &plan, &governor).unwrap();
+            // The fault is one-shot: the retry on the naive engine decides.
+            assert!(r.engine_fallback);
+            assert_eq!(r.exists, ungoverned.exists);
+        }
+
+        #[test]
+        fn alloc_fault_retries_then_decides() {
+            let (p, input) = chase_heavy_setting();
+            let plan = SolvePlan::for_setting(&p);
+            let governor = Governor::with_faults(
+                GovernorConfig::default(),
+                FaultPlan {
+                    fail_alloc_at_step: Some(1),
+                    ..FaultPlan::default()
+                },
+            );
+            let r = decide_governed(&p, &input, &plan, &governor).unwrap();
+            assert!(r.engine_fallback);
+            assert_eq!(r.exists, Some(true));
+            assert!(r.governor.faults_fired >= 1);
+        }
+
+        #[test]
+        fn cancel_fault_is_a_genuine_stop_no_retry() {
+            let (p, input) = chase_heavy_setting();
+            let plan = SolvePlan::for_setting(&p);
+            let governor = Governor::with_faults(
+                GovernorConfig::default(),
+                FaultPlan {
+                    cancel_at_round: Some(1),
+                    ..FaultPlan::default()
+                },
+            );
+            let r = decide_governed(&p, &input, &plan, &governor).unwrap();
+            // Cancellation (even injected) is not an engine failure — it
+            // must not be retried away.
+            assert!(!r.engine_fallback);
+            assert_eq!(r.exists, None);
+            assert!(matches!(r.undecided, Some(StopReason::Cancelled)));
+        }
     }
 }

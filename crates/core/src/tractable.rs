@@ -19,8 +19,9 @@
 
 use crate::blocks::{blocks, max_block_nulls};
 use crate::setting::PdeSetting;
-use pde_chase::{chase_tgds, null_gen_for};
+use pde_chase::{chase_tgds_governed, null_gen_for, ChaseEngine, ChaseOutcome, ChaseResult};
 use pde_relational::{Instance, NullId, Peer, Value};
+use pde_runtime::{Governor, StopReason};
 use std::collections::HashMap;
 use std::fmt;
 
@@ -42,6 +43,10 @@ pub enum TractableError {
     /// valid settings: both chases are single-pass, but the engine's guard
     /// is surfaced rather than swallowed).
     ChaseDidNotTerminate,
+    /// The runtime governor stopped one of the chases (deadline, memory
+    /// budget, cancellation, or an injected fault). The question is
+    /// *undecided*, not answered.
+    Stopped(StopReason),
 }
 
 impl fmt::Display for TractableError {
@@ -61,6 +66,7 @@ impl fmt::Display for TractableError {
             }
             TractableError::InputNotGround => write!(f, "input instance contains nulls"),
             TractableError::ChaseDidNotTerminate => write!(f, "chase resource limit exceeded"),
+            TractableError::Stopped(reason) => write!(f, "chase stopped: {reason}"),
         }
     }
 }
@@ -109,13 +115,30 @@ pub fn exists_solution(
     setting: &PdeSetting,
     input: &Instance,
 ) -> Result<TractableOutcome, TractableError> {
+    exists_solution_governed(
+        setting,
+        input,
+        pde_chase::default_chase_engine(),
+        &Governor::unlimited(),
+    )
+}
+
+/// [`exists_solution`] under an explicit chase engine and runtime
+/// governor. A governor stop surfaces as [`TractableError::Stopped`] —
+/// never as a yes/no answer.
+pub fn exists_solution_governed(
+    setting: &PdeSetting,
+    input: &Instance,
+    engine: ChaseEngine,
+    governor: &Governor,
+) -> Result<TractableOutcome, TractableError> {
     if !setting.has_no_target_constraints() {
         return Err(TractableError::HasTargetConstraints);
     }
     if !setting.classification().ctract.in_ctract() {
         return Err(TractableError::NotInCtract);
     }
-    exists_solution_unchecked(setting, input)
+    exists_solution_governed_unchecked(setting, input, engine, governor)
 }
 
 /// Run the Fig. 3 algorithm without the `C_tract` membership check.
@@ -128,6 +151,31 @@ pub fn exists_solution_unchecked(
     setting: &PdeSetting,
     input: &Instance,
 ) -> Result<TractableOutcome, TractableError> {
+    exists_solution_governed_unchecked(
+        setting,
+        input,
+        pde_chase::default_chase_engine(),
+        &Governor::unlimited(),
+    )
+}
+
+/// Map a non-success chase to the right refusal (governor stops stay
+/// distinguishable from plain limit trips).
+fn chase_refusal(res: &ChaseResult) -> TractableError {
+    match &res.outcome {
+        ChaseOutcome::Stopped { reason } => TractableError::Stopped(reason.clone()),
+        _ => TractableError::ChaseDidNotTerminate,
+    }
+}
+
+/// [`exists_solution_unchecked`] under an explicit chase engine and
+/// runtime governor.
+pub fn exists_solution_governed_unchecked(
+    setting: &PdeSetting,
+    input: &Instance,
+    engine: ChaseEngine,
+    governor: &Governor,
+) -> Result<TractableOutcome, TractableError> {
     if !setting.has_no_target_constraints() {
         return Err(TractableError::HasTargetConstraints);
     }
@@ -138,9 +186,9 @@ pub fn exists_solution_unchecked(
     let gen = null_gen_for(input);
 
     // Step 1: (I, J_can) := chase of (I, J) with Σst.
-    let st_res = chase_tgds(input.clone(), setting.sigma_st(), &gen);
+    let st_res = chase_tgds_governed(input.clone(), setting.sigma_st(), &gen, engine, governor);
     if !st_res.is_success() {
-        return Err(TractableError::ChaseDidNotTerminate);
+        return Err(chase_refusal(&st_res));
     }
     stats.chase_steps += st_res.steps;
     stats.chase_stats.absorb(st_res.stats);
@@ -149,9 +197,9 @@ pub fn exists_solution_unchecked(
 
     // Step 2: (J_can, I_can) := chase of (J_can, ∅) with Σts.
     let jcan_only = chased_st.restrict(Peer::Target);
-    let ts_res = chase_tgds(jcan_only, setting.sigma_ts(), &gen);
+    let ts_res = chase_tgds_governed(jcan_only, setting.sigma_ts(), &gen, engine, governor);
     if !ts_res.is_success() {
-        return Err(TractableError::ChaseDidNotTerminate);
+        return Err(chase_refusal(&ts_res));
     }
     stats.chase_steps += ts_res.steps;
     stats.chase_stats.absorb(ts_res.stats);
@@ -392,6 +440,25 @@ mod tests {
         assert!(out.stats.ican_facts >= 1);
         assert!(out.stats.block_count >= 1);
         assert_eq!(out.stats.max_block_nulls, 0); // no existentials anywhere
+    }
+
+    #[test]
+    fn governed_deadline_is_undecided_not_answered() {
+        use pde_runtime::GovernorConfig;
+        use std::time::Duration;
+        let p = example1();
+        let input = parse_instance(p.schema(), "E(a, b). E(b, c).").unwrap();
+        let governor = Governor::new(GovernorConfig {
+            deadline: Some(Duration::ZERO),
+            ..GovernorConfig::default()
+        });
+        let err =
+            exists_solution_governed(&p, &input, pde_chase::default_chase_engine(), &governor)
+                .unwrap_err();
+        assert!(matches!(
+            err,
+            TractableError::Stopped(StopReason::DeadlineExceeded { .. })
+        ));
     }
 
     #[test]

@@ -102,6 +102,16 @@ impl Instance {
         self.relations.iter().map(Relation::len).sum()
     }
 
+    /// Estimated heap footprint of all stored relations in bytes.
+    ///
+    /// O(#relations): sums each relation's incrementally maintained
+    /// [`Relation::approx_heap_bytes`] estimate. The runtime governor
+    /// charges this figure against a configured memory budget at every
+    /// chase round, so it must stay cheap enough to call in a hot loop.
+    pub fn approx_heap_bytes(&self) -> usize {
+        self.relations.iter().map(Relation::approx_heap_bytes).sum()
+    }
+
     /// Number of facts belonging to `peer`.
     pub fn fact_count_of(&self, peer: Peer) -> usize {
         self.schema

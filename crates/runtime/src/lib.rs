@@ -1,0 +1,105 @@
+//! Resource governance for the PDE execution layer.
+//!
+//! The paper's decision procedures only terminate unconditionally for
+//! weakly acyclic Σt (Lemma 1); outside that fragment the chase can
+//! diverge, and even inside it an adversarial instance can exhaust memory
+//! long before a step counter trips. This crate supplies the runtime
+//! guards that `ChaseLimits`' raw counters cannot express:
+//!
+//! * a [`Governor`] carrying a wall-clock deadline, a byte-accounted
+//!   memory budget, and a cooperative [`CancelToken`], checked by the
+//!   engines at chase-round and solver-branch granularity;
+//! * structured [`StopReason`]s — a governed run that exhausts a budget
+//!   reports *why* it stopped, never a wrong answer;
+//! * panic isolation ([`isolate`]) turning engine panics into
+//!   [`EngineError`] values instead of process aborts;
+//! * a deterministic fault-injection harness ([`FaultPlan`], behind the
+//!   `fault-injection` cargo feature) that fires allocation failures,
+//!   cancellations, trigger panics, and clock skips at exact points so
+//!   tests can prove every failure surfaces as a clean structured outcome.
+//!
+//! See `docs/ROBUSTNESS.md` for the design and the degradation ladder.
+
+mod fault;
+mod governor;
+
+pub use fault::FaultPlan;
+pub use governor::{CancelToken, Governor, GovernorConfig, GovernorReport, StopReason};
+
+use std::fmt;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+/// A failure of an engine itself (as opposed to a budget stop): the engine
+/// panicked and the panic was contained by [`isolate`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum EngineError {
+    /// The engine panicked; `message` is the panic payload when it was a
+    /// string, or a placeholder otherwise.
+    Panicked {
+        /// Panic payload rendered as text.
+        message: String,
+    },
+}
+
+impl fmt::Display for EngineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EngineError::Panicked { message } => write!(f, "engine panicked: {message}"),
+        }
+    }
+}
+
+impl std::error::Error for EngineError {}
+
+/// Run `f`, containing any panic as an [`EngineError`] instead of letting
+/// it unwind into the caller.
+///
+/// The closure is wrapped in [`AssertUnwindSafe`]: callers must not reuse
+/// state the closure mutated in place after a panic. The PDE solvers
+/// satisfy this by construction — engines consume *clones* of the input
+/// instance, so a contained panic can never poison the caller's data.
+pub fn isolate<T>(f: impl FnOnce() -> T) -> Result<T, EngineError> {
+    catch_unwind(AssertUnwindSafe(f)).map_err(|payload| {
+        let message = if let Some(s) = payload.downcast_ref::<&str>() {
+            (*s).to_owned()
+        } else if let Some(s) = payload.downcast_ref::<String>() {
+            s.clone()
+        } else {
+            "non-string panic payload".to_owned()
+        };
+        EngineError::Panicked { message }
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn isolate_passes_values_through() {
+        assert_eq!(isolate(|| 41 + 1), Ok(42));
+    }
+
+    #[test]
+    fn isolate_contains_str_panics() {
+        let err = isolate(|| -> u32 { panic!("boom") }).unwrap_err();
+        assert_eq!(
+            err,
+            EngineError::Panicked {
+                message: "boom".to_owned()
+            }
+        );
+        assert!(err.to_string().contains("boom"));
+    }
+
+    #[test]
+    fn isolate_contains_formatted_panics() {
+        let err = isolate(|| -> u32 { panic!("step {}", 7) }).unwrap_err();
+        assert_eq!(
+            err,
+            EngineError::Panicked {
+                message: "step 7".to_owned()
+            }
+        );
+    }
+}

@@ -1,0 +1,12 @@
+%schema
+source S/2; source C/2; target T/2; target D/2
+%st
+S(x, y) -> T(x, y)
+C(x, y) -> D(x, y)
+%t
+T(x, y), T(y, z) -> T(x, z)
+T(x, y), T(y, x) -> x = y
+T(x, x), D(u, v) -> u = v
+T(x, y) -> exists z . T(y, z)
+%instance
+S(a, b). C(p, q).

@@ -17,7 +17,8 @@
 //! is a plain instance file over the bundle's schema. Exit code 0 on
 //! "yes"/success outcomes, 1 on "no" outcomes (for `lint`: denied
 //! diagnostics present; for `plan --check`: certificate rejected), 2 on
-//! usage or input errors.
+//! usage or input errors, 3 when `solve` could not decide within its
+//! budgets (search caps, `--timeout`, `--memory-limit`, cancellation).
 //!
 //! `solve`, `certain`, and `enumerate` run the linter first and print any
 //! warnings to stderr (never changing the exit code); `--no-lint` skips
@@ -38,7 +39,16 @@
 //! the whole run — semi-naive delta-driven by default, `naive` as the
 //! escape hatch (see `docs/CHASE.md`). `solve --stats` prints the chase
 //! engine counters: rounds, triggers fired vs skipped-by-delta, egd
-//! merges.
+//! merges — plus the resource-governor counters and whether the run fell
+//! back to the naive oracle engine.
+//!
+//! `solve` alone accepts the resource-governance flags of
+//! `docs/ROBUSTNESS.md`: `--timeout <dur>` (e.g. `500ms`, `2s`; bare
+//! numbers are milliseconds) sets a wall-clock deadline, `--memory-limit
+//! <size>` (e.g. `64m`, `2g`; bare numbers are bytes) a byte budget on
+//! the estimated instance footprint, and `--governed` seeds the memory
+//! budget from the plan certificate's chase bound. Exhausting any budget
+//! prints `undecided (<reason>)` and exits 3 — never a wrong answer.
 
 use pde_analysis::{
     analyze_setting, any_denied, plan_setting, render_certificate_text, render_json, render_text,
@@ -47,20 +57,38 @@ use pde_analysis::{
 };
 use pde_chase::chase_tgds;
 use pde_core::bundle::{split_sections, Bundle, BundleSources};
-use pde_core::{certain_answers, check_solution, decide_with_plan, GenericLimits, SolvePlan};
+use pde_core::{certain_answers, check_solution, decide_governed, GenericLimits, SolvePlan};
 use pde_relational::{parse_instance, parse_query, Peer, UnionQuery};
+use pde_runtime::{Governor, GovernorConfig};
 use std::process::ExitCode;
+use std::time::Duration;
+
+/// Three-valued command outcome: `Yes`/`No` answer the decision problem,
+/// `Undecided` means a budget ran out first. Mapped to exit codes 0/1/3.
+enum Verdict {
+    /// Affirmative outcome (solution exists, check passed, lint clean).
+    Yes,
+    /// Negative outcome (no solution, check failed, denied diagnostics).
+    No,
+    /// The solver stopped on a resource budget before deciding.
+    Undecided,
+}
+
+/// `Yes`/`No` from a boolean outcome.
+fn verdict(yes: bool) -> Verdict {
+    if yes {
+        Verdict::Yes
+    } else {
+        Verdict::No
+    }
+}
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match run(&args) {
-        Ok(yes) => {
-            if yes {
-                ExitCode::SUCCESS
-            } else {
-                ExitCode::from(1)
-            }
-        }
+        Ok(Verdict::Yes) => ExitCode::SUCCESS,
+        Ok(Verdict::No) => ExitCode::from(1),
+        Ok(Verdict::Undecided) => ExitCode::from(3),
         Err(msg) => {
             eprintln!("error: {msg}");
             eprintln!();
@@ -74,7 +102,8 @@ const USAGE: &str = "usage:
   pde classify  <bundle.pde>
   pde lint      <bundle.pde> [--format text|json] [--deny warnings]
   pde plan      <bundle.pde> [--format text|json] [--check <cert.json>]
-  pde solve     <bundle.pde> [--no-lint] [--plan <cert.json>] [--max-steps n] [--max-branches n] [--stats]
+  pde solve     <bundle.pde> [--no-lint] [--plan <cert.json>] [--max-steps n] [--max-branches n]
+                [--timeout dur] [--memory-limit size] [--governed] [--stats]
   pde certain   <bundle.pde> <query> [--no-lint] [--plan <cert.json>] [--max-steps n] [--max-branches n]
   pde chase     <bundle.pde>
   pde check     <bundle.pde> <candidate-instance>
@@ -82,7 +111,12 @@ const USAGE: &str = "usage:
   pde shrink    <bundle.pde> <candidate-instance>
   pde format    <bundle.pde>
 global flags:
-  --chase naive|seminaive   chase engine (default: seminaive)";
+  --chase naive|seminaive   chase engine (default: seminaive)
+solve-only flags:
+  --timeout <dur>           wall-clock budget (ns/us/ms/s suffix; bare = ms)
+  --memory-limit <size>     instance byte budget (k/m/g suffix; bare = bytes)
+  --governed                derive the memory budget from the plan certificate
+exit codes: 0 yes, 1 no, 2 usage/input error, 3 undecided (budget exhausted)";
 
 fn load_bundle(path: &str) -> Result<Bundle, String> {
     let src = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
@@ -101,6 +135,16 @@ struct Flags {
     check_path: Option<String>,
     stats: bool,
     chase_engine: Option<pde_chase::ChaseEngine>,
+    timeout: Option<Duration>,
+    memory_limit: Option<usize>,
+    governed: bool,
+}
+
+impl Flags {
+    /// Does any resource-governance flag ask for a governed run?
+    fn wants_governance(&self) -> bool {
+        self.timeout.is_some() || self.memory_limit.is_some() || self.governed
+    }
 }
 
 /// Split `args` into positional arguments and recognized flags.
@@ -132,6 +176,13 @@ fn split_flags(args: &[String]) -> Result<(Vec<String>, Flags), String> {
             },
             "--max-steps" => flags.max_steps = Some(flag_number(&mut it, "--max-steps")?),
             "--max-branches" => flags.max_branches = Some(flag_number(&mut it, "--max-branches")?),
+            "--timeout" => {
+                flags.timeout = Some(parse_duration(&flag_value(&mut it, "--timeout")?)?);
+            }
+            "--memory-limit" => {
+                flags.memory_limit = Some(parse_bytes(&flag_value(&mut it, "--memory-limit")?)?);
+            }
+            "--governed" => flags.governed = true,
             "--plan" => flags.plan_path = Some(flag_value(&mut it, "--plan")?),
             "--check" => flags.check_path = Some(flag_value(&mut it, "--check")?),
             "--stats" => flags.stats = true,
@@ -166,6 +217,49 @@ fn flag_number<'a>(it: &mut impl Iterator<Item = &'a String>, flag: &str) -> Res
         .map_err(|_| format!("{flag} expects a number, got '{v}'"))
 }
 
+/// Split `"120ms"` into `(120, "ms")`; the suffix may be empty.
+fn split_unit(v: &str) -> Option<(u64, &str)> {
+    let digits = v.len() - v.trim_start_matches(|c: char| c.is_ascii_digit()).len();
+    if digits == 0 {
+        return None;
+    }
+    let n: u64 = v[..digits].parse().ok()?;
+    Some((n, &v[digits..]))
+}
+
+/// `--timeout` value: a number with an optional `ns`/`us`/`ms`/`s`
+/// suffix. Bare numbers are milliseconds.
+fn parse_duration(v: &str) -> Result<Duration, String> {
+    let bad = || format!("--timeout expects e.g. '500ms' or '2s', got '{v}'");
+    let (n, unit) = split_unit(v).ok_or_else(bad)?;
+    match unit {
+        "ns" => Ok(Duration::from_nanos(n)),
+        "us" => Ok(Duration::from_micros(n)),
+        "" | "ms" => Ok(Duration::from_millis(n)),
+        "s" => Ok(Duration::from_secs(n)),
+        _ => Err(bad()),
+    }
+}
+
+/// `--memory-limit` value: a number with an optional `k`/`m`/`g` (or
+/// `kb`/`mb`/`gb`) binary-multiple suffix. Bare numbers are bytes.
+fn parse_bytes(v: &str) -> Result<usize, String> {
+    let lower = v.to_ascii_lowercase();
+    let bad = || format!("--memory-limit expects e.g. '64m' or '1000000', got '{v}'");
+    let (n, unit) = split_unit(&lower).ok_or_else(bad)?;
+    let shift = match unit {
+        "" => 0u32,
+        "k" | "kb" => 10,
+        "m" | "mb" => 20,
+        "g" | "gb" => 30,
+        _ => return Err(bad()),
+    };
+    usize::try_from(n)
+        .ok()
+        .and_then(|n| n.checked_mul(1usize << shift))
+        .ok_or_else(|| format!("--memory-limit '{v}' overflows"))
+}
+
 /// Format a section-level parse error with its file position.
 fn render_source_error(path: &str, sources: &BundleSources, e: &SourceParseError) -> String {
     let section = match e.section {
@@ -180,17 +274,19 @@ fn render_source_error(path: &str, sources: &BundleSources, e: &SourceParseError
 
 /// The solve plan for a bundle: a verified saved certificate when
 /// `--plan` was given, otherwise a fresh planner run; `--max-steps` and
-/// `--max-branches` override the plan's budgets last.
-fn resolve_plan(bundle: &Bundle, flags: &Flags) -> Result<SolvePlan, String> {
-    let mut plan = match &flags.plan_path {
+/// `--max-branches` override the plan's budgets last. The certificate
+/// rides along so `--governed` can derive a memory budget from it.
+fn resolve_plan(bundle: &Bundle, flags: &Flags) -> Result<(SolvePlan, Certificate), String> {
+    let cert = match &flags.plan_path {
         Some(path) => {
             let src = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
             let cert = Certificate::from_json(&src).map_err(|e| format!("{path}: {e}"))?;
             verify_certificate(&bundle.setting, &cert).map_err(|e| format!("{path}: {e}"))?;
-            cert.to_solve_plan()
+            cert
         }
-        None => plan_setting(&bundle.setting, bundle.input.active_domain().len()).to_solve_plan(),
+        None => plan_setting(&bundle.setting, bundle.input.active_domain().len()),
     };
+    let mut plan = cert.to_solve_plan();
     if let Some(n) = flags.max_steps {
         plan.limits.max_nodes = n;
         plan.chase_limits.max_steps = n;
@@ -198,7 +294,26 @@ fn resolve_plan(bundle: &Bundle, flags: &Flags) -> Result<SolvePlan, String> {
     if let Some(n) = flags.max_branches {
         plan.limits.max_branches = n;
     }
-    Ok(plan)
+    Ok((plan, cert))
+}
+
+/// The governor for a `solve` run: `--governed` seeds the memory budget
+/// from the certificate's chase bound, then the explicit `--timeout` and
+/// `--memory-limit` flags override. With no governance flags this is the
+/// unlimited governor (no checks beyond counter bumps).
+fn resolve_governor(cert: &Certificate, flags: &Flags) -> Governor {
+    let mut config = if flags.governed {
+        cert.derived_governor_config()
+    } else {
+        GovernorConfig::default()
+    };
+    if let Some(d) = flags.timeout {
+        config.deadline = Some(d);
+    }
+    if let Some(b) = flags.memory_limit {
+        config.memory_budget_bytes = Some(b);
+    }
+    Governor::new(config)
 }
 
 /// Lint the setting before a solve-style command, printing any warning or
@@ -217,12 +332,17 @@ fn auto_lint(bundle: &Bundle, flags: &Flags) {
     }
 }
 
-fn run(args: &[String]) -> Result<bool, String> {
+fn run(args: &[String]) -> Result<Verdict, String> {
     let (args, flags) = split_flags(args)?;
     if let Some(engine) = flags.chase_engine {
         pde_chase::set_default_chase_engine(engine);
     }
     let cmd = args.first().ok_or("missing command")?;
+    if flags.wants_governance() && cmd != "solve" {
+        return Err(format!(
+            "--timeout/--memory-limit/--governed only apply to 'solve', not '{cmd}'"
+        ));
+    }
     match cmd.as_str() {
         "lint" => {
             let path = args.get(1).ok_or("missing bundle path")?;
@@ -247,7 +367,7 @@ fn run(args: &[String]) -> Result<bool, String> {
             } else {
                 Severity::Error
             };
-            Ok(!any_denied(&diags, deny))
+            Ok(verdict(!any_denied(&diags, deny)))
         }
         "classify" => {
             let bundle = load_bundle(args.get(1).ok_or("missing bundle path")?)?;
@@ -287,7 +407,7 @@ fn run(args: &[String]) -> Result<bool, String> {
             for v in class.ctract.violations() {
                 println!("  violation: {v}");
             }
-            Ok(true)
+            Ok(Verdict::Yes)
         }
         "plan" => {
             let bundle = load_bundle(args.get(1).ok_or("missing bundle path")?)?;
@@ -301,11 +421,11 @@ fn run(args: &[String]) -> Result<bool, String> {
                             "certificate OK: regime {}, solver {}",
                             cert.regime, cert.recommended_solver
                         );
-                        Ok(true)
+                        Ok(Verdict::Yes)
                     }
                     Err(e) => {
                         println!("certificate REJECTED: {e}");
-                        Ok(false)
+                        Ok(Verdict::No)
                     }
                 };
             }
@@ -317,13 +437,14 @@ fn run(args: &[String]) -> Result<bool, String> {
                 println!("{}", bundle.summary());
                 print!("{}", render_certificate_text(&cert));
             }
-            Ok(true)
+            Ok(Verdict::Yes)
         }
         "solve" => {
             let bundle = load_bundle(args.get(1).ok_or("missing bundle path")?)?;
             auto_lint(&bundle, &flags);
-            let plan = resolve_plan(&bundle, &flags)?;
-            let report = decide_with_plan(&bundle.setting, &bundle.input, &plan)
+            let (plan, cert) = resolve_plan(&bundle, &flags)?;
+            let governor = resolve_governor(&cert, &flags);
+            let report = decide_governed(&bundle.setting, &bundle.input, &plan, &governor)
                 .map_err(|e| e.to_string())?;
             println!("{}", bundle.summary());
             println!("solver:   {}", report.kind);
@@ -340,6 +461,19 @@ fn run(args: &[String]) -> Result<bool, String> {
                     }
                     None => println!("chase stats:             n/a (search-based solver)"),
                 }
+                let g = &report.governor;
+                println!("engine fallback:         {}", report.engine_fallback);
+                println!("governor checks:         {}", g.checks);
+                println!("governor stops:          {}", g.stops);
+                println!("peak instance bytes:     {}", g.peak_bytes);
+                println!("cancellations observed:  {}", g.cancellations_observed);
+                match g.deadline_remaining {
+                    Some(d) => println!("deadline remaining:      {d:?}"),
+                    None => println!("deadline remaining:      n/a (no deadline)"),
+                }
+                if g.faults_fired > 0 {
+                    println!("injected faults fired:   {}", g.faults_fired);
+                }
             }
             match report.exists {
                 Some(true) => {
@@ -350,7 +484,7 @@ fn run(args: &[String]) -> Result<bool, String> {
                             println!("  {}{}", bundle.setting.schema().name(rel), t);
                         }
                     }
-                    Ok(true)
+                    Ok(Verdict::Yes)
                 }
                 Some(false) => {
                     println!("result:   no solution");
@@ -369,11 +503,14 @@ fn run(args: &[String]) -> Result<bool, String> {
                             }
                         }
                     }
-                    Ok(false)
+                    Ok(Verdict::No)
                 }
                 None => {
-                    println!("result:   undecided (search budget exhausted)");
-                    Ok(false)
+                    match report.undecided {
+                        Some(reason) => println!("result:   undecided ({reason})"),
+                        None => println!("result:   undecided (search budget exhausted)"),
+                    }
+                    Ok(Verdict::Undecided)
                 }
             }
         }
@@ -384,12 +521,12 @@ fn run(args: &[String]) -> Result<bool, String> {
             let q: UnionQuery = parse_query(bundle.setting.schema(), qsrc)
                 .map_err(|e| e.to_string())?
                 .into();
-            let limits = resolve_plan(&bundle, &flags)?.limits;
+            let limits = resolve_plan(&bundle, &flags)?.0.limits;
             let out = certain_answers(&bundle.setting, &bundle.input, &q, limits)
                 .map_err(|e| e.to_string())?;
             if !out.solution_exists {
                 println!("no solutions: every tuple is vacuously certain");
-                return Ok(true);
+                return Ok(Verdict::Yes);
             }
             println!(
                 "solutions examined: {}; certain answers: {}",
@@ -398,13 +535,13 @@ fn run(args: &[String]) -> Result<bool, String> {
             );
             if q.is_boolean() {
                 println!("certain = {}", out.certain_bool());
-                return Ok(out.certain_bool());
+                return Ok(verdict(out.certain_bool()));
             }
             for t in &out.answers {
                 let row: Vec<String> = t.iter().map(std::string::ToString::to_string).collect();
                 println!("  ({})", row.join(", "));
             }
-            Ok(true)
+            Ok(Verdict::Yes)
         }
         "chase" => {
             let bundle = load_bundle(args.get(1).ok_or("missing bundle path")?)?;
@@ -434,7 +571,7 @@ fn run(args: &[String]) -> Result<bool, String> {
                 blocks.len(),
                 blocks.iter().map(|b| b.nulls.len()).max().unwrap_or(0)
             );
-            Ok(true)
+            Ok(Verdict::Yes)
         }
         "check" => {
             let bundle = load_bundle(args.get(1).ok_or("missing bundle path")?)?;
@@ -448,11 +585,11 @@ fn run(args: &[String]) -> Result<bool, String> {
             match check_solution(&bundle.setting, &bundle.input, &combined) {
                 Ok(()) => {
                     println!("candidate IS a solution");
-                    Ok(true)
+                    Ok(Verdict::Yes)
                 }
                 Err(v) => {
                     println!("candidate is NOT a solution: {v}");
-                    Ok(false)
+                    Ok(Verdict::No)
                 }
             }
         }
@@ -491,7 +628,7 @@ fn run(args: &[String]) -> Result<bool, String> {
                     println!("  {}{}", bundle.setting.schema().name(rel), t);
                 }
             }
-            Ok(!fam.solutions.is_empty())
+            Ok(verdict(!fam.solutions.is_empty()))
         }
         "shrink" => {
             let bundle = load_bundle(args.get(1).ok_or("missing bundle path")?)?;
@@ -511,12 +648,12 @@ fn run(args: &[String]) -> Result<bool, String> {
             for (rel, t) in small.facts_of(Peer::Target) {
                 println!("  {}{}", bundle.setting.schema().name(rel), t);
             }
-            Ok(true)
+            Ok(Verdict::Yes)
         }
         "format" => {
             let bundle = load_bundle(args.get(1).ok_or("missing bundle path")?)?;
             print!("{}", bundle.render());
-            Ok(true)
+            Ok(Verdict::Yes)
         }
         other => Err(format!("unknown command '{other}'")),
     }

@@ -47,6 +47,7 @@
 //! | [`chase`] | the standard chase and the paper's solution-aware chase |
 //! | [`core`] | PDE settings, solution checking, blocks, the four solvers, certain answers, multi-PDE, the PDMS embedding |
 //! | [`analysis`] | `pde lint` diagnostics and `pde plan` complexity certificates with an independent checker |
+//! | [`runtime`] | resilient execution: the [`Governor`](runtime::Governor) (deadlines, memory budgets, cancellation), panic isolation, deterministic fault injection — see `docs/ROBUSTNESS.md` |
 //! | [`workloads`] | graph generators, the CLIQUE / 3-COL reductions, scalable tractable workloads, paper fixtures |
 //!
 //! Benchmarks reproducing the paper's complexity landscape live in the
@@ -58,6 +59,7 @@ pub use pde_chase as chase;
 pub use pde_constraints as constraints;
 pub use pde_core as core;
 pub use pde_relational as relational;
+pub use pde_runtime as runtime;
 pub use pde_workloads as workloads;
 
 /// The most commonly used items, for glob import.
@@ -69,14 +71,15 @@ pub mod prelude {
         Dependency, Egd, Marking, Orientation, Tgd,
     };
     pub use pde_core::{
-        assignment_solve, certain_answers, check_solution, decide, decide_with_limits,
-        decide_with_plan, exists_solution, is_solution, solve_data_exchange, GenericLimits,
-        MultiPdeSetting, PdeSetting, Pdms, SolvePlan, SolveReport, SolverKind,
+        assignment_solve, certain_answers, check_solution, decide, decide_governed,
+        decide_with_limits, decide_with_plan, exists_solution, is_solution, solve_data_exchange,
+        GenericLimits, MultiPdeSetting, PdeSetting, Pdms, SolvePlan, SolveReport, SolverKind,
     };
     pub use pde_relational::{
         parse_instance, parse_query, parse_schema, ConjunctiveQuery, Instance, Peer, Schema,
         UnionQuery, Value,
     };
+    pub use pde_runtime::{CancelToken, Governor, GovernorConfig, GovernorReport, StopReason};
     pub use pde_workloads::{has_k_clique, is_three_colorable, Graph};
 }
 

@@ -375,7 +375,8 @@ fn solve_with_exhausted_budget_reports_undecided() {
         .unwrap()
         .contains("no solution"));
 
-    // One search node is not enough: undecided, never a wrong answer.
+    // One search node is not enough: undecided (distinct exit code 3),
+    // never a wrong answer.
     let out = run(&[
         "solve",
         "--no-lint",
@@ -383,7 +384,7 @@ fn solve_with_exhausted_budget_reports_undecided() {
         "1",
         p.to_str().unwrap(),
     ]);
-    assert_eq!(out.status.code(), Some(1));
+    assert_eq!(out.status.code(), Some(3));
     let stdout = String::from_utf8(out.stdout).unwrap();
     assert!(
         stdout.contains("undecided (search budget exhausted)"),
@@ -406,7 +407,7 @@ fn solve_with_exhausted_budget_reports_undecided() {
         "0",
         b.to_str().unwrap(),
     ]);
-    assert_eq!(out.status.code(), Some(1));
+    assert_eq!(out.status.code(), Some(3));
     assert!(String::from_utf8(out.stdout)
         .unwrap()
         .contains("undecided (search budget exhausted)"));
@@ -496,6 +497,84 @@ fn solve_stats_prints_chase_counters() {
 
     // A bad engine name is a usage error.
     let out = run(&["solve", "--chase", "magic", p.to_str().unwrap()]);
+    assert_eq!(out.status.code(), Some(2));
+}
+
+#[test]
+fn solve_timeout_on_divergent_bundle_is_undecided_not_a_hang() {
+    // The shipped divergent bundle has a non-weakly-acyclic Σt: the chase
+    // never terminates, so an ungoverned run would grind until the plan's
+    // fallback node caps. A 1ms deadline must cut it short with the
+    // distinct undecided exit code.
+    let p = concat!(env!("CARGO_MANIFEST_DIR"), "/examples/divergent.pde");
+    let out = run(&["solve", "--no-lint", "--timeout", "1ms", p]);
+    assert_eq!(
+        out.status.code(),
+        Some(3),
+        "stderr: {stderr}",
+        stderr = String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    assert!(
+        stdout.contains("undecided (deadline exceeded"),
+        "stdout: {stdout}"
+    );
+}
+
+#[test]
+fn solve_memory_limit_is_undecided_with_reason() {
+    let p = concat!(env!("CARGO_MANIFEST_DIR"), "/examples/divergent.pde");
+    // A 1-byte budget trips on the first governed checkpoint.
+    let out = run(&["solve", "--no-lint", "--memory-limit", "1", p]);
+    assert_eq!(out.status.code(), Some(3));
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    assert!(
+        stdout.contains("undecided (memory budget exhausted"),
+        "stdout: {stdout}"
+    );
+}
+
+#[test]
+fn solve_governed_budget_admits_normal_runs() {
+    // --governed derives a memory budget from the plan certificate; a
+    // well-behaved bundle must still decide under it, and --stats must
+    // surface the governor counters.
+    let p = write_temp("governed.pde", EX1_TRIANGLE);
+    let out = run(&[
+        "solve",
+        "--no-lint",
+        "--governed",
+        "--stats",
+        p.to_str().unwrap(),
+    ]);
+    assert_eq!(out.status.code(), Some(0));
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    assert!(stdout.contains("solution exists"), "stdout: {stdout}");
+    assert!(
+        stdout.contains("engine fallback:         false"),
+        "stdout: {stdout}"
+    );
+    assert!(stdout.contains("governor checks:"), "stdout: {stdout}");
+    assert!(stdout.contains("peak instance bytes:"), "stdout: {stdout}");
+    assert!(
+        stdout.contains("governor stops:          0"),
+        "stdout: {stdout}"
+    );
+}
+
+#[test]
+fn governance_flags_are_solve_only_and_validated() {
+    let p = write_temp("govflags.pde", EX1_TRIANGLE);
+    // Governance flags on another command are a usage error.
+    let out = run(&["chase", "--timeout", "1s", p.to_str().unwrap()]);
+    assert_eq!(out.status.code(), Some(2));
+    assert!(String::from_utf8(out.stderr)
+        .unwrap()
+        .contains("only apply to 'solve'"));
+    // Malformed duration / size values are usage errors too.
+    let out = run(&["solve", "--timeout", "soon", p.to_str().unwrap()]);
+    assert_eq!(out.status.code(), Some(2));
+    let out = run(&["solve", "--memory-limit", "lots", p.to_str().unwrap()]);
     assert_eq!(out.status.code(), Some(2));
 }
 

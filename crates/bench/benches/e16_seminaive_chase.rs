@@ -72,6 +72,10 @@ fn run(engine: &str, input: &Instance, deps: &[Dependency]) -> ChaseResult {
 
 fn bench(c: &mut Criterion) {
     let mut rows = Vec::new();
+    // Perf-trajectory record: flat named timings plus a metrics snapshot
+    // of the semi-naive engine counters, written as BENCH_E16.json.
+    let mut measurements: Vec<(String, f64)> = Vec::new();
+    let mut metrics = pde_trace::MetricsRegistry::new();
 
     // Workload 1: egd-heavy clique boundary chase.
     let setting = egd_boundary_setting();
@@ -101,6 +105,10 @@ fn bench(c: &mut Criterion) {
             let _ = run("governed", &input, &deps);
         });
         let stats = run("seminaive", &input, &deps).stats;
+        measurements.push((format!("clique_k{k}.naive_ms"), naive_ms));
+        measurements.push((format!("clique_k{k}.seminaive_ms"), semi_ms));
+        measurements.push((format!("clique_k{k}.governed_ms"), gov_ms));
+        stats.export_metrics(&mut metrics);
         rows.push((
             format!("clique k={k}"),
             format!(
@@ -150,6 +158,10 @@ fn bench(c: &mut Criterion) {
             let _ = run("governed", &input, &deps);
         });
         let stats = run("seminaive", &input, &deps).stats;
+        measurements.push((format!("genomics_{proteins}p.naive_ms"), naive_ms));
+        measurements.push((format!("genomics_{proteins}p.seminaive_ms"), semi_ms));
+        measurements.push((format!("genomics_{proteins}p.governed_ms"), gov_ms));
+        stats.export_metrics(&mut metrics);
         rows.push((
             format!("genomics {proteins}p"),
             format!(
@@ -170,6 +182,7 @@ fn bench(c: &mut Criterion) {
         ("workload", "times (ms)", "semi-naive stats"),
         &rows,
     );
+    pde_bench::write_report("E16", &measurements, &metrics);
 }
 
 // Criterion's macros expand to undocumented items.

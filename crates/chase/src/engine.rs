@@ -127,29 +127,14 @@ pub fn chase_governed_with(
     engine: ChaseEngine,
     governor: &Governor,
 ) -> ChaseResult {
-    let mut res = match engine {
+    match engine {
         ChaseEngine::Naive => chase_naive_governed(instance, deps, mode, limits, governor),
         ChaseEngine::Seminaive => chase_seminaive_governed(instance, deps, mode, limits, governor),
-    };
-    finalize_stats(&mut res.stats, governor);
-    res
-}
-
-/// Copy the governor's run counters into the chase statistics so
-/// `pde solve --stats` can surface them.
-fn finalize_stats(stats: &mut ChaseStats, governor: &Governor) {
-    let report = governor.report();
-    stats.peak_bytes = stats.peak_bytes.max(report.peak_bytes);
-    stats.cancellations_observed = stats
-        .cancellations_observed
-        .max(report.cancellations_observed);
-    if let Some(remaining) = report.deadline_remaining {
-        let nanos = u64::try_from(remaining.as_nanos()).unwrap_or(u64::MAX);
-        stats.deadline_remaining_nanos = Some(match stats.deadline_remaining_nanos {
-            Some(prev) => prev.min(nanos),
-            None => nanos,
-        });
     }
+    // Governor-derived numbers (peak bytes, cancellations, deadline
+    // remaining) are no longer copied into `ChaseStats`: they live in the
+    // report layer (`Governor::report` / the run-report metrics registry),
+    // which cannot double-count when several chases share one governor.
 }
 
 /// The semi-naive, delta-driven chase.
@@ -169,16 +154,12 @@ pub fn chase_seminaive_with(
     mode: WitnessMode<'_>,
     limits: ChaseLimits,
 ) -> ChaseResult {
-    let governor = Governor::unlimited();
-    let mut res = chase_seminaive_governed(instance, deps, mode, limits, &governor);
-    finalize_stats(&mut res.stats, &governor);
-    res
+    chase_seminaive_governed(instance, deps, mode, limits, &Governor::unlimited())
 }
 
 /// [`chase_seminaive_with`] under an explicit [`Governor`] (the
 /// [`chase_governed_with`] worker; callers normally go through that
-/// entry point, which also finalizes the governor counters into the
-/// statistics).
+/// entry point).
 fn chase_seminaive_governed(
     mut instance: Instance,
     deps: &[Dependency],
@@ -222,11 +203,20 @@ fn chase_seminaive_governed(
         }
         let cur = instance.bump_epoch();
         stats.rounds += 1;
+        let _round_span = pde_trace::span("chase.round")
+            .field("engine", "seminaive")
+            .field("round", stats.rounds)
+            .field("facts", instance.fact_count());
         let mut progressed = false;
         for (i, dep) in deps.iter().enumerate() {
             stats.skipped_by_delta += seen[i];
             match dep {
                 Dependency::Tgd(tgd) => {
+                    let mut dep_span = pde_trace::span("chase.trigger")
+                        .field("engine", "seminaive")
+                        .field("dep", i)
+                        .field("round", stats.rounds);
+                    let fired_before = stats.triggers_fired;
                     let mut work: Vec<Assignment> = Vec::new();
                     let mut found_now = 0usize;
                     if tgd.premise.atoms.is_empty() {
@@ -262,6 +252,7 @@ fn chase_seminaive_governed(
                     }
                     stats.triggers_found += found_now;
                     seen[i] += found_now;
+                    dep_span.record_field("found", found_now);
                     for h in work {
                         if steps >= limits.max_steps || instance.fact_count() >= limits.max_facts {
                             continue 'outer; // limit check at loop head
@@ -294,8 +285,14 @@ fn chase_seminaive_governed(
                         stats.triggers_fired += 1;
                         progressed = true;
                     }
+                    dep_span.record_field("fired", stats.triggers_fired - fired_before);
                 }
                 Dependency::Egd(egd) => {
+                    let mut egd_span = pde_trace::span("egd.merge")
+                        .field("engine", "seminaive")
+                        .field("dep", i)
+                        .field("round", stats.rounds);
+                    let merges_before = stats.egd_merges;
                     let mut uf = ValueUnionFind::new();
                     let mut conflict = false;
                     let mut found_now = 0usize;
@@ -336,6 +333,8 @@ fn chase_seminaive_governed(
                     );
                     stats.triggers_found += found_now;
                     seen[i] += found_now;
+                    egd_span.record_field("found", found_now);
+                    egd_span.record_field("merges", stats.egd_merges - merges_before);
                     if conflict {
                         return ChaseResult {
                             outcome: ChaseOutcome::Failure { dep_index: i },
@@ -381,10 +380,7 @@ pub fn chase_naive_with(
     mode: WitnessMode<'_>,
     limits: ChaseLimits,
 ) -> ChaseResult {
-    let governor = Governor::unlimited();
-    let mut res = chase_naive_governed(instance, deps, mode, limits, &governor);
-    finalize_stats(&mut res.stats, &governor);
-    res
+    chase_naive_governed(instance, deps, mode, limits, &Governor::unlimited())
 }
 
 /// [`chase_naive_with`] under an explicit [`Governor`] (the
@@ -435,6 +431,10 @@ fn chase_naive_governed(
             };
         }
         stats.rounds += 1;
+        let _round_span = pde_trace::span("chase.round")
+            .field("engine", "naive")
+            .field("round", stats.rounds)
+            .field("facts", instance.fact_count());
         let mut progressed = false;
         for (i, dep) in deps.iter().enumerate() {
             match dep {
@@ -462,37 +462,45 @@ fn chase_naive_governed(
                         continue 'outer; // limit check at loop head
                     }
                 }
-                Dependency::Egd(egd) => loop {
-                    match apply_one_egd(&mut instance, egd) {
-                        EgdStep::None => break,
-                        EgdStep::Merged { from, to } => {
-                            steps += 1;
-                            egd_steps += 1;
-                            stats.egd_merges += 1;
-                            stats.triggers_found += 1;
-                            progressed = true;
-                            log.push(StepRecord::Egd {
-                                dep_index: i,
-                                from,
-                                to,
-                            });
-                            if steps >= limits.max_steps {
-                                continue 'outer;
+                Dependency::Egd(egd) => {
+                    let mut egd_span = pde_trace::span("egd.merge")
+                        .field("engine", "naive")
+                        .field("dep", i)
+                        .field("round", stats.rounds);
+                    let merges_before = stats.egd_merges;
+                    loop {
+                        match apply_one_egd(&mut instance, egd) {
+                            EgdStep::None => break,
+                            EgdStep::Merged { from, to } => {
+                                steps += 1;
+                                egd_steps += 1;
+                                stats.egd_merges += 1;
+                                stats.triggers_found += 1;
+                                progressed = true;
+                                log.push(StepRecord::Egd {
+                                    dep_index: i,
+                                    from,
+                                    to,
+                                });
+                                if steps >= limits.max_steps {
+                                    continue 'outer;
+                                }
+                            }
+                            EgdStep::Failure => {
+                                return ChaseResult {
+                                    outcome: ChaseOutcome::Failure { dep_index: i },
+                                    instance,
+                                    steps: steps + 1,
+                                    tgd_steps,
+                                    egd_steps: egd_steps + 1,
+                                    log,
+                                    stats,
+                                };
                             }
                         }
-                        EgdStep::Failure => {
-                            return ChaseResult {
-                                outcome: ChaseOutcome::Failure { dep_index: i },
-                                instance,
-                                steps: steps + 1,
-                                tgd_steps,
-                                egd_steps: egd_steps + 1,
-                                log,
-                                stats,
-                            };
-                        }
                     }
-                },
+                    egd_span.record_field("merges", stats.egd_merges - merges_before);
+                }
             }
         }
         if !progressed {
@@ -526,10 +534,15 @@ fn apply_tgd_round(
     log: &mut Vec<StepRecord>,
     stats: &mut ChaseStats,
 ) -> usize {
+    let mut dep_span = pde_trace::span("chase.trigger")
+        .field("engine", "naive")
+        .field("dep", dep_index)
+        .field("round", stats.rounds);
     // Collect the active triggers against the current instance. Triggers
     // stay valid under insertions (homomorphisms are monotone), so batch
     // collection is sound in a round without egd steps.
     let mut triggers: Vec<Assignment> = Vec::new();
+    let found_before = stats.triggers_found;
     let _ = for_each_hom(&tgd.premise.atoms, instance, &Assignment::new(), |h| {
         stats.triggers_found += 1;
         if exists_hom(&tgd.conclusion.atoms, instance, h) {
@@ -539,6 +552,7 @@ fn apply_tgd_round(
         }
         ControlFlow::Continue(())
     });
+    dep_span.record_field("found", stats.triggers_found - found_before);
     let mut applied = 0usize;
     for h in triggers {
         if *steps >= limits.max_steps || instance.fact_count() >= limits.max_facts {
@@ -563,6 +577,7 @@ fn apply_tgd_round(
         applied += 1;
         stats.triggers_fired += 1;
     }
+    dep_span.record_field("fired", applied);
     applied
 }
 
@@ -1049,7 +1064,8 @@ mod tests {
             );
             // The zero deadline trips before any step is applied.
             assert_eq!(res.steps, 0);
-            assert!(res.stats.deadline_remaining_nanos.is_some());
+            // Governor-derived numbers live in the report layer now.
+            assert!(governor.report().deadline_remaining.is_some());
         }
         // The caller's instance is untouched (engines consume clones).
         assert_eq!(a.fact_count(), 1);
@@ -1080,7 +1096,7 @@ mod tests {
             panic!("expected a governed stop, got {:?}", res.outcome);
         };
         assert!(matches!(reason, StopReason::MemoryExhausted { .. }));
-        assert!(res.stats.peak_bytes > 1);
+        assert!(governor.report().peak_bytes > 1);
     }
 
     #[test]
@@ -1110,7 +1126,7 @@ mod tests {
                 reason: StopReason::Cancelled
             }
         );
-        assert!(res.stats.cancellations_observed >= 1);
+        assert!(governor.report().cancellations_observed >= 1);
     }
 
     #[test]

@@ -124,11 +124,23 @@ pub struct ChaseStats {
     pub egd_merges: usize,
     /// Largest estimated instance footprint observed at any governor
     /// checkpoint, in bytes (0 for ungoverned runs that never checked).
+    ///
+    /// **Deprecation note:** governor-derived; engines no longer populate
+    /// it. Read [`pde_runtime::GovernorReport::peak_bytes`] (or the run
+    /// report's `governor.peak_bytes` metric) instead. The field stays so
+    /// the public shape is unchanged; it will be removed in a future
+    /// revision.
     pub peak_bytes: usize,
     /// Governor checkpoints that observed the cancel token set.
+    ///
+    /// **Deprecation note:** governor-derived; engines no longer populate
+    /// it — read [`pde_runtime::GovernorReport::cancellations_observed`].
     pub cancellations_observed: usize,
     /// Wall-clock budget left when the run finished, in nanoseconds
     /// (`None` when no deadline was configured; saturates at `u64::MAX`).
+    ///
+    /// **Deprecation note:** governor-derived; engines no longer populate
+    /// it — read [`pde_runtime::GovernorReport::deadline_remaining`].
     pub deadline_remaining_nanos: Option<u64>,
 }
 
@@ -157,6 +169,23 @@ impl ChaseStats {
             (Some(a), Some(b)) => Some(a.min(b)),
             (a, b) => a.or(b),
         };
+    }
+
+    /// Export the engine work counters into a
+    /// [`pde_trace::MetricsRegistry`] under the `chase.` prefix.
+    ///
+    /// Only engine-owned counters are exported; the deprecated
+    /// governor-derived fields are deliberately omitted — the report layer
+    /// sources those from [`pde_runtime::GovernorReport::export_metrics`]
+    /// so they are counted exactly once.
+    pub fn export_metrics(&self, reg: &mut pde_trace::MetricsRegistry) {
+        let u = |x: usize| u64::try_from(x).unwrap_or(u64::MAX);
+        reg.add("chase.rounds", u(self.rounds));
+        reg.add("chase.triggers_found", u(self.triggers_found));
+        reg.add("chase.triggers_fired", u(self.triggers_fired));
+        reg.add("chase.triggers_satisfied", u(self.triggers_satisfied));
+        reg.add("chase.skipped_by_delta", u(self.skipped_by_delta));
+        reg.add("chase.egd_merges", u(self.egd_merges));
     }
 }
 

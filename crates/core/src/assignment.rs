@@ -84,10 +84,30 @@ pub struct SearchStats {
     pub nodes: usize,
     /// Branches pruned by the determined-violation check.
     pub prunes: usize,
+    /// Complete candidate solutions reached and handed to the sink.
+    pub candidates_checked: usize,
     /// Nulls in `J_can` (the search depth).
     pub null_count: usize,
     /// Facts in `J_can`.
     pub jcan_facts: usize,
+    /// Engine counters of the Σst chase that built `J_can` (absorbed so
+    /// `solve --stats` reports real chase work for this solver too).
+    pub chase_stats: pde_chase::ChaseStats,
+}
+
+impl SearchStats {
+    /// Export the search counters into a [`pde_trace::MetricsRegistry`]
+    /// under the `search.` prefix, plus the absorbed Σst chase counters
+    /// under `chase.`.
+    pub fn export_metrics(&self, reg: &mut pde_trace::MetricsRegistry) {
+        let u = |x: usize| u64::try_from(x).unwrap_or(u64::MAX);
+        reg.add("search.nodes", u(self.nodes));
+        reg.add("search.prunes", u(self.prunes));
+        reg.add("search.candidates_checked", u(self.candidates_checked));
+        reg.set_max("search.null_count", u(self.null_count));
+        reg.set_max("search.jcan_facts", u(self.jcan_facts));
+        self.chase_stats.export_metrics(reg);
+    }
 }
 
 /// Outcome of a solve call.
@@ -288,6 +308,7 @@ fn search(
             _ => AssignmentError::ChaseDidNotTerminate,
         });
     }
+    let st_stats = st_res.stats;
     let jcan_combined = st_res.instance;
 
     // Collect target facts and their nulls.
@@ -339,6 +360,7 @@ fn search(
     };
     ctx.stats.null_count = ctx.nulls.len();
     ctx.stats.jcan_facts = ctx.facts.len();
+    ctx.stats.chase_stats.absorb(st_stats);
 
     // Seed the determined instance with the ground target facts of J_can
     // and check them; a violation here is unfixable (no nulls involved).
@@ -456,6 +478,10 @@ impl<F: FnMut(&Instance) -> ControlFlow<()>> SearchCtx<'_, F> {
     /// DFS over nulls from `depth`.
     fn descend(&mut self, depth: usize) -> NodeResult {
         self.stats.nodes += 1;
+        let _span = pde_trace::span("solver.branch")
+            .field("solver", "assignment")
+            .field("depth", depth)
+            .field("node", self.stats.nodes);
         let bytes = if self.governor.tracks_memory() {
             self.determined.approx_heap_bytes()
         } else {
@@ -468,6 +494,7 @@ impl<F: FnMut(&Instance) -> ControlFlow<()>> SearchCtx<'_, F> {
         if depth == self.nulls.len() {
             // All facts determined and checked: the determined target part
             // plus `I` is a solution. Hand it to the sink.
+            self.stats.candidates_checked += 1;
             let sol = self.determined.clone();
             debug_assert!(
                 {

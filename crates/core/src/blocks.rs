@@ -83,6 +83,7 @@ impl UnionFind {
 /// first, followed by one block per connected component of the null graph,
 /// in ascending order of their smallest null id.
 pub fn blocks(inst: &Instance) -> Vec<Block> {
+    let mut span = pde_trace::span("blocks.decompose").field("facts", inst.fact_count());
     let mut uf = UnionFind::new();
     for (_, t) in inst.facts() {
         let nulls: Vec<NullId> = t.nulls().collect();
@@ -132,6 +133,7 @@ pub fn blocks(inst: &Instance) -> Vec<Block> {
     }
     keyed.sort_by_key(|(_, b)| b.nulls[0]);
     out.extend(keyed.into_iter().map(|(_, b)| b));
+    span.record_field("blocks", out.len());
     out
 }
 
@@ -170,7 +172,11 @@ pub fn collect_block_homs(
     let bs = blocks(from);
     if bs.len() < parallel_threshold {
         let mut out = std::collections::HashMap::new();
-        for b in &bs {
+        for (bi_idx, b) in bs.iter().enumerate() {
+            let _span = pde_trace::span("block.hom_search")
+                .field("block", bi_idx)
+                .field("nulls", b.nulls.len())
+                .field("facts", b.len());
             let bi = b.to_instance(&schema);
             out.extend(pde_relational::instance_hom(&bi, to)?);
         }
@@ -185,15 +191,23 @@ pub fn collect_block_homs(
     let results: Vec<Option<Vec<std::collections::HashMap<_, _>>>> = std::thread::scope(|scope| {
         let handles: Vec<_> = bs
             .chunks(chunk)
-            .map(|part| {
+            .enumerate()
+            .map(|(ci, part)| {
                 let schema = &schema;
                 let failed = &failed;
                 scope.spawn(move || {
                     let mut maps = Vec::with_capacity(part.len());
-                    for b in part {
+                    for (off, b) in part.iter().enumerate() {
                         if failed.load(Ordering::Relaxed) {
                             return None;
                         }
+                        // Worker-thread spans self-account on their own
+                        // thread; they are not subtracted from the
+                        // spawning span's self time.
+                        let _span = pde_trace::span("block.hom_search")
+                            .field("block", ci * chunk + off)
+                            .field("nulls", b.nulls.len())
+                            .field("facts", b.len());
                         let bi = b.to_instance(schema);
                         match pde_relational::instance_hom(&bi, to) {
                             Some(m) => maps.push(m),

@@ -80,6 +80,21 @@ pub struct GenericStats {
     pub ts_prunes: usize,
     /// Branches killed by egd constant conflicts.
     pub egd_failures: usize,
+    /// Leaves reached (Σst ∪ Σt hold) and tested against Σts.
+    pub candidates_checked: usize,
+}
+
+impl GenericStats {
+    /// Export the search counters into a [`pde_trace::MetricsRegistry`]
+    /// under the `search.` prefix.
+    pub fn export_metrics(&self, reg: &mut pde_trace::MetricsRegistry) {
+        let u = |x: usize| u64::try_from(x).unwrap_or(u64::MAX);
+        reg.add("search.nodes", u(self.nodes));
+        reg.add("search.memo_hits", u(self.memo_hits));
+        reg.add("search.ts_prunes", u(self.ts_prunes));
+        reg.add("search.egd_failures", u(self.egd_failures));
+        reg.add("search.candidates_checked", u(self.candidates_checked));
+    }
 }
 
 /// Outcome of the generic search.
@@ -285,6 +300,10 @@ impl<F: FnMut(&Instance) -> ControlFlow<()>> Ctx<'_, F> {
             return SearchFlow::Truncated;
         }
         self.stats.nodes += 1;
+        let _span = pde_trace::span("solver.branch")
+            .field("solver", "generic")
+            .field("node", self.stats.nodes)
+            .field("facts", k.fact_count());
 
         // 1. Apply egds to a fixpoint (forced steps).
         loop {
@@ -336,6 +355,7 @@ impl<F: FnMut(&Instance) -> ControlFlow<()>> Ctx<'_, F> {
             .find_map(|(i, t)| find_tgd_violation(&k, t).map(|h| (i, h)));
         let Some((ti, h)) = trigger else {
             // Leaf: Σst and Σt hold; success iff Σts holds.
+            self.stats.candidates_checked += 1;
             let ts_ok = self
                 .setting
                 .sigma_ts()

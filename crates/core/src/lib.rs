@@ -51,6 +51,6 @@ pub use multi::{MultiPdeError, MultiPdeSetting, PeerConstraints};
 pub use pdms::{Pdms, StorageDescription};
 pub use small::{shrink_solution, ShrinkError};
 pub use solver::{
-    decide, decide_governed, decide_with_limits, decide_with_plan, SolveError, SolvePlan,
-    SolveReport, SolverKind,
+    decide, decide_governed, decide_with_limits, decide_with_plan, SearchSummary, SolveError,
+    SolvePlan, SolveReport, SolverKind,
 };

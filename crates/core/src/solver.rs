@@ -46,6 +46,31 @@ impl fmt::Display for SolverKind {
     }
 }
 
+/// Search counters of the complete (exponential) solvers, normalized
+/// across the null-assignment and witness-chase searches so every solver
+/// kind reports real numbers.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct SearchSummary {
+    /// Search-tree branches (nodes) explored.
+    pub branches: usize,
+    /// Complete candidate solutions reached and checked at leaves.
+    pub candidates_checked: usize,
+    /// Branches cut before expansion (determined-violation prunes,
+    /// permanent-Σts prunes, memo hits, and egd constant conflicts).
+    pub prunes: usize,
+}
+
+impl SearchSummary {
+    /// Export the counters into a [`pde_trace::MetricsRegistry`] under the
+    /// `search.` prefix.
+    pub fn export_metrics(&self, reg: &mut pde_trace::MetricsRegistry) {
+        let u = |x: usize| u64::try_from(x).unwrap_or(u64::MAX);
+        reg.add("search.branches", u(self.branches));
+        reg.add("search.candidates_checked", u(self.candidates_checked));
+        reg.add("search.prunes", u(self.prunes));
+    }
+}
+
 /// Result of [`decide`].
 #[derive(Clone, Debug)]
 pub struct SolveReport {
@@ -59,10 +84,15 @@ pub struct SolveReport {
     /// Wall-clock time of the solve call.
     pub elapsed: Duration,
     /// Chase engine counters (rounds, triggers fired / skipped-by-delta,
-    /// egd merges) when the selected algorithm is chase-based
-    /// (data-exchange and `C_tract` paths); `None` for the complete
-    /// searches, which run many small exploratory chases.
+    /// egd merges) whenever the selected algorithm ran a chase engine:
+    /// the data-exchange and `C_tract` paths, and the null-assignment
+    /// search (which absorbs its Σst chase). `None` only for the generic
+    /// witness-chase search, whose chase steps are inlined into the
+    /// branch nodes counted by `search`.
     pub chase_stats: Option<ChaseStats>,
+    /// Search counters when the selected algorithm is one of the complete
+    /// searches; `None` for the polynomial paths.
+    pub search: Option<SearchSummary>,
     /// Why the run is undecided, when the governor stopped it (`exists`
     /// is `None` in that case). `None` for decided runs and for plain
     /// limit truncations.
@@ -74,6 +104,27 @@ pub struct SolveReport {
     /// Governor counters accumulated over the whole solve (all zeros /
     /// `None` for ungoverned runs that never checked).
     pub governor: GovernorReport,
+}
+
+impl SolveReport {
+    /// Export every counter this report carries into a
+    /// [`pde_trace::MetricsRegistry`]: chase counters under `chase.`,
+    /// search counters under `search.`, governor counters under
+    /// `governor.`, plus `solve.elapsed_ns`. This is the canonical source
+    /// for the machine-readable run report.
+    pub fn export_metrics(&self, reg: &mut pde_trace::MetricsRegistry) {
+        if let Some(cs) = &self.chase_stats {
+            cs.export_metrics(reg);
+        }
+        if let Some(s) = &self.search {
+            s.export_metrics(reg);
+        }
+        self.governor.export_metrics(reg);
+        reg.set(
+            "solve.elapsed_ns",
+            u64::try_from(self.elapsed.as_nanos()).unwrap_or(u64::MAX),
+        );
+    }
 }
 
 /// Errors from the façade (the per-solver errors, unified).
@@ -231,12 +282,13 @@ fn attempt(
 ) -> Result<SolveReport, SolveError> {
     let start = Instant::now();
     let wrap = |e: &dyn fmt::Display| SolveError::Precondition(e.to_string());
-    let report = |exists, witness, chase_stats, undecided| SolveReport {
+    let report = |exists, witness, chase_stats, search, undecided| SolveReport {
         kind: plan.kind,
         exists,
         witness,
         elapsed: start.elapsed(),
         chase_stats,
+        search,
         undecided,
         engine_fallback: false,
         governor: GovernorReport::default(),
@@ -256,9 +308,10 @@ fn attempt(
                     out.canonical,
                     Some(out.chase_stats),
                     None,
+                    None,
                 )),
                 Err(DataExchangeError::Stopped(reason)) => {
-                    Ok(report(None, None, None, Some(reason)))
+                    Ok(report(None, None, None, None, Some(reason)))
                 }
                 Err(e) => Err(wrap(&e)),
             }
@@ -270,28 +323,52 @@ fn attempt(
                     out.witness,
                     Some(out.stats.chase_stats),
                     None,
+                    None,
                 )),
-                Err(TractableError::Stopped(reason)) => Ok(report(None, None, None, Some(reason))),
+                Err(TractableError::Stopped(reason)) => {
+                    Ok(report(None, None, None, None, Some(reason)))
+                }
                 Err(e) => Err(wrap(&e)),
             }
         }
         SolverKind::AssignmentSearch => {
             match assignment::solve_governed(setting, input, engine, governor) {
-                Ok(out) => Ok(report(Some(out.exists), out.witness, None, None)),
-                Err(AssignmentError::Stopped(reason)) => Ok(report(None, None, None, Some(reason))),
+                Ok(out) => {
+                    let search = SearchSummary {
+                        branches: out.stats.nodes,
+                        candidates_checked: out.stats.candidates_checked,
+                        prunes: out.stats.prunes,
+                    };
+                    Ok(report(
+                        Some(out.exists),
+                        out.witness,
+                        Some(out.stats.chase_stats),
+                        Some(search),
+                        None,
+                    ))
+                }
+                Err(AssignmentError::Stopped(reason)) => {
+                    Ok(report(None, None, None, None, Some(reason)))
+                }
                 Err(e) => Err(wrap(&e)),
             }
         }
         SolverKind::GenericSearch => {
             let out = generic::solve_governed(setting, input, plan.limits, governor)
                 .map_err(|e| wrap(&e))?;
+            let gs = out.stats();
+            let search = SearchSummary {
+                branches: gs.nodes,
+                candidates_checked: gs.candidates_checked,
+                prunes: gs.memo_hits + gs.ts_prunes + gs.egd_failures,
+            };
             let (exists, witness, undecided) = match out {
                 GenericOutcome::Solved { witness, .. } => (Some(true), Some(witness), None),
                 GenericOutcome::NoSolution { .. } => (Some(false), None, None),
                 GenericOutcome::Unknown { .. } => (None, None, None),
                 GenericOutcome::Stopped { reason, .. } => (None, None, Some(reason)),
             };
-            Ok(report(exists, witness, None, undecided))
+            Ok(report(exists, witness, None, Some(search), undecided))
         }
     }
 }

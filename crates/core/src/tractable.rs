@@ -91,6 +91,21 @@ pub struct TractableStats {
     pub chase_stats: pde_chase::ChaseStats,
 }
 
+impl TractableStats {
+    /// Export the run counters into a [`pde_trace::MetricsRegistry`] under
+    /// the `tractable.` prefix, plus the absorbed chase counters under
+    /// `chase.`.
+    pub fn export_metrics(&self, reg: &mut pde_trace::MetricsRegistry) {
+        let u = |x: usize| u64::try_from(x).unwrap_or(u64::MAX);
+        reg.set_max("tractable.jcan_facts", u(self.jcan_facts));
+        reg.set_max("tractable.ican_facts", u(self.ican_facts));
+        reg.set_max("tractable.block_count", u(self.block_count));
+        reg.set_max("tractable.max_block_nulls", u(self.max_block_nulls));
+        reg.add("tractable.chase_steps", u(self.chase_steps));
+        self.chase_stats.export_metrics(reg);
+    }
+}
+
 /// Outcome of `ExistsSolution`.
 #[derive(Clone, Debug)]
 pub struct TractableOutcome {

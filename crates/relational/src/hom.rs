@@ -340,6 +340,13 @@ pub fn for_each_hom_seminaive(
     delta_hi: u64,
     mut f: impl FnMut(&Assignment) -> ControlFlow<()>,
 ) -> ControlFlow<()> {
+    // Trigger-discovery instrumentation point: one span per (dependency,
+    // round) call, covering the whole pivot sweep.
+    let _span = pde_trace::span("hom.search")
+        .field("kind", "seminaive")
+        .field("atoms", atoms.len())
+        .field("delta_lo", delta_lo)
+        .field("delta_hi", delta_hi);
     let mut windows = vec![EpochWindow::before(delta_hi); atoms.len()];
     for pivot in 0..atoms.len() {
         if inst
@@ -457,6 +464,12 @@ pub fn instance_hom_with(
     to: &Instance,
     config: HomConfig,
 ) -> Option<HashMap<NullId, Value>> {
+    // Block-level hom searches (Prop. 1) route through here; the span
+    // gives `--profile` the cost of whole-instance mapping separately
+    // from delta trigger discovery.
+    let _span = pde_trace::span("hom.search")
+        .field("kind", "instance")
+        .field("facts", from.fact_count());
     let atoms = instance_as_atoms(from);
     let mut found = None;
     let _ = for_each_hom_with(&atoms, to, &Assignment::new(), config, |a| {

@@ -111,6 +111,30 @@ pub struct GovernorReport {
     pub deadline_remaining: Option<Duration>,
 }
 
+impl GovernorReport {
+    /// Export every counter into a [`pde_trace::MetricsRegistry`] under
+    /// the `governor.` prefix. The registry is the canonical report-layer
+    /// home for these numbers (see the deprecation notes on the
+    /// governor-derived `ChaseStats` fields).
+    pub fn export_metrics(&self, reg: &mut pde_trace::MetricsRegistry) {
+        let u = |x: usize| u64::try_from(x).unwrap_or(u64::MAX);
+        reg.add("governor.checks", u(self.checks));
+        reg.set_max("governor.peak_bytes", u(self.peak_bytes));
+        reg.add(
+            "governor.cancellations_observed",
+            u(self.cancellations_observed),
+        );
+        reg.add("governor.stops", u(self.stops));
+        reg.add("governor.faults_fired", u(self.faults_fired));
+        if let Some(d) = self.deadline_remaining {
+            reg.set(
+                "governor.deadline_remaining_ns",
+                u64::try_from(d.as_nanos()).unwrap_or(u64::MAX),
+            );
+        }
+    }
+}
+
 /// Cooperative resource governor threaded through chase engines and
 /// solvers.
 ///
@@ -197,6 +221,7 @@ impl Governor {
     /// Order: cancellation, then deadline, then memory — a cancelled run
     /// reports `Cancelled` even if it also blew its deadline.
     pub fn check(&self, observed_bytes: usize) -> Result<(), StopReason> {
+        let _span = pde_trace::span("governor.check").field("bytes", observed_bytes);
         self.checks.fetch_add(1, Ordering::Relaxed);
         self.peak_bytes.fetch_max(observed_bytes, Ordering::Relaxed);
         if self.cancel.is_cancelled() {

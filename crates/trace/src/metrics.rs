@@ -1,0 +1,215 @@
+//! A registry of named counters and histograms.
+//!
+//! The registry is the *report layer*: engines keep their own cheap
+//! struct-of-counters (`ChaseStats`, search stats, `GovernorReport`) and
+//! export into a [`MetricsRegistry`] when a run report is assembled. That
+//! keeps this crate a leaf dependency and the hot loops allocation-free.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// A power-of-two-bucket histogram of `u64` samples.
+///
+/// Bucket `i` counts samples `v` with `2^(i-1) < v <= 2^i` (bucket 0
+/// counts zeros and ones). 65 buckets cover the full `u64` range.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Histogram {
+    /// Samples recorded.
+    pub count: u64,
+    /// Sum of all samples (saturating).
+    pub sum: u64,
+    /// Smallest sample (0 when empty).
+    pub min: u64,
+    /// Largest sample.
+    pub max: u64,
+    buckets: [u64; 65],
+}
+
+impl Default for Histogram {
+    fn default() -> Histogram {
+        Histogram {
+            count: 0,
+            sum: 0,
+            min: 0,
+            max: 0,
+            buckets: [0; 65],
+        }
+    }
+}
+
+impl Histogram {
+    /// An empty histogram.
+    pub fn new() -> Histogram {
+        Histogram::default()
+    }
+
+    /// Record one sample.
+    pub fn record(&mut self, v: u64) {
+        if self.count == 0 || v < self.min {
+            self.min = v;
+        }
+        if v > self.max {
+            self.max = v;
+        }
+        self.count += 1;
+        self.sum = self.sum.saturating_add(v);
+        self.buckets[Self::bucket_of(v)] += 1;
+    }
+
+    /// The bucket index a sample falls into: `ceil(log2(v))`, with 0 and
+    /// 1 sharing bucket 0.
+    fn bucket_of(v: u64) -> usize {
+        if v <= 1 {
+            0
+        } else {
+            (64 - (v - 1).leading_zeros()) as usize
+        }
+    }
+
+    /// Non-empty buckets as `(upper_bound_exponent, count)` pairs: bucket
+    /// `e` holds samples `<= 2^e` (and `> 2^(e-1)` for `e > 0`).
+    pub fn nonzero_buckets(&self) -> Vec<(u32, u64)> {
+        self.buckets
+            .iter()
+            .enumerate()
+            .filter(|(_, c)| **c > 0)
+            .map(|(i, c)| (u32::try_from(i).unwrap_or(u32::MAX), *c))
+            .collect()
+    }
+
+    /// Render as a JSON object.
+    pub fn to_json(&self) -> String {
+        let mut out = String::new();
+        let _ = write!(
+            out,
+            "{{\"count\":{},\"sum\":{},\"min\":{},\"max\":{},\"buckets\":[",
+            self.count, self.sum, self.min, self.max
+        );
+        for (i, (e, c)) in self.nonzero_buckets().iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(out, "[{e},{c}]");
+        }
+        out.push_str("]}");
+        out
+    }
+}
+
+/// Named counters and histograms, keyed by dot-separated metric names
+/// (`chase.rounds`, `governor.peak_bytes`, `search.nodes`, …). Keys are
+/// `BTreeMap`-ordered, so every rendering is deterministic.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct MetricsRegistry {
+    counters: BTreeMap<String, u64>,
+    histograms: BTreeMap<String, Histogram>,
+}
+
+impl MetricsRegistry {
+    /// An empty registry.
+    pub fn new() -> MetricsRegistry {
+        MetricsRegistry::default()
+    }
+
+    /// Add `v` to the named counter (creating it at zero).
+    pub fn add(&mut self, name: &str, v: u64) {
+        let c = self.counters.entry(name.to_owned()).or_insert(0);
+        *c = c.saturating_add(v);
+    }
+
+    /// Set the named counter to `v` (for gauges like peak bytes, where
+    /// summing across sub-runs would be wrong).
+    pub fn set(&mut self, name: &str, v: u64) {
+        self.counters.insert(name.to_owned(), v);
+    }
+
+    /// Set the named counter to the max of its current value and `v`.
+    pub fn set_max(&mut self, name: &str, v: u64) {
+        let c = self.counters.entry(name.to_owned()).or_insert(0);
+        *c = (*c).max(v);
+    }
+
+    /// The named counter's value, if present.
+    pub fn get(&self, name: &str) -> Option<u64> {
+        self.counters.get(name).copied()
+    }
+
+    /// Record a histogram sample under `name`.
+    pub fn observe(&mut self, name: &str, v: u64) {
+        self.histograms
+            .entry(name.to_owned())
+            .or_default()
+            .record(v);
+    }
+
+    /// The named histogram, if present.
+    pub fn histogram(&self, name: &str) -> Option<&Histogram> {
+        self.histograms.get(name)
+    }
+
+    /// Iterate counters in name order.
+    pub fn counters(&self) -> impl Iterator<Item = (&str, u64)> {
+        self.counters.iter().map(|(k, v)| (k.as_str(), *v))
+    }
+
+    /// Iterate histograms in name order.
+    pub fn histograms(&self) -> impl Iterator<Item = (&str, &Histogram)> {
+        self.histograms.iter().map(|(k, v)| (k.as_str(), v))
+    }
+
+    /// Render as a JSON object `{"counters":{...},"histograms":{...}}`
+    /// with keys in sorted order.
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\"counters\":{");
+        for (i, (name, v)) in self.counters().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(out, "{}:{v}", crate::json_escape(name));
+        }
+        out.push_str("},\"histograms\":{");
+        for (i, (name, h)) in self.histograms().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(out, "{}:{}", crate::json_escape(name), h.to_json());
+        }
+        out.push_str("}}");
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn histogram_buckets_power_of_two() {
+        let mut h = Histogram::new();
+        for v in [0, 1, 2, 3, 4, 1000] {
+            h.record(v);
+        }
+        assert_eq!(h.count, 6);
+        assert_eq!(h.sum, 1010);
+        assert_eq!(h.min, 0);
+        assert_eq!(h.max, 1000);
+        // 0,1 -> bucket 0; 2 -> bucket 1; 3,4 -> bucket 2; 1000 -> bucket 10.
+        assert_eq!(h.nonzero_buckets(), vec![(0, 2), (1, 1), (2, 2), (10, 1)]);
+    }
+
+    #[test]
+    fn registry_counters_and_json_are_deterministic() {
+        let mut r = MetricsRegistry::new();
+        r.add("b.second", 2);
+        r.add("a.first", 1);
+        r.add("a.first", 4);
+        r.set_max("gauge.peak", 10);
+        r.set_max("gauge.peak", 7);
+        r.observe("hist.x", 3);
+        assert_eq!(r.get("a.first"), Some(5));
+        assert_eq!(r.get("gauge.peak"), Some(10));
+        let json = r.to_json();
+        assert!(json.starts_with("{\"counters\":{\"a.first\":5,\"b.second\":2,\"gauge.peak\":10}"));
+        assert!(json.contains("\"hist.x\":{\"count\":1,\"sum\":3"));
+    }
+}

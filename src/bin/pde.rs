@@ -39,8 +39,19 @@
 //! the whole run — semi-naive delta-driven by default, `naive` as the
 //! escape hatch (see `docs/CHASE.md`). `solve --stats` prints the chase
 //! engine counters: rounds, triggers fired vs skipped-by-delta, egd
-//! merges — plus the resource-governor counters and whether the run fell
-//! back to the naive oracle engine.
+//! merges — and, for the complete searches, the branch/candidate/prune
+//! counters — plus the resource-governor counters and whether the run
+//! fell back to the naive oracle engine.
+//!
+//! Observability (`docs/OBSERVABILITY.md`): `--trace <file.jsonl>` (any
+//! command) streams every phase span — chase rounds, trigger discovery,
+//! egd merging, block decomposition, per-block homomorphism search,
+//! search branches, governor checks — as one JSON object per line;
+//! `--profile` aggregates the same spans in-process and prints a
+//! per-phase total/self-time table to stderr. `solve --format json`
+//! replaces the human-readable output with a single versioned JSON run
+//! report: outcome, certificate routing identifiers, and every chase /
+//! search / governor counter.
 //!
 //! `solve` alone accepts the resource-governance flags of
 //! `docs/ROBUSTNESS.md`: `--timeout <dur>` (e.g. `500ms`, `2s`; bare
@@ -103,7 +114,7 @@ const USAGE: &str = "usage:
   pde lint      <bundle.pde> [--format text|json] [--deny warnings]
   pde plan      <bundle.pde> [--format text|json] [--check <cert.json>]
   pde solve     <bundle.pde> [--no-lint] [--plan <cert.json>] [--max-steps n] [--max-branches n]
-                [--timeout dur] [--memory-limit size] [--governed] [--stats]
+                [--timeout dur] [--memory-limit size] [--governed] [--stats] [--format text|json]
   pde certain   <bundle.pde> <query> [--no-lint] [--plan <cert.json>] [--max-steps n] [--max-branches n]
   pde chase     <bundle.pde>
   pde check     <bundle.pde> <candidate-instance>
@@ -112,6 +123,8 @@ const USAGE: &str = "usage:
   pde format    <bundle.pde>
 global flags:
   --chase naive|seminaive   chase engine (default: seminaive)
+  --trace <file.jsonl>      stream structured spans as JSON lines (docs/OBSERVABILITY.md)
+  --profile                 print a per-phase wall-clock/self-time table to stderr
 solve-only flags:
   --timeout <dur>           wall-clock budget (ns/us/ms/s suffix; bare = ms)
   --memory-limit <size>     instance byte budget (k/m/g suffix; bare = bytes)
@@ -138,6 +151,8 @@ struct Flags {
     timeout: Option<Duration>,
     memory_limit: Option<usize>,
     governed: bool,
+    trace_path: Option<String>,
+    profile: bool,
 }
 
 impl Flags {
@@ -183,6 +198,8 @@ fn split_flags(args: &[String]) -> Result<(Vec<String>, Flags), String> {
                 flags.memory_limit = Some(parse_bytes(&flag_value(&mut it, "--memory-limit")?)?);
             }
             "--governed" => flags.governed = true,
+            "--trace" => flags.trace_path = Some(flag_value(&mut it, "--trace")?),
+            "--profile" => flags.profile = true,
             "--plan" => flags.plan_path = Some(flag_value(&mut it, "--plan")?),
             "--check" => flags.check_path = Some(flag_value(&mut it, "--check")?),
             "--stats" => flags.stats = true,
@@ -316,6 +333,50 @@ fn resolve_governor(cert: &Certificate, flags: &Flags) -> Governor {
     Governor::new(config)
 }
 
+/// Render the machine-readable run report for `solve --format json`: one
+/// JSON object per run carrying the report schema version, the routing
+/// identifiers of the plan certificate, the outcome, and every counter the
+/// solve accumulated (chase, search, governor) via the metrics registry.
+/// The schema is documented in `docs/OBSERVABILITY.md`.
+fn render_solve_json(report: &pde_core::SolveReport, cert: &Certificate) -> String {
+    use pde_trace::json_escape;
+    let mut reg = pde_trace::MetricsRegistry::new();
+    report.export_metrics(&mut reg);
+    let result = match report.exists {
+        Some(true) => "\"yes\"".to_owned(),
+        Some(false) => "\"no\"".to_owned(),
+        None => "\"undecided\"".to_owned(),
+    };
+    let undecided = match &report.undecided {
+        Some(reason) => json_escape(&reason.to_string()),
+        None => "null".to_owned(),
+    };
+    let engine = match pde_chase::default_chase_engine() {
+        pde_chase::ChaseEngine::Naive => "naive",
+        pde_chase::ChaseEngine::Seminaive => "seminaive",
+    };
+    format!(
+        concat!(
+            "{{\"v\":{},\"solver\":{},\"engine\":{},\"result\":{},",
+            "\"undecided_reason\":{},\"engine_fallback\":{},",
+            "\"certificate\":{{\"version\":{},\"regime\":{},\"solver\":{}}},",
+            "\"metrics\":{}}}"
+        ),
+        pde_trace::REPORT_VERSION,
+        json_escape(pde_analysis::certificate::solver_kind_str(report.kind)),
+        json_escape(engine),
+        result,
+        undecided,
+        report.engine_fallback,
+        cert.version,
+        json_escape(cert.regime.as_str()),
+        json_escape(pde_analysis::certificate::solver_kind_str(
+            cert.recommended_solver
+        )),
+        reg.to_json(),
+    )
+}
+
 /// Lint the setting before a solve-style command, printing any warning or
 /// error diagnostics to stderr. Never alters the command's outcome.
 fn auto_lint(bundle: &Bundle, flags: &Flags) {
@@ -337,6 +398,41 @@ fn run(args: &[String]) -> Result<Verdict, String> {
     if let Some(engine) = flags.chase_engine {
         pde_chase::set_default_chase_engine(engine);
     }
+    // Tracing sinks are process-global: install before dispatch, tear down
+    // after so the stream is flushed (and the profile table printed) even
+    // when a command returns early.
+    if flags.profile && flags.trace_path.is_some() {
+        return Err("--trace and --profile are mutually exclusive (one sink per run)".into());
+    }
+    let jsonl = match &flags.trace_path {
+        Some(path) => {
+            let sink = std::sync::Arc::new(
+                pde_trace::JsonlSink::create(path).map_err(|e| format!("--trace {path}: {e}"))?,
+            );
+            pde_trace::set_sink(sink.clone());
+            Some(sink)
+        }
+        None => None,
+    };
+    let profile = if flags.profile {
+        let sink = std::sync::Arc::new(pde_trace::ProfileSink::new());
+        pde_trace::set_sink(sink.clone());
+        Some(sink)
+    } else {
+        None
+    };
+    let out = dispatch(&args, &flags);
+    if let Some(sink) = jsonl {
+        sink.flush();
+    }
+    if let Some(sink) = profile {
+        // Stderr so `--profile` composes with machine-readable stdout.
+        eprint!("{}", sink.render_table());
+    }
+    out
+}
+
+fn dispatch(args: &[String], flags: &Flags) -> Result<Verdict, String> {
     let cmd = args.first().ok_or("missing command")?;
     if flags.wants_governance() && cmd != "solve" {
         return Err(format!(
@@ -441,25 +537,35 @@ fn run(args: &[String]) -> Result<Verdict, String> {
         }
         "solve" => {
             let bundle = load_bundle(args.get(1).ok_or("missing bundle path")?)?;
-            auto_lint(&bundle, &flags);
-            let (plan, cert) = resolve_plan(&bundle, &flags)?;
-            let governor = resolve_governor(&cert, &flags);
+            auto_lint(&bundle, flags);
+            let (plan, cert) = resolve_plan(&bundle, flags)?;
+            let governor = resolve_governor(&cert, flags);
             let report = decide_governed(&bundle.setting, &bundle.input, &plan, &governor)
                 .map_err(|e| e.to_string())?;
+            if flags.json {
+                println!("{}", render_solve_json(&report, &cert));
+                return Ok(match report.exists {
+                    Some(true) => Verdict::Yes,
+                    Some(false) => Verdict::No,
+                    None => Verdict::Undecided,
+                });
+            }
             println!("{}", bundle.summary());
             println!("solver:   {}", report.kind);
             println!("elapsed:  {:?}", report.elapsed);
             if flags.stats {
                 println!("engine:   {:?}", pde_chase::default_chase_engine());
-                match report.chase_stats {
-                    Some(s) => {
-                        println!("chase rounds:            {}", s.rounds);
-                        println!("triggers fired:          {}", s.triggers_fired);
-                        println!("triggers satisfied:      {}", s.triggers_satisfied);
-                        println!("skipped by delta:        {}", s.skipped_by_delta);
-                        println!("egd merges:              {}", s.egd_merges);
-                    }
-                    None => println!("chase stats:             n/a (search-based solver)"),
+                if let Some(s) = report.chase_stats {
+                    println!("chase rounds:            {}", s.rounds);
+                    println!("triggers fired:          {}", s.triggers_fired);
+                    println!("triggers satisfied:      {}", s.triggers_satisfied);
+                    println!("skipped by delta:        {}", s.skipped_by_delta);
+                    println!("egd merges:              {}", s.egd_merges);
+                }
+                if let Some(s) = report.search {
+                    println!("search branches:         {}", s.branches);
+                    println!("candidates checked:      {}", s.candidates_checked);
+                    println!("branches pruned:         {}", s.prunes);
                 }
                 let g = &report.governor;
                 println!("engine fallback:         {}", report.engine_fallback);
@@ -516,12 +622,12 @@ fn run(args: &[String]) -> Result<Verdict, String> {
         }
         "certain" => {
             let bundle = load_bundle(args.get(1).ok_or("missing bundle path")?)?;
-            auto_lint(&bundle, &flags);
+            auto_lint(&bundle, flags);
             let qsrc = args.get(2).ok_or("missing query")?;
             let q: UnionQuery = parse_query(bundle.setting.schema(), qsrc)
                 .map_err(|e| e.to_string())?
                 .into();
-            let limits = resolve_plan(&bundle, &flags)?.0.limits;
+            let limits = resolve_plan(&bundle, flags)?.0.limits;
             let out = certain_answers(&bundle.setting, &bundle.input, &q, limits)
                 .map_err(|e| e.to_string())?;
             if !out.solution_exists {
@@ -595,7 +701,7 @@ fn run(args: &[String]) -> Result<Verdict, String> {
         }
         "enumerate" => {
             let bundle = load_bundle(args.get(1).ok_or("missing bundle path")?)?;
-            auto_lint(&bundle, &flags);
+            auto_lint(&bundle, flags);
             let limit: usize = match args.get(2) {
                 Some(s) => s.parse().map_err(|_| format!("bad limit '{s}'"))?,
                 None => 20,

@@ -49,6 +49,7 @@
 //! | [`analysis`] | `pde lint` diagnostics and `pde plan` complexity certificates with an independent checker |
 //! | [`runtime`] | resilient execution: the [`Governor`](runtime::Governor) (deadlines, memory budgets, cancellation), panic isolation, deterministic fault injection — see `docs/ROBUSTNESS.md` |
 //! | [`workloads`] | graph generators, the CLIQUE / 3-COL reductions, scalable tractable workloads, paper fixtures |
+//! | [`trace`] | zero-dependency span tracing, metrics registry, and the versioned run-report format — see `docs/OBSERVABILITY.md` |
 //!
 //! Benchmarks reproducing the paper's complexity landscape live in the
 //! `pde-bench` crate (one Criterion target per experiment in
@@ -60,6 +61,7 @@ pub use pde_constraints as constraints;
 pub use pde_core as core;
 pub use pde_relational as relational;
 pub use pde_runtime as runtime;
+pub use pde_trace as trace;
 pub use pde_workloads as workloads;
 
 /// The most commonly used items, for glob import.

@@ -12,13 +12,13 @@ use crate::diag::{Code, Diagnostic, Group, Severity};
 use pde_chase::{chase_tgds, null_gen_for};
 use pde_constraints::{
     classify, is_weakly_acyclic, parse_dependencies_spanned, CtractViolation, Dependency,
-    DependencyError, DependencyGraph, DisjunctiveTgd, Orientation, Tgd,
+    DependencyError, DependencyGraph, DisjunctiveTgd, Egd, Orientation, Tgd,
 };
 use pde_core::bundle::BundleSources;
 use pde_core::setting::PdeSetting;
 use pde_relational::{
-    exists_hom, parse_schema, Assignment, Instance, ParseError, Position, RelId, Schema, Span,
-    Tuple, Value, Var,
+    exists_hom, parse_schema, Assignment, Instance, ParseError, Peer, Position, RelId, Schema,
+    Span, Tuple, Value, Var,
 };
 use std::collections::HashSet;
 use std::fmt;
@@ -177,6 +177,7 @@ impl AnalysisInput {
         self.duplicate_pass(&mut diags);
         self.subsumption_pass(&mut diags);
         self.reachability_pass(&mut diags);
+        self.optimizer_pass(&mut diags);
         sort(&mut diags);
         diags
     }
@@ -559,6 +560,168 @@ impl AnalysisInput {
             }
         }
     }
+
+    /// PDE040 / PDE041 / PDE042: optimizer findings — redundancy the
+    /// syntactic `PDE02x`/`PDE03x` passes miss but the rewrite passes of
+    /// [`crate::rewrite`] would eliminate.
+    fn optimizer_pass(&self, out: &mut Vec<Diagnostic>) {
+        self.egd_subsumption_pass(out);
+        self.alpha_duplicate_pass(out);
+        self.dead_relation_pass(out);
+    }
+
+    /// PDE040: egd subsumption. `PDE021` only covers tgds; an egd whose
+    /// every firing is already forced by another egd is just as redundant.
+    fn egd_subsumption_pass(&self, out: &mut Vec<Diagnostic>) {
+        let egds: Vec<(usize, &Egd, Option<Span>)> = self
+            .sigma_t
+            .iter()
+            .enumerate()
+            .filter_map(|(i, (d, s))| d.as_egd().map(|e| (i, e, *s)))
+            .collect();
+        for &(i, ei, span) in &egds {
+            if ei.is_trivial() {
+                continue; // PDE019's territory
+            }
+            let key_i = crate::rewrite::canonical_key(&self.schema, &self.sigma_t[i].0);
+            if let Some(&(j, _, _)) = egds.iter().find(|&&(j, ej, _)| {
+                j != i
+                    && key_i != crate::rewrite::canonical_key(&self.schema, &self.sigma_t[j].0)
+                    && crate::rewrite::egd_subsumed_by(&self.schema, ei, ej)
+            }) {
+                out.push(
+                    Diagnostic::new(
+                        Code::SubsumedEgd,
+                        format!(
+                            "egd is implied by Σt #{j}: whenever this premise matches, \
+                             #{j} already forces the same equality"
+                        ),
+                    )
+                    .on(Group::T, i)
+                    .with_span(span)
+                    .suggest("remove this egd; it does not change the semantics"),
+                );
+            }
+        }
+    }
+
+    /// PDE041: duplicates up to variable renaming. `PDE020` compares
+    /// dependencies syntactically; alpha-renamed copies slip through it
+    /// while still doubling trigger work in the chase.
+    fn alpha_duplicate_pass(&self, out: &mut Vec<Diagnostic>) {
+        let check =
+            |group: Group, items: Vec<(Dependency, Option<Span>)>, out: &mut Vec<Diagnostic>| {
+                let keys: Vec<String> = items
+                    .iter()
+                    .map(|(d, _)| crate::rewrite::canonical_key(&self.schema, d))
+                    .collect();
+                for j in 1..items.len() {
+                    if (0..j).any(|i| items[i].0 == items[j].0) {
+                        continue; // exact duplicate: PDE020 already reports it
+                    }
+                    if let Some(i) = (0..j).find(|&i| keys[i] == keys[j]) {
+                        out.push(
+                            Diagnostic::new(
+                                Code::AlphaDuplicateDependency,
+                                format!("duplicate of {group} #{i} up to variable renaming"),
+                            )
+                            .on(group, j)
+                            .with_span(items[j].1)
+                            .suggest("remove the duplicate"),
+                        );
+                    }
+                }
+            };
+        let tgds = |v: &[(Tgd, Option<Span>)]| {
+            v.iter()
+                .map(|(t, s)| (Dependency::Tgd(t.clone()), *s))
+                .collect()
+        };
+        check(Group::St, tgds(&self.sigma_st), out);
+        check(Group::Ts, tgds(&self.sigma_ts), out);
+        check(Group::T, self.sigma_t.clone(), out);
+    }
+
+    /// PDE042: premise-aware dead relations. `PDE030`'s populatable set
+    /// asks only whether some tgd *concludes* a relation; here a
+    /// conclusion counts only when that tgd's whole premise is itself
+    /// populatable (seeded with every source relation — the input is
+    /// unknown statically). A relation populatable for `PDE030` but not
+    /// here can never receive a chased fact, so `PDE030` stays silent and
+    /// this lint takes over.
+    fn dead_relation_pass(&self, out: &mut Vec<Diagnostic>) {
+        let mut naive: HashSet<RelId> = HashSet::new();
+        for (t, _) in &self.sigma_st {
+            naive.extend(t.conclusion.atoms.iter().map(|a| a.rel));
+        }
+        for (d, _) in &self.sigma_t {
+            if let Some(t) = d.as_tgd() {
+                naive.extend(t.conclusion.atoms.iter().map(|a| a.rel));
+            }
+        }
+        let mut pop: HashSet<RelId> = self
+            .schema
+            .rel_ids()
+            .filter(|&r| self.schema.peer(r) == Peer::Source)
+            .collect();
+        let all_tgds: Vec<&Tgd> = self
+            .sigma_st
+            .iter()
+            .chain(&self.sigma_ts)
+            .map(|(t, _)| t)
+            .chain(self.sigma_t.iter().filter_map(|(d, _)| d.as_tgd()))
+            .collect();
+        loop {
+            let mut changed = false;
+            for t in &all_tgds {
+                if t.premise.atoms.iter().all(|a| pop.contains(&a.rel)) {
+                    for a in &t.conclusion.atoms {
+                        changed |= pop.insert(a.rel);
+                    }
+                }
+            }
+            if !changed {
+                break;
+            }
+        }
+        let mut reported: HashSet<RelId> = HashSet::new();
+        let mut check_read = |rel: RelId,
+                              group: Group,
+                              index: usize,
+                              span: Option<Span>,
+                              out: &mut Vec<Diagnostic>| {
+            if naive.contains(&rel) && !pop.contains(&rel) && reported.insert(rel) {
+                out.push(
+                    Diagnostic::new(
+                        Code::DeadRelation,
+                        format!(
+                            "relation {} is read here but every tgd concluding it has an \
+                             unpopulatable premise; no chase derivation can ever add a \
+                             fact to it",
+                            self.schema.name(rel)
+                        ),
+                    )
+                    .on(group, index)
+                    .with_span(span)
+                    .note("only input facts can ever appear in it (premise-aware PDE030)"),
+                );
+            }
+        };
+        for (i, (t, span)) in self.sigma_ts.iter().enumerate() {
+            for atom in &t.premise.atoms {
+                check_read(atom.rel, Group::Ts, i, *span, out);
+            }
+        }
+        for (i, (d, span)) in self.sigma_t.iter().enumerate() {
+            let premise = match d {
+                Dependency::Tgd(t) => &t.premise,
+                Dependency::Egd(e) => &e.premise,
+            };
+            for atom in &premise.atoms {
+                check_read(atom.rel, Group::T, i, *span, out);
+            }
+        }
+    }
 }
 
 /// Analyze an already-built setting (the auto-lint entry point).
@@ -627,7 +790,9 @@ fn tgd_index(v: &CtractViolation) -> usize {
 
 /// Does chasing `sub`'s frozen premise with `by` already satisfy `sub`'s
 /// conclusion (with the frontier held fixed)? If so, `sub` is redundant.
-fn subsumed_by(schema: &Arc<Schema>, sub: &Tgd, by: &Tgd) -> bool {
+/// Shared with the optimizer ([`crate::rewrite`]), whose verifier re-runs
+/// the same check independently of the pass that recorded it.
+pub(crate) fn subsumed_by(schema: &Arc<Schema>, sub: &Tgd, by: &Tgd) -> bool {
     if !is_weakly_acyclic(schema, [by]) {
         return false;
     }
@@ -932,6 +1097,99 @@ mod tests {
             .expect("PDE031");
         assert_eq!(d.severity, Severity::Note);
         assert!(d.message.contains('F'));
+    }
+
+    #[test]
+    fn subsumed_egd_reports_pde040() {
+        // The two-atom egd only fires on symmetric H pairs; the one-atom
+        // egd already forces the same equality on every H tuple.
+        let diags = input(
+            "source E/2; target H/2",
+            "E(x, y) -> H(x, y)",
+            "",
+            "H(x, y) -> x = y; H(x, y), H(y, x) -> x = y",
+        )
+        .analyze();
+        let d = diags
+            .iter()
+            .find(|d| d.code == Code::SubsumedEgd)
+            .expect("PDE040");
+        assert_eq!(d.constraint.unwrap().index, 1);
+        assert!(d.message.contains("#0"));
+    }
+
+    #[test]
+    fn independent_egds_are_not_pde040() {
+        let diags = input(
+            "source E/2; target H/2",
+            "E(x, y) -> H(x, y)",
+            "",
+            "H(x, y), H(x, z) -> y = z; H(x, y), H(z, y) -> x = z",
+        )
+        .analyze();
+        assert!(!codes(&diags).contains(&"PDE040"), "{:?}", codes(&diags));
+    }
+
+    #[test]
+    fn alpha_renamed_duplicate_reports_pde041_not_pde020() {
+        let diags = input(
+            "source E/2; target H/2",
+            "E(x, y) -> H(x, y); E(u, v) -> H(u, v)",
+            "",
+            "",
+        )
+        .analyze();
+        let d = diags
+            .iter()
+            .find(|d| d.code == Code::AlphaDuplicateDependency)
+            .expect("PDE041");
+        assert_eq!(d.constraint.unwrap().index, 1);
+        assert!(!codes(&diags).contains(&"PDE020"), "{:?}", codes(&diags));
+    }
+
+    #[test]
+    fn exact_duplicate_stays_pde020_not_pde041() {
+        let diags = input(
+            "source E/2; target H/2",
+            "E(x, y) -> H(x, y); E(x, y) -> H(x, y)",
+            "",
+            "",
+        )
+        .analyze();
+        assert!(codes(&diags).contains(&"PDE020"), "{:?}", codes(&diags));
+        assert!(!codes(&diags).contains(&"PDE041"), "{:?}", codes(&diags));
+    }
+
+    #[test]
+    fn dead_relation_reports_pde042_where_pde030_is_silent() {
+        // G is never concluded: PDE030. K *is* concluded, but only by the
+        // tgd reading dead G, so no derivation ever populates it: PDE042.
+        let diags = input(
+            "source E/2; target G/2; target H/2; target K/2",
+            "E(x, y) -> H(x, y)",
+            "",
+            "G(x, y) -> K(x, y); K(x, y) -> x = y",
+        )
+        .analyze();
+        let d = diags
+            .iter()
+            .find(|d| d.code == Code::DeadRelation)
+            .expect("PDE042");
+        assert!(d.message.contains('K'), "{}", d.message);
+        assert!(codes(&diags).contains(&"PDE030"), "{:?}", codes(&diags));
+    }
+
+    #[test]
+    fn populatable_chain_is_not_pde042() {
+        let diags = input(
+            "source E/2; target H/2; target K/2",
+            "E(x, y) -> H(x, y)",
+            "",
+            "H(x, y) -> K(x, y); K(x, y) -> x = y",
+        )
+        .analyze();
+        assert!(!codes(&diags).contains(&"PDE042"), "{:?}", codes(&diags));
+        assert!(!codes(&diags).contains(&"PDE030"), "{:?}", codes(&diags));
     }
 
     #[test]

@@ -1305,14 +1305,15 @@ pub(crate) fn json_str(s: &str) -> String {
 
 /// Minimal JSON reader: just enough to load certificates back. The
 /// workspace deliberately has no serialization dependency, so parsing is
-/// hand-rolled like the writers.
-mod json {
+/// hand-rolled like the writers. Shared crate-internally with the rewrite
+/// certificate loader ([`crate::rewrite`]).
+pub(crate) mod json {
     use super::CertificateError;
 
     /// A parsed JSON value. Numbers are restricted to the unsigned
     /// integers the certificate uses.
     #[derive(Clone, Debug, PartialEq)]
-    pub(super) enum Json {
+    pub(crate) enum Json {
         Null,
         Bool(bool),
         Num(u128),
@@ -1322,7 +1323,7 @@ mod json {
     }
 
     impl Json {
-        pub(super) fn as_obj<'a>(
+        pub(crate) fn as_obj<'a>(
             &'a self,
             what: &str,
         ) -> Result<&'a [(String, Json)], CertificateError> {
@@ -1341,7 +1342,7 @@ mod json {
             }
         }
 
-        pub(super) fn get_arr<'a>(&'a self, key: &str) -> Result<&'a [Json], CertificateError> {
+        pub(crate) fn get_arr<'a>(&'a self, key: &str) -> Result<&'a [Json], CertificateError> {
             match self.field(key) {
                 Some(Json::Arr(items)) => Ok(items),
                 _ => Err(CertificateError::Malformed(format!(
@@ -1352,7 +1353,7 @@ mod json {
     }
 
     /// Field accessors on an object's field list.
-    pub(super) trait ObjExt {
+    pub(crate) trait ObjExt {
         fn try_get(&self, key: &str) -> Option<&Json>;
         fn field_of(&self, key: &str) -> Result<&Json, CertificateError>;
         fn get_str(&self, key: &str) -> Result<String, CertificateError>;
@@ -1398,7 +1399,7 @@ mod json {
         }
     }
 
-    pub(super) fn parse(src: &str) -> Result<Json, String> {
+    pub(crate) fn parse(src: &str) -> Result<Json, String> {
         let bytes = src.as_bytes();
         let mut at = 0usize;
         let v = value(bytes, &mut at)?;

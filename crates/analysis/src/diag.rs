@@ -8,6 +8,10 @@
 //! * `PDE01x` — well-formedness of individual dependencies;
 //! * `PDE02x` — redundancy (duplicates, subsumption);
 //! * `PDE03x` — reachability over the schema (unpopulatable / unused
+//!   relations);
+//! * `PDE04x` — optimizer findings: redundancy the `PDE02x` syntactic
+//!   lints miss but the rewrite passes of [`crate::rewrite`] would remove
+//!   (egd subsumption, alpha-renamed duplicates, premise-aware dead
 //!   relations).
 
 use pde_relational::Span;
@@ -121,6 +125,15 @@ pub enum Code {
     UnpopulatedTargetRelation,
     /// PDE031: a relation mentioned by no dependency at all.
     UnusedRelation,
+    /// PDE040: an egd implied by another egd in Σt (the egd analogue of
+    /// `PDE021`).
+    SubsumedEgd,
+    /// PDE041: a dependency identical to an earlier one up to variable
+    /// renaming (the alpha-equivalence analogue of `PDE020`).
+    AlphaDuplicateDependency,
+    /// PDE042: a relation no chase derivation can ever populate once
+    /// premises are taken into account (where `PDE030` is silent).
+    DeadRelation,
 }
 
 impl Code {
@@ -146,6 +159,9 @@ impl Code {
             Code::SubsumedTgd => "PDE021",
             Code::UnpopulatedTargetRelation => "PDE030",
             Code::UnusedRelation => "PDE031",
+            Code::SubsumedEgd => "PDE040",
+            Code::AlphaDuplicateDependency => "PDE041",
+            Code::DeadRelation => "PDE042",
         }
     }
 
@@ -168,7 +184,10 @@ impl Code {
             | Code::TrivialEgd
             | Code::DuplicateDependency
             | Code::SubsumedTgd
-            | Code::UnpopulatedTargetRelation => Severity::Warning,
+            | Code::UnpopulatedTargetRelation
+            | Code::SubsumedEgd
+            | Code::AlphaDuplicateDependency
+            | Code::DeadRelation => Severity::Warning,
             Code::WildcardUniversal | Code::UnusedRelation => Severity::Note,
         }
     }

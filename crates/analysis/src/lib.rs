@@ -9,6 +9,7 @@
 //! | `PDE01x` | per-dependency well-formedness                           |
 //! | `PDE02x` | redundancy (duplicates, subsumption)                     |
 //! | `PDE03x` | schema reachability (unpopulatable / unused relations)   |
+//! | `PDE04x` | optimizer findings (what `pde optimize` would remove)    |
 //!
 //! Inputs come either from an already-validated [`PdeSetting`]
 //! (`AnalysisInput::from_setting`, no source positions) or from split
@@ -24,13 +25,24 @@
 //! budgets) and [`certificate`] re-validates every witness independently
 //! of the planner. See `docs/PLAN.md`.
 //!
+//! The `pde optimize` machinery lives in three sibling modules:
+//! [`rewrite`] prunes subsumed/duplicate/trivial/dead dependencies under
+//! a replayable [`RewriteCertificate`] (checked by [`verify_rewrite`]),
+//! [`interference`] builds the read/write interference graph over the
+//! survivors, and [`schedule`] condenses it into the stratified
+//! [`pde_chase::DepSchedule`] the semi-naive chase executes. See
+//! `docs/OPTIMIZER.md`.
+//!
 //! [`PdeSetting`]: pde_core::setting::PdeSetting
 
 pub mod analyzer;
 pub mod certificate;
 pub mod diag;
+pub mod interference;
 pub mod plan;
 pub mod render;
+pub mod rewrite;
+pub mod schedule;
 
 pub use analyzer::{
     analyze_disjunctive, analyze_setting, AnalysisInput, LintSection, SourceParseError,
@@ -41,5 +53,14 @@ pub use certificate::{
     CERTIFICATE_VERSION, GOVERNOR_BYTES_PER_FACT, GOVERNOR_SLACK_BYTES,
 };
 pub use diag::{any_denied, Code, ConstraintRef, Diagnostic, Group, Severity};
+pub use interference::{
+    forward_dependencies, interference_graph, interference_graph_of, DepFootprint,
+    InterferenceEdge, InterferenceGraph,
+};
 pub use plan::{plan_setting, render_certificate_text};
 pub use render::{render_json, render_text, RenderContext};
+pub use rewrite::{
+    optimize_setting, verify_rewrite, GroupCounts, OptimizeResult, RewriteAction,
+    RewriteCertificate, RewriteError, RewriteGroup, REWRITE_VERSION,
+};
+pub use schedule::{forward_schedule, schedule_from_graph};

@@ -1,0 +1,177 @@
+//! Stratified execution schedules from the interference graph.
+//!
+//! The strongly connected components of the interference graph are
+//! condensed into a DAG and layered by longest path from the sources:
+//! `level(C) = 1 + max(level(predecessors))`. Every interference edge
+//! either stays inside one component (same stratum) or crosses to a
+//! strictly higher level, so once a stratum's semi-naive fixpoint is
+//! reached, no later stratum can reopen it — running the strata in level
+//! order reaches the same global fixpoint as the unscheduled chase. Two
+//! components on the same level have no edges between them at all, which
+//! is exactly the independence the parallel-chase roadmap item needs to
+//! run them as concurrent shards.
+//!
+//! Within a stratum, dependencies keep their original order, so an
+//! unscheduled chase is literally the single-stratum special case.
+
+use crate::interference::{interference_graph, InterferenceGraph};
+use pde_chase::DepSchedule;
+use pde_core::setting::PdeSetting;
+
+/// Derive the stratified schedule for `setting`'s forward dependencies
+/// (see [`crate::interference::forward_dependencies`] for the index
+/// order).
+pub fn forward_schedule(setting: &PdeSetting) -> DepSchedule {
+    schedule_from_graph(&interference_graph(setting))
+}
+
+/// Layer the condensation of `graph` into strata (see the module docs for
+/// the invariants). The result always partitions the node indices.
+pub fn schedule_from_graph(graph: &InterferenceGraph) -> DepSchedule {
+    let n = graph.node_count();
+    let adj: Vec<Vec<usize>> = (0..n).map(|i| graph.successors(i).collect()).collect();
+    let (comp, comp_count) = strongly_connected_components(&adj);
+    // Longest-path levels over the condensation DAG; the fixpoint
+    // terminates because cross-component edges are acyclic.
+    let mut level = vec![0usize; comp_count];
+    loop {
+        let mut changed = false;
+        for e in &graph.edges {
+            let (cu, cv) = (comp[e.from], comp[e.to]);
+            if cu != cv && level[cv] < level[cu] + 1 {
+                level[cv] = level[cu] + 1;
+                changed = true;
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+    let depth = level.iter().copied().max().map_or(0, |d| d + 1);
+    let mut strata: Vec<Vec<usize>> = vec![Vec::new(); depth];
+    for i in 0..n {
+        strata[level[comp[i]]].push(i);
+    }
+    DepSchedule { strata }
+}
+
+/// Iterative Tarjan: returns the component id of each node and the
+/// component count. Ids are assigned in completion order (sinks first);
+/// only membership matters to the caller.
+fn strongly_connected_components(adj: &[Vec<usize>]) -> (Vec<usize>, usize) {
+    let n = adj.len();
+    const UNVISITED: u32 = u32::MAX;
+    let mut index = vec![UNVISITED; n];
+    let mut low = vec![0u32; n];
+    let mut on_stack = vec![false; n];
+    let mut stack: Vec<usize> = Vec::new();
+    let mut comp = vec![usize::MAX; n];
+    let mut comp_count = 0usize;
+    let mut next_index = 0u32;
+    for root in 0..n {
+        if index[root] != UNVISITED {
+            continue;
+        }
+        // Explicit DFS frames `(node, next child offset)` instead of
+        // recursion: dependency lists can be long and this runs in the
+        // solve path.
+        let mut frames: Vec<(usize, usize)> = vec![(root, 0)];
+        while let Some(&(v, child)) = frames.last() {
+            if index[v] == UNVISITED {
+                index[v] = next_index;
+                low[v] = next_index;
+                next_index += 1;
+                stack.push(v);
+                on_stack[v] = true;
+            }
+            if child < adj[v].len() {
+                let w = adj[v][child];
+                frames.last_mut().expect("frame exists").1 += 1;
+                if index[w] == UNVISITED {
+                    frames.push((w, 0));
+                } else if on_stack[w] {
+                    low[v] = low[v].min(index[w]);
+                }
+            } else {
+                if low[v] == index[v] {
+                    loop {
+                        let w = stack.pop().expect("component root is on the stack");
+                        on_stack[w] = false;
+                        comp[w] = comp_count;
+                        if w == v {
+                            break;
+                        }
+                    }
+                    comp_count += 1;
+                }
+                frames.pop();
+                if let Some(&(parent, _)) = frames.last() {
+                    low[parent] = low[parent].min(low[v]);
+                }
+            }
+        }
+    }
+    (comp, comp_count)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::interference::forward_dependencies;
+
+    fn setting(st: &str, t: &str) -> PdeSetting {
+        PdeSetting::parse("source E/2; source F/2; target H/2; target G/2;", st, "", t).unwrap()
+    }
+
+    fn strata_of(st: &str, t: &str) -> Vec<Vec<usize>> {
+        forward_schedule(&setting(st, t)).strata
+    }
+
+    #[test]
+    fn chain_of_tgds_stratifies() {
+        let s = strata_of("E(x, y) -> H(x, y)", "H(x, y) -> G(y, x)");
+        assert_eq!(s, vec![vec![0], vec![1]]);
+    }
+
+    #[test]
+    fn independent_tgds_share_a_stratum() {
+        let s = strata_of("E(x, y) -> H(x, y); F(x, y) -> G(x, y)", "");
+        assert_eq!(s, vec![vec![0, 1]]);
+    }
+
+    #[test]
+    fn egd_collapses_its_cycle_into_one_stratum() {
+        let s = strata_of(
+            "E(x, y) -> H(x, y)",
+            "H(x, y) -> G(y, x); G(x, y), G(x, z) -> y = z",
+        );
+        // The egd writes every target position, so it cycles with the
+        // target tgd; the Σst tgd still gets its own earlier stratum.
+        assert_eq!(s, vec![vec![0], vec![1, 2]]);
+    }
+
+    #[test]
+    fn schedule_always_partitions_the_dependencies() {
+        let cases = [
+            ("E(x, y) -> H(x, y)", ""),
+            ("E(x, y) -> H(x, y)", "H(x, y) -> H(y, x)"),
+            (
+                "E(x, y) -> H(x, y); F(x, y) -> G(x, y)",
+                "H(x, y) -> G(y, x); G(x, y), G(x, z) -> y = z; H(x, y), H(x, z) -> y = z",
+            ),
+            ("", ""),
+        ];
+        for (st, t) in cases {
+            let p = setting(st, t);
+            let n = forward_dependencies(&p).len();
+            let s = forward_schedule(&p);
+            assert!(s.is_partition_of(n), "{st} / {t}: {:?}", s.strata);
+        }
+    }
+
+    #[test]
+    fn empty_setting_has_no_strata() {
+        let s = strata_of("", "");
+        assert!(s.is_empty());
+    }
+}

@@ -18,11 +18,22 @@
 //! so the per-round deadline checks and byte accounting are live. The
 //! summary table reports its overhead against the ungoverned semi-naive
 //! run; the robustness acceptance bar is < 3%.
+//!
+//! **E17 — dependency rewriting + stratified scheduling** rides in the
+//! same report (its `e17_*` keys land in `BENCH_E16.json`). The two
+//! workloads above are re-declared with redundancy padding — alpha-renamed
+//! duplicates, subsumed tgds, a trivial egd, and a dependency reading a
+//! relation no chase can populate — and chased (a) as written and (b)
+//! after `pde_analysis::optimize_setting` under the stratified
+//! `forward_schedule`. Acceptance: measurable speedup on the padded
+//! settings; on the clean settings the schedule's overhead stays within
+//! noise (the schedule there is the near-trivial one).
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pde_analysis::{forward_schedule, optimize_setting};
 use pde_chase::{
-    chase_governed_with, chase_naive_with, chase_seminaive_with, ChaseEngine, ChaseLimits,
-    ChaseResult, WitnessMode,
+    chase_governed_scheduled, chase_governed_with, chase_naive_with, chase_seminaive_with,
+    ChaseEngine, ChaseLimits, ChaseResult, DepSchedule, WitnessMode,
 };
 use pde_constraints::Dependency;
 use pde_core::PdeSetting;
@@ -68,6 +79,129 @@ fn run(engine: &str, input: &Instance, deps: &[Dependency]) -> ChaseResult {
         }
         _ => chase_seminaive_with(input.clone(), deps, WitnessMode::FreshNulls(&gen), limits),
     }
+}
+
+/// The egd-boundary setting padded with every redundancy class the
+/// optimizer removes. Semantically identical to [`egd_boundary_setting`]
+/// (the extra `Junk` relation stays empty and unread in any solution).
+fn padded_egd_boundary_setting() -> PdeSetting {
+    PdeSetting::parse(
+        "source D/2; source E/2; target P/4; target Junk/2;",
+        "D(x, y) -> exists z, w . P(x, z, y, w);
+         D(u, v) -> exists a, b . P(u, a, v, b);
+         D(x, y), D(y, x) -> exists z, w . P(x, z, y, w)",
+        "P(x, z, y, w) -> E(z, w)",
+        "P(x, z, y, w), P(x, z2, y2, w2) -> z = z2;
+         P(x, z, y, w), P(y, z2, y2, w2) -> w = z2;
+         P(x, z, y, w) -> x = x;
+         Junk(x, y), P(a, b, c, d) -> b = d",
+    )
+    .expect("padded egd boundary setting is well-formed")
+}
+
+/// The genomics sync setting padded the same way (`u_orphan` is the dead
+/// relation: declared, never populated, read by one Σt tgd).
+fn padded_genomics_setting() -> PdeSetting {
+    PdeSetting::parse(
+        "source sp_protein/3; source sp_annotation/2; \
+         target u_protein/2; target u_annotation/2; target u_orphan/2;",
+        "sp_protein(a, n, o) -> u_protein(a, o);
+         sp_protein(p, q, r) -> u_protein(p, r);
+         sp_protein(a, n, o), sp_annotation(a, g) -> u_annotation(a, g);
+         sp_protein(a, n, o), sp_annotation(a, g), sp_annotation(a, g2) -> u_annotation(a, g)",
+        "u_protein(a, o) -> exists n . sp_protein(a, n, o);
+         u_annotation(a, g) -> sp_annotation(a, g)",
+        "u_orphan(x, y) -> u_protein(x, y)",
+    )
+    .expect("padded genomics setting is well-formed")
+}
+
+/// One semi-naive chase under an optional stratified schedule.
+fn run_scheduled(
+    input: &Instance,
+    deps: &[Dependency],
+    schedule: Option<&DepSchedule>,
+) -> ChaseResult {
+    let gen = NullGen::new();
+    chase_governed_scheduled(
+        input.clone(),
+        deps,
+        WitnessMode::FreshNulls(&gen),
+        ChaseLimits::default(),
+        ChaseEngine::Seminaive,
+        &Governor::unlimited(),
+        schedule,
+    )
+}
+
+/// The E17 arms for one workload: chase the padded setting as written,
+/// chase its optimized+scheduled rewrite, and chase the clean setting
+/// with and without its (near-trivial) schedule. Returns the measurement
+/// keys pushed into the shared report plus a summary row.
+#[allow(clippy::too_many_arguments)]
+fn e17_arms(
+    c: &mut Criterion,
+    label: &str,
+    size: u32,
+    padded: &PdeSetting,
+    clean: &PdeSetting,
+    padded_input: &Instance,
+    clean_input: &Instance,
+    measurements: &mut Vec<(String, f64)>,
+    rows: &mut Vec<(String, String, String)>,
+) {
+    let padded_deps = forward_deps(padded);
+    let opt = optimize_setting(padded, padded_input);
+    let opt_deps = forward_deps(&opt.optimized);
+    let opt_schedule = forward_schedule(&opt.optimized);
+    let clean_deps = forward_deps(clean);
+    let clean_schedule = forward_schedule(clean);
+
+    let mut grp = c.benchmark_group(format!("e17_optimize/{label}"));
+    grp.sample_size(10);
+    grp.bench_with_input(BenchmarkId::new("padded", size), padded_input, |b, i| {
+        b.iter(|| assert!(run_scheduled(i, &padded_deps, None).is_success()));
+    });
+    grp.bench_with_input(BenchmarkId::new("optimized", size), padded_input, |b, i| {
+        b.iter(|| assert!(run_scheduled(i, &opt_deps, Some(&opt_schedule)).is_success()));
+    });
+    grp.finish();
+
+    let padded_ms = pde_bench::time_ms(|| {
+        let _ = run_scheduled(padded_input, &padded_deps, None);
+    });
+    let optimized_ms = pde_bench::time_ms(|| {
+        let _ = run_scheduled(padded_input, &opt_deps, Some(&opt_schedule));
+    });
+    let optimize_pass_ms = pde_bench::time_ms(|| {
+        let _ = optimize_setting(padded, padded_input);
+    });
+    let clean_ms = pde_bench::time_ms(|| {
+        let _ = run_scheduled(clean_input, &clean_deps, None);
+    });
+    let clean_scheduled_ms = pde_bench::time_ms(|| {
+        let _ = run_scheduled(clean_input, &clean_deps, Some(&clean_schedule));
+    });
+    let key = format!("e17_{label}_{size}");
+    measurements.push((format!("{key}.padded_ms"), padded_ms));
+    measurements.push((format!("{key}.optimized_ms"), optimized_ms));
+    measurements.push((format!("{key}.optimize_pass_ms"), optimize_pass_ms));
+    measurements.push((format!("{key}.clean_ms"), clean_ms));
+    measurements.push((format!("{key}.clean_scheduled_ms"), clean_scheduled_ms));
+    rows.push((
+        format!("E17 {label} {size}"),
+        format!(
+            "{padded_ms:.2} / {optimized_ms:.2} ({:.1}x), sched {:+.1}%",
+            padded_ms / optimized_ms,
+            (clean_scheduled_ms / clean_ms - 1.0) * 100.0
+        ),
+        format!(
+            "removed {} of {} deps, {} strata",
+            opt.certificate.actions.len(),
+            opt.certificate.before.total(),
+            opt_schedule.strata_count()
+        ),
+    ));
 }
 
 fn bench(c: &mut Criterion) {
@@ -177,9 +311,54 @@ fn bench(c: &mut Criterion) {
     }
     grp.finish();
 
+    // E17: redundancy-padded variants, rewritten + stratified.
+    let clean = egd_boundary_setting();
+    let padded = padded_egd_boundary_setting();
+    for k in [10u32, 14, 18] {
+        let clean_input = egd_boundary_instance(&clean, &Graph::complete(3), k);
+        let padded_input = egd_boundary_instance(&padded, &Graph::complete(3), k);
+        e17_arms(
+            c,
+            "clique",
+            k,
+            &padded,
+            &clean,
+            &padded_input,
+            &clean_input,
+            &mut measurements,
+            &mut rows,
+        );
+    }
+    let clean = genomics_setting();
+    let padded = padded_genomics_setting();
+    for proteins in [400u32, 800] {
+        let params = GenomicsParams {
+            proteins,
+            annotations_per_protein: 3,
+            organisms: 10,
+            go_terms: 200,
+            preloaded: proteins / 10,
+            rogue: 0,
+            seed: 99,
+        };
+        let clean_input = genomics_instance(&clean, &params);
+        let padded_input = genomics_instance(&padded, &params);
+        e17_arms(
+            c,
+            "genomics",
+            proteins,
+            &padded,
+            &clean,
+            &padded_input,
+            &clean_input,
+            &mut measurements,
+            &mut rows,
+        );
+    }
+
     pde_bench::print_series3(
-        "E16: chase engines — naive / semi-naive ms (speedup), governed overhead",
-        ("workload", "times (ms)", "semi-naive stats"),
+        "E16/E17: chase engines and the optimizer — before / after ms (speedup)",
+        ("workload", "times (ms)", "stats"),
         &rows,
     );
     pde_bench::write_report("E16", &measurements, &metrics);

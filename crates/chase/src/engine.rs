@@ -65,6 +65,51 @@ pub enum ChaseEngine {
     Seminaive,
 }
 
+/// A stratified execution order over a dependency list, as produced by
+/// the optimizer's interference analysis (`pde-analysis`'s
+/// `forward_schedule`). Indices refer to positions in the `deps` slice
+/// handed to the chase; each stratum is run to its own semi-naive
+/// fixpoint before the next stratum starts. Soundness rests on the
+/// producer guaranteeing that no dependency in a later stratum writes a
+/// relation position read by an earlier stratum — then the per-stratum
+/// fixpoints compose to the global fixpoint, and the later strata never
+/// reopen earlier ones (these strata are the planned parallel shards of
+/// the parallel-chase roadmap item).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct DepSchedule {
+    /// Strata of dependency indices, executed in order.
+    pub strata: Vec<Vec<usize>>,
+}
+
+impl DepSchedule {
+    /// The trivial schedule: one stratum containing every index in order.
+    /// Chasing under it is identical to chasing unscheduled.
+    pub fn single(n: usize) -> DepSchedule {
+        DepSchedule {
+            strata: vec![(0..n).collect()],
+        }
+    }
+
+    /// Number of strata.
+    pub fn strata_count(&self) -> usize {
+        self.strata.len()
+    }
+
+    /// Does this schedule cover each of `0..n` exactly once?
+    pub fn is_partition_of(&self, n: usize) -> bool {
+        let mut hit = vec![false; n];
+        let mut count = 0usize;
+        for &i in self.strata.iter().flatten() {
+            if i >= n || hit[i] {
+                return false;
+            }
+            hit[i] = true;
+            count += 1;
+        }
+        count == n
+    }
+}
+
 const ENGINE_NAIVE: u8 = 0;
 const ENGINE_SEMINAIVE: u8 = 1;
 
@@ -127,14 +172,33 @@ pub fn chase_governed_with(
     engine: ChaseEngine,
     governor: &Governor,
 ) -> ChaseResult {
-    match engine {
-        ChaseEngine::Naive => chase_naive_governed(instance, deps, mode, limits, governor),
-        ChaseEngine::Seminaive => chase_seminaive_governed(instance, deps, mode, limits, governor),
-    }
+    chase_governed_scheduled(instance, deps, mode, limits, engine, governor, None)
     // Governor-derived numbers (peak bytes, cancellations, deadline
     // remaining) are no longer copied into `ChaseStats`: they live in the
     // report layer (`Governor::report` / the run-report metrics registry),
     // which cannot double-count when several chases share one governor.
+}
+
+/// [`chase_governed_with`] with an optional stratified execution
+/// [`DepSchedule`]. Only the semi-naive engine consumes the schedule; the
+/// naive engine is the differential-testing oracle and deliberately runs
+/// unscheduled (its full re-enumeration reaches the same fixpoint either
+/// way). `None` behaves exactly like the unscheduled entry points.
+pub fn chase_governed_scheduled(
+    instance: Instance,
+    deps: &[Dependency],
+    mode: WitnessMode<'_>,
+    limits: ChaseLimits,
+    engine: ChaseEngine,
+    governor: &Governor,
+    schedule: Option<&DepSchedule>,
+) -> ChaseResult {
+    match engine {
+        ChaseEngine::Naive => chase_naive_governed(instance, deps, mode, limits, governor),
+        ChaseEngine::Seminaive => {
+            chase_seminaive_scheduled_governed(instance, deps, mode, limits, governor, schedule)
+        }
+    }
 }
 
 /// The semi-naive, delta-driven chase.
@@ -154,19 +218,35 @@ pub fn chase_seminaive_with(
     mode: WitnessMode<'_>,
     limits: ChaseLimits,
 ) -> ChaseResult {
-    chase_seminaive_governed(instance, deps, mode, limits, &Governor::unlimited())
+    chase_seminaive_scheduled_governed(instance, deps, mode, limits, &Governor::unlimited(), None)
 }
 
 /// [`chase_seminaive_with`] under an explicit [`Governor`] (the
 /// [`chase_governed_with`] worker; callers normally go through that
 /// entry point).
-fn chase_seminaive_governed(
+fn chase_seminaive_scheduled_governed(
     mut instance: Instance,
     deps: &[Dependency],
     mode: WitnessMode<'_>,
     limits: ChaseLimits,
     governor: &Governor,
+    schedule: Option<&DepSchedule>,
 ) -> ChaseResult {
+    if let Some(s) = schedule {
+        assert!(
+            s.is_partition_of(deps.len()),
+            "schedule must partition the dependency indices 0..{}",
+            deps.len()
+        );
+    }
+    let single;
+    let strata: &[Vec<usize>] = match schedule {
+        Some(s) => &s.strata,
+        None => {
+            single = DepSchedule::single(deps.len());
+            &single.strata
+        }
+    };
     let config = HomConfig::default();
     let mut steps = 0usize;
     let mut tgd_steps = 0usize;
@@ -176,64 +256,137 @@ fn chase_seminaive_governed(
     // Premise matches seen so far per dependency: what the naive engine
     // would re-enumerate every subsequent round.
     let mut seen: Vec<usize> = vec![0; deps.len()];
-    let mut since: u64 = 0;
 
-    'outer: loop {
-        if steps >= limits.max_steps || instance.fact_count() >= limits.max_facts {
-            return ChaseResult {
-                outcome: ChaseOutcome::ResourceExceeded,
-                instance,
-                steps,
-                tgd_steps,
-                egd_steps,
-                log,
-                stats,
-            };
-        }
-        if let Err(reason) = governor.on_round(stats.rounds + 1, instance.approx_heap_bytes()) {
-            return ChaseResult {
-                outcome: ChaseOutcome::Stopped { reason },
-                instance,
-                steps,
-                tgd_steps,
-                egd_steps,
-                log,
-                stats,
-            };
-        }
-        let cur = instance.bump_epoch();
-        stats.rounds += 1;
-        let _round_span = pde_trace::span("chase.round")
-            .field("engine", "seminaive")
-            .field("round", stats.rounds)
-            .field("facts", instance.fact_count());
-        let mut progressed = false;
-        for (i, dep) in deps.iter().enumerate() {
-            stats.skipped_by_delta += seen[i];
-            match dep {
-                Dependency::Tgd(tgd) => {
-                    let mut dep_span = pde_trace::span("chase.trigger")
-                        .field("engine", "seminaive")
-                        .field("dep", i)
-                        .field("round", stats.rounds);
-                    let fired_before = stats.triggers_fired;
-                    let mut work: Vec<Assignment> = Vec::new();
-                    let mut found_now = 0usize;
-                    if tgd.premise.atoms.is_empty() {
-                        // The empty homomorphism touches no fact, so the
-                        // delta search would never surface it; check it on
-                        // the seed round, where everything fires once.
-                        if since == 0 {
-                            found_now += 1;
-                            if exists_hom(&tgd.conclusion.atoms, &instance, &Assignment::new()) {
-                                stats.triggers_satisfied += 1;
-                            } else {
-                                work.push(Assignment::new());
+    for stratum in strata {
+        // Each stratum re-seeds its delta window: its first round
+        // enumerates over the whole instance (exactly like the seed round
+        // of an unscheduled chase), picking up everything earlier strata
+        // produced.
+        let mut since: u64 = 0;
+        'outer: loop {
+            if steps >= limits.max_steps || instance.fact_count() >= limits.max_facts {
+                return ChaseResult {
+                    outcome: ChaseOutcome::ResourceExceeded,
+                    instance,
+                    steps,
+                    tgd_steps,
+                    egd_steps,
+                    log,
+                    stats,
+                };
+            }
+            if let Err(reason) = governor.on_round(stats.rounds + 1, instance.approx_heap_bytes()) {
+                return ChaseResult {
+                    outcome: ChaseOutcome::Stopped { reason },
+                    instance,
+                    steps,
+                    tgd_steps,
+                    egd_steps,
+                    log,
+                    stats,
+                };
+            }
+            let cur = instance.bump_epoch();
+            stats.rounds += 1;
+            let _round_span = pde_trace::span("chase.round")
+                .field("engine", "seminaive")
+                .field("round", stats.rounds)
+                .field("facts", instance.fact_count());
+            let mut progressed = false;
+            for &i in stratum {
+                let dep = &deps[i];
+                stats.skipped_by_delta += seen[i];
+                match dep {
+                    Dependency::Tgd(tgd) => {
+                        let mut dep_span = pde_trace::span("chase.trigger")
+                            .field("engine", "seminaive")
+                            .field("dep", i)
+                            .field("round", stats.rounds);
+                        let fired_before = stats.triggers_fired;
+                        let mut work: Vec<Assignment> = Vec::new();
+                        let mut found_now = 0usize;
+                        if tgd.premise.atoms.is_empty() {
+                            // The empty homomorphism touches no fact, so the
+                            // delta search would never surface it; check it on
+                            // the seed round, where everything fires once.
+                            if since == 0 {
+                                found_now += 1;
+                                if exists_hom(&tgd.conclusion.atoms, &instance, &Assignment::new())
+                                {
+                                    stats.triggers_satisfied += 1;
+                                } else {
+                                    work.push(Assignment::new());
+                                }
                             }
+                        } else {
+                            let _ = for_each_hom_seminaive(
+                                &tgd.premise.atoms,
+                                &instance,
+                                &Assignment::new(),
+                                config,
+                                since,
+                                cur,
+                                |h| {
+                                    found_now += 1;
+                                    if exists_hom(&tgd.conclusion.atoms, &instance, h) {
+                                        stats.triggers_satisfied += 1;
+                                    } else {
+                                        work.push(h.clone());
+                                    }
+                                    ControlFlow::Continue(())
+                                },
+                            );
                         }
-                    } else {
+                        stats.triggers_found += found_now;
+                        seen[i] += found_now;
+                        dep_span.record_field("found", found_now);
+                        for h in work {
+                            if steps >= limits.max_steps
+                                || instance.fact_count() >= limits.max_facts
+                            {
+                                continue 'outer; // limit check at loop head
+                            }
+                            // Re-check: an earlier application may have
+                            // satisfied this trigger.
+                            if exists_hom(&tgd.conclusion.atoms, &instance, &h) {
+                                stats.triggers_satisfied += 1;
+                                continue;
+                            }
+                            governor.on_trigger(steps);
+                            if let Err(reason) = governor.on_alloc(steps) {
+                                return ChaseResult {
+                                    outcome: ChaseOutcome::Stopped { reason },
+                                    instance,
+                                    steps,
+                                    tgd_steps,
+                                    egd_steps,
+                                    log,
+                                    stats,
+                                };
+                            }
+                            let new_facts = apply_tgd_step(&mut instance, tgd, &h, mode);
+                            log.push(StepRecord::Tgd {
+                                dep_index: i,
+                                new_facts,
+                            });
+                            steps += 1;
+                            tgd_steps += 1;
+                            stats.triggers_fired += 1;
+                            progressed = true;
+                        }
+                        dep_span.record_field("fired", stats.triggers_fired - fired_before);
+                    }
+                    Dependency::Egd(egd) => {
+                        let mut egd_span = pde_trace::span("egd.merge")
+                            .field("engine", "seminaive")
+                            .field("dep", i)
+                            .field("round", stats.rounds);
+                        let merges_before = stats.egd_merges;
+                        let mut uf = ValueUnionFind::new();
+                        let mut conflict = false;
+                        let mut found_now = 0usize;
                         let _ = for_each_hom_seminaive(
-                            &tgd.premise.atoms,
+                            &egd.premise.atoms,
                             &instance,
                             &Assignment::new(),
                             config,
@@ -241,132 +394,71 @@ fn chase_seminaive_governed(
                             cur,
                             |h| {
                                 found_now += 1;
-                                if exists_hom(&tgd.conclusion.atoms, &instance, h) {
-                                    stats.triggers_satisfied += 1;
-                                } else {
-                                    work.push(h.clone());
+                                let l = h.get(egd.lhs).expect("egd lhs bound by premise");
+                                let r = h.get(egd.rhs).expect("egd rhs bound by premise");
+                                match uf.union(l, r) {
+                                    Ok(Some((from, to))) => {
+                                        log.push(StepRecord::Egd {
+                                            dep_index: i,
+                                            from,
+                                            to,
+                                        });
+                                        steps += 1;
+                                        egd_steps += 1;
+                                        stats.egd_merges += 1;
+                                        progressed = true;
+                                        if steps >= limits.max_steps {
+                                            return ControlFlow::Break(());
+                                        }
+                                        ControlFlow::Continue(())
+                                    }
+                                    Ok(None) => ControlFlow::Continue(()),
+                                    Err(_) => {
+                                        conflict = true;
+                                        ControlFlow::Break(())
+                                    }
                                 }
-                                ControlFlow::Continue(())
                             },
                         );
-                    }
-                    stats.triggers_found += found_now;
-                    seen[i] += found_now;
-                    dep_span.record_field("found", found_now);
-                    for h in work {
-                        if steps >= limits.max_steps || instance.fact_count() >= limits.max_facts {
-                            continue 'outer; // limit check at loop head
-                        }
-                        // Re-check: an earlier application may have
-                        // satisfied this trigger.
-                        if exists_hom(&tgd.conclusion.atoms, &instance, &h) {
-                            stats.triggers_satisfied += 1;
-                            continue;
-                        }
-                        governor.on_trigger(steps);
-                        if let Err(reason) = governor.on_alloc(steps) {
+                        stats.triggers_found += found_now;
+                        seen[i] += found_now;
+                        egd_span.record_field("found", found_now);
+                        egd_span.record_field("merges", stats.egd_merges - merges_before);
+                        if conflict {
                             return ChaseResult {
-                                outcome: ChaseOutcome::Stopped { reason },
+                                outcome: ChaseOutcome::Failure { dep_index: i },
                                 instance,
-                                steps,
+                                steps: steps + 1,
                                 tgd_steps,
-                                egd_steps,
+                                egd_steps: egd_steps + 1,
                                 log,
                                 stats,
                             };
                         }
-                        let new_facts = apply_tgd_step(&mut instance, tgd, &h, mode);
-                        log.push(StepRecord::Tgd {
-                            dep_index: i,
-                            new_facts,
-                        });
-                        steps += 1;
-                        tgd_steps += 1;
-                        stats.triggers_fired += 1;
-                        progressed = true;
-                    }
-                    dep_span.record_field("fired", stats.triggers_fired - fired_before);
-                }
-                Dependency::Egd(egd) => {
-                    let mut egd_span = pde_trace::span("egd.merge")
-                        .field("engine", "seminaive")
-                        .field("dep", i)
-                        .field("round", stats.rounds);
-                    let merges_before = stats.egd_merges;
-                    let mut uf = ValueUnionFind::new();
-                    let mut conflict = false;
-                    let mut found_now = 0usize;
-                    let _ = for_each_hom_seminaive(
-                        &egd.premise.atoms,
-                        &instance,
-                        &Assignment::new(),
-                        config,
-                        since,
-                        cur,
-                        |h| {
-                            found_now += 1;
-                            let l = h.get(egd.lhs).expect("egd lhs bound by premise");
-                            let r = h.get(egd.rhs).expect("egd rhs bound by premise");
-                            match uf.union(l, r) {
-                                Ok(Some((from, to))) => {
-                                    log.push(StepRecord::Egd {
-                                        dep_index: i,
-                                        from,
-                                        to,
-                                    });
-                                    steps += 1;
-                                    egd_steps += 1;
-                                    stats.egd_merges += 1;
-                                    progressed = true;
-                                    if steps >= limits.max_steps {
-                                        return ControlFlow::Break(());
-                                    }
-                                    ControlFlow::Continue(())
-                                }
-                                Ok(None) => ControlFlow::Continue(()),
-                                Err(_) => {
-                                    conflict = true;
-                                    ControlFlow::Break(())
-                                }
-                            }
-                        },
-                    );
-                    stats.triggers_found += found_now;
-                    seen[i] += found_now;
-                    egd_span.record_field("found", found_now);
-                    egd_span.record_field("merges", stats.egd_merges - merges_before);
-                    if conflict {
-                        return ChaseResult {
-                            outcome: ChaseOutcome::Failure { dep_index: i },
-                            instance,
-                            steps: steps + 1,
-                            tgd_steps,
-                            egd_steps: egd_steps + 1,
-                            log,
-                            stats,
-                        };
-                    }
-                    // One targeted rewrite applies every merge of this
-                    // round; rewritten facts land in the next delta.
-                    instance.apply_merges(&uf);
-                    if steps >= limits.max_steps {
-                        continue 'outer;
+                        // One targeted rewrite applies every merge of this
+                        // round; rewritten facts land in the next delta.
+                        instance.apply_merges(&uf);
+                        if steps >= limits.max_steps {
+                            continue 'outer;
+                        }
                     }
                 }
             }
+            if !progressed {
+                // Stratum fixpoint reached; move on to the next stratum.
+                break;
+            }
+            since = cur;
         }
-        if !progressed {
-            return ChaseResult {
-                outcome: ChaseOutcome::Success,
-                instance,
-                steps,
-                tgd_steps,
-                egd_steps,
-                log,
-                stats,
-            };
-        }
-        since = cur;
+    }
+    ChaseResult {
+        outcome: ChaseOutcome::Success,
+        instance,
+        steps,
+        tgd_steps,
+        egd_steps,
+        log,
+        stats,
     }
 }
 

@@ -206,10 +206,20 @@ pub fn split_sections(src: &str) -> Result<BundleSources, BundleError> {
 }
 
 impl Bundle {
-    /// Parse a bundle from text.
+    /// Parse a bundle from text. Exact duplicate dependencies are removed
+    /// (see [`Bundle::parse_with_warnings`], which this delegates to); use
+    /// that entry point to surface the removal warnings.
     pub fn parse(src: &str) -> Result<Bundle, BundleError> {
+        Bundle::parse_with_warnings(src).map(|(bundle, _)| bundle)
+    }
+
+    /// Parse a bundle from text, deduplicating syntactically identical
+    /// dependencies within each group at parse time (a repeated dependency
+    /// silently doubles trigger work in the chase) and returning one
+    /// warning string per removed copy.
+    pub fn parse_with_warnings(src: &str) -> Result<(Bundle, Vec<String>), BundleError> {
         let sources = split_sections(src)?;
-        let setting = PdeSetting::parse(
+        let (setting, warnings) = PdeSetting::parse_with_warnings(
             &sources.schema.text,
             &sources.st.text,
             &sources.ts.text,
@@ -217,7 +227,7 @@ impl Bundle {
         )?;
         let input = parse_instance(setting.schema(), &sources.instance.text)
             .map_err(BundleError::Instance)?;
-        Ok(Bundle { setting, input })
+        Ok((Bundle { setting, input }, warnings))
     }
 
     /// Render this bundle back to the text format (parse∘render = id up to

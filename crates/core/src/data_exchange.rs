@@ -9,7 +9,7 @@
 //! are exactly the certain answers.
 
 use crate::setting::PdeSetting;
-use pde_chase::{null_gen_for, ChaseEngine, ChaseLimits, ChaseOutcome, ChaseStats};
+use pde_chase::{null_gen_for, ChaseEngine, ChaseLimits, ChaseOutcome, ChaseStats, DepSchedule};
 use pde_constraints::Dependency;
 use pde_relational::{Instance, Peer, UnionQuery, Value};
 use pde_runtime::{Governor, StopReason};
@@ -111,6 +111,21 @@ pub fn solve_data_exchange_governed(
     engine: ChaseEngine,
     governor: &Governor,
 ) -> Result<DataExchangeOutcome, DataExchangeError> {
+    solve_data_exchange_governed_scheduled(setting, input, limits, engine, governor, None)
+}
+
+/// [`solve_data_exchange_governed`] with an optional stratified
+/// [`DepSchedule`] over the forward dependency list (Σst tgds first, then
+/// Σt — the order `pde-analysis`'s `forward_schedule` indexes). Only the
+/// semi-naive engine consumes the schedule.
+pub fn solve_data_exchange_governed_scheduled(
+    setting: &PdeSetting,
+    input: &Instance,
+    limits: ChaseLimits,
+    engine: ChaseEngine,
+    governor: &Governor,
+    schedule: Option<&DepSchedule>,
+) -> Result<DataExchangeOutcome, DataExchangeError> {
     if !setting.is_data_exchange() {
         return Err(DataExchangeError::HasTargetToSource);
     }
@@ -125,13 +140,14 @@ pub fn solve_data_exchange_governed(
         .map(Dependency::Tgd)
         .chain(setting.sigma_t().iter().cloned())
         .collect();
-    let res = pde_chase::chase_governed_with(
+    let res = pde_chase::chase_governed_scheduled(
         input.clone(),
         &deps,
         pde_chase::WitnessMode::FreshNulls(&gen),
         limits,
         engine,
         governor,
+        schedule,
     );
     match res.outcome {
         ChaseOutcome::Success => Ok(DataExchangeOutcome {

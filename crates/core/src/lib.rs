@@ -44,13 +44,14 @@ pub mod small;
 pub mod solver;
 pub use bundle::{split_sections, Bundle, BundleError, BundleSources, Section};
 pub use data_exchange::{
-    certain_answers_data_exchange, solve_data_exchange, DataExchangeError, DataExchangeOutcome,
+    certain_answers_data_exchange, solve_data_exchange, solve_data_exchange_governed,
+    solve_data_exchange_governed_scheduled, DataExchangeError, DataExchangeOutcome,
 };
 pub use enumerate::{enumerate_solutions, EnumerateError, EnumerateOptions, SolutionFamily};
 pub use multi::{MultiPdeError, MultiPdeSetting, PeerConstraints};
 pub use pdms::{Pdms, StorageDescription};
 pub use small::{shrink_solution, ShrinkError};
 pub use solver::{
-    decide, decide_governed, decide_with_limits, decide_with_plan, SearchSummary, SolveError,
-    SolvePlan, SolveReport, SolverKind,
+    decide, decide_governed, decide_governed_scheduled, decide_with_limits, decide_with_plan,
+    SearchSummary, SolveError, SolvePlan, SolveReport, SolverKind,
 };

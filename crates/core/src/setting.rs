@@ -61,6 +61,30 @@ impl From<ParseError> for SettingError {
     }
 }
 
+/// Drop syntactically identical repeats within one dependency group,
+/// keeping the first copy and describing each removal. The wording avoids
+/// lint-code vocabulary on purpose: this is a parse-time normalization,
+/// not a diagnostic.
+fn dedupe_exact<T: PartialEq>(
+    group: &'static str,
+    items: Vec<T>,
+    warnings: &mut Vec<String>,
+    display: impl Fn(&T) -> String,
+) -> Vec<T> {
+    let mut kept: Vec<(usize, T)> = Vec::new();
+    for (i, item) in items.into_iter().enumerate() {
+        if let Some((j, _)) = kept.iter().find(|(_, k)| *k == item) {
+            warnings.push(format!(
+                "{group} dependency #{i} repeats #{j} ({}); keeping one copy",
+                display(&item)
+            ));
+        } else {
+            kept.push((i, item));
+        }
+    }
+    kept.into_iter().map(|(_, item)| item).collect()
+}
+
 impl PdeSetting {
     /// Build and validate a setting.
     pub fn new(
@@ -93,6 +117,43 @@ impl PdeSetting {
         let sigma_ts = pde_constraints::parser::parse_tgds(&schema, ts_src)?;
         let sigma_t = pde_constraints::parse_dependencies(&schema, t_src)?;
         PdeSetting::new(schema, sigma_st, sigma_ts, sigma_t)
+    }
+
+    /// [`PdeSetting::parse`], but syntactically identical repeats of a
+    /// dependency within one group are dropped (first copy kept), each
+    /// with a warning string. A repeated dependency is semantically inert
+    /// but doubles trigger discovery on the chase's hot path, so keeping
+    /// it would be a silent performance bug. Alpha-renamed or reordered
+    /// near-duplicates are left alone here — those are the optimizer's
+    /// business (`pde optimize`) and the `duplicate-tgd` lint's.
+    pub fn parse_with_warnings(
+        schema_src: &str,
+        st_src: &str,
+        ts_src: &str,
+        t_src: &str,
+    ) -> Result<(PdeSetting, Vec<String>), SettingError> {
+        let schema = Arc::new(parse_schema(schema_src)?);
+        let mut warnings = Vec::new();
+        let sigma_st = dedupe_exact(
+            "sigma_st",
+            pde_constraints::parser::parse_tgds(&schema, st_src)?,
+            &mut warnings,
+            |t| t.display(&schema).to_string(),
+        );
+        let sigma_ts = dedupe_exact(
+            "sigma_ts",
+            pde_constraints::parser::parse_tgds(&schema, ts_src)?,
+            &mut warnings,
+            |t| t.display(&schema).to_string(),
+        );
+        let sigma_t = dedupe_exact(
+            "sigma_t",
+            pde_constraints::parse_dependencies(&schema, t_src)?,
+            &mut warnings,
+            |d| d.display(&schema).to_string(),
+        );
+        let setting = PdeSetting::new(schema, sigma_st, sigma_ts, sigma_t)?;
+        Ok((setting, warnings))
     }
 
     fn validate(&self) -> Result<(), SettingError> {

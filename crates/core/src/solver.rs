@@ -16,7 +16,7 @@ use crate::data_exchange::{self, DataExchangeError};
 use crate::generic::{self, GenericLimits, GenericOutcome};
 use crate::setting::PdeSetting;
 use crate::tractable::{self, TractableError};
-use pde_chase::{ChaseEngine, ChaseLimits, ChaseStats};
+use pde_chase::{ChaseEngine, ChaseLimits, ChaseStats, DepSchedule};
 use pde_relational::Instance;
 use pde_runtime::{isolate, EngineError, Governor, GovernorReport, StopReason};
 use std::fmt;
@@ -236,9 +236,23 @@ pub fn decide_governed(
     plan: &SolvePlan,
     governor: &Governor,
 ) -> Result<SolveReport, SolveError> {
+    decide_governed_scheduled(setting, input, plan, None, governor)
+}
+
+/// [`decide_governed`] with an optional stratified [`DepSchedule`] for the
+/// chase of the data-exchange path (derived by `pde-analysis`'s
+/// `forward_schedule` over this setting's forward dependencies). The
+/// other solver kinds, and the naive fallback engine, ignore it.
+pub fn decide_governed_scheduled(
+    setting: &PdeSetting,
+    input: &Instance,
+    plan: &SolvePlan,
+    schedule: Option<&DepSchedule>,
+    governor: &Governor,
+) -> Result<SolveReport, SolveError> {
     let start = Instant::now();
     let primary = pde_chase::default_chase_engine();
-    let first = isolate(|| attempt(setting, input, plan, primary, governor));
+    let first = isolate(|| attempt(setting, input, plan, primary, governor, schedule));
     // Retry-with-degradation: a panic or an injected fault on the primary
     // engine gets one retry on the naive oracle engine. Precondition
     // errors and genuine budget stops are deterministic — retrying would
@@ -249,7 +263,7 @@ pub fn decide_governed(
         Ok(Err(_)) => false,
     };
     let outcome = if retryable && primary != ChaseEngine::Naive {
-        match isolate(|| attempt(setting, input, plan, ChaseEngine::Naive, governor)) {
+        match isolate(|| attempt(setting, input, plan, ChaseEngine::Naive, governor, schedule)) {
             Ok(res) => res.map(|mut r| {
                 r.engine_fallback = true;
                 r
@@ -279,6 +293,7 @@ fn attempt(
     plan: &SolvePlan,
     engine: ChaseEngine,
     governor: &Governor,
+    schedule: Option<&DepSchedule>,
 ) -> Result<SolveReport, SolveError> {
     let start = Instant::now();
     let wrap = |e: &dyn fmt::Display| SolveError::Precondition(e.to_string());
@@ -296,12 +311,13 @@ fn attempt(
 
     match plan.kind {
         SolverKind::DataExchange => {
-            match data_exchange::solve_data_exchange_governed(
+            match data_exchange::solve_data_exchange_governed_scheduled(
                 setting,
                 input,
                 plan.chase_limits,
                 engine,
                 governor,
+                schedule,
             ) {
                 Ok(out) => Ok(report(
                     Some(out.exists),

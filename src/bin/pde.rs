@@ -4,6 +4,7 @@
 //! pde classify <bundle.pde>             static analysis of the setting
 //! pde lint     <bundle.pde>             diagnostics with stable PDE0xx codes
 //! pde plan     <bundle.pde>             static complexity certificate
+//! pde optimize <bundle.pde>             semantics-preserving dependency rewriting
 //! pde solve    <bundle.pde>             decide SOL(P), print a witness
 //! pde certain  <bundle.pde> <query>     certain answers of a target UCQ
 //! pde chase    <bundle.pde>             show the canonical chase artifacts
@@ -53,6 +54,21 @@
 //! report: outcome, certificate routing identifiers, and every chase /
 //! search / governor counter.
 //!
+//! `optimize` (docs/OPTIMIZER.md) runs the semantics-preserving rewrite
+//! passes — trivial-egd removal, duplicate elimination up to renaming,
+//! subsumption, input-aware dead-dependency elimination — prints the
+//! actions and the stratified chase schedule, and carries a
+//! machine-checkable rewrite certificate: `--emit <cert.json>` saves it,
+//! `--check [cert.json]` re-verifies a saved certificate (or, with no
+//! path, self-checks a fresh derivation) with the independent
+//! `verify_rewrite` checker, exiting 2 on any mismatch. `solve`,
+//! `certain`, and `enumerate` optimize automatically (like auto-lint);
+//! `--no-optimize` opts out, and `--plan` disables optimization because a
+//! saved plan certificate describes the original setting. The optimized
+//! solve threads the stratified schedule into the semi-naive chase and
+//! reports it under `--stats` and in the JSON run report's `optimize`
+//! section.
+//!
 //! `solve` alone accepts the resource-governance flags of
 //! `docs/ROBUSTNESS.md`: `--timeout <dur>` (e.g. `500ms`, `2s`; bare
 //! numbers are milliseconds) sets a wall-clock deadline, `--memory-limit
@@ -62,14 +78,18 @@
 //! prints `undecided (<reason>)` and exits 3 — never a wrong answer.
 
 use pde_analysis::{
-    analyze_setting, any_denied, plan_setting, render_certificate_text, render_json, render_text,
-    verify_certificate, AnalysisInput, Certificate, LintSection, RenderContext, Severity,
-    SourceParseError,
+    analyze_setting, any_denied, forward_schedule, optimize_setting, plan_setting,
+    render_certificate_text, render_json, render_text, verify_certificate, verify_rewrite,
+    AnalysisInput, Certificate, LintSection, OptimizeResult, RenderContext, RewriteAction,
+    RewriteCertificate, Severity, SourceParseError,
 };
-use pde_chase::chase_tgds;
+use pde_chase::{chase_tgds, DepSchedule};
 use pde_core::bundle::{split_sections, Bundle, BundleSources};
-use pde_core::{certain_answers, check_solution, decide_governed, GenericLimits, SolvePlan};
-use pde_relational::{parse_instance, parse_query, Peer, UnionQuery};
+use pde_core::{
+    certain_answers, check_solution, decide_governed_scheduled, GenericLimits, PdeSetting,
+    SolvePlan,
+};
+use pde_relational::{parse_instance, parse_query, Instance, Peer, UnionQuery};
 use pde_runtime::{Governor, GovernorConfig};
 use std::process::ExitCode;
 use std::time::Duration;
@@ -113,16 +133,21 @@ const USAGE: &str = "usage:
   pde classify  <bundle.pde>
   pde lint      <bundle.pde> [--format text|json] [--deny warnings]
   pde plan      <bundle.pde> [--format text|json] [--check <cert.json>]
-  pde solve     <bundle.pde> [--no-lint] [--plan <cert.json>] [--max-steps n] [--max-branches n]
-                [--timeout dur] [--memory-limit size] [--governed] [--stats] [--format text|json]
-  pde certain   <bundle.pde> <query> [--no-lint] [--plan <cert.json>] [--max-steps n] [--max-branches n]
+  pde optimize  <bundle.pde> [--format text|json] [--emit <cert.json>] [--check [cert.json]]
+  pde solve     <bundle.pde> [--no-lint] [--no-optimize] [--plan <cert.json>] [--max-steps n]
+                [--max-branches n] [--timeout dur] [--memory-limit size] [--governed] [--stats]
+                [--format text|json]
+  pde certain   <bundle.pde> <query> [--no-lint] [--no-optimize] [--plan <cert.json>]
+                [--max-steps n] [--max-branches n]
   pde chase     <bundle.pde>
   pde check     <bundle.pde> <candidate-instance>
-  pde enumerate <bundle.pde> [limit] [--no-lint] [--max-steps n] [--max-branches n]
+  pde enumerate <bundle.pde> [limit] [--no-lint] [--no-optimize] [--max-steps n] [--max-branches n]
   pde shrink    <bundle.pde> <candidate-instance>
   pde format    <bundle.pde>
 global flags:
   --chase naive|seminaive   chase engine (default: seminaive)
+  --optimize/--no-optimize  rewrite the setting before solving (default: on;
+                            --plan disables; solve/certain/enumerate only)
   --trace <file.jsonl>      stream structured spans as JSON lines (docs/OBSERVABILITY.md)
   --profile                 print a per-phase wall-clock/self-time table to stderr
 solve-only flags:
@@ -133,7 +158,12 @@ exit codes: 0 yes, 1 no, 2 usage/input error, 3 undecided (budget exhausted)";
 
 fn load_bundle(path: &str) -> Result<Bundle, String> {
     let src = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
-    Bundle::parse(&src).map_err(|e| format!("{path}: {e}"))
+    let (bundle, warnings) =
+        Bundle::parse_with_warnings(&src).map_err(|e| format!("{path}: {e}"))?;
+    for w in &warnings {
+        eprintln!("{path}: warning: {w}");
+    }
+    Ok(bundle)
 }
 
 /// Command-line switches (accepted after the positional arguments).
@@ -145,7 +175,13 @@ struct Flags {
     max_steps: Option<usize>,
     max_branches: Option<usize>,
     plan_path: Option<String>,
-    check_path: Option<String>,
+    /// `--check` was given; the inner option is the certificate path
+    /// (`plan` requires one, `optimize` self-checks without one).
+    check_path: Option<Option<String>>,
+    /// `--optimize` (`Some(true)`) / `--no-optimize` (`Some(false)`);
+    /// `None` means the per-command default (on for solve-style commands).
+    optimize: Option<bool>,
+    emit_path: Option<String>,
     stats: bool,
     chase_engine: Option<pde_chase::ChaseEngine>,
     timeout: Option<Duration>,
@@ -201,7 +237,19 @@ fn split_flags(args: &[String]) -> Result<(Vec<String>, Flags), String> {
             "--trace" => flags.trace_path = Some(flag_value(&mut it, "--trace")?),
             "--profile" => flags.profile = true,
             "--plan" => flags.plan_path = Some(flag_value(&mut it, "--plan")?),
-            "--check" => flags.check_path = Some(flag_value(&mut it, "--check")?),
+            "--check" => {
+                // The certificate path is optional: `optimize --check`
+                // with no path self-checks a fresh derivation.
+                flags.check_path = Some(match it.clone().next() {
+                    Some(v) if !v.starts_with("--") => {
+                        Some(it.next().expect("peeked value is present").clone())
+                    }
+                    _ => None,
+                });
+            }
+            "--optimize" => flags.optimize = Some(true),
+            "--no-optimize" => flags.optimize = Some(false),
+            "--emit" => flags.emit_path = Some(flag_value(&mut it, "--emit")?),
             "--stats" => flags.stats = true,
             "--chase" => match it.next().map(String::as_str) {
                 Some("naive") => flags.chase_engine = Some(pde_chase::ChaseEngine::Naive),
@@ -289,19 +337,24 @@ fn render_source_error(path: &str, sources: &BundleSources, e: &SourceParseError
     format!("{path}:{line}:{col}: {e}")
 }
 
-/// The solve plan for a bundle: a verified saved certificate when
-/// `--plan` was given, otherwise a fresh planner run; `--max-steps` and
+/// The solve plan for a setting (the *effective* one — optimized when
+/// optimization ran): a verified saved certificate when `--plan` was
+/// given, otherwise a fresh planner run; `--max-steps` and
 /// `--max-branches` override the plan's budgets last. The certificate
 /// rides along so `--governed` can derive a memory budget from it.
-fn resolve_plan(bundle: &Bundle, flags: &Flags) -> Result<(SolvePlan, Certificate), String> {
+fn resolve_plan(
+    setting: &PdeSetting,
+    input: &Instance,
+    flags: &Flags,
+) -> Result<(SolvePlan, Certificate), String> {
     let cert = match &flags.plan_path {
         Some(path) => {
             let src = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
             let cert = Certificate::from_json(&src).map_err(|e| format!("{path}: {e}"))?;
-            verify_certificate(&bundle.setting, &cert).map_err(|e| format!("{path}: {e}"))?;
+            verify_certificate(setting, &cert).map_err(|e| format!("{path}: {e}"))?;
             cert
         }
-        None => plan_setting(&bundle.setting, bundle.input.active_domain().len()),
+        None => plan_setting(setting, input.active_domain().len()),
     };
     let mut plan = cert.to_solve_plan();
     if let Some(n) = flags.max_steps {
@@ -312,6 +365,69 @@ fn resolve_plan(bundle: &Bundle, flags: &Flags) -> Result<(SolvePlan, Certificat
         plan.limits.max_branches = n;
     }
     Ok((plan, cert))
+}
+
+/// Run the optimizer ahead of a solve-style command when asked (or by
+/// default, like auto-lint). A saved `--plan` certificate disables it —
+/// the certificate describes the original, unoptimized setting — and
+/// `--no-optimize` opts out. When the default (not the explicit
+/// `--optimize`) removed anything, a one-line note goes to stderr.
+fn resolve_optimize(bundle: &Bundle, flags: &Flags) -> Result<Option<OptimizeResult>, String> {
+    if flags.plan_path.is_some() {
+        if flags.optimize == Some(true) {
+            return Err(
+                "--optimize cannot be combined with --plan: a saved plan certificate \
+                 describes the original, unoptimized setting"
+                    .into(),
+            );
+        }
+        return Ok(None);
+    }
+    if flags.optimize == Some(false) {
+        return Ok(None);
+    }
+    let out = optimize_setting(&bundle.setting, &bundle.input);
+    let removed = out.certificate.actions.len();
+    if flags.optimize.is_none() && removed > 0 {
+        eprintln!(
+            "optimizer: removed {removed} of {} dependencies (pass --no-optimize to disable)",
+            out.certificate.before.total()
+        );
+    }
+    Ok(Some(out))
+}
+
+/// One human-readable line per rewrite action.
+fn describe_action(a: &RewriteAction) -> String {
+    match a {
+        RewriteAction::RemoveTrivialEgd { group, index } => {
+            format!("remove {group} #{index}: trivial egd")
+        }
+        RewriteAction::RemoveDuplicate { group, index, kept } => {
+            format!("remove {group} #{index}: duplicate of #{kept} up to renaming")
+        }
+        RewriteAction::RemoveSubsumed { group, index, by } => {
+            format!("remove {group} #{index}: subsumed by #{by}")
+        }
+        RewriteAction::RemoveDead {
+            group,
+            index,
+            relation,
+        } => format!("remove {group} #{index}: reads unpopulatable relation {relation}"),
+    }
+}
+
+/// The stratified schedule as JSON: `{"strata":[[0,1],[2]]}`.
+fn schedule_json(s: &DepSchedule) -> String {
+    let strata: Vec<String> = s
+        .strata
+        .iter()
+        .map(|st| {
+            let xs: Vec<String> = st.iter().map(ToString::to_string).collect();
+            format!("[{}]", xs.join(","))
+        })
+        .collect();
+    format!("{{\"strata\":[{}]}}", strata.join(","))
 }
 
 /// The governor for a `solve` run: `--governed` seeds the memory budget
@@ -337,8 +453,14 @@ fn resolve_governor(cert: &Certificate, flags: &Flags) -> Governor {
 /// JSON object per run carrying the report schema version, the routing
 /// identifiers of the plan certificate, the outcome, and every counter the
 /// solve accumulated (chase, search, governor) via the metrics registry.
-/// The schema is documented in `docs/OBSERVABILITY.md`.
-fn render_solve_json(report: &pde_core::SolveReport, cert: &Certificate) -> String {
+/// The schema is documented in `docs/OBSERVABILITY.md`. When the
+/// optimizer ran, `optimize` carries its rewrite counts and the stratified
+/// schedule; otherwise it is `null`.
+fn render_solve_json(
+    report: &pde_core::SolveReport,
+    cert: &Certificate,
+    optimize: Option<(&RewriteCertificate, &DepSchedule)>,
+) -> String {
     use pde_trace::json_escape;
     let mut reg = pde_trace::MetricsRegistry::new();
     report.export_metrics(&mut reg);
@@ -355,10 +477,21 @@ fn render_solve_json(report: &pde_core::SolveReport, cert: &Certificate) -> Stri
         pde_chase::ChaseEngine::Naive => "naive",
         pde_chase::ChaseEngine::Seminaive => "seminaive",
     };
+    let optimize = match optimize {
+        Some((c, s)) => format!(
+            "{{\"before\":{},\"after\":{},\"actions\":{},\"schedule\":{}}}",
+            c.before.total(),
+            c.after.total(),
+            c.actions.len(),
+            schedule_json(s),
+        ),
+        None => "null".to_owned(),
+    };
     format!(
         concat!(
             "{{\"v\":{},\"solver\":{},\"engine\":{},\"result\":{},",
             "\"undecided_reason\":{},\"engine_fallback\":{},",
+            "\"optimize\":{},",
             "\"certificate\":{{\"version\":{},\"regime\":{},\"solver\":{}}},",
             "\"metrics\":{}}}"
         ),
@@ -368,6 +501,7 @@ fn render_solve_json(report: &pde_core::SolveReport, cert: &Certificate) -> Stri
         result,
         undecided,
         report.engine_fallback,
+        optimize,
         cert.version,
         json_escape(cert.regime.as_str()),
         json_escape(pde_analysis::certificate::solver_kind_str(
@@ -439,6 +573,14 @@ fn dispatch(args: &[String], flags: &Flags) -> Result<Verdict, String> {
             "--timeout/--memory-limit/--governed only apply to 'solve', not '{cmd}'"
         ));
     }
+    if flags.optimize.is_some() && !matches!(cmd.as_str(), "solve" | "certain" | "enumerate") {
+        return Err(format!(
+            "--optimize/--no-optimize only apply to 'solve', 'certain', and 'enumerate', not '{cmd}'"
+        ));
+    }
+    if flags.emit_path.is_some() && cmd != "optimize" {
+        return Err(format!("--emit only applies to 'optimize', not '{cmd}'"));
+    }
     match cmd.as_str() {
         "lint" => {
             let path = args.get(1).ok_or("missing bundle path")?;
@@ -508,6 +650,9 @@ fn dispatch(args: &[String], flags: &Flags) -> Result<Verdict, String> {
         "plan" => {
             let bundle = load_bundle(args.get(1).ok_or("missing bundle path")?)?;
             if let Some(cert_path) = &flags.check_path {
+                let cert_path = cert_path
+                    .as_ref()
+                    .ok_or("plan --check expects a certificate path")?;
                 let src =
                     std::fs::read_to_string(cert_path).map_err(|e| format!("{cert_path}: {e}"))?;
                 let cert = Certificate::from_json(&src).map_err(|e| format!("{cert_path}: {e}"))?;
@@ -535,15 +680,103 @@ fn dispatch(args: &[String], flags: &Flags) -> Result<Verdict, String> {
             }
             Ok(Verdict::Yes)
         }
+        "optimize" => {
+            let bundle = load_bundle(args.get(1).ok_or("missing bundle path")?)?;
+            if let Some(Some(cert_path)) = &flags.check_path {
+                // Verify a *saved* certificate against this bundle with the
+                // independent checker. Any mismatch is an input error
+                // (exit 2): the certificate is stale or tampered with.
+                let src =
+                    std::fs::read_to_string(cert_path).map_err(|e| format!("{cert_path}: {e}"))?;
+                let cert =
+                    RewriteCertificate::from_json(&src).map_err(|e| format!("{cert_path}: {e}"))?;
+                verify_rewrite(&bundle.setting, &bundle.input, &cert)
+                    .map_err(|e| format!("rewrite certificate REJECTED: {e}"))?;
+                println!(
+                    "rewrite certificate OK: {} action(s), {} -> {} dependencies",
+                    cert.actions.len(),
+                    cert.before.total(),
+                    cert.after.total()
+                );
+                return Ok(Verdict::Yes);
+            }
+            let out = optimize_setting(&bundle.setting, &bundle.input);
+            if flags.check_path.is_some() {
+                // `--check` without a path: re-verify the fresh derivation
+                // with the independent checker (the CI smoke path).
+                verify_rewrite(&bundle.setting, &bundle.input, &out.certificate)
+                    .map_err(|e| format!("rewrite self-check REJECTED: {e}"))?;
+            }
+            if let Some(emit_path) = &flags.emit_path {
+                std::fs::write(emit_path, out.certificate.to_json())
+                    .map_err(|e| format!("{emit_path}: {e}"))?;
+            }
+            let schedule = forward_schedule(&out.optimized);
+            if flags.json {
+                println!(
+                    "{{\"v\":{},\"kind\":\"pde-optimize-report\",\"certificate\":{},\"schedule\":{}}}",
+                    pde_analysis::REWRITE_VERSION,
+                    out.certificate.to_json(),
+                    schedule_json(&schedule),
+                );
+                return Ok(Verdict::Yes);
+            }
+            let c = &out.certificate;
+            println!("{}", bundle.summary());
+            if flags.check_path.is_some() {
+                println!("rewrite certificate OK (independently re-verified)");
+            }
+            println!(
+                "dependencies: {} -> {} ({} removed)",
+                c.before.total(),
+                c.after.total(),
+                c.actions.len()
+            );
+            for a in &c.actions {
+                println!("  {}", describe_action(a));
+            }
+            if !c.dead_relations.is_empty() {
+                println!("unpopulatable relations: {}", c.dead_relations.join(", "));
+            }
+            // Forward dependency indices: the optimized setting's Σst tgds
+            // first, then its Σt dependencies (Σts does not chase).
+            let nst = out.optimized.sigma_st().len();
+            let label = |i: usize| {
+                if i < nst {
+                    format!("st#{i}")
+                } else {
+                    format!("t#{}", i - nst)
+                }
+            };
+            println!("chase strata: {}", schedule.strata.len());
+            for (k, stratum) in schedule.strata.iter().enumerate() {
+                let names: Vec<String> = stratum.iter().map(|&i| label(i)).collect();
+                println!("  stratum {k}: {}", names.join(" "));
+            }
+            Ok(Verdict::Yes)
+        }
         "solve" => {
             let bundle = load_bundle(args.get(1).ok_or("missing bundle path")?)?;
             auto_lint(&bundle, flags);
-            let (plan, cert) = resolve_plan(&bundle, flags)?;
+            let opt = resolve_optimize(&bundle, flags)?;
+            let setting = opt.as_ref().map_or(&bundle.setting, |o| &o.optimized);
+            let (plan, cert) = resolve_plan(setting, &bundle.input, flags)?;
             let governor = resolve_governor(&cert, flags);
-            let report = decide_governed(&bundle.setting, &bundle.input, &plan, &governor)
-                .map_err(|e| e.to_string())?;
+            let schedule = opt.as_ref().map(|_| forward_schedule(setting));
+            let report = decide_governed_scheduled(
+                setting,
+                &bundle.input,
+                &plan,
+                schedule.as_ref(),
+                &governor,
+            )
+            .map_err(|e| e.to_string())?;
             if flags.json {
-                println!("{}", render_solve_json(&report, &cert));
+                let opt_info = match (&opt, &schedule) {
+                    (Some(o), Some(s)) => Some((&o.certificate, s)),
+                    _ => None,
+                };
+                println!("{}", render_solve_json(&report, &cert, opt_info));
                 return Ok(match report.exists {
                     Some(true) => Verdict::Yes,
                     Some(false) => Verdict::No,
@@ -555,6 +788,20 @@ fn dispatch(args: &[String], flags: &Flags) -> Result<Verdict, String> {
             println!("elapsed:  {:?}", report.elapsed);
             if flags.stats {
                 println!("engine:   {:?}", pde_chase::default_chase_engine());
+                match &opt {
+                    Some(o) => {
+                        println!(
+                            "dependencies:            {} -> {} ({} removed)",
+                            o.certificate.before.total(),
+                            o.certificate.after.total(),
+                            o.certificate.actions.len()
+                        );
+                    }
+                    None => println!("dependencies:            not optimized"),
+                }
+                if let Some(s) = &schedule {
+                    println!("chase strata:            {}", s.strata.len());
+                }
                 if let Some(s) = report.chase_stats {
                     println!("chase rounds:            {}", s.rounds);
                     println!("triggers fired:          {}", s.triggers_fired);
@@ -623,13 +870,15 @@ fn dispatch(args: &[String], flags: &Flags) -> Result<Verdict, String> {
         "certain" => {
             let bundle = load_bundle(args.get(1).ok_or("missing bundle path")?)?;
             auto_lint(&bundle, flags);
+            let opt = resolve_optimize(&bundle, flags)?;
+            let setting = opt.as_ref().map_or(&bundle.setting, |o| &o.optimized);
             let qsrc = args.get(2).ok_or("missing query")?;
             let q: UnionQuery = parse_query(bundle.setting.schema(), qsrc)
                 .map_err(|e| e.to_string())?
                 .into();
-            let limits = resolve_plan(&bundle, flags)?.0.limits;
-            let out = certain_answers(&bundle.setting, &bundle.input, &q, limits)
-                .map_err(|e| e.to_string())?;
+            let limits = resolve_plan(setting, &bundle.input, flags)?.0.limits;
+            let out =
+                certain_answers(setting, &bundle.input, &q, limits).map_err(|e| e.to_string())?;
             if !out.solution_exists {
                 println!("no solutions: every tuple is vacuously certain");
                 return Ok(Verdict::Yes);
@@ -702,6 +951,8 @@ fn dispatch(args: &[String], flags: &Flags) -> Result<Verdict, String> {
         "enumerate" => {
             let bundle = load_bundle(args.get(1).ok_or("missing bundle path")?)?;
             auto_lint(&bundle, flags);
+            let opt = resolve_optimize(&bundle, flags)?;
+            let setting = opt.as_ref().map_or(&bundle.setting, |o| &o.optimized);
             let limit: usize = match args.get(2) {
                 Some(s) => s.parse().map_err(|_| format!("bad limit '{s}'"))?,
                 None => 20,
@@ -714,7 +965,7 @@ fn dispatch(args: &[String], flags: &Flags) -> Result<Verdict, String> {
                 limits.max_branches = n;
             }
             let fam = pde_core::enumerate_solutions(
-                &bundle.setting,
+                setting,
                 &bundle.input,
                 pde_core::EnumerateOptions {
                     max_solutions: limit,

@@ -46,7 +46,7 @@
 //! | [`constraints`] | tgds/egds, disjunctive tgds, weak acyclicity, marked positions, the `C_tract` classifier |
 //! | [`chase`] | the standard chase and the paper's solution-aware chase |
 //! | [`core`] | PDE settings, solution checking, blocks, the four solvers, certain answers, multi-PDE, the PDMS embedding |
-//! | [`analysis`] | `pde lint` diagnostics and `pde plan` complexity certificates with an independent checker |
+//! | [`analysis`] | `pde lint` diagnostics, `pde plan` complexity certificates, and the `pde optimize` rewriter (certified dependency pruning + static interference/stratification analysis) — each with an independent checker |
 //! | [`runtime`] | resilient execution: the [`Governor`](runtime::Governor) (deadlines, memory budgets, cancellation), panic isolation, deterministic fault injection — see `docs/ROBUSTNESS.md` |
 //! | [`workloads`] | graph generators, the CLIQUE / 3-COL reductions, scalable tractable workloads, paper fixtures |
 //! | [`trace`] | zero-dependency span tracing, metrics registry, and the versioned run-report format — see `docs/OBSERVABILITY.md` |

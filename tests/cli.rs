@@ -231,20 +231,50 @@ fn lint_json_output() {
     assert!(stdout.contains("\"counts\":"), "stdout: {stdout}");
 }
 
+/// A bundle whose lint warning survives parse-time dedupe: the second Σst
+/// tgd is *subsumed* by the first (PDE021), not an exact copy of it.
+const LINT_WARN_SUBSUMED: &str = "
+%schema
+source E/2; target H/2; target K/2
+%st
+E(x, y) -> H(x, y), K(x, y)
+E(x, y) -> H(x, y)
+%ts
+H(x, y) -> E(x, y)
+%instance
+E(a, b).
+";
+
 #[test]
 fn solve_auto_lints_to_stderr_unless_no_lint() {
-    let p = write_temp("warn_solve.pde", LINT_WARN);
+    let p = write_temp("warn_solve.pde", LINT_WARN_SUBSUMED);
     let out = run(&["solve", p.to_str().unwrap()]);
     // Lint findings go to stderr and never change the outcome.
     assert_eq!(out.status.code(), Some(0));
     let stderr = String::from_utf8(out.stderr).unwrap();
-    assert!(stderr.contains("warning[PDE020]"), "stderr: {stderr}");
+    assert!(stderr.contains("warning[PDE021]"), "stderr: {stderr}");
     assert!(stderr.contains("--no-lint"), "stderr: {stderr}");
 
     let out = run(&["solve", "--no-lint", p.to_str().unwrap()]);
     assert_eq!(out.status.code(), Some(0));
     let stderr = String::from_utf8(out.stderr).unwrap();
     assert!(!stderr.contains("PDE"), "stderr: {stderr}");
+}
+
+#[test]
+fn parse_time_dedupe_warns_and_removes_exact_duplicates() {
+    // The exact-duplicate bundle is normalized at parse time: solve sees a
+    // single copy, and the removal is reported on stderr (worded without
+    // lint-code vocabulary so it survives --no-lint).
+    let p = write_temp("dedupe_solve.pde", LINT_WARN);
+    let out = run(&["solve", "--no-lint", p.to_str().unwrap()]);
+    assert_eq!(out.status.code(), Some(0));
+    let stderr = String::from_utf8(out.stderr).unwrap();
+    assert!(stderr.contains("keeping one copy"), "stderr: {stderr}");
+    assert!(!stderr.contains("PDE"), "stderr: {stderr}");
+
+    // The lint command works from the raw sources, so PDE020 still fires
+    // there (covered by lint_warnings_exit_0_unless_denied).
 }
 
 #[test]
@@ -315,6 +345,203 @@ fn plan_check_accepts_own_output_and_rejects_tampering() {
         p.to_str().unwrap(),
         "--check",
         garbage.to_str().unwrap(),
+    ]);
+    assert_eq!(out.status.code(), Some(2));
+}
+
+/// A bundle with redundancy of every rewrite kind: an alpha-renamed
+/// duplicate Σst tgd, a trivial egd, and a Σt tgd reading a relation no
+/// derivation can populate.
+const REDUNDANT: &str = "
+%schema
+source E/2; target G/2; target H/2; target K/2
+%st
+E(x, y) -> H(x, y)
+E(u, v) -> H(u, v)
+%ts
+H(x, y) -> E(x, y)
+%t
+H(x, y) -> x = x
+G(x, y) -> K(x, y)
+%instance
+E(a, b).
+";
+
+#[test]
+fn optimize_reports_actions_and_strata() {
+    let p = write_temp("opt.pde", REDUNDANT);
+    let out = run(&["optimize", p.to_str().unwrap()]);
+    assert_eq!(out.status.code(), Some(0));
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    assert!(
+        stdout.contains("dependencies: 5 -> 2 (3 removed)"),
+        "stdout: {stdout}"
+    );
+    assert!(stdout.contains("duplicate of #0"), "stdout: {stdout}");
+    assert!(stdout.contains("trivial egd"), "stdout: {stdout}");
+    assert!(
+        stdout.contains("unpopulatable relation G"),
+        "stdout: {stdout}"
+    );
+    assert!(stdout.contains("chase strata:"), "stdout: {stdout}");
+
+    // The JSON report carries the full certificate and the schedule.
+    let out = run(&["optimize", p.to_str().unwrap(), "--format", "json"]);
+    assert_eq!(out.status.code(), Some(0));
+    let json = String::from_utf8(out.stdout).unwrap();
+    assert!(
+        json.contains("\"kind\":\"pde-optimize-report\""),
+        "json: {json}"
+    );
+    assert!(json.contains("pde-rewrite-certificate"), "json: {json}");
+    assert!(json.contains("\"strata\":"), "json: {json}");
+}
+
+#[test]
+fn optimize_check_accepts_own_certificate_and_rejects_tampering() {
+    let p = write_temp("optchk.pde", REDUNDANT);
+    let cert = write_temp("optchk.cert.json", "");
+    let out = run(&[
+        "optimize",
+        p.to_str().unwrap(),
+        "--emit",
+        cert.to_str().unwrap(),
+    ]);
+    assert_eq!(out.status.code(), Some(0));
+
+    // `--check` with no path self-checks a fresh derivation.
+    let out = run(&["optimize", p.to_str().unwrap(), "--check"]);
+    assert_eq!(out.status.code(), Some(0));
+    assert!(String::from_utf8(out.stdout)
+        .unwrap()
+        .contains("independently re-verified"));
+
+    // `--check <cert>` re-verifies the saved certificate.
+    let out = run(&[
+        "optimize",
+        p.to_str().unwrap(),
+        "--check",
+        cert.to_str().unwrap(),
+    ]);
+    assert_eq!(out.status.code(), Some(0));
+    assert!(String::from_utf8(out.stdout)
+        .unwrap()
+        .contains("rewrite certificate OK"));
+
+    // Tampering with the surviving counts must be caught (exit 2: the
+    // certificate no longer describes this bundle).
+    let json = std::fs::read_to_string(&cert).unwrap();
+    let tampered = json.replacen("\"sigma_st\":1", "\"sigma_st\":2", 1);
+    assert_ne!(
+        tampered, json,
+        "fixture has a sigma_st count to tamper with"
+    );
+    let bad = write_temp("optchk.bad.json", &tampered);
+    let out = run(&[
+        "optimize",
+        p.to_str().unwrap(),
+        "--check",
+        bad.to_str().unwrap(),
+    ]);
+    assert_eq!(out.status.code(), Some(2));
+    assert!(String::from_utf8(out.stderr).unwrap().contains("REJECTED"));
+
+    // A certificate for a different bundle is likewise refused.
+    let other = write_temp("optchk_other.pde", EX1_TRIANGLE);
+    let out = run(&[
+        "optimize",
+        other.to_str().unwrap(),
+        "--check",
+        cert.to_str().unwrap(),
+    ]);
+    assert_eq!(out.status.code(), Some(2));
+
+    // `plan --check` still requires an explicit certificate path.
+    let out = run(&["plan", p.to_str().unwrap(), "--check"]);
+    assert_eq!(out.status.code(), Some(2));
+}
+
+#[test]
+fn solve_optimizes_by_default_with_opt_out() {
+    let p = write_temp("opt_solve.pde", REDUNDANT);
+    let out = run(&["solve", "--no-lint", p.to_str().unwrap()]);
+    assert_eq!(out.status.code(), Some(0));
+    let stderr = String::from_utf8(out.stderr).unwrap();
+    assert!(
+        stderr.contains("optimizer: removed 3 of 5"),
+        "stderr: {stderr}"
+    );
+
+    let out = run(&["solve", "--no-lint", "--no-optimize", p.to_str().unwrap()]);
+    assert_eq!(out.status.code(), Some(0));
+    let stderr = String::from_utf8(out.stderr).unwrap();
+    assert!(!stderr.contains("optimizer:"), "stderr: {stderr}");
+
+    // --stats surfaces the rewrite counts and the stratified schedule.
+    let out = run(&["solve", "--no-lint", "--stats", p.to_str().unwrap()]);
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    assert!(
+        stdout.contains("dependencies:            5 -> 2 (3 removed)"),
+        "stdout: {stdout}"
+    );
+    assert!(stdout.contains("chase strata:"), "stdout: {stdout}");
+
+    // The JSON run report carries an optimize section — null when off.
+    let out = run(&[
+        "solve",
+        "--no-lint",
+        "--format",
+        "json",
+        p.to_str().unwrap(),
+    ]);
+    let json = String::from_utf8(out.stdout).unwrap();
+    assert!(
+        json.contains("\"optimize\":{\"before\":5,\"after\":2,\"actions\":3"),
+        "json: {json}"
+    );
+    let out = run(&[
+        "solve",
+        "--no-lint",
+        "--no-optimize",
+        "--format",
+        "json",
+        p.to_str().unwrap(),
+    ]);
+    let json = String::from_utf8(out.stdout).unwrap();
+    assert!(json.contains("\"optimize\":null"), "json: {json}");
+}
+
+#[test]
+fn saved_plan_disables_optimization() {
+    let p = write_temp("opt_plan.pde", REDUNDANT);
+    let out = run(&["plan", p.to_str().unwrap(), "--format", "json"]);
+    assert_eq!(out.status.code(), Some(0));
+    let cert = write_temp(
+        "opt_plan.cert.json",
+        &String::from_utf8(out.stdout).unwrap(),
+    );
+
+    // The saved certificate describes the unoptimized setting, so solve
+    // verifies it against that and skips the optimizer entirely.
+    let out = run(&[
+        "solve",
+        "--no-lint",
+        "--plan",
+        cert.to_str().unwrap(),
+        p.to_str().unwrap(),
+    ]);
+    assert_eq!(out.status.code(), Some(0));
+    let stderr = String::from_utf8(out.stderr).unwrap();
+    assert!(!stderr.contains("optimizer:"), "stderr: {stderr}");
+
+    // Asking for both at once is a usage error.
+    let out = run(&[
+        "solve",
+        "--no-lint",
+        "--optimize",
+        "--plan",
+        cert.to_str().unwrap(),
+        p.to_str().unwrap(),
     ]);
     assert_eq!(out.status.code(), Some(2));
 }

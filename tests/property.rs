@@ -24,6 +24,18 @@ use peer_data_exchange::workloads::{clique, graphs, paper, threecol};
 use proptest::prelude::*;
 use std::ops::ControlFlow;
 
+/// A coarse "never worse" order over predicted complexity classes:
+/// tractable < bounded-but-intractable < unbounded. The optimizer must
+/// never move a setting rightward in this order.
+fn complexity_cost(c: pde_analysis::ComplexityClass) -> u8 {
+    use pde_analysis::ComplexityClass as C;
+    match c {
+        C::PTime => 0,
+        C::NpComplete | C::InNp | C::ConpComplete | C::InConp => 1,
+        C::NoBound => 2,
+    }
+}
+
 /// A random ground instance over `E/2` with vertices `v0..vn`.
 fn arb_edge_instance(n: u32, max_edges: usize) -> impl Strategy<Value = Vec<(u32, u32)>> {
     prop::collection::vec((0..n, 0..n), 0..=max_edges)
@@ -505,4 +517,182 @@ fn seminaive_step_log_respects_verified_certificate_bound() {
         cert.chase.step_bound
     );
     assert!(res.instance.fact_count() <= cert.chase.fact_bound);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn optimized_plan_never_certifies_worse_bounds(seed in 0u64..512, n_t in 0u32..3) {
+        // Bound dominance: rewriting only deletes dependencies, so the
+        // planner's Lemma 1 bounds on the optimized setting must dominate
+        // (be no larger than) the original's, weak acyclicity must be
+        // preserved, and the predicted complexity class must never move
+        // toward intractability.
+        use peer_data_exchange::workloads::random::{
+            random_instance, random_weakly_acyclic_setting, RandomSettingParams,
+        };
+        let params = RandomSettingParams::default();
+        let setting = match random_weakly_acyclic_setting(&params, n_t, seed) {
+            Ok(s) => s,
+            Err(_) => return Ok(()),
+        };
+        let input = random_instance(&setting, 4, 0, 3, seed ^ 0x5eed);
+        let opt = pde_analysis::optimize_setting(&setting, &input);
+        prop_assert!(
+            pde_analysis::verify_rewrite(&setting, &input, &opt.certificate).is_ok(),
+            "the rewrite certificate must re-verify against its own inputs"
+        );
+        let adom = input.active_domain().len();
+        let orig = pde_analysis::plan_setting(&setting, adom);
+        let better = pde_analysis::plan_setting(&opt.optimized, adom);
+        prop_assert!(pde_analysis::verify_certificate(&opt.optimized, &better).is_ok());
+        if orig.chase.weakly_acyclic {
+            prop_assert!(better.chase.weakly_acyclic, "deletion preserves weak acyclicity");
+            prop_assert!(better.chase.step_bound <= orig.chase.step_bound);
+            prop_assert!(better.chase.fact_bound <= orig.chase.fact_bound);
+            prop_assert!(better.chase.value_bound <= orig.chase.value_bound);
+        }
+        prop_assert!(
+            complexity_cost(better.sol_complexity) <= complexity_cost(orig.sol_complexity),
+            "SOL(P) moved from {:?} to {:?}", orig.sol_complexity, better.sol_complexity
+        );
+        prop_assert!(
+            complexity_cost(better.certain_complexity)
+                <= complexity_cost(orig.certain_complexity),
+            "certain answers moved from {:?} to {:?}",
+            orig.certain_complexity, better.certain_complexity
+        );
+    }
+
+    #[test]
+    fn optimizer_preserves_data_exchange_answers_on_both_engines(
+        seed in 0u64..256, n_t in 0u32..3
+    ) {
+        // Differential, data-exchange route (Σts = ∅): solving the
+        // optimized setting under its stratified schedule gives the same
+        // yes/no answer as solving the original unscheduled — on both
+        // chase engines (the naive engine deliberately ignores schedules).
+        use peer_data_exchange::core::data_exchange::solve_data_exchange_governed_scheduled;
+        use peer_data_exchange::workloads::random::{
+            random_instance, random_weakly_acyclic_setting, RandomSettingParams,
+        };
+        let params = RandomSettingParams {
+            n_ts: 0,
+            ..RandomSettingParams::default()
+        };
+        let setting = match random_weakly_acyclic_setting(&params, n_t, seed) {
+            Ok(s) => s,
+            Err(_) => return Ok(()),
+        };
+        let input = random_instance(&setting, 4, 0, 3, seed ^ 0x09f7);
+        let opt = pde_analysis::optimize_setting(&setting, &input);
+        prop_assert!(pde_analysis::verify_rewrite(&setting, &input, &opt.certificate).is_ok());
+        let schedule = pde_analysis::forward_schedule(&opt.optimized);
+        let gov = Governor::unlimited();
+        let mut answers = Vec::new();
+        for engine in [pde_chase::ChaseEngine::Naive, pde_chase::ChaseEngine::Seminaive] {
+            let base = solve_data_exchange_governed_scheduled(
+                &setting, &input, ChaseLimits::default(), engine, &gov, None,
+            )
+            .unwrap();
+            let rewritten = solve_data_exchange_governed_scheduled(
+                &opt.optimized, &input, ChaseLimits::default(), engine, &gov, Some(&schedule),
+            )
+            .unwrap();
+            answers.push(base.exists);
+            answers.push(rewritten.exists);
+        }
+        prop_assert!(
+            answers.windows(2).all(|w| w[0] == w[1]),
+            "optimized/original × naive/semi-naive disagree: {answers:?}"
+        );
+    }
+
+    #[test]
+    fn optimizer_preserves_assignment_and_certain_answers(seed in 0u64..256) {
+        // Differential, peer route (Σts ≠ ∅, Σt = ∅): the complete
+        // assignment search returns the same yes/no answer on the
+        // optimized setting, on both chase engines; certain answers over a
+        // target relation are identical as sets.
+        use peer_data_exchange::workloads::random::{
+            random_instance, random_weakly_acyclic_setting, RandomSettingParams,
+        };
+        let params = RandomSettingParams::default();
+        let setting = match random_weakly_acyclic_setting(&params, 0, seed) {
+            Ok(s) => s,
+            Err(_) => return Ok(()),
+        };
+        let input = random_instance(&setting, 4, 0, 3, seed ^ 0xd1ce);
+        let opt = pde_analysis::optimize_setting(&setting, &input);
+        prop_assert!(pde_analysis::verify_rewrite(&setting, &input, &opt.certificate).is_ok());
+        let gov = Governor::unlimited();
+        for engine in [pde_chase::ChaseEngine::Naive, pde_chase::ChaseEngine::Seminaive] {
+            let base = assignment::solve_governed(&setting, &input, engine, &gov).unwrap();
+            let rewritten =
+                assignment::solve_governed(&opt.optimized, &input, engine, &gov).unwrap();
+            prop_assert_eq!(
+                base.exists, rewritten.exists,
+                "assignment search disagrees on {:?}", engine
+            );
+        }
+        // Certain answers over the first target relation.
+        let schema = setting.schema();
+        let rel = schema.rels_of(pde_relational::Peer::Target).next().unwrap();
+        let vars: Vec<String> = (0..schema.arity(rel)).map(|i| format!("x{i}")).collect();
+        let q_src = format!("q({}) :- {}({})", vars.join(", "), schema.name(rel), vars.join(", "));
+        let q: UnionQuery = parse_query(schema, &q_src).unwrap().into();
+        let base = certain_answers(&setting, &input, &q, GenericLimits::default()).unwrap();
+        let rewritten =
+            certain_answers(&opt.optimized, &input, &q, GenericLimits::default()).unwrap();
+        prop_assert_eq!(base.solution_exists, rewritten.solution_exists);
+        prop_assert_eq!(base.answers, rewritten.answers);
+    }
+
+    #[test]
+    fn scheduled_chase_agrees_with_unscheduled(seed in 0u64..512, n_t in 0u32..3) {
+        // The stratified semi-naive chase must be indistinguishable from
+        // the unscheduled one: same outcome kind, and on success
+        // hom-equivalent results satisfying the chased dependencies.
+        use peer_data_exchange::workloads::random::{
+            random_instance, random_weakly_acyclic_setting, RandomSettingParams,
+        };
+        let params = RandomSettingParams::default();
+        let setting = match random_weakly_acyclic_setting(&params, n_t, seed) {
+            Ok(s) => s,
+            Err(_) => return Ok(()),
+        };
+        let input = random_instance(&setting, 4, 0, 3, seed ^ 0x57a7);
+        let deps = pde_analysis::forward_dependencies(&setting);
+        let schedule = pde_analysis::forward_schedule(&setting);
+        prop_assert!(schedule.is_partition_of(deps.len()));
+        let gov = Governor::unlimited();
+        let run = |sched: Option<&pde_chase::DepSchedule>| {
+            pde_chase::chase_governed_scheduled(
+                input.clone(),
+                &deps,
+                pde_chase::WitnessMode::FreshNulls(&pde_relational::NullGen::new()),
+                ChaseLimits::default(),
+                pde_chase::ChaseEngine::Seminaive,
+                &gov,
+                sched,
+            )
+        };
+        let flat = run(None);
+        let strat = run(Some(&schedule));
+        prop_assert_eq!(flat.is_success(), strat.is_success());
+        prop_assert_eq!(flat.is_failure(), strat.is_failure());
+        if flat.is_success() {
+            prop_assert!(pde_chase::satisfies_all(&flat.instance, &deps));
+            prop_assert!(pde_chase::satisfies_all(&strat.instance, &deps));
+            prop_assert!(
+                pde_relational::instance_hom_exists(&flat.instance, &strat.instance),
+                "unscheduled result maps into the stratified result"
+            );
+            prop_assert!(
+                pde_relational::instance_hom_exists(&strat.instance, &flat.instance),
+                "stratified result maps into the unscheduled result"
+            );
+        }
+    }
 }

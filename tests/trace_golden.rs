@@ -334,6 +334,8 @@ fn solve_json_report_golden_tractable() {
         scrubbed,
         "{\"v\":1,\"solver\":\"tractable\",\"engine\":\"seminaive\",\
          \"result\":\"yes\",\"undecided_reason\":null,\"engine_fallback\":false,\
+         \"optimize\":{\"before\":2,\"after\":2,\"actions\":0,\
+         \"schedule\":{\"strata\":[[0]]}},\
          \"certificate\":{\"version\":1,\"regime\":\"tractable\",\"solver\":\"tractable\"},\
          \"metrics\":{\"counters\":{\
          \"chase.egd_merges\":0,\"chase.rounds\":4,\"chase.skipped_by_delta\":2,\
@@ -362,6 +364,8 @@ fn solve_json_report_golden_generic_search() {
         scrubbed,
         "{\"v\":1,\"solver\":\"generic-search\",\"engine\":\"seminaive\",\
          \"result\":\"no\",\"undecided_reason\":null,\"engine_fallback\":false,\
+         \"optimize\":{\"before\":3,\"after\":3,\"actions\":0,\
+         \"schedule\":{\"strata\":[[0],[1]]}},\
          \"certificate\":{\"version\":1,\"regime\":\"full-tgd-boundary\",\
          \"solver\":\"generic-search\"},\
          \"metrics\":{\"counters\":{\

@@ -271,36 +271,111 @@ impl AnalysisInput {
         }
     }
 
-    /// PDE001: Σt's tgds must be weakly acyclic for the chase (and every
-    /// tractability result building on Lemma 1) to terminate.
+    /// PDE001 / PDE050 / PDE051 / PDE052: chase termination of Σt's tgds.
+    ///
+    /// Weak acyclicity (Def. 5) is checked first. When it fails, the
+    /// stronger criteria of [`crate::termination`] get a chance to certify
+    /// termination before anything is downgraded to an error: joint or
+    /// super-weak acyclicity yields a `PDE050` note, the critical-instance
+    /// check alone yields a `PDE051` warning (its bound may be loose), and
+    /// only when the whole hierarchy fails do `PDE001` + `PDE052` fire.
     fn weak_acyclicity_pass(&self, out: &mut Vec<Diagnostic>) {
-        let t_tgds: Vec<&Tgd> = self
+        let t_tgds: Vec<IndexedTgd<'_>> = self
             .sigma_t
             .iter()
-            .filter_map(|(d, _)| d.as_tgd())
+            .enumerate()
+            .filter_map(|(i, (d, s))| d.as_tgd().map(|t| (i, t, *s)))
             .collect();
         if t_tgds.is_empty() {
             return;
         }
-        let graph = DependencyGraph::new(&self.schema, t_tgds.iter().copied());
-        if let Some(cycle) = graph.find_special_cycle() {
-            let mut witness = format!("witness cycle: {}", self.position(cycle[0].from));
-            for e in &cycle {
-                witness.push_str(if e.special { " =(special)=> " } else { " -> " });
-                witness.push_str(&self.position(e.to));
-            }
-            out.push(
-                Diagnostic::new(
-                    Code::WeakAcyclicityViolation,
-                    "target tgds are not weakly acyclic, so the chase may not terminate \
-                     and no polynomial solution-existence bound applies (Def. 5, Lemma 1)",
+        let graph = DependencyGraph::new(&self.schema, t_tgds.iter().map(|(_, t, _)| *t));
+        let Some(cycle) = graph.find_special_cycle() else {
+            return;
+        };
+        let mut path = self.position(cycle[0].from);
+        for e in &cycle {
+            path.push_str(if e.special { " =(special)=> " } else { " -> " });
+            path.push_str(&self.position(e.to));
+        }
+        let culprit = cycle_culprit(&t_tgds, &cycle);
+        let locate = |d: Diagnostic| match culprit {
+            Some((i, span)) => d.on(Group::T, i).with_span(span),
+            None => d,
+        };
+        // The criterion verdicts are instance-independent; lints have no
+        // instance, so bounds are evaluated at a nominal active domain.
+        let owned: Vec<Tgd> = t_tgds.iter().map(|(_, t, _)| (*t).clone()).collect();
+        let tc = crate::termination::analyze_tgds(&self.schema, &owned, 1);
+        let trail = tc
+            .trail
+            .iter()
+            .map(|c| {
+                format!(
+                    "{}: {}",
+                    c.criterion,
+                    if c.holds { "certified" } else { "failed" }
                 )
-                .note(witness)
-                .suggest(
-                    "break the cycle: remove an existential that feeds a position \
-                     reachable from itself, or make the offending tgd full",
+            })
+            .collect::<Vec<_>>()
+            .join("; ");
+        use crate::termination::TerminationCriterion as TC;
+        match tc.criterion {
+            Some(TC::WeakAcyclicity) => {} // unreachable: a special cycle exists
+            Some(c @ (TC::JointAcyclicity | TC::SuperWeakAcyclicity)) => out.push(locate(
+                Diagnostic::new(
+                    Code::TerminatesBeyondWeakAcyclicity,
+                    format!(
+                        "target tgds are not weakly acyclic (witness cycle: {path}), but \
+                         {c} certifies chase termination with a finite derived bound"
+                    ),
+                )
+                .note(format!("criterion trail: {trail}"))
+                .note(
+                    "the planner routes this setting through the certified-terminating \
+                     regime with budgets from the certifying criterion",
                 ),
-            );
+            )),
+            Some(TC::CriticalInstance) => out.push(locate(
+                Diagnostic::new(
+                    Code::CriticalInstanceOnly,
+                    format!(
+                        "target tgds are not weakly acyclic (witness cycle: {path}) and \
+                         termination is certified only by the critical-instance check; \
+                         the derived bound may be loose"
+                    ),
+                )
+                .note(format!("criterion trail: {trail}"))
+                .note(
+                    "the critical-instance bound grows with the saturated chase of the \
+                     all-constants instance, not with a Lemma 1 recurrence",
+                ),
+            )),
+            None => {
+                out.push(locate(
+                    Diagnostic::new(
+                        Code::WeakAcyclicityViolation,
+                        format!(
+                            "target tgds are not weakly acyclic, so the chase may not \
+                             terminate and no polynomial solution-existence bound applies \
+                             (Def. 5, Lemma 1); witness cycle: {path}"
+                        ),
+                    )
+                    .suggest(
+                        "break the cycle: remove an existential that feeds a position \
+                         reachable from itself, or make the offending tgd full",
+                    ),
+                ));
+                out.push(locate(
+                    Diagnostic::new(
+                        Code::AllTerminationCriteriaFail,
+                        "every criterion of the termination hierarchy fails; the chase \
+                         may diverge and the governor gets no finite budget"
+                            .to_string(),
+                    )
+                    .note(format!("criterion trail: {trail}")),
+                ));
+            }
         }
     }
 
@@ -788,6 +863,44 @@ fn tgd_index(v: &CtractViolation) -> usize {
     }
 }
 
+/// The first Σt tgd (by group index) that contributes an edge of the
+/// special-cycle witness, with its span: the dependency PDE001/PDE05x
+/// diagnostics point at. A tgd contributes a non-special edge `p -> q`
+/// when some frontier variable occurs at premise position `p` and
+/// conclusion position `q`, and a special edge when a frontier variable
+/// occurs at `p` while an existential occurs at `q`.
+fn cycle_culprit(
+    t_tgds: &[IndexedTgd<'_>],
+    cycle: &[pde_constraints::Edge],
+) -> Option<(usize, Option<Span>)> {
+    use crate::termination::{conclusion_positions, premise_positions};
+    for &(i, t, span) in t_tgds {
+        for e in cycle {
+            let from_frontier = t
+                .frontier()
+                .iter()
+                .any(|&v| premise_positions(t, v).contains(&e.from));
+            if !from_frontier {
+                continue;
+            }
+            let hits = if e.special {
+                t.existentials
+                    .iter()
+                    .any(|&y| conclusion_positions(t, y).contains(&e.to))
+            } else {
+                t.frontier().iter().any(|&v| {
+                    premise_positions(t, v).contains(&e.from)
+                        && conclusion_positions(t, v).contains(&e.to)
+                })
+            };
+            if hits {
+                return Some((i, span));
+            }
+        }
+    }
+    None
+}
+
 /// Does chasing `sub`'s frozen premise with `by` already satisfy `sub`'s
 /// conclusion (with the frontier held fixed)? If so, `sub` is redundant.
 /// Shared with the optimizer ([`crate::rewrite`]), whose verifier re-runs
@@ -858,8 +971,76 @@ mod tests {
             .find(|d| d.code == Code::WeakAcyclicityViolation)
             .expect("PDE001");
         assert_eq!(d.severity, Severity::Error);
-        assert!(d.notes[0].contains("witness cycle"), "{:?}", d.notes);
-        assert!(d.notes[0].contains("H.1"), "{:?}", d.notes);
+        // Satellite of the termination work: the message names the full
+        // position cycle and the diagnostic points at a Σt dependency on
+        // the witness cycle.
+        assert!(d.message.contains("witness cycle"), "{}", d.message);
+        assert!(d.message.contains("H.1"), "{}", d.message);
+        let c = d.constraint.expect("pinned to a cycle dependency");
+        assert_eq!(c.group, Group::T);
+        assert_eq!(c.index, 0);
+        assert!(d.span.is_some(), "span points into the %t section");
+        // Every criterion of the hierarchy fails here, so PDE052 rides
+        // along with the criterion trail.
+        let d = diags
+            .iter()
+            .find(|d| d.code == Code::AllTerminationCriteriaFail)
+            .expect("PDE052");
+        assert_eq!(d.severity, Severity::Error);
+        assert!(
+            d.notes[0].contains("critical-instance: failed"),
+            "{:?}",
+            d.notes
+        );
+    }
+
+    #[test]
+    fn jointly_acyclic_target_reports_pde050_note_not_pde001() {
+        // Not weakly acyclic (C.1 =(special)=> ... cycle through A), but
+        // jointly acyclic: the existential z's nulls never re-enter the
+        // premise position that creates them.
+        let diags = input(
+            "source SA/1; source SB/1; target A/1; target B/1; target C/2",
+            "SA(x) -> A(x); SB(x) -> B(x)",
+            "",
+            "A(x), B(x) -> exists z . C(x, z); C(x, y) -> A(y)",
+        )
+        .analyze();
+        let d = diags
+            .iter()
+            .find(|d| d.code == Code::TerminatesBeyondWeakAcyclicity)
+            .expect("PDE050");
+        assert_eq!(d.severity, Severity::Note);
+        assert!(d.message.contains("joint-acyclicity"), "{}", d.message);
+        assert!(d.message.contains("witness cycle"), "{}", d.message);
+        assert_eq!(d.constraint.map(|c| c.group), Some(Group::T));
+        assert!(d.span.is_some());
+        assert!(!codes(&diags).contains(&"PDE001"), "{:?}", codes(&diags));
+        assert!(!codes(&diags).contains(&"PDE052"), "{:?}", codes(&diags));
+    }
+
+    #[test]
+    fn critical_instance_only_reports_pde051_warning() {
+        let diags = input(
+            "source S/1; target A/1; target R/2",
+            "S(x) -> A(x)",
+            "",
+            "A(x) -> exists y . R(x, y); R(x, y) -> R(y, x); R(w, w) -> A(w)",
+        )
+        .analyze();
+        let d = diags
+            .iter()
+            .find(|d| d.code == Code::CriticalInstanceOnly)
+            .expect("PDE051");
+        assert_eq!(d.severity, Severity::Warning);
+        assert!(d.message.contains("critical-instance"), "{}", d.message);
+        assert!(
+            d.notes[0].contains("super-weak-acyclicity: failed"),
+            "{:?}",
+            d.notes
+        );
+        assert!(!codes(&diags).contains(&"PDE001"), "{:?}", codes(&diags));
+        assert!(!codes(&diags).contains(&"PDE050"), "{:?}", codes(&diags));
     }
 
     #[test]

@@ -26,6 +26,7 @@
 //! small built-in JSON reader, so `pde solve --plan cert.json` can reuse
 //! a saved plan after re-verifying it. See `docs/PLAN.md` for the schema.
 
+use crate::termination::{TerminationCertificate, TerminationCriterion};
 use pde_constraints::{DependencyGraph, Tgd};
 use pde_core::{GenericLimits, PdeSetting, SolvePlan, SolverKind};
 use pde_relational::{Position, Schema, Term, Var};
@@ -51,8 +52,14 @@ pub enum Regime {
     FullTgdBoundary,
     /// Σts ≠ ∅, Σt nonempty with only existential target tgds.
     GeneralTarget,
-    /// The chased tgd set is not weakly acyclic: no chase bound, Thm. 1's
-    /// NP membership argument does not apply.
+    /// Not weakly acyclic, but a stronger criterion of the termination
+    /// hierarchy (joint / super-weak acyclicity or the critical-instance
+    /// check) certifies a finite chase: decidable with derived budgets,
+    /// though outside the paper's Lemma 1 bound.
+    CertifiedTerminating,
+    /// No criterion of the termination hierarchy certifies the chased tgd
+    /// set: no chase bound, Thm. 1's NP membership argument does not
+    /// apply, and the chase may diverge.
     NonTerminating,
 }
 
@@ -66,6 +73,7 @@ impl Regime {
             Regime::EgdBoundary => "egd-boundary",
             Regime::FullTgdBoundary => "full-tgd-boundary",
             Regime::GeneralTarget => "general-target",
+            Regime::CertifiedTerminating => "certified-terminating",
             Regime::NonTerminating => "non-terminating",
         }
     }
@@ -78,6 +86,7 @@ impl Regime {
             "egd-boundary" => Regime::EgdBoundary,
             "full-tgd-boundary" => Regime::FullTgdBoundary,
             "general-target" => Regime::GeneralTarget,
+            "certified-terminating" => Regime::CertifiedTerminating,
             "non-terminating" => Regime::NonTerminating,
             _ => return None,
         })
@@ -103,6 +112,9 @@ pub enum ComplexityClass {
     ConpComplete,
     /// In coNP (membership by Thm. 2; no hardness claim for this shape).
     InConp,
+    /// Decidable via a certified finite chase, but outside the paper's
+    /// Lemma 1 polynomial bound — no sharper class is claimed.
+    Decidable,
     /// No finite chase bound: the paper's upper-bound arguments do not
     /// apply.
     NoBound,
@@ -117,6 +129,7 @@ impl ComplexityClass {
             ComplexityClass::InNp => "in NP",
             ComplexityClass::ConpComplete => "coNP-complete",
             ComplexityClass::InConp => "in coNP",
+            ComplexityClass::Decidable => "decidable",
             ComplexityClass::NoBound => "no finite bound",
         }
     }
@@ -128,6 +141,7 @@ impl ComplexityClass {
             "in NP" => ComplexityClass::InNp,
             "coNP-complete" => ComplexityClass::ConpComplete,
             "in coNP" => ComplexityClass::InConp,
+            "decidable" => ComplexityClass::Decidable,
             "no finite bound" => ComplexityClass::NoBound,
             _ => return None,
         })
@@ -233,6 +247,11 @@ pub struct ChaseCertificate {
     /// Closed walk through a special edge witnessing non-weak-acyclicity
     /// (empty when weakly acyclic).
     pub special_cycle: Vec<CycleEdge>,
+    /// The termination-hierarchy section: criterion trail, witness, and
+    /// derived bounds (see [`crate::termination`] and
+    /// `docs/TERMINATION.md`). Its weak-acyclicity verdict must agree
+    /// with `weakly_acyclic` above.
+    pub termination: TerminationCertificate,
 }
 
 /// A named counterexample dependency for a failed `C_tract` condition.
@@ -341,23 +360,30 @@ impl Certificate {
     /// reachable instance, so
     /// `fact_bound × GOVERNOR_BYTES_PER_FACT + GOVERNOR_SLACK_BYTES` is a
     /// memory budget no well-behaved run can trip — it only fires on a bug
-    /// (runaway engine) — while still containing one. Without weak
-    /// acyclicity there is no certified bound and the memory budget is left
-    /// unset. Deadlines and cancellation are operator policy, not derivable
+    /// (runaway engine) — while still containing one. Beyond weak
+    /// acyclicity, the termination hierarchy's certifying fact bound plays
+    /// the same role. When no criterion certifies termination there is no
+    /// bound and the memory budget is left unset. Deadlines and
+    /// cancellation are operator policy, not derivable
     /// from the setting, so those fields stay `None`; merge them in at the
     /// call site.
     pub fn derived_governor_config(&self) -> GovernorConfig {
-        let memory_budget_bytes = if self.chase.weakly_acyclic {
-            let bytes = self
-                .chase
-                .fact_bound
+        // The weakest certifying criterion's fact bound: Lemma 1's when
+        // weakly acyclic, the termination hierarchy's otherwise.
+        let certified_fact_bound = if self.chase.weakly_acyclic {
+            Some(self.chase.fact_bound)
+        } else if self.chase.termination.certified() {
+            Some(self.chase.termination.fact_bound)
+        } else {
+            None
+        };
+        let memory_budget_bytes = certified_fact_bound.and_then(|fact_bound| {
+            let bytes = fact_bound
                 .saturating_mul(GOVERNOR_BYTES_PER_FACT)
                 .saturating_add(GOVERNOR_SLACK_BYTES);
             // A saturated bound is no bound at all.
             (bytes != usize::MAX).then_some(bytes)
-        } else {
-            None
-        };
+        });
         GovernorConfig {
             deadline: None,
             memory_budget_bytes,
@@ -385,6 +411,9 @@ pub enum CertificateError {
     Bound(String),
     /// The budget derivation does not re-derive.
     Budget(String),
+    /// The termination section (criterion trail, witness, or bound) does
+    /// not replay.
+    Termination(String),
 }
 
 impl fmt::Display for CertificateError {
@@ -401,6 +430,9 @@ impl fmt::Display for CertificateError {
             CertificateError::Regime(m) => write!(f, "regime claim rejected: {m}"),
             CertificateError::Bound(m) => write!(f, "chase bound rejected: {m}"),
             CertificateError::Budget(m) => write!(f, "budget derivation rejected: {m}"),
+            CertificateError::Termination(m) => {
+                write!(f, "termination section rejected: {m}")
+            }
         }
     }
 }
@@ -486,6 +518,16 @@ pub(crate) fn derive_budgets(chase: &ChaseCertificate) -> Budgets {
                 .clamp(1_000_000, 16_777_216),
             search_branches: chase.value_bound,
         }
+    } else if chase.termination.certified() {
+        // Certified beyond weak acyclicity: the hierarchy's bounds are
+        // finite, so they budget the chase the same way Lemma 1's do.
+        let t = &chase.termination;
+        Budgets {
+            chase_steps: t.step_bound,
+            chase_facts: t.fact_bound,
+            search_nodes: t.step_bound.saturating_mul(16).clamp(1_000_000, 16_777_216),
+            search_branches: t.value_bound,
+        }
     } else {
         Budgets {
             chase_steps: 1_000_000,
@@ -512,6 +554,9 @@ pub(crate) fn predicted_classes(regime: Regime) -> (ComplexityClass, ComplexityC
         }
         // Thm. 1 / Thm. 2 memberships only.
         Regime::GeneralTarget => (ComplexityClass::InNp, ComplexityClass::InConp),
+        // A certified finite chase gives decidability; the hierarchy's
+        // bounds are not polynomial, so no sharper class is claimed.
+        Regime::CertifiedTerminating => (ComplexityClass::Decidable, ComplexityClass::Decidable),
         Regime::NonTerminating => (ComplexityClass::NoBound, ComplexityClass::NoBound),
     }
 }
@@ -525,15 +570,21 @@ pub(crate) fn recommended_solver(regime: Regime) -> SolverKind {
         Regime::EgdBoundary
         | Regime::FullTgdBoundary
         | Regime::GeneralTarget
+        | Regime::CertifiedTerminating
         | Regime::NonTerminating => SolverKind::GenericSearch,
     }
 }
 
 /// Derive the regime from the setting shape plus the (already verified)
-/// weak-acyclicity verdict.
-pub(crate) fn derive_regime(setting: &PdeSetting, weakly_acyclic: bool) -> Regime {
-    if !weakly_acyclic {
-        return Regime::NonTerminating;
+/// termination section. Weak acyclicity keeps the paper's §3/§4 shape
+/// analysis; a stronger certifying criterion maps to
+/// [`Regime::CertifiedTerminating`]; a fully failed hierarchy to
+/// [`Regime::NonTerminating`].
+pub(crate) fn derive_regime(setting: &PdeSetting, termination: &TerminationCertificate) -> Regime {
+    match termination.criterion {
+        Some(TerminationCriterion::WeakAcyclicity) => {}
+        Some(_) => return Regime::CertifiedTerminating,
+        None => return Regime::NonTerminating,
     }
     if setting.is_data_exchange() {
         return Regime::DataExchange;
@@ -702,14 +753,32 @@ pub fn verify_certificate(
         }
     }
 
-    // 3. Marking fixpoint.
+    // 3. Termination section: replay the criterion trail, the witness,
+    // and the hierarchy bounds, then pin its consistency with the
+    // weak-acyclicity flag and adom above.
+    crate::termination::verify_tgds(schema, &forward, &cert.chase.termination)?;
+    let term_wa = cert.chase.termination.criterion == Some(TerminationCriterion::WeakAcyclicity);
+    if term_wa != cert.chase.weakly_acyclic {
+        return Err(CertificateError::Termination(format!(
+            "termination criterion {:?} contradicts weakly_acyclic = {}",
+            cert.chase.termination.criterion, cert.chase.weakly_acyclic
+        )));
+    }
+    if cert.chase.termination.adom_size != cert.chase.adom_size {
+        return Err(CertificateError::Termination(format!(
+            "termination section evaluated at |adom| = {}, chase section at {}",
+            cert.chase.termination.adom_size, cert.chase.adom_size
+        )));
+    }
+
+    // 4. Marking fixpoint.
     verify_marking(setting, &cert.tract)?;
 
-    // 4. C_tract flags and the counterexample.
+    // 5. C_tract flags and the counterexample.
     verify_ctract(setting, &cert.tract)?;
 
-    // 5. Regime, predicted classes, recommended solver.
-    let regime = derive_regime(setting, cert.chase.weakly_acyclic);
+    // 6. Regime, predicted classes, recommended solver.
+    let regime = derive_regime(setting, &cert.chase.termination);
     if cert.regime != regime {
         return Err(CertificateError::Regime(format!(
             "claimed regime '{}' but the setting shape derives '{regime}'",
@@ -732,7 +801,7 @@ pub fn verify_certificate(
         )));
     }
 
-    // 6. Budget derivation.
+    // 7. Budget derivation.
     let budgets = derive_budgets(&cert.chase);
     if cert.budgets != budgets {
         return Err(CertificateError::Budget(format!(
@@ -1087,7 +1156,9 @@ impl Certificate {
                 e.special
             ));
         }
-        out.push_str("]}");
+        out.push_str("],\"termination\":");
+        out.push_str(&c.termination.to_json());
+        out.push('}');
         let t = &self.tract;
         out.push_str(&format!(
             ",\"tract\":{{\"condition1\":{},\"condition2_1\":{},\"condition2_2\":{},\
@@ -1191,6 +1262,7 @@ impl Certificate {
                 special: o.get_bool("special")?,
             });
         }
+        let termination = TerminationCertificate::from_json_value(co.field_of("termination")?)?;
         let chase = ChaseCertificate {
             weakly_acyclic: co.get_bool("weakly_acyclic")?,
             ranks,
@@ -1201,6 +1273,7 @@ impl Certificate {
             fact_bound: co.get_num("fact_bound")?,
             step_bound: co.get_num("step_bound")?,
             special_cycle,
+            termination,
         };
 
         let tv = top.field_of("tract")?;

@@ -12,7 +12,10 @@
 //! * `PDE04x` — optimizer findings: redundancy the `PDE02x` syntactic
 //!   lints miss but the rewrite passes of [`crate::rewrite`] would remove
 //!   (egd subsumption, alpha-renamed duplicates, premise-aware dead
-//!   relations).
+//!   relations);
+//! * `PDE05x` — chase-termination hierarchy findings from
+//!   [`crate::termination`] (certified beyond weak acyclicity, loose
+//!   critical-instance bounds, all criteria failing).
 
 use pde_relational::Span;
 use std::fmt;
@@ -134,6 +137,15 @@ pub enum Code {
     /// PDE042: a relation no chase derivation can ever populate once
     /// premises are taken into account (where `PDE030` is silent).
     DeadRelation,
+    /// PDE050: Σt is not weakly acyclic, but a stronger criterion of the
+    /// termination hierarchy certifies chase termination.
+    TerminatesBeyondWeakAcyclicity,
+    /// PDE051: termination is certified only by the critical-instance
+    /// check, whose derived bound may be loose.
+    CriticalInstanceOnly,
+    /// PDE052: every criterion of the termination hierarchy fails; the
+    /// chase may diverge.
+    AllTerminationCriteriaFail,
 }
 
 impl Code {
@@ -162,6 +174,9 @@ impl Code {
             Code::SubsumedEgd => "PDE040",
             Code::AlphaDuplicateDependency => "PDE041",
             Code::DeadRelation => "PDE042",
+            Code::TerminatesBeyondWeakAcyclicity => "PDE050",
+            Code::CriticalInstanceOnly => "PDE051",
+            Code::AllTerminationCriteriaFail => "PDE052",
         }
     }
 
@@ -176,7 +191,8 @@ impl Code {
             | Code::EmptyPremise
             | Code::EmptyConclusion
             | Code::EgdVarNotInPremise
-            | Code::ArityMismatch => Severity::Error,
+            | Code::ArityMismatch
+            | Code::AllTerminationCriteriaFail => Severity::Error,
             Code::OutsideCtract
             | Code::TargetEgdBoundary
             | Code::FullTargetTgdBoundary
@@ -187,8 +203,11 @@ impl Code {
             | Code::UnpopulatedTargetRelation
             | Code::SubsumedEgd
             | Code::AlphaDuplicateDependency
-            | Code::DeadRelation => Severity::Warning,
-            Code::WildcardUniversal | Code::UnusedRelation => Severity::Note,
+            | Code::DeadRelation
+            | Code::CriticalInstanceOnly => Severity::Warning,
+            Code::WildcardUniversal
+            | Code::UnusedRelation
+            | Code::TerminatesBeyondWeakAcyclicity => Severity::Note,
         }
     }
 }

@@ -25,6 +25,13 @@
 //! budgets) and [`certificate`] re-validates every witness independently
 //! of the planner. See `docs/PLAN.md`.
 //!
+//! The `pde terminate` machinery lives in [`termination`]: a
+//! chase-termination hierarchy (weak acyclicity ⊂ joint acyclicity ⊂
+//! super-weak acyclicity ⊂ critical-instance check) whose certifying
+//! criterion, machine-checkable witness, and derived bounds feed the
+//! certificate, the governor budgets, and the PDE05x lints. See
+//! `docs/TERMINATION.md`.
+//!
 //! The `pde optimize` machinery lives in three sibling modules:
 //! [`rewrite`] prunes subsumed/duplicate/trivial/dead dependencies under
 //! a replayable [`RewriteCertificate`] (checked by [`verify_rewrite`]),
@@ -43,6 +50,7 @@ pub mod plan;
 pub mod render;
 pub mod rewrite;
 pub mod schedule;
+pub mod termination;
 
 pub use analyzer::{
     analyze_disjunctive, analyze_setting, AnalysisInput, LintSection, SourceParseError,
@@ -64,3 +72,8 @@ pub use rewrite::{
     RewriteCertificate, RewriteError, RewriteGroup, REWRITE_VERSION,
 };
 pub use schedule::{forward_schedule, schedule_from_graph};
+pub use termination::{
+    analyze_termination, render_termination_text, verify_termination, CriterionCheck, ExVarRef,
+    TerminationCertificate, TerminationCriterion, TerminationWitness, CRITICAL_CHASE_STEP_LIMIT,
+    TERMINATION_VERSION,
+};

@@ -24,6 +24,7 @@ pub fn plan_setting(setting: &PdeSetting, adom_size: usize) -> Certificate {
     let schema = setting.schema();
     let forward = forward_tgds(setting);
     let graph = DependencyGraph::new(schema, &forward);
+    let termination = crate::termination::analyze_tgds(schema, &forward, adom_size);
 
     let chase = match graph.ranks() {
         Some(rank_map) => {
@@ -47,6 +48,7 @@ pub fn plan_setting(setting: &PdeSetting, adom_size: usize) -> Certificate {
                 fact_bound: bound.fact_bound,
                 step_bound: bound.step_bound,
                 special_cycle: Vec::new(),
+                termination: termination.clone(),
             }
         }
         None => {
@@ -70,6 +72,7 @@ pub fn plan_setting(setting: &PdeSetting, adom_size: usize) -> Certificate {
                         special: e.special,
                     })
                     .collect(),
+                termination: termination.clone(),
             }
         }
     };
@@ -127,7 +130,7 @@ pub fn plan_setting(setting: &PdeSetting, adom_size: usize) -> Certificate {
         counterexample,
     };
 
-    let regime = derive_regime(setting, chase.weakly_acyclic);
+    let regime = derive_regime(setting, &chase.termination);
     let (sol_complexity, certain_complexity) = predicted_classes(regime);
     let budgets = derive_budgets(&chase);
     Certificate {
@@ -170,7 +173,7 @@ pub fn render_certificate_text(cert: &Certificate) -> String {
             }
         }
     } else {
-        out.push_str("chase: NOT weakly acyclic; no finite bound. Special cycle:\n");
+        out.push_str("chase: NOT weakly acyclic; no Lemma 1 bound. Special cycle:\n");
         for e in &c.special_cycle {
             out.push_str(&format!(
                 "  {}.{} -> {}.{}{}\n",
@@ -182,6 +185,7 @@ pub fn render_certificate_text(cert: &Certificate) -> String {
             ));
         }
     }
+    out.push_str(&crate::termination::render_termination_text(&c.termination));
     let t = &cert.tract;
     out.push_str(&format!(
         "C_tract: {} (condition 1: {}, 2.1: {}, 2.2: {}; st all full: {}, ts all LAV: {})\n",

@@ -183,7 +183,9 @@ mod tests {
         // 7 is skipped by the section splitter).
         assert!(text.contains("ex.pde:8:1"), "{text}");
         assert!(text.contains("| H(x, y) -> exists z . H(y, z)"), "{text}");
-        assert!(text.contains("1 error(s)"), "{text}");
+        // PDE001 plus its PDE052 criterion-trail companion.
+        assert!(text.contains("error[PDE052]"), "{text}");
+        assert!(text.contains("2 error(s)"), "{text}");
     }
 
     #[test]

@@ -9,7 +9,7 @@
 //!    canonicalized dependency key, de Bruijn-renamed by first occurrence);
 //! 3. **subsumed dependencies** — a tgd whose frozen premise, chased with
 //!    an earlier surviving tgd, already satisfies its conclusion is a
-//!    logical consequence of that tgd (the [`crate::analyzer::subsumed_by`]
+//!    logical consequence of that tgd (the `analyzer::subsumed_by`
 //!    check behind lint `PDE021`); an egd implied by an earlier egd via a
 //!    premise homomorphism mapping the equated pair onto it likewise;
 //! 4. **dead dependencies** — a dependency whose premise mentions a

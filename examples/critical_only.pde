@@ -1,0 +1,25 @@
+# Terminating, but certified only by the critical-instance check: the
+# swap rule `R(x, y) -> R(y, x)` makes super-weak acyclicity's pooled
+# emission over-approximation believe the diagonal `R(w, w)` can receive
+# a tainted null, so weak, joint, and super-weak acyclicity all fail.
+# The concrete chase of the all-`*` critical instance saturates — no null
+# ever lands on the diagonal — so the MFA-style check certifies
+# termination with a bound derived from the saturated chase log.
+# `pde lint` reports PDE051 (a warning: the bound may be loose).
+
+%schema
+source S/1; target A/1; target R/2
+
+%st
+S(x) -> A(x)
+
+%ts
+A(x) -> S(x)
+
+%t
+A(x) -> exists y . R(x, y)
+R(x, y) -> R(y, x)
+R(w, w) -> A(w)
+
+%instance
+S(a).

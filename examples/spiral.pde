@@ -1,0 +1,21 @@
+# Not weakly acyclic, but jointly acyclic: the C-generator's existential
+# z spirals back into A via `C(_x, y) -> A(y)` — a special cycle through
+# C.1 in the position graph — yet no tgd consumes a null at *every*
+# premise position of a frontier variable, so the existential-variable
+# dependency graph is acyclic and the chase terminates.
+# `pde terminate` certifies joint-acyclicity; `pde lint` reports PDE050
+# (a note); `pde solve --governed` gets finite derived budgets and exits 0.
+
+%schema
+source SA/1; source SB/1; target A/1; target B/1; target C/2
+
+%st
+SA(x) -> A(x)
+SB(x) -> B(x)
+
+%t
+A(x), B(x) -> exists z . C(x, z)
+C(_x, y) -> A(y)
+
+%instance
+SA(a). SB(a). SB(b).

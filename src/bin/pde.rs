@@ -4,6 +4,7 @@
 //! pde classify <bundle.pde>             static analysis of the setting
 //! pde lint     <bundle.pde>             diagnostics with stable PDE0xx codes
 //! pde plan     <bundle.pde>             static complexity certificate
+//! pde terminate <bundle.pde>            chase-termination hierarchy analysis
 //! pde optimize <bundle.pde>             semantics-preserving dependency rewriting
 //! pde solve    <bundle.pde>             decide SOL(P), print a witness
 //! pde certain  <bundle.pde> <query>     certain answers of a target UCQ
@@ -54,6 +55,17 @@
 //! report: outcome, certificate routing identifiers, and every chase /
 //! search / governor counter.
 //!
+//! `terminate` (docs/TERMINATION.md) runs the chase-termination hierarchy
+//! — weak acyclicity, joint acyclicity, super-weak acyclicity, then the
+//! critical-instance check — cheapest-first and prints the certifying
+//! criterion, its criterion trail, witness, and derived bounds. Exit 0
+//! when some criterion certifies termination, 1 when every criterion
+//! fails. `--emit <cert.json>` saves the standalone termination
+//! certificate; `--check [cert.json]` re-verifies a saved certificate (or
+//! self-checks a fresh derivation) with the independent
+//! `verify_termination` checker, exiting 2 on any stale or tampered
+//! witness and 0 otherwise.
+//!
 //! `optimize` (docs/OPTIMIZER.md) runs the semantics-preserving rewrite
 //! passes — trivial-egd removal, duplicate elimination up to renaming,
 //! subsumption, input-aware dead-dependency elimination — prints the
@@ -78,10 +90,11 @@
 //! prints `undecided (<reason>)` and exits 3 — never a wrong answer.
 
 use pde_analysis::{
-    analyze_setting, any_denied, forward_schedule, optimize_setting, plan_setting,
-    render_certificate_text, render_json, render_text, verify_certificate, verify_rewrite,
-    AnalysisInput, Certificate, LintSection, OptimizeResult, RenderContext, RewriteAction,
-    RewriteCertificate, Severity, SourceParseError,
+    analyze_setting, analyze_termination, any_denied, forward_schedule, optimize_setting,
+    plan_setting, render_certificate_text, render_json, render_termination_text, render_text,
+    verify_certificate, verify_rewrite, verify_termination, AnalysisInput, Certificate,
+    LintSection, OptimizeResult, RenderContext, RewriteAction, RewriteCertificate, Severity,
+    SourceParseError, TerminationCertificate,
 };
 use pde_chase::{chase_tgds, DepSchedule};
 use pde_core::bundle::{split_sections, Bundle, BundleSources};
@@ -133,6 +146,7 @@ const USAGE: &str = "usage:
   pde classify  <bundle.pde>
   pde lint      <bundle.pde> [--format text|json] [--deny warnings]
   pde plan      <bundle.pde> [--format text|json] [--check <cert.json>]
+  pde terminate <bundle.pde> [--format text|json] [--emit <cert.json>] [--check [cert.json]]
   pde optimize  <bundle.pde> [--format text|json] [--emit <cert.json>] [--check [cert.json]]
   pde solve     <bundle.pde> [--no-lint] [--no-optimize] [--plan <cert.json>] [--max-steps n]
                 [--max-branches n] [--timeout dur] [--memory-limit size] [--governed] [--stats]
@@ -455,7 +469,9 @@ fn resolve_governor(cert: &Certificate, flags: &Flags) -> Governor {
 /// solve accumulated (chase, search, governor) via the metrics registry.
 /// The schema is documented in `docs/OBSERVABILITY.md`. When the
 /// optimizer ran, `optimize` carries its rewrite counts and the stratified
-/// schedule; otherwise it is `null`.
+/// schedule; otherwise it is `null`. The certificate object's
+/// `termination` member summarizes the chase-termination section: whether
+/// some criterion certifies termination and which one.
 fn render_solve_json(
     report: &pde_core::SolveReport,
     cert: &Certificate,
@@ -487,12 +503,20 @@ fn render_solve_json(
         ),
         None => "null".to_owned(),
     };
+    let term = &cert.chase.termination;
+    let termination = format!(
+        "{{\"certified\":{},\"criterion\":{}}}",
+        term.certified(),
+        term.criterion
+            .map_or("null".to_owned(), |c| format!("\"{c}\"")),
+    );
     format!(
         concat!(
             "{{\"v\":{},\"solver\":{},\"engine\":{},\"result\":{},",
             "\"undecided_reason\":{},\"engine_fallback\":{},",
             "\"optimize\":{},",
-            "\"certificate\":{{\"version\":{},\"regime\":{},\"solver\":{}}},",
+            "\"certificate\":{{\"version\":{},\"regime\":{},\"solver\":{},",
+            "\"termination\":{}}},",
             "\"metrics\":{}}}"
         ),
         pde_trace::REPORT_VERSION,
@@ -507,6 +531,7 @@ fn render_solve_json(
         json_escape(pde_analysis::certificate::solver_kind_str(
             cert.recommended_solver
         )),
+        termination,
         reg.to_json(),
     )
 }
@@ -578,8 +603,10 @@ fn dispatch(args: &[String], flags: &Flags) -> Result<Verdict, String> {
             "--optimize/--no-optimize only apply to 'solve', 'certain', and 'enumerate', not '{cmd}'"
         ));
     }
-    if flags.emit_path.is_some() && cmd != "optimize" {
-        return Err(format!("--emit only applies to 'optimize', not '{cmd}'"));
+    if flags.emit_path.is_some() && !matches!(cmd.as_str(), "optimize" | "terminate") {
+        return Err(format!(
+            "--emit only applies to 'optimize' and 'terminate', not '{cmd}'"
+        ));
     }
     match cmd.as_str() {
         "lint" => {
@@ -679,6 +706,57 @@ fn dispatch(args: &[String], flags: &Flags) -> Result<Verdict, String> {
                 print!("{}", render_certificate_text(&cert));
             }
             Ok(Verdict::Yes)
+        }
+        "terminate" => {
+            let bundle = load_bundle(args.get(1).ok_or("missing bundle path")?)?;
+            if let Some(Some(cert_path)) = &flags.check_path {
+                // Verify a *saved* termination certificate against this
+                // bundle with the independent checker. Any mismatch is an
+                // input error (exit 2): the certificate is stale or
+                // tampered with.
+                let src =
+                    std::fs::read_to_string(cert_path).map_err(|e| format!("{cert_path}: {e}"))?;
+                let cert = TerminationCertificate::from_json(&src)
+                    .map_err(|e| format!("{cert_path}: {e}"))?;
+                verify_termination(&bundle.setting, &cert)
+                    .map_err(|e| format!("termination certificate REJECTED: {e}"))?;
+                match cert.criterion {
+                    Some(c) => println!("termination certificate OK: certified by {c}"),
+                    None => {
+                        println!("termination certificate OK: uncertified (every criterion fails)");
+                    }
+                }
+                return Ok(Verdict::Yes);
+            }
+            let adom = bundle.input.active_domain().len();
+            let tc = analyze_termination(&bundle.setting, adom);
+            if flags.check_path.is_some() {
+                // `--check` without a path: re-verify the fresh derivation
+                // with the independent checker (the CI smoke path).
+                verify_termination(&bundle.setting, &tc)
+                    .map_err(|e| format!("termination self-check REJECTED: {e}"))?;
+            }
+            if let Some(emit_path) = &flags.emit_path {
+                std::fs::write(emit_path, tc.to_json()).map_err(|e| format!("{emit_path}: {e}"))?;
+            }
+            if flags.json {
+                println!(
+                    "{{\"v\":{},\"kind\":\"pde-terminate-report\",\"termination\":{}}}",
+                    pde_analysis::TERMINATION_VERSION,
+                    tc.to_json(),
+                );
+            } else {
+                println!("{}", bundle.summary());
+                if flags.check_path.is_some() {
+                    println!("termination certificate OK (independently re-verified)");
+                }
+                print!("{}", render_termination_text(&tc));
+            }
+            if flags.check_path.is_some() {
+                // The check passed; certification status is informational.
+                return Ok(Verdict::Yes);
+            }
+            Ok(verdict(tc.certified()))
         }
         "optimize" => {
             let bundle = load_bundle(args.get(1).ok_or("missing bundle path")?)?;

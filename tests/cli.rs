@@ -462,6 +462,86 @@ fn optimize_check_accepts_own_certificate_and_rejects_tampering() {
 }
 
 #[test]
+fn terminate_reports_certified_and_uncertified_verdicts() {
+    // The shipped spiral bundle is not weakly acyclic but jointly
+    // acyclic: `terminate` exits 0 and names the certifying criterion.
+    let spiral = concat!(env!("CARGO_MANIFEST_DIR"), "/examples/spiral.pde");
+    let out = run(&["terminate", spiral]);
+    assert_eq!(out.status.code(), Some(0));
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    assert!(stdout.contains("joint-acyclicity"), "{stdout}");
+    assert!(stdout.contains("weak-acyclicity"), "{stdout}");
+
+    // JSON output carries the versioned termination section.
+    let out = run(&["terminate", spiral, "--format", "json"]);
+    assert_eq!(out.status.code(), Some(0));
+    let json = String::from_utf8(out.stdout).unwrap();
+    assert!(json.contains("\"kind\":\"pde-terminate-report\""), "{json}");
+    assert!(
+        json.contains("\"criterion\":\"joint-acyclicity\""),
+        "{json}"
+    );
+
+    // The divergent bundle fails every criterion: exit 1, criterion null.
+    let divergent = concat!(env!("CARGO_MANIFEST_DIR"), "/examples/divergent.pde");
+    let out = run(&["terminate", divergent, "--format", "json"]);
+    assert_eq!(out.status.code(), Some(1));
+    let json = String::from_utf8(out.stdout).unwrap();
+    assert!(json.contains("\"criterion\":null"), "{json}");
+}
+
+#[test]
+fn terminate_check_accepts_own_certificate_and_rejects_tampering() {
+    let spiral = concat!(env!("CARGO_MANIFEST_DIR"), "/examples/spiral.pde");
+    let cert = write_temp("termchk.cert.json", "");
+    let out = run(&["terminate", spiral, "--emit", cert.to_str().unwrap()]);
+    assert_eq!(out.status.code(), Some(0));
+
+    // `--check` with no path self-checks a fresh derivation.
+    let out = run(&["terminate", spiral, "--check"]);
+    assert_eq!(out.status.code(), Some(0));
+    assert!(String::from_utf8(out.stdout)
+        .unwrap()
+        .contains("independently re-verified"));
+
+    // `--check <cert>` re-verifies the saved certificate and always exits
+    // 0 on success, so a CI smoke loop can include uncertified bundles.
+    let out = run(&["terminate", spiral, "--check", cert.to_str().unwrap()]);
+    assert_eq!(out.status.code(), Some(0));
+    assert!(String::from_utf8(out.stdout)
+        .unwrap()
+        .contains("termination certificate OK"));
+
+    // Tampering with the claimed criterion must be caught (exit 2).
+    let json = std::fs::read_to_string(&cert).unwrap();
+    let tampered = json.replacen(
+        "\"criterion\":\"joint-acyclicity\"",
+        "\"criterion\":\"weak-acyclicity\"",
+        1,
+    );
+    assert_ne!(tampered, json, "fixture has a criterion to tamper with");
+    let bad = write_temp("termchk.bad.json", &tampered);
+    let out = run(&["terminate", spiral, "--check", bad.to_str().unwrap()]);
+    assert_eq!(out.status.code(), Some(2));
+    assert!(String::from_utf8(out.stderr).unwrap().contains("REJECTED"));
+
+    // A certificate for a different bundle is likewise refused.
+    let divergent = concat!(env!("CARGO_MANIFEST_DIR"), "/examples/divergent.pde");
+    let out = run(&["terminate", divergent, "--check", cert.to_str().unwrap()]);
+    assert_eq!(out.status.code(), Some(2));
+
+    // An uncertified bundle's own certificate still checks clean.
+    let dcert = write_temp("termchk.div.cert.json", "");
+    let out = run(&["terminate", divergent, "--emit", dcert.to_str().unwrap()]);
+    assert_eq!(out.status.code(), Some(1), "plain run reports uncertified");
+    let out = run(&["terminate", divergent, "--check", dcert.to_str().unwrap()]);
+    assert_eq!(out.status.code(), Some(0));
+    assert!(String::from_utf8(out.stdout)
+        .unwrap()
+        .contains("uncertified"));
+}
+
+#[test]
 fn solve_optimizes_by_default_with_opt_out() {
     let p = write_temp("opt_solve.pde", REDUNDANT);
     let out = run(&["solve", "--no-lint", p.to_str().unwrap()]);

@@ -92,13 +92,21 @@ fn non_weakly_acyclic_target_tgds_are_an_error() {
         .iter()
         .filter(|d| d.severity == Severity::Error)
         .collect();
-    assert_eq!(errors.len(), 1, "diagnostics: {diags:?}");
+    // PDE001 plus its PDE052 companion: every criterion of the
+    // termination hierarchy fails on this self-feeding dependency.
+    assert_eq!(errors.len(), 2, "diagnostics: {diags:?}");
     assert_eq!(errors[0].code, Code::WeakAcyclicityViolation);
-    // The witness cycle is reported as a note on the diagnostic.
+    assert_eq!(errors[1].code, Code::AllTerminationCriteriaFail);
+    // The witness cycle is named in the rendered message, and the
+    // diagnostic points at the Σt dependency on the cycle.
     assert!(
-        errors[0].notes.iter().any(|n| n.contains("witness cycle")),
-        "notes: {:?}",
-        errors[0].notes
+        errors[0].message.contains("witness cycle"),
+        "message: {}",
+        errors[0].message
+    );
+    assert_eq!(
+        errors[0].constraint.map(|c| (c.group, c.index)),
+        Some((Group::T, 0))
     );
 }
 
@@ -142,7 +150,11 @@ fn text_rendering_resolves_spans_to_file_positions() {
         text.contains("demo.pde:9:1"),
         "unexpected rendering:\n{text}"
     );
-    assert!(text.contains("1 error(s)"), "unexpected rendering:\n{text}");
+    assert!(
+        text.contains("error[PDE052]"),
+        "unexpected rendering:\n{text}"
+    );
+    assert!(text.contains("2 error(s)"), "unexpected rendering:\n{text}");
 }
 
 #[test]
@@ -158,5 +170,6 @@ fn json_rendering_is_stable() {
     assert!(json.contains("\"code\":\"PDE001\""), "json:\n{json}");
     assert!(json.contains("\"severity\":\"error\""), "json:\n{json}");
     assert!(json.contains("\"line\":9"), "json:\n{json}");
-    assert!(json.contains("\"counts\":{\"error\":1"), "json:\n{json}");
+    assert!(json.contains("\"code\":\"PDE052\""), "json:\n{json}");
+    assert!(json.contains("\"counts\":{\"error\":2"), "json:\n{json}");
 }

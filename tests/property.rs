@@ -32,7 +32,8 @@ fn complexity_cost(c: pde_analysis::ComplexityClass) -> u8 {
     match c {
         C::PTime => 0,
         C::NpComplete | C::InNp | C::ConpComplete | C::InConp => 1,
-        C::NoBound => 2,
+        C::Decidable => 2,
+        C::NoBound => 3,
     }
 }
 
@@ -303,6 +304,94 @@ proptest! {
         );
         prop_assert!(res.instance.fact_count() <= cert.chase.fact_bound);
         prop_assert!(res.instance.active_domain().len() <= cert.chase.value_bound);
+    }
+
+    #[test]
+    fn certified_termination_budget_suffices_for_governed_chase(
+        seed in 0u64..256, n_t in 0u32..3
+    ) {
+        // Any setting the termination hierarchy certifies must run
+        // `chase_governed_with` to a fixpoint within the certificate's
+        // derived budgets — never a `ResourceExceeded` or governor stop —
+        // on both engines. Random weakly acyclic settings exercise the
+        // weak-acyclicity criterion; two fixed non-WA shapes (the spiral
+        // and swap-rule bundles) exercise joint acyclicity and the
+        // critical-instance check.
+        use peer_data_exchange::workloads::random::{
+            random_instance, random_weakly_acyclic_setting, RandomSettingParams,
+        };
+        let mut cases: Vec<(PdeSetting, Instance)> = Vec::new();
+        let params = RandomSettingParams::default();
+        if let Ok(setting) = random_weakly_acyclic_setting(&params, n_t, seed) {
+            let input = random_instance(&setting, 4, 0, 3, seed ^ 0xb0d6);
+            cases.push((setting, input));
+        }
+        // Jointly acyclic but not weakly acyclic (examples/spiral.pde).
+        let spiral = PdeSetting::parse(
+            "source SA/1; source SB/1; target A/1; target B/1; target C/2",
+            "SA(x) -> A(x); SB(x) -> B(x)",
+            "",
+            "A(x), B(x) -> exists z . C(x, z); C(x, y) -> A(y)",
+        )
+        .unwrap();
+        let spiral_input =
+            parse_instance(spiral.schema(), "SA(a). SB(a). SB(b).").unwrap();
+        cases.push((spiral, spiral_input));
+        // Certified only by the critical-instance check
+        // (examples/critical_only.pde).
+        let swap = PdeSetting::parse(
+            "source S/1; target A/1; target R/2",
+            "S(x) -> A(x)",
+            "A(x) -> S(x)",
+            "A(x) -> exists y . R(x, y); R(x, y) -> R(y, x); R(w, w) -> A(w)",
+        )
+        .unwrap();
+        let swap_input = parse_instance(swap.schema(), "S(a).").unwrap();
+        cases.push((swap, swap_input));
+
+        let gov = Governor::unlimited();
+        for (setting, input) in &cases {
+            let cert = pde_analysis::plan_setting(setting, input.active_domain().len());
+            if !cert.chase.termination.certified() {
+                continue; // only certified settings carry the budget promise
+            }
+            prop_assert!(pde_analysis::verify_certificate(setting, &cert).is_ok());
+            let deps = pde_analysis::forward_dependencies(setting);
+            let limits = ChaseLimits {
+                max_steps: cert.budgets.chase_steps,
+                max_facts: cert.budgets.chase_facts,
+            };
+            for engine in [pde_chase::ChaseEngine::Naive, pde_chase::ChaseEngine::Seminaive] {
+                let res = pde_chase::chase_governed_with(
+                    input.clone(),
+                    &deps,
+                    pde_chase::WitnessMode::FreshNulls(&pde_relational::NullGen::new()),
+                    limits,
+                    engine,
+                    &gov,
+                );
+                // An egd conflict (`Failure`) is a legitimate chase
+                // verdict; what the certificate rules out is running out
+                // of budget before reaching one.
+                prop_assert!(
+                    !matches!(
+                        res.outcome,
+                        ChaseOutcome::ResourceExceeded | ChaseOutcome::Stopped { .. }
+                    ),
+                    "{:?} chase exhausted the derived budget (steps {} / {}, facts {} / {}): {:?}",
+                    engine,
+                    res.steps,
+                    limits.max_steps,
+                    res.instance.fact_count(),
+                    limits.max_facts,
+                    res.outcome
+                );
+                if res.is_success() {
+                    prop_assert!(res.steps <= cert.budgets.chase_steps);
+                    prop_assert!(res.instance.fact_count() <= cert.budgets.chase_facts);
+                }
+            }
+        }
     }
 
     #[test]

@@ -336,7 +336,8 @@ fn solve_json_report_golden_tractable() {
          \"result\":\"yes\",\"undecided_reason\":null,\"engine_fallback\":false,\
          \"optimize\":{\"before\":2,\"after\":2,\"actions\":0,\
          \"schedule\":{\"strata\":[[0]]}},\
-         \"certificate\":{\"version\":1,\"regime\":\"tractable\",\"solver\":\"tractable\"},\
+         \"certificate\":{\"version\":1,\"regime\":\"tractable\",\"solver\":\"tractable\",\
+         \"termination\":{\"certified\":true,\"criterion\":\"weak-acyclicity\"}},\
          \"metrics\":{\"counters\":{\
          \"chase.egd_merges\":0,\"chase.rounds\":4,\"chase.skipped_by_delta\":2,\
          \"chase.triggers_fired\":2,\"chase.triggers_found\":2,\"chase.triggers_satisfied\":0,\
@@ -367,7 +368,8 @@ fn solve_json_report_golden_generic_search() {
          \"optimize\":{\"before\":3,\"after\":3,\"actions\":0,\
          \"schedule\":{\"strata\":[[0],[1]]}},\
          \"certificate\":{\"version\":1,\"regime\":\"full-tgd-boundary\",\
-         \"solver\":\"generic-search\"},\
+         \"solver\":\"generic-search\",\
+         \"termination\":{\"certified\":true,\"criterion\":\"weak-acyclicity\"}},\
          \"metrics\":{\"counters\":{\
          \"governor.cancellations_observed\":0,\"governor.checks\":5,\
          \"governor.faults_fired\":0,\"governor.peak_bytes\":0,\"governor.stops\":0,\

@@ -327,12 +327,14 @@ pub struct Certificate {
 }
 
 /// Byte allowance per chased fact used by
-/// [`Certificate::derived_governor_config`]. Deliberately above the
-/// `Relation::approx_heap_bytes` accounting for any realistic arity
-/// (storage slot + `Arc` header + values + set entry + per-position index
-/// entries come to ~190 bytes at arity 4), so a run that stays inside the
-/// certified fact bound never trips the derived budget.
-pub const GOVERNOR_BYTES_PER_FACT: usize = 256;
+/// [`Certificate::derived_governor_config`]: the columnar storage's own
+/// budget constant, re-exported from `pde-relational`. It is measured from
+/// `Relation::heap_bytes` accounting (columns + epochs + liveness +
+/// membership set + per-attribute indexes come to ~40–90 bytes/fact at
+/// arities 2–4, rounded up for load-factor headroom), so a run that stays
+/// inside the certified fact bound never trips the derived budget. The
+/// row-oriented layout this replaced needed a hard-coded 256 here.
+pub const GOVERNOR_BYTES_PER_FACT: usize = pde_relational::BYTES_PER_FACT_BUDGET;
 
 /// Fixed slack added on top of the per-fact allowance (1 MiB): covers the
 /// solvers' non-instance state (frontiers, homomorphism search stacks) on

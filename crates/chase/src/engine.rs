@@ -275,7 +275,7 @@ fn chase_seminaive_scheduled_governed(
                     stats,
                 };
             }
-            if let Err(reason) = governor.on_round(stats.rounds + 1, instance.approx_heap_bytes()) {
+            if let Err(reason) = governor.on_round(stats.rounds + 1, instance.heap_bytes()) {
                 return ChaseResult {
                     outcome: ChaseOutcome::Stopped { reason },
                     instance,
@@ -496,7 +496,7 @@ fn chase_naive_governed(
         // limits: both are honest "undecided" endings, but the stop
         // carries the reason the caller asked for.
         if stopped.is_none() {
-            if let Err(reason) = governor.on_round(stats.rounds + 1, instance.approx_heap_bytes()) {
+            if let Err(reason) = governor.on_round(stats.rounds + 1, instance.heap_bytes()) {
                 stopped = Some(reason);
             }
         }

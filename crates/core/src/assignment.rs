@@ -32,7 +32,8 @@ use crate::setting::PdeSetting;
 use pde_chase::{chase_tgds_governed, null_gen_for, ChaseEngine, ChaseOutcome};
 use pde_constraints::{DisjunctiveTgd, Orientation, Tgd};
 use pde_relational::{
-    exists_hom, for_each_hom, Assignment, Instance, NullId, Peer, RelId, Schema, Term, Tuple, Value,
+    exists_hom, for_each_hom, Assignment, FxBuildHasher, Instance, NullId, Peer, RelId, Schema,
+    Term, Tuple, Value,
 };
 use pde_runtime::{Governor, StopReason};
 use std::collections::{BTreeSet, HashMap};
@@ -266,13 +267,13 @@ struct SearchCtx<'a, F> {
     /// The target facts of `J_can`, with their null inventories.
     facts: Vec<FactState>,
     /// For each null, the facts it occurs in.
-    occurrences: HashMap<NullId, Vec<usize>>,
+    occurrences: HashMap<NullId, Vec<usize>, FxBuildHasher>,
     /// Current assignment (`Keep` = maps to its own null value).
-    assigned: HashMap<NullId, Value>,
+    assigned: HashMap<NullId, Value, FxBuildHasher>,
     /// The determined instance: `I` plus the images of determined facts.
     determined: Instance,
     /// Reference counts of determined target facts (merges).
-    refcount: HashMap<(RelId, Tuple), usize>,
+    refcount: HashMap<(RelId, Tuple), usize, FxBuildHasher>,
     stats: SearchStats,
     sink: F,
     /// Resource governor, checked at every search node.
@@ -313,7 +314,7 @@ fn search(
 
     // Collect target facts and their nulls.
     let mut facts: Vec<FactState> = Vec::new();
-    let mut occurrences: HashMap<NullId, Vec<usize>> = HashMap::new();
+    let mut occurrences: HashMap<NullId, Vec<usize>, FxBuildHasher> = HashMap::default();
     let mut null_order: Vec<NullId> = Vec::new();
     let mut seen: BTreeSet<NullId> = BTreeSet::new();
     for (rel, t) in jcan_combined.facts_of(Peer::Target) {
@@ -332,7 +333,7 @@ fn search(
         }
         facts.push(FactState {
             rel,
-            tuple: t.clone(),
+            tuple: t,
             unassigned: nulls.len(),
         });
     }
@@ -349,9 +350,9 @@ fn search(
         candidates,
         facts,
         occurrences,
-        assigned: HashMap::new(),
+        assigned: HashMap::default(),
         determined: input.restrict(Peer::Source),
-        refcount: HashMap::new(),
+        refcount: HashMap::default(),
         stats: SearchStats::default(),
         sink: f,
         governor,
@@ -483,7 +484,7 @@ impl<F: FnMut(&Instance) -> ControlFlow<()>> SearchCtx<'_, F> {
             .field("depth", depth)
             .field("node", self.stats.nodes);
         let bytes = if self.governor.tracks_memory() {
-            self.determined.approx_heap_bytes()
+            self.determined.heap_bytes()
         } else {
             0
         };

@@ -100,8 +100,9 @@ pub fn blocks(inst: &Instance) -> Vec<Block> {
     };
     let mut by_root: HashMap<NullId, Block> = HashMap::new();
     for (rel, t) in inst.facts() {
-        match t.nulls().next() {
-            None => ground.facts.push((rel, t.clone())),
+        let first_null = t.nulls().next();
+        match first_null {
+            None => ground.facts.push((rel, t)),
             Some(n) => {
                 let root = uf.find(n);
                 by_root
@@ -111,7 +112,7 @@ pub fn blocks(inst: &Instance) -> Vec<Block> {
                         nulls: Vec::new(),
                     })
                     .facts
-                    .push((rel, t.clone()));
+                    .push((rel, t));
             }
         }
     }

@@ -288,7 +288,7 @@ impl<F: FnMut(&Instance) -> ControlFlow<()>> Ctx<'_, F> {
         // Bytes are only estimated when a memory budget is set: this is
         // the solver's hottest loop.
         let bytes = if self.governor.tracks_memory() {
-            k.approx_heap_bytes()
+            k.heap_bytes()
         } else {
             0
         };

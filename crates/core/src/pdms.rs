@@ -96,7 +96,7 @@ impl Pdms {
                     }
                 }
                 StorageDescription::Containment(_) => {
-                    if !local_rel.iter().all(|t| vis_rel.contains(t)) {
+                    if !local_rel.iter().all(|t| vis_rel.contains(&t)) {
                         return false;
                     }
                 }

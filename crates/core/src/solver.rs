@@ -110,8 +110,9 @@ impl SolveReport {
     /// Export every counter this report carries into a
     /// [`pde_trace::MetricsRegistry`]: chase counters under `chase.`,
     /// search counters under `search.`, governor counters under
-    /// `governor.`, plus `solve.elapsed_ns`. This is the canonical source
-    /// for the machine-readable run report.
+    /// `governor.`, witness storage gauges under `storage.`, plus
+    /// `solve.elapsed_ns`. This is the canonical source for the
+    /// machine-readable run report.
     pub fn export_metrics(&self, reg: &mut pde_trace::MetricsRegistry) {
         if let Some(cs) = &self.chase_stats {
             cs.export_metrics(reg);
@@ -120,6 +121,14 @@ impl SolveReport {
             s.export_metrics(reg);
         }
         self.governor.export_metrics(reg);
+        if let Some(w) = &self.witness {
+            let stats = w.storage_stats();
+            reg.set("storage.facts", stats.facts as u64);
+            reg.set("storage.heap_bytes", stats.heap_bytes as u64);
+            reg.set("storage.bytes_per_fact", stats.bytes_per_fact() as u64);
+            reg.set("storage.slots", stats.slots as u64);
+            reg.set("storage.index_entries", stats.index_entries as u64);
+        }
         reg.set(
             "solve.elapsed_ns",
             u64::try_from(self.elapsed.as_nanos()).unwrap_or(u64::MAX),

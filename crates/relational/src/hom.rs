@@ -25,14 +25,20 @@
 
 use crate::atom::{Atom, Term, Var};
 use crate::instance::Instance;
-use crate::value::{NullId, Value};
+use crate::relation::Relation;
+use crate::store::FxBuildHasher;
+use crate::value::{NullId, Value, ValueId};
 use std::collections::HashMap;
 use std::ops::ControlFlow;
 
 /// A (partial) assignment of variables to values.
+///
+/// Backed by a fast integer-keyed hash map: binding and probing variables
+/// is the innermost operation of the search, executed once per candidate
+/// row per atom.
 #[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct Assignment {
-    map: HashMap<Var, Value>,
+    map: HashMap<Var, Value, FxBuildHasher>,
 }
 
 impl Assignment {
@@ -160,7 +166,7 @@ impl<F: FnMut(&Assignment) -> ControlFlow<()>> Search<'_, F> {
         self.windows.map_or(EpochWindow::ALL, |w| w[atom_idx])
     }
 
-    /// Estimated number of candidate tuples for atom `ai` under `assign`:
+    /// Estimated number of candidate rows for atom `ai` under `assign`:
     /// the count at the most selective bound position, or the (window)
     /// relation size when nothing is bound.
     fn estimate(&self, ai: usize, assign: &Assignment) -> usize {
@@ -175,7 +181,7 @@ impl<F: FnMut(&Assignment) -> ControlFlow<()>> Search<'_, F> {
         for (i, t) in atom.terms.iter().enumerate() {
             if let Some(v) = assign.eval(t) {
                 let attr = u16::try_from(i).expect("attribute index exceeds u16 arity bound");
-                best = best.min(rel.count_with(attr, v));
+                best = best.min(rel.count_with_id(attr, ValueId::pack(v)));
             }
         }
         best
@@ -187,61 +193,81 @@ impl<F: FnMut(&Assignment) -> ControlFlow<()>> Search<'_, F> {
         };
         let atom_idx = remaining.swap_remove(slot);
         // Clone the (small) atom so its borrow does not overlap the
-        // recursive `&mut self` call below.
+        // recursive `&mut self` call below. The relation reference is
+        // copied out of `self.inst` at the instance lifetime, so the
+        // candidate iterators below never borrow `self` — candidates are
+        // probed in place as packed ids, with no tuple materialization.
         let atom = self.atoms[atom_idx].clone();
-        let rel = self.inst.relation(atom.rel);
+        let rel: &Relation = self.inst.relation(atom.rel);
         let w = self.window(atom_idx);
 
-        // Candidate rows: via the best bound-position index, or a full scan.
-        // Tuples are Arc-backed, so cloning candidates out keeps the borrow
-        // of the relation from overlapping the recursive call.
-        let mut anchor: Option<(u16, Value, usize)> = None;
+        // Candidate rows: via the best bound-position index, or a scan of
+        // the (windowed) live row ids.
+        let mut anchor: Option<(u16, ValueId, usize)> = None;
         if self.config.use_index {
             for (i, t) in atom.terms.iter().enumerate() {
                 if let Some(v) = assign.eval(t) {
                     let attr = u16::try_from(i).expect("attribute index exceeds u16 arity bound");
-                    let c = rel.count_with(attr, v);
+                    let id = ValueId::pack(v);
+                    let c = rel.count_with_id(attr, id);
                     if anchor.as_ref().is_none_or(|(_, _, best)| c < *best) {
-                        anchor = Some((attr, v, c));
+                        anchor = Some((attr, id, c));
                     }
                 }
             }
         }
-        let tuples: Vec<crate::tuple::Tuple> = match anchor {
-            Some((attr, v, _)) => rel
-                .rows_with(attr, v)
-                .filter(|r| w.contains(rel.epoch_of(*r)))
-                .filter_map(|r| rel.row(r))
-                .cloned()
-                .collect(),
-            None if w.is_all() => rel.iter().cloned().collect(),
-            None => rel
-                .rows_in_window(w.lo, w.hi)
-                .map(|(_, t)| t.clone())
-                .collect(),
-        };
+        match anchor {
+            Some((attr, id, _)) => {
+                let rows = rel
+                    .rows_with_id(attr, id)
+                    .filter(|r| w.contains(rel.epoch_of(*r)));
+                self.expand(rel, &atom, atom_idx, rows, assign, remaining)
+            }
+            None if w.is_all() => {
+                let rows = rel.live_row_ids();
+                self.expand(rel, &atom, atom_idx, rows, assign, remaining)
+            }
+            None => {
+                let rows = rel.row_ids_in_window(w.lo, w.hi);
+                self.expand(rel, &atom, atom_idx, rows, assign, remaining)
+            }
+        }
+    }
 
-        for t in tuples {
+    /// Try every candidate row of `atom`: match its packed column values
+    /// against the terms (constants and bound variables compare as ids in
+    /// O(1); free variables bind), then recurse into the remaining atoms.
+    fn expand(
+        &mut self,
+        rel: &Relation,
+        atom: &Atom,
+        atom_idx: usize,
+        rows: impl Iterator<Item = u32>,
+        assign: &mut Assignment,
+        remaining: &mut Vec<usize>,
+    ) -> ControlFlow<()> {
+        for r in rows {
             let mut bound_here: Vec<Var> = Vec::new();
             let mut ok = true;
             for (i, term) in atom.terms.iter().enumerate() {
-                let tv = t.get(i);
+                let attr = u16::try_from(i).expect("attribute index exceeds u16 arity bound");
+                let tv = rel.value_id_at(r, attr);
                 match term {
                     Term::Const(c) => {
-                        if Value::Const(*c) != tv {
+                        if ValueId::pack(Value::Const(*c)) != tv {
                             ok = false;
                             break;
                         }
                     }
                     Term::Var(v) => match assign.get(*v) {
                         Some(bound) => {
-                            if bound != tv {
+                            if ValueId::pack(bound) != tv {
                                 ok = false;
                                 break;
                             }
                         }
                         None => {
-                            assign.bind(*v, tv);
+                            assign.bind(*v, tv.value());
                             bound_here.push(*v);
                         }
                     },

@@ -102,14 +102,38 @@ impl Instance {
         self.relations.iter().map(Relation::len).sum()
     }
 
-    /// Estimated heap footprint of all stored relations in bytes.
+    /// Heap footprint of all stored relations in bytes.
     ///
-    /// O(#relations): sums each relation's incrementally maintained
-    /// [`Relation::approx_heap_bytes`] estimate. The runtime governor
-    /// charges this figure against a configured memory budget at every
-    /// chase round, so it must stay cheap enough to call in a hot loop.
-    pub fn approx_heap_bytes(&self) -> usize {
-        self.relations.iter().map(Relation::approx_heap_bytes).sum()
+    /// O(#relations × arity): sums each relation's counter-maintained
+    /// [`Relation::heap_bytes`]. The runtime governor charges this figure
+    /// against a configured memory budget at every chase round, so it must
+    /// stay cheap enough to call in a hot loop. With the columnar layout
+    /// the figure is exact up to allocator rounding, not an estimate.
+    pub fn heap_bytes(&self) -> usize {
+        self.relations.iter().map(Relation::heap_bytes).sum()
+    }
+
+    /// Recompute [`Instance::heap_bytes`] from full structure scans
+    /// instead of the incremental counters (drift diagnostics backing the
+    /// heap-accounting property tests).
+    pub fn recount_heap_bytes(&self) -> usize {
+        self.relations
+            .iter()
+            .map(Relation::recount_heap_bytes)
+            .sum()
+    }
+
+    /// Aggregate storage counters across all relations, for run reports
+    /// and benches.
+    pub fn storage_stats(&self) -> StorageStats {
+        let facts = self.fact_count();
+        let heap_bytes = self.heap_bytes();
+        StorageStats {
+            facts,
+            slots: self.relations.iter().map(Relation::slot_count).sum(),
+            index_entries: self.relations.iter().map(Relation::index_entry_count).sum(),
+            heap_bytes,
+        }
     }
 
     /// Number of facts belonging to `peer`.
@@ -120,15 +144,17 @@ impl Instance {
             .sum()
     }
 
-    /// Iterate over all facts as `(rel, tuple)` pairs.
-    pub fn facts(&self) -> impl Iterator<Item = (RelId, &Tuple)> {
+    /// Iterate over all facts as `(rel, tuple)` pairs. Tuples are
+    /// materialized from the columnar storage on the fly; hot paths should
+    /// work on row ids via [`Instance::relation`] instead.
+    pub fn facts(&self) -> impl Iterator<Item = (RelId, Tuple)> + '_ {
         self.schema
             .rel_ids()
             .flat_map(move |id| self.relations[id.index()].iter().map(move |t| (id, t)))
     }
 
     /// Iterate over the facts of one peer.
-    pub fn facts_of(&self, peer: Peer) -> impl Iterator<Item = (RelId, &Tuple)> {
+    pub fn facts_of(&self, peer: Peer) -> impl Iterator<Item = (RelId, Tuple)> + '_ {
         self.facts()
             .filter(move |(id, _)| self.schema.peer(*id) == peer)
     }
@@ -138,7 +164,7 @@ impl Instance {
     pub fn restrict(&self, peer: Peer) -> Instance {
         let mut out = Instance::new(self.schema.clone());
         for (rel, t) in self.facts_of(peer) {
-            out.insert(rel, t.clone());
+            out.insert(rel, t);
         }
         out
     }
@@ -151,19 +177,19 @@ impl Instance {
         );
         let mut out = self.clone();
         for (rel, t) in other.facts() {
-            out.insert(rel, t.clone());
+            out.insert(rel, t);
         }
         out
     }
 
     /// Is every fact of `self` a fact of `other`?
     pub fn contained_in(&self, other: &Instance) -> bool {
-        self.facts().all(|(rel, t)| other.contains(rel, t))
+        self.facts().all(|(rel, t)| other.contains(rel, &t))
     }
 
     /// Is every fact of `self` belonging to `peer` also in `other`?
     pub fn peer_contained_in(&self, other: &Instance, peer: Peer) -> bool {
-        self.facts_of(peer).all(|(rel, t)| other.contains(rel, t))
+        self.facts_of(peer).all(|(rel, t)| other.contains(rel, &t))
     }
 
     /// Set equality of the stored facts (insertion order ignored).
@@ -173,28 +199,29 @@ impl Instance {
 
     /// The active domain: every value occurring in some fact.
     pub fn active_domain(&self) -> BTreeSet<Value> {
-        self.facts()
-            .flat_map(|(_, t)| t.values().iter().copied())
-            .collect()
+        self.relations.iter().flat_map(Relation::values).collect()
     }
 
     /// The active domain restricted to one peer's relations.
     pub fn active_domain_of(&self, peer: Peer) -> BTreeSet<Value> {
-        self.facts_of(peer)
-            .flat_map(|(_, t)| t.values().iter().copied())
+        self.schema
+            .rels_of(peer)
+            .flat_map(|id| self.relations[id.index()].values())
             .collect()
     }
 
     /// The distinct labeled nulls occurring anywhere.
     pub fn nulls(&self) -> BTreeSet<NullId> {
-        self.facts()
-            .flat_map(|(_, t)| t.nulls().collect::<Vec<_>>())
+        self.relations
+            .iter()
+            .flat_map(|r| r.values().filter_map(|v| v.as_null()))
             .collect()
     }
 
     /// Does the instance contain no nulls (a *ground* instance)?
+    /// O(#relations): each relation tracks its live null occurrences.
     pub fn is_ground(&self) -> bool {
-        self.facts().all(|(_, t)| !t.has_null())
+        !self.relations.iter().any(Relation::has_nulls)
     }
 
     /// Largest null id present, for seeding a
@@ -235,7 +262,7 @@ impl Instance {
     pub fn has_facts_since(&self, since: u64) -> bool {
         self.relations
             .iter()
-            .any(|r| r.rows_in_window(since, u64::MAX).next().is_some())
+            .any(|r| r.row_ids_in_window(since, u64::MAX).next().is_some())
     }
 
     /// Apply a value mapping to every fact, producing a new instance
@@ -246,6 +273,29 @@ impl Instance {
             out.insert(rel, t.map(&mut f));
         }
         out
+    }
+}
+
+/// Aggregate storage counters of an [`Instance`], as reported by
+/// [`Instance::storage_stats`] into run reports and benches.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct StorageStats {
+    /// Live facts across all relations.
+    pub facts: usize,
+    /// Storage slots including tombstones.
+    pub slots: usize,
+    /// Index entries across all attributes, dead ones included.
+    pub index_entries: usize,
+    /// Heap bytes ([`Instance::heap_bytes`]).
+    pub heap_bytes: usize,
+}
+
+impl StorageStats {
+    /// Heap bytes per live fact, rounded to nearest (0 when empty).
+    pub fn bytes_per_fact(&self) -> usize {
+        (self.heap_bytes + self.facts / 2)
+            .checked_div(self.facts)
+            .unwrap_or(0)
     }
 }
 

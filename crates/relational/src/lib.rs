@@ -3,9 +3,12 @@
 //! This crate provides the model-theoretic ground floor the rest of the
 //! workspace stands on:
 //!
-//! * two-sorted values — constants and labeled nulls ([`value`]);
+//! * two-sorted values — constants and labeled nulls ([`value`]), packed
+//!   into single-word [`value::ValueId`]s at rest;
 //! * schemas with source/target peer tags ([`schema`]);
-//! * indexed instances over a schema ([`instance`], [`relation`], [`mod@tuple`]);
+//! * columnar, indexed instances over a schema ([`instance`], [`relation`],
+//!   [`mod@tuple`]), with open-addressed storage primitives in the private
+//!   `store` module (see `docs/STORAGE.md`);
 //! * first-order syntax: variables, terms, atoms, conjunctions ([`atom`]);
 //! * homomorphism search, formula→instance and instance→instance ([`hom`]);
 //! * conjunctive queries and unions thereof ([`query`]);
@@ -23,6 +26,7 @@ pub mod query;
 pub mod relation;
 pub mod retract;
 pub mod schema;
+mod store;
 pub mod symbol;
 pub mod tuple;
 pub mod unionfind;
@@ -35,15 +39,17 @@ pub use hom::{
     instances_isomorphic, Assignment, HomConfig,
 };
 pub use instance::Instance;
+pub use instance::StorageStats;
 pub use parser::{
     parse_atom, parse_atom_list, parse_atoms, parse_instance, parse_query, parse_schema,
     parse_term, Lexer, ParseError, Span, Token,
 };
 pub use query::{ConjunctiveQuery, UnionQuery};
-pub use relation::Relation;
+pub use relation::{Relation, BYTES_PER_FACT_BUDGET};
 pub use retract::{core_of, fold_null, is_core};
 pub use schema::{Peer, Position, RelId, RelationInfo, Schema};
+pub use store::{FxBuildHasher, FxHasher};
 pub use symbol::Symbol;
 pub use tuple::Tuple;
 pub use unionfind::{ConstMergeConflict, ValueUnionFind};
-pub use value::{NullGen, NullId, Value};
+pub use value::{NullGen, NullId, Value, ValueId};

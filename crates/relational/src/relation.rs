@@ -1,9 +1,15 @@
-//! A single stored relation: a set of tuples with hash indexes.
+//! A single stored relation: columnar rows of packed value ids with flat
+//! per-attribute indexes.
 //!
 //! The chase and the homomorphism search spend almost all of their time
-//! asking "which tuples of `R` have value `v` at position `i`?". Every
-//! relation therefore maintains one hash index per attribute, mapping a
-//! value to the set of row ids carrying it at that position.
+//! asking "which rows of `R` have value `v` at position `i`?". Storage is
+//! therefore laid out for that probe: rows live as per-attribute
+//! `Vec<ValueId>` *columns* (structure-of-arrays — four bytes per value at
+//! rest), and every attribute keeps an open-addressed
+//! [`ValueId`]` → row-id list` index (`ColumnIndex` in the private `store`
+//! module) probed by integer hashing instead of a `HashMap<Value, _>`.
+//! Membership and deduplication go through a row-content hash set storing
+//! only row ids (`RowSet`). See `docs/STORAGE.md` for the full layout.
 //!
 //! Rows additionally carry an *insertion epoch* (a monotone `u64` stamped
 //! by the caller, see [`crate::instance::Instance::bump_epoch`]). Because
@@ -12,48 +18,67 @@
 //! epoch form a suffix of the row vector — the *delta view* the semi-naive
 //! chase enumerates by binary search ([`Relation::rows_in_window`]).
 //!
-//! Deletion is lazy: [`Relation::remove`] tombstones the slot and leaves
-//! the index entries in place, but per-bucket dead counters trigger a
-//! bucket compaction once dead entries reach half the bucket, and the whole
-//! relation is rebuilt (invalidating outstanding row ids) once dead slots
-//! outnumber live ones. Amortized, insert/remove cycles are O(arity) and
-//! never grow memory without bound.
+//! Deletion is lazy: [`Relation::remove`] tombstones the slot (liveness
+//! bitmap) and leaves index postings in place, but per-bucket dead counters
+//! trigger a bucket compaction once dead entries reach half the bucket, and
+//! the whole relation is rebuilt (invalidating outstanding row ids) once
+//! dead slots outnumber live ones. Amortized, insert/remove cycles are
+//! O(arity) and never grow memory without bound.
 
+use crate::store::{hash_ids, ColumnIndex, RowSet};
 use crate::tuple::Tuple;
-use crate::value::Value;
-use std::collections::{HashMap, HashSet};
+use crate::value::{Value, ValueId};
 
 /// Slot count below which full-relation compaction is not worth running.
 const COMPACT_MIN_SLOTS: usize = 32;
 
-/// A set of same-arity tuples with per-attribute value indexes and
-/// insertion-epoch stamps.
+/// Budgeting constant: heap bytes per stored fact of the columnar layout,
+/// measured as a cross-workload upper bound (bench E18 measures ~40–90
+/// bytes/fact at arities 2–4 including index and membership tables; the
+/// constant rounds up for load-factor headroom). Plan certificates derive
+/// governor memory budgets as `fact_bound × BYTES_PER_FACT_BUDGET`, so this
+/// is exported for `pde-analysis` to re-export — the row-oriented layout it
+/// replaces needed 256.
+pub const BYTES_PER_FACT_BUDGET: usize = 128;
+
+/// A set of same-arity rows stored column-wise, with per-attribute value
+/// indexes and insertion-epoch stamps.
 #[derive(Clone, Debug, Default)]
 pub struct Relation {
     arity: u16,
-    /// Insertion-ordered rows; `None` marks a deleted row. Slots are never
-    /// reused — a full compaction rebuilds the vector instead, so a live
-    /// row id always refers to the tuple it was handed out for.
-    rows: Vec<Option<Tuple>>,
-    /// Insertion epoch of each row, parallel to `rows` and non-decreasing.
+    /// `columns[i][r]` = packed value at attribute `i` of row `r`. Slots
+    /// are never reused — a full compaction rebuilds the vectors instead,
+    /// so a live row id always refers to the row it was handed out for.
+    columns: Vec<Vec<ValueId>>,
+    /// Liveness bitmap, parallel to the columns; `false` marks a tombstone.
+    live: Vec<bool>,
+    /// Insertion epoch of each row, parallel to the columns and
+    /// non-decreasing.
     epochs: Vec<u64>,
-    /// Membership set over live rows.
-    set: HashSet<Tuple>,
-    /// `index[i][v]` = row ids with value `v` at attribute `i`.
-    index: Vec<HashMap<Value, Vec<u32>>>,
-    /// `dead[i][v]` = how many ids in `index[i][v]` point at tombstones.
-    dead_in_bucket: Vec<HashMap<Value, u32>>,
-    /// Number of tombstoned slots in `rows`.
+    /// Membership/dedup set over live rows (content-hashed row ids).
+    set: RowSet,
+    /// One open-addressed index per attribute.
+    index: Vec<ColumnIndex>,
+    /// Number of tombstoned slots.
     dead: usize,
-    live: usize,
-    /// Total row ids stored across all index buckets, dead ones included.
-    /// Maintained incrementally so [`Relation::approx_heap_bytes`] is O(1):
-    /// inserts add `arity`, bucket compactions subtract what they drop, and
-    /// a full rebuild resets it to `live * arity`.
+    /// Number of live rows.
+    live_count: usize,
+    /// Total row ids stored across all index postings, dead ones included.
+    /// Maintained incrementally so [`Relation::heap_bytes`] is O(arity):
+    /// inserts add `arity`, posting compactions subtract what they drop,
+    /// and a full rebuild resets it to `live * arity`.
     index_entries: usize,
+    /// Occurrences of labeled nulls in live rows (O(1) groundness checks).
+    null_entries: usize,
     /// Largest epoch stamped so far; later inserts are clamped up to it so
     /// `epochs` stays sorted.
     last_epoch: u64,
+}
+
+/// Content hash of row `r` of `columns` (free function so callers can hash
+/// one relation's row while mutating another part of the struct).
+fn row_hash(columns: &[Vec<ValueId>], r: u32) -> u64 {
+    hash_ids(columns.iter().map(|c| c[r as usize]))
 }
 
 impl Relation {
@@ -61,14 +86,15 @@ impl Relation {
     pub fn new(arity: u16) -> Relation {
         Relation {
             arity,
-            rows: Vec::new(),
+            columns: (0..arity).map(|_| Vec::new()).collect(),
+            live: Vec::new(),
             epochs: Vec::new(),
-            set: HashSet::new(),
-            index: (0..arity).map(|_| HashMap::new()).collect(),
-            dead_in_bucket: (0..arity).map(|_| HashMap::new()).collect(),
+            set: RowSet::default(),
+            index: (0..arity).map(|_| ColumnIndex::default()).collect(),
             dead: 0,
-            live: 0,
+            live_count: 0,
             index_entries: 0,
+            null_entries: 0,
             last_epoch: 0,
         }
     }
@@ -80,12 +106,17 @@ impl Relation {
 
     /// Number of (live) tuples.
     pub fn len(&self) -> usize {
-        self.live
+        self.live_count
     }
 
     /// Is the relation empty?
     pub fn is_empty(&self) -> bool {
-        self.live == 0
+        self.live_count == 0
+    }
+
+    /// Does any live row contain a labeled null? O(1).
+    pub fn has_nulls(&self) -> bool {
+        self.null_entries > 0
     }
 
     /// Insert a tuple stamped with the relation's current epoch; returns
@@ -104,156 +135,257 @@ impl Relation {
     ///
     /// # Panics
     /// Panics if the tuple's arity differs from the relation's.
+    // By-value on purpose: this is the crate's fact-insertion API and
+    // callers almost always pass a freshly built tuple (the columnar store
+    // decomposes it instead of keeping it, which is what trips the lint).
+    #[allow(clippy::needless_pass_by_value)]
     pub fn insert_at(&mut self, t: Tuple, epoch: u64) -> bool {
         assert_eq!(
             t.arity(),
             self.arity as usize,
             "arity mismatch inserting {t:?}"
         );
-        if self.set.contains(&t) {
+        let hash = hash_ids(t.values().iter().map(|v| ValueId::pack(*v)));
+        if self.find_tuple_row(hash, &t).is_some() {
             return false;
         }
+        let row = self.new_row_id();
+        for (i, v) in t.values().iter().enumerate() {
+            let id = ValueId::pack(*v);
+            self.columns[i].push(id);
+            self.index[i].insert(id, row);
+            if id.is_null() {
+                self.null_entries += 1;
+            }
+        }
+        self.finish_insert(row, hash, epoch);
+        true
+    }
+
+    /// Insert a row given as packed ids (the internal re-insertion path of
+    /// [`Relation::rewrite_values`]); same semantics as
+    /// [`Relation::insert_at`].
+    fn insert_ids_at(&mut self, ids: &[ValueId], epoch: u64) -> bool {
+        let hash = hash_ids(ids.iter().copied());
+        let found = self
+            .set
+            .find(hash, |r| {
+                self.columns
+                    .iter()
+                    .zip(ids)
+                    .all(|(c, id)| c[r as usize] == *id)
+            })
+            .is_some();
+        if found {
+            return false;
+        }
+        let row = self.new_row_id();
+        for (i, id) in ids.iter().enumerate() {
+            self.columns[i].push(*id);
+            self.index[i].insert(*id, row);
+            if id.is_null() {
+                self.null_entries += 1;
+            }
+        }
+        self.finish_insert(row, hash, epoch);
+        true
+    }
+
+    /// The next row id, checked against the id space (two top values are
+    /// reserved as open-addressing sentinels).
+    fn new_row_id(&self) -> u32 {
+        let row = u32::try_from(self.epochs.len()).expect("relation overflow");
+        assert!(row < u32::MAX - 1, "relation overflow");
+        row
+    }
+
+    /// Common tail of the insertion paths: stamp the epoch, mark live,
+    /// record membership, and bump the counters.
+    fn finish_insert(&mut self, row: u32, hash: u64, epoch: u64) {
         let epoch = epoch.max(self.last_epoch);
         self.last_epoch = epoch;
-        let row = u32::try_from(self.rows.len()).expect("relation overflow");
-        for (i, v) in t.values().iter().enumerate() {
-            self.index[i].entry(*v).or_default().push(row);
-        }
         self.index_entries += self.arity as usize;
-        self.set.insert(t.clone());
-        self.rows.push(Some(t));
+        let columns = &self.columns;
+        self.set.insert(hash, row, |r| row_hash(columns, r));
+        self.live.push(true);
         self.epochs.push(epoch);
-        self.live += 1;
-        true
+        self.live_count += 1;
+    }
+
+    /// The live row storing exactly `t`, via the membership set.
+    fn find_tuple_row(&self, hash: u64, t: &Tuple) -> Option<u32> {
+        self.set.find(hash, |r| {
+            self.columns
+                .iter()
+                .zip(t.values())
+                .all(|(c, v)| c[r as usize] == ValueId::pack(*v))
+        })
     }
 
     /// Membership test.
     pub fn contains(&self, t: &Tuple) -> bool {
-        self.set.contains(t)
+        if t.arity() != self.arity as usize {
+            return false;
+        }
+        let hash = hash_ids(t.values().iter().map(|v| ValueId::pack(*v)));
+        self.find_tuple_row(hash, t).is_some()
     }
 
     /// Remove a tuple; returns `true` if it was present. Removal is lazy —
     /// the slot is tombstoned in O(arity) — with two compaction triggers
     /// that keep long insert/remove cycles (the search solvers backtrack
-    /// millions of times) from accumulating garbage: an index bucket is
+    /// millions of times) from accumulating garbage: an index posting is
     /// rebuilt once half its ids are dead, and the whole relation is
     /// rebuilt once dead slots outnumber live ones.
     pub fn remove(&mut self, t: &Tuple) -> bool {
-        if !self.set.remove(t) {
+        if t.arity() != self.arity as usize {
             return false;
         }
-        // Locate the live row via the first attribute's index (arity-0
-        // relations hold at most one tuple; scan directly).
-        let row = if self.arity == 0 {
-            self.rows
-                .iter()
-                .position(|r| r.as_ref() == Some(t))
-                .map(|r| u32::try_from(r).expect("row index exceeds u32 id space"))
-        } else {
-            self.index[0]
-                .get(&t.get(0))
-                .into_iter()
-                .flatten()
-                .copied()
-                .find(|r| self.rows[*r as usize].as_ref() == Some(t))
+        let hash = hash_ids(t.values().iter().map(|v| ValueId::pack(*v)));
+        let Some(row) = self.find_tuple_row(hash, t) else {
+            return false;
         };
-        let row = row.expect("set and rows out of sync");
+        self.set.remove(hash, row);
         self.kill_row(row);
         self.maybe_compact_storage();
         true
     }
 
-    /// Tombstone a live row: clear the slot and bump the dead counters of
-    /// the buckets its values live in, compacting any bucket that crossed
-    /// the half-dead threshold. The membership `set` entry must already be
-    /// gone. Row ids stay valid (no slots move).
+    /// Tombstone a live row: flip the liveness bit and notify each
+    /// attribute's index, which reclaims or compacts its posting as needed.
+    /// The membership-set entry must already be gone. Row ids stay valid
+    /// (no slots move).
     fn kill_row(&mut self, row: u32) {
-        let t = self.rows[row as usize].take().expect("killing a dead row");
-        self.live -= 1;
+        debug_assert!(self.live[row as usize], "killing a dead row");
+        self.live[row as usize] = false;
+        self.live_count -= 1;
         self.dead += 1;
-        for (i, v) in t.values().iter().enumerate() {
-            let bucket_len = self.index[i].get(v).map_or(0, Vec::len);
-            let dead = self.dead_in_bucket[i].entry(*v).or_insert(0);
-            *dead += 1;
-            if 2 * (*dead as usize) >= bucket_len {
-                // Compact: retain ids of live rows only. Entries of live
-                // rows are always accurate (tuples are immutable and slots
-                // are never reused), so liveness is the whole check.
-                let rows = &self.rows;
-                if let Some(bucket) = self.index[i].get_mut(v) {
-                    let before = bucket.len();
-                    bucket.retain(|r| rows[*r as usize].is_some());
-                    self.index_entries -= before - bucket.len();
-                    if bucket.is_empty() {
-                        self.index[i].remove(v);
-                    }
-                }
-                self.dead_in_bucket[i].remove(v);
+        let live = &self.live;
+        for (i, ix) in self.index.iter_mut().enumerate() {
+            let id = self.columns[i][row as usize];
+            self.index_entries -= ix.mark_dead(id, row, |r| live[r as usize]);
+            if id.is_null() {
+                self.null_entries -= 1;
             }
         }
     }
 
-    /// Rebuild rows, epochs, and indexes keeping live rows in insertion
+    /// Rebuild columns, epochs, and indexes keeping live rows in insertion
     /// order, once tombstones outnumber live rows. Invalidates outstanding
     /// row ids — callers must not hold ids across `&mut self` calls.
     fn maybe_compact_storage(&mut self) {
-        if self.rows.len() < COMPACT_MIN_SLOTS || 2 * self.dead <= self.rows.len() {
+        if self.epochs.len() < COMPACT_MIN_SLOTS || 2 * self.dead <= self.epochs.len() {
             return;
         }
-        let old_rows = std::mem::take(&mut self.rows);
+        let old_columns: Vec<Vec<ValueId>> = self
+            .columns
+            .iter_mut()
+            .map(std::mem::take)
+            .collect::<Vec<_>>();
         let old_epochs = std::mem::take(&mut self.epochs);
-        for m in &mut self.index {
-            m.clear();
+        let old_live = std::mem::take(&mut self.live);
+        // Fresh tables rather than cleared ones: the rebuild is the one
+        // point where a shrunken relation gives its table memory back.
+        self.set = RowSet::default();
+        for ix in &mut self.index {
+            *ix = ColumnIndex::default();
         }
-        for m in &mut self.dead_in_bucket {
-            m.clear();
+        self.null_entries = 0;
+        for c in &mut self.columns {
+            c.reserve(self.live_count);
         }
-        self.rows.reserve(self.live);
-        self.epochs.reserve(self.live);
-        for (slot, t) in old_rows.into_iter().enumerate() {
-            let Some(t) = t else { continue };
-            let row = u32::try_from(self.rows.len()).expect("relation overflow");
-            for (i, v) in t.values().iter().enumerate() {
-                self.index[i].entry(*v).or_default().push(row);
+        self.epochs.reserve(self.live_count);
+        for slot in 0..old_epochs.len() {
+            if !old_live[slot] {
+                continue;
             }
-            self.rows.push(Some(t));
+            let row = u32::try_from(self.epochs.len()).expect("relation overflow");
+            for (i, c) in old_columns.iter().enumerate() {
+                let id = c[slot];
+                self.columns[i].push(id);
+                self.index[i].insert(id, row);
+                if id.is_null() {
+                    self.null_entries += 1;
+                }
+            }
+            let hash = row_hash(&self.columns, row);
+            let columns = &self.columns;
+            self.set.insert(hash, row, |r| row_hash(columns, r));
+            self.live.push(true);
             self.epochs.push(old_epochs[slot]);
         }
-        self.index_entries = self.live * self.arity as usize;
+        self.index_entries = self.live_count * self.arity as usize;
         self.dead = 0;
+        // Compaction is the natural checkpoint for the incremental
+        // counters: a drifting counter would silently skew every governed
+        // memory budget, so recount everything in debug builds.
+        debug_assert_eq!(self.heap_bytes(), self.recount_heap_bytes());
     }
 
-    /// Iterate over live tuples in insertion order.
-    pub fn iter(&self) -> impl Iterator<Item = &Tuple> {
-        self.rows.iter().filter_map(Option::as_ref)
+    /// Materialize row `r` as a [`Tuple`] (no liveness check — internal).
+    fn tuple_at(&self, r: u32) -> Tuple {
+        Tuple::new(
+            self.columns
+                .iter()
+                .map(|c| c[r as usize].value())
+                .collect::<Vec<_>>(),
+        )
     }
 
-    /// Row ids of live tuples having `v` at attribute `attr`. The returned
+    /// Iterate over live tuples in insertion order (materialized from the
+    /// columns on the fly; hot paths iterate row ids and probe
+    /// [`Relation::value_id_at`] instead).
+    pub fn iter(&self) -> impl Iterator<Item = Tuple> + '_ {
+        self.live_row_ids().map(|r| self.tuple_at(r))
+    }
+
+    /// Row ids of live rows, in insertion order.
+    pub fn live_row_ids(&self) -> impl Iterator<Item = u32> + '_ {
+        self.live
+            .iter()
+            .enumerate()
+            .filter(|(_, l)| **l)
+            .map(|(r, _)| u32::try_from(r).expect("relation overflow"))
+    }
+
+    /// The packed value at attribute `attr` of row `r` — the zero-copy
+    /// probe the homomorphism search matches candidates with.
+    ///
+    /// # Panics
+    /// Panics if `r` or `attr` is out of bounds (dead rows keep their
+    /// values and may be read).
+    pub fn value_id_at(&self, r: u32, attr: u16) -> ValueId {
+        self.columns[attr as usize][r as usize]
+    }
+
+    /// Row ids of live rows having `v` at attribute `attr`. The returned
     /// ids are valid arguments to [`Relation::row`] until the next `&mut`
     /// call (a compaction may renumber rows).
     pub fn rows_with(&self, attr: u16, v: Value) -> impl Iterator<Item = u32> + '_ {
+        self.rows_with_id(attr, ValueId::pack(v))
+    }
+
+    /// [`Relation::rows_with`] keyed by an already-packed id.
+    pub fn rows_with_id(&self, attr: u16, id: ValueId) -> impl Iterator<Item = u32> + '_ {
         self.index[attr as usize]
-            .get(&v)
-            .into_iter()
-            .flatten()
-            .copied()
-            .filter(move |r| self.rows[*r as usize].is_some())
+            .rows(id)
+            .filter(move |r| self.live[*r as usize])
     }
 
-    /// Number of live rows having `v` at attribute `attr`. Exact: the
-    /// per-bucket dead counters make up for the lazily deleted ids.
+    /// Number of live rows having `v` at attribute `attr`. Exact and O(1):
+    /// the per-posting dead counters make up for the lazily deleted ids.
     pub fn count_with(&self, attr: u16, v: Value) -> usize {
-        let total = self.index[attr as usize].get(&v).map_or(0, Vec::len);
-        let dead = self.dead_in_bucket[attr as usize]
-            .get(&v)
-            .copied()
-            .unwrap_or(0) as usize;
-        total - dead
+        self.count_with_id(attr, ValueId::pack(v))
     }
 
-    /// The tuple at row id `r`, if live.
-    pub fn row(&self, r: u32) -> Option<&Tuple> {
-        self.rows.get(r as usize).and_then(Option::as_ref)
+    /// [`Relation::count_with`] keyed by an already-packed id.
+    pub fn count_with_id(&self, attr: u16, id: ValueId) -> usize {
+        self.index[attr as usize].count_live(id, |r| self.live[r as usize])
+    }
+
+    /// The tuple at row id `r`, if live (materialized from the columns).
+    pub fn row(&self, r: u32) -> Option<Tuple> {
+        (self.live.get(r as usize) == Some(&true)).then(|| self.tuple_at(r))
     }
 
     /// The insertion epoch of row id `r` (dead rows keep their stamp).
@@ -274,24 +406,30 @@ impl Relation {
         self.first_row_at(hi).saturating_sub(self.first_row_at(lo))
     }
 
-    /// Live rows whose insertion epoch lies in `[lo, hi)`, as
-    /// `(row id, tuple)` pairs in insertion order — the delta view.
-    pub fn rows_in_window(&self, lo: u64, hi: u64) -> impl Iterator<Item = (u32, &Tuple)> {
+    /// Row ids of live rows whose insertion epoch lies in `[lo, hi)`, in
+    /// insertion order — the delta view.
+    pub fn row_ids_in_window(&self, lo: u64, hi: u64) -> impl Iterator<Item = u32> + '_ {
         let start = self.first_row_at(lo);
         let end = self.first_row_at(hi);
-        self.rows[start..end]
+        self.live[start..end]
             .iter()
             .enumerate()
-            .filter_map(move |(off, t)| {
-                let row = u32::try_from(start + off).expect("relation overflow");
-                t.as_ref().map(|t| (row, t))
-            })
+            .filter(|(_, l)| **l)
+            .map(move |(off, _)| u32::try_from(start + off).expect("relation overflow"))
+    }
+
+    /// Live rows whose insertion epoch lies in `[lo, hi)`, as
+    /// `(row id, tuple)` pairs in insertion order. Materializes each tuple;
+    /// hot paths use [`Relation::row_ids_in_window`].
+    pub fn rows_in_window(&self, lo: u64, hi: u64) -> impl Iterator<Item = (u32, Tuple)> + '_ {
+        self.row_ids_in_window(lo, hi)
+            .map(|r| (r, self.tuple_at(r)))
     }
 
     /// Total slot count including tombstones (storage introspection, used
     /// by the compaction regression tests).
     pub fn slot_count(&self) -> usize {
-        self.rows.len()
+        self.epochs.len()
     }
 
     /// Total number of index entries including dead ones (storage
@@ -302,48 +440,110 @@ impl Relation {
             self.index_entries,
             self.index
                 .iter()
-                .flat_map(|m| m.values())
-                .map(Vec::len)
+                .map(ColumnIndex::recount_entries)
                 .sum::<usize>(),
             "index_entries counter out of sync"
         );
         self.index_entries
     }
 
-    /// Estimated heap footprint of this relation in bytes, O(1).
+    /// Heap footprint of this relation in bytes, O(arity).
     ///
     /// This is the figure the runtime governor charges against a memory
-    /// budget, so it is maintained from incremental counters rather than
-    /// measured: row/epoch slots (tombstones included — their storage is
-    /// still allocated), one shared tuple allocation per live row (the
-    /// membership set holds a second `Arc` to the same buffer, not a
-    /// copy), hash-set entries with load-factor slack, and index ids with
-    /// amortized per-bucket overhead. Accurate to small constant factors,
-    /// monotone in the actual footprint — which is all budget enforcement
-    /// needs.
-    pub fn approx_heap_bytes(&self) -> usize {
-        /// `rows` slot (`Option<Tuple>`, niche-packed) + `epochs` slot.
-        const SLOT: usize = 16;
-        /// `Arc` strong/weak counts preceding a tuple's values.
-        const TUPLE_HEADER: usize = 16;
-        /// Hash-set entry: the `Tuple` pointer plus load-factor slack.
-        const SET_ENTRY: usize = 12;
-        /// Index id (`u32`) plus amortized bucket/key overhead.
-        const INDEX_ENTRY: usize = 12;
-        let value = std::mem::size_of::<Value>();
-        self.rows.len() * SLOT
-            + self.live * (TUPLE_HEADER + self.arity as usize * value + SET_ENTRY)
-            + self.index_entries * INDEX_ENTRY
+    /// budget, computed from the actual allocation sizes: column, epoch,
+    /// and liveness capacities (tombstones included — their storage is
+    /// still allocated), the membership table, and the per-attribute index
+    /// tables (whose posting storage is charged from the incremental
+    /// `index_entries` counter with growth-slack headroom). Exact up to
+    /// allocator rounding — a step change from the row-oriented layout's
+    /// per-tuple `Arc` estimates.
+    pub fn heap_bytes(&self) -> usize {
+        let slot_bytes: usize = self
+            .columns
+            .iter()
+            .map(|c| c.capacity() * std::mem::size_of::<ValueId>())
+            .sum::<usize>()
+            + self.epochs.capacity() * std::mem::size_of::<u64>()
+            + self.live.capacity();
+        slot_bytes
+            + self.set.heap_bytes()
+            + self
+                .index
+                .iter()
+                .map(ColumnIndex::heap_bytes)
+                .sum::<usize>()
     }
 
-    /// Replace every occurrence of value `from` by `to` in all tuples.
-    /// Rewritten tuples that collide with existing ones are merged, and are
+    /// Recompute [`Relation::heap_bytes`] from a full structure scan
+    /// instead of the incremental counters (drift diagnostics: the
+    /// heap-accounting property tests assert this equals `heap_bytes`).
+    /// Also recounts the liveness, null, and index-entry counters and
+    /// compares them to their incremental twins in debug builds.
+    pub fn recount_heap_bytes(&self) -> usize {
+        debug_assert_eq!(
+            self.live_count,
+            self.live.iter().filter(|l| **l).count(),
+            "live_count counter out of sync"
+        );
+        debug_assert_eq!(
+            self.set.len(),
+            self.live_count,
+            "membership set out of sync with liveness"
+        );
+        debug_assert_eq!(
+            self.index_entries,
+            self.index
+                .iter()
+                .map(ColumnIndex::entry_count)
+                .sum::<usize>(),
+            "per-index entry counters out of sync"
+        );
+        debug_assert_eq!(
+            self.dead,
+            self.live.iter().filter(|l| !**l).count(),
+            "dead counter out of sync"
+        );
+        debug_assert_eq!(
+            self.null_entries,
+            self.columns
+                .iter()
+                .flat_map(|c| c.iter().enumerate())
+                .filter(|(r, id)| self.live[*r] && id.is_null())
+                .count(),
+            "null_entries counter out of sync"
+        );
+        debug_assert_eq!(
+            self.index_entries,
+            self.index
+                .iter()
+                .map(ColumnIndex::recount_entries)
+                .sum::<usize>(),
+            "index_entries counter out of sync"
+        );
+        let slot_bytes: usize = self
+            .columns
+            .iter()
+            .map(|c| c.capacity() * std::mem::size_of::<ValueId>())
+            .sum::<usize>()
+            + self.epochs.capacity() * std::mem::size_of::<u64>()
+            + self.live.capacity();
+        slot_bytes
+            + self.set.heap_bytes()
+            + self
+                .index
+                .iter()
+                .map(ColumnIndex::recount_heap_bytes)
+                .sum::<usize>()
+    }
+
+    /// Replace every occurrence of value `from` by `to` in all rows.
+    /// Rewritten rows that collide with existing ones are merged, and are
     /// stamped with the relation's current epoch.
     pub fn substitute(&mut self, from: Value, to: Value) {
         self.substitute_at(from, to, self.last_epoch);
     }
 
-    /// [`Relation::substitute`] stamping rewritten tuples at `epoch`.
+    /// [`Relation::substitute`] stamping rewritten rows at `epoch`.
     pub fn substitute_at(&mut self, from: Value, to: Value, epoch: u64) {
         if from == to {
             return;
@@ -355,10 +555,10 @@ impl Relation {
         );
     }
 
-    /// Rewrite every tuple containing one of the `touched` values through
+    /// Rewrite every row containing one of the `touched` values through
     /// `resolve`, re-inserting the images stamped at `epoch` (targeted
     /// index repair: only the rows reachable from the touched values'
-    /// index buckets are visited). Returns the number of rewritten rows.
+    /// index postings are visited). Returns the number of rewritten rows.
     /// This is the bulk form of [`Relation::substitute`] used to apply a
     /// whole union-find of egd merges in one pass.
     pub fn rewrite_values(
@@ -368,48 +568,68 @@ impl Relation {
         epoch: u64,
     ) -> usize {
         let mut affected: Vec<u32> = Vec::new();
-        for attr in 0..self.arity as usize {
+        for attr in 0..self.arity {
             for v in touched {
-                affected.extend(
-                    self.index[attr]
-                        .get(v)
-                        .into_iter()
-                        .flatten()
-                        .copied()
-                        .filter(|r| self.rows[*r as usize].is_some()),
-                );
+                affected.extend(self.rows_with(attr, *v));
             }
         }
         affected.sort_unstable();
         affected.dedup();
-        let mut rewritten: Vec<Tuple> = Vec::new();
+        let mut rewritten: Vec<Vec<ValueId>> = Vec::new();
         for r in affected {
-            let old = self.rows[r as usize].clone().expect("checked live");
-            if !old.values().iter().any(|v| resolve(*v) != *v) {
+            let old_ids: Vec<ValueId> = self
+                .columns
+                .iter()
+                .map(|c| c[r as usize])
+                .collect::<Vec<_>>();
+            let new_ids: Vec<ValueId> = old_ids
+                .iter()
+                .map(|id| ValueId::pack(resolve(id.value())))
+                .collect();
+            if new_ids == old_ids {
                 continue; // stale index entry: the row no longer needs rewriting
             }
-            let newt = old.map(&resolve);
-            self.set.remove(&old);
+            let old_hash = hash_ids(old_ids.iter().copied());
+            self.set.remove(old_hash, r);
             self.kill_row(r);
-            rewritten.push(newt);
+            rewritten.push(new_ids);
         }
         let count = rewritten.len();
-        for t in rewritten {
-            self.insert_at(t, epoch);
+        for ids in rewritten {
+            self.insert_ids_at(&ids, epoch);
         }
         self.maybe_compact_storage();
         count
     }
 
-    /// All values occurring anywhere in the relation.
+    /// All values occurring in live rows (column-major order, with
+    /// repetitions).
     pub fn values(&self) -> impl Iterator<Item = Value> + '_ {
-        self.iter().flat_map(|t| t.values().iter().copied())
+        self.columns.iter().flat_map(move |c| {
+            c.iter()
+                .enumerate()
+                .filter(|(r, _)| self.live[*r])
+                .map(|(_, id)| id.value())
+        })
     }
 }
 
 impl PartialEq for Relation {
     fn eq(&self, other: &Self) -> bool {
-        self.arity == other.arity && self.live == other.live && self.set == other.set
+        self.arity == other.arity
+            && self.live_count == other.live_count
+            && self.live_row_ids().all(|r| {
+                let hash = row_hash(&self.columns, r);
+                other
+                    .set
+                    .find(hash, |s| {
+                        self.columns
+                            .iter()
+                            .zip(&other.columns)
+                            .all(|(a, b)| a[r as usize] == b[s as usize])
+                    })
+                    .is_some()
+            })
     }
 }
 
@@ -445,11 +665,18 @@ mod tests {
         let rows: Vec<_> = r
             .rows_with(0, Value::constant("a"))
             .filter_map(|i| r.row(i))
-            .cloned()
             .collect();
         assert_eq!(rows.len(), 2);
         assert_eq!(r.count_with(1, Value::constant("b")), 2);
         assert_eq!(r.count_with(1, Value::constant("zzz")), 0);
+    }
+
+    #[test]
+    fn value_ids_are_readable_per_cell() {
+        let mut r = Relation::new(2);
+        r.insert(Tuple::consts(["a", "b"]));
+        assert_eq!(r.value_id_at(0, 0).value(), Value::constant("a"));
+        assert_eq!(r.value_id_at(0, 1).value(), Value::constant("b"));
     }
 
     #[test]
@@ -521,7 +748,7 @@ mod tests {
         r.insert_at(Tuple::consts(["b"]), 1);
         r.insert_at(Tuple::consts(["c"]), 1);
         r.insert_at(Tuple::consts(["d"]), 3);
-        let delta: Vec<_> = r.rows_in_window(1, 3).map(|(_, t)| t.clone()).collect();
+        let delta: Vec<_> = r.rows_in_window(1, 3).map(|(_, t)| t).collect();
         assert_eq!(delta, vec![Tuple::consts(["b"]), Tuple::consts(["c"])]);
         assert_eq!(r.window_size(0, 1), 1);
         assert_eq!(r.window_size(3, u64::MAX), 1);
@@ -560,8 +787,8 @@ mod tests {
             "{}",
             r.slot_count()
         );
-        // Index buckets shed their dead ids too (the "hot" bucket was hit
-        // by every cycle).
+        // Index postings shed their dead ids too (the "hot" posting was
+        // hit by every cycle).
         assert!(
             r.index_entry_count() <= 4 * COMPACT_MIN_SLOTS,
             "{}",
@@ -574,26 +801,21 @@ mod tests {
     #[test]
     fn heap_estimate_tracks_growth_and_compaction() {
         let mut r = Relation::new(2);
-        assert_eq!(r.approx_heap_bytes(), 0);
+        assert_eq!(r.heap_bytes(), 0);
         for i in 0..100 {
             r.insert(Tuple::consts([&format!("a{i}"), "b"]));
         }
-        let full = r.approx_heap_bytes();
-        // Lower bound: 100 tuples of 2 values can't fit in fewer bytes
-        // than their raw value payload.
-        assert!(full >= 100 * 2 * std::mem::size_of::<Value>(), "{full}");
+        let full = r.heap_bytes();
+        // Lower bound: 100 rows of 2 packed values can't fit in fewer
+        // bytes than their raw column payload.
+        assert!(full >= 100 * 2 * std::mem::size_of::<ValueId>(), "{full}");
         // Deletion eventually gives the memory back (full compaction).
         for i in 0..100 {
             r.remove(&Tuple::consts([&format!("a{i}"), "b"]));
         }
-        assert!(
-            r.approx_heap_bytes() < full / 2,
-            "{}",
-            r.approx_heap_bytes()
-        );
-        // The incremental index counter survived the churn (the
-        // `index_entry_count` accessor debug-asserts it against a full
-        // recomputation).
+        assert!(r.heap_bytes() < full / 2, "{}", r.heap_bytes());
+        // The incremental counters survived the churn.
+        assert_eq!(r.heap_bytes(), r.recount_heap_bytes());
         let _ = r.index_entry_count();
     }
 
@@ -607,6 +829,7 @@ mod tests {
         r.substitute(n, Value::constant("a"));
         let _ = r.index_entry_count(); // debug-asserts counter consistency
         assert_eq!(r.len(), 50);
+        assert_eq!(r.heap_bytes(), r.recount_heap_bytes());
     }
 
     #[test]
@@ -618,11 +841,37 @@ mod tests {
         for i in 0..30 {
             r.remove(&Tuple::consts([&format!("v{i}")]));
         }
-        let left: Vec<_> = r.iter().cloned().collect();
+        let left: Vec<_> = r.iter().collect();
         assert_eq!(left.len(), 10);
         assert_eq!(left[0], Tuple::consts(["v30"]));
         assert_eq!(left[9], Tuple::consts(["v39"]));
         // Epoch windows still line up after the rebuild.
         assert_eq!(r.rows_in_window(35, u64::MAX).count(), 5);
+    }
+
+    #[test]
+    fn groundness_counter_tracks_null_occurrences() {
+        let n = Value::Null(NullId(1));
+        let mut r = Relation::new(2);
+        assert!(!r.has_nulls());
+        r.insert(Tuple::new(vec![n, Value::constant("b")]));
+        assert!(r.has_nulls());
+        r.substitute(n, Value::constant("a"));
+        assert!(!r.has_nulls());
+        r.insert(Tuple::new(vec![n, n]));
+        assert!(r.has_nulls());
+        r.remove(&Tuple::new(vec![n, n]));
+        assert!(!r.has_nulls());
+    }
+
+    #[test]
+    fn arity_zero_relations_work() {
+        let mut r = Relation::new(0);
+        assert!(r.insert(Tuple::new(Vec::new())));
+        assert!(!r.insert(Tuple::new(Vec::new())));
+        assert_eq!(r.len(), 1);
+        assert!(r.contains(&Tuple::new(Vec::new())));
+        assert!(r.remove(&Tuple::new(Vec::new())));
+        assert!(r.is_empty());
     }
 }

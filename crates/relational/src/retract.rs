@@ -25,7 +25,7 @@ pub fn fold_null(k: &Instance, n: NullId) -> Option<Instance> {
     let mut without = Instance::new(k.schema().clone());
     for (rel, t) in k.facts() {
         if !t.nulls().any(|m| m == n) {
-            without.insert(rel, t.clone());
+            without.insert(rel, t);
         }
     }
     let h = instance_hom(k, &without)?;

@@ -32,6 +32,16 @@ impl Symbol {
     pub fn index(&self) -> usize {
         self.0 as usize
     }
+
+    /// Inverse of [`Symbol::index`]: rebuild a symbol from its raw id.
+    ///
+    /// The id must have come from `index()` on a symbol interned in this
+    /// process — resolving a fabricated id panics. This is what lets the
+    /// columnar storage unpack a [`crate::value::ValueId`] back into a
+    /// value with pure bit arithmetic.
+    pub fn from_index(ix: usize) -> Symbol {
+        Symbol(u32::try_from(ix).expect("symbol index out of range"))
+    }
 }
 
 impl fmt::Debug for Symbol {

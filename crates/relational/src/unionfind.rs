@@ -12,15 +12,20 @@
 //! A class can hold at most one constant: uniting two distinct constants is
 //! the chase's *failure* condition and surfaces as [`ConstMergeConflict`].
 
-use crate::value::Value;
+use crate::store::FxBuildHasher;
+use crate::value::{Value, ValueId};
 use std::collections::HashMap;
 
 /// A union-find (disjoint-set) structure over values, with constants
 /// always winning representative elections.
+///
+/// Stored over packed [`ValueId`]s in a fast integer-keyed map: resolving
+/// runs once per candidate value in every egd round, so the per-lookup
+/// constant matters.
 #[derive(Clone, Debug, Default)]
 pub struct ValueUnionFind {
     /// Parent pointers for non-root values only: absence means root.
-    parent: HashMap<Value, Value>,
+    parent: HashMap<ValueId, ValueId, FxBuildHasher>,
 }
 
 /// Two distinct constants were equated — the chase failure condition
@@ -42,11 +47,11 @@ impl ValueUnionFind {
     /// The canonical representative of `v`'s class (`v` itself when it was
     /// never merged).
     pub fn resolve(&self, v: Value) -> Value {
-        let mut cur = v;
+        let mut cur = ValueId::pack(v);
         while let Some(p) = self.parent.get(&cur) {
             cur = *p;
         }
-        cur
+        cur.value()
     }
 
     /// Merge the classes of `l` and `r`.
@@ -80,7 +85,7 @@ impl ValueUnionFind {
             (Value::Null(_), _) => (rl, rr),
             (_, Value::Null(_)) => (rr, rl),
         };
-        self.parent.insert(from, to);
+        self.parent.insert(ValueId::pack(from), ValueId::pack(to));
         Ok(Some((from, to)))
     }
 
@@ -97,7 +102,7 @@ impl ValueUnionFind {
     /// Every value whose class representative is not itself — exactly the
     /// values whose occurrences must be rewritten in the instance.
     pub fn dirty_values(&self) -> Vec<Value> {
-        self.parent.keys().copied().collect()
+        self.parent.keys().map(|id| id.value()).collect()
     }
 }
 

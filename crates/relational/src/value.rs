@@ -101,6 +101,92 @@ impl From<NullId> for Value {
     }
 }
 
+/// Packed single-word storage id of a [`Value`].
+///
+/// Bit 0 tags the sort — `0` for constants, `1` for labeled nulls — and
+/// bits 1..32 carry the payload: the global interner index of the constant's
+/// [`Symbol`], or the [`NullId`]. Packing and unpacking are pure bit
+/// arithmetic (the process-wide symbol interner *is* the intern table), so
+/// a `ValueId` is stable across instances for the lifetime of the process.
+///
+/// Columnar relation storage ([`crate::relation::Relation`]) keeps rows as
+/// per-attribute `Vec<ValueId>` columns and keys its open-addressed indexes
+/// by the raw id; the all-ones raw word is reserved as those tables' empty
+/// sentinel and is never produced by packing (payloads are bounded by
+/// [`ValueId::MAX_PAYLOAD`]).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ValueId(u32);
+
+impl ValueId {
+    /// Largest symbol index / null id a `ValueId` can carry. One short of
+    /// the full 31-bit range so no packed id collides with the reserved
+    /// all-ones storage sentinel.
+    pub const MAX_PAYLOAD: u32 = (u32::MAX >> 1) - 1;
+
+    /// Pack a value. O(1), no table lookups.
+    ///
+    /// # Panics
+    /// Panics if the symbol index or null id exceeds
+    /// [`ValueId::MAX_PAYLOAD`] (about two billion distinct constants or
+    /// nulls — unreachable before the interner itself overflows).
+    pub fn pack(v: Value) -> ValueId {
+        match v {
+            Value::Const(s) => {
+                let ix = u32::try_from(s.index()).expect("symbol index overflow");
+                assert!(ix <= Self::MAX_PAYLOAD, "symbol index overflow");
+                ValueId(ix << 1)
+            }
+            Value::Null(n) => {
+                assert!(n.0 <= Self::MAX_PAYLOAD, "null id overflow");
+                ValueId((n.0 << 1) | 1)
+            }
+        }
+    }
+
+    /// Unpack back into a [`Value`]. O(1).
+    pub fn value(self) -> Value {
+        if self.0 & 1 == 1 {
+            Value::Null(NullId(self.0 >> 1))
+        } else {
+            Value::Const(Symbol::from_index((self.0 >> 1) as usize))
+        }
+    }
+
+    /// Is this the id of a labeled null?
+    pub fn is_null(self) -> bool {
+        self.0 & 1 == 1
+    }
+
+    /// Is this the id of a constant?
+    pub fn is_const(self) -> bool {
+        self.0 & 1 == 0
+    }
+
+    /// The raw packed word — the key the columnar storage hashes and
+    /// stores. Never `u32::MAX` (reserved as the open-addressing sentinel).
+    pub fn raw(self) -> u32 {
+        self.0
+    }
+}
+
+impl From<Value> for ValueId {
+    fn from(v: Value) -> ValueId {
+        ValueId::pack(v)
+    }
+}
+
+impl From<ValueId> for Value {
+    fn from(id: ValueId) -> Value {
+        id.value()
+    }
+}
+
+impl fmt::Debug for ValueId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:?}", self.value())
+    }
+}
+
 /// Generator of fresh labeled nulls.
 ///
 /// Each chase run owns a generator so null ids are dense and deterministic
@@ -128,7 +214,8 @@ impl NullGen {
     /// Mint a fresh null.
     pub fn fresh(&self) -> NullId {
         let id = self.next.fetch_add(1, Ordering::Relaxed);
-        assert!(id != u32::MAX, "null id overflow");
+        // Stay inside the 31-bit payload a packed [`ValueId`] can carry.
+        assert!(id < ValueId::MAX_PAYLOAD, "null id overflow");
         NullId(id)
     }
 
@@ -193,5 +280,39 @@ mod tests {
     fn display_forms() {
         assert_eq!(format!("{}", Value::constant("abc")), "abc");
         assert_eq!(format!("{}", Value::Null(NullId(2))), "_N2");
+    }
+
+    #[test]
+    fn value_ids_round_trip() {
+        for v in [
+            Value::constant("a"),
+            Value::constant("some longer constant"),
+            Value::Null(NullId(0)),
+            Value::Null(NullId(123_456)),
+        ] {
+            let id = ValueId::pack(v);
+            assert_eq!(id.value(), v);
+            assert_eq!(id.is_null(), v.is_null());
+            assert_eq!(id.is_const(), v.is_const());
+            assert_ne!(id.raw(), u32::MAX, "sentinel must stay reserved");
+        }
+    }
+
+    #[test]
+    fn value_ids_separate_the_sorts() {
+        // A constant and a null with the same payload never collide: the
+        // tag bit keeps the two sorts disjoint after packing.
+        let c = ValueId::pack(Value::constant("x"));
+        let n = ValueId::pack(Value::Null(NullId(
+            u32::try_from(Symbol::intern("x").index()).unwrap(),
+        )));
+        assert_ne!(c, n);
+    }
+
+    #[test]
+    #[should_panic(expected = "null id overflow")]
+    fn value_id_rejects_sentinel_collision() {
+        // The largest 31-bit null id would pack to the all-ones sentinel.
+        let _ = ValueId::pack(Value::Null(NullId(u32::MAX >> 1)));
     }
 }

@@ -85,8 +85,8 @@ impl fmt::Display for StopReason {
 pub struct GovernorConfig {
     /// Wall-clock budget, measured from [`Governor::new`].
     pub deadline: Option<Duration>,
-    /// Memory budget in estimated heap bytes (see
-    /// `Instance::approx_heap_bytes`).
+    /// Memory budget in heap bytes as accounted by the columnar storage
+    /// (see `Instance::heap_bytes`).
     pub memory_budget_bytes: Option<usize>,
     /// External cancellation handle; a fresh token is created when absent.
     pub cancel: Option<CancelToken>,

@@ -185,7 +185,7 @@ mod tests {
         let out = tractable::exists_solution(&p, &input).unwrap();
         let w = out.witness.unwrap();
         for t in input.relation(upp).iter() {
-            assert!(w.contains(upp, t));
+            assert!(w.contains(upp, &t));
         }
     }
 }

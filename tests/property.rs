@@ -493,6 +493,87 @@ proptest! {
     }
 
     #[test]
+    fn heap_accounting_never_drifts_under_random_ops(
+        ops in prop::collection::vec((0u8..5, 0u32..6, 0u32..6), 1..80),
+    ) {
+        // Columnar-storage invariant: the incremental heap-byte counter
+        // must equal a from-scratch recount after every mutation —
+        // inserts (including duplicates), removes of present and absent
+        // rows, egd-style value rewrites, epoch bumps, and the
+        // compactions those trigger. `recount_heap_bytes` also
+        // cross-checks the liveness / null / index-entry counters via
+        // debug assertions, so drift in any of them fails here too.
+        use pde_relational::{NullId, Relation, Tuple, Value};
+        let val = |k: u32| {
+            if k < 4 {
+                Value::constant(format!("c{k}"))
+            } else {
+                Value::Null(NullId(k - 4))
+            }
+        };
+        let mut r = Relation::new(2);
+        let mut epoch = 0u64;
+        for (op, a, b) in ops {
+            let t = Tuple::new(vec![val(a), val(b)]);
+            match op {
+                0 | 1 => {
+                    r.insert_at(t, epoch);
+                }
+                2 => {
+                    r.remove(&t);
+                }
+                3 => {
+                    r.substitute_at(val(a), val(b), epoch);
+                }
+                _ => epoch += 1,
+            }
+            prop_assert_eq!(r.heap_bytes(), r.recount_heap_bytes());
+        }
+    }
+
+    #[test]
+    fn heap_accounting_never_drifts_across_chase_engines(edges in arb_edge_instance(4, 7)) {
+        // End-to-end twin of the op-sequence drift test: both engines'
+        // real mutation mix — trigger inserts, union-find merge
+        // application, tombstone compaction — must leave every chased
+        // instance's incremental byte counter equal to a recount.
+        let schema = std::sync::Arc::new(
+            parse_schema("source E/2; target H/2; target K/2;").unwrap(),
+        );
+        let deps = parse_dependencies(
+            &schema,
+            "E(x, y) -> exists z . H(x, z); E(x, y) -> exists w . K(x, w); \
+             H(x, y), K(x, z) -> y = z",
+        )
+        .unwrap();
+        let mut src = String::new();
+        for (a, b) in &edges {
+            src.push_str(&format!("E(v{a}, v{b}). "));
+        }
+        let input = parse_instance(&schema, &src).unwrap();
+        prop_assert_eq!(input.heap_bytes(), input.recount_heap_bytes());
+        for result in [
+            pde_chase::chase_naive_with(
+                input.clone(),
+                &deps,
+                pde_chase::WitnessMode::FreshNulls(&pde_relational::NullGen::new()),
+                ChaseLimits::default(),
+            ),
+            pde_chase::chase_seminaive_with(
+                input.clone(),
+                &deps,
+                pde_chase::WitnessMode::FreshNulls(&pde_relational::NullGen::new()),
+                ChaseLimits::default(),
+            ),
+        ] {
+            prop_assert_eq!(
+                result.instance.heap_bytes(),
+                result.instance.recount_heap_bytes()
+            );
+        }
+    }
+
+    #[test]
     fn shrink_solution_yields_contained_solutions(edges in arb_edge_instance(4, 6)) {
         let p = paper::example1_setting();
         let input = edges_to_instance(&p, "E", &edges);

@@ -107,7 +107,7 @@ fn golden_span_sequence_for_seminaive_chase() {
     // round 2's delta windows find nothing and the chase stops. Child
     // spans close before their parent round span, so they come first.
     let expected: Vec<(&str, Vec<(&str, FieldValue)>)> = vec![
-        ("governor.check", vec![("bytes", FieldValue::U64(252))]),
+        ("governor.check", vec![("bytes", FieldValue::U64(536))]),
         (
             "hom.search",
             vec![
@@ -135,7 +135,7 @@ fn golden_span_sequence_for_seminaive_chase() {
                 ("facts", FieldValue::U64(3)),
             ],
         ),
-        ("governor.check", vec![("bytes", FieldValue::U64(336))]),
+        ("governor.check", vec![("bytes", FieldValue::U64(784))]),
         (
             "hom.search",
             vec![
@@ -342,8 +342,11 @@ fn solve_json_report_golden_tractable() {
          \"chase.egd_merges\":0,\"chase.rounds\":4,\"chase.skipped_by_delta\":2,\
          \"chase.triggers_fired\":2,\"chase.triggers_found\":2,\"chase.triggers_satisfied\":0,\
          \"governor.cancellations_observed\":0,\"governor.checks\":4,\
-         \"governor.faults_fired\":0,\"governor.peak_bytes\":336,\"governor.stops\":0,\
-         \"solve.elapsed_ns\":N},\"histograms\":{}}}"
+         \"governor.faults_fired\":0,\"governor.peak_bytes\":571,\"governor.stops\":0,\
+         \"solve.elapsed_ns\":N,\
+         \"storage.bytes_per_fact\":143,\"storage.facts\":4,\
+         \"storage.heap_bytes\":571,\"storage.index_entries\":8,\
+         \"storage.slots\":4},\"histograms\":{}}}"
     );
 }
 

@@ -225,12 +225,77 @@ pub fn chase_seminaive_with(
 /// [`chase_governed_with`] worker; callers normally go through that
 /// entry point).
 fn chase_seminaive_scheduled_governed(
+    instance: Instance,
+    deps: &[Dependency],
+    mode: WitnessMode<'_>,
+    limits: ChaseLimits,
+    governor: &Governor,
+    schedule: Option<&DepSchedule>,
+) -> ChaseResult {
+    chase_seminaive_incremental(instance, deps, mode, limits, governor, schedule, 0)
+}
+
+/// Semi-naive chase that resumes from an epoch watermark instead of the
+/// seed round.
+///
+/// `initial_since` is the epoch the first delta window opens at: trigger
+/// discovery only enumerates premise homomorphisms touching at least one
+/// fact inserted at or after it. `0` is the ordinary full chase.
+///
+/// # Precondition
+/// A non-zero watermark asserts that the sub-instance of facts older than
+/// `initial_since` already satisfies **every** dependency in `deps` (it is
+/// the fixpoint of a previous chase). Under that precondition the skipped
+/// all-old triggers are exactly the already-satisfied ones, so the
+/// incremental run reaches the same fixpoint as a fresh chase of the whole
+/// instance — this is what `pde serve` relies on to re-chase inserts off
+/// epoch deltas instead of from scratch. Violating the precondition
+/// (e.g. after a retraction, which can *un*-satisfy old triggers'
+/// conclusions) silently under-chases: retracts must fall back to a full
+/// re-chase.
+///
+/// With [`WitnessMode::FreshNulls`], pass a generator seeded above the
+/// instance's existing nulls ([`null_gen_for`]) or witnesses may collide
+/// with recovered ones.
+pub fn chase_incremental_governed(
+    instance: Instance,
+    deps: &[Dependency],
+    mode: WitnessMode<'_>,
+    limits: ChaseLimits,
+    governor: &Governor,
+    schedule: Option<&DepSchedule>,
+    initial_since: u64,
+) -> ChaseResult {
+    if let Some(s) = schedule {
+        // An incremental window is only sound on top of a full-deps
+        // fixpoint; a schedule still partitions the same deps, so each
+        // stratum may open at the watermark too.
+        assert!(
+            s.is_partition_of(deps.len()),
+            "schedule must partition the dependency indices 0..{}",
+            deps.len()
+        );
+    }
+    chase_seminaive_incremental(
+        instance,
+        deps,
+        mode,
+        limits,
+        governor,
+        schedule,
+        initial_since,
+    )
+}
+
+#[allow(clippy::too_many_arguments)]
+fn chase_seminaive_incremental(
     mut instance: Instance,
     deps: &[Dependency],
     mode: WitnessMode<'_>,
     limits: ChaseLimits,
     governor: &Governor,
     schedule: Option<&DepSchedule>,
+    initial_since: u64,
 ) -> ChaseResult {
     if let Some(s) = schedule {
         assert!(
@@ -258,11 +323,12 @@ fn chase_seminaive_scheduled_governed(
     let mut seen: Vec<usize> = vec![0; deps.len()];
 
     for stratum in strata {
-        // Each stratum re-seeds its delta window: its first round
-        // enumerates over the whole instance (exactly like the seed round
-        // of an unscheduled chase), picking up everything earlier strata
+        // Each stratum re-seeds its delta window at the watermark: its
+        // first round enumerates everything at or after it (for a full
+        // chase, the whole instance — exactly like the seed round of an
+        // unscheduled chase), picking up everything earlier strata
         // produced.
-        let mut since: u64 = 0;
+        let mut since: u64 = initial_since;
         'outer: loop {
             if steps >= limits.max_steps || instance.fact_count() >= limits.max_facts {
                 return ChaseResult {
@@ -1099,6 +1165,59 @@ mod tests {
         assert!(naive.is_failure());
         assert!(semi.is_failure());
         assert_eq!(semi.outcome, ChaseOutcome::Failure { dep_index: 1 });
+    }
+
+    #[test]
+    fn incremental_chase_matches_a_fresh_rechase() {
+        let s = schema();
+        let deps = parse_dependencies(
+            &s,
+            "E(x, z), E(z, y) -> H(x, y); H(x, y) -> K(y, x); H(x, y), H(x, z) -> y = z",
+        )
+        .unwrap();
+        // Chase a base to fixpoint, then insert new facts at a fresh epoch
+        // and re-chase only off the delta.
+        let base = parse_instance(&s, "E(a, b). E(b, c).").unwrap();
+        let fixed = chase_seminaive_with(
+            base,
+            &deps,
+            WitnessMode::FreshNulls(&NullGen::new()),
+            ChaseLimits::default(),
+        );
+        assert!(fixed.is_success());
+        let mut grown = fixed.instance;
+        let watermark = grown.bump_epoch();
+        grown.insert_consts("E", ["c", "d"]);
+        let gen = null_gen_for(&grown);
+        let incremental = chase_incremental_governed(
+            grown.clone(),
+            &deps,
+            WitnessMode::FreshNulls(&gen),
+            ChaseLimits::default(),
+            &Governor::unlimited(),
+            None,
+            watermark,
+        );
+        assert!(incremental.is_success());
+        // Oracle: a fresh full chase of the grown base.
+        let fresh_base = parse_instance(&s, "E(a, b). E(b, c). E(c, d).").unwrap();
+        let fresh = chase_seminaive_with(
+            fresh_base,
+            &deps,
+            WitnessMode::FreshNulls(&NullGen::new()),
+            ChaseLimits::default(),
+        );
+        assert!(fresh.is_success());
+        assert!(
+            instances_isomorphic(&incremental.instance, &fresh.instance),
+            "{:?} vs {:?}",
+            incremental.instance,
+            fresh.instance
+        );
+        assert!(satisfies_all(&incremental.instance, &deps));
+        // And the incremental run did less work than the fresh one: the
+        // watermark skipped the already-fired base triggers.
+        assert!(incremental.tgd_steps < fresh.tgd_steps);
     }
 
     #[test]

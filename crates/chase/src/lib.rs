@@ -18,10 +18,10 @@ pub mod result;
 pub mod satisfy;
 
 pub use engine::{
-    chase, chase_governed_scheduled, chase_governed_with, chase_naive, chase_naive_with,
-    chase_seminaive_with, chase_tgds, chase_tgds_governed, chase_with, default_chase_engine,
-    null_gen_for, set_default_chase_engine, solution_aware_chase, ChaseEngine, DepSchedule,
-    WitnessMode,
+    chase, chase_governed_scheduled, chase_governed_with, chase_incremental_governed, chase_naive,
+    chase_naive_with, chase_seminaive_with, chase_tgds, chase_tgds_governed, chase_with,
+    default_chase_engine, null_gen_for, set_default_chase_engine, solution_aware_chase,
+    ChaseEngine, DepSchedule, WitnessMode,
 };
 pub use result::{ChaseLimits, ChaseOutcome, ChaseResult, ChaseStats, StepRecord};
 pub use satisfy::{

@@ -9,7 +9,7 @@
 //! `I_can` has a constant number of nulls, which is what makes the
 //! per-block homomorphism checks of `ExistsSolution` polynomial.
 
-use pde_relational::{Instance, NullId, RelId, Tuple};
+use pde_relational::{Instance, NullId, RelId, Tuple, Value};
 use std::collections::HashMap;
 
 /// A block of tuples, with its null inventory.
@@ -85,15 +85,22 @@ impl UnionFind {
 pub fn blocks(inst: &Instance) -> Vec<Block> {
     let mut span = pde_trace::span("blocks.decompose").field("facts", inst.fact_count());
     let mut uf = UnionFind::new();
-    for (_, t) in inst.facts() {
-        let nulls: Vec<NullId> = t.nulls().collect();
-        for w in nulls.windows(2) {
-            uf.union(w[0], w[1]);
+    // Union pass over the packed columns — no tuples materialized.
+    let _ = inst.for_each_fact(|_, ids| {
+        let mut prev: Option<NullId> = None;
+        for id in ids {
+            if let Value::Null(n) = id.value() {
+                match prev {
+                    Some(p) => uf.union(p, n),
+                    None => {
+                        uf.find(n); // ensure singleton components are registered
+                    }
+                }
+                prev = Some(n);
+            }
         }
-        if let Some(first) = nulls.first() {
-            uf.find(*first); // ensure singleton components are registered
-        }
-    }
+        std::ops::ControlFlow::Continue(())
+    });
     let mut ground = Block {
         facts: Vec::new(),
         nulls: Vec::new(),

@@ -26,7 +26,8 @@ pub use blocks::{blocks, blockwise_hom_exists, max_block_nulls, Block};
 pub use setting::{PdeSetting, SettingClass, SettingError};
 pub use solution::{check_solution, core_solution, is_solution, SolutionViolation};
 pub use tractable::{
-    exists_solution, exists_solution_unchecked, TractableError, TractableOutcome, TractableStats,
+    exists_solution, exists_solution_from_chased, exists_solution_unchecked, TractableError,
+    TractableOutcome, TractableStats,
 };
 
 pub mod generic;

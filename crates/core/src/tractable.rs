@@ -207,8 +207,49 @@ pub fn exists_solution_governed_unchecked(
     }
     stats.chase_steps += st_res.steps;
     stats.chase_stats.absorb(st_res.stats);
-    let chased_st = st_res.instance;
+    solve_from_chased(setting, input, &st_res.instance, stats, engine, governor)
+}
+
+/// Steps 2–3 of `ExistsSolution` on a *precomputed* step-1 chase.
+///
+/// `chased_st` must be the Σst-chase fixpoint of `input` (the combined
+/// `(I, J_can)` instance) — e.g. one maintained incrementally across
+/// inserts via `chase_incremental_governed`, which is how `pde serve`
+/// answers `solve` requests without re-chasing from scratch. The same
+/// `C_tract` caveats as [`exists_solution_unchecked`] apply, and a stale
+/// or under-chased `chased_st` yields wrong answers — callers own that
+/// invariant.
+pub fn exists_solution_from_chased(
+    setting: &PdeSetting,
+    input: &Instance,
+    chased_st: &Instance,
+    engine: ChaseEngine,
+    governor: &Governor,
+) -> Result<TractableOutcome, TractableError> {
+    if !setting.has_no_target_constraints() {
+        return Err(TractableError::HasTargetConstraints);
+    }
+    if !input.is_ground() {
+        return Err(TractableError::InputNotGround);
+    }
+    let stats = TractableStats::default();
+    solve_from_chased(setting, input, chased_st, stats, engine, governor)
+}
+
+/// Shared tail of the Fig. 3 algorithm: steps 2–3 plus the witness
+/// construction, given the step-1 chase `chased_st`.
+fn solve_from_chased(
+    setting: &PdeSetting,
+    input: &Instance,
+    chased_st: &Instance,
+    mut stats: TractableStats,
+    engine: ChaseEngine,
+    governor: &Governor,
+) -> Result<TractableOutcome, TractableError> {
     stats.jcan_facts = chased_st.fact_count_of(Peer::Target);
+    // Seed above the chase's nulls, not just the input's: step 2 must not
+    // collide with witnesses step 1 already invented.
+    let gen = null_gen_for(chased_st);
 
     // Step 2: (J_can, I_can) := chase of (J_can, ∅) with Σts.
     let jcan_only = chased_st.restrict(Peer::Target);

@@ -9,9 +9,10 @@ use crate::relation::Relation;
 use crate::schema::{Peer, RelId, Schema};
 use crate::tuple::Tuple;
 use crate::unionfind::ValueUnionFind;
-use crate::value::{NullId, Value};
+use crate::value::{NullId, Value, ValueId};
 use std::collections::BTreeSet;
 use std::fmt;
+use std::ops::ControlFlow;
 use std::sync::Arc;
 
 /// A database instance over a fixed schema.
@@ -58,6 +59,14 @@ impl Instance {
         self.epoch
     }
 
+    /// Raise the insertion-epoch counter to `epoch` (never lowers it —
+    /// per-row stamps must stay monotone). Used by the durable store's
+    /// journal replay, which re-stamps recovered facts with the epoch they
+    /// were originally committed under.
+    pub fn set_epoch(&mut self, epoch: u64) {
+        self.epoch = self.epoch.max(epoch);
+    }
+
     /// Insert a fact `R(t)` stamped with the current epoch; returns `true`
     /// if new.
     pub fn insert(&mut self, rel: RelId, t: Tuple) -> bool {
@@ -80,6 +89,25 @@ impl Instance {
             .rel_id(rel)
             .unwrap_or_else(|| panic!("unknown relation {rel}"));
         self.insert(id, Tuple::consts(values))
+    }
+
+    /// Insert a fact given as packed value ids, stamped with the current
+    /// epoch; returns `true` if new. The zero-copy twin of
+    /// [`Instance::insert`] used for bulk copies between instances.
+    ///
+    /// # Panics
+    /// Panics if `ids.len()` differs from the relation's arity.
+    pub fn insert_ids(&mut self, rel: RelId, ids: &[ValueId]) -> bool {
+        let epoch = self.epoch;
+        self.relations[rel.index()].insert_ids_at(ids, epoch)
+    }
+
+    /// [`Instance::insert_ids`] stamped with an explicit insertion epoch
+    /// (clamped monotone per relation). The durable store's snapshot loader
+    /// uses this to restore each row's original epoch so delta windows
+    /// survive a restart.
+    pub fn insert_ids_at(&mut self, rel: RelId, ids: &[ValueId], epoch: u64) -> bool {
+        self.relations[rel.index()].insert_ids_at(ids, epoch)
     }
 
     /// Membership test for a fact.
@@ -146,11 +174,27 @@ impl Instance {
 
     /// Iterate over all facts as `(rel, tuple)` pairs. Tuples are
     /// materialized from the columnar storage on the fly; hot paths should
-    /// work on row ids via [`Instance::relation`] instead.
+    /// work on row ids via [`Instance::relation`] or scan packed rows with
+    /// [`Instance::for_each_fact`] instead.
     pub fn facts(&self) -> impl Iterator<Item = (RelId, Tuple)> + '_ {
         self.schema
             .rel_ids()
             .flat_map(move |id| self.relations[id.index()].iter().map(move |t| (id, t)))
+    }
+
+    /// Visit every fact as `(rel, packed row)` without materializing
+    /// tuples — the arena-backed twin of [`Instance::facts`] that snapshot
+    /// serialization and bulk instance copies run on. Relations are visited
+    /// in schema order, rows in insertion order; returning
+    /// [`ControlFlow::Break`] stops the scan.
+    pub fn for_each_fact(
+        &self,
+        mut f: impl FnMut(RelId, &[ValueId]) -> ControlFlow<()>,
+    ) -> ControlFlow<()> {
+        for id in self.schema.rel_ids() {
+            self.relations[id.index()].for_each_row(|_, ids| f(id, ids))?;
+        }
+        ControlFlow::Continue(())
     }
 
     /// Iterate over the facts of one peer.
@@ -160,36 +204,76 @@ impl Instance {
     }
 
     /// Copy of this instance keeping only `peer`'s facts (other relations
-    /// are emptied, the schema is unchanged).
+    /// are emptied, the schema is unchanged). Rows are copied as packed
+    /// ids — no tuple materialization.
     pub fn restrict(&self, peer: Peer) -> Instance {
         let mut out = Instance::new(self.schema.clone());
-        for (rel, t) in self.facts_of(peer) {
-            out.insert(rel, t);
+        for id in self.schema.rel_ids() {
+            if self.schema.peer(id) != peer {
+                continue;
+            }
+            let target = &mut out.relations[id.index()];
+            let _ = self.relations[id.index()].for_each_row(|_, ids| {
+                target.insert_ids_at(ids, 0);
+                ControlFlow::Continue(())
+            });
         }
         out
     }
 
-    /// Union of this instance with `other` (same schema required).
+    /// Union of this instance with `other` (same schema required). Rows of
+    /// `other` are copied as packed ids, stamped with `self`'s current
+    /// epoch.
     pub fn union(&self, other: &Instance) -> Instance {
         assert!(
             Arc::ptr_eq(&self.schema, &other.schema) || self.schema.len() == other.schema.len(),
             "schema mismatch in union"
         );
         let mut out = self.clone();
-        for (rel, t) in other.facts() {
-            out.insert(rel, t);
+        let epoch = out.epoch;
+        for id in self.schema.rel_ids() {
+            let target = &mut out.relations[id.index()];
+            let _ = other.relations[id.index()].for_each_row(|_, ids| {
+                target.insert_ids_at(ids, epoch);
+                ControlFlow::Continue(())
+            });
         }
         out
     }
 
-    /// Is every fact of `self` a fact of `other`?
+    /// Is every fact of `self` a fact of `other`? Compares packed rows —
+    /// no tuple materialization.
     pub fn contained_in(&self, other: &Instance) -> bool {
-        self.facts().all(|(rel, t)| other.contains(rel, &t))
+        self.schema.rel_ids().all(|id| {
+            let target = &other.relations[id.index()];
+            self.relations[id.index()]
+                .for_each_row(|_, ids| {
+                    if target.contains_ids(ids) {
+                        ControlFlow::Continue(())
+                    } else {
+                        ControlFlow::Break(())
+                    }
+                })
+                .is_continue()
+        })
     }
 
     /// Is every fact of `self` belonging to `peer` also in `other`?
     pub fn peer_contained_in(&self, other: &Instance, peer: Peer) -> bool {
-        self.facts_of(peer).all(|(rel, t)| other.contains(rel, &t))
+        self.schema.rel_ids().all(|id| {
+            self.schema.peer(id) != peer || {
+                let target = &other.relations[id.index()];
+                self.relations[id.index()]
+                    .for_each_row(|_, ids| {
+                        if target.contains_ids(ids) {
+                            ControlFlow::Continue(())
+                        } else {
+                            ControlFlow::Break(())
+                        }
+                    })
+                    .is_continue()
+            }
+        })
     }
 
     /// Set equality of the stored facts (insertion order ignored).
@@ -267,10 +351,19 @@ impl Instance {
 
     /// Apply a value mapping to every fact, producing a new instance
     /// (the homomorphic image `h(K)` used throughout §5 of the paper).
+    /// Maps packed rows through one reused buffer — no tuple
+    /// materialization.
     pub fn map_values(&self, mut f: impl FnMut(Value) -> Value) -> Instance {
         let mut out = Instance::new(self.schema.clone());
-        for (rel, t) in self.facts() {
-            out.insert(rel, t.map(&mut f));
+        let mut buf: Vec<ValueId> = Vec::new();
+        for id in self.schema.rel_ids() {
+            let target = &mut out.relations[id.index()];
+            let _ = self.relations[id.index()].for_each_row(|_, ids| {
+                buf.clear();
+                buf.extend(ids.iter().map(|i| ValueId::pack(f(i.value()))));
+                target.insert_ids_at(&buf, 0);
+                ControlFlow::Continue(())
+            });
         }
         out
     }

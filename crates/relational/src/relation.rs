@@ -28,6 +28,7 @@
 use crate::store::{hash_ids, ColumnIndex, RowSet};
 use crate::tuple::Tuple;
 use crate::value::{Value, ValueId};
+use std::ops::ControlFlow;
 
 /// Slot count below which full-relation compaction is not worth running.
 const COMPACT_MIN_SLOTS: usize = 32;
@@ -162,10 +163,20 @@ impl Relation {
         true
     }
 
-    /// Insert a row given as packed ids (the internal re-insertion path of
-    /// [`Relation::rewrite_values`]); same semantics as
-    /// [`Relation::insert_at`].
-    fn insert_ids_at(&mut self, ids: &[ValueId], epoch: u64) -> bool {
+    /// Insert a row given as packed ids — the zero-copy twin of
+    /// [`Relation::insert_at`], used by the re-insertion path of
+    /// [`Relation::rewrite_values`] and by bulk copies between instances
+    /// (snapshot load, union, restriction) that would otherwise
+    /// materialize a [`Tuple`] per row.
+    ///
+    /// # Panics
+    /// Panics if `ids.len()` differs from the relation's arity.
+    pub fn insert_ids_at(&mut self, ids: &[ValueId], epoch: u64) -> bool {
+        assert_eq!(
+            ids.len(),
+            self.arity as usize,
+            "arity mismatch inserting packed row"
+        );
         let hash = hash_ids(ids.iter().copied());
         let found = self
             .set
@@ -229,6 +240,24 @@ impl Relation {
         }
         let hash = hash_ids(t.values().iter().map(|v| ValueId::pack(*v)));
         self.find_tuple_row(hash, t).is_some()
+    }
+
+    /// Membership test on an already-packed row ([`Relation::contains`]
+    /// without the tuple materialization). Rows of the wrong arity are
+    /// simply absent.
+    pub fn contains_ids(&self, ids: &[ValueId]) -> bool {
+        if ids.len() != self.arity as usize {
+            return false;
+        }
+        let hash = hash_ids(ids.iter().copied());
+        self.set
+            .find(hash, |r| {
+                self.columns
+                    .iter()
+                    .zip(ids)
+                    .all(|(c, id)| c[r as usize] == *id)
+            })
+            .is_some()
     }
 
     /// Remove a tuple; returns `true` if it was present. Removal is lazy —
@@ -337,6 +366,39 @@ impl Relation {
     /// [`Relation::value_id_at`] instead).
     pub fn iter(&self) -> impl Iterator<Item = Tuple> + '_ {
         self.live_row_ids().map(|r| self.tuple_at(r))
+    }
+
+    /// Visit every live row in insertion order as `(row id, packed ids)`,
+    /// gathering each row into one reused scratch buffer — the arena-backed
+    /// twin of [`Relation::iter`], allocating zero tuples. Returning
+    /// [`ControlFlow::Break`] from the callback stops the scan early.
+    pub fn for_each_row(
+        &self,
+        mut f: impl FnMut(u32, &[ValueId]) -> ControlFlow<()>,
+    ) -> ControlFlow<()> {
+        self.for_each_row_in_window(0, u64::MAX, &mut f)
+    }
+
+    /// [`Relation::for_each_row`] restricted to live rows whose insertion
+    /// epoch lies in `[lo, hi)` — the zero-copy delta view.
+    pub fn for_each_row_in_window(
+        &self,
+        lo: u64,
+        hi: u64,
+        f: &mut impl FnMut(u32, &[ValueId]) -> ControlFlow<()>,
+    ) -> ControlFlow<()> {
+        let start = self.first_row_at(lo);
+        let end = self.first_row_at(hi);
+        let mut buf: Vec<ValueId> = Vec::with_capacity(self.arity as usize);
+        for r in start..end {
+            if !self.live[r] {
+                continue;
+            }
+            buf.clear();
+            buf.extend(self.columns.iter().map(|c| c[r]));
+            f(u32::try_from(r).expect("relation overflow"), &buf)?;
+        }
+        ControlFlow::Continue(())
     }
 
     /// Row ids of live rows, in insertion order.

@@ -1,0 +1,307 @@
+//! The append-only epoch journal: framed insert/retract/merge records.
+//!
+//! Between two snapshots, every committed mutation batch is appended to the
+//! journal as one checksummed frame whose payload is the batch's epoch
+//! followed by its [`Op`]s. Records are fully self-contained — constants
+//! travel as strings, nulls as their stable ids — so replay never depends
+//! on interner state from the writing process. Replay applies each good
+//! frame in order, *skipping* frames whose epoch is at or below the
+//! snapshot's (a checkpoint folds those into the snapshot; re-reading a
+//! journal tail that survived the checkpoint's truncation is therefore
+//! idempotent), and stops at the first torn or corrupt frame — the
+//! truncation point recovery rewinds the file to.
+
+use crate::frame::{append_frame, put_string, read_frame, DecodeError, FrameRead, Reader};
+use pde_relational::{NullId, Symbol, Value};
+
+/// Magic bytes opening every journal file (8 bytes, versioned).
+pub const JOURNAL_MAGIC: &[u8; 8] = b"PDEJRNL1";
+
+/// One durable mutation of the base instance.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Op {
+    /// Insert the fact `rel(values…)`.
+    Insert {
+        /// Relation name.
+        rel: Symbol,
+        /// The tuple's values.
+        values: Vec<Value>,
+    },
+    /// Retract the fact `rel(values…)`.
+    Retract {
+        /// Relation name.
+        rel: Symbol,
+        /// The tuple's values.
+        values: Vec<Value>,
+    },
+    /// Replace every occurrence of `from` by `to` (an egd-style merge).
+    Merge {
+        /// The value being replaced.
+        from: Value,
+        /// The replacement.
+        to: Value,
+    },
+}
+
+const OP_INSERT: u8 = 0;
+const OP_RETRACT: u8 = 1;
+const OP_MERGE: u8 = 2;
+const VAL_CONST: u8 = 0;
+const VAL_NULL: u8 = 1;
+
+fn put_value(out: &mut Vec<u8>, v: Value) {
+    match v {
+        Value::Const(sym) => {
+            out.push(VAL_CONST);
+            put_string(out, &sym.as_str());
+        }
+        Value::Null(n) => {
+            out.push(VAL_NULL);
+            out.extend_from_slice(&n.0.to_le_bytes());
+        }
+    }
+}
+
+fn read_value(r: &mut Reader<'_>) -> Result<Value, DecodeError> {
+    match r.u8()? {
+        VAL_CONST => Ok(Value::constant(r.string()?)),
+        VAL_NULL => Ok(Value::Null(NullId(r.u32()?))),
+        tag => Err(DecodeError(format!("unknown value tag {tag}"))),
+    }
+}
+
+/// Encode one commit batch (`epoch` + `ops`) as a frame payload.
+pub fn encode_batch(epoch: u64, ops: &[Op]) -> Vec<u8> {
+    let mut out = Vec::new();
+    out.extend_from_slice(&epoch.to_le_bytes());
+    let count = u32::try_from(ops.len()).expect("op batch too large");
+    out.extend_from_slice(&count.to_le_bytes());
+    for op in ops {
+        match op {
+            Op::Insert { rel, values } | Op::Retract { rel, values } => {
+                out.push(if matches!(op, Op::Insert { .. }) {
+                    OP_INSERT
+                } else {
+                    OP_RETRACT
+                });
+                put_string(&mut out, &rel.as_str());
+                let arity = u32::try_from(values.len()).expect("tuple too wide");
+                out.extend_from_slice(&arity.to_le_bytes());
+                for v in values {
+                    put_value(&mut out, *v);
+                }
+            }
+            Op::Merge { from, to } => {
+                out.push(OP_MERGE);
+                put_value(&mut out, *from);
+                put_value(&mut out, *to);
+            }
+        }
+    }
+    out
+}
+
+/// Decode a frame payload back into its epoch and ops.
+pub fn decode_batch(payload: &[u8]) -> Result<(u64, Vec<Op>), DecodeError> {
+    let mut r = Reader::new(payload);
+    let epoch = r.u64()?;
+    let count = r.u32()? as usize;
+    let mut ops = Vec::with_capacity(count.min(1024));
+    for _ in 0..count {
+        let op = match r.u8()? {
+            tag @ (OP_INSERT | OP_RETRACT) => {
+                let rel = Symbol::intern(r.string()?);
+                let arity = r.u32()? as usize;
+                let mut values = Vec::with_capacity(arity.min(64));
+                for _ in 0..arity {
+                    values.push(read_value(&mut r)?);
+                }
+                if tag == OP_INSERT {
+                    Op::Insert { rel, values }
+                } else {
+                    Op::Retract { rel, values }
+                }
+            }
+            OP_MERGE => Op::Merge {
+                from: read_value(&mut r)?,
+                to: read_value(&mut r)?,
+            },
+            tag => return Err(DecodeError(format!("unknown op tag {tag}"))),
+        };
+        ops.push(op);
+    }
+    if !r.is_done() {
+        return Err(DecodeError("trailing bytes after op batch".into()));
+    }
+    Ok((epoch, ops))
+}
+
+/// Append one commit batch as a frame to `out` (which must already carry
+/// the journal header).
+pub fn append_batch(out: &mut Vec<u8>, epoch: u64, ops: &[Op]) {
+    append_frame(out, &encode_batch(epoch, ops));
+}
+
+/// Outcome of scanning journal bytes: how far the good prefix reaches and
+/// what was wrong with the rest.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct JournalScan {
+    /// Did the file carry a valid [`JOURNAL_MAGIC`] header? When `false`
+    /// the whole file is discarded (truncation point 0 of the payload
+    /// region) and every other field is zero.
+    pub header_ok: bool,
+    /// Good frames decoded, whatever their epoch.
+    pub frames: Vec<(u64, Vec<Op>)>,
+    /// Byte offset of the end of the good prefix — the truncation point.
+    pub good_len: usize,
+    /// `1` if the scan ended at a torn frame (crash mid-append).
+    pub torn_frames: usize,
+    /// `1` if the scan ended at a checksum-failing or undecodable frame.
+    pub corrupt_frames: usize,
+}
+
+impl JournalScan {
+    /// Did the scan end early (torn or corrupt tail)?
+    pub fn truncated(&self) -> bool {
+        self.torn_frames + self.corrupt_frames > 0
+    }
+}
+
+/// Scan journal bytes into the longest good frame prefix. Never fails:
+/// damage is reported in the scan, not as an error — a damaged journal
+/// recovers to its good prefix.
+pub fn scan_journal(bytes: &[u8]) -> JournalScan {
+    let mut scan = JournalScan::default();
+    if bytes.len() < JOURNAL_MAGIC.len() || &bytes[..JOURNAL_MAGIC.len()] != JOURNAL_MAGIC {
+        // Missing/short/garbled header: nothing recoverable. An empty or
+        // half-written header counts as torn, a wrong one as corrupt.
+        if bytes.is_empty() {
+            scan.header_ok = false;
+        } else if bytes.len() < JOURNAL_MAGIC.len() {
+            scan.torn_frames = 1;
+        } else {
+            scan.corrupt_frames = 1;
+        }
+        return scan;
+    }
+    scan.header_ok = true;
+    let mut at = JOURNAL_MAGIC.len();
+    scan.good_len = at;
+    loop {
+        match read_frame(bytes, &mut at) {
+            FrameRead::Frame(payload) => match decode_batch(payload) {
+                Ok(batch) => {
+                    scan.frames.push(batch);
+                    scan.good_len = at;
+                }
+                Err(_) => {
+                    // Checksummed but undecodable: treat as corruption.
+                    scan.corrupt_frames = 1;
+                    return scan;
+                }
+            },
+            FrameRead::End => return scan,
+            FrameRead::Torn => {
+                scan.torn_frames = 1;
+                return scan;
+            }
+            FrameRead::Corrupt => {
+                scan.corrupt_frames = 1;
+                return scan;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ops() -> Vec<Op> {
+        vec![
+            Op::Insert {
+                rel: Symbol::intern("E"),
+                values: vec![Value::constant("a"), Value::constant("b")],
+            },
+            Op::Retract {
+                rel: Symbol::intern("E"),
+                values: vec![Value::constant("a"), Value::Null(NullId(7))],
+            },
+            Op::Merge {
+                from: Value::Null(NullId(3)),
+                to: Value::constant("c"),
+            },
+        ]
+    }
+
+    #[test]
+    fn batches_round_trip() {
+        let payload = encode_batch(42, &ops());
+        let (epoch, back) = decode_batch(&payload).unwrap();
+        assert_eq!(epoch, 42);
+        assert_eq!(back, ops());
+    }
+
+    #[test]
+    fn scan_reads_frames_in_order() {
+        let mut bytes = JOURNAL_MAGIC.to_vec();
+        append_batch(&mut bytes, 1, &ops()[..1]);
+        append_batch(&mut bytes, 2, &ops()[1..]);
+        let scan = scan_journal(&bytes);
+        assert!(scan.header_ok && !scan.truncated());
+        assert_eq!(scan.good_len, bytes.len());
+        assert_eq!(scan.frames.len(), 2);
+        assert_eq!(scan.frames[0].0, 1);
+        assert_eq!(scan.frames[1].0, 2);
+    }
+
+    #[test]
+    fn truncation_at_every_byte_yields_a_frame_prefix() {
+        let mut bytes = JOURNAL_MAGIC.to_vec();
+        append_batch(&mut bytes, 1, &ops());
+        append_batch(&mut bytes, 2, &ops()[..1]);
+        append_batch(&mut bytes, 3, &ops()[2..]);
+        let full = scan_journal(&bytes);
+        assert_eq!(full.frames.len(), 3);
+        for cut in 0..bytes.len() {
+            let scan = scan_journal(&bytes[..cut]);
+            // The recovered frames are a strict prefix of the full list,
+            // and the truncation point never exceeds the cut.
+            assert!(scan.frames.len() <= full.frames.len());
+            assert_eq!(scan.frames[..], full.frames[..scan.frames.len()]);
+            assert!(scan.good_len <= cut.max(JOURNAL_MAGIC.len()));
+            if cut < bytes.len() {
+                assert!(
+                    !scan.header_ok || scan.truncated() || scan.good_len <= cut,
+                    "cut {cut}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn corrupt_tail_keeps_good_prefix() {
+        let mut bytes = JOURNAL_MAGIC.to_vec();
+        append_batch(&mut bytes, 1, &ops());
+        let good = bytes.len();
+        append_batch(&mut bytes, 2, &ops());
+        let flip = good + 12; // inside the second frame's payload
+        bytes[flip] ^= 0x40;
+        let scan = scan_journal(&bytes);
+        assert_eq!(scan.frames.len(), 1);
+        assert_eq!(scan.good_len, good);
+        assert_eq!(scan.corrupt_frames, 1);
+    }
+
+    #[test]
+    fn headerless_bytes_recover_to_nothing() {
+        assert!(!scan_journal(b"").header_ok);
+        let scan = scan_journal(b"PDEJ");
+        assert!(!scan.header_ok);
+        assert_eq!(scan.torn_frames, 1);
+        let scan = scan_journal(b"NOTAJRNL-and-some-garbage");
+        assert!(!scan.header_ok);
+        assert_eq!(scan.corrupt_frames, 1);
+        assert!(scan.frames.is_empty());
+    }
+}

@@ -1,0 +1,39 @@
+//! Crash-safe durable instance store for peer data exchange.
+//!
+//! `pde-store` persists a [`pde_relational::Instance`] across process
+//! restarts and crashes with two artifacts in one directory:
+//!
+//! * **Snapshot** (`base.pdes`) — the full columnar instance (PR 8
+//!   structure-of-arrays layout) written atomically via temp-file +
+//!   `fsync` + rename, carrying a symbol dictionary so constants survive
+//!   interner re-ordering, per-row insertion epochs so delta windows
+//!   survive a restart, and a trailing FNV-1a checksum.
+//! * **Journal** (`base.pdej`) — an append-only log of commit batches
+//!   (insert/retract/merge ops), each framed with a length prefix and an
+//!   FNV-1a checksum and `fdatasync`ed before the commit returns.
+//!
+//! [`InstanceStore::open`] recovers by loading the last good snapshot,
+//! replaying the journal's good frame prefix, and truncating the file at
+//! the first torn or corrupt frame. The guarantee the crash-recovery
+//! property matrix (the frame and [`journal`] unit suites, and the `store_recovery`
+//! integration tests) proves: **a crash at any journal byte boundary never
+//! yields a wrong answer after recovery — only a rewind to the last
+//! durable epoch.** `pde serve` builds its request loop on top of this
+//! store.
+
+mod frame;
+pub mod journal;
+pub mod snapshot;
+mod store;
+
+pub use frame::{append_frame, fnv1a, read_frame, DecodeError, FrameRead, FRAME_HEADER_BYTES};
+pub use journal::{
+    append_batch, decode_batch, encode_batch, scan_journal, JournalScan, Op, JOURNAL_MAGIC,
+};
+pub use snapshot::{read_snapshot, write_snapshot, SnapshotError, SNAPSHOT_MAGIC};
+pub use store::{
+    InstanceStore, RecoveryReport, StoreError, JOURNAL_FILE, SNAPSHOT_FILE, SNAPSHOT_TMP_FILE,
+};
+
+#[cfg(feature = "fault-injection")]
+pub use store::StoreFaultPlan;

@@ -1,0 +1,273 @@
+//! Atomic columnar snapshots of an [`Instance`].
+//!
+//! A snapshot is the whole instance serialized from the PR 8
+//! structure-of-arrays layout: a *symbol dictionary* (every distinct
+//! constant string, in first-use order) followed by each relation's rows as
+//! packed 32-bit ids plus their 64-bit insertion epochs. Ids in the file
+//! are **snapshot-local**: the process-global interner indexes behind
+//! [`pde_relational::ValueId`] are not stable across restarts (they depend
+//! on interning order), so constants travel as dictionary references and
+//! are re-interned on load. Null ids *are* stable (they are chase-local
+//! counters) and travel verbatim. The local id mirrors the in-memory
+//! packing — bit 0 tags the sort, the payload is a dictionary index or a
+//! null id — so encode/decode is pure bit arithmetic plus one table
+//! lookup.
+//!
+//! The file is `PDESNAP1` + body + a trailing FNV-1a checksum of the body,
+//! and is only ever produced by [`crate::InstanceStore::checkpoint`]'s
+//! temp-file + rename protocol: readers see either the old snapshot or the
+//! new one, never a torn one.
+
+use crate::frame::{fnv1a, put_string, DecodeError, Reader};
+use pde_relational::{Instance, NullId, Schema, Value, ValueId};
+use std::collections::HashMap;
+use std::ops::ControlFlow;
+use std::sync::Arc;
+
+/// Magic bytes opening every snapshot file (8 bytes, versioned).
+pub const SNAPSHOT_MAGIC: &[u8; 8] = b"PDESNAP1";
+
+/// Why a snapshot file was rejected.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum SnapshotError {
+    /// The file does not start with [`SNAPSHOT_MAGIC`] or fails its
+    /// trailing checksum — it is not a (whole) snapshot.
+    Corrupt(String),
+    /// The snapshot decodes but describes different relations than the
+    /// schema it is being loaded under.
+    SchemaMismatch(String),
+}
+
+impl std::fmt::Display for SnapshotError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SnapshotError::Corrupt(msg) => write!(f, "corrupt snapshot: {msg}"),
+            SnapshotError::SchemaMismatch(msg) => write!(f, "snapshot schema mismatch: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for SnapshotError {}
+
+/// Serialize `instance` into snapshot bytes (magic + body + checksum),
+/// stamped as folding every commit up to and including `epoch`. The stamp
+/// is the caller's durable high-water mark, not the instance's internal
+/// epoch counter — journal frames at or below it are skipped on replay,
+/// so an understated stamp would double-apply retracts.
+///
+/// Rows are read through the arena-backed
+/// [`Instance::for_each_fact`] — zero tuples are materialized.
+pub fn write_snapshot(instance: &Instance, epoch: u64) -> Vec<u8> {
+    let schema = instance.schema();
+    // Pass 1: collect the constant dictionary in first-use order.
+    let mut dict: Vec<ValueId> = Vec::new();
+    let mut local_of: HashMap<u32, u32> = HashMap::new();
+    let _ = instance.for_each_fact(|_, ids| {
+        for id in ids {
+            if id.is_const() {
+                let next = u32::try_from(dict.len()).expect("dictionary overflow");
+                local_of.entry(id.raw()).or_insert_with(|| {
+                    dict.push(*id);
+                    next
+                });
+            }
+        }
+        ControlFlow::Continue(())
+    });
+    // Body.
+    let mut body: Vec<u8> = Vec::new();
+    body.extend_from_slice(&epoch.to_le_bytes());
+    body.extend_from_slice(
+        &u32::try_from(dict.len())
+            .expect("dictionary overflow")
+            .to_le_bytes(),
+    );
+    for id in &dict {
+        let Value::Const(sym) = id.value() else {
+            unreachable!("dictionary holds constants only");
+        };
+        put_string(&mut body, &sym.as_str());
+    }
+    let rel_count = u32::try_from(schema.len()).expect("schema overflow");
+    body.extend_from_slice(&rel_count.to_le_bytes());
+    for rel in schema.rel_ids() {
+        let r = instance.relation(rel);
+        put_string(&mut body, &schema.name(rel).as_str());
+        body.extend_from_slice(&u32::from(r.arity()).to_le_bytes());
+        let rows = u32::try_from(r.len()).expect("relation overflow");
+        body.extend_from_slice(&rows.to_le_bytes());
+        // Rows first (packed local ids, row-major), then the epoch column.
+        let mut epochs: Vec<u64> = Vec::with_capacity(r.len());
+        let _ = r.for_each_row(|row, ids| {
+            for id in ids {
+                let local = if id.is_null() {
+                    id.raw() // null payloads are stable: keep tag + id
+                } else {
+                    local_of[&id.raw()] << 1
+                };
+                body.extend_from_slice(&local.to_le_bytes());
+            }
+            epochs.push(r.epoch_of(row));
+            ControlFlow::Continue(())
+        });
+        for e in epochs {
+            body.extend_from_slice(&e.to_le_bytes());
+        }
+    }
+    let mut out = Vec::with_capacity(SNAPSHOT_MAGIC.len() + body.len() + 4);
+    out.extend_from_slice(SNAPSHOT_MAGIC);
+    out.extend_from_slice(&body);
+    out.extend_from_slice(&fnv1a(&body).to_le_bytes());
+    out
+}
+
+/// Decode snapshot bytes into an [`Instance`] over `schema`, returning the
+/// instance and the epoch the snapshot was taken at. Constants are
+/// re-interned through the dictionary; per-row insertion epochs are
+/// preserved so delta windows survive a restart.
+pub fn read_snapshot(bytes: &[u8], schema: &Arc<Schema>) -> Result<(Instance, u64), SnapshotError> {
+    let corrupt = |msg: String| SnapshotError::Corrupt(msg);
+    if bytes.len() < SNAPSHOT_MAGIC.len() + 4 || &bytes[..SNAPSHOT_MAGIC.len()] != SNAPSHOT_MAGIC {
+        return Err(corrupt("missing snapshot magic".into()));
+    }
+    let body = &bytes[SNAPSHOT_MAGIC.len()..bytes.len() - 4];
+    let stored = u32::from_le_bytes(bytes[bytes.len() - 4..].try_into().expect("4 bytes"));
+    if fnv1a(body) != stored {
+        return Err(corrupt("snapshot checksum mismatch".into()));
+    }
+    let decode = |e: DecodeError| SnapshotError::Corrupt(e.0);
+    let mut r = Reader::new(body);
+    let epoch = r.u64().map_err(decode)?;
+    let dict_len = r.u32().map_err(decode)? as usize;
+    let mut dict: Vec<ValueId> = Vec::with_capacity(dict_len);
+    for _ in 0..dict_len {
+        let s = r.string().map_err(decode)?;
+        dict.push(ValueId::pack(Value::constant(s)));
+    }
+    let rel_count = r.u32().map_err(decode)? as usize;
+    if rel_count != schema.len() {
+        return Err(SnapshotError::SchemaMismatch(format!(
+            "snapshot has {rel_count} relations, schema has {}",
+            schema.len()
+        )));
+    }
+    let mut instance = Instance::new(schema.clone());
+    let mut row: Vec<ValueId> = Vec::new();
+    for rel in schema.rel_ids() {
+        let name = r.string().map_err(decode)?.to_owned();
+        let arity = r.u32().map_err(decode)?;
+        let expected_name = schema.name(rel).as_str();
+        if name != expected_name || arity != u32::from(schema.arity(rel)) {
+            return Err(SnapshotError::SchemaMismatch(format!(
+                "snapshot relation {name}/{arity} does not match schema relation \
+                 {expected_name}/{}",
+                schema.arity(rel)
+            )));
+        }
+        let rows = r.u32().map_err(decode)? as usize;
+        let arity = arity as usize;
+        let mut all_ids: Vec<ValueId> = Vec::with_capacity(rows * arity);
+        for _ in 0..rows {
+            for _ in 0..arity {
+                let local = r.u32().map_err(decode)?;
+                let id = if local & 1 == 1 {
+                    ValueId::pack(Value::Null(NullId(local >> 1)))
+                } else {
+                    *dict.get((local >> 1) as usize).ok_or_else(|| {
+                        corrupt(format!("dictionary reference {} out of range", local >> 1))
+                    })?
+                };
+                all_ids.push(id);
+            }
+        }
+        for i in 0..rows {
+            let row_epoch = r.u64().map_err(decode)?;
+            row.clear();
+            row.extend_from_slice(&all_ids[i * arity..(i + 1) * arity]);
+            instance.insert_ids_at(rel, &row, row_epoch);
+        }
+    }
+    if !r.is_done() {
+        return Err(corrupt("trailing bytes after snapshot body".into()));
+    }
+    instance.set_epoch(epoch);
+    Ok((instance, epoch))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pde_relational::{parse_instance, parse_schema};
+
+    fn schema() -> Arc<Schema> {
+        Arc::new(parse_schema("source E/2; target H/2;").unwrap())
+    }
+
+    #[test]
+    fn snapshots_round_trip_facts_nulls_and_epochs() {
+        let s = schema();
+        let mut i = parse_instance(&s, "E(a, b). H(?3, a).").unwrap();
+        i.bump_epoch();
+        i.insert_consts("E", ["b", "c"]);
+        let bytes = write_snapshot(&i, i.current_epoch());
+        let (back, epoch) = read_snapshot(&bytes, &s).unwrap();
+        assert_eq!(epoch, 1);
+        assert!(back.same_facts(&i));
+        assert_eq!(back.current_epoch(), 1);
+        // Per-row epochs survived: the delta window still isolates the
+        // second insert.
+        let e = s.rel_id("E").unwrap();
+        assert_eq!(back.relation(e).rows_in_window(1, u64::MAX).count(), 1);
+    }
+
+    #[test]
+    fn empty_instances_round_trip() {
+        let s = schema();
+        let i = Instance::new(s.clone());
+        let (back, epoch) = read_snapshot(&write_snapshot(&i, i.current_epoch()), &s).unwrap();
+        assert_eq!(epoch, 0);
+        assert_eq!(back.fact_count(), 0);
+    }
+
+    #[test]
+    fn every_single_bit_flip_is_rejected() {
+        let s = schema();
+        let i = parse_instance(&s, "E(a, b). H(a, ?0).").unwrap();
+        let pristine = write_snapshot(&i, i.current_epoch());
+        for byte in 0..pristine.len() {
+            let mut bytes = pristine.clone();
+            bytes[byte] ^= 0x10;
+            assert!(
+                read_snapshot(&bytes, &s).is_err(),
+                "flip at byte {byte} went undetected"
+            );
+        }
+    }
+
+    #[test]
+    fn truncations_are_rejected() {
+        let s = schema();
+        let i = parse_instance(&s, "E(a, b).").unwrap();
+        let pristine = write_snapshot(&i, i.current_epoch());
+        for cut in 0..pristine.len() {
+            assert!(read_snapshot(&pristine[..cut], &s).is_err(), "cut {cut}");
+        }
+    }
+
+    #[test]
+    fn schema_mismatch_is_structured() {
+        let s = schema();
+        let i = parse_instance(&s, "E(a, b).").unwrap();
+        let bytes = write_snapshot(&i, i.current_epoch());
+        let other = Arc::new(parse_schema("source E/2; target K/2;").unwrap());
+        assert!(matches!(
+            read_snapshot(&bytes, &other),
+            Err(SnapshotError::SchemaMismatch(_))
+        ));
+        let third = Arc::new(parse_schema("source E/2;").unwrap());
+        assert!(matches!(
+            read_snapshot(&bytes, &third),
+            Err(SnapshotError::SchemaMismatch(_))
+        ));
+    }
+}

@@ -1,0 +1,760 @@
+//! The durable instance store: snapshot + journal under one directory.
+//!
+//! An [`InstanceStore`] owns a directory holding two files — `base.pdes`,
+//! the last checkpointed columnar snapshot (written atomically via
+//! temp-file + rename), and `base.pdej`, the append-only epoch journal of
+//! everything committed since. [`InstanceStore::open`] performs recovery:
+//! load the snapshot (or start empty), replay the journal's good frame
+//! prefix on top (skipping frames the snapshot already folds in), truncate
+//! the file at the first torn or corrupt frame, and report the recovered
+//! epoch. The invariant the crash-recovery property matrix proves: **a
+//! crash at any journal byte boundary never yields a wrong answer after
+//! recovery — only a rewind to the last durable epoch.**
+
+use crate::frame::append_frame;
+use crate::journal::{encode_batch, scan_journal, Op, JOURNAL_MAGIC};
+use crate::snapshot::{read_snapshot, write_snapshot, SnapshotError};
+use pde_relational::{Instance, Schema, Tuple, Value};
+use std::fs::{self, File, OpenOptions};
+use std::io::{Seek, SeekFrom, Write};
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+
+/// Snapshot file name inside a store directory.
+pub const SNAPSHOT_FILE: &str = "base.pdes";
+/// Temp file the checkpoint protocol writes before the atomic rename.
+pub const SNAPSHOT_TMP_FILE: &str = "base.pdes.tmp";
+/// Journal file name inside a store directory.
+pub const JOURNAL_FILE: &str = "base.pdej";
+
+/// A failure of the durable store.
+#[derive(Debug)]
+pub enum StoreError {
+    /// An OS-level I/O failure, tagged with the operation that hit it.
+    Io {
+        /// What the store was doing (e.g. `"append journal frame"`).
+        op: String,
+        /// The underlying error.
+        source: std::io::Error,
+    },
+    /// The snapshot file is corrupt or describes a different schema.
+    /// Snapshots are written atomically, so this means external damage —
+    /// unlike journal damage, there is no good prefix to rewind to.
+    Snapshot(SnapshotError),
+    /// A journal record references a relation the schema does not have (or
+    /// has at a different arity).
+    SchemaMismatch(String),
+}
+
+impl std::fmt::Display for StoreError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            StoreError::Io { op, source } => write!(f, "store i/o failure ({op}): {source}"),
+            StoreError::Snapshot(e) => write!(f, "{e}"),
+            StoreError::SchemaMismatch(msg) => write!(f, "store schema mismatch: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for StoreError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            StoreError::Io { source, .. } => Some(source),
+            StoreError::Snapshot(e) => Some(e),
+            StoreError::SchemaMismatch(_) => None,
+        }
+    }
+}
+
+impl From<SnapshotError> for StoreError {
+    fn from(e: SnapshotError) -> StoreError {
+        StoreError::Snapshot(e)
+    }
+}
+
+fn io_err(op: &str, source: std::io::Error) -> StoreError {
+    StoreError::Io {
+        op: op.to_owned(),
+        source,
+    }
+}
+
+/// What [`InstanceStore::open`] found and did while recovering.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct RecoveryReport {
+    /// Epoch of the loaded snapshot (0 when none existed).
+    pub snapshot_epoch: u64,
+    /// Epoch of the recovered instance after journal replay — the store's
+    /// durable high-water mark.
+    pub recovered_epoch: u64,
+    /// Journal frames replayed on top of the snapshot.
+    pub frames_replayed: usize,
+    /// Journal frames skipped as already folded into the snapshot.
+    pub frames_skipped: usize,
+    /// Ops applied during replay.
+    pub ops_applied: usize,
+    /// Frames dropped because the tail was torn mid-append.
+    pub torn_frames: usize,
+    /// Frames dropped because a checksum failed or a payload would not
+    /// decode.
+    pub corrupt_frames: usize,
+    /// Bytes cut off the journal tail.
+    pub truncated_bytes: u64,
+}
+
+impl RecoveryReport {
+    /// Did recovery have to rewind (drop a damaged tail)?
+    pub fn rewound(&self) -> bool {
+        self.torn_frames + self.corrupt_frames > 0
+    }
+
+    /// Frames dropped for either reason.
+    pub fn truncated_frames(&self) -> usize {
+        self.torn_frames + self.corrupt_frames
+    }
+}
+
+/// Deterministic I/O fault points, mirroring `pde-runtime`'s `FaultPlan`
+/// for the chase: each point fires once when its trigger index is reached,
+/// so the crash-recovery tests can hit exact byte boundaries. Only
+/// available with the `fault-injection` cargo feature.
+#[cfg(feature = "fault-injection")]
+#[derive(Clone, Debug, Default)]
+pub struct StoreFaultPlan {
+    /// On the n-th [`InstanceStore::commit`] (0-based), write only the
+    /// first `cut` bytes of the frame and fail — a crash mid-append.
+    pub short_write_at_commit: Option<(u64, usize)>,
+    /// On the next [`InstanceStore::checkpoint`], write the temp snapshot
+    /// but fail before the rename — a crash between `fsync` and `rename`.
+    pub crash_before_rename: bool,
+    /// On the n-th commit, append the frame fully but flip bit 0 of the
+    /// byte at `offset` within the frame afterwards — silent sector rot
+    /// that only recovery's checksum can catch.
+    pub bit_flip_at_commit: Option<(u64, usize)>,
+}
+
+/// Internal metric counters, exported as `store.*` gauges/counters.
+#[derive(Clone, Copy, Debug, Default)]
+struct StoreCounters {
+    recoveries: u64,
+    frames_replayed: u64,
+    frames_skipped: u64,
+    truncated_frames: u64,
+    truncated_bytes: u64,
+    commits: u64,
+    ops_committed: u64,
+    snapshots_written: u64,
+}
+
+/// A crash-safe durable store for one instance.
+///
+/// The store persists the *base* (user-committed) facts; derived chased
+/// state is recomputed or incrementally maintained by the caller. All
+/// writes are durable when the call returns: journal appends are
+/// `fdatasync`ed, snapshots go through temp-file + `fsync` + rename.
+pub struct InstanceStore {
+    dir: PathBuf,
+    schema: Arc<Schema>,
+    journal: File,
+    journal_bytes: u64,
+    epoch: u64,
+    counters: StoreCounters,
+    #[cfg(feature = "fault-injection")]
+    faults: StoreFaultPlan,
+}
+
+impl InstanceStore {
+    /// Open (or create) the store in `dir` and recover its instance:
+    /// snapshot, then the journal's good frame prefix, then truncate any
+    /// damaged tail. Returns the store handle, the recovered instance, and
+    /// a [`RecoveryReport`] describing what happened.
+    pub fn open(
+        dir: impl AsRef<Path>,
+        schema: Arc<Schema>,
+    ) -> Result<(InstanceStore, Instance, RecoveryReport), StoreError> {
+        let dir = dir.as_ref().to_path_buf();
+        fs::create_dir_all(&dir).map_err(|e| io_err("create store directory", e))?;
+        // A stale temp snapshot is a checkpoint that crashed before its
+        // rename: the old snapshot is still the authoritative one.
+        let _ = fs::remove_file(dir.join(SNAPSHOT_TMP_FILE));
+
+        let mut report = RecoveryReport::default();
+        let snap_path = dir.join(SNAPSHOT_FILE);
+        let mut instance = match fs::read(&snap_path) {
+            Ok(bytes) => {
+                let (instance, epoch) = read_snapshot(&bytes, &schema)?;
+                report.snapshot_epoch = epoch;
+                instance
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => Instance::new(schema.clone()),
+            Err(e) => return Err(io_err("read snapshot", e)),
+        };
+
+        let journal_path = dir.join(JOURNAL_FILE);
+        let bytes = match fs::read(&journal_path) {
+            Ok(b) => b,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => Vec::new(),
+            Err(e) => return Err(io_err("read journal", e)),
+        };
+        let scan = scan_journal(&bytes);
+        report.torn_frames = scan.torn_frames;
+        report.corrupt_frames = scan.corrupt_frames;
+        for (epoch, ops) in &scan.frames {
+            if *epoch <= report.snapshot_epoch {
+                report.frames_skipped += 1;
+                continue;
+            }
+            instance.set_epoch(*epoch);
+            for op in ops {
+                apply_op(&mut instance, op)?;
+                report.ops_applied += 1;
+            }
+            report.frames_replayed += 1;
+        }
+        report.recovered_epoch = report
+            .snapshot_epoch
+            .max(scan.frames.last().map_or(0, |(e, _)| *e));
+        instance.set_epoch(report.recovered_epoch);
+
+        // Rewind: rewrite a headerless file, truncate a damaged tail.
+        let good_len = if scan.header_ok {
+            scan.good_len as u64
+        } else {
+            0
+        };
+        let mut journal = OpenOptions::new()
+            .create(true)
+            .read(true)
+            .write(true)
+            .truncate(false)
+            .open(&journal_path)
+            .map_err(|e| io_err("open journal", e))?;
+        let file_len = u64::try_from(bytes.len()).expect("journal length fits u64");
+        report.truncated_bytes = file_len.saturating_sub(good_len.max(JOURNAL_MAGIC.len() as u64));
+        if !scan.header_ok {
+            journal
+                .set_len(0)
+                .and_then(|()| journal.write_all(JOURNAL_MAGIC))
+                .and_then(|()| journal.sync_data())
+                .map_err(|e| io_err("rewrite journal header", e))?;
+        } else if good_len < file_len {
+            journal
+                .set_len(good_len)
+                .and_then(|()| journal.sync_data())
+                .map_err(|e| io_err("truncate journal tail", e))?;
+        }
+        let journal_bytes = journal
+            .seek(SeekFrom::End(0))
+            .map_err(|e| io_err("seek journal end", e))?;
+
+        let mut counters = StoreCounters {
+            frames_replayed: report.frames_replayed as u64,
+            frames_skipped: report.frames_skipped as u64,
+            truncated_frames: report.truncated_frames() as u64,
+            truncated_bytes: report.truncated_bytes,
+            ..StoreCounters::default()
+        };
+        if report.rewound() {
+            counters.recoveries = 1;
+        }
+        let store = InstanceStore {
+            dir,
+            schema,
+            journal,
+            journal_bytes,
+            epoch: report.recovered_epoch,
+            counters,
+            #[cfg(feature = "fault-injection")]
+            faults: StoreFaultPlan::default(),
+        };
+        Ok((store, instance, report))
+    }
+
+    /// Arm deterministic I/O fault points for the crash-recovery tests.
+    #[cfg(feature = "fault-injection")]
+    pub fn set_faults(&mut self, faults: StoreFaultPlan) {
+        self.faults = faults;
+    }
+
+    /// The directory this store persists into.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// The last durably committed epoch.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// Current journal size in bytes (header included).
+    pub fn journal_bytes(&self) -> u64 {
+        self.journal_bytes
+    }
+
+    /// Durably append one commit batch: `ops` happened at `epoch`. The
+    /// frame is flushed and `fdatasync`ed before the call returns — once
+    /// `commit` succeeds, recovery will replay it.
+    ///
+    /// # Panics
+    /// Panics if `epoch` is not beyond the last committed epoch (the
+    /// journal's frames must be strictly increasing for skip-replay to be
+    /// sound).
+    pub fn commit(&mut self, epoch: u64, ops: &[Op]) -> Result<(), StoreError> {
+        assert!(
+            epoch > self.epoch,
+            "commit epoch {epoch} must exceed the last committed epoch {}",
+            self.epoch
+        );
+        let mut frame = Vec::new();
+        append_frame(&mut frame, &encode_batch(epoch, ops));
+        #[cfg(feature = "fault-injection")]
+        let commit_index = self.counters.commits;
+
+        #[cfg(feature = "fault-injection")]
+        if let Some((at, cut)) = self.faults.short_write_at_commit {
+            if commit_index >= at {
+                self.faults.short_write_at_commit = None;
+                let cut = cut.min(frame.len());
+                self.journal
+                    .write_all(&frame[..cut])
+                    .and_then(|()| self.journal.sync_data())
+                    .map_err(|e| io_err("append journal frame", e))?;
+                self.journal_bytes += cut as u64;
+                return Err(io_err(
+                    "append journal frame",
+                    std::io::Error::other("injected fault: short write (crash mid-append)"),
+                ));
+            }
+        }
+
+        self.journal
+            .write_all(&frame)
+            .and_then(|()| self.journal.sync_data())
+            .map_err(|e| io_err("append journal frame", e))?;
+
+        #[cfg(feature = "fault-injection")]
+        if let Some((at, offset)) = self.faults.bit_flip_at_commit {
+            if commit_index >= at {
+                self.faults.bit_flip_at_commit = None;
+                let offset = offset % frame.len();
+                let pos = self.journal_bytes + offset as u64;
+                let flipped = frame[offset] ^ 1;
+                self.journal
+                    .seek(SeekFrom::Start(pos))
+                    .and_then(|_| self.journal.write_all(&[flipped]))
+                    .and_then(|()| self.journal.seek(SeekFrom::End(0)))
+                    .and_then(|_| self.journal.sync_data())
+                    .map_err(|e| io_err("inject bit flip", e))?;
+            }
+        }
+
+        self.journal_bytes += frame.len() as u64;
+        self.epoch = epoch;
+        self.counters.commits += 1;
+        self.counters.ops_committed += ops.len() as u64;
+        Ok(())
+    }
+
+    /// Write a fresh snapshot of `instance` atomically (temp-file +
+    /// `fsync` + rename) and truncate the journal — every committed epoch
+    /// is now folded into the snapshot. The snapshot is stamped with the
+    /// store's durable epoch (not the instance's internal counter), so a
+    /// journal tail that survives a crash mid-checkpoint replays
+    /// idempotently.
+    pub fn checkpoint(&mut self, instance: &Instance) -> Result<(), StoreError> {
+        let epoch = self.epoch.max(instance.current_epoch());
+        let bytes = write_snapshot(instance, epoch);
+        let tmp = self.dir.join(SNAPSHOT_TMP_FILE);
+        let dst = self.dir.join(SNAPSHOT_FILE);
+        let mut f = File::create(&tmp).map_err(|e| io_err("create temp snapshot", e))?;
+        f.write_all(&bytes)
+            .and_then(|()| f.sync_all())
+            .map_err(|e| io_err("write temp snapshot", e))?;
+        drop(f);
+
+        #[cfg(feature = "fault-injection")]
+        if self.faults.crash_before_rename {
+            self.faults.crash_before_rename = false;
+            return Err(io_err(
+                "rename snapshot",
+                std::io::Error::other("injected fault: crash before rename"),
+            ));
+        }
+
+        fs::rename(&tmp, &dst).map_err(|e| io_err("rename snapshot", e))?;
+        // Directory fsync is best-effort: some filesystems refuse it, and
+        // the rename itself is already ordered after the file fsync.
+        if let Ok(d) = File::open(&self.dir) {
+            let _ = d.sync_all();
+        }
+        self.journal
+            .set_len(JOURNAL_MAGIC.len() as u64)
+            .and_then(|()| self.journal.seek(SeekFrom::Start(0)))
+            .and_then(|_| self.journal.write_all(JOURNAL_MAGIC))
+            .and_then(|()| self.journal.sync_data())
+            .and_then(|()| self.journal.seek(SeekFrom::End(0)))
+            .map_err(|e| io_err("reset journal after checkpoint", e))?;
+        self.journal_bytes = JOURNAL_MAGIC.len() as u64;
+        self.epoch = epoch;
+        self.counters.snapshots_written += 1;
+        Ok(())
+    }
+
+    /// Export `store.*` counters into a metrics registry (feeds the
+    /// `--stats --format json` run report).
+    pub fn export_metrics(&self, metrics: &mut pde_trace::MetricsRegistry) {
+        metrics.set("store.journal_bytes", self.journal_bytes);
+        metrics.set("store.epoch", self.epoch);
+        metrics.add("store.commits", self.counters.commits);
+        metrics.add("store.ops_committed", self.counters.ops_committed);
+        metrics.add("store.frames_replayed", self.counters.frames_replayed);
+        metrics.add("store.frames_skipped", self.counters.frames_skipped);
+        metrics.add("store.recoveries", self.counters.recoveries);
+        metrics.add("store.truncated_frames", self.counters.truncated_frames);
+        metrics.add("store.truncated_bytes", self.counters.truncated_bytes);
+        metrics.add("store.snapshots_written", self.counters.snapshots_written);
+    }
+
+    /// The schema this store was opened under.
+    pub fn schema(&self) -> &Arc<Schema> {
+        &self.schema
+    }
+}
+
+/// Apply one journal op to the recovered instance. The caller has already
+/// stamped the instance's epoch with the frame's epoch.
+fn apply_op(instance: &mut Instance, op: &Op) -> Result<(), StoreError> {
+    match op {
+        Op::Insert { rel, values } | Op::Retract { rel, values } => {
+            let schema = instance.schema().clone();
+            let id = schema.rel_id(*rel).ok_or_else(|| {
+                StoreError::SchemaMismatch(format!("journal references unknown relation {rel}"))
+            })?;
+            if values.len() != schema.arity(id) as usize {
+                return Err(StoreError::SchemaMismatch(format!(
+                    "journal fact {rel}/{} does not match schema arity {}",
+                    values.len(),
+                    schema.arity(id)
+                )));
+            }
+            let t = Tuple::new(values.clone());
+            if matches!(op, Op::Insert { .. }) {
+                instance.insert(id, t);
+            } else {
+                instance.remove(id, &t);
+            }
+        }
+        Op::Merge { from, to } => instance.substitute(*from, *to),
+    }
+    Ok(())
+}
+
+/// Convenience builders for the common ops.
+impl Op {
+    /// An insert of `rel(values…)`.
+    pub fn insert(rel: impl Into<pde_relational::Symbol>, values: Vec<Value>) -> Op {
+        Op::Insert {
+            rel: rel.into(),
+            values,
+        }
+    }
+
+    /// A retract of `rel(values…)`.
+    pub fn retract(rel: impl Into<pde_relational::Symbol>, values: Vec<Value>) -> Op {
+        Op::Retract {
+            rel: rel.into(),
+            values,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pde_relational::{parse_instance, parse_schema};
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    fn schema() -> Arc<Schema> {
+        Arc::new(parse_schema("source E/2; target H/2;").unwrap())
+    }
+
+    fn temp_dir(tag: &str) -> PathBuf {
+        static NEXT: AtomicU64 = AtomicU64::new(0);
+        let n = NEXT.fetch_add(1, Ordering::Relaxed);
+        let dir =
+            std::env::temp_dir().join(format!("pde-store-test-{}-{tag}-{n}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn consts(vals: &[&str]) -> Vec<Value> {
+        vals.iter().map(|v| Value::constant(*v)).collect()
+    }
+
+    #[test]
+    fn fresh_store_opens_empty() {
+        let dir = temp_dir("fresh");
+        let (store, instance, report) = InstanceStore::open(&dir, schema()).unwrap();
+        assert_eq!(instance.fact_count(), 0);
+        assert_eq!(report, RecoveryReport::default());
+        assert_eq!(store.epoch(), 0);
+        assert_eq!(store.journal_bytes(), JOURNAL_MAGIC.len() as u64);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn commits_survive_reopen() {
+        let dir = temp_dir("reopen");
+        {
+            let (mut store, _, _) = InstanceStore::open(&dir, schema()).unwrap();
+            store
+                .commit(1, &[Op::insert("E", consts(&["a", "b"]))])
+                .unwrap();
+            store
+                .commit(2, &[Op::insert("E", consts(&["b", "c"]))])
+                .unwrap();
+        }
+        let (store, instance, report) = InstanceStore::open(&dir, schema()).unwrap();
+        assert_eq!(report.recovered_epoch, 2);
+        assert_eq!(report.frames_replayed, 2);
+        assert!(!report.rewound());
+        assert_eq!(instance.fact_count(), 2);
+        assert_eq!(store.epoch(), 2);
+        // Per-frame epochs became row stamps: the delta window works.
+        let e = instance.schema().rel_id("E").unwrap();
+        assert_eq!(instance.relation(e).rows_in_window(2, u64::MAX).count(), 1);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn checkpoint_folds_journal_into_snapshot() {
+        let dir = temp_dir("checkpoint");
+        {
+            let (mut store, _, _) = InstanceStore::open(&dir, schema()).unwrap();
+            store
+                .commit(1, &[Op::insert("E", consts(&["a", "b"]))])
+                .unwrap();
+            let s = schema();
+            let mut inst = parse_instance(&s, "E(a, b).").unwrap();
+            inst.set_epoch(1);
+            store.checkpoint(&inst).unwrap();
+            assert_eq!(store.journal_bytes(), JOURNAL_MAGIC.len() as u64);
+            store
+                .commit(2, &[Op::retract("E", consts(&["a", "b"]))])
+                .unwrap();
+        }
+        let (_, instance, report) = InstanceStore::open(&dir, schema()).unwrap();
+        assert_eq!(report.snapshot_epoch, 1);
+        assert_eq!(report.frames_replayed, 1);
+        assert_eq!(instance.fact_count(), 0, "the retract replayed");
+        assert_eq!(report.recovered_epoch, 2);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn merges_replay_through_substitution() {
+        let dir = temp_dir("merge");
+        let s = schema();
+        {
+            let (mut store, _, _) = InstanceStore::open(&dir, s.clone()).unwrap();
+            store
+                .commit(
+                    1,
+                    &[Op::Insert {
+                        rel: "H".into(),
+                        values: vec![Value::Null(pde_relational::NullId(4)), Value::constant("b")],
+                    }],
+                )
+                .unwrap();
+            store
+                .commit(
+                    2,
+                    &[Op::Merge {
+                        from: Value::Null(pde_relational::NullId(4)),
+                        to: Value::constant("a"),
+                    }],
+                )
+                .unwrap();
+        }
+        let (_, instance, _) = InstanceStore::open(&dir, s.clone()).unwrap();
+        let h = s.rel_id("H").unwrap();
+        assert!(instance.contains(h, &Tuple::consts(["a", "b"])));
+        assert!(instance.is_ground());
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn torn_tail_rewinds_to_last_good_epoch() {
+        let dir = temp_dir("torn");
+        {
+            let (mut store, _, _) = InstanceStore::open(&dir, schema()).unwrap();
+            store
+                .commit(1, &[Op::insert("E", consts(&["a", "b"]))])
+                .unwrap();
+            store
+                .commit(2, &[Op::insert("E", consts(&["b", "c"]))])
+                .unwrap();
+        }
+        // Tear the last 5 bytes off, as a crash mid-append would.
+        let path = dir.join(JOURNAL_FILE);
+        let bytes = fs::read(&path).unwrap();
+        fs::write(&path, &bytes[..bytes.len() - 5]).unwrap();
+        let (store, instance, report) = InstanceStore::open(&dir, schema()).unwrap();
+        assert_eq!(report.recovered_epoch, 1);
+        assert_eq!(report.torn_frames, 1);
+        assert!(report.rewound());
+        assert_eq!(instance.fact_count(), 1);
+        // The file was truncated: reopening again is clean.
+        drop(store);
+        let (_, instance2, report2) = InstanceStore::open(&dir, schema()).unwrap();
+        assert!(!report2.rewound());
+        assert!(instance2.same_facts(&instance));
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn recovered_store_accepts_new_commits_after_rewind() {
+        let dir = temp_dir("rewind-commit");
+        {
+            let (mut store, _, _) = InstanceStore::open(&dir, schema()).unwrap();
+            store
+                .commit(1, &[Op::insert("E", consts(&["a", "b"]))])
+                .unwrap();
+            store
+                .commit(2, &[Op::insert("E", consts(&["b", "c"]))])
+                .unwrap();
+        }
+        let path = dir.join(JOURNAL_FILE);
+        let bytes = fs::read(&path).unwrap();
+        fs::write(&path, &bytes[..bytes.len() - 1]).unwrap();
+        let (mut store, mut instance, report) = InstanceStore::open(&dir, schema()).unwrap();
+        assert_eq!(report.recovered_epoch, 1);
+        // Re-commit at a fresh epoch on top of the rewound state.
+        let e3 = {
+            instance.bump_epoch();
+            instance.insert_consts("E", ["x", "y"]);
+            instance.current_epoch()
+        };
+        store
+            .commit(e3, &[Op::insert("E", consts(&["x", "y"]))])
+            .unwrap();
+        let (_, back, report2) = InstanceStore::open(&dir, schema()).unwrap();
+        assert!(!report2.rewound());
+        assert!(back.same_facts(&instance));
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn unknown_relation_in_journal_is_schema_mismatch() {
+        let dir = temp_dir("schema");
+        {
+            let (mut store, _, _) = InstanceStore::open(&dir, schema()).unwrap();
+            store
+                .commit(1, &[Op::insert("E", consts(&["a", "b"]))])
+                .unwrap();
+        }
+        let other = Arc::new(parse_schema("source X/2;").unwrap());
+        assert!(matches!(
+            InstanceStore::open(&dir, other),
+            Err(StoreError::SchemaMismatch(_))
+        ));
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn metrics_export_under_store_prefix() {
+        let dir = temp_dir("metrics");
+        let (mut store, _, _) = InstanceStore::open(&dir, schema()).unwrap();
+        store
+            .commit(1, &[Op::insert("E", consts(&["a", "b"]))])
+            .unwrap();
+        let mut m = pde_trace::MetricsRegistry::new();
+        store.export_metrics(&mut m);
+        assert_eq!(m.get("store.commits"), Some(1));
+        assert_eq!(m.get("store.ops_committed"), Some(1));
+        assert!(m.get("store.journal_bytes").unwrap() > JOURNAL_MAGIC.len() as u64);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[cfg(feature = "fault-injection")]
+    mod faults {
+        use super::*;
+
+        #[test]
+        fn short_write_recovers_to_previous_epoch() {
+            let dir = temp_dir("short-write");
+            {
+                let (mut store, _, _) = InstanceStore::open(&dir, schema()).unwrap();
+                store
+                    .commit(1, &[Op::insert("E", consts(&["a", "b"]))])
+                    .unwrap();
+                store.set_faults(StoreFaultPlan {
+                    short_write_at_commit: Some((1, 7)),
+                    ..StoreFaultPlan::default()
+                });
+                let err = store
+                    .commit(2, &[Op::insert("E", consts(&["b", "c"]))])
+                    .unwrap_err();
+                assert!(err.to_string().contains("short write"), "{err}");
+            }
+            let (_, instance, report) = InstanceStore::open(&dir, schema()).unwrap();
+            assert_eq!(report.recovered_epoch, 1);
+            assert_eq!(report.torn_frames, 1);
+            assert_eq!(instance.fact_count(), 1);
+            let _ = fs::remove_dir_all(&dir);
+        }
+
+        #[test]
+        fn crash_before_rename_keeps_old_snapshot() {
+            let dir = temp_dir("no-rename");
+            {
+                let (mut store, _, _) = InstanceStore::open(&dir, schema()).unwrap();
+                store
+                    .commit(1, &[Op::insert("E", consts(&["a", "b"]))])
+                    .unwrap();
+                let s = schema();
+                let mut inst = parse_instance(&s, "E(a, b). E(b, c).").unwrap();
+                inst.set_epoch(1);
+                store.set_faults(StoreFaultPlan {
+                    crash_before_rename: true,
+                    ..StoreFaultPlan::default()
+                });
+                let err = store.checkpoint(&inst).unwrap_err();
+                assert!(err.to_string().contains("before rename"), "{err}");
+                assert!(dir.join(SNAPSHOT_TMP_FILE).exists());
+            }
+            // Recovery ignores the orphaned temp file; the journal still
+            // holds epoch 1.
+            let (_, instance, report) = InstanceStore::open(&dir, schema()).unwrap();
+            assert_eq!(report.snapshot_epoch, 0);
+            assert_eq!(report.recovered_epoch, 1);
+            assert_eq!(instance.fact_count(), 1);
+            assert!(!dir.join(SNAPSHOT_TMP_FILE).exists(), "temp cleaned up");
+            let _ = fs::remove_dir_all(&dir);
+        }
+
+        #[test]
+        fn bit_flip_is_caught_and_truncated() {
+            let dir = temp_dir("bit-flip");
+            {
+                let (mut store, _, _) = InstanceStore::open(&dir, schema()).unwrap();
+                store
+                    .commit(1, &[Op::insert("E", consts(&["a", "b"]))])
+                    .unwrap();
+                store.set_faults(StoreFaultPlan {
+                    bit_flip_at_commit: Some((1, 13)),
+                    ..StoreFaultPlan::default()
+                });
+                // The commit itself reports success — the rot is silent.
+                store
+                    .commit(2, &[Op::insert("E", consts(&["b", "c"]))])
+                    .unwrap();
+            }
+            let (_, instance, report) = InstanceStore::open(&dir, schema()).unwrap();
+            assert_eq!(report.recovered_epoch, 1);
+            assert_eq!(report.corrupt_frames, 1);
+            assert_eq!(instance.fact_count(), 1);
+            let _ = fs::remove_dir_all(&dir);
+        }
+    }
+}

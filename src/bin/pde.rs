@@ -13,6 +13,7 @@
 //! pde enumerate <bundle.pde> [limit]    list distinct minimal-family solutions
 //! pde shrink   <bundle.pde> <candidate> Lemma 2: extract a small sub-solution
 //! pde format   <bundle.pde>             parse and re-render the bundle
+//! pde serve    <bundle.pde> <store-dir> durable JSONL request loop (docs/SERVE.md)
 //! ```
 //!
 //! Bundles are the `.pde` text format of `pde_core::bundle`; `<candidate>`
@@ -81,13 +82,24 @@
 //! reports it under `--stats` and in the JSON run report's `optimize`
 //! section.
 //!
-//! `solve` alone accepts the resource-governance flags of
+//! `solve` and `serve` accept the resource-governance flags of
 //! `docs/ROBUSTNESS.md`: `--timeout <dur>` (e.g. `500ms`, `2s`; bare
 //! numbers are milliseconds) sets a wall-clock deadline, `--memory-limit
 //! <size>` (e.g. `64m`, `2g`; bare numbers are bytes) a byte budget on
-//! the estimated instance footprint, and `--governed` seeds the memory
-//! budget from the plan certificate's chase bound. Exhausting any budget
-//! prints `undecided (<reason>)` and exits 3 — never a wrong answer.
+//! the estimated instance footprint, and `--governed` (solve only) seeds
+//! the memory budget from the plan certificate's chase bound. Exhausting
+//! any budget prints `undecided (<reason>)` and exits 3 — never a wrong
+//! answer; under `serve` the budgets apply per request.
+//!
+//! `serve` (docs/SERVE.md) runs a long-lived JSONL request loop
+//! (solve/certain/insert/retract/snapshot/shutdown) over a crash-safe
+//! durable store directory: every mutation is journaled with checksummed
+//! frames before it is acknowledged, startup recovery replays the journal
+//! onto the last atomic snapshot and truncates any torn or corrupt tail,
+//! and each request runs isolated under its own governor — a panicking
+//! or over-budget request answers `undecided` without killing the loop.
+//! `serve --stats` attaches the `store.*`/`serve.*` metrics to every
+//! response.
 
 use pde_analysis::{
     analyze_setting, analyze_termination, any_denied, forward_schedule, optimize_setting,
@@ -104,8 +116,28 @@ use pde_core::{
 };
 use pde_relational::{parse_instance, parse_query, Instance, Peer, UnionQuery};
 use pde_runtime::{Governor, GovernorConfig};
+use peer_data_exchange::serve::{serve, ServeOptions};
 use std::process::ExitCode;
 use std::time::Duration;
+
+/// Write a line to stdout, mapping an I/O failure (e.g. a pipe closed by
+/// a downstream `head`) to a structured usage-level error instead of the
+/// panic `println!` would raise. Expands with a `?`, so it only composes
+/// inside functions returning `Result<_, String>`.
+macro_rules! outln {
+    ($($t:tt)*) => {{
+        use std::io::Write as _;
+        writeln!(std::io::stdout(), $($t)*).map_err(|e| format!("stdout: {e}"))?
+    }};
+}
+
+/// [`outln!`] without the trailing newline.
+macro_rules! outp {
+    ($($t:tt)*) => {{
+        use std::io::Write as _;
+        write!(std::io::stdout(), $($t)*).map_err(|e| format!("stdout: {e}"))?
+    }};
+}
 
 /// Three-valued command outcome: `Yes`/`No` answer the decision problem,
 /// `Undecided` means a budget ran out first. Mapped to exit codes 0/1/3.
@@ -158,6 +190,7 @@ const USAGE: &str = "usage:
   pde enumerate <bundle.pde> [limit] [--no-lint] [--no-optimize] [--max-steps n] [--max-branches n]
   pde shrink    <bundle.pde> <candidate-instance>
   pde format    <bundle.pde>
+  pde serve     <bundle.pde> <store-dir> [--timeout dur] [--memory-limit size] [--stats]
 global flags:
   --chase naive|seminaive   chase engine (default: seminaive)
   --optimize/--no-optimize  rewrite the setting before solving (default: on;
@@ -255,9 +288,7 @@ fn split_flags(args: &[String]) -> Result<(Vec<String>, Flags), String> {
                 // The certificate path is optional: `optimize --check`
                 // with no path self-checks a fresh derivation.
                 flags.check_path = Some(match it.clone().next() {
-                    Some(v) if !v.starts_with("--") => {
-                        Some(it.next().expect("peeked value is present").clone())
-                    }
+                    Some(v) if !v.starts_with("--") => it.next().cloned(),
                     _ => None,
                 });
             }
@@ -593,10 +624,13 @@ fn run(args: &[String]) -> Result<Verdict, String> {
 
 fn dispatch(args: &[String], flags: &Flags) -> Result<Verdict, String> {
     let cmd = args.first().ok_or("missing command")?;
-    if flags.wants_governance() && cmd != "solve" {
+    if flags.wants_governance() && !matches!(cmd.as_str(), "solve" | "serve") {
         return Err(format!(
-            "--timeout/--memory-limit/--governed only apply to 'solve', not '{cmd}'"
+            "--timeout/--memory-limit/--governed only apply to 'solve' and 'serve', not '{cmd}'"
         ));
+    }
+    if flags.governed && cmd == "serve" {
+        return Err("--governed only applies to 'solve' (serve has no plan certificate)".into());
     }
     if flags.optimize.is_some() && !matches!(cmd.as_str(), "solve" | "certain" | "enumerate") {
         return Err(format!(
@@ -623,9 +657,9 @@ fn dispatch(args: &[String], flags: &Flags) -> Result<Verdict, String> {
                 sources: &sources,
             };
             if flags.json {
-                println!("{}", render_json(&diags, Some(&ctx)));
+                outln!("{}", render_json(&diags, Some(&ctx)));
             } else {
-                print!("{}", render_text(&diags, Some(&ctx)));
+                outp!("{}", render_text(&diags, Some(&ctx)));
             }
             let deny = if flags.deny_warnings {
                 Severity::Warning
@@ -637,40 +671,40 @@ fn dispatch(args: &[String], flags: &Flags) -> Result<Verdict, String> {
         "classify" => {
             let bundle = load_bundle(args.get(1).ok_or("missing bundle path")?)?;
             let class = bundle.setting.classification();
-            println!("{}", bundle.summary());
-            println!("data exchange (Σts = ∅):        {}", class.is_data_exchange);
-            println!(
+            outln!("{}", bundle.summary());
+            outln!("data exchange (Σts = ∅):        {}", class.is_data_exchange);
+            outln!(
                 "target constraints present:     {}",
                 class.has_target_constraints
             );
-            println!(
+            outln!(
                 "target tgds weakly acyclic:     {}",
                 class.target_tgds_weakly_acyclic
             );
-            println!("C_tract condition 1:            {}", class.ctract.holds1());
-            println!(
+            outln!("C_tract condition 1:            {}", class.ctract.holds1());
+            outln!(
                 "C_tract condition 2.1:          {}",
                 class.ctract.holds2_1()
             );
-            println!(
+            outln!(
                 "C_tract condition 2.2:          {}",
                 class.ctract.holds2_2()
             );
-            println!(
+            outln!(
                 "Σts all LAV (Cor. 2):           {}",
                 class.ctract.ts_all_lav
             );
-            println!(
+            outln!(
                 "Σst all full (Cor. 1):          {}",
                 class.ctract.st_all_full
             );
-            println!(
+            outln!(
                 "in C_tract:                     {}",
                 class.ctract.in_ctract()
             );
-            println!("polynomial algorithm applies:   {}", class.tractable());
+            outln!("polynomial algorithm applies:   {}", class.tractable());
             for v in class.ctract.violations() {
-                println!("  violation: {v}");
+                outln!("  violation: {v}");
             }
             Ok(Verdict::Yes)
         }
@@ -685,14 +719,15 @@ fn dispatch(args: &[String], flags: &Flags) -> Result<Verdict, String> {
                 let cert = Certificate::from_json(&src).map_err(|e| format!("{cert_path}: {e}"))?;
                 return match verify_certificate(&bundle.setting, &cert) {
                     Ok(()) => {
-                        println!(
+                        outln!(
                             "certificate OK: regime {}, solver {}",
-                            cert.regime, cert.recommended_solver
+                            cert.regime,
+                            cert.recommended_solver
                         );
                         Ok(Verdict::Yes)
                     }
                     Err(e) => {
-                        println!("certificate REJECTED: {e}");
+                        outln!("certificate REJECTED: {e}");
                         Ok(Verdict::No)
                     }
                 };
@@ -700,10 +735,10 @@ fn dispatch(args: &[String], flags: &Flags) -> Result<Verdict, String> {
             let adom = bundle.input.active_domain().len();
             let cert = plan_setting(&bundle.setting, adom);
             if flags.json {
-                println!("{}", cert.to_json());
+                outln!("{}", cert.to_json());
             } else {
-                println!("{}", bundle.summary());
-                print!("{}", render_certificate_text(&cert));
+                outln!("{}", bundle.summary());
+                outp!("{}", render_certificate_text(&cert));
             }
             Ok(Verdict::Yes)
         }
@@ -721,9 +756,9 @@ fn dispatch(args: &[String], flags: &Flags) -> Result<Verdict, String> {
                 verify_termination(&bundle.setting, &cert)
                     .map_err(|e| format!("termination certificate REJECTED: {e}"))?;
                 match cert.criterion {
-                    Some(c) => println!("termination certificate OK: certified by {c}"),
+                    Some(c) => outln!("termination certificate OK: certified by {c}"),
                     None => {
-                        println!("termination certificate OK: uncertified (every criterion fails)");
+                        outln!("termination certificate OK: uncertified (every criterion fails)");
                     }
                 }
                 return Ok(Verdict::Yes);
@@ -740,17 +775,17 @@ fn dispatch(args: &[String], flags: &Flags) -> Result<Verdict, String> {
                 std::fs::write(emit_path, tc.to_json()).map_err(|e| format!("{emit_path}: {e}"))?;
             }
             if flags.json {
-                println!(
+                outln!(
                     "{{\"v\":{},\"kind\":\"pde-terminate-report\",\"termination\":{}}}",
                     pde_analysis::TERMINATION_VERSION,
                     tc.to_json(),
                 );
             } else {
-                println!("{}", bundle.summary());
+                outln!("{}", bundle.summary());
                 if flags.check_path.is_some() {
-                    println!("termination certificate OK (independently re-verified)");
+                    outln!("termination certificate OK (independently re-verified)");
                 }
-                print!("{}", render_termination_text(&tc));
+                outp!("{}", render_termination_text(&tc));
             }
             if flags.check_path.is_some() {
                 // The check passed; certification status is informational.
@@ -770,7 +805,7 @@ fn dispatch(args: &[String], flags: &Flags) -> Result<Verdict, String> {
                     RewriteCertificate::from_json(&src).map_err(|e| format!("{cert_path}: {e}"))?;
                 verify_rewrite(&bundle.setting, &bundle.input, &cert)
                     .map_err(|e| format!("rewrite certificate REJECTED: {e}"))?;
-                println!(
+                outln!(
                     "rewrite certificate OK: {} action(s), {} -> {} dependencies",
                     cert.actions.len(),
                     cert.before.total(),
@@ -791,7 +826,7 @@ fn dispatch(args: &[String], flags: &Flags) -> Result<Verdict, String> {
             }
             let schedule = forward_schedule(&out.optimized);
             if flags.json {
-                println!(
+                outln!(
                     "{{\"v\":{},\"kind\":\"pde-optimize-report\",\"certificate\":{},\"schedule\":{}}}",
                     pde_analysis::REWRITE_VERSION,
                     out.certificate.to_json(),
@@ -800,21 +835,21 @@ fn dispatch(args: &[String], flags: &Flags) -> Result<Verdict, String> {
                 return Ok(Verdict::Yes);
             }
             let c = &out.certificate;
-            println!("{}", bundle.summary());
+            outln!("{}", bundle.summary());
             if flags.check_path.is_some() {
-                println!("rewrite certificate OK (independently re-verified)");
+                outln!("rewrite certificate OK (independently re-verified)");
             }
-            println!(
+            outln!(
                 "dependencies: {} -> {} ({} removed)",
                 c.before.total(),
                 c.after.total(),
                 c.actions.len()
             );
             for a in &c.actions {
-                println!("  {}", describe_action(a));
+                outln!("  {}", describe_action(a));
             }
             if !c.dead_relations.is_empty() {
-                println!("unpopulatable relations: {}", c.dead_relations.join(", "));
+                outln!("unpopulatable relations: {}", c.dead_relations.join(", "));
             }
             // Forward dependency indices: the optimized setting's Σst tgds
             // first, then its Σt dependencies (Σts does not chase).
@@ -826,10 +861,10 @@ fn dispatch(args: &[String], flags: &Flags) -> Result<Verdict, String> {
                     format!("t#{}", i - nst)
                 }
             };
-            println!("chase strata: {}", schedule.strata.len());
+            outln!("chase strata: {}", schedule.strata.len());
             for (k, stratum) in schedule.strata.iter().enumerate() {
                 let names: Vec<String> = stratum.iter().map(|&i| label(i)).collect();
-                println!("  stratum {k}: {}", names.join(" "));
+                outln!("  stratum {k}: {}", names.join(" "));
             }
             Ok(Verdict::Yes)
         }
@@ -854,78 +889,78 @@ fn dispatch(args: &[String], flags: &Flags) -> Result<Verdict, String> {
                     (Some(o), Some(s)) => Some((&o.certificate, s)),
                     _ => None,
                 };
-                println!("{}", render_solve_json(&report, &cert, opt_info));
+                outln!("{}", render_solve_json(&report, &cert, opt_info));
                 return Ok(match report.exists {
                     Some(true) => Verdict::Yes,
                     Some(false) => Verdict::No,
                     None => Verdict::Undecided,
                 });
             }
-            println!("{}", bundle.summary());
-            println!("solver:   {}", report.kind);
-            println!("elapsed:  {:?}", report.elapsed);
+            outln!("{}", bundle.summary());
+            outln!("solver:   {}", report.kind);
+            outln!("elapsed:  {:?}", report.elapsed);
             if flags.stats {
-                println!("engine:   {:?}", pde_chase::default_chase_engine());
+                outln!("engine:   {:?}", pde_chase::default_chase_engine());
                 match &opt {
                     Some(o) => {
-                        println!(
+                        outln!(
                             "dependencies:            {} -> {} ({} removed)",
                             o.certificate.before.total(),
                             o.certificate.after.total(),
                             o.certificate.actions.len()
                         );
                     }
-                    None => println!("dependencies:            not optimized"),
+                    None => outln!("dependencies:            not optimized"),
                 }
                 if let Some(s) = &schedule {
-                    println!("chase strata:            {}", s.strata.len());
+                    outln!("chase strata:            {}", s.strata.len());
                 }
                 if let Some(s) = report.chase_stats {
-                    println!("chase rounds:            {}", s.rounds);
-                    println!("triggers fired:          {}", s.triggers_fired);
-                    println!("triggers satisfied:      {}", s.triggers_satisfied);
-                    println!("skipped by delta:        {}", s.skipped_by_delta);
-                    println!("egd merges:              {}", s.egd_merges);
+                    outln!("chase rounds:            {}", s.rounds);
+                    outln!("triggers fired:          {}", s.triggers_fired);
+                    outln!("triggers satisfied:      {}", s.triggers_satisfied);
+                    outln!("skipped by delta:        {}", s.skipped_by_delta);
+                    outln!("egd merges:              {}", s.egd_merges);
                 }
                 if let Some(s) = report.search {
-                    println!("search branches:         {}", s.branches);
-                    println!("candidates checked:      {}", s.candidates_checked);
-                    println!("branches pruned:         {}", s.prunes);
+                    outln!("search branches:         {}", s.branches);
+                    outln!("candidates checked:      {}", s.candidates_checked);
+                    outln!("branches pruned:         {}", s.prunes);
                 }
                 let g = &report.governor;
-                println!("engine fallback:         {}", report.engine_fallback);
-                println!("governor checks:         {}", g.checks);
-                println!("governor stops:          {}", g.stops);
-                println!("peak instance bytes:     {}", g.peak_bytes);
-                println!("cancellations observed:  {}", g.cancellations_observed);
+                outln!("engine fallback:         {}", report.engine_fallback);
+                outln!("governor checks:         {}", g.checks);
+                outln!("governor stops:          {}", g.stops);
+                outln!("peak instance bytes:     {}", g.peak_bytes);
+                outln!("cancellations observed:  {}", g.cancellations_observed);
                 match g.deadline_remaining {
-                    Some(d) => println!("deadline remaining:      {d:?}"),
-                    None => println!("deadline remaining:      n/a (no deadline)"),
+                    Some(d) => outln!("deadline remaining:      {d:?}"),
+                    None => outln!("deadline remaining:      n/a (no deadline)"),
                 }
                 if g.faults_fired > 0 {
-                    println!("injected faults fired:   {}", g.faults_fired);
+                    outln!("injected faults fired:   {}", g.faults_fired);
                 }
             }
             match report.exists {
                 Some(true) => {
-                    println!("result:   solution exists");
+                    outln!("result:   solution exists");
                     if let Some(w) = report.witness {
-                        println!("witness target facts:");
+                        outln!("witness target facts:");
                         for (rel, t) in w.facts_of(Peer::Target) {
-                            println!("  {}{}", bundle.setting.schema().name(rel), t);
+                            outln!("  {}{}", bundle.setting.schema().name(rel), t);
                         }
                     }
                     Ok(Verdict::Yes)
                 }
                 Some(false) => {
-                    println!("result:   no solution");
+                    outln!("result:   no solution");
                     // For the tractable path, explain the failure.
                     if report.kind == pde_core::SolverKind::Tractable {
                         if let Ok(out) = pde_core::exists_solution(&bundle.setting, &bundle.input) {
                             if let Some(demand) = out.unsatisfiable_demand {
-                                println!("unsatisfiable source demand:");
+                                outln!("unsatisfiable source demand:");
                                 for (rel, t) in demand {
-                                    println!(
+                                    outln!(
                                         "  {}{}  (nulls match any value)",
                                         bundle.setting.schema().name(rel),
                                         t
@@ -938,8 +973,8 @@ fn dispatch(args: &[String], flags: &Flags) -> Result<Verdict, String> {
                 }
                 None => {
                     match report.undecided {
-                        Some(reason) => println!("result:   undecided ({reason})"),
-                        None => println!("result:   undecided (search budget exhausted)"),
+                        Some(reason) => outln!("result:   undecided ({reason})"),
+                        None => outln!("result:   undecided (search budget exhausted)"),
                     }
                     Ok(Verdict::Undecided)
                 }
@@ -958,21 +993,21 @@ fn dispatch(args: &[String], flags: &Flags) -> Result<Verdict, String> {
             let out =
                 certain_answers(setting, &bundle.input, &q, limits).map_err(|e| e.to_string())?;
             if !out.solution_exists {
-                println!("no solutions: every tuple is vacuously certain");
+                outln!("no solutions: every tuple is vacuously certain");
                 return Ok(Verdict::Yes);
             }
-            println!(
+            outln!(
                 "solutions examined: {}; certain answers: {}",
                 out.solutions_examined,
                 out.answers.len()
             );
             if q.is_boolean() {
-                println!("certain = {}", out.certain_bool());
+                outln!("certain = {}", out.certain_bool());
                 return Ok(verdict(out.certain_bool()));
             }
             for t in &out.answers {
                 let row: Vec<String> = t.iter().map(std::string::ToString::to_string).collect();
-                println!("  ({})", row.join(", "));
+                outln!("  ({})", row.join(", "));
             }
             Ok(Verdict::Yes)
         }
@@ -984,22 +1019,22 @@ fn dispatch(args: &[String], flags: &Flags) -> Result<Verdict, String> {
             if !st.is_success() {
                 return Err("Σst chase did not terminate".into());
             }
-            println!("J_can (after Σst chase, {} steps):", st.steps);
+            outln!("J_can (after Σst chase, {} steps):", st.steps);
             for (rel, t) in st.instance.facts_of(Peer::Target) {
-                println!("  {}{}", schema.name(rel), t);
+                outln!("  {}{}", schema.name(rel), t);
             }
             let jcan = st.instance.restrict(Peer::Target);
             let ts = chase_tgds(jcan, bundle.setting.sigma_ts(), &gen);
             if !ts.is_success() {
                 return Err("Σts chase did not terminate".into());
             }
-            println!("I_can (after Σts chase, {} steps):", ts.steps);
+            outln!("I_can (after Σts chase, {} steps):", ts.steps);
             for (rel, t) in ts.instance.facts_of(Peer::Source) {
-                println!("  {}{}", schema.name(rel), t);
+                outln!("  {}{}", schema.name(rel), t);
             }
             let ican = ts.instance.restrict(Peer::Source);
             let blocks = pde_core::blocks::blocks(&ican);
-            println!(
+            outln!(
                 "I_can blocks: {} (max nulls per block: {})",
                 blocks.len(),
                 blocks.iter().map(|b| b.nulls.len()).max().unwrap_or(0)
@@ -1017,11 +1052,11 @@ fn dispatch(args: &[String], flags: &Flags) -> Result<Verdict, String> {
             let combined = bundle.input.restrict(Peer::Source).union(&cand);
             match check_solution(&bundle.setting, &bundle.input, &combined) {
                 Ok(()) => {
-                    println!("candidate IS a solution");
+                    outln!("candidate IS a solution");
                     Ok(Verdict::Yes)
                 }
                 Err(v) => {
-                    println!("candidate is NOT a solution: {v}");
+                    outln!("candidate is NOT a solution: {v}");
                     Ok(Verdict::No)
                 }
             }
@@ -1052,15 +1087,15 @@ fn dispatch(args: &[String], flags: &Flags) -> Result<Verdict, String> {
                 },
             )
             .map_err(|e| e.to_string())?;
-            println!(
+            outln!(
                 "{} distinct solution(s){}:",
                 fam.solutions.len(),
                 if fam.exhaustive { "" } else { " (truncated)" }
             );
             for (i, sol) in fam.solutions.iter().enumerate() {
-                println!("--- solution {i} ---");
+                outln!("--- solution {i} ---");
                 for (rel, t) in sol.facts_of(Peer::Target) {
-                    println!("  {}{}", bundle.setting.schema().name(rel), t);
+                    outln!("  {}{}", bundle.setting.schema().name(rel), t);
                 }
             }
             Ok(verdict(!fam.solutions.is_empty()))
@@ -1075,19 +1110,39 @@ fn dispatch(args: &[String], flags: &Flags) -> Result<Verdict, String> {
             let combined = bundle.input.restrict(Peer::Source).union(&cand);
             let small = pde_core::shrink_solution(&bundle.setting, &bundle.input, &combined)
                 .map_err(|e| e.to_string())?;
-            println!(
+            outln!(
                 "shrunk {} target facts to {}:",
                 combined.fact_count_of(Peer::Target),
                 small.fact_count_of(Peer::Target)
             );
             for (rel, t) in small.facts_of(Peer::Target) {
-                println!("  {}{}", bundle.setting.schema().name(rel), t);
+                outln!("  {}{}", bundle.setting.schema().name(rel), t);
             }
             Ok(Verdict::Yes)
         }
         "format" => {
             let bundle = load_bundle(args.get(1).ok_or("missing bundle path")?)?;
-            print!("{}", bundle.render());
+            outp!("{}", bundle.render());
+            Ok(Verdict::Yes)
+        }
+        "serve" => {
+            let bundle = load_bundle(args.get(1).ok_or("missing bundle path")?)?;
+            let store_dir = args
+                .get(2)
+                .ok_or("missing store directory (pde serve <bundle.pde> <store-dir>)")?
+                .clone();
+            let options = ServeOptions {
+                store_dir,
+                timeout: flags.timeout,
+                memory_limit: flags.memory_limit,
+                stats: flags.stats,
+            };
+            serve(
+                &bundle,
+                &options,
+                std::io::stdin().lock(),
+                std::io::stdout().lock(),
+            )?;
             Ok(Verdict::Yes)
         }
         other => Err(format!("unknown command '{other}'")),

@@ -48,6 +48,8 @@
 //! | [`core`] | PDE settings, solution checking, blocks, the four solvers, certain answers, multi-PDE, the PDMS embedding |
 //! | [`analysis`] | `pde lint` diagnostics, `pde plan` complexity certificates, and the `pde optimize` rewriter (certified dependency pruning + static interference/stratification analysis) — each with an independent checker |
 //! | [`runtime`] | resilient execution: the [`Governor`](runtime::Governor) (deadlines, memory budgets, cancellation), panic isolation, deterministic fault injection — see `docs/ROBUSTNESS.md` |
+//! | [`store`] | crash-safe durable instance store: atomic columnar snapshots + a checksummed epoch journal, truncate-at-first-bad-frame recovery — see `docs/SERVE.md` |
+//! | [`serve`] | the `pde serve` JSONL request loop over a durable store, with incremental re-chase and per-request isolation |
 //! | [`workloads`] | graph generators, the CLIQUE / 3-COL reductions, scalable tractable workloads, paper fixtures |
 //! | [`trace`] | zero-dependency span tracing, metrics registry, and the versioned run-report format — see `docs/OBSERVABILITY.md` |
 //!
@@ -61,8 +63,11 @@ pub use pde_constraints as constraints;
 pub use pde_core as core;
 pub use pde_relational as relational;
 pub use pde_runtime as runtime;
+pub use pde_store as store;
 pub use pde_trace as trace;
 pub use pde_workloads as workloads;
+
+pub mod serve;
 
 /// The most commonly used items, for glob import.
 pub mod prelude {

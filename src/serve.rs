@@ -1,0 +1,902 @@
+//! `pde serve` — a long-lived JSONL request loop over a durable store.
+//!
+//! The server owns a [`pde_store::InstanceStore`] directory and answers
+//! one JSON request per stdin line with one JSON response per stdout
+//! line (see `docs/SERVE.md` for the wire schema). Durability and
+//! degradation guarantees:
+//!
+//! * Every `insert`/`retract` is committed to the store's journal before
+//!   the response is written — a `kill -9` after a response never loses
+//!   the mutation, and a crash *during* one rewinds to the previous epoch
+//!   on restart, never to a wrong state.
+//! * Startup recovery replays the journal onto the last snapshot and
+//!   truncates any torn or corrupt tail; the hello line reports the
+//!   recovered epoch and what was dropped.
+//! * `solve` on tractable settings reuses a shared Σst-chased instance,
+//!   re-chased incrementally off epoch deltas after each insert
+//!   ([`pde_chase::chase_incremental_governed`]) instead of from scratch;
+//!   retracts invalidate the cache (an incremental window is only sound
+//!   on top of a fixpoint) and the next solve re-chases fully.
+//! * Every request runs under its own [`Governor`] deadline/budget and
+//!   inside [`pde_runtime::isolate`]: a panicking request is answered
+//!   `undecided` without killing the loop, and the chased cache is moved
+//!   out during maintenance so a contained panic can never leave a
+//!   half-chased instance behind.
+
+use pde_analysis::plan_setting;
+use pde_chase::{
+    chase_governed_with, chase_incremental_governed, null_gen_for, ChaseLimits, ChaseOutcome,
+    WitnessMode,
+};
+use pde_constraints::Dependency;
+use pde_core::{
+    certain_answers, exists_solution_from_chased, Bundle, GenericLimits, PdeSetting, TractableError,
+};
+use pde_relational::{parse_instance, parse_query, Instance, Schema, UnionQuery, Value};
+use pde_runtime::{isolate, Governor, GovernorConfig};
+use pde_store::{InstanceStore, Op, RecoveryReport};
+use pde_trace::{json_escape, MetricsRegistry};
+use std::io::{BufRead, Write};
+use std::ops::ControlFlow;
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Configuration of one serve session (from the CLI flags).
+pub struct ServeOptions {
+    /// Directory of the durable store (created if missing).
+    pub store_dir: String,
+    /// Per-request wall-clock budget (`--timeout`).
+    pub timeout: Option<Duration>,
+    /// Per-request instance byte budget (`--memory-limit`).
+    pub memory_limit: Option<usize>,
+    /// Attach a `metrics` object to every response (`--stats`).
+    pub stats: bool,
+}
+
+/// What a request asked for, after JSON decoding.
+#[derive(Debug, PartialEq)]
+struct Request {
+    op: String,
+    /// `insert`/`retract`: instance text over the bundle's schema.
+    facts: Option<String>,
+    /// `certain`: a target UCQ in the query syntax.
+    query: Option<String>,
+    /// Fault injection (tests only): panic inside trigger application at
+    /// this chase step. Rejected unless compiled with `fault-injection`.
+    inject_panic_at: Option<u64>,
+}
+
+/// The Σst-chase fixpoint of the base, tagged with the base epoch it
+/// covers. `covered < base.current_epoch()` means inserts arrived since;
+/// the next solve extends it incrementally from that watermark.
+struct Chased {
+    instance: Instance,
+    covered: u64,
+}
+
+/// Serve counters, exported as `serve.*` next to the store's `store.*`.
+#[derive(Default)]
+struct ServeCounters {
+    requests: u64,
+    errors: u64,
+    panics_isolated: u64,
+    incremental_rechases: u64,
+    full_rechases: u64,
+}
+
+struct ServeState {
+    setting: PdeSetting,
+    st_deps: Vec<Dependency>,
+    /// Is the tractable fast path (cached-chase solve) applicable to this
+    /// setting? Decided once: the setting never changes mid-session.
+    fast_path: bool,
+    store: InstanceStore,
+    base: Instance,
+    chased: Option<Chased>,
+    counters: ServeCounters,
+}
+
+/// Three-valued solve answer on the wire.
+enum Answer {
+    Yes,
+    No,
+    Undecided(String),
+}
+
+/// Run the serve loop: recover the store, emit the hello line, then answer
+/// one request per input line until EOF or a `shutdown` request. Returns
+/// an error only for startup failures (bad store, bad bundle) and broken
+/// output — per-request failures are answered in-band and never end the
+/// loop.
+pub fn serve(
+    bundle: &Bundle,
+    options: &ServeOptions,
+    input: impl BufRead,
+    mut output: impl Write,
+) -> Result<(), String> {
+    let schema: Arc<Schema> = bundle.setting.schema().clone();
+    let (mut store, mut base, report) = InstanceStore::open(&options.store_dir, schema.clone())
+        .map_err(|e| format!("{}: {e}", options.store_dir))?;
+    if report.rewound() {
+        eprintln!(
+            "warning: journal damaged ({} torn, {} corrupt frame(s)); rewound to epoch {} \
+             (dropped {} byte(s))",
+            report.torn_frames,
+            report.corrupt_frames,
+            report.recovered_epoch,
+            report.truncated_bytes
+        );
+    }
+    // A fresh store is seeded from the bundle's %instance section; a
+    // recovered one is authoritative and the section is ignored.
+    let mut seeded = 0usize;
+    if store.epoch() == 0 && base.fact_count() == 0 && bundle.input.fact_count() > 0 {
+        let epoch = base.bump_epoch();
+        let ops = ops_of(&bundle.input);
+        let _ = bundle.input.for_each_fact(|rel, ids| {
+            base.insert_ids(rel, ids);
+            ControlFlow::Continue(())
+        });
+        seeded = ops.len();
+        store
+            .commit(epoch, &ops)
+            .map_err(|e| format!("seeding store from bundle: {e}"))?;
+    } else if bundle.input.fact_count() > 0 {
+        eprintln!(
+            "note: store already holds epoch {}; the bundle's %instance section is ignored",
+            store.epoch()
+        );
+    }
+
+    let class = bundle.setting.classification();
+    let fast_path = bundle.setting.has_no_target_constraints() && class.ctract.in_ctract();
+    let mut state = ServeState {
+        setting: bundle.setting.clone(),
+        st_deps: bundle
+            .setting
+            .sigma_st()
+            .iter()
+            .cloned()
+            .map(Dependency::Tgd)
+            .collect(),
+        fast_path,
+        store,
+        base,
+        chased: None,
+        counters: ServeCounters::default(),
+    };
+
+    writeln!(output, "{}", hello_line(&state, &report, seeded)).map_err(|e| out_err(&e))?;
+    output.flush().map_err(|e| out_err(&e))?;
+
+    for line in input.lines() {
+        let line = line.map_err(|e| format!("stdin: {e}"))?;
+        if line.trim().is_empty() {
+            continue;
+        }
+        state.counters.requests += 1;
+        let (response, done) = match parse_request(&line) {
+            Ok(req) => handle(&mut state, options, &req),
+            Err(e) => {
+                state.counters.errors += 1;
+                (error_response(&state, &format!("bad request: {e}")), false)
+            }
+        };
+        writeln!(output, "{response}").map_err(|e| out_err(&e))?;
+        output.flush().map_err(|e| out_err(&e))?;
+        if done {
+            break;
+        }
+    }
+    Ok(())
+}
+
+fn out_err(e: &std::io::Error) -> String {
+    format!("stdout: {e}")
+}
+
+/// The startup hello: what recovery found, in one machine-readable line.
+fn hello_line(state: &ServeState, report: &RecoveryReport, seeded: usize) -> String {
+    format!(
+        concat!(
+            "{{\"ok\":true,\"kind\":\"pde-serve-hello\",\"v\":1,\"epoch\":{},",
+            "\"snapshot_epoch\":{},\"frames_replayed\":{},\"truncated_frames\":{},",
+            "\"rewound\":{},\"seeded\":{},\"facts\":{},\"fast_path\":{}}}"
+        ),
+        state.store.epoch(),
+        report.snapshot_epoch,
+        report.frames_replayed,
+        report.truncated_frames(),
+        report.rewound(),
+        seeded,
+        state.base.fact_count(),
+        state.fast_path,
+    )
+}
+
+/// Decode one request line: a flat JSON object with string fields plus
+/// the optional numeric fault point.
+fn parse_request(line: &str) -> Result<Request, String> {
+    let fields = parse_flat_object(line)?;
+    let mut req = Request {
+        op: String::new(),
+        facts: None,
+        query: None,
+        inject_panic_at: None,
+    };
+    for (key, value) in fields {
+        match (key.as_str(), value) {
+            ("op", JsonVal::Str(s)) => req.op = s,
+            ("facts", JsonVal::Str(s)) => req.facts = Some(s),
+            ("query", JsonVal::Str(s)) => req.query = Some(s),
+            ("inject_panic_at", JsonVal::Num(n)) => req.inject_panic_at = Some(n),
+            (k, v) => return Err(format!("unexpected field '{k}' = {v:?}")),
+        }
+    }
+    if req.op.is_empty() {
+        return Err("missing 'op' field".into());
+    }
+    Ok(req)
+}
+
+/// A flat JSON scalar (all the request schema needs).
+#[derive(Debug)]
+enum JsonVal {
+    Str(String),
+    Num(u64),
+}
+
+/// Parse `{"key": "value", "n": 3, ...}` — one non-nested object of
+/// string/unsigned-integer fields. Hand-rolled like every other
+/// (de)serializer in the workspace; the response side is plain
+/// `format!` + [`json_escape`].
+fn parse_flat_object(src: &str) -> Result<Vec<(String, JsonVal)>, String> {
+    let b = src.as_bytes();
+    let mut at = 0usize;
+    let mut fields = Vec::new();
+    skip_ws(b, &mut at);
+    expect(b, &mut at, b'{')?;
+    skip_ws(b, &mut at);
+    if b.get(at) == Some(&b'}') {
+        at += 1;
+    } else {
+        loop {
+            skip_ws(b, &mut at);
+            let key = parse_string(b, &mut at)?;
+            skip_ws(b, &mut at);
+            expect(b, &mut at, b':')?;
+            skip_ws(b, &mut at);
+            let value = match b.get(at) {
+                Some(b'"') => JsonVal::Str(parse_string(b, &mut at)?),
+                Some(c) if c.is_ascii_digit() => {
+                    let start = at;
+                    while b.get(at).is_some_and(u8::is_ascii_digit) {
+                        at += 1;
+                    }
+                    let n = src[start..at]
+                        .parse()
+                        .map_err(|_| format!("bad number at byte {start}"))?;
+                    JsonVal::Num(n)
+                }
+                _ => return Err(format!("expected a string or number at byte {at}")),
+            };
+            fields.push((key, value));
+            skip_ws(b, &mut at);
+            match b.get(at) {
+                Some(b',') => at += 1,
+                Some(b'}') => {
+                    at += 1;
+                    break;
+                }
+                _ => return Err(format!("expected ',' or '}}' at byte {at}")),
+            }
+        }
+    }
+    skip_ws(b, &mut at);
+    if at != b.len() {
+        return Err(format!("trailing content at byte {at}"));
+    }
+    Ok(fields)
+}
+
+fn skip_ws(b: &[u8], at: &mut usize) {
+    while b.get(*at).is_some_and(u8::is_ascii_whitespace) {
+        *at += 1;
+    }
+}
+
+fn expect(b: &[u8], at: &mut usize, c: u8) -> Result<(), String> {
+    if b.get(*at) == Some(&c) {
+        *at += 1;
+        Ok(())
+    } else {
+        Err(format!("expected '{}' at byte {at}", c as char))
+    }
+}
+
+/// A JSON string literal with the standard escapes.
+fn parse_string(b: &[u8], at: &mut usize) -> Result<String, String> {
+    expect(b, at, b'"')?;
+    let mut out = String::new();
+    loop {
+        match b.get(*at) {
+            None => return Err("unterminated string".into()),
+            Some(b'"') => {
+                *at += 1;
+                return Ok(out);
+            }
+            Some(b'\\') => {
+                *at += 1;
+                let esc = b.get(*at).ok_or("unterminated escape")?;
+                *at += 1;
+                match esc {
+                    b'"' => out.push('"'),
+                    b'\\' => out.push('\\'),
+                    b'/' => out.push('/'),
+                    b'n' => out.push('\n'),
+                    b't' => out.push('\t'),
+                    b'r' => out.push('\r'),
+                    b'u' => {
+                        let hex = b
+                            .get(*at..*at + 4)
+                            .ok_or("truncated \\u escape")
+                            .and_then(|h| std::str::from_utf8(h).map_err(|_| "bad \\u escape"))?;
+                        let code =
+                            u32::from_str_radix(hex, 16).map_err(|_| "bad \\u escape digits")?;
+                        *at += 4;
+                        out.push(char::from_u32(code).ok_or("\\u escape is not a scalar value")?);
+                    }
+                    other => return Err(format!("unknown escape '\\{}'", *other as char)),
+                }
+            }
+            Some(_) => {
+                // Advance one UTF-8 scalar (input is a &str, so this is
+                // always a char boundary walk).
+                let rest = std::str::from_utf8(&b[*at..]).map_err(|_| "invalid UTF-8")?;
+                let c = rest.chars().next().ok_or("unterminated string")?;
+                out.push(c);
+                *at += c.len_utf8();
+            }
+        }
+    }
+}
+
+/// The governor for one request: CLI budgets, plus the request's fault
+/// point when compiled for fault injection.
+// The Err branch only exists without `fault-injection` (the wrap looks
+// unnecessary to clippy when the feature is on).
+#[allow(clippy::unnecessary_wraps)]
+fn request_governor(options: &ServeOptions, req: &Request) -> Result<Governor, String> {
+    let config = GovernorConfig {
+        deadline: options.timeout,
+        memory_budget_bytes: options.memory_limit,
+        ..GovernorConfig::default()
+    };
+    match req.inject_panic_at {
+        None => Ok(Governor::new(config)),
+        #[cfg(feature = "fault-injection")]
+        Some(step) => Ok(Governor::with_faults(
+            config,
+            pde_runtime::FaultPlan {
+                panic_in_trigger_at_step: Some(usize::try_from(step).unwrap_or(usize::MAX)),
+                ..pde_runtime::FaultPlan::default()
+            },
+        )),
+        #[cfg(not(feature = "fault-injection"))]
+        Some(_) => Err("inject_panic_at requires the fault-injection build".into()),
+    }
+}
+
+/// Dispatch one decoded request. Returns the response line and whether the
+/// loop should end (`shutdown`).
+fn handle(state: &mut ServeState, options: &ServeOptions, req: &Request) -> (String, bool) {
+    let governor = match request_governor(options, req) {
+        Ok(g) => g,
+        Err(e) => {
+            state.counters.errors += 1;
+            return (error_response(state, &e), false);
+        }
+    };
+    let body = match req.op.as_str() {
+        "solve" => handle_solve(state, &governor),
+        "certain" => handle_certain(state, req),
+        "insert" => handle_mutate(state, req, true),
+        "retract" => handle_mutate(state, req, false),
+        "snapshot" => handle_snapshot(state),
+        "shutdown" => Ok(r#""op":"shutdown""#.to_owned()),
+        other => Err(format!("unknown op '{other}'")),
+    };
+    let response = match body {
+        Ok(fields) => {
+            let mut line = format!(
+                "{{\"ok\":true,{fields},\"epoch\":{}",
+                state.base.current_epoch()
+            );
+            push_metrics(state, options, &mut line);
+            line.push('}');
+            line
+        }
+        Err(e) => {
+            state.counters.errors += 1;
+            error_response(state, &e)
+        }
+    };
+    (response, req.op == "shutdown")
+}
+
+/// A structured in-band failure (the loop stays alive).
+fn error_response(state: &ServeState, message: &str) -> String {
+    format!(
+        "{{\"ok\":false,\"error\":{},\"epoch\":{}}}",
+        json_escape(message),
+        state.base.current_epoch()
+    )
+}
+
+/// Attach the `metrics` member under `--stats`.
+fn push_metrics(state: &ServeState, options: &ServeOptions, line: &mut String) {
+    if !options.stats {
+        return;
+    }
+    let mut reg = MetricsRegistry::new();
+    state.store.export_metrics(&mut reg);
+    reg.add("serve.requests", state.counters.requests);
+    reg.add("serve.errors", state.counters.errors);
+    reg.add("serve.panics_isolated", state.counters.panics_isolated);
+    reg.add(
+        "serve.incremental_rechases",
+        state.counters.incremental_rechases,
+    );
+    reg.add("serve.full_rechases", state.counters.full_rechases);
+    line.push_str(",\"metrics\":");
+    line.push_str(&reg.to_json());
+}
+
+/// `solve`: the tractable fast path answers from the shared chased state
+/// (maintained incrementally); everything else routes through the full
+/// planned solver. Either way the work is isolated — a panic is an
+/// `undecided` answer, not a dead loop.
+fn handle_solve(state: &mut ServeState, governor: &Governor) -> Result<String, String> {
+    let answer = if state.fast_path && state.base.is_ground() {
+        match refresh_chased(state, governor) {
+            RefreshOutcome::Ready => {
+                let chased = state.chased.as_ref().expect("refresh left the cache ready");
+                match exists_solution_from_chased(
+                    &state.setting,
+                    &state.base,
+                    &chased.instance,
+                    pde_chase::default_chase_engine(),
+                    governor,
+                ) {
+                    Ok(out) => {
+                        if out.exists {
+                            Answer::Yes
+                        } else {
+                            Answer::No
+                        }
+                    }
+                    Err(TractableError::Stopped(reason)) => Answer::Undecided(reason.to_string()),
+                    Err(e) => return Err(e.to_string()),
+                }
+            }
+            RefreshOutcome::Stopped(reason) => Answer::Undecided(reason),
+            RefreshOutcome::Panicked(message) => {
+                state.counters.panics_isolated += 1;
+                Answer::Undecided(format!("request panicked (isolated): {message}"))
+            }
+        }
+    } else {
+        solve_full(state, governor)?
+    };
+    let (result, reason) = match answer {
+        Answer::Yes => ("yes", None),
+        Answer::No => ("no", None),
+        Answer::Undecided(reason) => ("undecided", Some(reason)),
+    };
+    let mut out = format!("\"op\":\"solve\",\"result\":\"{result}\"");
+    if let Some(reason) = reason {
+        out.push_str(&format!(",\"reason\":{}", json_escape(&reason)));
+    }
+    Ok(out)
+}
+
+/// The general-purpose route: plan the setting afresh (static analysis,
+/// cheap next to the solve) and run the governed solver, which carries
+/// its own isolation and naive-engine retry ladder.
+fn solve_full(state: &ServeState, governor: &Governor) -> Result<Answer, String> {
+    let cert = plan_setting(&state.setting, state.base.active_domain().len());
+    let plan = cert.to_solve_plan();
+    let report = pde_core::decide_governed(&state.setting, &state.base, &plan, governor)
+        .map_err(|e| e.to_string())?;
+    Ok(match report.exists {
+        Some(true) => Answer::Yes,
+        Some(false) => Answer::No,
+        None => Answer::Undecided(
+            report
+                .undecided
+                .map_or_else(|| "search budget exhausted".to_owned(), |r| r.to_string()),
+        ),
+    })
+}
+
+/// Outcome of bringing the chased cache up to the base's epoch.
+enum RefreshOutcome {
+    /// `state.chased` is the Σst fixpoint of the current base.
+    Ready,
+    /// The governor stopped the chase; the cache is dropped.
+    Stopped(String),
+    /// The chase panicked and was isolated; the cache is dropped.
+    Panicked(String),
+}
+
+/// Ensure `state.chased` covers the current base epoch: extend an existing
+/// fixpoint incrementally off the epoch delta, or full-chase from scratch
+/// when there is nothing to extend (startup, post-retract, post-failure).
+///
+/// The cache is *moved out* before any chase runs, so a contained panic
+/// drops the possibly half-mutated instance instead of caching it.
+fn refresh_chased(state: &mut ServeState, governor: &Governor) -> RefreshOutcome {
+    let covered = state.base.current_epoch();
+    let limits = ChaseLimits::default();
+    let run = match state.chased.take() {
+        Some(c) if c.covered == covered => {
+            state.chased = Some(c);
+            return RefreshOutcome::Ready;
+        }
+        Some(mut c) => {
+            // Incremental: splice the base rows inserted after the covered
+            // epoch into the fixpoint at a fresh watermark, then chase
+            // only off that delta.
+            state.counters.incremental_rechases += 1;
+            let schema = state.base.schema().clone();
+            let from = c.covered;
+            let watermark = c.instance.bump_epoch();
+            for rel in schema.rel_ids() {
+                let _ = state.base.relation(rel).for_each_row_in_window(
+                    from + 1,
+                    u64::MAX,
+                    &mut |_, ids| {
+                        c.instance.insert_ids(rel, ids);
+                        ControlFlow::Continue(())
+                    },
+                );
+            }
+            let deps = &state.st_deps;
+            isolate(move || {
+                let gen = null_gen_for(&c.instance);
+                chase_incremental_governed(
+                    c.instance,
+                    deps,
+                    WitnessMode::FreshNulls(&gen),
+                    limits,
+                    governor,
+                    None,
+                    watermark,
+                )
+            })
+        }
+        None => {
+            state.counters.full_rechases += 1;
+            let input = state.base.clone();
+            let deps = &state.st_deps;
+            isolate(move || {
+                let gen = null_gen_for(&input);
+                chase_governed_with(
+                    input,
+                    deps,
+                    WitnessMode::FreshNulls(&gen),
+                    limits,
+                    pde_chase::ChaseEngine::Seminaive,
+                    governor,
+                )
+            })
+        }
+    };
+    match run {
+        Ok(res) if res.is_success() => {
+            state.chased = Some(Chased {
+                instance: res.instance,
+                covered,
+            });
+            RefreshOutcome::Ready
+        }
+        Ok(res) => RefreshOutcome::Stopped(match res.outcome {
+            ChaseOutcome::Stopped { reason } => reason.to_string(),
+            other => format!("chase did not reach a fixpoint: {other:?}"),
+        }),
+        Err(e) => RefreshOutcome::Panicked(e.to_string()),
+    }
+}
+
+/// `insert` / `retract`: parse the facts, apply them to the base, and
+/// commit the batch durably *before* answering. A retract invalidates the
+/// chased cache (see module docs); an insert leaves it for the next solve
+/// to extend incrementally.
+fn handle_mutate(state: &mut ServeState, req: &Request, insert: bool) -> Result<String, String> {
+    let text = req
+        .facts
+        .as_deref()
+        .ok_or("missing 'facts' field (instance text over the bundle's schema)")?;
+    let schema = state.base.schema().clone();
+    let parsed = parse_instance(&schema, text).map_err(|e| format!("facts: {e}"))?;
+    if !insert && !parsed.is_ground() {
+        return Err("retract facts must be ground (nulls do not name stored rows)".into());
+    }
+    let ops = if insert {
+        ops_of(&parsed)
+    } else {
+        ops_of(&parsed)
+            .into_iter()
+            .map(|op| match op {
+                Op::Insert { rel, values } => Op::Retract { rel, values },
+                other => other,
+            })
+            .collect()
+    };
+    if ops.is_empty() {
+        return Err("no facts in request".into());
+    }
+    let epoch = state.base.bump_epoch();
+    let mut changed = 0usize;
+    let _ = parsed.for_each_fact(|rel, ids| {
+        if insert {
+            if state.base.insert_ids(rel, ids) {
+                changed += 1;
+            }
+        } else {
+            let values: Vec<Value> = ids.iter().map(|id| id.value()).collect();
+            if state.base.remove(rel, &pde_relational::Tuple::new(values)) {
+                changed += 1;
+            }
+        }
+        ControlFlow::Continue(())
+    });
+    if !insert {
+        // An incremental window is only sound on top of a fixpoint of a
+        // *grown* instance; retraction rewinds it, so the next solve
+        // re-chases fully.
+        state.chased = None;
+    }
+    // Durability before acknowledgment: if this commit fails the base has
+    // already mutated in memory, but the response says so and the store
+    // still recovers to its last good epoch.
+    state
+        .store
+        .commit(epoch, &ops)
+        .map_err(|e| format!("commit failed (state not durable): {e}"))?;
+    let verb = if insert { "insert" } else { "retract" };
+    let key = if insert { "inserted" } else { "retracted" };
+    Ok(format!("\"op\":\"{verb}\",\"{key}\":{changed}"))
+}
+
+/// `certain`: certain answers of a target UCQ over the current base.
+fn handle_certain(state: &mut ServeState, req: &Request) -> Result<String, String> {
+    let qsrc = req
+        .query
+        .as_deref()
+        .ok_or("missing 'query' field (a target UCQ)")?;
+    let q: UnionQuery = parse_query(state.setting.schema(), qsrc)
+        .map_err(|e| format!("query: {e}"))?
+        .into();
+    let setting = &state.setting;
+    let base = &state.base;
+    let out = isolate(|| certain_answers(setting, base, &q, GenericLimits::default()))
+        .map_err(|e| {
+            state.counters.panics_isolated += 1;
+            format!("request panicked (isolated): {e}")
+        })?
+        .map_err(|e| e.to_string())?;
+    let mut body = format!(
+        "\"op\":\"certain\",\"solution_exists\":{},\"solutions_examined\":{}",
+        out.solution_exists, out.solutions_examined
+    );
+    if q.is_boolean() {
+        body.push_str(&format!(",\"certain\":{}", out.certain_bool()));
+    } else {
+        let rows: Vec<String> = out
+            .answers
+            .iter()
+            .map(|t| {
+                let vals: Vec<String> = t.iter().map(|v| json_escape(&v.to_string())).collect();
+                format!("[{}]", vals.join(","))
+            })
+            .collect();
+        body.push_str(&format!(",\"answers\":[{}]", rows.join(",")));
+    }
+    Ok(body)
+}
+
+/// `snapshot`: checkpoint the base into an atomic snapshot and reset the
+/// journal.
+fn handle_snapshot(state: &mut ServeState) -> Result<String, String> {
+    state
+        .store
+        .checkpoint(&state.base)
+        .map_err(|e| e.to_string())?;
+    Ok(format!(
+        "\"op\":\"snapshot\",\"journal_bytes\":{}",
+        state.store.journal_bytes()
+    ))
+}
+
+/// The journal ops equivalent to an instance's facts (all inserts).
+fn ops_of(instance: &Instance) -> Vec<Op> {
+    let schema = instance.schema();
+    let mut ops = Vec::new();
+    let _ = instance.for_each_fact(|rel, ids| {
+        ops.push(Op::Insert {
+            rel: schema.name(rel),
+            values: ids.iter().map(|id| id.value()).collect(),
+        });
+        ControlFlow::Continue(())
+    });
+    ops
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn bundle() -> Bundle {
+        Bundle::parse(
+            "%schema\nsource E/2; target H/2;\n%st\nE(x, z), E(z, y) -> H(x, y)\n%ts\nH(x, y) -> E(x, y)\n%t\n%instance\nE(a, a).\n",
+        )
+        .unwrap()
+    }
+
+    fn temp_store(tag: &str) -> String {
+        use std::sync::atomic::{AtomicU64, Ordering};
+        static NEXT: AtomicU64 = AtomicU64::new(0);
+        let n = NEXT.fetch_add(1, Ordering::Relaxed);
+        let dir =
+            std::env::temp_dir().join(format!("pde-serve-test-{}-{tag}-{n}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir.to_string_lossy().into_owned()
+    }
+
+    fn run(bundle: &Bundle, dir: &str, script: &str) -> Vec<String> {
+        let options = ServeOptions {
+            store_dir: dir.to_owned(),
+            timeout: None,
+            memory_limit: None,
+            stats: false,
+        };
+        let mut out: Vec<u8> = Vec::new();
+        serve(bundle, &options, script.as_bytes(), &mut out).unwrap();
+        String::from_utf8(out)
+            .unwrap()
+            .lines()
+            .map(str::to_owned)
+            .collect()
+    }
+
+    #[test]
+    fn requests_parse_and_reject_precisely() {
+        let req = parse_request(r#"{"op":"insert","facts":"E(a, b)."}"#).unwrap();
+        assert_eq!(req.op, "insert");
+        assert_eq!(req.facts.as_deref(), Some("E(a, b)."));
+        let req = parse_request(r#"{"op":"solve","inject_panic_at":3}"#).unwrap();
+        assert_eq!(req.inject_panic_at, Some(3));
+        assert!(parse_request(r#"{"facts":"E(a, b)."}"#).is_err(), "no op");
+        assert!(parse_request(r#"{"op":"solve"} trailing"#).is_err());
+        assert!(parse_request(r#"{"op":{"nested":1}}"#).is_err());
+        let req = parse_request(r#"{"op":"certain","query":"q() :- H(\"x\", y)"}"#).unwrap();
+        assert_eq!(req.query.as_deref(), Some("q() :- H(\"x\", y)"));
+    }
+
+    #[test]
+    fn serve_answers_solve_and_certain_over_the_seeded_bundle() {
+        let b = bundle();
+        let dir = temp_store("solve");
+        let lines = run(
+            &b,
+            &dir,
+            "{\"op\":\"solve\"}\n{\"op\":\"certain\",\"query\":\"q() :- H(x, y)\"}\n",
+        );
+        assert!(lines[0].contains("pde-serve-hello"), "{}", lines[0]);
+        assert!(lines[0].contains("\"seeded\":1"), "{}", lines[0]);
+        // E(a,a) has the solution {H(a,a)}.
+        assert!(lines[1].contains("\"result\":\"yes\""), "{}", lines[1]);
+        assert!(lines[2].contains("\"certain\":true"), "{}", lines[2]);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn inserts_survive_a_restart_and_flip_the_answer() {
+        let b = bundle();
+        let dir = temp_store("restart");
+        // E(a,a) solves; adding E(a,b), E(b,c) demands E(a,c): no solution.
+        let lines = run(
+            &b,
+            &dir,
+            "{\"op\":\"insert\",\"facts\":\"E(a, b). E(b, c).\"}\n{\"op\":\"solve\"}\n",
+        );
+        assert!(lines[1].contains("\"inserted\":2"), "{}", lines[1]);
+        assert!(lines[2].contains("\"result\":\"no\""), "{}", lines[2]);
+        // Restart: recovery replays the journal; same answer, no re-seed.
+        let lines = run(&b, &dir, "{\"op\":\"solve\"}\n");
+        assert!(lines[0].contains("\"seeded\":0"), "{}", lines[0]);
+        assert!(lines[0].contains("\"facts\":3"), "{}", lines[0]);
+        assert!(lines[1].contains("\"result\":\"no\""), "{}", lines[1]);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn retract_restores_the_solution_and_survives_snapshot() {
+        let b = bundle();
+        let dir = temp_store("retract");
+        let lines = run(
+            &b,
+            &dir,
+            concat!(
+                "{\"op\":\"insert\",\"facts\":\"E(a, b). E(b, c).\"}\n",
+                "{\"op\":\"retract\",\"facts\":\"E(a, b).\"}\n",
+                "{\"op\":\"snapshot\"}\n",
+                "{\"op\":\"solve\"}\n",
+            ),
+        );
+        assert!(lines[2].contains("\"retracted\":1"), "{}", lines[2]);
+        assert!(lines[4].contains("\"result\":\"yes\""), "{}", lines[4]);
+        // The snapshot folded everything: restart sees it without replay.
+        let lines = run(&b, &dir, "{\"op\":\"solve\"}\n");
+        assert!(lines[0].contains("\"frames_replayed\":0"), "{}", lines[0]);
+        assert!(lines[1].contains("\"result\":\"yes\""), "{}", lines[1]);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn bad_requests_answer_in_band_and_keep_serving() {
+        let b = bundle();
+        let dir = temp_store("bad");
+        let lines = run(
+            &b,
+            &dir,
+            concat!(
+                "not json\n",
+                "{\"op\":\"frobnicate\"}\n",
+                "{\"op\":\"insert\"}\n",
+                "{\"op\":\"insert\",\"facts\":\"Nope(a).\"}\n",
+                "{\"op\":\"solve\"}\n",
+            ),
+        );
+        for bad in &lines[1..5] {
+            assert!(bad.contains("\"ok\":false"), "{bad}");
+        }
+        assert!(lines[5].contains("\"result\":\"yes\""), "{}", lines[5]);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn shutdown_ends_the_loop_early() {
+        let b = bundle();
+        let dir = temp_store("shutdown");
+        let lines = run(&b, &dir, "{\"op\":\"shutdown\"}\n{\"op\":\"solve\"}\n");
+        assert_eq!(lines.len(), 2, "{lines:?}");
+        assert!(lines[1].contains("\"op\":\"shutdown\""));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[cfg(feature = "fault-injection")]
+    #[test]
+    fn a_panicking_request_is_isolated_and_answered_undecided() {
+        let b = bundle();
+        let dir = temp_store("panic");
+        let lines = run(
+            &b,
+            &dir,
+            concat!(
+                "{\"op\":\"insert\",\"facts\":\"E(c, c).\"}\n",
+                "{\"op\":\"solve\",\"inject_panic_at\":0}\n",
+                "{\"op\":\"solve\"}\n",
+            ),
+        );
+        assert!(
+            lines[2].contains("\"result\":\"undecided\"") && lines[2].contains("isolated"),
+            "{}",
+            lines[2]
+        );
+        // The loop survived and the next (clean) solve still answers.
+        assert!(lines[3].contains("\"result\":\"yes\""), "{}", lines[3]);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -19,6 +19,13 @@
 //! summary table reports its overhead against the ungoverned semi-naive
 //! run; the robustness acceptance bar is < 3%.
 //!
+//! **E19 — serve-loop request latency** also rides here (`e19_*` keys).
+//! A client thread drives one `pde serve` session over an in-memory
+//! blocking pipe — the wire protocol end to end, store commits included —
+//! and buckets the client-observed per-request latency into the same
+//! power-of-two histograms the server exports, snapshotted into
+//! `BENCH_E16.json` next to the timings.
+//!
 //! **E17 — dependency rewriting + stratified scheduling** rides in the
 //! same report (its `e17_*` keys land in `BENCH_E16.json`). The two
 //! workloads above are re-declared with redundancy padding — alpha-renamed
@@ -36,14 +43,17 @@ use pde_chase::{
     ChaseEngine, ChaseLimits, ChaseResult, DepSchedule, WitnessMode,
 };
 use pde_constraints::Dependency;
-use pde_core::PdeSetting;
+use pde_core::{Bundle, PdeSetting};
 use pde_relational::{Instance, NullGen, Relation, Tuple, Value};
 use pde_runtime::{Governor, GovernorConfig};
 use pde_workloads::boundary::{egd_boundary_instance, egd_boundary_setting};
 use pde_workloads::genomics::{genomics_instance, genomics_setting, GenomicsParams};
 use pde_workloads::Graph;
-use std::collections::HashMap;
-use std::time::Duration;
+use peer_data_exchange::serve::{serve, ServeOptions};
+use std::collections::{HashMap, VecDeque};
+use std::io::{BufRead, BufReader, Read, Write};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
 
 /// Σst ∪ Σt of a setting as one chaseable dependency list.
 fn forward_deps(setting: &PdeSetting) -> Vec<Dependency> {
@@ -397,6 +407,215 @@ fn e18_arms(
     ));
 }
 
+/// Shared state of one in-memory pipe direction.
+struct PipeInner {
+    buf: VecDeque<u8>,
+    closed: bool,
+}
+
+/// A blocking byte pipe: the reader parks until the writer supplies bytes
+/// or hangs up. One per direction gives the serve loop a client "socket"
+/// without any OS plumbing, so E19 measures the wire protocol, not the
+/// kernel.
+#[derive(Clone)]
+struct Pipe(Arc<(Mutex<PipeInner>, Condvar)>);
+
+impl Pipe {
+    fn new() -> Pipe {
+        Pipe(Arc::new((
+            Mutex::new(PipeInner {
+                buf: VecDeque::new(),
+                closed: false,
+            }),
+            Condvar::new(),
+        )))
+    }
+
+    /// Ends the stream: the reader sees EOF once the buffer drains.
+    fn close(&self) {
+        let (lock, cond) = &*self.0;
+        lock.lock().expect("pipe lock never poisoned").closed = true;
+        cond.notify_all();
+    }
+}
+
+impl Read for Pipe {
+    fn read(&mut self, out: &mut [u8]) -> std::io::Result<usize> {
+        let (lock, cond) = &*self.0;
+        let mut inner = lock.lock().expect("pipe lock never poisoned");
+        while inner.buf.is_empty() && !inner.closed {
+            inner = cond.wait(inner).expect("pipe lock never poisoned");
+        }
+        let n = inner.buf.len().min(out.len());
+        for slot in out.iter_mut().take(n) {
+            *slot = inner.buf.pop_front().expect("n bytes available");
+        }
+        Ok(n)
+    }
+}
+
+impl Write for Pipe {
+    fn write(&mut self, bytes: &[u8]) -> std::io::Result<usize> {
+        let (lock, cond) = &*self.0;
+        let mut inner = lock.lock().expect("pipe lock never poisoned");
+        inner.buf.extend(bytes);
+        cond.notify_all();
+        Ok(bytes.len())
+    }
+
+    fn flush(&mut self) -> std::io::Result<()> {
+        Ok(())
+    }
+}
+
+/// The serve fixture: the tractable fast path applies, so a solve is one
+/// incremental chase refresh + homomorphism check — the steady-state shape
+/// of a long-lived session.
+fn serve_bundle() -> Bundle {
+    Bundle::parse(
+        "%schema\nsource E/2; target H/2;\n%st\nE(x, z), E(z, y) -> H(x, y)\n\
+         %ts\nH(x, y) -> E(x, y)\n%t\n%instance\nE(a, a).\n",
+    )
+    .expect("serve fixture bundle is well-formed")
+}
+
+/// A fresh store directory for one serve session.
+fn serve_store_dir(tag: &str) -> String {
+    use std::sync::atomic::{AtomicU64, Ordering};
+    static NEXT: AtomicU64 = AtomicU64::new(0);
+    let n = NEXT.fetch_add(1, Ordering::Relaxed);
+    let dir = std::env::temp_dir().join(format!("pde-bench-e19-{}-{tag}-{n}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir.to_string_lossy().into_owned()
+}
+
+/// The E19 request mix: `mutate` in 0..=100 is the percentage of requests
+/// that are inserts (each a fresh fact, so each one commits a journal
+/// frame); the rest are solves off the incrementally maintained chase.
+fn e19_requests(n: usize, mutate: usize) -> Vec<String> {
+    (0..n)
+        .map(|i| {
+            if i * 100 < n * mutate {
+                format!("{{\"op\":\"insert\",\"facts\":\"E(a{i}, b{i}).\"}}")
+            } else {
+                "{\"op\":\"solve\"}".to_owned()
+            }
+        })
+        .collect()
+}
+
+/// Drive one serve session over the pipe pair, one request at a time
+/// (write line, block on the response line), timing each round trip.
+/// Returns the total session wall-clock in ms; per-request latencies land
+/// in `lat` keyed by the request's op when one is supplied.
+fn serve_session(
+    bundle: &Bundle,
+    dir: &str,
+    requests: &[String],
+    mut lat: Option<&mut HashMap<String, pde_trace::Histogram>>,
+) -> f64 {
+    let mut to_server = Pipe::new();
+    let to_client = Pipe::new();
+    let options = ServeOptions {
+        store_dir: dir.to_owned(),
+        timeout: None,
+        memory_limit: None,
+        stats: false,
+        access_log: None,
+        trace_sample: 0,
+    };
+    let server = {
+        let bundle = bundle.clone();
+        let input = BufReader::new(to_server.clone());
+        let mut output = to_client.clone();
+        std::thread::spawn(move || {
+            serve(&bundle, &options, input, &mut output).expect("serve session runs to EOF");
+            output.close();
+        })
+    };
+
+    let mut from_server = BufReader::new(to_client.clone());
+    let mut line = String::new();
+    from_server.read_line(&mut line).expect("hello line");
+    assert!(line.contains("pde-serve-hello"), "hello: {line}");
+
+    let session = Instant::now();
+    for req in requests {
+        let t = Instant::now();
+        to_server
+            .write_all(req.as_bytes())
+            .and_then(|()| to_server.write_all(b"\n"))
+            .expect("pipe write");
+        line.clear();
+        from_server.read_line(&mut line).expect("response line");
+        assert!(line.contains("\"ok\":true"), "response: {line}");
+        if let Some(by_op) = lat.as_deref_mut() {
+            let op = if req.contains("\"insert\"") {
+                "insert"
+            } else {
+                "solve"
+            };
+            let ns = u64::try_from(t.elapsed().as_nanos()).unwrap_or(u64::MAX);
+            by_op.entry(op.to_owned()).or_default().record(ns);
+        }
+    }
+    let total_ms = session.elapsed().as_secs_f64() * 1e3;
+    to_server.close();
+    server.join().expect("server thread exits cleanly");
+    total_ms
+}
+
+/// The E19 arms: Criterion-timed whole sessions per request mix, plus one
+/// instrumented session per mix whose client-observed latency histograms
+/// are snapshotted into the report metrics as `e19.request_ns[.op]`.
+fn e19_arms(
+    c: &mut Criterion,
+    measurements: &mut Vec<(String, f64)>,
+    metrics: &mut pde_trace::MetricsRegistry,
+    rows: &mut Vec<(String, String, String)>,
+) {
+    let bundle = serve_bundle();
+    let mut grp = c.benchmark_group("e19_serve");
+    grp.sample_size(10);
+    for (label, mutate) in [("solve", 0usize), ("mixed", 50), ("insert", 100)] {
+        let requests = e19_requests(32, mutate);
+        grp.bench_function(label, |b| {
+            b.iter(|| {
+                let dir = serve_store_dir(label);
+                let ms = serve_session(&bundle, &dir, &requests, None);
+                let _ = std::fs::remove_dir_all(&dir);
+                ms
+            });
+        });
+    }
+    grp.finish();
+
+    for (label, mutate) in [("solve", 0usize), ("mixed", 50), ("insert", 100)] {
+        let requests = e19_requests(128, mutate);
+        let mut by_op: HashMap<String, pde_trace::Histogram> = HashMap::new();
+        let dir = serve_store_dir(label);
+        let total_ms = serve_session(&bundle, &dir, &requests, Some(&mut by_op));
+        let _ = std::fs::remove_dir_all(&dir);
+
+        let mut overall = pde_trace::Histogram::default();
+        for (op, h) in &by_op {
+            overall.merge(h);
+            metrics.merge_histogram(&format!("e19_{label}.request_ns.{op}"), h);
+        }
+        metrics.merge_histogram(&format!("e19_{label}.request_ns"), &overall);
+        let mean_us = overall.sum as f64 / overall.count as f64 / 1e3;
+        let key = format!("e19_serve_{label}");
+        measurements.push((format!("{key}.requests"), requests.len() as f64));
+        measurements.push((format!("{key}.session_ms"), total_ms));
+        measurements.push((format!("{key}.mean_request_us"), mean_us));
+        rows.push((
+            format!("E19 serve {label}"),
+            format!("{total_ms:.2} ms / {} req", requests.len()),
+            format!("mean {mean_us:.1} us, max {} ns", overall.max),
+        ));
+    }
+}
+
 fn bench(c: &mut Criterion) {
     let mut rows = Vec::new();
     // Perf-trajectory record: flat named timings plus a metrics snapshot
@@ -594,9 +813,12 @@ fn bench(c: &mut Criterion) {
         &mut rows,
     );
 
+    // E19: end-to-end serve-loop request latency over the in-memory pipe.
+    e19_arms(c, &mut measurements, &mut metrics, &mut rows);
+
     pde_bench::print_series3(
-        "E16/E17/E18: chase engines, the optimizer, and columnar storage — \
-         before / after ms (speedup)",
+        "E16/E17/E18/E19: chase engines, the optimizer, columnar storage, \
+         and serve latency — before / after ms (speedup)",
         ("workload", "times (ms)", "stats"),
         &rows,
     );

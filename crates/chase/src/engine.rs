@@ -43,6 +43,7 @@ use pde_relational::{
 use pde_runtime::{Governor, StopReason};
 use std::ops::ControlFlow;
 use std::sync::atomic::{AtomicU8, Ordering};
+use std::time::Instant;
 
 /// Where tgd steps obtain witnesses for existential variables.
 #[derive(Clone, Copy)]
@@ -354,6 +355,7 @@ fn chase_seminaive_incremental(
             }
             let cur = instance.bump_epoch();
             stats.rounds += 1;
+            let round_start = Instant::now();
             let _round_span = pde_trace::span("chase.round")
                 .field("engine", "seminaive")
                 .field("round", stats.rounds)
@@ -510,6 +512,9 @@ fn chase_seminaive_incremental(
                     }
                 }
             }
+            stats
+                .round_ns
+                .record(u64::try_from(round_start.elapsed().as_nanos()).unwrap_or(u64::MAX));
             if !progressed {
                 // Stratum fixpoint reached; move on to the next stratum.
                 break;
@@ -589,6 +594,7 @@ fn chase_naive_governed(
             };
         }
         stats.rounds += 1;
+        let round_start = Instant::now();
         let _round_span = pde_trace::span("chase.round")
             .field("engine", "naive")
             .field("round", stats.rounds)
@@ -661,6 +667,9 @@ fn chase_naive_governed(
                 }
             }
         }
+        stats
+            .round_ns
+            .record(u64::try_from(round_start.elapsed().as_nanos()).unwrap_or(u64::MAX));
         if !progressed {
             return ChaseResult {
                 outcome: ChaseOutcome::Success,

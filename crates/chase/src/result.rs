@@ -142,6 +142,11 @@ pub struct ChaseStats {
     /// **Deprecation note:** governor-derived; engines no longer populate
     /// it — read [`pde_runtime::GovernorReport::deadline_remaining`].
     pub deadline_remaining_nanos: Option<u64>,
+    /// Latency distribution of completed rounds, in nanoseconds. Rounds
+    /// cut short by a governor stop or a resource limit are not recorded
+    /// (their partial timing would skew the buckets), so `round_ns.count`
+    /// can trail `rounds` by one on stopped runs.
+    pub round_ns: pde_trace::Histogram,
 }
 
 impl ChaseStats {
@@ -169,6 +174,7 @@ impl ChaseStats {
             (Some(a), Some(b)) => Some(a.min(b)),
             (a, b) => a.or(b),
         };
+        self.round_ns.merge(&other.round_ns);
     }
 
     /// Export the engine work counters into a
@@ -186,6 +192,7 @@ impl ChaseStats {
         reg.add("chase.triggers_satisfied", u(self.triggers_satisfied));
         reg.add("chase.skipped_by_delta", u(self.skipped_by_delta));
         reg.add("chase.egd_merges", u(self.egd_merges));
+        reg.merge_histogram("chase.round_ns", &self.round_ns);
     }
 }
 

@@ -129,10 +129,12 @@ impl SolveReport {
             reg.set("storage.slots", stats.slots as u64);
             reg.set("storage.index_entries", stats.index_entries as u64);
         }
-        reg.set(
-            "solve.elapsed_ns",
-            u64::try_from(self.elapsed.as_nanos()).unwrap_or(u64::MAX),
-        );
+        let elapsed_ns = u64::try_from(self.elapsed.as_nanos()).unwrap_or(u64::MAX);
+        reg.set("solve.elapsed_ns", elapsed_ns);
+        // Also observed as a histogram so aggregated reports (batch runs,
+        // serve sessions folding many solves) carry the distribution, not
+        // just the last gauge value.
+        reg.observe("solve.elapsed_ns", elapsed_ns);
     }
 }
 

@@ -112,6 +112,12 @@ pub struct GovernorReport {
 }
 
 impl GovernorReport {
+    /// Did the governor stop the run at any checkpoint? Serve's access-log
+    /// and flight-recorder layers key degraded-outcome handling off this.
+    pub fn stopped(&self) -> bool {
+        self.stops > 0
+    }
+
     /// Export every counter into a [`pde_trace::MetricsRegistry`] under
     /// the `governor.` prefix. The registry is the canonical report-layer
     /// home for these numbers (see the deprecation notes on the

@@ -19,6 +19,7 @@ use std::fs::{self, File, OpenOptions};
 use std::io::{Seek, SeekFrom, Write};
 use std::path::{Path, PathBuf};
 use std::sync::Arc;
+use std::time::Instant;
 
 /// Snapshot file name inside a store directory.
 pub const SNAPSHOT_FILE: &str = "base.pdes";
@@ -144,6 +145,9 @@ struct StoreCounters {
     commits: u64,
     ops_committed: u64,
     snapshots_written: u64,
+    /// Latency distribution of successful commits (encode + append +
+    /// `fdatasync`), in nanoseconds. Failed commits are not recorded.
+    commit_ns: pde_trace::Histogram,
 }
 
 /// A crash-safe durable store for one instance.
@@ -305,6 +309,10 @@ impl InstanceStore {
             "commit epoch {epoch} must exceed the last committed epoch {}",
             self.epoch
         );
+        let commit_start = Instant::now();
+        let _commit_span = pde_trace::span("store.commit")
+            .field("epoch", epoch)
+            .field("ops", ops.len());
         let mut frame = Vec::new();
         append_frame(&mut frame, &encode_batch(epoch, ops));
         #[cfg(feature = "fault-injection")]
@@ -352,6 +360,9 @@ impl InstanceStore {
         self.epoch = epoch;
         self.counters.commits += 1;
         self.counters.ops_committed += ops.len() as u64;
+        self.counters
+            .commit_ns
+            .record(u64::try_from(commit_start.elapsed().as_nanos()).unwrap_or(u64::MAX));
         Ok(())
     }
 
@@ -413,6 +424,7 @@ impl InstanceStore {
         metrics.add("store.truncated_frames", self.counters.truncated_frames);
         metrics.add("store.truncated_bytes", self.counters.truncated_bytes);
         metrics.add("store.snapshots_written", self.counters.snapshots_written);
+        metrics.merge_histogram("store.commit_ns", &self.counters.commit_ns);
     }
 
     /// The schema this store was opened under.

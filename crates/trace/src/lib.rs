@@ -33,13 +33,17 @@
 //! The span taxonomy, field names, and the versioned JSON report schema
 //! are documented in `docs/OBSERVABILITY.md` at the repository root.
 
+pub mod flight;
 pub mod metrics;
 pub mod record;
 pub mod sink;
 
+pub use flight::FlightRecorder;
 pub use metrics::{Histogram, MetricsRegistry};
 pub use record::{json_escape, FieldValue, SpanRecord};
-pub use sink::{CollectingSink, JsonlSink, NoopSink, PhaseAgg, ProfileSink, Sink};
+pub use sink::{
+    CollectingSink, FanoutSink, HistogramSink, JsonlSink, NoopSink, PhaseAgg, ProfileSink, Sink,
+};
 
 use std::cell::RefCell;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
@@ -95,6 +99,18 @@ pub fn enabled() -> bool {
         ENV_INIT.call_once(init_from_env);
     }
     ENABLED.load(Ordering::Relaxed)
+}
+
+/// A handle to the installed sink, if any. Lets callers *compose* with
+/// whatever is already observing (e.g. wrap the operator's `--trace`
+/// stream and a session flight recorder in a [`FanoutSink`]) instead of
+/// silently replacing it. Triggers the same one-shot environment
+/// initialization as [`enabled`].
+pub fn current_sink() -> Option<Arc<dyn Sink>> {
+    if !enabled() {
+        return None;
+    }
+    SINK.read().expect("trace sink lock never poisoned").clone()
 }
 
 /// Lazy `PDE_TRACE` handling: `collect` buffers spans in memory (bounded,

@@ -12,7 +12,7 @@ use std::fmt::Write as _;
 ///
 /// Bucket `i` counts samples `v` with `2^(i-1) < v <= 2^i` (bucket 0
 /// counts zeros and ones). 65 buckets cover the full `u64` range.
-#[derive(Clone, Debug, PartialEq, Eq)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct Histogram {
     /// Samples recorded.
     pub count: u64,
@@ -63,6 +63,27 @@ impl Histogram {
             0
         } else {
             (64 - (v - 1).leading_zeros()) as usize
+        }
+    }
+
+    /// Fold another histogram into this one: counts and sums add, the
+    /// extrema combine, buckets add pairwise. Used by report assembly to
+    /// aggregate per-run histograms (e.g. chase rounds across several
+    /// chases of one solve) without re-observing samples.
+    pub fn merge(&mut self, other: &Histogram) {
+        if other.count == 0 {
+            return;
+        }
+        if self.count == 0 || other.min < self.min {
+            self.min = other.min;
+        }
+        if other.max > self.max {
+            self.max = other.max;
+        }
+        self.count += other.count;
+        self.sum = self.sum.saturating_add(other.sum);
+        for (b, o) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *b += o;
         }
     }
 
@@ -142,6 +163,24 @@ impl MetricsRegistry {
             .record(v);
     }
 
+    /// Fold a whole histogram into the named slot (creating it empty).
+    pub fn merge_histogram(&mut self, name: &str, h: &Histogram) {
+        self.histograms.entry(name.to_owned()).or_default().merge(h);
+    }
+
+    /// Fold another registry into this one: counters add, histograms
+    /// merge. Gauges set with [`MetricsRegistry::set`] also add, so only
+    /// merge registries with disjoint gauge names (which is how the report
+    /// layer uses it: each layer owns its metric prefix).
+    pub fn merge_from(&mut self, other: &MetricsRegistry) {
+        for (name, v) in other.counters() {
+            self.add(name, v);
+        }
+        for (name, h) in other.histograms() {
+            self.merge_histogram(name, h);
+        }
+    }
+
     /// The named histogram, if present.
     pub fn histogram(&self, name: &str) -> Option<&Histogram> {
         self.histograms.get(name)
@@ -195,6 +234,45 @@ mod tests {
         assert_eq!(h.max, 1000);
         // 0,1 -> bucket 0; 2 -> bucket 1; 3,4 -> bucket 2; 1000 -> bucket 10.
         assert_eq!(h.nonzero_buckets(), vec![(0, 2), (1, 1), (2, 2), (10, 1)]);
+    }
+
+    #[test]
+    fn histogram_merge_combines_counts_extrema_and_buckets() {
+        let mut a = Histogram::new();
+        for v in [1, 8] {
+            a.record(v);
+        }
+        let mut b = Histogram::new();
+        for v in [0, 1000] {
+            b.record(v);
+        }
+        a.merge(&b);
+        assert_eq!(a.count, 4);
+        assert_eq!(a.sum, 1009);
+        assert_eq!(a.min, 0);
+        assert_eq!(a.max, 1000);
+        assert_eq!(a.nonzero_buckets(), vec![(0, 2), (3, 1), (10, 1)]);
+        // Merging an empty histogram changes nothing (not even min).
+        let before = a;
+        a.merge(&Histogram::new());
+        assert_eq!(a, before);
+    }
+
+    #[test]
+    fn registry_merge_adds_counters_and_merges_histograms() {
+        let mut a = MetricsRegistry::new();
+        a.add("c.x", 2);
+        a.observe("h.y", 10);
+        let mut b = MetricsRegistry::new();
+        b.add("c.x", 3);
+        b.add("c.z", 1);
+        b.observe("h.y", 20);
+        b.observe("h.w", 5);
+        a.merge_from(&b);
+        assert_eq!(a.get("c.x"), Some(5));
+        assert_eq!(a.get("c.z"), Some(1));
+        assert_eq!(a.histogram("h.y").map(|h| h.count), Some(2));
+        assert_eq!(a.histogram("h.w").map(|h| h.sum), Some(5));
     }
 
     #[test]

@@ -1,12 +1,14 @@
-//! Span sinks: no-op, collecting, aggregating, and JSONL streaming.
+//! Span sinks: no-op, collecting, aggregating, fan-out, histogram, and
+//! JSONL streaming.
 
+use crate::metrics::MetricsRegistry;
 use crate::record::SpanRecord;
 use std::collections::BTreeMap;
 use std::fmt::Write as _;
 use std::io::Write as _;
 use std::path::Path;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex};
 
 /// A destination for completed spans. Implementations must be cheap and
 /// non-blocking enough to sit inside engine hot loops, and thread-safe:
@@ -170,6 +172,60 @@ impl Sink for ProfileSink {
     }
 }
 
+/// Delivers every span to each of several sinks, so observers compose:
+/// a serve session can feed its flight recorder while an operator's
+/// `--trace` stream and a per-request sampling collector stay live.
+pub struct FanoutSink {
+    sinks: Vec<Arc<dyn Sink>>,
+}
+
+impl FanoutSink {
+    /// A sink broadcasting to `sinks` in order.
+    pub fn new(sinks: Vec<Arc<dyn Sink>>) -> FanoutSink {
+        FanoutSink { sinks }
+    }
+}
+
+impl Sink for FanoutSink {
+    fn record(&self, span: &SpanRecord) {
+        for sink in &self.sinks {
+            sink.record(span);
+        }
+    }
+}
+
+/// Aggregates per-phase *self-time distributions*: every span named
+/// `<name>` records its `self_ns` into a `phase.<name>.self_ns` histogram.
+/// Where [`ProfileSink`] keeps totals, this keeps the shape — the report
+/// layer merges the snapshot into the run report so `--stats --format
+/// json` carries real latency histograms, not an empty map.
+#[derive(Default)]
+pub struct HistogramSink {
+    reg: Mutex<MetricsRegistry>,
+}
+
+impl HistogramSink {
+    /// An empty histogram sink.
+    pub fn new() -> HistogramSink {
+        HistogramSink::default()
+    }
+
+    /// A copy of the accumulated registry (histograms only).
+    pub fn snapshot(&self) -> MetricsRegistry {
+        self.reg
+            .lock()
+            .expect("histogram sink lock never poisoned")
+            .clone()
+    }
+}
+
+impl Sink for HistogramSink {
+    fn record(&self, span: &SpanRecord) {
+        let mut reg = self.reg.lock().expect("histogram sink lock never poisoned");
+        reg.observe(&format!("phase.{}.self_ns", span.name), span.self_ns);
+    }
+}
+
 /// Streams one JSON object per span to a file (or `/dev/stdout`).
 #[derive(Debug)]
 pub struct JsonlSink {
@@ -260,6 +316,34 @@ mod tests {
         assert!(
             trigger_line < merge_line,
             "rows sorted by self time:\n{table}"
+        );
+    }
+
+    #[test]
+    fn fanout_sink_broadcasts_to_every_sink() {
+        let a = Arc::new(CollectingSink::bounded(4));
+        let b = Arc::new(CollectingSink::bounded(4));
+        let fan = FanoutSink::new(vec![a.clone(), b.clone()]);
+        fan.record(&rec("x", 1, 1));
+        assert_eq!(a.len(), 1);
+        assert_eq!(b.len(), 1);
+    }
+
+    #[test]
+    fn histogram_sink_buckets_self_times_per_phase() {
+        let s = HistogramSink::new();
+        s.record(&rec("chase.round", 100, 90));
+        s.record(&rec("chase.round", 100, 3));
+        s.record(&rec("egd.merge", 50, 50));
+        let snap = s.snapshot();
+        let h = snap
+            .histogram("phase.chase.round.self_ns")
+            .expect("round histogram");
+        assert_eq!(h.count, 2);
+        assert_eq!(h.sum, 93);
+        assert_eq!(
+            snap.histogram("phase.egd.merge.self_ns").map(|h| h.count),
+            Some(1)
         );
     }
 

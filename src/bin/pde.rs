@@ -191,6 +191,7 @@ const USAGE: &str = "usage:
   pde shrink    <bundle.pde> <candidate-instance>
   pde format    <bundle.pde>
   pde serve     <bundle.pde> <store-dir> [--timeout dur] [--memory-limit size] [--stats]
+                [--access-log <file.jsonl>] [--trace-sample n]
 global flags:
   --chase naive|seminaive   chase engine (default: seminaive)
   --optimize/--no-optimize  rewrite the setting before solving (default: on;
@@ -201,6 +202,9 @@ solve-only flags:
   --timeout <dur>           wall-clock budget (ns/us/ms/s suffix; bare = ms)
   --memory-limit <size>     instance byte budget (k/m/g suffix; bare = bytes)
   --governed                derive the memory budget from the plan certificate
+serve-only flags:
+  --access-log <file>       append one JSONL access record per request (docs/OBSERVABILITY.md)
+  --trace-sample <n>        capture the span stream of every nth request into the access log
 exit codes: 0 yes, 1 no, 2 usage/input error, 3 undecided (budget exhausted)";
 
 fn load_bundle(path: &str) -> Result<Bundle, String> {
@@ -236,6 +240,8 @@ struct Flags {
     governed: bool,
     trace_path: Option<String>,
     profile: bool,
+    access_log: Option<String>,
+    trace_sample: Option<u64>,
 }
 
 impl Flags {
@@ -283,6 +289,11 @@ fn split_flags(args: &[String]) -> Result<(Vec<String>, Flags), String> {
             "--governed" => flags.governed = true,
             "--trace" => flags.trace_path = Some(flag_value(&mut it, "--trace")?),
             "--profile" => flags.profile = true,
+            "--access-log" => flags.access_log = Some(flag_value(&mut it, "--access-log")?),
+            "--trace-sample" => {
+                let n = flag_number(&mut it, "--trace-sample")?;
+                flags.trace_sample = Some(u64::try_from(n).unwrap_or(u64::MAX));
+            }
             "--plan" => flags.plan_path = Some(flag_value(&mut it, "--plan")?),
             "--check" => {
                 // The certificate path is optional: `optimize --check`
@@ -507,10 +518,16 @@ fn render_solve_json(
     report: &pde_core::SolveReport,
     cert: &Certificate,
     optimize: Option<(&RewriteCertificate, &DepSchedule)>,
+    hist: Option<&pde_trace::HistogramSink>,
 ) -> String {
     use pde_trace::json_escape;
     let mut reg = pde_trace::MetricsRegistry::new();
     report.export_metrics(&mut reg);
+    // Fold in the span-derived per-phase self-time distributions (the
+    // sink only holds histograms, so no counter double-counting).
+    if let Some(h) = hist {
+        reg.merge_from(&h.snapshot());
+    }
     let result = match report.exists {
         Some(true) => "\"yes\"".to_owned(),
         Some(false) => "\"no\"".to_owned(),
@@ -611,7 +628,23 @@ fn run(args: &[String]) -> Result<Verdict, String> {
     } else {
         None
     };
-    let out = dispatch(&args, &flags);
+    // Under --stats (batch commands only — serve keeps its own session
+    // registry) a histogram sink buckets per-phase self-times so the JSON
+    // run report's `histograms` member carries real distributions. It
+    // composes with --trace/--profile through a fan-out.
+    let hist = if flags.stats && args.first().map(String::as_str) != Some("serve") {
+        let sink = std::sync::Arc::new(pde_trace::HistogramSink::new());
+        let mut sinks: Vec<std::sync::Arc<dyn pde_trace::Sink>> = Vec::new();
+        if let Some(prev) = pde_trace::current_sink() {
+            sinks.push(prev);
+        }
+        sinks.push(sink.clone());
+        pde_trace::set_sink(std::sync::Arc::new(pde_trace::FanoutSink::new(sinks)));
+        Some(sink)
+    } else {
+        None
+    };
+    let out = dispatch(&args, &flags, hist.as_deref());
     if let Some(sink) = jsonl {
         sink.flush();
     }
@@ -622,7 +655,11 @@ fn run(args: &[String]) -> Result<Verdict, String> {
     out
 }
 
-fn dispatch(args: &[String], flags: &Flags) -> Result<Verdict, String> {
+fn dispatch(
+    args: &[String],
+    flags: &Flags,
+    hist: Option<&pde_trace::HistogramSink>,
+) -> Result<Verdict, String> {
     let cmd = args.first().ok_or("missing command")?;
     if flags.wants_governance() && !matches!(cmd.as_str(), "solve" | "serve") {
         return Err(format!(
@@ -631,6 +668,11 @@ fn dispatch(args: &[String], flags: &Flags) -> Result<Verdict, String> {
     }
     if flags.governed && cmd == "serve" {
         return Err("--governed only applies to 'solve' (serve has no plan certificate)".into());
+    }
+    if (flags.access_log.is_some() || flags.trace_sample.is_some()) && cmd != "serve" {
+        return Err(format!(
+            "--access-log/--trace-sample only apply to 'serve', not '{cmd}'"
+        ));
     }
     if flags.optimize.is_some() && !matches!(cmd.as_str(), "solve" | "certain" | "enumerate") {
         return Err(format!(
@@ -889,7 +931,7 @@ fn dispatch(args: &[String], flags: &Flags) -> Result<Verdict, String> {
                     (Some(o), Some(s)) => Some((&o.certificate, s)),
                     _ => None,
                 };
-                outln!("{}", render_solve_json(&report, &cert, opt_info));
+                outln!("{}", render_solve_json(&report, &cert, opt_info, hist));
                 return Ok(match report.exists {
                     Some(true) => Verdict::Yes,
                     Some(false) => Verdict::No,
@@ -1136,6 +1178,8 @@ fn dispatch(args: &[String], flags: &Flags) -> Result<Verdict, String> {
                 timeout: flags.timeout,
                 memory_limit: flags.memory_limit,
                 stats: flags.stats,
+                access_log: flags.access_log.clone(),
+                trace_sample: flags.trace_sample.unwrap_or(0),
             };
             serve(
                 &bundle,

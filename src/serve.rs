@@ -22,6 +22,22 @@
 //!   `undecided` without killing the loop, and the chased cache is moved
 //!   out during maintenance so a contained panic can never leave a
 //!   half-chased instance behind.
+//!
+//! Telemetry (`docs/OBSERVABILITY.md` has the schemas):
+//!
+//! * Every request gets a monotone id, threaded through its spans, its
+//!   response, and its access-log record.
+//! * `--access-log <path>` appends one versioned JSONL record per request
+//!   (id, kind, result, exit-equivalent status, durations, governor
+//!   outcome, epoch, bytes); `--trace-sample N` additionally captures the
+//!   full span stream of every Nth request into the same file.
+//! * Request latencies feed power-of-two histograms (`serve.request_ns`,
+//!   per-kind variants, `chase.round_ns`) surfaced by `--stats` responses
+//!   and the `stats` request.
+//! * A bounded [`FlightRecorder`] ring holds the most recent request
+//!   records and span tails; it is dumped to the store directory on panic
+//!   isolation, governor stop, corrupt-journal recovery, and shutdown, so
+//!   every degraded outcome leaves a postmortem artifact.
 
 use pde_analysis::plan_setting;
 use pde_chase::{
@@ -35,11 +51,19 @@ use pde_core::{
 use pde_relational::{parse_instance, parse_query, Instance, Schema, UnionQuery, Value};
 use pde_runtime::{isolate, Governor, GovernorConfig};
 use pde_store::{InstanceStore, Op, RecoveryReport};
-use pde_trace::{json_escape, MetricsRegistry};
-use std::io::{BufRead, Write};
+use pde_trace::{json_escape, CollectingSink, FanoutSink, FlightRecorder, MetricsRegistry, Sink};
+use std::io::{BufRead, BufWriter, Write};
 use std::ops::ControlFlow;
+use std::path::Path;
 use std::sync::Arc;
-use std::time::Duration;
+use std::time::{Duration, Instant};
+
+/// Request records the session flight recorder retains.
+const FLIGHT_REQUESTS: usize = 64;
+/// Span records the session flight recorder retains.
+const FLIGHT_SPANS: usize = 256;
+/// Cap on spans captured for one sampled request (`--trace-sample`).
+const SAMPLE_SPAN_CAP: usize = 4096;
 
 /// Configuration of one serve session (from the CLI flags).
 pub struct ServeOptions {
@@ -51,6 +75,11 @@ pub struct ServeOptions {
     pub memory_limit: Option<usize>,
     /// Attach a `metrics` object to every response (`--stats`).
     pub stats: bool,
+    /// Append one JSONL access record per request (`--access-log`).
+    pub access_log: Option<String>,
+    /// Capture the full span stream of every Nth request into the access
+    /// log (`--trace-sample`); 0 disables sampling.
+    pub trace_sample: u64,
 }
 
 /// What a request asked for, after JSON decoding.
@@ -94,6 +123,61 @@ struct ServeState {
     base: Instance,
     chased: Option<Chased>,
     counters: ServeCounters,
+    /// Session-persistent latency histograms (`serve.request_ns` and
+    /// per-kind variants, `chase.round_ns`), merged into every `metrics`
+    /// response next to the store's own counters.
+    metrics: MetricsRegistry,
+    /// What startup recovery found, kept for the `stats` request.
+    recovery: RecoveryReport,
+    started: Instant,
+    /// Ring of recent request records + span tails, dumped on degraded
+    /// outcomes.
+    flight: Arc<FlightRecorder>,
+    /// Flight dumps written so far this session.
+    flight_dumps: u64,
+}
+
+/// Per-request telemetry accumulated while handling, for the access log,
+/// the response status, and the flight recorder.
+struct ReqMeta {
+    /// Wire-level result: `yes`/`no`/`undecided` for solves, `ok` for
+    /// mutations and admin ops (`error` is derived from the body).
+    result: &'static str,
+    /// Governor outcome: `none`, a stop reason, or `panic: <message>`.
+    governor: String,
+    /// Time spent bringing the chased cache up to date, in nanoseconds.
+    chase_ns: u64,
+    /// Time spent solving/answering beyond the chase, in nanoseconds.
+    solve_ns: u64,
+    /// When set, the request degraded in a way that warrants a flight
+    /// dump, tagged with the dump's reason.
+    flight: Option<&'static str>,
+}
+
+impl ReqMeta {
+    fn new() -> ReqMeta {
+        ReqMeta {
+            result: "ok",
+            governor: "none".to_owned(),
+            chase_ns: 0,
+            solve_ns: 0,
+            flight: None,
+        }
+    }
+}
+
+/// Restores the process-wide trace sink the session found at startup.
+struct SinkGuard {
+    prev: Option<Arc<dyn Sink>>,
+}
+
+impl Drop for SinkGuard {
+    fn drop(&mut self) {
+        match self.prev.take() {
+            Some(p) => pde_trace::set_sink(p),
+            None => pde_trace::clear_sink(),
+        }
+    }
 }
 
 /// Three-valued solve answer on the wire.
@@ -164,31 +248,266 @@ pub fn serve(
         base,
         chased: None,
         counters: ServeCounters::default(),
+        metrics: MetricsRegistry::new(),
+        recovery: report,
+        started: Instant::now(),
+        flight: Arc::new(FlightRecorder::with_capacity(FLIGHT_REQUESTS, FLIGHT_SPANS)),
+        flight_dumps: 0,
     };
 
-    writeln!(output, "{}", hello_line(&state, &report, seeded)).map_err(|e| out_err(&e))?;
+    // Compose the session flight recorder with whatever sink is already
+    // observing (an operator's --trace stream, a profile run); the guard
+    // restores the prior sink when the session ends.
+    let prev_sink = pde_trace::current_sink();
+    let session_sink: Arc<dyn Sink> = {
+        let mut sinks: Vec<Arc<dyn Sink>> = Vec::new();
+        if let Some(p) = prev_sink.clone() {
+            sinks.push(p);
+        }
+        sinks.push(state.flight.clone());
+        Arc::new(FanoutSink::new(sinks))
+    };
+    pde_trace::set_sink(session_sink.clone());
+    let _sink_guard = SinkGuard { prev: prev_sink };
+
+    let mut access: Option<BufWriter<std::fs::File>> = match &options.access_log {
+        Some(path) => {
+            let file = std::fs::OpenOptions::new()
+                .create(true)
+                .append(true)
+                .open(path)
+                .map_err(|e| format!("access log {path}: {e}"))?;
+            Some(BufWriter::new(file))
+        }
+        None => None,
+    };
+
+    // A rewind is a degraded outcome even before the first request: leave
+    // the postmortem artifact immediately (the rings are empty; the header
+    // alone records what recovery found).
+    if state.recovery.rewound() {
+        dump_flight(&mut state, &options.store_dir, "recovery-rewind", 0);
+    }
+
+    writeln!(output, "{}", hello_line(&state, seeded)).map_err(|e| out_err(&e))?;
     output.flush().map_err(|e| out_err(&e))?;
 
+    let mut next_id: u64 = 0;
     for line in input.lines() {
         let line = line.map_err(|e| format!("stdin: {e}"))?;
         if line.trim().is_empty() {
             continue;
         }
-        state.counters.requests += 1;
-        let (response, done) = match parse_request(&line) {
-            Ok(req) => handle(&mut state, options, &req),
-            Err(e) => {
-                state.counters.errors += 1;
-                (error_response(&state, &format!("bad request: {e}")), false)
+        next_id += 1;
+        let id = next_id;
+        let start = Instant::now();
+        let sampled = options.trace_sample > 0 && id.is_multiple_of(options.trace_sample);
+        let collector = sampled.then(|| Arc::new(CollectingSink::bounded(SAMPLE_SPAN_CAP)));
+        if let Some(c) = &collector {
+            pde_trace::set_sink(Arc::new(FanoutSink::new(vec![
+                session_sink.clone(),
+                c.clone() as Arc<dyn Sink>,
+            ])));
+        }
+        let parsed = parse_request(&line);
+        let kind = kind_of(&parsed);
+        let mut meta = ReqMeta::new();
+        let (body, done) = {
+            let _span = pde_trace::span("serve.request")
+                .field("id", id)
+                .field("op", kind);
+            match &parsed {
+                Ok(req) => handle(&mut state, options, req, &mut meta),
+                Err(e) => (Err(format!("bad request: {e}")), false),
             }
         };
+        if collector.is_some() {
+            pde_trace::set_sink(session_sink.clone());
+        }
+        // Count and observe *before* composing the response, so a
+        // response's own metrics include the request it answers: histogram
+        // counts always equal the request counters they ride next to.
+        let total_ns = ns_since(start);
+        state.counters.requests += 1;
+        if body.is_err() {
+            state.counters.errors += 1;
+        }
+        state.metrics.observe("serve.request_ns", total_ns);
+        state
+            .metrics
+            .observe(&format!("serve.request_ns.{kind}"), total_ns);
+        let status = match &body {
+            Err(_) => 2,
+            Ok(_) => match meta.result {
+                "no" => 1,
+                "undecided" => 3,
+                _ => 0,
+            },
+        };
+        let response = match &body {
+            Ok(fields) => {
+                let mut l = format!(
+                    "{{\"ok\":true,\"id\":{id},{fields},\"epoch\":{}",
+                    state.base.current_epoch()
+                );
+                push_metrics(&state, options, kind, &mut l);
+                l.push('}');
+                l
+            }
+            Err(e) => format!(
+                "{{\"ok\":false,\"id\":{id},\"error\":{},\"epoch\":{}}}",
+                json_escape(e),
+                state.base.current_epoch()
+            ),
+        };
+        let record = access_record(
+            id,
+            kind,
+            &meta,
+            body.is_ok(),
+            status,
+            total_ns,
+            line.len(),
+            response.len(),
+            state.base.current_epoch(),
+        );
+        state.flight.note_line(&record);
+        if let Some(w) = access.as_mut() {
+            let io = writeln!(w, "{record}").and_then(|()| {
+                if let Some(c) = &collector {
+                    for span in c.take() {
+                        writeln!(
+                            w,
+                            "{{\"kind\":\"pde-span-sample\",\"id\":{id},{}",
+                            &span.to_json()[1..]
+                        )?;
+                    }
+                }
+                w.flush()
+            });
+            if let Err(e) = io {
+                eprintln!("warning: access log write failed: {e}");
+            }
+        }
+        if let Some(reason) = meta.flight {
+            dump_flight(&mut state, &options.store_dir, reason, id);
+        }
         writeln!(output, "{response}").map_err(|e| out_err(&e))?;
         output.flush().map_err(|e| out_err(&e))?;
         if done {
             break;
         }
     }
+    // Shutdown (request or EOF) always leaves the final flight state
+    // behind, making "what was the session doing?" answerable post hoc.
+    dump_flight(&mut state, &options.store_dir, "shutdown", next_id);
     Ok(())
+}
+
+/// Nanoseconds elapsed since `t`, saturating.
+fn ns_since(t: Instant) -> u64 {
+    u64::try_from(t.elapsed().as_nanos()).unwrap_or(u64::MAX)
+}
+
+/// The request kind access records and per-kind histograms are keyed by:
+/// a known op maps to itself, everything else (parse failures, unknown
+/// ops) to `invalid`, keeping the key space bounded under hostile input.
+fn kind_of(parsed: &Result<Request, String>) -> &'static str {
+    match parsed {
+        Ok(req) => match req.op.as_str() {
+            "solve" => "solve",
+            "certain" => "certain",
+            "insert" => "insert",
+            "retract" => "retract",
+            "snapshot" => "snapshot",
+            "stats" => "stats",
+            "shutdown" => "shutdown",
+            _ => "invalid",
+        },
+        Err(_) => "invalid",
+    }
+}
+
+/// One versioned access-log record (also what the flight recorder's
+/// request ring holds).
+#[allow(clippy::too_many_arguments)]
+fn access_record(
+    id: u64,
+    kind: &str,
+    meta: &ReqMeta,
+    ok: bool,
+    status: u32,
+    total_ns: u64,
+    bytes_in: usize,
+    bytes_out: usize,
+    epoch: u64,
+) -> String {
+    let result = if ok { meta.result } else { "error" };
+    format!(
+        concat!(
+            "{{\"v\":1,\"kind\":\"pde-access\",\"id\":{},\"op\":{},\"result\":{},",
+            "\"status\":{},\"total_ns\":{},\"chase_ns\":{},\"solve_ns\":{},",
+            "\"governor\":{},\"epoch\":{},\"bytes_in\":{},\"bytes_out\":{}}}"
+        ),
+        id,
+        json_escape(kind),
+        json_escape(result),
+        status,
+        total_ns,
+        meta.chase_ns,
+        meta.solve_ns,
+        json_escape(&meta.governor),
+        epoch,
+        bytes_in,
+        bytes_out,
+    )
+}
+
+/// The next free index for a `flight-NNN-<reason>.jsonl` dump in `dir`:
+/// one past the highest existing index, so dumps from restarted sessions
+/// never clobber earlier evidence.
+fn next_flight_index(dir: &str) -> u64 {
+    let mut next = 0u64;
+    if let Ok(entries) = std::fs::read_dir(dir) {
+        for entry in entries.flatten() {
+            let name = entry.file_name();
+            let name = name.to_string_lossy();
+            if let Some(rest) = name.strip_prefix("flight-") {
+                if let Some(num) = rest.split('-').next() {
+                    if let Ok(n) = num.parse::<u64>() {
+                        next = next.max(n + 1);
+                    }
+                }
+            }
+        }
+    }
+    next
+}
+
+/// Dump the flight recorder to the store directory. Best-effort: a failed
+/// dump warns on stderr and never takes the loop down.
+fn dump_flight(state: &mut ServeState, dir: &str, reason: &str, at_request: u64) {
+    let header = format!(
+        concat!(
+            "{{\"v\":1,\"kind\":\"pde-flight\",\"reason\":{},\"at_request\":{},",
+            "\"uptime_ns\":{},\"epoch\":{},\"requests\":{},\"spans\":{},\"evicted_spans\":{}}}"
+        ),
+        json_escape(reason),
+        at_request,
+        ns_since(state.started),
+        state.store.epoch(),
+        state.flight.request_count(),
+        state.flight.span_count(),
+        state.flight.evicted_spans(),
+    );
+    let path = Path::new(dir).join(format!(
+        "flight-{:03}-{reason}.jsonl",
+        next_flight_index(dir)
+    ));
+    match std::fs::write(&path, state.flight.dump(&header)) {
+        Ok(()) => state.flight_dumps += 1,
+        Err(e) => eprintln!("warning: flight dump {} failed: {e}", path.display()),
+    }
 }
 
 fn out_err(e: &std::io::Error) -> String {
@@ -196,7 +515,7 @@ fn out_err(e: &std::io::Error) -> String {
 }
 
 /// The startup hello: what recovery found, in one machine-readable line.
-fn hello_line(state: &ServeState, report: &RecoveryReport, seeded: usize) -> String {
+fn hello_line(state: &ServeState, seeded: usize) -> String {
     format!(
         concat!(
             "{{\"ok\":true,\"kind\":\"pde-serve-hello\",\"v\":1,\"epoch\":{},",
@@ -204,10 +523,10 @@ fn hello_line(state: &ServeState, report: &RecoveryReport, seeded: usize) -> Str
             "\"rewound\":{},\"seeded\":{},\"facts\":{},\"fast_path\":{}}}"
         ),
         state.store.epoch(),
-        report.snapshot_epoch,
-        report.frames_replayed,
-        report.truncated_frames(),
-        report.rewound(),
+        state.recovery.snapshot_epoch,
+        state.recovery.frames_replayed,
+        state.recovery.truncated_frames(),
+        state.recovery.rewound(),
         seeded,
         state.base.fact_count(),
         state.fast_path,
@@ -387,55 +706,35 @@ fn request_governor(options: &ServeOptions, req: &Request) -> Result<Governor, S
     }
 }
 
-/// Dispatch one decoded request. Returns the response line and whether the
-/// loop should end (`shutdown`).
-fn handle(state: &mut ServeState, options: &ServeOptions, req: &Request) -> (String, bool) {
+/// Dispatch one decoded request. Returns the response body fields (or the
+/// in-band error message) and whether the loop should end (`shutdown`).
+fn handle(
+    state: &mut ServeState,
+    options: &ServeOptions,
+    req: &Request,
+    meta: &mut ReqMeta,
+) -> (Result<String, String>, bool) {
     let governor = match request_governor(options, req) {
         Ok(g) => g,
-        Err(e) => {
-            state.counters.errors += 1;
-            return (error_response(state, &e), false);
-        }
+        Err(e) => return (Err(e), false),
     };
     let body = match req.op.as_str() {
-        "solve" => handle_solve(state, &governor),
-        "certain" => handle_certain(state, req),
+        "solve" => handle_solve(state, &governor, meta),
+        "certain" => handle_certain(state, req, meta),
         "insert" => handle_mutate(state, req, true),
         "retract" => handle_mutate(state, req, false),
         "snapshot" => handle_snapshot(state),
+        "stats" => Ok(handle_stats(state)),
         "shutdown" => Ok(r#""op":"shutdown""#.to_owned()),
         other => Err(format!("unknown op '{other}'")),
     };
-    let response = match body {
-        Ok(fields) => {
-            let mut line = format!(
-                "{{\"ok\":true,{fields},\"epoch\":{}",
-                state.base.current_epoch()
-            );
-            push_metrics(state, options, &mut line);
-            line.push('}');
-            line
-        }
-        Err(e) => {
-            state.counters.errors += 1;
-            error_response(state, &e)
-        }
-    };
-    (response, req.op == "shutdown")
+    (body, req.op == "shutdown")
 }
 
-/// A structured in-band failure (the loop stays alive).
-fn error_response(state: &ServeState, message: &str) -> String {
-    format!(
-        "{{\"ok\":false,\"error\":{},\"epoch\":{}}}",
-        json_escape(message),
-        state.base.current_epoch()
-    )
-}
-
-/// Attach the `metrics` member under `--stats`.
-fn push_metrics(state: &ServeState, options: &ServeOptions, line: &mut String) {
-    if !options.stats {
+/// Attach the `metrics` member: always for the `stats` request, and for
+/// every response under `--stats`.
+fn push_metrics(state: &ServeState, options: &ServeOptions, kind: &str, line: &mut String) {
+    if !options.stats && kind != "stats" {
         return;
     }
     let mut reg = MetricsRegistry::new();
@@ -448,26 +747,58 @@ fn push_metrics(state: &ServeState, options: &ServeOptions, line: &mut String) {
         state.counters.incremental_rechases,
     );
     reg.add("serve.full_rechases", state.counters.full_rechases);
+    reg.add("serve.flight_dumps", state.flight_dumps);
+    reg.merge_from(&state.metrics);
     line.push_str(",\"metrics\":");
     line.push_str(&reg.to_json());
+}
+
+/// `stats`: session telemetry — uptime, the durable epoch, what recovery
+/// found at startup, flight dumps written. The `metrics` member (with the
+/// latency histograms) is attached unconditionally for this op.
+fn handle_stats(state: &ServeState) -> String {
+    format!(
+        concat!(
+            "\"op\":\"stats\",\"uptime_ns\":{},\"durable_epoch\":{},",
+            "\"snapshot_epoch\":{},\"frames_replayed\":{},\"truncated_frames\":{},",
+            "\"rewound\":{},\"flight_dumps\":{}"
+        ),
+        ns_since(state.started),
+        state.store.epoch(),
+        state.recovery.snapshot_epoch,
+        state.recovery.frames_replayed,
+        state.recovery.truncated_frames(),
+        state.recovery.rewound(),
+        state.flight_dumps,
+    )
 }
 
 /// `solve`: the tractable fast path answers from the shared chased state
 /// (maintained incrementally); everything else routes through the full
 /// planned solver. Either way the work is isolated — a panic is an
 /// `undecided` answer, not a dead loop.
-fn handle_solve(state: &mut ServeState, governor: &Governor) -> Result<String, String> {
+fn handle_solve(
+    state: &mut ServeState,
+    governor: &Governor,
+    meta: &mut ReqMeta,
+) -> Result<String, String> {
     let answer = if state.fast_path && state.base.is_ground() {
-        match refresh_chased(state, governor) {
+        let chase_start = Instant::now();
+        let refreshed = refresh_chased(state, governor);
+        meta.chase_ns = ns_since(chase_start);
+        match refreshed {
             RefreshOutcome::Ready => {
+                let solve_start = Instant::now();
                 let chased = state.chased.as_ref().expect("refresh left the cache ready");
-                match exists_solution_from_chased(
+                let solved = exists_solution_from_chased(
                     &state.setting,
                     &state.base,
                     &chased.instance,
                     pde_chase::default_chase_engine(),
                     governor,
-                ) {
+                );
+                meta.solve_ns = ns_since(solve_start);
+                match solved {
                     Ok(out) => {
                         if out.exists {
                             Answer::Yes
@@ -482,17 +813,33 @@ fn handle_solve(state: &mut ServeState, governor: &Governor) -> Result<String, S
             RefreshOutcome::Stopped(reason) => Answer::Undecided(reason),
             RefreshOutcome::Panicked(message) => {
                 state.counters.panics_isolated += 1;
+                meta.governor = format!("panic: {message}");
+                meta.flight = Some("panic-isolated");
                 Answer::Undecided(format!("request panicked (isolated): {message}"))
             }
         }
     } else {
-        solve_full(state, governor)?
+        let solve_start = Instant::now();
+        let answer = solve_full(state, governor)?;
+        meta.solve_ns = ns_since(solve_start);
+        answer
     };
     let (result, reason) = match answer {
         Answer::Yes => ("yes", None),
         Answer::No => ("no", None),
         Answer::Undecided(reason) => ("undecided", Some(reason)),
     };
+    meta.result = result;
+    if let Some(reason) = &reason {
+        // A panic already claimed the dump reason; everything else
+        // undecided is the governor (or a budget) refusing to spend more.
+        if meta.flight.is_none() {
+            meta.flight = Some("governor-stop");
+        }
+        if meta.governor == "none" {
+            meta.governor.clone_from(reason);
+        }
+    }
     let mut out = format!("\"op\":\"solve\",\"result\":\"{result}\"");
     if let Some(reason) = reason {
         out.push_str(&format!(",\"reason\":{}", json_escape(&reason)));
@@ -503,11 +850,16 @@ fn handle_solve(state: &mut ServeState, governor: &Governor) -> Result<String, S
 /// The general-purpose route: plan the setting afresh (static analysis,
 /// cheap next to the solve) and run the governed solver, which carries
 /// its own isolation and naive-engine retry ladder.
-fn solve_full(state: &ServeState, governor: &Governor) -> Result<Answer, String> {
+fn solve_full(state: &mut ServeState, governor: &Governor) -> Result<Answer, String> {
     let cert = plan_setting(&state.setting, state.base.active_domain().len());
     let plan = cert.to_solve_plan();
     let report = pde_core::decide_governed(&state.setting, &state.base, &plan, governor)
         .map_err(|e| e.to_string())?;
+    if let Some(cs) = &report.chase_stats {
+        state
+            .metrics
+            .merge_histogram("chase.round_ns", &cs.round_ns);
+    }
     Ok(match report.exists {
         Some(true) => Answer::Yes,
         Some(false) => Answer::No,
@@ -593,17 +945,23 @@ fn refresh_chased(state: &mut ServeState, governor: &Governor) -> RefreshOutcome
         }
     };
     match run {
-        Ok(res) if res.is_success() => {
-            state.chased = Some(Chased {
-                instance: res.instance,
-                covered,
-            });
-            RefreshOutcome::Ready
+        Ok(res) => {
+            state
+                .metrics
+                .merge_histogram("chase.round_ns", &res.stats.round_ns);
+            if res.is_success() {
+                state.chased = Some(Chased {
+                    instance: res.instance,
+                    covered,
+                });
+                RefreshOutcome::Ready
+            } else {
+                RefreshOutcome::Stopped(match res.outcome {
+                    ChaseOutcome::Stopped { reason } => reason.to_string(),
+                    other => format!("chase did not reach a fixpoint: {other:?}"),
+                })
+            }
         }
-        Ok(res) => RefreshOutcome::Stopped(match res.outcome {
-            ChaseOutcome::Stopped { reason } => reason.to_string(),
-            other => format!("chase did not reach a fixpoint: {other:?}"),
-        }),
         Err(e) => RefreshOutcome::Panicked(e.to_string()),
     }
 }
@@ -670,7 +1028,11 @@ fn handle_mutate(state: &mut ServeState, req: &Request, insert: bool) -> Result<
 }
 
 /// `certain`: certain answers of a target UCQ over the current base.
-fn handle_certain(state: &mut ServeState, req: &Request) -> Result<String, String> {
+fn handle_certain(
+    state: &mut ServeState,
+    req: &Request,
+    meta: &mut ReqMeta,
+) -> Result<String, String> {
     let qsrc = req
         .query
         .as_deref()
@@ -678,11 +1040,16 @@ fn handle_certain(state: &mut ServeState, req: &Request) -> Result<String, Strin
     let q: UnionQuery = parse_query(state.setting.schema(), qsrc)
         .map_err(|e| format!("query: {e}"))?
         .into();
+    let solve_start = Instant::now();
     let setting = &state.setting;
     let base = &state.base;
-    let out = isolate(|| certain_answers(setting, base, &q, GenericLimits::default()))
+    let run = isolate(|| certain_answers(setting, base, &q, GenericLimits::default()));
+    meta.solve_ns = ns_since(solve_start);
+    let out = run
         .map_err(|e| {
             state.counters.panics_isolated += 1;
+            meta.governor = format!("panic: {e}");
+            meta.flight = Some("panic-isolated");
             format!("request panicked (isolated): {e}")
         })?
         .map_err(|e| e.to_string())?;
@@ -691,6 +1058,7 @@ fn handle_certain(state: &mut ServeState, req: &Request) -> Result<String, Strin
         out.solution_exists, out.solutions_examined
     );
     if q.is_boolean() {
+        meta.result = if out.certain_bool() { "yes" } else { "no" };
         body.push_str(&format!(",\"certain\":{}", out.certain_bool()));
     } else {
         let rows: Vec<String> = out
@@ -755,12 +1123,24 @@ mod tests {
     }
 
     fn run(bundle: &Bundle, dir: &str, script: &str) -> Vec<String> {
-        let options = ServeOptions {
+        run_with(bundle, dir, script, |_| {})
+    }
+
+    fn run_with(
+        bundle: &Bundle,
+        dir: &str,
+        script: &str,
+        configure: impl FnOnce(&mut ServeOptions),
+    ) -> Vec<String> {
+        let mut options = ServeOptions {
             store_dir: dir.to_owned(),
             timeout: None,
             memory_limit: None,
             stats: false,
+            access_log: None,
+            trace_sample: 0,
         };
+        configure(&mut options);
         let mut out: Vec<u8> = Vec::new();
         serve(bundle, &options, script.as_bytes(), &mut out).unwrap();
         String::from_utf8(out)
@@ -768,6 +1148,17 @@ mod tests {
             .lines()
             .map(str::to_owned)
             .collect()
+    }
+
+    fn flight_dumps(dir: &str) -> Vec<String> {
+        let mut names: Vec<String> = std::fs::read_dir(dir)
+            .unwrap()
+            .flatten()
+            .map(|e| e.file_name().to_string_lossy().into_owned())
+            .filter(|n| n.starts_with("flight-"))
+            .collect();
+        names.sort();
+        names
     }
 
     #[test]
@@ -873,6 +1264,183 @@ mod tests {
         let lines = run(&b, &dir, "{\"op\":\"shutdown\"}\n{\"op\":\"solve\"}\n");
         assert_eq!(lines.len(), 2, "{lines:?}");
         assert!(lines[1].contains("\"op\":\"shutdown\""));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn responses_carry_monotone_request_ids() {
+        let b = bundle();
+        let dir = temp_store("ids");
+        let lines = run(
+            &b,
+            &dir,
+            "{\"op\":\"solve\"}\nnot json\n{\"op\":\"solve\"}\n",
+        );
+        assert!(lines[1].contains("\"id\":1"), "{}", lines[1]);
+        assert!(lines[2].contains("\"id\":2"), "{}", lines[2]);
+        assert!(lines[3].contains("\"id\":3"), "{}", lines[3]);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn stats_request_reports_uptime_and_latency_histograms() {
+        let b = bundle();
+        let dir = temp_store("statsop");
+        let lines = run(
+            &b,
+            &dir,
+            "{\"op\":\"solve\"}\n{\"op\":\"insert\",\"facts\":\"E(b, b).\"}\n{\"op\":\"stats\"}\n",
+        );
+        let stats = &lines[3];
+        assert!(stats.contains("\"op\":\"stats\""), "{stats}");
+        assert!(stats.contains("\"uptime_ns\":"), "{stats}");
+        assert!(stats.contains("\"durable_epoch\":"), "{stats}");
+        assert!(stats.contains("\"rewound\":false"), "{stats}");
+        // The metrics member is attached without --stats, and the latency
+        // histograms are non-empty: three requests total, each kind seen.
+        assert!(stats.contains("\"serve.requests\":3"), "{stats}");
+        assert!(
+            stats.contains("\"serve.request_ns\":{\"count\":3"),
+            "{stats}"
+        );
+        assert!(
+            stats.contains("\"serve.request_ns.solve\":{\"count\":1"),
+            "{stats}"
+        );
+        assert!(
+            stats.contains("\"serve.request_ns.stats\":{\"count\":1"),
+            "{stats}"
+        );
+        assert!(stats.contains("\"chase.round_ns\":{\"count\":"), "{stats}");
+        assert!(stats.contains("\"store.commit_ns\":{\"count\":"), "{stats}");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn every_session_leaves_a_shutdown_flight_dump() {
+        let b = bundle();
+        let dir = temp_store("flight");
+        let _ = run(&b, &dir, "{\"op\":\"solve\"}\n");
+        let dumps = flight_dumps(&dir);
+        assert_eq!(dumps, vec!["flight-000-shutdown.jsonl".to_owned()]);
+        let text = std::fs::read_to_string(Path::new(&dir).join(&dumps[0])).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert!(
+            lines[0].starts_with("{\"v\":1,\"kind\":\"pde-flight\",\"reason\":\"shutdown\""),
+            "{}",
+            lines[0]
+        );
+        // The request ring holds the solve's access record.
+        assert!(
+            lines.iter().any(|l| l.contains("\"kind\":\"pde-access\"")
+                && l.contains("\"op\":\"solve\"")
+                && l.contains("\"result\":\"yes\"")),
+            "{text}"
+        );
+        assert!(lines.iter().all(|l| l.starts_with('{') && l.ends_with('}')));
+        // A second session appends a new dump instead of clobbering.
+        let _ = run(&b, &dir, "{\"op\":\"solve\"}\n");
+        assert_eq!(flight_dumps(&dir).len(), 2);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn access_log_records_every_request_keyed_by_id() {
+        let b = bundle();
+        let dir = temp_store("access");
+        let log = format!("{dir}-access.jsonl");
+        let _ = std::fs::remove_file(&log);
+        let lines = run_with(
+            &b,
+            &dir,
+            "{\"op\":\"solve\"}\nnot json\n{\"op\":\"stats\"}\n",
+            |o| {
+                o.access_log = Some(log.clone());
+                o.trace_sample = 2;
+            },
+        );
+        assert_eq!(lines.len(), 4, "{lines:?}");
+        let text = std::fs::read_to_string(&log).unwrap();
+        let records: Vec<&str> = text.lines().collect();
+        let access: Vec<&&str> = records
+            .iter()
+            .filter(|l| l.contains("\"kind\":\"pde-access\""))
+            .collect();
+        assert_eq!(access.len(), 3, "{text}");
+        assert!(access[0].contains("\"id\":1") && access[0].contains("\"op\":\"solve\""));
+        assert!(
+            access[1].contains("\"id\":2")
+                && access[1].contains("\"op\":\"invalid\"")
+                && access[1].contains("\"status\":2"),
+            "{}",
+            access[1]
+        );
+        assert!(access[2].contains("\"id\":3") && access[2].contains("\"op\":\"stats\""));
+        // Request 2 was sampled (every 2nd): its span capture follows.
+        assert!(
+            records
+                .iter()
+                .any(|l| l.contains("\"kind\":\"pde-span-sample\"") && l.contains("\"id\":2")),
+            "{text}"
+        );
+        assert!(records
+            .iter()
+            .all(|l| l.starts_with('{') && l.ends_with('}')));
+        let _ = std::fs::remove_file(&log);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn governor_stop_answers_undecided_and_dumps_flight() {
+        let b = bundle();
+        let dir = temp_store("govstop");
+        let lines = run_with(&b, &dir, "{\"op\":\"solve\"}\n", |o| {
+            o.timeout = Some(Duration::from_nanos(1));
+        });
+        assert!(
+            lines[1].contains("\"result\":\"undecided\""),
+            "{}",
+            lines[1]
+        );
+        let dumps = flight_dumps(&dir);
+        assert!(
+            dumps.iter().any(|d| d.contains("governor-stop")),
+            "{dumps:?}"
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[cfg(feature = "fault-injection")]
+    #[test]
+    fn a_panicking_request_dumps_flight_with_its_access_record() {
+        let b = bundle();
+        let dir = temp_store("panicdump");
+        let lines = run(
+            &b,
+            &dir,
+            concat!(
+                "{\"op\":\"insert\",\"facts\":\"E(c, c).\"}\n",
+                "{\"op\":\"solve\",\"inject_panic_at\":0}\n",
+            ),
+        );
+        assert!(lines[2].contains("isolated"), "{}", lines[2]);
+        let dumps = flight_dumps(&dir);
+        let panic_dump = dumps
+            .iter()
+            .find(|d| d.contains("panic-isolated"))
+            .unwrap_or_else(|| panic!("no panic dump in {dumps:?}"));
+        let text = std::fs::read_to_string(Path::new(&dir).join(panic_dump)).unwrap();
+        assert!(
+            text.lines()
+                .next()
+                .unwrap()
+                .contains("\"reason\":\"panic-isolated\""),
+            "{text}"
+        );
+        // The ring held both the insert that led up to the panic and the
+        // panicking request's own record when the dump was written.
+        assert!(text.contains("\"op\":\"insert\""), "{text}");
+        assert!(text.contains("\"governor\":\"panic: "), "{text}");
         let _ = std::fs::remove_dir_all(&dir);
     }
 

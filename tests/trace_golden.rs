@@ -209,6 +209,24 @@ H(x, y), H(y, x) -> H(x, x)
 E(a, b). E(b, a). E(b, c).
 ";
 
+/// Extract `(name, count)` pairs from the serialized `"histograms"` map.
+/// Counts are deterministic per fixture; sums, extrema, and bucket
+/// boundaries are wall-clock dependent and deliberately ignored.
+fn histogram_counts(hist: &str) -> Vec<(String, String)> {
+    let marker = "\":{\"count\":";
+    let mut out = Vec::new();
+    let mut rest = hist;
+    while let Some(at) = rest.find(marker) {
+        let name_start = rest[..at].rfind('"').expect("name opens") + 1;
+        let name = rest[name_start..at].to_string();
+        let after = &rest[at + marker.len()..];
+        let digits: String = after.chars().take_while(char::is_ascii_digit).collect();
+        out.push((name, digits));
+        rest = after;
+    }
+    out
+}
+
 /// Replace the digits after every occurrence of `key` with `N`.
 fn scrub_number(line: &str, key: &str) -> String {
     let mut out = String::new();
@@ -329,9 +347,11 @@ fn solve_json_report_golden_tractable() {
     let stdout = String::from_utf8(out.stdout).unwrap();
     let line = stdout.trim_end();
     assert_eq!(line.lines().count(), 1, "one JSONL line: {stdout}");
-    let scrubbed = scrub_number(line, "\"solve.elapsed_ns\":");
+    let (prefix, hist) = line
+        .split_once("\"histograms\":{")
+        .expect("report carries a histograms map");
     assert_eq!(
-        scrubbed,
+        scrub_number(prefix, "\"solve.elapsed_ns\":"),
         "{\"v\":1,\"solver\":\"tractable\",\"engine\":\"seminaive\",\
          \"result\":\"yes\",\"undecided_reason\":null,\"engine_fallback\":false,\
          \"optimize\":{\"before\":2,\"after\":2,\"actions\":0,\
@@ -346,8 +366,30 @@ fn solve_json_report_golden_tractable() {
          \"solve.elapsed_ns\":N,\
          \"storage.bytes_per_fact\":143,\"storage.facts\":4,\
          \"storage.heap_bytes\":571,\"storage.index_entries\":8,\
-         \"storage.slots\":4},\"histograms\":{}}}"
+         \"storage.slots\":4},"
     );
+    // Histogram names and per-fixture counts are deterministic (the
+    // tractable solver's span anatomy is pinned above); durations are not.
+    let counts = histogram_counts(hist);
+    assert_eq!(
+        counts
+            .iter()
+            .map(|(n, c)| (n.as_str(), c.as_str()))
+            .collect::<Vec<_>>(),
+        vec![
+            ("chase.round_ns", "4"),
+            ("phase.block.hom_search.self_ns", "1"),
+            ("phase.blocks.decompose.self_ns", "3"),
+            ("phase.chase.round.self_ns", "4"),
+            ("phase.chase.trigger.self_ns", "4"),
+            ("phase.governor.check.self_ns", "4"),
+            ("phase.hom.search.self_ns", "5"),
+            ("solve.elapsed_ns", "1"),
+        ],
+        "histograms: {hist}"
+    );
+    assert!(hist.contains("\"buckets\":[["), "histograms: {hist}");
+    assert!(line.ends_with("}}"), "line: {line}");
 }
 
 #[test]
@@ -363,9 +405,12 @@ fn solve_json_report_golden_generic_search() {
     ]);
     assert_eq!(out.status.code(), Some(1), "no solution here");
     let stdout = String::from_utf8(out.stdout).unwrap();
-    let scrubbed = scrub_number(stdout.trim_end(), "\"solve.elapsed_ns\":");
+    let line = stdout.trim_end();
+    let (prefix, hist) = line
+        .split_once("\"histograms\":{")
+        .expect("report carries a histograms map");
     assert_eq!(
-        scrubbed,
+        scrub_number(prefix, "\"solve.elapsed_ns\":"),
         "{\"v\":1,\"solver\":\"generic-search\",\"engine\":\"seminaive\",\
          \"result\":\"no\",\"undecided_reason\":null,\"engine_fallback\":false,\
          \"optimize\":{\"before\":3,\"after\":3,\"actions\":0,\
@@ -377,8 +422,22 @@ fn solve_json_report_golden_generic_search() {
          \"governor.cancellations_observed\":0,\"governor.checks\":5,\
          \"governor.faults_fired\":0,\"governor.peak_bytes\":0,\"governor.stops\":0,\
          \"search.branches\":5,\"search.candidates_checked\":0,\"search.prunes\":1,\
-         \"solve.elapsed_ns\":N},\"histograms\":{}}}"
+         \"solve.elapsed_ns\":N},"
     );
+    let counts = histogram_counts(hist);
+    assert_eq!(
+        counts
+            .iter()
+            .map(|(n, c)| (n.as_str(), c.as_str()))
+            .collect::<Vec<_>>(),
+        vec![
+            ("phase.governor.check.self_ns", "5"),
+            ("phase.solver.branch.self_ns", "5"),
+            ("solve.elapsed_ns", "1"),
+        ],
+        "histograms: {hist}"
+    );
+    assert!(line.ends_with("}}"), "line: {line}");
 
     // The text form reports the same counters, not an "n/a" shrug.
     let out = run(&["solve", "--no-lint", "--stats", p.to_str().unwrap()]);
